@@ -1,0 +1,114 @@
+//! Graphviz (DOT) rendering of automata, for debugging and documentation.
+//!
+//! The paper's figures (4, 10) depict the intermediate machines of the
+//! concat-intersect procedure; these exports let users regenerate such
+//! pictures from real solver runs (`dprle --dot`).
+
+use crate::dfa::Dfa;
+use crate::nfa::{Nfa, StateId};
+use std::fmt::Write as _;
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders an NFA as a DOT digraph.
+///
+/// Final states are drawn as double circles; an arrow from a synthetic
+/// `__start` point marks the start state; epsilon edges are labelled `ε`.
+pub fn nfa_to_dot(nfa: &Nfa, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  __start [shape=point];");
+    for q in nfa.state_ids() {
+        let shape = if nfa.is_final(q) { "doublecircle" } else { "circle" };
+        let _ = writeln!(out, "  {} [shape={shape}];", q.index());
+    }
+    let _ = writeln!(out, "  __start -> {};", nfa.start().index());
+    for (from, class, to) in nfa.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            from.index(),
+            to.index(),
+            escape(&class.to_string())
+        );
+    }
+    for (from, to) in nfa.eps_edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"ε\", style=dashed];",
+            from.index(),
+            to.index()
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a DFA as a DOT digraph.
+pub fn dfa_to_dot(dfa: &Dfa, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  __start [shape=point];");
+    for q in 0..dfa.num_states() {
+        let shape = if dfa.is_final(StateId(q as u32)) { "doublecircle" } else { "circle" };
+        let _ = writeln!(out, "  {q} [shape={shape}];");
+    }
+    let _ = writeln!(out, "  __start -> {};", dfa.start().index());
+    for q in 0..dfa.num_states() {
+        for &(class, t) in dfa.transitions(StateId(q as u32)) {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\"];",
+                q,
+                t.index(),
+                escape(&class.to_string())
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::determinize;
+
+    #[test]
+    fn nfa_dot_mentions_every_state() {
+        let m = Nfa::literal(b"ab");
+        let dot = nfa_to_dot(&m, "lit");
+        assert!(dot.starts_with("digraph \"lit\""));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"b\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn nfa_dot_marks_epsilon_edges() {
+        let m = crate::ops::star(&Nfa::literal(b"a"));
+        let dot = nfa_to_dot(&m, "star");
+        assert!(dot.contains("ε"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn dot_escapes_labels() {
+        let m = Nfa::literal(b"\"");
+        let dot = nfa_to_dot(&m, "quote\"name");
+        assert!(dot.contains("\\\""));
+    }
+
+    #[test]
+    fn dfa_dot_renders() {
+        let d = determinize(&Nfa::literal(b"xy"));
+        let dot = dfa_to_dot(&d, "d");
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("label=\"x\""));
+    }
+}

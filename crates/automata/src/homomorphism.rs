@@ -1,0 +1,218 @@
+//! Images and preimages under byte-to-byte homomorphisms.
+//!
+//! Case folding (`strtolower`), ROT13, and similar per-byte rewritings are
+//! *alphabetic homomorphisms*: they map each byte to one byte, extended
+//! pointwise to strings. Regular languages are closed under both the image
+//! and the preimage of such maps, and both constructions are linear in the
+//! machine — so constraints like `strtolower(v) ⊆ c` stay inside the
+//! decidable theory (`strtolower(v) ⊆ c ⟺ v ⊆ preimage(c)`). The paper
+//! excludes general `replace` (which breaks decidability, §5 citing
+//! Bjørner et al.); per-byte maps are the decidable fragment of that
+//! feature space.
+
+use crate::byteclass::ByteClass;
+use crate::nfa::Nfa;
+
+/// A byte-to-byte map, e.g. ASCII case folding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ByteMap {
+    table: [u8; 256],
+}
+
+impl ByteMap {
+    /// The identity map.
+    pub fn identity() -> ByteMap {
+        let mut table = [0u8; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            *slot = i as u8;
+        }
+        ByteMap { table }
+    }
+
+    /// Builds a map from an explicit table.
+    pub fn from_table(table: [u8; 256]) -> ByteMap {
+        ByteMap { table }
+    }
+
+    /// ASCII lower-casing (PHP `strtolower` on ASCII).
+    pub fn to_lowercase() -> ByteMap {
+        let mut m = ByteMap::identity();
+        for b in b'A'..=b'Z' {
+            m.table[b as usize] = b + 32;
+        }
+        m
+    }
+
+    /// ASCII upper-casing.
+    pub fn to_uppercase() -> ByteMap {
+        let mut m = ByteMap::identity();
+        for b in b'a'..=b'z' {
+            m.table[b as usize] = b - 32;
+        }
+        m
+    }
+
+    /// ROT13 on ASCII letters.
+    pub fn rot13() -> ByteMap {
+        let mut m = ByteMap::identity();
+        for b in b'a'..=b'z' {
+            m.table[b as usize] = (b - b'a' + 13) % 26 + b'a';
+        }
+        for b in b'A'..=b'Z' {
+            m.table[b as usize] = (b - b'A' + 13) % 26 + b'A';
+        }
+        m
+    }
+
+    /// Applies the map to one byte.
+    pub fn map(&self, b: u8) -> u8 {
+        self.table[b as usize]
+    }
+
+    /// Applies the map to a string.
+    pub fn map_bytes(&self, s: &[u8]) -> Vec<u8> {
+        s.iter().map(|&b| self.map(b)).collect()
+    }
+
+    /// The image of a byte class.
+    pub fn image_class(&self, class: &ByteClass) -> ByteClass {
+        ByteClass::from_bytes(class.iter().map(|b| self.map(b)))
+    }
+
+    /// The preimage of a byte class: all bytes mapping into it.
+    pub fn preimage_class(&self, class: &ByteClass) -> ByteClass {
+        ByteClass::from_bytes((0u8..=255).filter(|&b| class.contains(self.map(b))))
+    }
+}
+
+/// The machine for `h(L) = {h(w) | w ∈ L}`.
+pub fn image(nfa: &Nfa, map: &ByteMap) -> Nfa {
+    rewrite_classes(nfa, |c| map.image_class(c))
+}
+
+/// The machine for `h⁻¹(L) = {w | h(w) ∈ L}`.
+///
+/// This is the construction that keeps mapped constraints decidable:
+/// `h(v) ⊆ c ⟺ v ⊆ h⁻¹(c)`.
+pub fn preimage(nfa: &Nfa, map: &ByteMap) -> Nfa {
+    rewrite_classes(nfa, |c| map.preimage_class(c))
+}
+
+fn rewrite_classes(nfa: &Nfa, f: impl Fn(&ByteClass) -> ByteClass) -> Nfa {
+    let mut out = Nfa::new();
+    let mut ids = vec![out.start()];
+    for _ in 1..nfa.num_states() {
+        ids.push(out.add_state());
+    }
+    out.set_start(ids[nfa.start().index()]);
+    for (from, class, to) in nfa.edges() {
+        let mapped = f(&class);
+        if !mapped.is_empty() {
+            out.add_edge(ids[from.index()], mapped, ids[to.index()]);
+        }
+    }
+    for (from, to) in nfa.eps_edges() {
+        out.add_eps(ids[from.index()], ids[to.index()]);
+    }
+    for &final_ in nfa.finals() {
+        out.add_final(ids[final_.index()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::{equivalent, is_subset};
+    use crate::ops;
+
+    #[test]
+    fn byte_map_basics() {
+        let lower = ByteMap::to_lowercase();
+        assert_eq!(lower.map(b'A'), b'a');
+        assert_eq!(lower.map(b'a'), b'a');
+        assert_eq!(lower.map(b'3'), b'3');
+        assert_eq!(lower.map_bytes(b"MiXeD 42"), b"mixed 42");
+        let upper = ByteMap::to_uppercase();
+        assert_eq!(upper.map_bytes(b"abcZ"), b"ABCZ");
+        let rot = ByteMap::rot13();
+        assert_eq!(rot.map_bytes(b"Hello"), b"Uryyb");
+        assert_eq!(rot.map_bytes(&rot.map_bytes(b"Hello")), b"Hello");
+        assert_eq!(ByteMap::identity().map_bytes(b"x"), b"x");
+    }
+
+    #[test]
+    fn class_image_and_preimage() {
+        let lower = ByteMap::to_lowercase();
+        let letters = ByteClass::range(b'A', b'Z');
+        assert_eq!(lower.image_class(&letters), ByteClass::range(b'a', b'z'));
+        let lowercase = ByteClass::range(b'a', b'z');
+        let pre = lower.preimage_class(&lowercase);
+        assert!(pre.contains(b'a') && pre.contains(b'A'));
+        assert!(!pre.contains(b'0'));
+        assert_eq!(pre.len(), 52);
+    }
+
+    #[test]
+    fn image_of_literal() {
+        let m = image(&Nfa::literal(b"HeLLo"), &ByteMap::to_lowercase());
+        assert!(m.contains(b"hello"));
+        assert!(!m.contains(b"HeLLo"));
+    }
+
+    #[test]
+    fn preimage_of_literal_is_all_casings() {
+        let m = preimage(&Nfa::literal(b"ok"), &ByteMap::to_lowercase());
+        for w in [&b"ok"[..], b"OK", b"Ok", b"oK"] {
+            assert!(m.contains(w), "{w:?}");
+        }
+        assert!(!m.contains(b"no"));
+        // Exactly 4 preimages of a 2-letter word.
+        assert_eq!(
+            crate::analysis::language_size(&m),
+            crate::analysis::LanguageSize::Finite(4)
+        );
+    }
+
+    #[test]
+    fn galois_connection() {
+        // h(x) ∈ L ⟺ x ∈ h⁻¹(L), exercised on machines: image(A) ⊆ L ⟺
+        // A ⊆ preimage(L).
+        let lower = ByteMap::to_lowercase();
+        let l = ops::star(&Nfa::class(ByteClass::range(b'a', b'z')));
+        let a = ops::star(&Nfa::class(ByteClass::range(b'A', b'Z')));
+        assert!(is_subset(&image(&a, &lower), &l));
+        assert!(is_subset(&a, &preimage(&l, &lower)));
+        // And a negative case: digits are not letters under lowering.
+        let digits = Nfa::class(ByteClass::range(b'0', b'9'));
+        assert!(!is_subset(&image(&digits, &lower), &l));
+        assert!(!is_subset(&digits, &preimage(&l, &lower)));
+    }
+
+    #[test]
+    fn identity_maps_are_no_ops() {
+        let m = ops::union(&Nfa::literal(b"ab"), &ops::star(&Nfa::literal(b"c")));
+        assert!(equivalent(&image(&m, &ByteMap::identity()), &m));
+        assert!(equivalent(&preimage(&m, &ByteMap::identity()), &m));
+    }
+
+    #[test]
+    fn rot13_is_an_involution_on_languages() {
+        let rot = ByteMap::rot13();
+        let m = ops::union(&Nfa::literal(b"attack"), &Nfa::literal(b"AtDawn"));
+        let twice = image(&image(&m, &rot), &rot);
+        assert!(equivalent(&twice, &m));
+    }
+
+    #[test]
+    fn mapped_constraint_pushback() {
+        // strtolower(v) ⊆ "select" ⟹ v is any casing of "select".
+        let bound = Nfa::literal(b"select");
+        let v_language = preimage(&bound, &ByteMap::to_lowercase());
+        assert!(v_language.contains(b"SELECT"));
+        assert!(v_language.contains(b"SeLeCt"));
+        assert!(!v_language.contains(b"selec"));
+        // Round-trip: the image of the solution is within the bound.
+        assert!(is_subset(&image(&v_language, &ByteMap::to_lowercase()), &bound));
+    }
+}

@@ -1,0 +1,460 @@
+//! DFA minimization by partition refinement.
+//!
+//! The paper (§4) observes that its prototype tracked large string constants
+//! through every machine transformation and that "applying NFA minimization
+//! techniques might improve performance" on the pathological `secure` case.
+//! This module provides that optimization: determinize, complete, refine the
+//! state partition to the Myhill–Nerode congruence (Moore's algorithm over
+//! the minterm alphabet), and rebuild.
+
+use crate::byteclass::{minterms, ByteClass};
+use crate::dfa::{determinize, Dfa};
+use crate::nfa::{Nfa, StateId};
+
+/// Minimizes a DFA by partition refinement (Moore's algorithm).
+///
+/// The input is completed first so the transition function is total. The
+/// result is the unique (up to isomorphism) minimal complete DFA for the
+/// language, with unreachable states removed.
+pub fn minimize_dfa(dfa: &Dfa) -> Dfa {
+    let dfa = dfa.complete();
+    let n = dfa.num_states();
+    if n == 0 {
+        return dfa;
+    }
+    // Global minterm alphabet across all transition classes.
+    let classes: Vec<ByteClass> = (0..n)
+        .flat_map(|q| dfa.transitions(StateId(q as u32)).iter().map(|&(c, _)| c))
+        .collect();
+    let alphabet = minterms(classes.iter());
+    let symbols: Vec<u8> =
+        alphabet.iter().map(|c| c.min_byte().expect("minterms nonempty")).collect();
+
+    // Initial partition: finals vs non-finals.
+    let mut block_of: Vec<usize> = (0..n)
+        .map(|q| usize::from(dfa.is_final(StateId(q as u32))))
+        .collect();
+    let mut num_blocks = 2;
+    loop {
+        // Signature of a state: its block plus the blocks of its successors
+        // on each alphabet symbol.
+        let mut sigs: Vec<(usize, Vec<usize>)> = Vec::with_capacity(n);
+        for q in 0..n {
+            let succ_blocks: Vec<usize> = symbols
+                .iter()
+                .map(|&b| {
+                    let t = dfa.step(StateId(q as u32), b).expect("complete DFA");
+                    block_of[t.index()]
+                })
+                .collect();
+            sigs.push((block_of[q], succ_blocks));
+        }
+        let mut index = std::collections::HashMap::new();
+        let mut new_block_of = vec![0usize; n];
+        let mut new_num = 0usize;
+        for q in 0..n {
+            let id = *index.entry(sigs[q].clone()).or_insert_with(|| {
+                let id = new_num;
+                new_num += 1;
+                id
+            });
+            new_block_of[q] = id;
+        }
+        if new_num == num_blocks {
+            break;
+        }
+        block_of = new_block_of;
+        num_blocks = new_num;
+    }
+
+    // Rebuild: keep only blocks reachable from the start block.
+    let start_block = block_of[dfa.start().index()];
+    // Representative state per block.
+    let mut rep: Vec<Option<usize>> = vec![None; num_blocks];
+    for q in 0..n {
+        rep[block_of[q]].get_or_insert(q);
+    }
+    let mut states: Vec<Vec<(ByteClass, StateId)>> = vec![Vec::new(); num_blocks];
+    let mut finals = vec![false; num_blocks];
+    for blk in 0..num_blocks {
+        let q = rep[blk].expect("every block has a member");
+        finals[blk] = dfa.is_final(StateId(q as u32));
+        // Merge transitions by target block.
+        let mut by_target: std::collections::HashMap<usize, ByteClass> =
+            std::collections::HashMap::new();
+        for &(c, t) in dfa.transitions(StateId(q as u32)) {
+            let e = by_target.entry(block_of[t.index()]).or_insert(ByteClass::EMPTY);
+            *e = e.union(&c);
+        }
+        let mut row: Vec<(ByteClass, StateId)> = by_target
+            .into_iter()
+            .map(|(blk, c)| (c, StateId(blk as u32)))
+            .collect();
+        row.sort_by_key(|&(_, t)| t);
+        states[blk] = row;
+    }
+    let min = Dfa::from_parts(states, StateId(start_block as u32), finals);
+    // Drop unreachable blocks (e.g. a now-unreachable sink) via NFA trim.
+    determinize(&min.to_nfa().trim().0)
+}
+
+/// Minimizes the language of an NFA: determinize, refine, and convert back.
+///
+/// The result is a deterministic (epsilon-free) NFA recognizing the same
+/// language with the minimal number of live states.
+pub fn minimize(nfa: &Nfa) -> Nfa {
+    minimize_dfa(&determinize(nfa)).to_nfa().trim().0
+}
+
+/// Hopcroft's worklist minimization: O(k·n·log n) over the minterm
+/// alphabet, versus Moore's O(k·n²) refinement in [`minimize_dfa`]. Both
+/// produce the unique minimal DFA; the `det_min` bench compares them and
+/// the property suite cross-checks their outputs.
+pub fn minimize_dfa_hopcroft(dfa: &Dfa) -> Dfa {
+    let dfa = dfa.complete();
+    let n = dfa.num_states();
+    if n == 0 {
+        return dfa;
+    }
+    let classes: Vec<ByteClass> = (0..n)
+        .flat_map(|q| dfa.transitions(StateId(q as u32)).iter().map(|&(c, _)| c))
+        .collect();
+    let alphabet = minterms(classes.iter());
+    let symbols: Vec<u8> =
+        alphabet.iter().map(|c| c.min_byte().expect("minterms nonempty")).collect();
+    let k = symbols.len();
+
+    // Reverse transition table per symbol.
+    let mut preimage: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; k];
+    for q in 0..n {
+        for (s, &b) in symbols.iter().enumerate() {
+            let t = dfa.step(StateId(q as u32), b).expect("complete DFA");
+            preimage[s][t.index()].push(q);
+        }
+    }
+
+    // Partition as block lists.
+    let mut block_of: Vec<usize> = (0..n)
+        .map(|q| usize::from(dfa.is_final(StateId(q as u32))))
+        .collect();
+    let mut blocks: Vec<Vec<usize>> = vec![Vec::new(), Vec::new()];
+    for q in 0..n {
+        blocks[block_of[q]].push(q);
+    }
+    if blocks[1].is_empty() || blocks[0].is_empty() {
+        // Only one nonempty block: all states accept or all reject.
+        let keep = usize::from(blocks[0].is_empty());
+        blocks = vec![std::mem::take(&mut blocks[keep])];
+        for b in block_of.iter_mut() {
+            *b = 0;
+        }
+    }
+
+    use std::collections::BTreeSet;
+    let mut work: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let smaller = (0..blocks.len()).min_by_key(|&b| blocks[b].len()).expect("nonempty");
+    for s in 0..k {
+        work.insert((smaller, s));
+    }
+
+    while let Some(&(splitter, s)) = work.iter().next() {
+        work.remove(&(splitter, s));
+        // X = states with an s-transition into the splitter block.
+        let mut x: Vec<usize> = Vec::new();
+        for &q in &blocks[splitter] {
+            x.extend(preimage[s][q].iter().copied());
+        }
+        if x.is_empty() {
+            continue;
+        }
+        // Group X by current block.
+        let mut touched: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for q in x {
+            touched.entry(block_of[q]).or_default().push(q);
+        }
+        for (b, inside) in touched {
+            if inside.len() == blocks[b].len() {
+                continue; // no split
+            }
+            // Split block b into `inside` and the rest.
+            let inside_set: BTreeSet<usize> = inside.iter().copied().collect();
+            let outside: Vec<usize> = blocks[b]
+                .iter()
+                .copied()
+                .filter(|q| !inside_set.contains(q))
+                .collect();
+            let new_id = blocks.len();
+            blocks[b] = inside;
+            blocks.push(outside);
+            for &q in &blocks[new_id] {
+                block_of[q] = new_id;
+            }
+            // Hopcroft's rule: if (b, t) is pending, split it too;
+            // otherwise enqueue the smaller half.
+            for t in 0..k {
+                if work.remove(&(b, t)) {
+                    work.insert((b, t));
+                    work.insert((new_id, t));
+                } else if blocks[b].len() <= blocks[new_id].len() {
+                    work.insert((b, t));
+                } else {
+                    work.insert((new_id, t));
+                }
+            }
+        }
+    }
+
+    // Rebuild (same as Moore's rebuild).
+    let num_blocks = blocks.len();
+    let start_block = block_of[dfa.start().index()];
+    let mut states: Vec<Vec<(ByteClass, StateId)>> = vec![Vec::new(); num_blocks];
+    let mut finals = vec![false; num_blocks];
+    for (blk, members) in blocks.iter().enumerate() {
+        let q = members[0];
+        finals[blk] = dfa.is_final(StateId(q as u32));
+        let mut by_target: std::collections::HashMap<usize, ByteClass> =
+            std::collections::HashMap::new();
+        for &(c, t) in dfa.transitions(StateId(q as u32)) {
+            let e = by_target.entry(block_of[t.index()]).or_insert(ByteClass::EMPTY);
+            *e = e.union(&c);
+        }
+        let mut row: Vec<(ByteClass, StateId)> = by_target
+            .into_iter()
+            .map(|(blk, c)| (c, StateId(blk as u32)))
+            .collect();
+        row.sort_by_key(|&(_, t)| t);
+        states[blk] = row;
+    }
+    let min = Dfa::from_parts(states, StateId(start_block as u32), finals);
+    determinize(&min.to_nfa().trim().0)
+}
+
+/// A canonical fingerprint of an NFA's *language*: two machines have equal
+/// keys iff they recognize the same language.
+///
+/// The key serializes the minimal complete DFA under a breadth-first state
+/// numbering with transitions ordered by class, which is unique because the
+/// minimal complete DFA is unique up to isomorphism. Comparing keys turns
+/// the solver's quadratic pile of language-equivalence queries into one
+/// minimization per machine plus cheap `Vec` comparisons.
+pub fn canonical_key(nfa: &Nfa) -> CanonicalKey {
+    let min = minimize_dfa(&determinize(nfa));
+    // BFS renumbering with deterministic edge order.
+    let n = min.num_states();
+    let mut order: Vec<Option<u32>> = vec![None; n];
+    let mut bfs: Vec<StateId> = vec![min.start()];
+    order[min.start().index()] = Some(0);
+    let mut next = 1u32;
+    let mut i = 0;
+    while i < bfs.len() {
+        let q = bfs[i];
+        i += 1;
+        let mut row: Vec<(ByteClass, StateId)> = min.transitions(q).to_vec();
+        row.sort();
+        for (_, t) in row {
+            if order[t.index()].is_none() {
+                order[t.index()] = Some(next);
+                next += 1;
+                bfs.push(t);
+            }
+        }
+    }
+    // Serialize: per state in BFS order, finality then sorted transitions.
+    let mut words: Vec<u64> = vec![bfs.len() as u64];
+    for &q in &bfs {
+        words.push(u64::from(min.is_final(q)));
+        let mut row: Vec<(ByteClass, StateId)> = min.transitions(q).to_vec();
+        row.sort();
+        words.push(row.len() as u64);
+        for (class, t) in row {
+            words.extend(class_words(&class));
+            words.push(u64::from(
+                order[t.index()].expect("BFS covered all reachable states"),
+            ));
+        }
+    }
+    CanonicalKey(words)
+}
+
+fn class_words(class: &ByteClass) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for b in class.iter() {
+        out[b as usize / 64] |= 1 << (b % 64);
+    }
+    out
+}
+
+/// Opaque language fingerprint produced by [`canonical_key`]. Equal keys ⟺
+/// equal languages.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CanonicalKey(Vec<u64>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::equivalent;
+    use crate::ops;
+
+    #[test]
+    fn minimize_preserves_language() {
+        let n = ops::union(
+            &ops::concat(&Nfa::literal(b"a"), &ops::star(&Nfa::literal(b"b"))).nfa,
+            &Nfa::literal(b"a"),
+        );
+        let m = minimize(&n);
+        assert!(equivalent(&n, &m));
+        assert!(m.num_states() <= n.num_states());
+    }
+
+    #[test]
+    fn minimize_collapses_redundant_states() {
+        // a|b|c as a union has many states; minimal DFA has 2 live states.
+        let n = ops::union_all([
+            &Nfa::literal(b"a"),
+            &Nfa::literal(b"b"),
+            &Nfa::literal(b"c"),
+        ]);
+        let m = minimize(&n);
+        assert_eq!(m.num_states(), 2);
+        assert!(m.contains(b"b"));
+        assert!(!m.contains(b"ab"));
+    }
+
+    #[test]
+    fn minimize_empty_and_epsilon() {
+        let e = minimize(&Nfa::empty_language());
+        assert!(e.is_empty_language());
+        let eps = minimize(&Nfa::epsilon());
+        assert!(eps.contains(b""));
+        assert!(!eps.contains(b"a"));
+        assert_eq!(eps.num_states(), 1);
+    }
+
+    #[test]
+    fn minimize_sigma_star_is_one_state() {
+        let m = minimize(&Nfa::sigma_star());
+        assert_eq!(m.num_states(), 1);
+        assert!(m.contains(b""));
+        assert!(m.contains(b"xyz"));
+    }
+
+    #[test]
+    fn minimal_dfa_is_canonical_size() {
+        // Two structurally different machines for the same language minimize
+        // to the same number of states.
+        let a = ops::star(&Nfa::literal(b"ab"));
+        let b = ops::union(
+            &Nfa::epsilon(),
+            &ops::concat(&Nfa::literal(b"ab"), &ops::star(&Nfa::literal(b"ab"))).nfa,
+        );
+        assert!(equivalent(&a, &b));
+        assert_eq!(minimize(&a).num_states(), minimize(&b).num_states());
+    }
+}
+
+#[cfg(test)]
+mod hopcroft_tests {
+    use super::*;
+    use crate::dfa::equivalent;
+    use crate::generate::{random_nfa, RandomNfaConfig};
+    use crate::ops;
+
+    fn minimal_hopcroft(nfa: &Nfa) -> Nfa {
+        minimize_dfa_hopcroft(&determinize(nfa)).to_nfa().trim().0
+    }
+
+    #[test]
+    fn hopcroft_agrees_with_moore_on_fixtures() {
+        let fixtures = [
+            Nfa::literal(b"abc"),
+            Nfa::epsilon(),
+            Nfa::empty_language(),
+            Nfa::sigma_star(),
+            ops::union(&Nfa::literal(b"a"), &Nfa::literal(b"bb")),
+            ops::star(&ops::union(&Nfa::literal(b"ab"), &Nfa::literal(b"ba"))),
+        ];
+        for m in &fixtures {
+            let moore = minimize(m);
+            let hopcroft = minimal_hopcroft(m);
+            assert!(equivalent(&moore, &hopcroft));
+            assert_eq!(moore.num_states(), hopcroft.num_states());
+        }
+    }
+
+    #[test]
+    fn hopcroft_agrees_with_moore_on_random_machines() {
+        let cfg = RandomNfaConfig {
+            states: 7,
+            alphabet: vec![b'a', b'b'],
+            ..Default::default()
+        };
+        for seed in 0..60 {
+            let m = random_nfa(seed, &cfg);
+            let moore = minimize(&m);
+            let hopcroft = minimal_hopcroft(&m);
+            assert!(equivalent(&m, &hopcroft), "seed {seed}: language changed");
+            assert_eq!(
+                moore.num_states(),
+                hopcroft.num_states(),
+                "seed {seed}: non-minimal result"
+            );
+        }
+    }
+
+    #[test]
+    fn hopcroft_single_block_cases() {
+        // All-accepting and all-rejecting machines hit the one-block path.
+        let all = minimal_hopcroft(&Nfa::sigma_star());
+        assert_eq!(all.num_states(), 1);
+        let none = minimal_hopcroft(&Nfa::empty_language());
+        assert!(none.is_empty_language());
+    }
+}
+
+#[cfg(test)]
+mod canonical_tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn equal_languages_equal_keys() {
+        // a(ba)* and (ab)*a — same language, very different machines.
+        let a = Nfa::literal(b"a");
+        let b = Nfa::literal(b"b");
+        let lhs = ops::concat(&a, &ops::star(&ops::concat(&b, &a).nfa)).nfa;
+        let rhs = ops::concat(&ops::star(&ops::concat(&a, &b).nfa), &a).nfa;
+        assert_eq!(canonical_key(&lhs), canonical_key(&rhs));
+    }
+
+    #[test]
+    fn different_languages_different_keys() {
+        assert_ne!(
+            canonical_key(&Nfa::literal(b"a")),
+            canonical_key(&Nfa::literal(b"b"))
+        );
+        assert_ne!(
+            canonical_key(&Nfa::empty_language()),
+            canonical_key(&Nfa::epsilon())
+        );
+        assert_ne!(
+            canonical_key(&Nfa::sigma_star()),
+            canonical_key(&Nfa::epsilon())
+        );
+    }
+
+    #[test]
+    fn key_is_structure_independent() {
+        let m = ops::union(&Nfa::literal(b"x"), &Nfa::literal(b"x"));
+        assert_eq!(canonical_key(&m), canonical_key(&Nfa::literal(b"x")));
+    }
+
+    #[test]
+    fn keys_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(canonical_key(&Nfa::literal(b"a")));
+        set.insert(canonical_key(&Nfa::literal(b"a").normalize()));
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Language quotients.
+//!
+//! Quotients answer "what can follow (or precede) a known prefix (suffix)
+//! language": the *existential* left quotient `C⁻¹L = {w | ∃u ∈ C. uw ∈ L}`
+//! and its *universal* refinement `{w | ∀u ∈ C. uw ∈ L}`.
+//!
+//! The solver uses the universal quotient when a concatenation operand is a
+//! *constant*: a constant's language cannot be narrowed by the solver, so
+//! the maximal partner language is exactly the universal quotient (see
+//! `dprle-core`'s `gci` module). Quotients of regular languages by regular
+//! languages are regular; these constructions witness that.
+
+use crate::dfa::complement;
+use crate::nfa::{Nfa, StateId};
+use crate::ops::intersect;
+use std::collections::BTreeSet;
+
+/// Existential left quotient: `{w | ∃u ∈ L(by), u·w ∈ L(of)}`.
+///
+/// Construction: run the product of `of` and `by` from their joint start;
+/// every `of`-state `p` that is paired with a final `by`-state is a point
+/// where some `u ∈ L(by)` has just been consumed, so the quotient machine is
+/// `of` restarted (by fresh epsilon edges) from all such `p`.
+pub fn left_quotient(of: &Nfa, by: &Nfa) -> Nfa {
+    let product = intersect(of, by);
+    let mut entry_points: BTreeSet<StateId> = BTreeSet::new();
+    // Account for epsilon closure on the product side: a pair (p, q) where q
+    // can epsilon-reach a by-final means u ends at p as well.
+    let closure_memo: Vec<bool> = {
+        // For each by-state, can it epsilon-reach a final state of `by`?
+        let mut can = vec![false; by.num_states()];
+        for q in by.state_ids() {
+            let cl = by.eps_closure(&BTreeSet::from([q]));
+            can[q.index()] = cl.iter().any(|s| by.is_final(*s));
+        }
+        can
+    };
+    for (i, &(p, q)) in product.pairs.iter().enumerate() {
+        // Only product states actually reachable matter; `pairs` only holds
+        // reachable ones by construction.
+        let _ = i;
+        if closure_memo[q.index()] {
+            entry_points.insert(p);
+        }
+    }
+    let mut out = of.clone();
+    let new_start = out.add_state();
+    for p in entry_points {
+        out.add_eps(new_start, p);
+    }
+    out.set_start(new_start);
+    out.trim().0
+}
+
+/// Universal left quotient: `{w | ∀u ∈ L(by), u·w ∈ L(of)}`.
+///
+/// A word `w` is *bad* iff some `u ∈ L(by)` has `uw ∉ L(of)`, i.e. iff
+/// `w ∈ left_quotient(¬L(of), by)`; the universal quotient is the complement
+/// of that. When `L(by)` is empty the condition is vacuous and the result is
+/// Σ*.
+pub fn left_quotient_universal(of: &Nfa, by: &Nfa) -> Nfa {
+    let bad = left_quotient(&complement(of), by);
+    complement(&bad)
+}
+
+/// Existential right quotient: `{w | ∃u ∈ L(by), w·u ∈ L(of)}`.
+pub fn right_quotient(of: &Nfa, by: &Nfa) -> Nfa {
+    left_quotient(&of.reverse(), &by.reverse()).reverse().trim().0
+}
+
+/// Universal right quotient: `{w | ∀u ∈ L(by), w·u ∈ L(of)}`.
+pub fn right_quotient_universal(of: &Nfa, by: &Nfa) -> Nfa {
+    let bad = right_quotient(&complement(of), by);
+    complement(&bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::equivalent;
+    use crate::ops;
+
+    #[test]
+    fn left_quotient_of_literal() {
+        let l = Nfa::literal(b"abc");
+        let q = left_quotient(&l, &Nfa::literal(b"ab"));
+        assert!(q.contains(b"c"));
+        assert!(!q.contains(b"bc"));
+        assert!(!q.contains(b""));
+    }
+
+    #[test]
+    fn left_quotient_existential_is_union_over_prefixes() {
+        // by = {a, ab}; of = {ax, aby}. ∃-quotient = {x, y, by}? a⁻¹of = {x, by?}
+        // a·w ∈ of ⇒ w ∈ {x, by}; ab·w ∈ of ⇒ w ∈ {y}. Union: {x, by, y}.
+        let of = ops::union(&Nfa::literal(b"ax"), &Nfa::literal(b"aby"));
+        let by = ops::union(&Nfa::literal(b"a"), &Nfa::literal(b"ab"));
+        let q = left_quotient(&of, &by);
+        for w in [&b"x"[..], b"by", b"y"] {
+            assert!(q.contains(w), "missing {w:?}");
+        }
+        assert!(!q.contains(b"ax"));
+    }
+
+    #[test]
+    fn left_quotient_universal_requires_all_prefixes() {
+        // by = {a, ab}; of = {ab, abb}. ∀-quotient = {b}: a·b=ab ✓, ab·b=abb ✓.
+        let of = ops::union(&Nfa::literal(b"ab"), &Nfa::literal(b"abb"));
+        let by = ops::union(&Nfa::literal(b"a"), &Nfa::literal(b"ab"));
+        let q = left_quotient_universal(&of, &by);
+        assert!(q.contains(b"b"));
+        assert!(!q.contains(b""));
+        assert!(!q.contains(b"bb"));
+        let expected = Nfa::literal(b"b");
+        assert!(equivalent(&q, &expected));
+    }
+
+    #[test]
+    fn universal_quotient_by_empty_is_sigma_star() {
+        let of = Nfa::literal(b"x");
+        let q = left_quotient_universal(&of, &Nfa::empty_language());
+        assert!(equivalent(&q, &Nfa::sigma_star()));
+    }
+
+    #[test]
+    fn universal_equals_existential_for_singleton() {
+        let of = ops::concat(&Nfa::literal(b"nid_"), &ops::star(&Nfa::literal(b"7"))).nfa;
+        let by = Nfa::literal(b"nid_");
+        assert!(equivalent(
+            &left_quotient(&of, &by),
+            &left_quotient_universal(&of, &by)
+        ));
+    }
+
+    #[test]
+    fn right_quotient_of_literal() {
+        let l = Nfa::literal(b"abc");
+        let q = right_quotient(&l, &Nfa::literal(b"bc"));
+        assert!(q.contains(b"a"));
+        assert!(!q.contains(b"ab"));
+    }
+
+    #[test]
+    fn right_quotient_universal_requires_all_suffixes() {
+        // of = {ba, bba}; by = {a, ba}. w·a ∈ of ∧ w·ba ∈ of ⇒ w = b.
+        let of = ops::union(&Nfa::literal(b"ba"), &Nfa::literal(b"bba"));
+        let by = ops::union(&Nfa::literal(b"a"), &Nfa::literal(b"ba"));
+        let q = right_quotient_universal(&of, &by);
+        assert!(q.contains(b"b"));
+        assert!(!q.contains(b"bb"));
+        assert!(!q.contains(b""));
+    }
+
+    #[test]
+    fn quotient_with_sigma_star_prefix() {
+        // Σ*⁻¹ L for L = Σ*'x' is all suffixes of members = Σ*x ∪ ... contains x and ε?
+        // ∃u∈Σ*: u·w ∈ Σ*x ⇔ w ∈ Σ*x ∪ {suffixes}: any w that ends in x, plus ε
+        // (u can supply the whole word)... ε: u·ε ∈ L possible, so ε included.
+        let l = ops::concat(&Nfa::sigma_star(), &Nfa::literal(b"x")).nfa;
+        let q = left_quotient(&l, &Nfa::sigma_star());
+        assert!(q.contains(b""));
+        assert!(q.contains(b"x"));
+        assert!(q.contains(b"yx"));
+        assert!(!q.contains(b"y"));
+    }
+}

@@ -1,0 +1,106 @@
+//! DPRLE vs the bounded-string baseline (§5's contrast with HAMPI-style
+//! bounded solving): the baseline's cost grows with the length bound and
+//! the depth of the shortest witness, while the decision procedure reasons
+//! about whole languages and needs no bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dprle_automata::Nfa;
+use dprle_core::{solve_bounded, solve_first, BoundedOptions, Expr, SolveOptions, System};
+use dprle_regex::Regex;
+
+/// An *alignment* system with exactly one valid pair among 4^d candidates:
+/// v₁, v₂ ⊆ [ab]{d} and v₁·v₂ ⊆ (ab){d}. A per-string solver must search
+/// the tuple space (its local candidate sets cannot see the coupling);
+/// the decision procedure slices one product machine.
+fn alignment_system(depth: usize) -> System {
+    let mut sys = System::new();
+    let v1 = sys.var("v1");
+    let v2 = sys.var("v2");
+    let window = sys.constant(
+        "window",
+        Regex::new(&format!("^[ab]{{{depth}}}$"))
+            .expect("compiles")
+            .exact_language()
+            .clone(),
+    );
+    let aligned = sys.constant(
+        "aligned",
+        Regex::new(&format!("^(ab){{{depth}}}$"))
+            .expect("compiles")
+            .exact_language()
+            .clone(),
+    );
+    sys.require(Expr::Var(v1), window);
+    sys.require(Expr::Var(v2), window);
+    sys.require(Expr::Var(v1).concat(Expr::Var(v2)), aligned);
+    sys
+}
+
+/// A deep-witness system: the only exploit is a^depth followed by a quote.
+fn deep_witness_system(depth: usize) -> System {
+    let mut sys = System::new();
+    let v = sys.var("v");
+    let filter = sys.constant(
+        "filter",
+        Regex::new(&format!("^a{{{depth}}}('|b)$"))
+            .expect("compiles")
+            .exact_language()
+            .clone(),
+    );
+    let prefix = sys.constant("prefix", Nfa::literal(b"x"));
+    let unsafe_q = sys.constant_regex("unsafe", "'").expect("compiles");
+    sys.require(Expr::Var(v), filter);
+    sys.require(Expr::Const(prefix).concat(Expr::Var(v)), unsafe_q);
+    sys
+}
+
+fn bench_alignment(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("baseline_alignment");
+    group.sample_size(10);
+    for depth in [4usize, 6, 8] {
+        let sys = alignment_system(depth);
+        group.bench_with_input(BenchmarkId::new("dprle", depth), &depth, |b, _| {
+            b.iter(|| {
+                let first = solve_first(&sys, &SolveOptions::default());
+                assert!(first.is_some());
+                std::hint::black_box(first)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bounded", depth), &depth, |b, &d| {
+            let options = BoundedOptions { max_len: 2 * d, max_candidates: 1 << 16 };
+            b.iter(|| {
+                let sol = solve_bounded(&sys, &options);
+                assert!(sol.is_some());
+                std::hint::black_box(sol)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_witness_depth(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("baseline_witness_depth");
+    group.sample_size(10);
+    for depth in [4usize, 8, 12] {
+        let sys = deep_witness_system(depth);
+        group.bench_with_input(BenchmarkId::new("dprle", depth), &depth, |b, _| {
+            b.iter(|| {
+                let first = solve_first(&sys, &SolveOptions::default());
+                assert!(first.is_some());
+                std::hint::black_box(first)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bounded", depth), &depth, |b, &d| {
+            let options = BoundedOptions { max_len: d + 1, max_candidates: 1 << 16 };
+            b.iter(|| {
+                let sol = solve_bounded(&sys, &options);
+                assert!(sol.is_some());
+                std::hint::black_box(sol)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alignment, bench_witness_depth);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the §3.5 complexity claims: CI cost as machine
+//! size Q grows, plus nested-concatenation systems (two inductive CI
+//! calls).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dprle_core::ci::concat_intersect;
+use dprle_core::{solve_first, SolveOptions};
+use dprle_corpus::scaling::{ci_instance, ci_instance_dense, nested_system};
+
+fn bench_ci_sweep(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("ci_sweep");
+    group.sample_size(10);
+    for q in [8usize, 16, 32, 64] {
+        let (c1, c2, c3) = ci_instance(q);
+        group.bench_with_input(BenchmarkId::new("sparse", q), &q, |b, _| {
+            b.iter(|| std::hint::black_box(concat_intersect(&c1, &c2, &c3)))
+        });
+    }
+    for q in [8usize, 16, 32] {
+        let (d1, d2, d3) = ci_instance_dense(q);
+        group.bench_with_input(BenchmarkId::new("dense", q), &q, |b, _| {
+            b.iter(|| std::hint::black_box(concat_intersect(&d1, &d2, &d3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nested(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("nested_ci");
+    group.sample_size(10);
+    for k in [2usize, 3, 4] {
+        let sys = nested_system(k, 4);
+        group.bench_with_input(BenchmarkId::new("first_solution", k), &k, |b, _| {
+            b.iter(|| std::hint::black_box(solve_first(&sys, &SolveOptions::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ci_sweep, bench_nested);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench over representative Figure 12 rows: per-row constraint
+//! solving time (the paper's `T_S`). The heavy `secure` row is sampled at
+//! reduced count; run the `fig12` binary for the full one-shot table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dprle_core::{solve, SolveOptions};
+use dprle_corpus::{vulnerable_program, FIG12_ROWS};
+use dprle_lang::symex::SymexOptions;
+use dprle_lang::{explore, to_system, Policy};
+
+fn bench_fig12(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("fig12");
+    group.sample_size(10);
+    let policy = Policy::sql_quote();
+    // Representative rows: smallest |C|, medium, largest |C|.
+    for name in ["ax_help", "cart_shop", "xw_mn"] {
+        let spec = FIG12_ROWS.iter().find(|s| s.name == name).expect("row exists");
+        let program = vulnerable_program(spec);
+        let reaches = explore(&program, &SymexOptions::default()).expect("explores");
+        let systems: Vec<_> = reaches
+            .iter()
+            .map(|r| to_system(r, &policy).0)
+            .collect();
+        group.bench_function(format!("solve/{name}"), |b| {
+            b.iter(|| {
+                for sys in &systems {
+                    std::hint::black_box(solve(sys, &SolveOptions::default()));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_constraint_generation(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("fig12_frontend");
+    group.sample_size(10);
+    let spec = FIG12_ROWS.iter().find(|s| s.name == "comm").expect("row exists");
+    let program = vulnerable_program(spec);
+    group.bench_function("symbolic_execution/comm", |b| {
+        b.iter(|| std::hint::black_box(explore(&program, &SymexOptions::default()).expect("ok")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12, bench_constraint_generation);
+criterion_main!(benches);

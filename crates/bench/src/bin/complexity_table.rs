@@ -1,0 +1,67 @@
+//! The §3.5 complexity study: measured machine sizes and solution counts
+//! against the paper's analytical bounds.
+//!
+//! * intersection machine `M₅`: O(Q²) states;
+//! * number of disjunctive solutions: bounded by the constraint machine's
+//!   state count;
+//! * nested systems (two inductive CI calls): enumeration bound O(Q⁵) —
+//!   measured here as solve time growth for `v₁·v₂·v₃ ⊆ c` chains.
+//!
+//! Run with: `cargo run -p dprle-bench --bin complexity_table --release`
+
+use dprle_bench::{fit_exponent, run_ci_sweep_family, CiFamily};
+use dprle_core::{solve_first, SolveOptions};
+use dprle_corpus::scaling::nested_system;
+use std::time::Instant;
+
+fn main() {
+    let qs = [4, 8, 16, 32, 64, 128];
+    println!("CI sweeps (paper §3.5: |M5| = O(Q^2); #solutions bounded by |M3|)");
+    for family in [CiFamily::Sparse, CiFamily::Dense, CiFamily::Modular] {
+        println!("\nfamily: {}", family.name());
+        println!(
+            "{:>5} {:>12} {:>10} {:>11} {:>13} {:>10}",
+            "Q", "input |M1|", "|M5|", "#solutions", "statesVisited", "secs"
+        );
+        let points = run_ci_sweep_family(family, &qs);
+        for p in &points {
+            println!(
+                "{:>5} {:>12} {:>10} {:>11} {:>13} {:>10.4}",
+                p.q, p.input_states, p.m5_states, p.solutions, p.states_visited, p.seconds
+            );
+        }
+        let m5_fit = fit_exponent(
+            &points
+                .iter()
+                .map(|p| (p.input_states as f64, p.m5_states as f64))
+                .collect::<Vec<_>>(),
+        );
+        println!("fitted |M5| growth exponent: {m5_fit:.2}  (paper bound: <= 2)");
+        assert!(m5_fit <= 2.3, "M5 growth exceeds the quadratic bound");
+        let visit_fit = fit_exponent(
+            &points
+                .iter()
+                .map(|p| (p.input_states as f64, p.states_visited as f64))
+                .collect::<Vec<_>>(),
+        );
+        println!("fitted states-visited growth exponent: {visit_fit:.2}  (paper bound: <= 3)");
+        assert!(visit_fit <= 3.3, "enumeration cost exceeds the cubic bound");
+        if family == CiFamily::Modular {
+            assert!(m5_fit >= 1.6, "modular family should approach the bound, got {m5_fit:.2}");
+        }
+    }
+
+    println!("\nNested systems v1·…·vk ⊆ c (two inductive CI calls at k = 3)");
+    println!("{:>3} {:>5} {:>10}", "k", "Q", "secs(first)");
+    for k in [2usize, 3, 4] {
+        for q in [2usize, 4, 6] {
+            let sys = nested_system(k, q);
+            let start = Instant::now();
+            let first = solve_first(&sys, &SolveOptions::default());
+            let secs = start.elapsed().as_secs_f64();
+            assert!(first.is_some(), "nested system k={k} q={q} must be satisfiable");
+            println!("{k:>3} {q:>5} {secs:>10.4}");
+        }
+    }
+    println!("\nDone: growth stays within the paper's analytical envelope.");
+}

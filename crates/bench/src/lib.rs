@@ -1,0 +1,287 @@
+//! # dprle-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation, plus the §3.5 complexity study and ablations of this
+//! implementation's design choices.
+//!
+//! Table binaries (run with `--release`):
+//!
+//! * `cargo run -p dprle-bench --bin fig11 --release` — the data-set table
+//!   (Figure 11): per application, files / LOC analog / vulnerable files,
+//!   measured on the synthesized corpus next to the published numbers.
+//! * `cargo run -p dprle-bench --bin fig12 --release` — the results table
+//!   (Figure 12): per vulnerability, `|FG|`, `|C|`, and constraint-solving
+//!   time, measured next to the published numbers, with the shape checks
+//!   the paper highlights (16 of 17 under a second; `secure` the outlier).
+//! * `cargo run -p dprle-bench --bin complexity_table --release` — machine
+//!   sizes and solution counts for the CI sweep validating the §3.5
+//!   bounds.
+//!
+//! Criterion benches: `cargo bench -p dprle-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dprle_core::{Solution, SolveOptions};
+use dprle_corpus::{vulnerable_program, VulnSpec, FIG12_ROWS};
+use dprle_lang::symex::SymexOptions;
+use dprle_lang::{explore, to_system, Cfg, Policy};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured Figure 12 row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig12Row {
+    /// Application name.
+    pub app: String,
+    /// Vulnerability name.
+    pub name: String,
+    /// Measured basic-block count.
+    pub fg: usize,
+    /// Published basic-block count.
+    pub fg_paper: usize,
+    /// Measured constraint count.
+    pub c: usize,
+    /// Published constraint count.
+    pub c_paper: usize,
+    /// Measured constraint-solving time in seconds (`T_S`).
+    pub seconds: f64,
+    /// Published solving time in seconds (2009 hardware).
+    pub paper_seconds: f64,
+    /// Whether an exploit was found (every row should be `true`).
+    pub exploitable: bool,
+}
+
+/// Runs one Figure 12 row: generates the program, runs symbolic execution,
+/// and times *constraint solving only* (the paper's `T_S` column measures
+/// "the total time spent solving constraints").
+pub fn run_fig12_row(spec: &VulnSpec, options: &SolveOptions) -> Fig12Row {
+    let program = vulnerable_program(spec);
+    let fg = Cfg::build(&program).num_blocks();
+    let reaches = explore(&program, &SymexOptions::default())
+        .unwrap_or_else(|e| panic!("{}: symbolic execution failed: {e}", spec.name));
+    let policy = Policy::sql_quote();
+    // The vulnerable path is the one that reaches the final sink.
+    let mut exploitable = false;
+    let mut c = 0usize;
+    let start = Instant::now();
+    for reach in &reaches {
+        let (sys, _) = to_system(reach, &policy);
+        c = c.max(sys.num_constraints());
+        if let Solution::Assignments(_) = dprle_core::solve(&sys, options) {
+            exploitable = true;
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    Fig12Row {
+        app: spec.app.to_owned(),
+        name: spec.name.to_owned(),
+        fg,
+        fg_paper: spec.fg,
+        c,
+        c_paper: spec.c,
+        seconds,
+        paper_seconds: spec.paper_seconds,
+        exploitable,
+    }
+}
+
+/// Runs all 17 rows. `include_heavy: false` skips the deliberately
+/// expensive `secure` row (useful in quick checks and Criterion loops).
+pub fn run_fig12(options: &SolveOptions, include_heavy: bool) -> Vec<Fig12Row> {
+    FIG12_ROWS
+        .iter()
+        .filter(|s| include_heavy || !s.heavy)
+        .map(|s| run_fig12_row(s, options))
+        .collect()
+}
+
+/// Shape checks the paper's prose highlights for Figure 12. Returns a list
+/// of violations (empty = the reproduction has the published shape).
+pub fn fig12_shape_violations(rows: &[Fig12Row]) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in rows {
+        if !r.exploitable {
+            out.push(format!("{}: no exploit found", r.name));
+        }
+        if r.c != r.c_paper {
+            out.push(format!("{}: |C| {} != published {}", r.name, r.c, r.c_paper));
+        }
+        if r.fg < r.fg_paper {
+            out.push(format!("{}: |FG| {} < published {}", r.name, r.fg, r.fg_paper));
+        }
+    }
+    if let Some(heavy) = rows.iter().find(|r| r.name == "secure") {
+        let max_fast = rows
+            .iter()
+            .filter(|r| r.name != "secure")
+            .map(|r| r.seconds)
+            .fold(0.0f64, f64::max);
+        if heavy.seconds < 10.0 * max_fast {
+            out.push(format!(
+                "secure ({:.3}s) is not an order-of-magnitude outlier over the others (max {:.3}s)",
+                heavy.seconds, max_fast
+            ));
+        }
+    }
+    out
+}
+
+/// One measured point of the §3.5 complexity sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct ComplexityPoint {
+    /// The machine-size parameter `Q`.
+    pub q: usize,
+    /// States of `M₁` (≈ `M₂`).
+    pub input_states: usize,
+    /// States of the intersection machine `M₅` (paper bound: O(Q²)).
+    pub m5_states: usize,
+    /// Number of raw disjunctive solutions (paper bound: O(|M₃|)).
+    pub solutions: usize,
+    /// NFA states visited — the paper's cost metric (construction plus
+    /// eager enumeration; O(Q³) for a single CI call).
+    pub states_visited: usize,
+    /// Wall-clock seconds for the full CI run.
+    pub seconds: f64,
+}
+
+/// Which CI workload family to sweep (see `dprle_corpus::scaling`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CiFamily {
+    /// Disjoint-alphabet operands: heavy product pruning (sub-quadratic).
+    Sparse,
+    /// Shared alphabet with a length window: moderate filtering.
+    Dense,
+    /// Position × modulo-counter product: attains the O(Q²) bound.
+    Modular,
+}
+
+impl CiFamily {
+    /// Instantiates the family at size `q`.
+    pub fn instance(self, q: usize) -> (dprle_automata::Nfa, dprle_automata::Nfa, dprle_automata::Nfa) {
+        match self {
+            CiFamily::Sparse => dprle_corpus::scaling::ci_instance(q),
+            CiFamily::Dense => dprle_corpus::scaling::ci_instance_dense(q),
+            CiFamily::Modular => dprle_corpus::scaling::ci_instance_modular(q),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CiFamily::Sparse => "sparse",
+            CiFamily::Dense => "dense",
+            CiFamily::Modular => "modular",
+        }
+    }
+}
+
+/// Sweeps the CI procedure over machine sizes, recording the measured
+/// state-space growth against the paper's O(Q²)/O(Q³) analysis.
+pub fn run_ci_sweep(qs: &[usize]) -> Vec<ComplexityPoint> {
+    run_ci_sweep_family(CiFamily::Sparse, qs)
+}
+
+/// Like [`run_ci_sweep`] for a chosen workload family.
+pub fn run_ci_sweep_family(family: CiFamily, qs: &[usize]) -> Vec<ComplexityPoint> {
+    qs.iter()
+        .map(|&q| {
+            let (c1, c2, c3) = family.instance(q);
+            let input_states = c1.num_states();
+            let start = Instant::now();
+            let run = dprle_core::concat_intersect_full(&c1, &c2, &c3);
+            let seconds = start.elapsed().as_secs_f64();
+            ComplexityPoint {
+                q,
+                input_states,
+                m5_states: run.m5.num_states(),
+                solutions: run.solutions.len(),
+                states_visited: run.states_visited,
+                seconds,
+            }
+        })
+        .collect()
+}
+
+/// Fits the exponent `k` in `y ≈ a·xᵏ` by least squares on log-log points;
+/// the harness prints it next to the paper's asymptotic claim.
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_fast_rows_have_published_shape() {
+        // Two representative fast rows (full table is exercised by the
+        // fig12 binary; keep unit tests quick).
+        let options = SolveOptions::default();
+        for spec in [&FIG12_ROWS[1], &FIG12_ROWS[6]] {
+            let row = run_fig12_row(spec, &options);
+            assert!(row.exploitable, "{}", row.name);
+            assert_eq!(row.c, row.c_paper, "{}", row.name);
+            assert!(row.fg >= row.fg_paper, "{}", row.name);
+            assert!(row.seconds < 5.0, "{} took {}s", row.name, row.seconds);
+        }
+    }
+
+    #[test]
+    fn shape_checker_catches_violations() {
+        let good = Fig12Row {
+            app: "x".into(),
+            name: "row".into(),
+            fg: 100,
+            fg_paper: 100,
+            c: 5,
+            c_paper: 5,
+            seconds: 0.01,
+            paper_seconds: 0.01,
+            exploitable: true,
+        };
+        assert!(fig12_shape_violations(std::slice::from_ref(&good)).is_empty());
+        let mut bad = good;
+        bad.exploitable = false;
+        bad.c = 4;
+        let violations = fig12_shape_violations(&[bad]);
+        assert_eq!(violations.len(), 2);
+    }
+
+    #[test]
+    fn ci_sweep_grows_quadratically_at_most() {
+        let points = run_ci_sweep(&[4, 8, 16]);
+        for w in points.windows(2) {
+            assert!(w[1].m5_states > w[0].m5_states);
+        }
+        let fit: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (p.input_states as f64, p.m5_states as f64))
+            .collect();
+        let k = fit_exponent(&fit);
+        assert!(k > 0.5 && k < 2.5, "M5 growth exponent {k} out of range");
+    }
+
+    #[test]
+    fn exponent_fit_recovers_known_powers() {
+        let square: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, (i * i) as f64)).collect();
+        let k = fit_exponent(&square);
+        assert!((k - 2.0).abs() < 1e-9);
+        let linear: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((fit_exponent(&linear) - 1.0).abs() < 1e-9);
+        assert!(fit_exponent(&[(1.0, 1.0)]).is_nan());
+    }
+}

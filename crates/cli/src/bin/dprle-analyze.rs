@@ -1,0 +1,171 @@
+//! Source-level SQL-injection analyzer: the paper's §4 prototype as a
+//! command-line tool.
+//!
+//! ```text
+//! dprle-analyze [OPTIONS] FILE.php...
+//!
+//! Options:
+//!   --policy quote|stacked|xss   policy (default: quote; `xss` switches
+//!                            to echo sinks and the script-tag language)
+//!   --unroll N               while-loop unrolling bound (default: 3)
+//!   --show-query             print the symbolic query for each finding
+//!   --slice                  print the program slice for each finding
+//!   --alternatives N         print up to N exploit values per input
+//!   -h, --help               this message
+//! ```
+//!
+//! For each input file (in the PHP fragment documented in `dprle_lang::php`)
+//! this explores all paths, solves each sink's constraint system, and prints
+//! exploit inputs — or reports the file safe under the policy.
+
+use dprle_core::SolveOptions;
+use dprle_lang::symex::{SinkKind, SymexOptions};
+use dprle_lang::{analyze_sinks, parse_php, Policy};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dprle-analyze [--policy quote|stacked|xss] [--unroll N] \
+[--show-query] [--slice] [--alternatives N] FILE.php...";
+
+fn main() -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut policy = Policy::sql_quote();
+    let mut sink_kind: Option<SinkKind> = None;
+    let mut symex = SymexOptions::default();
+    let mut show_query = false;
+    let mut show_slice = false;
+    let mut alternatives = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--policy" => match args.next().as_deref() {
+                Some("quote") => policy = Policy::sql_quote(),
+                Some("stacked") => policy = Policy::sql_stacked_query(),
+                Some("xss") => {
+                    policy = Policy::xss_script_tag();
+                    sink_kind = Some(SinkKind::Echo);
+                    symex.track_echo = true;
+                }
+                other => {
+                    eprintln!("unknown policy {other:?}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--unroll" => {
+                symex.max_loop_unroll = match args.next().and_then(|n| n.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--unroll needs a number\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--show-query" => show_query = true,
+            "--slice" => show_slice = true,
+            "--alternatives" => {
+                alternatives = match args.next().and_then(|n| n.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--alternatives needs a number\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut any_vulnerable = false;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("dprle-analyze: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let name = file.trim_end_matches(".php");
+        let program = match parse_php(name, &source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("dprle-analyze: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = match analyze_sinks(
+            &program,
+            &policy,
+            &symex,
+            &SolveOptions::default(),
+            sink_kind,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("dprle-analyze: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if report.findings.is_empty() {
+            println!(
+                "{file}: SAFE under policy `{}` ({} sink(s) checked)",
+                policy.name(),
+                report.total_sinks
+            );
+            continue;
+        }
+        any_vulnerable = true;
+        for finding in &report.findings {
+            println!("{file}: VULNERABLE (sink #{})", finding.sink_index);
+            if show_query {
+                println!("  query: {}", finding.query);
+            }
+            if finding.witnesses.is_empty() {
+                println!("  the query is unsafe for every input");
+            }
+            for (input, value) in &finding.witnesses {
+                println!("  {input} = {:?}", String::from_utf8_lossy(value));
+                if alternatives > 1 {
+                    if let Some(lang) = finding.languages.get(input) {
+                        for (i, alt) in dprle_automata::analysis::members(lang)
+                            .take(alternatives)
+                            .enumerate()
+                            .skip(1)
+                        {
+                            println!(
+                                "    alternative {}: {:?}",
+                                i,
+                                String::from_utf8_lossy(&alt)
+                            );
+                        }
+                    }
+                }
+            }
+            if show_slice {
+                if let Some(slice) =
+                    dprle_lang::slice_for_sink(&program, finding.sink_index)
+                {
+                    println!("  slice:");
+                    for line in slice.to_text().lines() {
+                        println!("    {line}");
+                    }
+                }
+            }
+        }
+    }
+    if any_vulnerable {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,191 @@
+//! The stand-alone `dprle` constraint solver.
+//!
+//! ```text
+//! dprle [OPTIONS] FILE
+//!
+//! `FILE` may be in the native constraint format (see `dprle_cli` docs) or
+//! an SMT-LIB 2.6 strings script (`.smt2` extension — see
+//! `dprle_cli::smtlib` for the supported fragment).
+//!
+//! Options:
+//!   --first          stop at the first satisfying assignment
+//!   --all            print every disjunctive assignment (default)
+//!   --witness        print one shortest witness string per variable
+//!   --dot-graph      print the dependency graph in DOT and exit
+//!   --dot-var NAME   print the solved machine for NAME in DOT
+//!   --no-verify      skip re-verification of produced assignments
+//!   --core           on unsat, print a minimal unsatisfiable core
+//!   --trace          print the solver's event trace to stderr
+//!   -h, --help       this message
+//! ```
+
+use dprle_cli::parse_file;
+use dprle_core::{Solution, SolveOptions};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] FILE
+  solves a system of subset constraints over regular languages
+  (see the dprle-cli crate docs for the input format)";
+
+struct Args {
+    file: String,
+    first: bool,
+    witness: bool,
+    dot_graph: bool,
+    dot_var: Option<String>,
+    verify: bool,
+    trace: bool,
+    core: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        file: String::new(),
+        first: false,
+        witness: false,
+        dot_graph: false,
+        dot_var: None,
+        verify: true,
+        trace: false,
+        core: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--first" => args.first = true,
+            "--all" => args.first = false,
+            "--witness" => args.witness = true,
+            "--dot-graph" => args.dot_graph = true,
+            "--no-verify" => args.verify = false,
+            "--trace" => args.trace = true,
+            "--core" => args.core = true,
+            "--dot-var" => {
+                i += 1;
+                let name = argv.get(i).ok_or("--dot-var needs a name")?;
+                args.dot_var = Some(name.clone());
+            }
+            "-h" | "--help" => return Err(USAGE.to_owned()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{USAGE}"))
+            }
+            other => {
+                if !args.file.is_empty() {
+                    return Err(format!("multiple input files\n{USAGE}"));
+                }
+                args.file = other.to_owned();
+            }
+        }
+        i += 1;
+    }
+    if args.file.is_empty() {
+        return Err(USAGE.to_owned());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let input = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dprle: cannot read {}: {e}", args.file);
+            return ExitCode::from(2);
+        }
+    };
+    if args.file.ends_with(".smt2") {
+        return match dprle_cli::smtlib::run_script(&input) {
+            Ok(outputs) => {
+                for o in outputs {
+                    println!("{o}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("dprle: {}: {e}", args.file);
+                ExitCode::from(2)
+            }
+        };
+    }
+    let parsed = match parse_file(&input) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("dprle: {}: {e}", args.file);
+            return ExitCode::from(2);
+        }
+    };
+    let system = parsed.system;
+
+    if args.dot_graph {
+        let graph = dprle_core::DependencyGraph::from_system(&system);
+        print!("{}", graph.to_dot(&system));
+        return ExitCode::SUCCESS;
+    }
+
+    let options = SolveOptions {
+        max_assignments: if args.first { Some(1) } else { None },
+        verify: args.verify,
+        trace: args.trace,
+        ..Default::default()
+    };
+    let (solution, stats) = dprle_core::solve_with_stats(&system, &options);
+    for event in &stats.events {
+        eprintln!("trace: {event}");
+    }
+    match solution {
+        Solution::Unsat => {
+            println!("unsat: no satisfying assignments");
+            if args.core {
+                if let Some(core) = dprle_core::unsat_core(&system, &options) {
+                    println!("unsat core ({} constraints):", core.indices.len());
+                    for line in core.display(&system).lines() {
+                        println!("  {line}");
+                    }
+                }
+            }
+            ExitCode::from(1)
+        }
+        Solution::Assignments(assignments) => {
+            println!(
+                "sat: {} disjunctive assignment{}",
+                assignments.len(),
+                if assignments.len() == 1 { "" } else { "s" }
+            );
+            for (i, a) in assignments.iter().enumerate() {
+                println!("--- assignment {}", i + 1);
+                for v in system.var_ids() {
+                    let Some(machine) = a.get(v) else { continue };
+                    if let Some(name) = &args.dot_var {
+                        if system.var_name(v) == name {
+                            print!("{}", dprle_automata::dot::nfa_to_dot(machine, name));
+                            continue;
+                        }
+                    }
+                    if args.witness {
+                        match a.witness(v) {
+                            Some(w) => println!(
+                                "{} = {:?}",
+                                system.var_name(v),
+                                String::from_utf8_lossy(&w)
+                            ),
+                            None => println!("{} = (empty language)", system.var_name(v)),
+                        }
+                    } else {
+                        println!(
+                            "{} -> {}",
+                            system.var_name(v),
+                            dprle_regex::display_language(machine, 400)
+                        );
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}

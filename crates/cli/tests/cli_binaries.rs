@@ -1,0 +1,195 @@
+//! End-to-end tests driving the compiled `dprle` and `dprle-analyze`
+//! binaries as a user would.
+
+use std::io::Write as _;
+use std::process::{Command, Output};
+
+fn dprle(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dprle"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn dprle_analyze(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dprle-analyze"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("dprle_cli_test_{name}"));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+const MOTIVATING: &str = r#"
+var v1;
+c1 := match(/[\d]+$/);
+c2 := "nid_";
+c3 := match(/'/);
+v1 <= c1;
+c2 . v1 <= c3;
+"#;
+
+#[test]
+fn solver_finds_the_exploit() {
+    let file = temp_file("motivating.dprle", MOTIVATING);
+    let out = dprle(&["--witness", file.to_str().expect("utf8 path")]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sat: 1 disjunctive assignment"), "{stdout}");
+    assert!(stdout.contains("v1 = "), "{stdout}");
+    assert!(stdout.contains('\''), "witness carries the quote: {stdout}");
+}
+
+#[test]
+fn solver_reports_unsat_with_exit_code_one() {
+    let file = temp_file(
+        "unsat.dprle",
+        "var v;\na := /a/;\nb := /b/;\nv <= a;\nv <= b;\n",
+    );
+    let out = dprle(&[file.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("unsat"));
+}
+
+#[test]
+fn solver_rejects_bad_files_with_exit_code_two() {
+    let file = temp_file("bad.dprle", "this is not a constraint file");
+    let out = dprle(&[file.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+    let missing = dprle(&["/nonexistent/path.dprle"]);
+    assert_eq!(missing.status.code(), Some(2));
+    let no_args = dprle(&[]);
+    assert_eq!(no_args.status.code(), Some(2));
+}
+
+#[test]
+fn solver_emits_dot_graph() {
+    let file = temp_file("dot.dprle", MOTIVATING);
+    let out = dprle(&["--dot-graph", file.to_str().expect("utf8 path")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph"), "{stdout}");
+    assert!(stdout.contains("v1"), "{stdout}");
+}
+
+const MOTIVATING_SMT: &str = r#"
+(set-logic QF_S)
+(declare-const v1 String)
+(assert (str.in_re v1 (re.++ re.all (re.+ (re.range "0" "9")))))
+(assert (str.in_re (str.++ "nid_" v1)
+                   (re.++ re.all (str.to_re "'") re.all)))
+(check-sat)
+(get-model)
+"#;
+
+#[test]
+fn solver_accepts_smtlib_scripts() {
+    let file = temp_file("motivating.smt2", MOTIVATING_SMT);
+    let out = dprle(&[file.to_str().expect("utf8 path")]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("sat"), "{stdout}");
+    assert!(stdout.contains("define-fun v1"), "{stdout}");
+    assert!(stdout.contains('\''), "{stdout}");
+}
+
+#[test]
+fn solver_rejects_bad_smtlib() {
+    let file = temp_file("bad.smt2", "(assert (str.in_re undeclared re.all))");
+    let out = dprle(&[file.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+const FIGURE1_PHP: &str = r#"<?php
+$newsid = $_POST['posted_newsid'];
+if (!preg_match('/[\d]+$/', $newsid)) {
+    echo 'Invalid article news ID.';
+    exit;
+}
+$newsid = "nid_" . $newsid;
+query("SELECT * FROM news WHERE newsid=" . $newsid);
+"#;
+
+#[test]
+fn analyzer_reports_vulnerability_with_slice() {
+    let file = temp_file("figure1.php", FIGURE1_PHP);
+    let out = dprle_analyze(&["--slice", "--show-query", file.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(1), "vulnerable exit code");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VULNERABLE"), "{stdout}");
+    assert!(stdout.contains("posted_newsid"), "{stdout}");
+    assert!(stdout.contains("slice:"), "{stdout}");
+    assert!(stdout.contains("preg_match"), "{stdout}");
+}
+
+#[test]
+fn analyzer_reports_safe_for_fixed_filter() {
+    let fixed = FIGURE1_PHP.replace("/[\\d]+$/", "/^[\\d]+$/");
+    let file = temp_file("figure1_fixed.php", &fixed);
+    let out = dprle_analyze(&[file.to_str().expect("utf8")]);
+    assert!(out.status.success(), "safe exit code");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("SAFE"));
+}
+
+#[test]
+fn analyzer_prints_alternatives() {
+    let file = temp_file("figure1_alt.php", FIGURE1_PHP);
+    let out = dprle_analyze(&["--alternatives", "3", file.to_str().expect("utf8")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("alternative 1:"), "{stdout}");
+    assert!(stdout.contains("alternative 2:"), "{stdout}");
+}
+
+#[test]
+fn analyzer_rejects_unparseable_php() {
+    let file = temp_file("bad.php", "<?php for(;;) {}");
+    let out = dprle_analyze(&[file.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn analyzer_xss_policy_on_echo_sinks() {
+    let file = temp_file(
+        "xss.php",
+        "<?php\n$msg = $_GET['msg'];\necho \"<div>\" . $msg . \"</div>\";\n",
+    );
+    let out = dprle_analyze(&["--policy", "xss", file.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VULNERABLE"), "{stdout}");
+    assert!(stdout.contains("<script"), "{stdout}");
+}
+
+#[test]
+fn solver_prints_unsat_core() {
+    let file = temp_file(
+        "core.dprle",
+        "var v w;\na := /a/;\nb := /b/;\nok := /x*/;\nv <= a;\nw <= ok;\nv <= b;\n",
+    );
+    let out = dprle(&["--core", file.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unsat core (2 constraints)"), "{stdout}");
+    assert!(stdout.contains("v <= a"), "{stdout}");
+    assert!(!stdout.contains("w <= ok"), "{stdout}");
+}
+
+#[test]
+fn analyzer_unroll_bound_controls_loop_findings() {
+    let file = temp_file(
+        "loop.php",
+        "<?php\n$q = \"SELECT 1\";\nwhile (unknown(\"more\")) {\n    $q = $q . $_GET['x'];\n}\nquery($q);\n",
+    );
+    // With zero unrolling only the constant query remains: safe.
+    let out = dprle_analyze(&["--unroll", "0", file.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    // With the default bound the loop body injects.
+    let out = dprle_analyze(&[file.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(1));
+}

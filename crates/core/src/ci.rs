@@ -1,0 +1,422 @@
+//! The Concatenation–Intersection (CI) problem and its algorithm
+//! (paper §3.2, Figure 3).
+//!
+//! A CI instance is the fixed-shape system
+//!
+//! ```text
+//! v₁ ⊆ c₁      v₂ ⊆ c₂      v₁ · v₂ ⊆ c₃
+//! ```
+//!
+//! The algorithm builds `M₄ = M₁ · M₂` (with a single epsilon bridge),
+//! intersects with `M₃` to get `M₅`, and slices `M₅` at every epsilon
+//! transition descending from the bridge: each such edge `(q_a, q_b)` with
+//! `q_a ∈ Q_lhs = {f₁q′}` and `q_b ∈ Q_rhs = {s₂q′}` yields one disjunctive
+//! solution `[v₁ ↦ induce_from_final(M₅, q_a), v₂ ↦ induce_from_start(M₅,
+//! q_b)]`.
+//!
+//! The three correctness properties the paper mechanizes in Coq — Regular,
+//! Satisfying, and All-Solutions — are encoded as executable property tests
+//! in this crate's test suite (see `tests/theorem_properties.rs` at the
+//! workspace root and the unit tests below).
+
+use dprle_automata::{equivalent, ops, Nfa, StateId};
+
+/// One disjunctive solution of a CI instance: a pair of regular languages
+/// for `v₁` and `v₂`.
+#[derive(Clone, Debug)]
+pub struct CiSolution {
+    /// Assignment for the left variable.
+    pub v1: Nfa,
+    /// Assignment for the right variable.
+    pub v2: Nfa,
+}
+
+/// The full output of a CI run, exposing the intermediate machines
+/// (paper Figure 4 shows these for the running example).
+#[derive(Clone, Debug)]
+pub struct CiRun {
+    /// `M₄ = M₁ · M₂`, the concatenation machine (Figure 3, line 6).
+    pub m4: Nfa,
+    /// `M₅ = M₄ ∩ M₃` (Figure 3, lines 7–8).
+    pub m5: Nfa,
+    /// Product states whose left component is `f₁` (Figure 3, line 10).
+    pub qlhs: Vec<StateId>,
+    /// Product states whose left component is `s₂` (Figure 3, line 11).
+    pub qrhs: Vec<StateId>,
+    /// The disjunctive solutions, one per bridge epsilon edge whose induced
+    /// machines are both nonempty.
+    pub solutions: Vec<CiSolution>,
+    /// NFA states visited, the paper's §3.5 cost metric: the concatenation
+    /// machine plus the product construction plus one pass over `M₅` per
+    /// extracted solution (`|M₄| + |M₅| + #solutions·|M₅|`).
+    pub states_visited: usize,
+}
+
+/// Solves the CI instance `(c₁, c₂, c₃)`, returning the set of disjunctive
+/// solutions. Solutions whose `v₁` or `v₂` language is empty are rejected
+/// (Figure 3 discussion: "if either M₁′ or M₂′ describe the empty language,
+/// then we reject that assignment").
+///
+/// # Examples
+///
+/// ```
+/// use dprle_automata::Nfa;
+/// use dprle_core::ci::concat_intersect;
+///
+/// // v1 ⊆ ab*, v2 ⊆ b*c, v1·v2 ⊆ ab*c — one maximal solution.
+/// use dprle_core::ci::minimal_solutions;
+/// use dprle_regex::Regex;
+/// let c1 = Regex::new("^ab*$")?.exact_language().clone();
+/// let c2 = Regex::new("^b*c$")?.exact_language().clone();
+/// let c3 = Regex::new("^ab*c$")?.exact_language().clone();
+/// let solutions = minimal_solutions(concat_intersect(&c1, &c2, &c3));
+/// assert_eq!(solutions.len(), 1);
+/// assert!(solutions[0].v1.contains(b"ab"));
+/// assert!(solutions[0].v2.contains(b"c"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn concat_intersect(c1: &Nfa, c2: &Nfa, c3: &Nfa) -> Vec<CiSolution> {
+    concat_intersect_full(c1, c2, c3).solutions
+}
+
+/// Like [`concat_intersect`] but also returns the intermediate machines and
+/// the `Q_lhs`/`Q_rhs` state sets.
+pub fn concat_intersect_full(c1: &Nfa, c2: &Nfa, c3: &Nfa) -> CiRun {
+    // Without loss of generality each machine has a single start and final
+    // state (paper §3.2); `normalize` supplies the generality.
+    let cat = ops::concat(c1, c2);
+    let (f1, s2) = cat.bridge;
+    let m3 = c3.normalize();
+    let product = ops::intersect(&cat.nfa, &m3);
+    let m5 = &product.nfa;
+
+    let qlhs: Vec<StateId> = m5
+        .state_ids()
+        .filter(|q| product.pairs[q.index()].0 == f1)
+        .collect();
+    let qrhs: Vec<StateId> = m5
+        .state_ids()
+        .filter(|q| product.pairs[q.index()].0 == s2)
+        .collect();
+
+    // Enumerate bridge epsilon edges q_a → q_b with q_a ∈ Q_lhs, q_b ∈ Q_rhs
+    // (Figure 3, line 12: (q_a, q_b) with q_b ∈ δ₅(q_a, ε)).
+    let mut solutions = Vec::new();
+    for &qa in &qlhs {
+        for &qb in &m5.state(qa).eps {
+            if product.pairs[qb.index()].0 != s2 {
+                continue;
+            }
+            let v1 = m5.induce_from_final(qa);
+            if v1.is_empty_language() {
+                continue;
+            }
+            let v2 = m5.induce_from_start(qb);
+            if v2.is_empty_language() {
+                continue;
+            }
+            solutions.push(CiSolution { v1, v2 });
+        }
+    }
+    let m5_states = product.nfa.num_states();
+    let states_visited = cat.nfa.num_states() + m5_states + solutions.len() * m5_states;
+    CiRun { m4: cat.nfa, m5: product.nfa.clone(), qlhs, qrhs, solutions, states_visited }
+}
+
+/// Removes solutions that are language-equivalent duplicates of earlier
+/// ones. Distinct bridge edges can induce identical language pairs; callers
+/// that enumerate *unique* satisfying assignments (paper §3.1) use this.
+///
+/// Cost: O(n²) language-equivalence checks; intended for the modest
+/// solution counts the procedure produces (bounded by |M₃|, paper §3.5).
+pub fn dedup_solutions(solutions: Vec<CiSolution>) -> Vec<CiSolution> {
+    let mut out: Vec<CiSolution> = Vec::with_capacity(solutions.len());
+    for s in solutions {
+        let dup = out
+            .iter()
+            .any(|t| equivalent(&s.v1, &t.v1) && equivalent(&s.v2, &t.v2));
+        if !dup {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Deduplicates and then removes *subsumed* solutions: a solution whose
+/// languages are pointwise contained in another solution's languages covers
+/// nothing the other does not, so dropping it preserves the All-Solutions
+/// property while keeping the output maximal.
+///
+/// (Distinct bridge instances induced by epsilon chains inside normalized
+/// machines often split one paper-level solution into a maximal disjunct
+/// plus strictly weaker shards; this reassembles the paper's output.)
+pub fn minimal_solutions(solutions: Vec<CiSolution>) -> Vec<CiSolution> {
+    // Work on minimized machines with canonical language keys: equality
+    // checks become Vec comparisons and inclusion checks stay small.
+    let keyed: Vec<Keyed> = solutions
+        .into_iter()
+        .map(|s| Keyed::new(CiSolution {
+            v1: dprle_automata::minimize(&s.v1),
+            v2: dprle_automata::minimize(&s.v2),
+        }))
+        .collect();
+    let mut sols: Vec<Keyed> = Vec::with_capacity(keyed.len());
+    for s in keyed {
+        if !sols.iter().any(|t| t.k1 == s.k1 && t.k2 == s.k2) {
+            sols.push(s);
+        }
+    }
+    let sols = merge_keyed(sols);
+    let mut keep = vec![true; sols.len()];
+    for i in 0..sols.len() {
+        for (j, other) in sols.iter().enumerate() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            if dprle_automata::is_subset(&sols[i].sol.v1, &other.sol.v1)
+                && dprle_automata::is_subset(&sols[i].sol.v2, &other.sol.v2)
+            {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    sols.into_iter()
+        .zip(keep)
+        .filter_map(|(s, k)| k.then_some(s.sol))
+        .collect()
+}
+
+/// A CI solution with canonical language fingerprints for both sides.
+struct Keyed {
+    sol: CiSolution,
+    k1: dprle_automata::CanonicalKey,
+    k2: dprle_automata::CanonicalKey,
+}
+
+impl Keyed {
+    fn new(sol: CiSolution) -> Keyed {
+        let k1 = dprle_automata::canonical_key(&sol.v1);
+        let k2 = dprle_automata::canonical_key(&sol.v2);
+        Keyed { sol, k1, k2 }
+    }
+}
+
+/// Merges solution pairs that agree on one side by unioning the other
+/// side, to a fixpoint.
+///
+/// Soundness: if `(X, Y₁)` and `(X, Y₂)` both satisfy the CI constraints
+/// then so does `(X, Y₁ ∪ Y₂)`, because concatenation distributes over
+/// union and `v₁`, `v₂` are distinct variables. Merging widens individual
+/// disjuncts toward the paper's *maximal* assignments without changing
+/// their union (All-Solutions coverage is preserved).
+fn merge_keyed(mut sols: Vec<Keyed>) -> Vec<Keyed> {
+    // Additive closure: merged solutions are *added* (originals stay, so a
+    // solution can contribute to several maximal merges); the subsequent
+    // subsumption prune removes the now-dominated originals. Capped to keep
+    // degenerate inputs from blowing up.
+    const MAX_ADDED: usize = 64;
+    let mut added = 0;
+    let mut changed = true;
+    while changed && added < MAX_ADDED {
+        changed = false;
+        'pairs: for i in 0..sols.len() {
+            for j in (i + 1)..sols.len() {
+                let candidate = if sols[i].k1 == sols[j].k1 {
+                    CiSolution {
+                        v1: sols[i].sol.v1.clone(),
+                        v2: dprle_automata::minimize(&ops::union(
+                            &sols[i].sol.v2,
+                            &sols[j].sol.v2,
+                        )),
+                    }
+                } else if sols[i].k2 == sols[j].k2 {
+                    CiSolution {
+                        v1: dprle_automata::minimize(&ops::union(
+                            &sols[i].sol.v1,
+                            &sols[j].sol.v1,
+                        )),
+                        v2: sols[i].sol.v2.clone(),
+                    }
+                } else {
+                    continue;
+                };
+                let candidate = Keyed::new(candidate);
+                let fresh =
+                    !sols.iter().any(|t| t.k1 == candidate.k1 && t.k2 == candidate.k2);
+                if fresh {
+                    sols.push(candidate);
+                    added += 1;
+                    changed = true;
+                    break 'pairs;
+                }
+            }
+        }
+    }
+    sols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprle_automata::{is_subset, ByteClass};
+
+    fn digits() -> ByteClass {
+        ByteClass::range(b'0', b'9')
+    }
+
+    /// The running example (paper §2 / Figure 4): c₁ = "nid_",
+    /// c₂ = Σ*[0-9] (the faulty filter), c₃ = Σ*'Σ* (contains a quote).
+    fn running_example() -> (Nfa, Nfa, Nfa) {
+        let c1 = Nfa::literal(b"nid_");
+        let c2 = ops::concat(&Nfa::sigma_star(), &Nfa::class(digits())).nfa;
+        let c3 = ops::concat(
+            &ops::concat(&Nfa::sigma_star(), &Nfa::literal(b"'")).nfa,
+            &Nfa::sigma_star(),
+        )
+        .nfa;
+        (c1, c2, c3)
+    }
+
+    #[test]
+    fn figure4_worked_example() {
+        let (c1, c2, c3) = running_example();
+        let run = concat_intersect_full(&c1, &c2, &c3);
+        let solutions = minimal_solutions(run.solutions);
+        assert_eq!(solutions.len(), 1, "paper finds exactly one solution");
+        let s = &solutions[0];
+        // [v1'] = L(nid_), as desired.
+        assert!(equivalent(&s.v1, &Nfa::literal(b"nid_")));
+        // [v2'] = strings that contain a quote and end with a digit.
+        assert!(s.v2.contains(b"' OR 1=1 ; DROP news --9"));
+        assert!(s.v2.contains(b"'9"));
+        assert!(!s.v2.contains(b"123"));  // no quote
+        assert!(!s.v2.contains(b"'abc")); // no trailing digit
+    }
+
+    #[test]
+    fn solutions_are_satisfying() {
+        // Theorem statement 2 (Satisfying) on the running example.
+        let (c1, c2, c3) = running_example();
+        for s in concat_intersect(&c1, &c2, &c3) {
+            assert!(is_subset(&s.v1, &c1));
+            assert!(is_subset(&s.v2, &c2));
+            let cat = ops::concat(&s.v1, &s.v2).nfa;
+            assert!(is_subset(&cat, &c3));
+        }
+    }
+
+    #[test]
+    fn all_solutions_cover_the_intersection() {
+        // Theorem statement 3 (All Solutions): every word of (c1·c2) ∩ c3 is
+        // covered by some solution's v1·v2.
+        let (c1, c2, c3) = running_example();
+        let solutions = concat_intersect(&c1, &c2, &c3);
+        let whole = ops::intersect(&ops::concat(&c1, &c2).nfa, &c3).nfa;
+        let union = ops::union_all(
+            solutions
+                .iter()
+                .map(|s| ops::concat(&s.v1, &s.v2).nfa)
+                .collect::<Vec<_>>()
+                .iter(),
+        );
+        assert!(is_subset(&whole, &union));
+        assert!(is_subset(&union, &whole));
+    }
+
+    #[test]
+    fn empty_intersection_means_no_solutions() {
+        // v1 ⊆ a+, v2 ⊆ b+, v1·v2 ⊆ c+ — nothing fits.
+        let a = ops::plus(&Nfa::literal(b"a"));
+        let b = ops::plus(&Nfa::literal(b"b"));
+        let c = ops::plus(&Nfa::literal(b"c"));
+        assert!(concat_intersect(&a, &b, &c).is_empty());
+    }
+
+    #[test]
+    fn disjunctive_solutions_are_found() {
+        // §3.1.1 second example: v1 ⊆ x(yy)+, v2 ⊆ (yy)*z,
+        // v1·v2 ⊆ xyyz|xyyyyz → two disjunctive solutions.
+        let x = Nfa::literal(b"x");
+        let y = Nfa::literal(b"y");
+        let z = Nfa::literal(b"z");
+        let yy = ops::concat(&y, &y).nfa;
+        let c1 = ops::concat(&x, &ops::plus(&yy)).nfa;
+        let c2 = ops::concat(&ops::star(&yy), &z).nfa;
+        let c3 = ops::union(&Nfa::literal(b"xyyz"), &Nfa::literal(b"xyyyyz"));
+        let solutions = minimal_solutions(concat_intersect(&c1, &c2, &c3));
+        assert_eq!(solutions.len(), 2, "two disjunctive solutions (A₁ and A₂)");
+        // A₁ = [v1 ↦ xyy, v2 ↦ z|yyz]; A₂ = [v1 ↦ x(yy|yyyy), v2 ↦ z].
+        let a1 = solutions
+            .iter()
+            .find(|s| s.v1.contains(b"xyy") && !s.v1.contains(b"xyyyy"))
+            .expect("A1 present");
+        assert!(a1.v2.contains(b"z"));
+        assert!(a1.v2.contains(b"yyz"));
+        assert!(!a1.v2.contains(b"yyyyz"));
+        let a2 = solutions
+            .iter()
+            .find(|s| s.v1.contains(b"xyyyy"))
+            .expect("A2 present");
+        assert!(a2.v1.contains(b"xyy"));
+        assert!(a2.v2.contains(b"z"));
+        assert!(!a2.v2.contains(b"yyz"));
+    }
+
+    #[test]
+    fn solution_count_bounded_by_m3_states() {
+        // §3.5: the number of solutions is bounded by |M₃|.
+        let (c1, c2, c3) = running_example();
+        let m3_states = c3.normalize().num_states();
+        let run = concat_intersect_full(&c1, &c2, &c3);
+        assert!(run.solutions.len() <= m3_states);
+    }
+
+    #[test]
+    fn intermediate_machines_are_exposed() {
+        let (c1, c2, c3) = running_example();
+        let run = concat_intersect_full(&c1, &c2, &c3);
+        assert!(run.m4.contains(b"nid_'7"));
+        assert!(run.m5.contains(b"nid_'7"));
+        assert!(!run.m5.contains(b"nid_7"));
+        assert!(!run.qlhs.is_empty());
+        assert!(!run.qrhs.is_empty());
+    }
+
+    #[test]
+    fn states_visited_matches_cost_model() {
+        let (c1, c2, c3) = running_example();
+        let run = concat_intersect_full(&c1, &c2, &c3);
+        let expected = run.m4.num_states()
+            + run.m5.num_states()
+            + run.solutions.len() * run.m5.num_states();
+        assert_eq!(run.states_visited, expected);
+        // §3.5 construction bound: |M5| <= |M3'|·|M4|.
+        let m3 = c3.normalize().num_states();
+        assert!(run.m5.num_states() <= m3 * run.m4.num_states());
+    }
+
+    #[test]
+    fn epsilon_operands() {
+        // v1 ⊆ {ε}, v2 ⊆ a*, v1·v2 ⊆ aa → v1 = ε, v2 = aa.
+        let solutions =
+            concat_intersect(&Nfa::epsilon(), &ops::star(&Nfa::literal(b"a")), &Nfa::literal(b"aa"));
+        assert_eq!(minimal_solutions(solutions.clone()).len(), 1);
+        let s = &solutions[0];
+        assert!(s.v1.contains(b""));
+        assert!(s.v2.contains(b"aa"));
+        assert!(!s.v2.contains(b"a"));
+    }
+
+    #[test]
+    fn dedup_removes_equivalent_pairs() {
+        let s = CiSolution { v1: Nfa::literal(b"a"), v2: Nfa::literal(b"b") };
+        let dup = CiSolution {
+            v1: Nfa::literal(b"a").normalize(),
+            v2: Nfa::literal(b"b").normalize(),
+        };
+        let other = CiSolution { v1: Nfa::literal(b"x"), v2: Nfa::literal(b"b") };
+        let out = dedup_solutions(vec![s, dup, other]);
+        assert_eq!(out.len(), 2);
+    }
+}

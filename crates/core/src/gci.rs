@@ -1,0 +1,706 @@
+//! Generalized concat-intersect: solving whole CI-groups
+//! (paper §3.4.3, Figure 8).
+//!
+//! A CI-group is a connected component of ∘-edges. Its temporaries form a
+//! forest; the *roots* (temps that are not operands of another
+//! concatenation — the paper's "non-influenced nodes") each denote one big
+//! machine built from the group's leaves by concatenation and intersection.
+//! The paper maintains a shared pointer-based sub-NFA representation so
+//! that updates to a root's machine propagate to the solution views of its
+//! leaves. This implementation achieves the same sharing with explicit
+//! *provenance*:
+//!
+//! * Every state of every leaf machine gets a fresh **core id**.
+//!   Concatenation preserves core ids; intersection maps each product state
+//!   to the core id of its concatenation-side component; trimming renames
+//!   states but keeps their cores.
+//! * Each concatenation records its **bridge** as the *pair of core ids*
+//!   `(final core of the left part, start core of the right part)`. Because
+//!   leaf machines are normalized (no out-edges from finals, no in-edges to
+//!   starts) and products never add edges, an epsilon edge whose endpoint
+//!   cores match a bridge pair is necessarily an instance of that bridge —
+//!   the generalized analogue of `Q_lhs × Q_rhs` in Figure 3.
+//!
+//! A disjunctive solution of a root chooses one epsilon instance per bridge
+//! (Figure 8's `all_combinations`); the leaf *segments* between consecutive
+//! chosen edges are cut out with `induce_segment`. A leaf that occurs in
+//! several segments (the paper's Figure 9 `vb`, which joins two
+//! concatenations) receives the **intersection** of its segment languages;
+//! combinations where that intersection is empty are rejected.
+//!
+//! Deviation from the paper, documented in DESIGN.md: for shared leaves the
+//! paper keeps only combinations whose per-side machines "match", which on
+//! its own Figure 9/10 example yields 2 solutions; intersecting the sides
+//! instead validates all 4 combinations (each satisfies every constraint).
+//! We return the larger, still-satisfying set.
+//!
+//! Constant leaves cannot be narrowed by the solver: a combination is kept
+//! only if each constant leaf's segment language equals the constant's full
+//! language (always true for the string-literal constants produced by the
+//! front end, where constants are singleton languages).
+
+use crate::graph::{CiGroup, ConcatEdgePair, DependencyGraph, NodeId, NodeKind};
+use crate::spec::System;
+use dprle_automata::{canonical_key, is_subset, ops, CanonicalKey, Nfa, StateId};
+use std::collections::BTreeMap;
+
+/// Options controlling group solving.
+#[derive(Clone, Debug)]
+pub struct GciOptions {
+    /// Remove language-equivalent duplicate solutions (quadratic in the
+    /// number of solutions, using canonical language fingerprints).
+    pub dedup: bool,
+    /// Upper bound on the number of disjunctive solutions per group; the
+    /// worst case is exponential in the number of bridges (paper §3.5).
+    /// `None` means unbounded.
+    pub max_disjuncts: Option<usize>,
+    /// Minimize every induced segment machine before further processing.
+    /// The paper's prototype did *not* minimize and attributes its
+    /// Figure 12 `secure` outlier partly to that ("applying NFA
+    /// minimization techniques might improve performance"); disabling this
+    /// reproduces the prototype's behavior for the ablation study.
+    pub minimize_solutions: bool,
+}
+
+impl Default for GciOptions {
+    fn default() -> Self {
+        GciOptions { dedup: true, max_disjuncts: Some(256), minimize_solutions: true }
+    }
+}
+
+/// One disjunctive solution for a group: a machine per *leaf* vertex
+/// (variables and constants; temporaries are interior and omitted).
+pub type GroupSolution = BTreeMap<NodeId, Nfa>;
+
+/// Solves one CI-group: returns the disjunctive solutions for its leaves.
+///
+/// `leaf_machines` must contain, for every non-temp vertex of the group,
+/// the machine to use for that leaf — for variables, Σ* already intersected
+/// with the variable's inbound subset constants (the paper's
+/// *operation-ordering* invariant: subset constraints are processed before
+/// concatenation constraints); for constants, the constant's machine.
+///
+/// An empty return value means the group is unsatisfiable (some root's
+/// intersection machine is empty, or every combination was rejected).
+pub fn solve_group(
+    graph: &DependencyGraph,
+    group: &CiGroup,
+    system: &System,
+    leaf_machines: &BTreeMap<NodeId, Nfa>,
+    options: &GciOptions,
+) -> Vec<GroupSolution> {
+    let builder = GroupBuilder { graph, group, system, leaf_machines };
+    let Some(roots) = builder.build_roots() else {
+        return Vec::new(); // some root machine is empty: no solutions
+    };
+
+    // Enumerate per-root candidate solutions (choices of bridge edges).
+    let mut per_root: Vec<Vec<RootSolution>> = Vec::with_capacity(roots.len());
+    for root in &roots {
+        let candidates = enumerate_root(root, options.max_disjuncts, options.minimize_solutions);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        per_root.push(candidates);
+    }
+
+    // Cartesian product across roots, merging shared leaves by
+    // intersection.
+    let mut solutions: Vec<GroupSolution> = vec![GroupSolution::new()];
+    for candidates in &per_root {
+        let mut next = Vec::new();
+        for partial in &solutions {
+            for candidate in candidates {
+                if let Some(merged) = merge(partial, candidate) {
+                    next.push(merged);
+                }
+                if let Some(cap) = options.max_disjuncts {
+                    if next.len() >= cap {
+                        break;
+                    }
+                }
+            }
+        }
+        solutions = next;
+        if solutions.is_empty() {
+            return Vec::new();
+        }
+    }
+
+    // Reject combinations that narrow a constant leaf: constants are not
+    // assignable, so their induced language must be their full language.
+    solutions.retain(|sol| {
+        sol.iter().all(|(node, machine)| match graph.kind(*node) {
+            NodeKind::Const(c) => is_subset(system.const_machine(c), machine),
+            _ => true,
+        })
+    });
+
+    if options.dedup {
+        // A leaf is *linear* when it occupies exactly one segment across all
+        // roots; unioning a linear leaf across two otherwise-equal solutions
+        // is sound because every constraint sees it once.
+        let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for root in &roots {
+            for leaf in &root.segments {
+                *counts.entry(*leaf).or_insert(0) += 1;
+            }
+        }
+        let linear: Vec<NodeId> = counts
+            .iter()
+            .filter_map(|(n, c)| (*c == 1).then_some(*n))
+            .collect();
+        solutions = minimize(solutions, &linear);
+    }
+    solutions
+}
+
+/// A candidate solution for one root: ordered `(leaf, segment language)`
+/// pairs.
+type RootSolution = Vec<(NodeId, Nfa)>;
+
+fn merge(partial: &GroupSolution, candidate: &RootSolution) -> Option<GroupSolution> {
+    let mut out = partial.clone();
+    for (node, machine) in candidate {
+        match out.get(node) {
+            None => {
+                out.insert(*node, machine.clone());
+            }
+            Some(existing) => {
+                let both = ops::intersect_lang(existing, machine);
+                if both.is_empty_language() {
+                    return None;
+                }
+                out.insert(*node, both);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Removes language-equivalent duplicates, widens solutions by merging
+/// pairs that differ only at one *linear* leaf (unioning that leaf — sound
+/// because every constraint sees a linear leaf exactly once, and union
+/// distributes over concatenation), and finally removes solutions
+/// *subsumed* pointwise by another (they add no coverage; see
+/// `ci::minimal_solutions`).
+fn minimize(solutions: Vec<GroupSolution>, linear: &[NodeId]) -> Vec<GroupSolution> {
+    let deduped = dedup(solutions);
+    let merged = merge_linear(deduped, linear);
+    prune_subsumed(merged)
+}
+
+fn dedup(solutions: Vec<GroupSolution>) -> Vec<Keyed> {
+    let mut out: Vec<Keyed> = Vec::with_capacity(solutions.len());
+    for s in solutions {
+        let k = Keyed::new(s);
+        if !out.iter().any(|t| t.keys == k.keys) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+/// A group solution paired with per-node canonical language fingerprints,
+/// so equality and merge checks avoid repeated complement constructions.
+struct Keyed {
+    sol: GroupSolution,
+    keys: BTreeMap<NodeId, CanonicalKey>,
+}
+
+impl Keyed {
+    fn new(sol: GroupSolution) -> Keyed {
+        let keys = sol.iter().map(|(n, m)| (*n, canonical_key(m))).collect();
+        Keyed { sol, keys }
+    }
+}
+
+/// Additive merge closure over linear leaves (see [`minimize`]); originals
+/// are kept so one solution can feed several maximal merges, and the
+/// subsumption prune removes dominated entries afterwards.
+fn merge_linear(mut sols: Vec<Keyed>, linear: &[NodeId]) -> Vec<Keyed> {
+    const MAX_ADDED: usize = 64;
+    let mut added = 0;
+    let mut changed = true;
+    while changed && added < MAX_ADDED {
+        changed = false;
+        'pairs: for i in 0..sols.len() {
+            for j in (i + 1)..sols.len() {
+                let Some(candidate) = try_merge(&sols[i], &sols[j], linear) else {
+                    continue;
+                };
+                if !sols.iter().any(|t| t.keys == candidate.keys) {
+                    sols.push(candidate);
+                    added += 1;
+                    changed = true;
+                    break 'pairs;
+                }
+            }
+        }
+    }
+    sols
+}
+
+/// If `a` and `b` agree (language-equivalent) on every node except exactly
+/// one linear node, returns the widened solution unioning that node.
+fn try_merge(a: &Keyed, b: &Keyed, linear: &[NodeId]) -> Option<Keyed> {
+    if a.keys.len() != b.keys.len() {
+        return None;
+    }
+    let mut difference: Option<NodeId> = None;
+    for (node, ka) in &a.keys {
+        let kb = b.keys.get(node)?;
+        if ka != kb {
+            if difference.is_some() {
+                return None; // differs at two nodes
+            }
+            difference = Some(*node);
+        }
+    }
+    let node = difference?;
+    if !linear.contains(&node) {
+        return None;
+    }
+    let mut sol = a.sol.clone();
+    let widened =
+        dprle_automata::minimize(&ops::union(&a.sol[&node], &b.sol[&node]));
+    sol.insert(node, widened);
+    Some(Keyed::new(sol))
+}
+
+/// Keeps only solutions not pointwise contained in another solution.
+fn prune_subsumed(out: Vec<Keyed>) -> Vec<GroupSolution> {
+    let mut keep = vec![true; out.len()];
+    for i in 0..out.len() {
+        for (j, other) in out.iter().enumerate() {
+            if i == j || !keep[j] || other.keys.len() != out[i].keys.len() {
+                continue;
+            }
+            let subsumed = out[i].sol.iter().all(|(node, machine)| {
+                other.sol.get(node).is_some_and(|big| is_subset(machine, big))
+            });
+            if subsumed {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    out.into_iter()
+        .zip(keep)
+        .filter_map(|(s, k)| k.then_some(s.sol))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Root construction with core provenance
+// ---------------------------------------------------------------------
+
+/// A root machine under construction: the NFA plus, for every state, the
+/// *core id* of the leaf-skeleton state it descends from.
+struct Build {
+    nfa: Nfa,
+    core: Vec<u32>,
+    /// Leaf vertex per segment, left to right.
+    segments: Vec<NodeId>,
+    /// Bridge core pairs; `bridges[k]` joins `segments[k]` and
+    /// `segments[k+1]`.
+    bridges: Vec<(u32, u32)>,
+}
+
+impl Build {
+    fn single_final(&self) -> StateId {
+        self.nfa.single_final()
+    }
+}
+
+struct GroupBuilder<'a> {
+    graph: &'a DependencyGraph,
+    group: &'a CiGroup,
+    system: &'a System,
+    leaf_machines: &'a BTreeMap<NodeId, Nfa>,
+}
+
+impl GroupBuilder<'_> {
+    /// Builds the machine for every root temp of the group. Returns `None`
+    /// if any root's language is empty.
+    fn build_roots(&self) -> Option<Vec<Build>> {
+        let edges: Vec<&ConcatEdgePair> = self
+            .group
+            .edge_indices
+            .iter()
+            .map(|&i| &self.graph.concat_edges()[i])
+            .collect();
+        let is_operand = |n: NodeId| edges.iter().any(|e| e.left == n || e.right == n);
+        let mut roots = Vec::new();
+        let mut next_core = 0u32;
+        for e in &edges {
+            if !is_operand(e.target) {
+                roots.push(self.build_node(e.target, &edges, &mut next_core)?);
+            }
+        }
+        Some(roots)
+    }
+
+    fn build_node(
+        &self,
+        node: NodeId,
+        edges: &[&ConcatEdgePair],
+        next_core: &mut u32,
+    ) -> Option<Build> {
+        let mut build = match self.graph.kind(node) {
+            NodeKind::Temp(_) => {
+                let e = edges
+                    .iter()
+                    .find(|e| e.target == node)
+                    .expect("every temp in a group is a concat target");
+                let left = self.build_node(e.left, edges, next_core)?;
+                let right = self.build_node(e.right, edges, next_core)?;
+                concat_builds(left, right)
+            }
+            NodeKind::Var(_) | NodeKind::Const(_) => {
+                let machine = self
+                    .leaf_machines
+                    .get(&node)
+                    .expect("leaf machine supplied for every group leaf")
+                    .normalize();
+                let n = machine.num_states();
+                let core: Vec<u32> = (*next_core..*next_core + n as u32).collect();
+                *next_core += n as u32;
+                Build { nfa: machine, core, segments: vec![node], bridges: Vec::new() }
+            }
+        };
+        // Operation ordering (paper invariant 1): this node's own inbound
+        // subset constraints are applied before its result feeds any parent
+        // concatenation. Leaf variables already come pre-intersected; temp
+        // constraints are applied here.
+        if matches!(self.graph.kind(node), NodeKind::Temp(_)) {
+            for source in self.graph.inbound_subset_sources(node) {
+                let NodeKind::Const(c) = self.graph.kind(source) else {
+                    unreachable!("subset-edge sources are constants in the Figure 2 grammar");
+                };
+                build = intersect_build(build, self.system.const_machine(c))?;
+            }
+        }
+        Some(build)
+    }
+}
+
+/// Concatenates two builds with a fresh epsilon bridge, preserving cores.
+fn concat_builds(left: Build, right: Build) -> Build {
+    let mut nfa = left.nfa.clone();
+    let offset = nfa.num_states() as u32;
+    for _ in 0..right.nfa.num_states() {
+        nfa.add_state();
+    }
+    for (from, class, to) in right.nfa.edges() {
+        nfa.add_edge(StateId(from.0 + offset), class, StateId(to.0 + offset));
+    }
+    for (from, to) in right.nfa.eps_edges() {
+        nfa.add_eps(StateId(from.0 + offset), StateId(to.0 + offset));
+    }
+    let left_final = left.nfa.single_final();
+    let right_start = StateId(right.nfa.start().0 + offset);
+    nfa.add_eps(left_final, right_start);
+    nfa.set_single_final(StateId(right.nfa.single_final().0 + offset));
+
+    let mut core = left.core.clone();
+    core.extend(right.core.iter().copied());
+
+    let bridge = (left.core[left_final.index()], right.core[right.nfa.start().index()]);
+    let mut bridges = left.bridges;
+    bridges.push(bridge);
+    bridges.extend(right.bridges);
+
+    let mut segments = left.segments;
+    segments.extend(right.segments);
+
+    Build { nfa, core, segments, bridges }
+}
+
+/// Intersects a build with a constraint machine, mapping cores through the
+/// product and trimming. Returns `None` when the result is empty.
+fn intersect_build(build: Build, constraint: &Nfa) -> Option<Build> {
+    let constraint = constraint.normalize();
+    let product = ops::intersect(&build.nfa, &constraint);
+    let core: Vec<u32> = product
+        .pairs
+        .iter()
+        .map(|&(left, _)| build.core[left.index()])
+        .collect();
+    let (trimmed, old_of_new) = product.nfa.trim();
+    if trimmed.finals().is_empty() {
+        return None;
+    }
+    let core = old_of_new.iter().map(|old| core[old.index()]).collect();
+    Some(Build { nfa: trimmed, core, segments: build.segments, bridges: build.bridges })
+}
+
+// ---------------------------------------------------------------------
+// Solution enumeration
+// ---------------------------------------------------------------------
+
+/// Enumerates the candidate solutions of one root: every combination of one
+/// epsilon instance per bridge whose induced segments are all nonempty.
+fn enumerate_root(root: &Build, cap: Option<usize>, minimize: bool) -> Vec<RootSolution> {
+    // Candidate epsilon instances per bridge, identified by core pairs.
+    let mut candidates: Vec<Vec<(StateId, StateId)>> = vec![Vec::new(); root.bridges.len()];
+    for (from, to) in root.nfa.eps_edges() {
+        let pair = (root.core[from.index()], root.core[to.index()]);
+        for (k, bridge) in root.bridges.iter().enumerate() {
+            if *bridge == pair {
+                candidates[k].push((from, to));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut chosen: Vec<(StateId, StateId)> = Vec::with_capacity(root.bridges.len());
+    enumerate_rec(root, &candidates, &mut chosen, &mut out, cap, minimize);
+    out
+}
+
+fn enumerate_rec(
+    root: &Build,
+    candidates: &[Vec<(StateId, StateId)>],
+    chosen: &mut Vec<(StateId, StateId)>,
+    out: &mut Vec<RootSolution>,
+    cap: Option<usize>,
+    minimize: bool,
+) {
+    if let Some(cap) = cap {
+        if out.len() >= cap {
+            return;
+        }
+    }
+    let k = chosen.len();
+    if k == candidates.len() {
+        // All bridges chosen; cut out every segment.
+        let mut solution = Vec::with_capacity(root.segments.len());
+        for (i, &leaf) in root.segments.iter().enumerate() {
+            let start = if i == 0 { root.nfa.start() } else { chosen[i - 1].1 };
+            let final_ = if i == root.segments.len() - 1 {
+                root.single_final()
+            } else {
+                chosen[i].0
+            };
+            let machine = root.nfa.induce_segment(start, final_);
+            if machine.is_empty_language() {
+                return; // incompatible choice combination
+            }
+            let machine =
+                if minimize { dprle_automata::minimize(&machine) } else { machine };
+            solution.push((leaf, machine));
+        }
+        out.push(solution);
+        return;
+    }
+    for &edge in &candidates[k] {
+        // Early pruning: the segment ending at this bridge must be
+        // nonempty given the previous choice.
+        let seg_start = if k == 0 { root.nfa.start() } else { chosen[k - 1].1 };
+        if root.nfa.induce_segment(seg_start, edge.0).is_empty_language() {
+            continue;
+        }
+        chosen.push(edge);
+        enumerate_rec(root, candidates, chosen, out, cap, minimize);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DependencyGraph;
+    use crate::spec::{Expr, System};
+    use dprle_automata::{equivalent, Nfa};
+    use dprle_regex::Regex;
+
+    fn exact(pattern: &str) -> Nfa {
+        Regex::new(pattern).expect("pattern compiles").exact_language().clone()
+    }
+
+    /// Helper: build the graph, collect leaf machines (vars pre-intersected
+    /// with their plain subset constraints), and solve the single group.
+    fn solve_single_group(sys: &System) -> Vec<GroupSolution> {
+        let graph = DependencyGraph::from_system(sys);
+        let groups = graph.ci_groups();
+        assert_eq!(groups.len(), 1, "test systems have one group");
+        let group = &groups[0];
+        let mut leaf_machines = BTreeMap::new();
+        for &node in &group.nodes {
+            match graph.kind(node) {
+                NodeKind::Var(_) => {
+                    let mut m = Nfa::sigma_star();
+                    for source in graph.inbound_subset_sources(node) {
+                        if let NodeKind::Const(c) = graph.kind(source) {
+                            m = ops::intersect_lang(&m, sys.const_machine(c));
+                        }
+                    }
+                    leaf_machines.insert(node, m);
+                }
+                NodeKind::Const(c) => {
+                    leaf_machines.insert(node, sys.const_machine(c).clone());
+                }
+                NodeKind::Temp(_) => {}
+            }
+        }
+        solve_group(&graph, group, sys, &leaf_machines, &GciOptions::default())
+    }
+
+    #[test]
+    fn simple_ci_group_matches_ci_algorithm() {
+        // v1 ⊆ x(yy)+, v2 ⊆ (yy)*z, v1·v2 ⊆ xyyz|xyyyyz — §3.1.1.
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let c1 = sys.constant("c1", exact("x(yy)+"));
+        let c2 = sys.constant("c2", exact("(yy)*z"));
+        let c3 = sys.constant("c3", exact("xyyz|xyyyyz"));
+        sys.require(Expr::Var(v1), c1);
+        sys.require(Expr::Var(v2), c2);
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c3);
+        let graph = DependencyGraph::from_system(&sys);
+        let n1 = graph.var_node(v1);
+        let n2 = graph.var_node(v2);
+        let solutions = solve_single_group(&sys);
+        assert_eq!(solutions.len(), 2, "two disjunctive solutions");
+        let a1 = solutions
+            .iter()
+            .find(|s| s[&n1].contains(b"xyy") && !s[&n1].contains(b"xyyyy"))
+            .expect("A1");
+        assert!(a1[&n2].contains(b"z") && a1[&n2].contains(b"yyz"));
+        let a2 = solutions.iter().find(|s| s[&n1].contains(b"xyyyy")).expect("A2");
+        assert!(a2[&n2].contains(b"z") && !a2[&n2].contains(b"yyz"));
+    }
+
+    #[test]
+    fn figure9_shared_variable_group() {
+        // va·vb ⊆ c1, vb·vc ⊆ c2 with the paper's Figure 9 languages.
+        let mut sys = System::new();
+        let va = sys.var("va");
+        let vb = sys.var("vb");
+        let vc = sys.var("vc");
+        let ca = sys.constant("ca", exact("o(pp)+"));
+        let cb = sys.constant("cb", exact("p*(qq)+"));
+        let cc = sys.constant("cc", exact("q*r"));
+        let c1 = sys.constant("c1", exact("op{5}q*"));
+        let c2 = sys.constant("c2", exact("p*q{4}r"));
+        sys.require(Expr::Var(va), ca);
+        sys.require(Expr::Var(vb), cb);
+        sys.require(Expr::Var(vc), cc);
+        sys.require(Expr::Var(va).concat(Expr::Var(vb)), c1);
+        sys.require(Expr::Var(vb).concat(Expr::Var(vc)), c2);
+
+        let graph = DependencyGraph::from_system(&sys);
+        let (na, nb, nc) = (graph.var_node(va), graph.var_node(vb), graph.var_node(vc));
+        let solutions = solve_single_group(&sys);
+        // The paper reports A1 = [va↦op², vb↦p³q², vc↦q²r] and
+        // A2 = [va↦op⁴, vb↦pq², vc↦q²r]; intersection-merging additionally
+        // validates the two cross combinations (see module docs).
+        assert!(solutions.len() >= 2 && solutions.len() <= 4, "got {}", solutions.len());
+        let a1 = solutions
+            .iter()
+            .find(|s| s[&na].contains(b"opp") && s[&nc].contains(b"qqr"))
+            .expect("paper's A1 present");
+        assert!(a1[&nb].contains(b"pppqq"));
+        let a2 = solutions
+            .iter()
+            .find(|s| s[&na].contains(b"opppp") && s[&nc].contains(b"qqr"))
+            .expect("paper's A2 present");
+        assert!(a2[&nb].contains(b"pqq"));
+        // Every solution satisfies both concatenation constraints.
+        for s in &solutions {
+            let t1 = ops::concat(&s[&na], &s[&nb]).nfa;
+            assert!(is_subset(&t1, sys.const_machine(c1)));
+            let t2 = ops::concat(&s[&nb], &s[&nc]).nfa;
+            assert!(is_subset(&t2, sys.const_machine(c2)));
+        }
+    }
+
+    #[test]
+    fn constant_operand_is_not_narrowed() {
+        // c2·v1 ⊆ c3 (the motivating example): the constant keeps its full
+        // language and v1 gets the exploit language.
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let c1 = sys.constant_regex("c1", "[\\d]+$").expect("filter");
+        let c2 = sys.constant("c2", Nfa::literal(b"nid_"));
+        let c3 = sys.constant_regex("c3", "'").expect("quote");
+        sys.require(Expr::Var(v1), c1);
+        sys.require(Expr::Const(c2).concat(Expr::Var(v1)), c3);
+        let graph = DependencyGraph::from_system(&sys);
+        let n1 = graph.var_node(v1);
+        let solutions = solve_single_group(&sys);
+        assert_eq!(solutions.len(), 1);
+        let v1_lang = &solutions[0][&n1];
+        assert!(v1_lang.contains(b"' OR 1=1 ; DROP news --9"));
+        assert!(!v1_lang.contains(b"1234"));
+        // The constant leaf keeps exactly its language.
+        let nc2 = graph.const_node(c2);
+        assert!(equivalent(&solutions[0][&nc2], sys.const_machine(c2)));
+    }
+
+    #[test]
+    fn nested_concatenation_tower() {
+        // (v1·v2)·v3 ⊆ c4 with per-variable constraints (paper §3.4.3's
+        // nested example shape).
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let v3 = sys.var("v3");
+        let c1 = sys.constant("c1", exact("a+"));
+        let c2 = sys.constant("c2", exact("b+"));
+        let c3 = sys.constant("c3", exact("c+"));
+        let c4 = sys.constant("c4", exact("aabbcc"));
+        sys.require(Expr::Var(v1), c1);
+        sys.require(Expr::Var(v2), c2);
+        sys.require(Expr::Var(v3), c3);
+        sys.require(
+            Expr::Var(v1).concat(Expr::Var(v2)).concat(Expr::Var(v3)),
+            c4,
+        );
+        let graph = DependencyGraph::from_system(&sys);
+        let solutions = solve_single_group(&sys);
+        assert_eq!(solutions.len(), 1);
+        let s = &solutions[0];
+        assert!(s[&graph.var_node(v1)].contains(b"aa"));
+        assert!(s[&graph.var_node(v2)].contains(b"bb"));
+        assert!(s[&graph.var_node(v3)].contains(b"cc"));
+        assert!(!s[&graph.var_node(v1)].contains(b"a"));
+    }
+
+    #[test]
+    fn unsatisfiable_group_returns_no_solutions() {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let ca = sys.constant("ca", exact("a+"));
+        let cb = sys.constant("cb", exact("b+"));
+        let cc = sys.constant("cc", exact("c+"));
+        sys.require(Expr::Var(v1), ca);
+        sys.require(Expr::Var(v2), cb);
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), cc);
+        assert!(solve_single_group(&sys).is_empty());
+    }
+
+    #[test]
+    fn self_concatenation_intersects_both_occurrences() {
+        // v·v ⊆ abab|cdcd with v ⊆ ab|cd: v must work in both positions, so
+        // each solution is {ab} or {cd}, never {ab, cd}.
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let cv = sys.constant("cv", exact("ab|cd"));
+        let cc = sys.constant("cc", exact("abab|cdcd"));
+        sys.require(Expr::Var(v), cv);
+        sys.require(Expr::Var(v).concat(Expr::Var(v)), cc);
+        let graph = DependencyGraph::from_system(&sys);
+        let nv = graph.var_node(v);
+        let solutions = solve_single_group(&sys);
+        assert!(!solutions.is_empty());
+        for s in &solutions {
+            let vv = ops::concat(&s[&nv], &s[&nv]).nfa;
+            assert!(is_subset(&vv, sys.const_machine(cc)));
+            // {ab, cd} would give abcd ∉ cc; intersection-merging prevents it.
+            assert!(!(s[&nv].contains(b"ab") && s[&nv].contains(b"cd")));
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Dependency-graph generation (paper §3.4.1, Figure 5).
+//!
+//! Each unique variable and constant gets a vertex; every concatenation in
+//! a constraint's left-hand side gets a *fresh* temporary vertex `t` plus a
+//! pair of ∘-edges (`ConcatEdgePair`), and the top-level rule adds one
+//! ⊆-edge from the right-hand constant to the left-hand side's vertex.
+//! For systems of multiple constraints the graphs are unioned (shared
+//! variables and constants reuse their vertices).
+//!
+//! *CI-groups* (paper §3.4.3) — the connected components induced by
+//! ∘-edges — are what the generalized concat-intersect procedure solves one
+//! at a time.
+
+use crate::spec::{ConstId, Expr, System, VarId};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Identifier of a dependency-graph vertex.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into the graph's node vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a dependency-graph vertex represents.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// A language variable.
+    Var(VarId),
+    /// A constant language.
+    Const(ConstId),
+    /// A fresh temporary for one concatenation occurrence (Figure 5, the
+    /// `E → E · E` rule).
+    Temp(u32),
+}
+
+/// A ∘-edge pair: constrains `[target]` to strings in `[left] · [right]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConcatEdgePair {
+    /// Left operand vertex (`n_a —∘l→ n₀`).
+    pub left: NodeId,
+    /// Right operand vertex (`n_b —∘r→ n₀`).
+    pub right: NodeId,
+    /// The concatenation-result vertex `n₀`.
+    pub target: NodeId,
+}
+
+/// A ⊆-edge `source —⊆→ target`, requiring `[target] ⊆ [source]`.
+/// In the Figure 2 grammar the source is always a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SubsetEdge {
+    /// The constraining (constant) vertex.
+    pub source: NodeId,
+    /// The constrained vertex.
+    pub target: NodeId,
+}
+
+/// The dependency graph of a constraint system.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    nodes: Vec<NodeKind>,
+    subset_edges: Vec<SubsetEdge>,
+    concat_edges: Vec<ConcatEdgePair>,
+    temp_count: u32,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph for `system` by recursive descent of
+    /// each (union-desugared) constraint, per the Figure 5 rules.
+    pub fn from_system(system: &System) -> DependencyGraph {
+        Self::from_constraints(system, &system.union_free_constraints())
+    }
+
+    /// Builds the dependency graph for an explicit (union-free) constraint
+    /// list over `system`'s interned variables and constants. The solver
+    /// uses this to route only variable-carrying constraints through the
+    /// graph — variable-free ones are decided directly.
+    pub fn from_constraints(
+        system: &System,
+        constraints: &[crate::spec::Constraint],
+    ) -> DependencyGraph {
+        let mut g = DependencyGraph::default();
+        // Pre-intern variable and constant vertices in id order so NodeIds
+        // are stable and predictable.
+        for v in system.var_ids() {
+            g.nodes.push(NodeKind::Var(v));
+        }
+        for c in 0..system.num_consts() as u32 {
+            g.nodes.push(NodeKind::Const(ConstId(c)));
+        }
+        for constraint in constraints {
+            let lhs_node = g.node_for_expr(&constraint.lhs);
+            let rhs_node = g.const_node(constraint.rhs);
+            g.subset_edges.push(SubsetEdge { source: rhs_node, target: lhs_node });
+        }
+        g
+    }
+
+    /// The vertex for variable `v`.
+    pub fn var_node(&self, v: VarId) -> NodeId {
+        let i = self
+            .nodes
+            .iter()
+            .position(|k| *k == NodeKind::Var(v))
+            .expect("variable vertex was interned");
+        NodeId(i as u32)
+    }
+
+    /// The vertex for constant `c`.
+    pub fn const_node(&self, c: ConstId) -> NodeId {
+        let i = self
+            .nodes
+            .iter()
+            .position(|k| *k == NodeKind::Const(c))
+            .expect("constant vertex was interned");
+        NodeId(i as u32)
+    }
+
+    fn node_for_expr(&mut self, e: &Expr) -> NodeId {
+        match e {
+            Expr::Var(v) => self.var_node(*v),
+            Expr::Const(c) => self.const_node(*c),
+            Expr::Concat(a, b) => {
+                let left = self.node_for_expr(a);
+                let right = self.node_for_expr(b);
+                let target = self.fresh_temp();
+                self.concat_edges.push(ConcatEdgePair { left, right, target });
+                target
+            }
+            Expr::Union(_, _) => {
+                unreachable!("unions are desugared before graph construction")
+            }
+        }
+    }
+
+    fn fresh_temp(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeKind::Temp(self.temp_count));
+        self.temp_count += 1;
+        id
+    }
+
+    /// The number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The kind of a vertex.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.index()]
+    }
+
+    /// All ⊆-edges.
+    pub fn subset_edges(&self) -> &[SubsetEdge] {
+        &self.subset_edges
+    }
+
+    /// All ∘-edge pairs.
+    pub fn concat_edges(&self) -> &[ConcatEdgePair] {
+        &self.concat_edges
+    }
+
+    /// The constant vertices constraining `n` via inbound ⊆-edges.
+    pub fn inbound_subset_sources(&self, n: NodeId) -> Vec<NodeId> {
+        self.subset_edges
+            .iter()
+            .filter(|e| e.target == n)
+            .map(|e| e.source)
+            .collect()
+    }
+
+    /// Whether `n` participates in any concatenation (as operand or
+    /// target).
+    pub fn in_ci_group(&self, n: NodeId) -> bool {
+        self.concat_edges
+            .iter()
+            .any(|e| e.left == n || e.right == n || e.target == n)
+    }
+
+    /// The CI-groups: connected components of the relation "joined by a
+    /// ∘-edge" (paper §3.4.3 — edge direction does not matter). Each group
+    /// is returned as the set of indices into [`Self::concat_edges`] whose
+    /// edges belong to it, plus its node set.
+    pub fn ci_groups(&self) -> Vec<CiGroup> {
+        let n = self.nodes.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for e in &self.concat_edges {
+            let a = find(&mut parent, e.left.index());
+            let b = find(&mut parent, e.right.index());
+            parent[a] = b;
+            let b2 = find(&mut parent, e.right.index());
+            let t = find(&mut parent, e.target.index());
+            parent[b2] = t;
+        }
+        let mut groups: Vec<CiGroup> = Vec::new();
+        let mut root_of_group: Vec<usize> = Vec::new();
+        for (i, e) in self.concat_edges.iter().enumerate() {
+            let root = find(&mut parent, e.target.index());
+            let gi = match root_of_group.iter().position(|&r| r == root) {
+                Some(gi) => gi,
+                None => {
+                    root_of_group.push(root);
+                    groups.push(CiGroup::default());
+                    groups.len() - 1
+                }
+            };
+            groups[gi].edge_indices.push(i);
+            groups[gi].nodes.insert(e.left);
+            groups[gi].nodes.insert(e.right);
+            groups[gi].nodes.insert(e.target);
+        }
+        groups
+    }
+
+    /// Renders the graph in DOT, labelling vertices with interned names
+    /// (mirrors the paper's Figure 6 pictures).
+    pub fn to_dot(&self, system: &System) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph dependency_graph {{");
+        for (i, k) in self.nodes.iter().enumerate() {
+            let (label, shape) = match k {
+                NodeKind::Var(v) => (system.var_name(*v).to_owned(), "circle"),
+                NodeKind::Const(c) => (system.const_name(*c).to_owned(), "box"),
+                NodeKind::Temp(t) => (format!("t{t}"), "diamond"),
+            };
+            let _ = writeln!(out, "  n{i} [label=\"{label}\", shape={shape}];");
+        }
+        for e in &self.subset_edges {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"⊆\"];",
+                e.source.index(),
+                e.target.index()
+            );
+        }
+        for e in &self.concat_edges {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"∘l\", style=dashed];",
+                e.left.index(),
+                e.target.index()
+            );
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"∘r\", style=dashed];",
+                e.right.index(),
+                e.target.index()
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// One CI-group: a connected component of ∘-edges.
+#[derive(Clone, Debug, Default)]
+pub struct CiGroup {
+    /// Indices into [`DependencyGraph::concat_edges`].
+    pub edge_indices: Vec<usize>,
+    /// All vertices touched by the group's edges.
+    pub nodes: BTreeSet<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprle_automata::Nfa;
+
+    /// The paper's Figure 6 graph: v1 ⊆ c1, c2·v1 ⊆ c3 — wait, Figure 6 is
+    /// v1 ⊆ c1, v2 ⊆ c2, v1·v2 ⊆ c3 with a temp t0 for the concatenation.
+    fn figure6_system() -> System {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let c1 = sys.constant("c1", Nfa::literal(b"nid_"));
+        let c2 = sys.constant("c2", Nfa::sigma_star());
+        let c3 = sys.constant("c3", Nfa::sigma_star());
+        sys.require(Expr::Var(v1), c1);
+        sys.require(Expr::Var(v2), c2);
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c3);
+        sys
+    }
+
+    #[test]
+    fn figure6_graph_shape() {
+        let sys = figure6_system();
+        let g = DependencyGraph::from_system(&sys);
+        // Vertices: v1, v2, c1, c2, c3, t0.
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.subset_edges().len(), 3);
+        assert_eq!(g.concat_edges().len(), 1);
+        let v1 = g.var_node(sys.var_id("v1").expect("v1"));
+        let t0 = g.concat_edges()[0].target;
+        assert!(matches!(g.kind(t0), NodeKind::Temp(0)));
+        assert_eq!(g.concat_edges()[0].left, v1);
+        // c3's subset edge targets the temp, not a variable.
+        let c3_edges: Vec<_> =
+            g.subset_edges().iter().filter(|e| e.target == t0).collect();
+        assert_eq!(c3_edges.len(), 1);
+    }
+
+    #[test]
+    fn shared_variables_share_vertices() {
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let c = sys.constant("c", Nfa::sigma_star());
+        sys.require(Expr::Var(v), c);
+        sys.require(Expr::Var(v).concat(Expr::Var(v)), c);
+        let g = DependencyGraph::from_system(&sys);
+        // v, c, t0 — the two v occurrences share one vertex.
+        assert_eq!(g.num_nodes(), 3);
+        let e = g.concat_edges()[0];
+        assert_eq!(e.left, e.right);
+    }
+
+    #[test]
+    fn each_concat_gets_a_fresh_temp() {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let c = sys.constant("c", Nfa::sigma_star());
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c);
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c);
+        let g = DependencyGraph::from_system(&sys);
+        assert_eq!(g.concat_edges().len(), 2);
+        assert_ne!(g.concat_edges()[0].target, g.concat_edges()[1].target);
+    }
+
+    #[test]
+    fn nested_concat_builds_a_tower() {
+        // (v1·v2)·v3 ⊆ c4 — two temps, the outer one fed by the inner.
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let v3 = sys.var("v3");
+        let c4 = sys.constant("c4", Nfa::sigma_star());
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)).concat(Expr::Var(v3)), c4);
+        let g = DependencyGraph::from_system(&sys);
+        assert_eq!(g.concat_edges().len(), 2);
+        let inner = g.concat_edges()[0];
+        let outer = g.concat_edges()[1];
+        assert_eq!(outer.left, inner.target);
+    }
+
+    #[test]
+    fn ci_groups_connect_via_shared_variables() {
+        // Figure 9 shape: va·vb ⊆ c1 and vb·vc ⊆ c2 — one group, because vb
+        // joins both concatenations.
+        let mut sys = System::new();
+        let va = sys.var("va");
+        let vb = sys.var("vb");
+        let vc = sys.var("vc");
+        let c1 = sys.constant("c1", Nfa::sigma_star());
+        let c2 = sys.constant("c2", Nfa::literal(b"x"));
+        sys.require(Expr::Var(va).concat(Expr::Var(vb)), c1);
+        sys.require(Expr::Var(vb).concat(Expr::Var(vc)), c2);
+        let g = DependencyGraph::from_system(&sys);
+        let groups = g.ci_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].edge_indices.len(), 2);
+        assert_eq!(groups[0].nodes.len(), 5); // va vb vc t0 t1
+    }
+
+    #[test]
+    fn disjoint_concats_are_separate_groups() {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let v3 = sys.var("v3");
+        let v4 = sys.var("v4");
+        let c = sys.constant("c", Nfa::sigma_star());
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c);
+        sys.require(Expr::Var(v3).concat(Expr::Var(v4)), c);
+        let g = DependencyGraph::from_system(&sys);
+        assert_eq!(g.ci_groups().len(), 2);
+    }
+
+    #[test]
+    fn plain_variables_are_not_in_groups() {
+        let sys = figure6_system();
+        let g = DependencyGraph::from_system(&sys);
+        let v1 = g.var_node(VarId(0));
+        assert!(g.in_ci_group(v1)); // v1 is a concat operand
+        let c1 = g.const_node(ConstId(0));
+        assert!(!g.in_ci_group(c1));
+    }
+
+    #[test]
+    fn inbound_subset_sources_found() {
+        let sys = figure6_system();
+        let g = DependencyGraph::from_system(&sys);
+        let v1 = g.var_node(VarId(0));
+        let sources = g.inbound_subset_sources(v1);
+        assert_eq!(sources.len(), 1);
+        assert!(matches!(g.kind(sources[0]), NodeKind::Const(_)));
+    }
+
+    #[test]
+    fn dot_output_names_vertices() {
+        let sys = figure6_system();
+        let g = DependencyGraph::from_system(&sys);
+        let dot = g.to_dot(&sys);
+        assert!(dot.contains("label=\"v1\""));
+        assert!(dot.contains("label=\"t0\""));
+        assert!(dot.contains("⊆"));
+        assert!(dot.contains("∘l"));
+    }
+
+    #[test]
+    fn union_constraints_desugar_into_graph() {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let c = sys.constant("c", Nfa::sigma_star());
+        sys.require(Expr::Var(v1).union(Expr::Var(v2)), c);
+        let g = DependencyGraph::from_system(&sys);
+        // Two subset edges (one per desugared constraint), no temps.
+        assert_eq!(g.subset_edges().len(), 2);
+        assert_eq!(g.concat_edges().len(), 0);
+    }
+}

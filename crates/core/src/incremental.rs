@@ -1,0 +1,233 @@
+//! An incremental, SMT-style solver interface.
+//!
+//! Concolic-testing loops (the paper's §1 "directed randomized testing"
+//! application) repeatedly solve variations of one path condition: assert
+//! the common prefix once, then push/pop per-branch constraints. This
+//! module provides that interface — `push`/`pop` scopes over a growing
+//! [`System`], with `check` solving the current constraint stack.
+//!
+//! The backend re-solves from scratch on each `check` (the paper's
+//! procedure has no incremental core); the value is the *interface* plus
+//! constant-machine reuse: interned constants persist across scopes, so
+//! the expensive regex→NFA compilations happen once per pattern.
+
+use crate::solution::Solution;
+use crate::solve::{solve, SolveOptions};
+use crate::spec::{ConstId, Expr, System, VarId};
+
+/// An incremental solver: a constraint stack over a shared [`System`].
+///
+/// # Examples
+///
+/// ```
+/// use dprle_core::incremental::Solver;
+/// use dprle_core::Expr;
+///
+/// let mut solver = Solver::new();
+/// let v = solver.declare("v");
+/// let lower = solver.constant_regex("lower", "^[a-z]+$")?;
+/// solver.assert(Expr::Var(v), lower);
+/// assert!(solver.check().is_sat());
+///
+/// solver.push();
+/// let digit = solver.constant_regex("digit", "[0-9]")?;
+/// solver.assert(Expr::Var(v), digit);     // lowercase AND contains a digit
+/// assert!(!solver.check().is_sat());      // contradiction
+/// solver.pop();
+///
+/// assert!(solver.check().is_sat());        // back to satisfiable
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    system: System,
+    /// Constraint-count marks for each open scope.
+    scopes: Vec<usize>,
+    options: SolveOptions,
+}
+
+impl Solver {
+    /// Creates an empty solver with default options.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Creates a solver with explicit options.
+    pub fn with_options(options: SolveOptions) -> Solver {
+        Solver { options, ..Default::default() }
+    }
+
+    /// Declares (or re-fetches) a string variable.
+    pub fn declare(&mut self, name: &str) -> VarId {
+        self.system.var(name)
+    }
+
+    /// Interns a constant language from a machine.
+    pub fn constant(&mut self, name: &str, machine: dprle_automata::Nfa) -> ConstId {
+        self.system.constant(name, machine)
+    }
+
+    /// Interns a constant from a regex with search (`preg_match`)
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates regex parse/compile errors.
+    pub fn constant_regex(
+        &mut self,
+        name: &str,
+        pattern: &str,
+    ) -> Result<ConstId, dprle_regex::ParseRegexError> {
+        self.system.constant_regex(name, pattern)
+    }
+
+    /// Interns a constant from a regex with exact (full-match) semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates regex parse/compile errors.
+    pub fn constant_regex_exact(
+        &mut self,
+        name: &str,
+        pattern: &str,
+    ) -> Result<ConstId, dprle_regex::ParseRegexError> {
+        self.system.constant_regex_exact(name, pattern)
+    }
+
+    /// Asserts `lhs ⊆ rhs` in the current scope.
+    pub fn assert(&mut self, lhs: impl Into<Expr>, rhs: ConstId) {
+        self.system.require(lhs, rhs);
+    }
+
+    /// Opens a scope: constraints asserted after this call are retracted by
+    /// the matching [`Solver::pop`].
+    pub fn push(&mut self) {
+        self.scopes.push(self.system.num_constraints());
+    }
+
+    /// Closes the innermost scope, retracting its constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open (`pop` without `push`).
+    pub fn pop(&mut self) {
+        let mark = self.scopes.pop().expect("pop without matching push");
+        self.system.truncate_constraints(mark);
+    }
+
+    /// The number of currently open scopes.
+    pub fn depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// The number of currently asserted constraints.
+    pub fn num_assertions(&self) -> usize {
+        self.system.num_constraints()
+    }
+
+    /// Solves the current constraint stack.
+    pub fn check(&self) -> Solution {
+        solve(&self.system, &self.options)
+    }
+
+    /// Borrows the underlying system (e.g. for witness name lookups).
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+}
+
+/// Support for scope retraction: removes constraints beyond `len`.
+impl System {
+    /// Truncates the constraint list to its first `len` entries (interned
+    /// variables and constants are kept — they are harmless and their
+    /// compiled machines stay reusable).
+    pub fn truncate_constraints(&mut self, len: usize) {
+        self.retain_constraints(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprle_automata::Nfa;
+
+    #[test]
+    fn push_pop_restores_satisfiability() {
+        let mut solver = Solver::new();
+        let v = solver.declare("v");
+        let a = solver.constant("a", Nfa::literal(b"a"));
+        solver.assert(Expr::Var(v), a);
+        assert!(solver.check().is_sat());
+        assert_eq!(solver.num_assertions(), 1);
+
+        solver.push();
+        let b = solver.constant("b", Nfa::literal(b"b"));
+        solver.assert(Expr::Var(v), b);
+        assert!(!solver.check().is_sat());
+        assert_eq!(solver.depth(), 1);
+        solver.pop();
+
+        assert_eq!(solver.depth(), 0);
+        assert_eq!(solver.num_assertions(), 1);
+        assert!(solver.check().is_sat());
+    }
+
+    #[test]
+    fn nested_scopes() {
+        let mut solver = Solver::new();
+        let v = solver.declare("v");
+        let any = solver.constant_regex_exact("any", "[ab]*").expect("compiles");
+        solver.assert(Expr::Var(v), any);
+
+        solver.push();
+        let has_a = solver.constant_regex("has_a", "a").expect("compiles");
+        solver.assert(Expr::Var(v), has_a);
+        solver.push();
+        let no_a = solver.constant_regex_exact("no_a", "b*").expect("compiles");
+        solver.assert(Expr::Var(v), no_a);
+        assert!(!solver.check().is_sat());
+        solver.pop();
+        assert!(solver.check().is_sat());
+        solver.pop();
+        assert_eq!(solver.num_assertions(), 1);
+    }
+
+    #[test]
+    fn concolic_style_branch_exploration() {
+        // One shared prefix constraint; flip a branch condition per scope —
+        // the intro's directed-testing loop in miniature.
+        let mut solver = Solver::new();
+        let input = solver.declare("input");
+        let printable = solver.constant_regex_exact("printable", "[ -~]*").expect("re");
+        solver.assert(Expr::Var(input), printable);
+
+        let cond = solver.constant_regex("admin", "^admin").expect("re");
+        let not_cond = {
+            let re = dprle_regex::Regex::new("^admin").expect("re");
+            let machine = dprle_automata::complement(re.search_language());
+            solver.constant("not_admin", machine)
+        };
+
+        // Branch taken:
+        solver.push();
+        solver.assert(Expr::Var(input), cond);
+        let taken = solver.check();
+        let w1 = taken.first().expect("sat").witness(input).expect("nonempty");
+        assert!(w1.starts_with(b"admin"));
+        solver.pop();
+
+        // Branch not taken:
+        solver.push();
+        solver.assert(Expr::Var(input), not_cond);
+        let skipped = solver.check();
+        let w2 = skipped.first().expect("sat").witness(input).expect("witness");
+        assert!(!w2.starts_with(b"admin"));
+        solver.pop();
+    }
+
+    #[test]
+    #[should_panic(expected = "pop without matching push")]
+    fn unbalanced_pop_panics() {
+        Solver::new().pop();
+    }
+}

@@ -1,0 +1,809 @@
+//! The worklist solver for general dependency graphs
+//! (paper §3.4.2, Figure 7).
+//!
+//! Given a constraint [`System`], the solver:
+//!
+//! 1. desugars unions and builds the dependency graph (Figure 5);
+//! 2. checks variable-free constraints directly (a constraint like
+//!    `c₁·c₂ ⊆ c₃` either holds or the system is unsatisfiable — no
+//!    branching can repair it);
+//! 3. *reduces* plain variables — vertices with only inbound ⊆-edges — by
+//!    NFA intersection in one pass (Figure 7, lines 3–8: `sort_acyclic_
+//!    nodes` + `reduce`);
+//! 4. pre-intersects the ⊆-constraints of variables that participate in
+//!    concatenations (the *operation ordering* invariant: subsets before
+//!    concats), then repeatedly applies the generalized concat-intersect
+//!    procedure to each CI-group, maintaining a worklist of partial
+//!    assignments that branches on disjunctive group solutions (Figure 7,
+//!    lines 9–15);
+//! 5. filters assignments per Figure 7's termination conditions (lines
+//!    16–23): a branch in which some variable's language is empty is
+//!    abandoned in favor of other worklist entries; if every branch dies
+//!    the answer is "no assignments found".
+//!
+//! In the Figure 2 grammar distinct CI-groups share no vertices (a shared
+//! variable joins its concatenations into one group), so the queue
+//! processes groups in a fixed order and the set of complete assignments is
+//! the merge of per-group disjuncts — the same set Figure 7 computes, with
+//! the same branch-on-disjunction behavior.
+
+use crate::gci::{solve_group, GciOptions};
+use crate::graph::{DependencyGraph, NodeId, NodeKind};
+use crate::solution::{Assignment, Solution};
+use crate::spec::{Constraint, Expr, System, VarId};
+use dprle_automata::{is_subset, ops, Nfa};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Options controlling the solver.
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// Options for the generalized concat-intersect step.
+    pub gci: GciOptions,
+    /// Reject assignments that map some variable to the empty language
+    /// (Figure 7 treats such branches as failed). Disable to observe the
+    /// raw per-branch languages.
+    pub require_nonempty: bool,
+    /// Re-verify every produced assignment against the original system and
+    /// drop any that fail. The core algorithm's outputs satisfy by
+    /// construction for variable leaves; verification additionally guards
+    /// the constant-leaf filtering (see `gci` module docs). Cost: one
+    /// inclusion check per constraint per assignment.
+    pub verify: bool,
+    /// Stop after this many satisfying assignments (e.g. `Some(1)` for a
+    /// "first solution" query — the paper notes the first solution can be
+    /// produced without enumerating the rest, §3.5).
+    pub max_assignments: Option<usize>,
+    /// Minimize intermediate machines during the reduce phase. Long
+    /// constraint chains otherwise grow multiplicatively under repeated
+    /// products — exactly the behavior behind the paper's `secure` outlier
+    /// ("more efficient use of the intermediate NFAs (e.g., by applying
+    /// NFA minimization techniques) might improve performance", §4).
+    /// Disable to reproduce the prototype's behavior for ablations.
+    pub minimize_intermediate: bool,
+    /// Record a human-readable event trace of the run in
+    /// [`SolveStats::events`] (group discovery, disjunct counts, branch
+    /// outcomes). Off by default; the trace allocates strings.
+    pub trace: bool,
+    /// Rewrite constraints whose concatenation spine begins or ends with a
+    /// *constant* by taking the universal quotient of the right-hand side:
+    /// `C·e ⊆ c ⟺ e ⊆ {w | ∀u ∈ C, u·w ∈ c}` (and symmetrically on the
+    /// right). An extension beyond the paper: the paper's algorithm treats
+    /// constants as CI leaves, which is exact for the singleton string
+    /// literals its front end produces but incomplete for multi-string
+    /// constants (the induced sub-machine can never equal the whole
+    /// constant); quotient stripping is exact for any regular constant.
+    pub strip_constant_operands: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            gci: GciOptions::default(),
+            require_nonempty: true,
+            verify: true,
+            max_assignments: None,
+            minimize_intermediate: true,
+            trace: false,
+            strip_constant_operands: false,
+        }
+    }
+}
+
+/// Statistics from one solver run, for benchmarking and reporting (the
+/// paper reasons about costs in machine sizes and solution counts; these
+/// counters expose the same quantities).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Number of CI-groups the dependency graph contained.
+    pub groups: usize,
+    /// Total disjunctive group solutions produced across all `gci` calls.
+    pub group_disjuncts: usize,
+    /// Worklist branches that completed (reached the last group).
+    pub branches_completed: usize,
+    /// Assignments dropped by the nonemptiness/verification filters.
+    pub branches_filtered: usize,
+    /// Largest leaf machine (states) after the reduce phase.
+    pub max_leaf_states: usize,
+    /// Human-readable trace events (populated when
+    /// [`SolveOptions::trace`] is set).
+    pub events: Vec<String>,
+}
+
+/// Solves `system`, returning all disjunctive satisfying assignments (or
+/// [`Solution::Unsat`]).
+///
+/// # Examples
+///
+/// The paper's §3.1.1 example — `v₁ ⊆ (xx)+y` and `v₁ ⊆ x*y`:
+///
+/// ```
+/// use dprle_core::{solve, System, Expr, SolveOptions};
+///
+/// let mut sys = System::new();
+/// let v1 = sys.var("v1");
+/// let a = sys.constant_regex_exact("a", "(xx)+y")?;
+/// let b = sys.constant_regex_exact("b", "x*y")?;
+/// sys.require(Expr::Var(v1), a);
+/// sys.require(Expr::Var(v1), b);
+/// let solution = solve(&sys, &SolveOptions::default());
+/// let x1 = solution.first().expect("satisfiable").get(v1).expect("assigned");
+/// assert!(x1.contains(b"xxy"));      // in (xx)+y ∩ x*y
+/// assert!(!x1.contains(b"xy"));      // not in (xx)+y
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve(system: &System, options: &SolveOptions) -> Solution {
+    solve_with_stats(system, options).0
+}
+
+/// Like [`solve`], additionally returning run statistics.
+pub fn solve_with_stats(system: &System, options: &SolveOptions) -> (Solution, SolveStats) {
+    if options.strip_constant_operands {
+        let (stripped, constraints) = strip_constant_operands(system);
+        return solve_prepared(&stripped, &constraints, options, system);
+    }
+    let constraints = system.union_free_constraints();
+    solve_prepared(system, &constraints, options, system)
+}
+
+/// The solver body, parameterized over a possibly-rewritten system.
+/// `original` is used for final verification so rewrites cannot mask an
+/// unsound transformation.
+fn solve_prepared(
+    system: &System,
+    constraints: &[Constraint],
+    options: &SolveOptions,
+    original: &System,
+) -> (Solution, SolveStats) {
+    let mut stats = SolveStats::default();
+    macro_rules! trace {
+        ($($arg:tt)*) => {
+            if options.trace {
+                stats.events.push(format!($($arg)*));
+            }
+        };
+    }
+    let constraints = constraints.to_vec();
+    trace!("{} union-free constraints over {} variables", constraints.len(), system.num_vars());
+    // Verification always runs against the *original* system so a buggy
+    // rewrite cannot vouch for itself.
+    let verify_constraints = original.union_free_constraints();
+
+    // Variable-free constraints are decided immediately and kept out of
+    // the graph (routing them through gci could only narrow constants,
+    // which the constant filter would then reject).
+    let mut graph_constraints = Vec::with_capacity(constraints.len());
+    for c in &constraints {
+        if c.lhs.variables().is_empty() {
+            if !constant_constraint_holds(system, c) {
+                trace!(
+                    "variable-free constraint `{} <= {}` fails: unsat",
+                    system.expr_to_string(&c.lhs),
+                    system.const_name(c.rhs)
+                );
+                return (Solution::Unsat, stats);
+            }
+        } else {
+            graph_constraints.push(c.clone());
+        }
+    }
+
+    let graph = DependencyGraph::from_constraints(system, &graph_constraints);
+
+    // Reduce phase: every variable picks up the intersection of its inbound
+    // subset constants. For plain variables this is their final language;
+    // for CI-group members it is their leaf machine.
+    let mut leaf: BTreeMap<NodeId, Nfa> = BTreeMap::new();
+    for v in system.var_ids() {
+        let node = graph.var_node(v);
+        let mut m = Nfa::sigma_star();
+        for source in graph.inbound_subset_sources(node) {
+            if let NodeKind::Const(c) = graph.kind(source) {
+                m = ops::intersect_lang(&m, system.const_machine(c));
+                if options.minimize_intermediate {
+                    m = dprle_automata::minimize(&m);
+                }
+            }
+        }
+        stats.max_leaf_states = stats.max_leaf_states.max(m.num_states());
+        trace!(
+            "reduced {} to a {}-state machine",
+            system.var_name(v),
+            m.num_states()
+        );
+        leaf.insert(node, m);
+    }
+    for group in graph.ci_groups() {
+        for &node in &group.nodes {
+            if let NodeKind::Const(c) = graph.kind(node) {
+                leaf.insert(node, system.const_machine(c).clone());
+            }
+        }
+    }
+
+    // Worklist over CI-groups: each queue entry is (next group index,
+    // partial node assignment); group solutions branch the queue
+    // (Figure 7, lines 13–14).
+    let groups = graph.ci_groups();
+    stats.groups = groups.len();
+    trace!("dependency graph: {} nodes, {} CI-group(s)", graph.num_nodes(), groups.len());
+    let mut queue: VecDeque<(usize, BTreeMap<NodeId, Nfa>)> =
+        VecDeque::from([(0, BTreeMap::new())]);
+    let mut produced: Vec<Assignment> = Vec::new();
+
+    'queue: while let Some((gi, partial)) = queue.pop_front() {
+        if gi == groups.len() {
+            // Convert and filter as soon as a branch completes so that
+            // `max_assignments` can stop the search early.
+            stats.branches_completed += 1;
+            match finish_branch(
+                system,
+                &graph,
+                &leaf,
+                &partial,
+                options,
+                original,
+                &verify_constraints,
+            ) {
+                Some(assignment) => {
+                    produced.push(assignment);
+                    if let Some(cap) = options.max_assignments {
+                        if produced.len() >= cap {
+                            break 'queue;
+                        }
+                    }
+                }
+                None => stats.branches_filtered += 1,
+            }
+            continue;
+        }
+        let disjuncts = solve_group(&graph, &groups[gi], system, &leaf, &options.gci);
+        trace!("group {} produced {} disjunctive solution(s)", gi, disjuncts.len());
+        stats.group_disjuncts += disjuncts.len();
+        // An unsatisfiable group kills this branch (and, since groups share
+        // no vertices, every branch — but the queue drains naturally).
+        for d in disjuncts {
+            let mut extended = partial.clone();
+            extended.extend(d);
+            queue.push_back((gi + 1, extended));
+        }
+    }
+
+    trace!(
+        "{} branch(es) completed, {} filtered, {} assignment(s) returned",
+        stats.branches_completed,
+        stats.branches_filtered,
+        stats.branches_completed - stats.branches_filtered
+    );
+    let solution = if produced.is_empty() {
+        Solution::Unsat
+    } else {
+        Solution::Assignments(produced)
+    };
+    (solution, stats)
+}
+
+/// Convenience wrapper: the first satisfying assignment, if any.
+pub fn solve_first(system: &System, options: &SolveOptions) -> Option<Assignment> {
+    let mut opts = options.clone();
+    opts.max_assignments = Some(1);
+    match solve(system, &opts) {
+        Solution::Assignments(mut v) => v.pop(),
+        Solution::Unsat => None,
+    }
+}
+
+/// Turns a completed branch's node assignment into a variable assignment,
+/// applying the nonemptiness and verification filters.
+#[allow(clippy::too_many_arguments)]
+fn finish_branch(
+    system: &System,
+    graph: &DependencyGraph,
+    leaf: &BTreeMap<NodeId, Nfa>,
+    node_map: &BTreeMap<NodeId, Nfa>,
+    options: &SolveOptions,
+    original: &System,
+    verify_constraints: &[Constraint],
+) -> Option<Assignment> {
+    let mut assignment = Assignment::new();
+    for v in system.var_ids() {
+        let node = graph.var_node(v);
+        let machine = node_map
+            .get(&node)
+            .or_else(|| leaf.get(&node))
+            .cloned()
+            .unwrap_or_else(Nfa::sigma_star);
+        assignment.insert(v, machine);
+    }
+    if options.require_nonempty && assignment.has_empty_language() {
+        return None;
+    }
+    if options.verify && !satisfies(original, verify_constraints, &assignment) {
+        return None;
+    }
+    Some(assignment)
+}
+
+/// Rewrites every constraint by stripping leading and trailing constant
+/// operands into universal quotients of the right-hand side. Returns the
+/// rewritten system (same variable interning) plus its union-free
+/// constraints.
+///
+/// `C·e ⊆ c` holds iff `e ⊆ {w | ∀u ∈ L(C), u·w ∈ L(c)}` (the universal
+/// left quotient), and symmetrically for trailing constants, so the
+/// rewriting preserves the satisfying-assignment set exactly.
+fn strip_constant_operands(system: &System) -> (System, Vec<Constraint>) {
+    use dprle_automata::quotient::{left_quotient_universal, right_quotient_universal};
+    let mut out = system.clone();
+    let mut fresh = 0usize;
+    let mut rewritten = Vec::new();
+    for constraint in system.union_free_constraints() {
+        // Flatten the concatenation spine.
+        fn flatten(e: &Expr, parts: &mut Vec<Expr>) {
+            match e {
+                Expr::Concat(a, b) => {
+                    flatten(a, parts);
+                    flatten(b, parts);
+                }
+                other => parts.push(other.clone()),
+            }
+        }
+        let mut parts = Vec::new();
+        flatten(&constraint.lhs, &mut parts);
+        if parts.iter().all(|p| matches!(p, Expr::Const(_))) {
+            // Variable-free: leave for the direct check.
+            rewritten.push(constraint);
+            continue;
+        }
+        let mut bound = system.const_machine(constraint.rhs).clone();
+        let mut changed = false;
+        while let Some(Expr::Const(c)) = parts.first() {
+            bound = left_quotient_universal(&bound, system.const_machine(*c));
+            parts.remove(0);
+            changed = true;
+        }
+        while let Some(Expr::Const(c)) = parts.last() {
+            bound = right_quotient_universal(&bound, system.const_machine(*c));
+            parts.pop();
+            changed = true;
+        }
+        let rhs = if changed {
+            let name = format!("__quot{fresh}");
+            fresh += 1;
+            out.constant(&name, bound)
+        } else {
+            constraint.rhs
+        };
+        let mut lhs = parts.remove(0);
+        for p in parts {
+            lhs = lhs.concat(p);
+        }
+        rewritten.push(Constraint { lhs, rhs });
+    }
+    (out, rewritten)
+}
+
+/// Checks a variable-free constraint by direct machine evaluation.
+fn constant_constraint_holds(system: &System, c: &Constraint) -> bool {
+    let lhs = eval_expr(system, &c.lhs, &Assignment::new());
+    is_subset(&lhs, system.const_machine(c.rhs))
+}
+
+/// Evaluates `[e]_A`: substitutes assigned variable languages and folds
+/// concatenations into one machine.
+pub fn eval_expr(system: &System, e: &Expr, assignment: &Assignment) -> Nfa {
+    match e {
+        Expr::Var(v) => assignment
+            .get(*v)
+            .cloned()
+            .unwrap_or_else(Nfa::sigma_star),
+        Expr::Const(c) => system.const_machine(*c).clone(),
+        Expr::Concat(a, b) => ops::concat(
+            &eval_expr(system, a, assignment),
+            &eval_expr(system, b, assignment),
+        )
+        .nfa,
+        Expr::Union(a, b) => ops::union(
+            &eval_expr(system, a, assignment),
+            &eval_expr(system, b, assignment),
+        ),
+    }
+}
+
+/// The *Satisfying* judgment (paper §3.1): every constraint holds under the
+/// assignment, with constants at full strength.
+pub fn satisfies(system: &System, constraints: &[Constraint], assignment: &Assignment) -> bool {
+    constraints.iter().all(|c| {
+        let lhs = eval_expr(system, &c.lhs, assignment);
+        is_subset(&lhs, system.const_machine(c.rhs))
+    })
+}
+
+/// Like [`satisfies`] but over the system's own (possibly union-carrying)
+/// constraints.
+pub fn satisfies_system(system: &System, assignment: &Assignment) -> bool {
+    satisfies(system, system.constraints(), assignment)
+}
+
+/// Returns the set of variables for which `assignment` can be *extended* —
+/// a violation of the paper's Maximal condition — under the restriction
+/// that each variable occurs at most once per constraint (for
+/// multi-occurrence constraints extension checking is not supported and
+/// those variables are skipped).
+///
+/// For each variable `v` and each constraint `α·v·β ⊆ c` the maximal
+/// admissible language for `v` (others fixed) is the universal quotient
+/// `{w | ∀u ∈ [α], ∀u′ ∈ [β] : u·w·u′ ∈ c}`; `v` is extendable iff its
+/// assigned language is a proper subset of the intersection of these.
+pub fn extendable_vars(system: &System, assignment: &Assignment) -> Vec<VarId> {
+    use dprle_automata::quotient::{left_quotient_universal, right_quotient_universal};
+    let constraints = system.union_free_constraints();
+    let mut out = Vec::new();
+    'vars: for v in system.var_ids() {
+        let Some(current) = assignment.get(v) else { continue };
+        let mut allowed: Option<Nfa> = None;
+        for c in &constraints {
+            let occurrences = c.lhs.variables().iter().filter(|x| **x == v).count();
+            if occurrences == 0 {
+                continue;
+            }
+            if occurrences > 1 {
+                continue 'vars; // multi-occurrence: skip this variable
+            }
+            let (alpha, beta) = split_around(system, &c.lhs, v, assignment);
+            let mut bound = system.const_machine(c.rhs).clone();
+            bound = left_quotient_universal(&bound, &alpha);
+            bound = right_quotient_universal(&bound, &beta);
+            allowed = Some(match allowed {
+                None => bound,
+                Some(a) => ops::intersect_lang(&a, &bound),
+            });
+        }
+        if let Some(allowed) = allowed {
+            if !is_subset(&allowed, current) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Splits `e` (union-free) around the single occurrence of `v`: the
+/// machines for the prefix context α and suffix context β with all other
+/// variables substituted from `assignment`.
+fn split_around(system: &System, e: &Expr, v: VarId, assignment: &Assignment) -> (Nfa, Nfa) {
+    // Flatten the concat spine.
+    fn flatten<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::Concat(a, b) => {
+                flatten(a, out);
+                flatten(b, out);
+            }
+            other => out.push(other),
+        }
+    }
+    let mut parts = Vec::new();
+    flatten(e, &mut parts);
+    let pos = parts
+        .iter()
+        .position(|p| matches!(p, Expr::Var(x) if *x == v))
+        .expect("v occurs in e");
+    let mut alpha = Nfa::epsilon();
+    for p in &parts[..pos] {
+        alpha = ops::concat(&alpha, &eval_expr(system, p, assignment)).nfa;
+    }
+    let mut beta = Nfa::epsilon();
+    for p in &parts[pos + 1..] {
+        beta = ops::concat(&beta, &eval_expr(system, p, assignment)).nfa;
+    }
+    (alpha, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprle_automata::equivalent;
+    use dprle_regex::Regex;
+
+    fn exact(pattern: &str) -> Nfa {
+        Regex::new(pattern).expect("pattern compiles").exact_language().clone()
+    }
+
+    #[test]
+    fn plain_intersection_system() {
+        // §3.1.1 first example: v1 ⊆ (xx)+y, v1 ⊆ x*y → v1 = (xx)+y.
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let a = sys.constant("a", exact("(xx)+y"));
+        let b = sys.constant("b", exact("x*y"));
+        sys.require(Expr::Var(v1), a);
+        sys.require(Expr::Var(v1), b);
+        let solution = solve(&sys, &SolveOptions::default());
+        let asg = solution.first().expect("satisfiable");
+        let x1 = asg.get(v1).expect("assigned");
+        assert!(equivalent(x1, &exact("(xx)+y")));
+        assert!(extendable_vars(&sys, asg).is_empty(), "solution is maximal");
+    }
+
+    #[test]
+    fn motivating_example_end_to_end() {
+        // v1 ⊆ c1 (faulty filter), c2·v1 ⊆ c3 (query contains a quote).
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let c1 = sys.constant_regex("c1", "[\\d]+$").expect("filter");
+        let c2 = sys.constant("c2", Nfa::literal(b"nid_"));
+        let c3 = sys.constant_regex("c3", "'").expect("quote");
+        sys.require(Expr::Var(v1), c1);
+        sys.require(Expr::Const(c2).concat(Expr::Var(v1)), c3);
+        let solution = solve(&sys, &SolveOptions::default());
+        let asg = solution.first().expect("the code is vulnerable");
+        let exploit = asg.witness(v1).expect("nonempty language");
+        // Any witness passes the faulty filter and injects a quote.
+        assert!(Regex::new("[\\d]+$").expect("re").is_match(&exploit));
+        assert!(exploit.contains(&b'\''));
+    }
+
+    #[test]
+    fn fixed_filter_is_unsatisfiable() {
+        // With the corrected filter ^[\d]+$ the exploit language is empty:
+        // the paper notes the algorithm then reports no bug.
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let c1 = sys.constant_regex("c1", "^[\\d]+$").expect("filter");
+        let c2 = sys.constant("c2", Nfa::literal(b"nid_"));
+        let c3 = sys.constant_regex("c3", "'").expect("quote");
+        sys.require(Expr::Var(v1), c1);
+        sys.require(Expr::Const(c2).concat(Expr::Var(v1)), c3);
+        assert!(!solve(&sys, &SolveOptions::default()).is_sat());
+    }
+
+    #[test]
+    fn variable_free_constraints_are_checked() {
+        let mut sys = System::new();
+        let small = sys.constant("small", exact("ab"));
+        let big = sys.constant("big", exact("a*b*"));
+        sys.require(Expr::Const(small), big);
+        assert!(solve(&sys, &SolveOptions::default()).is_sat());
+
+        let mut bad = System::new();
+        let v = bad.var("v");
+        let small = bad.constant("small", exact("ab"));
+        let big = bad.constant("big", exact("a*b*"));
+        bad.require(Expr::Const(big), small);
+        bad.require(Expr::Var(v), big);
+        assert!(!solve(&bad, &SolveOptions::default()).is_sat());
+    }
+
+    #[test]
+    fn disjunctive_worklist_branches() {
+        // Two independent CI groups, each with two disjuncts → 4 assignments.
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let v3 = sys.var("v3");
+        let v4 = sys.var("v4");
+        let cx = sys.constant("cx", exact("x(yy)+"));
+        let cy = sys.constant("cy", exact("(yy)*z"));
+        let ct = sys.constant("ct", exact("xyyz|xyyyyz"));
+        sys.require(Expr::Var(v1), cx);
+        sys.require(Expr::Var(v2), cy);
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), ct);
+        sys.require(Expr::Var(v3), cx);
+        sys.require(Expr::Var(v4), cy);
+        sys.require(Expr::Var(v3).concat(Expr::Var(v4)), ct);
+        let solution = solve(&sys, &SolveOptions::default());
+        assert_eq!(solution.assignments().len(), 4);
+        for a in solution.assignments() {
+            assert!(satisfies_system(&sys, a));
+        }
+    }
+
+    #[test]
+    fn solve_first_stops_early() {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let cx = sys.constant("cx", exact("x(yy)+"));
+        let cy = sys.constant("cy", exact("(yy)*z"));
+        let ct = sys.constant("ct", exact("xyyz|xyyyyz"));
+        sys.require(Expr::Var(v1), cx);
+        sys.require(Expr::Var(v2), cy);
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), ct);
+        let first = solve_first(&sys, &SolveOptions::default()).expect("sat");
+        assert!(satisfies_system(&sys, &first));
+    }
+
+    #[test]
+    fn union_extension_solves() {
+        // (v1 ∪ v2) ⊆ ab|cd with v1 ⊆ a., v2 ⊆ c. →
+        // v1 = ab, v2 = cd.
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let c = sys.constant("c", exact("ab|cd"));
+        let ca = sys.constant("ca", exact("a."));
+        let cb = sys.constant("cb", exact("c."));
+        sys.require(Expr::Var(v1), ca);
+        sys.require(Expr::Var(v2), cb);
+        sys.require(Expr::Var(v1).union(Expr::Var(v2)), c);
+        let solution = solve(&sys, &SolveOptions::default());
+        let asg = solution.first().expect("sat");
+        assert!(equivalent(asg.get(v1).expect("v1"), &exact("ab")));
+        assert!(equivalent(asg.get(v2).expect("v2"), &exact("cd")));
+    }
+
+    #[test]
+    fn length_extension_solves() {
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let c = sys.constant("c", exact("a*"));
+        sys.require(Expr::Var(v), c);
+        sys.require_length(v, 2, 3);
+        let solution = solve(&sys, &SolveOptions::default());
+        let asg = solution.first().expect("sat");
+        let lang = asg.get(v).expect("v");
+        assert!(lang.contains(b"aa") && lang.contains(b"aaa"));
+        assert!(!lang.contains(b"a") && !lang.contains(b"aaaa"));
+    }
+
+    #[test]
+    fn unconstrained_variable_gets_sigma_star() {
+        let mut sys = System::new();
+        let v = sys.var("used");
+        let w = sys.var("unused");
+        let c = sys.constant("c", exact("a"));
+        sys.require(Expr::Var(v), c);
+        let solution = solve(&sys, &SolveOptions::default());
+        let asg = solution.first().expect("sat");
+        assert!(asg.get(w).expect("unused var still assigned").contains(b"anything"));
+    }
+
+    #[test]
+    fn empty_result_reports_unsat_not_empty_assignment() {
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let ca = sys.constant("ca", exact("a"));
+        let cb = sys.constant("cb", exact("b"));
+        sys.require(Expr::Var(v), ca);
+        sys.require(Expr::Var(v), cb);
+        assert!(!solve(&sys, &SolveOptions::default()).is_sat());
+        // With require_nonempty disabled the branch survives with ∅.
+        let opts = SolveOptions { require_nonempty: false, ..Default::default() };
+        let solution = solve(&sys, &opts);
+        assert!(solution.is_sat());
+        assert!(solution.first().expect("branch").has_empty_language());
+    }
+
+    #[test]
+    fn maximality_detector_flags_shrunk_assignment() {
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let c = sys.constant("c", exact("a|b"));
+        sys.require(Expr::Var(v), c);
+        let mut shrunk = Assignment::new();
+        shrunk.insert(v, exact("a"));
+        assert!(satisfies_system(&sys, &shrunk));
+        assert_eq!(extendable_vars(&sys, &shrunk), vec![v]);
+        let solution = solve(&sys, &SolveOptions::default());
+        assert!(extendable_vars(&sys, solution.first().expect("sat")).is_empty());
+    }
+
+    #[test]
+    fn quotient_stripping_recovers_multistring_constant_solutions() {
+        // c·v ⊆ {ab, abb} with c = {a, ab}: the maximal v is {b} (a·b = ab
+        // and ab·b = abb both land in the bound). The paper-faithful
+        // enumerate mode cannot keep the whole constant on one bridge edge
+        // and reports unsat; quotient stripping is exact.
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let c = sys.constant("c", exact("a|ab"));
+        let bound = sys.constant("bound", exact("ab|abb"));
+        sys.require(Expr::Const(c).concat(Expr::Var(v)), bound);
+
+        let faithful = solve(&sys, &SolveOptions::default());
+        assert!(!faithful.is_sat(), "documented incompleteness of enumerate mode");
+
+        let opts = SolveOptions { strip_constant_operands: true, ..Default::default() };
+        let solution = solve(&sys, &opts);
+        let asg = solution.first().expect("quotient mode finds the assignment");
+        assert!(equivalent(asg.get(v).expect("assigned"), &exact("b")));
+        assert!(satisfies_system(&sys, asg));
+    }
+
+    #[test]
+    fn quotient_stripping_matches_enumerate_on_singletons() {
+        // On the motivating example (singleton constant) both modes agree.
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let c1 = sys.constant_regex("c1", "[\\d]+$").expect("filter");
+        let c2 = sys.constant("c2", Nfa::literal(b"nid_"));
+        let c3 = sys.constant_regex("c3", "'").expect("quote");
+        sys.require(Expr::Var(v1), c1);
+        sys.require(Expr::Const(c2).concat(Expr::Var(v1)), c3);
+        let base = solve(&sys, &SolveOptions::default());
+        let opts = SolveOptions { strip_constant_operands: true, ..Default::default() };
+        let stripped = solve(&sys, &opts);
+        let a = base.first().expect("sat");
+        let b = stripped.first().expect("sat");
+        assert!(equivalent(
+            a.get(v1).expect("assigned"),
+            b.get(v1).expect("assigned")
+        ));
+    }
+
+    #[test]
+    fn quotient_stripping_handles_trailing_constants() {
+        // v·c ⊆ {xa, xab}* shape: v ⊆ Σ*, v·"ab" ⊆ x(ab)+ → v = x(ab)*.
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let c = sys.constant("c", Nfa::literal(b"ab"));
+        let bound = sys.constant("bound", exact("x(ab)+"));
+        sys.require(Expr::Var(v).concat(Expr::Const(c)), bound);
+        let opts = SolveOptions { strip_constant_operands: true, ..Default::default() };
+        let solution = solve(&sys, &opts);
+        let asg = solution.first().expect("sat");
+        assert!(equivalent(asg.get(v).expect("assigned"), &exact("x(ab)*")));
+    }
+
+    #[test]
+    fn trace_records_events() {
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let a = sys.constant("a", exact("ab*"));
+        sys.require(Expr::Var(v), a);
+        let options = SolveOptions { trace: true, ..Default::default() };
+        let (_, stats) = solve_with_stats(&sys, &options);
+        assert!(!stats.events.is_empty());
+        let text = stats.events.join("\n");
+        assert!(text.contains("union-free"), "{text}");
+        assert!(text.contains("reduced v"), "{text}");
+        // Default runs carry no trace.
+        let (_, quiet) = solve_with_stats(&sys, &SolveOptions::default());
+        assert!(quiet.events.is_empty());
+    }
+
+    #[test]
+    fn stats_reflect_the_run() {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let cx = sys.constant("cx", exact("x(yy)+"));
+        let cy = sys.constant("cy", exact("(yy)*z"));
+        let ct = sys.constant("ct", exact("xyyz|xyyyyz"));
+        sys.require(Expr::Var(v1), cx);
+        sys.require(Expr::Var(v2), cy);
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), ct);
+        let (solution, stats) = solve_with_stats(&sys, &SolveOptions::default());
+        assert_eq!(stats.groups, 1);
+        assert_eq!(stats.group_disjuncts, 2);
+        assert_eq!(stats.branches_completed, 2);
+        assert_eq!(stats.branches_filtered, 0);
+        assert!(stats.max_leaf_states > 0);
+        assert_eq!(solution.assignments().len(), 2);
+
+        // An unsat plain-intersection system: no groups, one filtered branch.
+        let mut unsat = System::new();
+        let v = unsat.var("v");
+        let a = unsat.constant("a", exact("a"));
+        let b = unsat.constant("b", exact("b"));
+        unsat.require(Expr::Var(v), a);
+        unsat.require(Expr::Var(v), b);
+        let (solution, stats) = solve_with_stats(&unsat, &SolveOptions::default());
+        assert!(!solution.is_sat());
+        assert_eq!(stats.groups, 0);
+        assert_eq!(stats.branches_filtered, 1);
+    }
+
+    #[test]
+    fn eval_expr_folds_concats() {
+        let mut sys = System::new();
+        let a = sys.constant("a", exact("a"));
+        let b = sys.constant("b", exact("b"));
+        let m = eval_expr(
+            &sys,
+            &Expr::Const(a).concat(Expr::Const(b)),
+            &Assignment::new(),
+        );
+        assert!(m.contains(b"ab"));
+        assert!(!m.contains(b"a"));
+    }
+}

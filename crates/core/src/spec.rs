@@ -1,0 +1,412 @@
+//! The constraint language: subset constraints over regular languages.
+//!
+//! This module implements the grammar of the paper's Figure 2,
+//!
+//! ```text
+//! S ::= E ⊆ C        subset constraint
+//! E ::= E · E        language concatenation
+//!     | C | V
+//! C ::= c₁ | … | cₙ   constants
+//! V ::= v₁ | … | vₘ   variables
+//! ```
+//!
+//! plus the §3.1.2 extension of union on the left-hand side (which desugars
+//! exactly: `(e₁ ∪ e₂) ⊆ c ⟺ e₁ ⊆ c ∧ e₂ ⊆ c`, distributing over
+//! concatenation).
+//!
+//! A [`System`] interns variables by name and constants by name+machine and
+//! owns the list of constraints. It is the input to the dependency-graph
+//! construction and the solver.
+
+use dprle_automata::Nfa;
+use dprle_regex::Regex;
+use std::fmt;
+
+/// Identifier of an interned language variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+/// Identifier of an interned constant language.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ConstId(pub u32);
+
+/// The left-hand side of a subset constraint: concatenations and unions of
+/// variables and constants.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// A language variable.
+    Var(VarId),
+    /// A constant language.
+    Const(ConstId),
+    /// Concatenation `e₁ · e₂`.
+    Concat(Box<Expr>, Box<Expr>),
+    /// Union `e₁ ∪ e₂` (§3.1.2 extension; desugared before solving).
+    Union(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Concatenates two expressions.
+    pub fn concat(self, rhs: Expr) -> Expr {
+        Expr::Concat(Box::new(self), Box::new(rhs))
+    }
+
+    /// Unions two expressions.
+    pub fn union(self, rhs: Expr) -> Expr {
+        Expr::Union(Box::new(self), Box::new(rhs))
+    }
+
+    /// All variables occurring in the expression, in occurrence order
+    /// (duplicates preserved).
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Var(v) => out.push(*v),
+            Expr::Const(_) => {}
+            Expr::Concat(a, b) | Expr::Union(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Whether the expression contains any union node.
+    pub fn has_union(&self) -> bool {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => false,
+            Expr::Union(_, _) => true,
+            Expr::Concat(a, b) => a.has_union() || b.has_union(),
+        }
+    }
+
+    /// Rewrites the expression into a union of union-free expressions
+    /// (distributing `·` over `∪`).
+    pub fn into_union_free(self) -> Vec<Expr> {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => vec![self],
+            Expr::Union(a, b) => {
+                let mut out = a.into_union_free();
+                out.extend(b.into_union_free());
+                out
+            }
+            Expr::Concat(a, b) => {
+                let lefts = a.into_union_free();
+                let rights = b.into_union_free();
+                let mut out = Vec::with_capacity(lefts.len() * rights.len());
+                for l in &lefts {
+                    for r in &rights {
+                        out.push(l.clone().concat(r.clone()));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+impl From<VarId> for Expr {
+    fn from(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+}
+
+impl From<ConstId> for Expr {
+    fn from(c: ConstId) -> Expr {
+        Expr::Const(c)
+    }
+}
+
+/// A single subset constraint `lhs ⊆ rhs` where `rhs` is a constant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Constraint {
+    /// The left-hand expression.
+    pub lhs: Expr,
+    /// The constant the expression must be contained in.
+    pub rhs: ConstId,
+}
+
+/// A system of subset constraints over a shared set of variables — an
+/// instance `I = {s₁, …, sₚ}` of the Regular Matching Assignments problem
+/// (paper §3.1).
+///
+/// # Examples
+///
+/// Build the paper's motivating system `v₁ ⊆ c₁, c₂·v₁ ⊆ c₃`:
+///
+/// ```
+/// use dprle_core::{Expr, System};
+/// use dprle_automata::Nfa;
+///
+/// let mut sys = System::new();
+/// let v1 = sys.var("v1");
+/// let c1 = sys.constant_regex("c1", "[\\d]+$")?; // faulty filter, search mode
+/// let c2 = sys.constant("c2", Nfa::literal(b"nid_"));
+/// let c3 = sys.constant_regex("c3", "'")?;       // contains a quote
+/// sys.require(Expr::Var(v1), c1);
+/// sys.require(Expr::Const(c2).concat(Expr::Var(v1)), c3);
+/// assert_eq!(sys.num_constraints(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct System {
+    vars: Vec<String>,
+    consts: Vec<(String, Nfa)>,
+    constraints: Vec<Constraint>,
+}
+
+impl System {
+    /// Creates an empty system.
+    pub fn new() -> System {
+        System::default()
+    }
+
+    /// Interns a variable by name, returning its id. Repeated calls with
+    /// the same name return the same id.
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(i) = self.vars.iter().position(|n| n == name) {
+            return VarId(i as u32);
+        }
+        self.vars.push(name.to_owned());
+        VarId((self.vars.len() - 1) as u32)
+    }
+
+    /// Interns a constant language under `name`.
+    ///
+    /// Unlike variables, constants are interned by *name only*: registering
+    /// a different machine under an existing name replaces nothing and
+    /// returns the existing id — use distinct names for distinct languages.
+    pub fn constant(&mut self, name: &str, machine: Nfa) -> ConstId {
+        if let Some(i) = self.consts.iter().position(|(n, _)| n == name) {
+            return ConstId(i as u32);
+        }
+        self.consts.push((name.to_owned(), machine));
+        ConstId((self.consts.len() - 1) as u32)
+    }
+
+    /// Interns a constant from a regex pattern with *search* (`preg_match`)
+    /// semantics: the language of subjects in which the pattern matches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates regex parse/compile errors.
+    pub fn constant_regex(
+        &mut self,
+        name: &str,
+        pattern: &str,
+    ) -> Result<ConstId, dprle_regex::ParseRegexError> {
+        let re = Regex::new(pattern)?;
+        Ok(self.constant(name, re.search_language().clone()))
+    }
+
+    /// Interns a constant from a regex pattern with *exact* (full-match)
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates regex parse/compile errors.
+    pub fn constant_regex_exact(
+        &mut self,
+        name: &str,
+        pattern: &str,
+    ) -> Result<ConstId, dprle_regex::ParseRegexError> {
+        let re = Regex::new(pattern)?;
+        Ok(self.constant(name, re.exact_language().clone()))
+    }
+
+    /// Adds the constraint `lhs ⊆ rhs`.
+    pub fn require(&mut self, lhs: impl Into<Expr>, rhs: ConstId) {
+        self.constraints.push(Constraint { lhs: lhs.into(), rhs });
+    }
+
+    /// Restricts `var` to strings of length `min..=max` (§3.1.2 extension:
+    /// substring/length modeling). Implemented as an ordinary subset
+    /// constraint against a fresh length-window constant.
+    pub fn require_length(&mut self, var: VarId, min: usize, max: usize) {
+        let name = format!("__len_{min}_{max}");
+        let c = self.constant(&name, Nfa::length_between(min, max));
+        self.require(Expr::Var(var), c);
+    }
+
+    /// The number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The number of interned variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The number of interned constants.
+    pub fn num_consts(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// The name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0 as usize]
+    }
+
+    /// Looks up a variable id by name.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.vars.iter().position(|n| n == name).map(|i| VarId(i as u32))
+    }
+
+    /// The name of a constant.
+    pub fn const_name(&self, c: ConstId) -> &str {
+        &self.consts[c.0 as usize].0
+    }
+
+    /// The machine of a constant.
+    pub fn const_machine(&self, c: ConstId) -> &Nfa {
+        &self.consts[c.0 as usize].1
+    }
+
+    /// Iterates over all variable ids.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len() as u32).map(VarId)
+    }
+
+    /// The constraints of the system.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Keeps only the first `len` constraints (used by the incremental
+    /// solver's scope retraction).
+    pub(crate) fn retain_constraints(&mut self, len: usize) {
+        self.constraints.truncate(len);
+    }
+
+    /// Returns the constraints with every union desugared away
+    /// (`(e₁ ∪ e₂) ⊆ c` becomes `e₁ ⊆ c, e₂ ⊆ c`).
+    pub fn union_free_constraints(&self) -> Vec<Constraint> {
+        let mut out = Vec::with_capacity(self.constraints.len());
+        for c in &self.constraints {
+            if c.lhs.has_union() {
+                for e in c.lhs.clone().into_union_free() {
+                    out.push(Constraint { lhs: e, rhs: c.rhs });
+                }
+            } else {
+                out.push(c.clone());
+            }
+        }
+        out
+    }
+
+    /// Renders an expression using interned names.
+    pub fn expr_to_string(&self, e: &Expr) -> String {
+        match e {
+            Expr::Var(v) => self.var_name(*v).to_owned(),
+            Expr::Const(c) => self.const_name(*c).to_owned(),
+            Expr::Concat(a, b) => {
+                format!("{} . {}", self.expr_to_string(a), self.expr_to_string(b))
+            }
+            Expr::Union(a, b) => {
+                format!("({} | {})", self.expr_to_string(a), self.expr_to_string(b))
+            }
+        }
+    }
+}
+
+impl fmt::Display for System {
+    /// Renders the system one constraint per line, e.g. `c2 . v1 <= c3`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.constraints {
+            writeln!(f, "{} <= {}", self.expr_to_string(&c.lhs), self.const_name(c.rhs))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut sys = System::new();
+        let a = sys.var("a");
+        let b = sys.var("b");
+        assert_ne!(a, b);
+        assert_eq!(sys.var("a"), a);
+        assert_eq!(sys.num_vars(), 2);
+        assert_eq!(sys.var_name(b), "b");
+        assert_eq!(sys.var_id("b"), Some(b));
+        assert_eq!(sys.var_id("zz"), None);
+    }
+
+    #[test]
+    fn constant_interning_by_name() {
+        let mut sys = System::new();
+        let c1 = sys.constant("k", Nfa::literal(b"x"));
+        let c2 = sys.constant("k", Nfa::literal(b"y"));
+        assert_eq!(c1, c2);
+        assert!(sys.const_machine(c1).contains(b"x"));
+        assert_eq!(sys.num_consts(), 1);
+    }
+
+    #[test]
+    fn regex_constants() {
+        let mut sys = System::new();
+        let c = sys.constant_regex("digits", "^[0-9]+$").expect("compiles");
+        assert!(sys.const_machine(c).contains(b"123"));
+        assert!(!sys.const_machine(c).contains(b"12a"));
+        let search = sys.constant_regex("has_quote", "'").expect("compiles");
+        assert!(sys.const_machine(search).contains(b"a'b"));
+        assert!(sys.constant_regex("bad", "(").is_err());
+    }
+
+    #[test]
+    fn expr_variables_in_order() {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let e = Expr::Var(v2).concat(Expr::Var(v1)).concat(Expr::Var(v2));
+        assert_eq!(e.variables(), vec![v2, v1, v2]);
+    }
+
+    #[test]
+    fn union_desugars_distributively() {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let v3 = sys.var("v3");
+        let c = sys.constant("c", Nfa::sigma_star());
+        // (v1 ∪ v2) · v3 ⊆ c  desugars to  v1·v3 ⊆ c, v2·v3 ⊆ c.
+        let e = Expr::Var(v1).union(Expr::Var(v2)).concat(Expr::Var(v3));
+        assert!(e.has_union());
+        sys.require(e, c);
+        let flat = sys.union_free_constraints();
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat[0].lhs, Expr::Var(v1).concat(Expr::Var(v3)));
+        assert_eq!(flat[1].lhs, Expr::Var(v2).concat(Expr::Var(v3)));
+        assert!(!flat[0].lhs.has_union());
+    }
+
+    #[test]
+    fn length_constraint_is_a_subset_constraint() {
+        let mut sys = System::new();
+        let v = sys.var("v");
+        sys.require_length(v, 1, 3);
+        assert_eq!(sys.num_constraints(), 1);
+        let c = sys.constraints()[0].rhs;
+        assert!(sys.const_machine(c).contains(b"ab"));
+        assert!(!sys.const_machine(c).contains(b""));
+        assert!(!sys.const_machine(c).contains(b"abcd"));
+    }
+
+    #[test]
+    fn display_renders_constraints() {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let c2 = sys.constant("c2", Nfa::literal(b"nid_"));
+        let c3 = sys.constant("c3", Nfa::sigma_star());
+        sys.require(Expr::Const(c2).concat(Expr::Var(v1)), c3);
+        assert_eq!(sys.to_string(), "c2 . v1 <= c3\n");
+    }
+}

@@ -1,0 +1,167 @@
+//! Unsat cores: minimal explanations of unsatisfiability.
+//!
+//! When the solver reports "no satisfying assignments", downstream tools
+//! want to know *why* — which checks conflict. (In the paper's setting an
+//! unsat system means the code is safe; the core names the sanitization
+//! responsible, which is exactly what a developer auditing a
+//! reported-then-refuted defect wants to see.)
+//!
+//! The implementation is deletion-based minimization: drop one constraint
+//! at a time and re-solve; a constraint is kept in the core iff its removal
+//! makes the system satisfiable. The result is a *minimal* core (every
+//! member is necessary), though not necessarily a *minimum* one.
+
+use crate::solve::{solve, SolveOptions};
+use crate::spec::{Constraint, System};
+
+/// A minimal unsatisfiable core: indices into [`System::constraints`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnsatCore {
+    /// Indices of the core constraints, ascending.
+    pub indices: Vec<usize>,
+}
+
+impl UnsatCore {
+    /// Renders the core's constraints using the system's interned names.
+    pub fn display(&self, system: &System) -> String {
+        self.indices
+            .iter()
+            .map(|&i| {
+                let c = &system.constraints()[i];
+                format!(
+                    "[{}] {} <= {}",
+                    i,
+                    system.expr_to_string(&c.lhs),
+                    system.const_name(c.rhs)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Computes a minimal unsat core of `system`, or `None` if the system is
+/// satisfiable.
+///
+/// Cost: one solver call per constraint (deletion loop) plus the initial
+/// check — acceptable for the constraint counts the front end produces
+/// (the paper's largest |C| is 387).
+pub fn unsat_core(system: &System, options: &SolveOptions) -> Option<UnsatCore> {
+    if solve(system, options).is_sat() {
+        return None;
+    }
+    let all: Vec<Constraint> = system.constraints().to_vec();
+    // Work on a copy of the system with no constraints; re-add per trial.
+    let mut keep: Vec<usize> = (0..all.len()).collect();
+    let mut i = 0;
+    while i < keep.len() {
+        // Try removing keep[i].
+        let candidate: Vec<usize> =
+            keep.iter().copied().filter(|&k| k != keep[i]).collect();
+        let trial = with_constraints(system, &all, &candidate);
+        if solve(&trial, options).is_sat() {
+            // Necessary: keep it, move on.
+            i += 1;
+        } else {
+            // Still unsat without it: drop permanently.
+            keep = candidate;
+        }
+    }
+    Some(UnsatCore { indices: keep })
+}
+
+fn with_constraints(system: &System, all: &[Constraint], indices: &[usize]) -> System {
+    let mut out = system.clone();
+    out.truncate_constraints(0);
+    for &i in indices {
+        out.require(all[i].lhs.clone(), all[i].rhs);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Expr;
+    use dprle_automata::Nfa;
+    use dprle_regex::Regex;
+
+    fn exact(pattern: &str) -> Nfa {
+        Regex::new(pattern).expect("compiles").exact_language().clone()
+    }
+
+    #[test]
+    fn satisfiable_systems_have_no_core() {
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let a = sys.constant("a", exact("a+"));
+        sys.require(Expr::Var(v), a);
+        assert_eq!(unsat_core(&sys, &SolveOptions::default()), None);
+    }
+
+    #[test]
+    fn core_isolates_the_conflicting_pair() {
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let w = sys.var("w");
+        let a = sys.constant("a", exact("a+"));
+        let b = sys.constant("b", exact("b+"));
+        let c = sys.constant("c", exact("c*"));
+        sys.require(Expr::Var(w), c); // irrelevant
+        sys.require(Expr::Var(v), a); // conflict half 1
+        sys.require(Expr::Var(w), c); // irrelevant duplicate
+        sys.require(Expr::Var(v), b); // conflict half 2
+        let core = unsat_core(&sys, &SolveOptions::default()).expect("unsat");
+        assert_eq!(core.indices, vec![1, 3]);
+        let text = core.display(&sys);
+        assert!(text.contains("v <= a"), "{text}");
+        assert!(text.contains("v <= b"), "{text}");
+        assert!(!text.contains("w <= c"), "{text}");
+    }
+
+    #[test]
+    fn core_members_are_each_necessary() {
+        let mut sys = System::new();
+        let v = sys.var("v");
+        // Three pairwise-compatible constraints that are jointly unsat:
+        // starts with a, ends with b, and has length 1.
+        let starts = sys.constant("starts", exact("a[ab]*"));
+        let ends = sys.constant("ends", exact("[ab]*b"));
+        let len1 = sys.constant("len1", exact("[ab]"));
+        sys.require(Expr::Var(v), starts);
+        sys.require(Expr::Var(v), ends);
+        sys.require(Expr::Var(v), len1);
+        let core = unsat_core(&sys, &SolveOptions::default()).expect("unsat");
+        assert_eq!(core.indices.len(), 3, "all three needed");
+        // Each pair alone is satisfiable.
+        for drop in 0..3 {
+            let mut pair = System::new();
+            let v = pair.var("v");
+            let machines = [exact("a[ab]*"), exact("[ab]*b"), exact("[ab]")];
+            for (i, m) in machines.into_iter().enumerate() {
+                if i != drop {
+                    let c = pair.constant(&format!("c{i}"), m);
+                    pair.require(Expr::Var(v), c);
+                }
+            }
+            assert!(solve(&pair, &SolveOptions::default()).is_sat());
+        }
+    }
+
+    #[test]
+    fn core_through_concatenation() {
+        // The safe-after-patching story: filter blocks quotes, policy wants
+        // one — the core is exactly {filter, policy}, not the length check.
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let filter = sys.constant_regex("filter", "^[\\d]+$").expect("re");
+        let len = sys.constant("len", Nfa::length_between(0, 64));
+        let pre = sys.constant("pre", Nfa::literal(b"nid_"));
+        let policy = sys.constant_regex("policy", "'").expect("re");
+        sys.require(Expr::Var(v), filter);
+        sys.require(Expr::Var(v), len);
+        sys.require(Expr::Const(pre).concat(Expr::Var(v)), policy);
+        let core = unsat_core(&sys, &SolveOptions::default()).expect("safe = unsat");
+        assert_eq!(core.indices, vec![0, 2], "filter + policy, not the length cap");
+    }
+}

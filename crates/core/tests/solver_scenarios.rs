@@ -1,0 +1,262 @@
+//! Larger solver scenarios: multi-group systems, deep nesting, combined
+//! extensions, and option interactions — the shapes a downstream program
+//! analysis actually generates.
+
+use dprle_automata::{equivalent, Nfa};
+use dprle_core::{
+    satisfies_system, solve, solve_with_stats, Expr, SolveOptions, Solution, System,
+};
+use dprle_regex::Regex;
+
+fn exact(pattern: &str) -> Nfa {
+    Regex::new(pattern).expect("compiles").exact_language().clone()
+}
+
+/// Three independent subsystems in one System: a plain intersection, a CI
+/// group, and a variable-free check — all must resolve in one call.
+#[test]
+fn mixed_subsystems_resolve_together() {
+    let mut sys = System::new();
+    // Plain: p ⊆ a+, p ⊆ a{2,3}
+    let p = sys.var("p");
+    let ca = sys.constant("ca", exact("a+"));
+    let cb = sys.constant("cb", exact("a{2,3}"));
+    sys.require(Expr::Var(p), ca);
+    sys.require(Expr::Var(p), cb);
+    // CI group: q·r ⊆ xy
+    let q = sys.var("q");
+    let r = sys.var("r");
+    let cxy = sys.constant("cxy", exact("xy"));
+    sys.require(Expr::Var(q).concat(Expr::Var(r)), cxy);
+    // Variable-free: "k" ⊆ k|l
+    let k = sys.constant("k", exact("k"));
+    let kl = sys.constant("kl", exact("k|l"));
+    sys.require(Expr::Const(k), kl);
+
+    let solution = solve(&sys, &SolveOptions::default());
+    let assignments = solution.assignments();
+    assert!(!assignments.is_empty());
+    for a in assignments {
+        assert!(satisfies_system(&sys, a));
+        assert!(equivalent(a.get(p).expect("p"), &exact("a{2,3}")));
+    }
+}
+
+/// A four-variable concatenation tower with per-variable alphabets: the
+/// group solver must thread the bound through three bridges.
+#[test]
+fn four_variable_tower() {
+    let mut sys = System::new();
+    let vars: Vec<_> = (0..4).map(|i| sys.var(&format!("v{i}"))).collect();
+    for (i, v) in vars.iter().enumerate() {
+        let letter = (b'a' + i as u8) as char;
+        let c = sys.constant(&format!("c{i}"), exact(&format!("{letter}+")));
+        sys.require(Expr::Var(*v), c);
+    }
+    let total = sys.constant("total", exact("aabbbcd{2}"));
+    let lhs = vars[1..]
+        .iter()
+        .fold(Expr::Var(vars[0]), |e, v| e.concat(Expr::Var(*v)));
+    sys.require(lhs, total);
+    let solution = solve(&sys, &SolveOptions::default());
+    let a = solution.first().expect("satisfiable");
+    assert!(equivalent(a.get(vars[0]).expect("v0"), &exact("aa")));
+    assert!(equivalent(a.get(vars[1]).expect("v1"), &exact("bbb")));
+    assert!(equivalent(a.get(vars[2]).expect("v2"), &exact("c")));
+    assert!(equivalent(a.get(vars[3]).expect("v3"), &exact("d{2}")));
+}
+
+/// A variable chained through three concatenations: one CI group whose
+/// shared leaf must satisfy all three contexts simultaneously.
+#[test]
+fn variable_in_three_concatenations() {
+    let mut sys = System::new();
+    let x = sys.var("x");
+    let l = sys.var("l");
+    let r = sys.var("r");
+    let c1 = sys.constant("c1", exact("ax"));
+    let c2 = sys.constant("c2", exact("xb"));
+    let c3 = sys.constant("c3", exact("xx"));
+    sys.require(Expr::Var(l).concat(Expr::Var(x)), c1);
+    sys.require(Expr::Var(x).concat(Expr::Var(r)), c2);
+    sys.require(Expr::Var(x).concat(Expr::Var(x)), c3);
+    let solution = solve(&sys, &SolveOptions::default());
+    let a = solution.first().expect("satisfiable");
+    assert!(equivalent(a.get(x).expect("x"), &exact("x")));
+    assert!(equivalent(a.get(l).expect("l"), &exact("a")));
+    assert!(equivalent(a.get(r).expect("r"), &exact("b")));
+}
+
+/// Union and length extensions combined with a concatenation constraint.
+#[test]
+fn union_and_length_with_concatenation() {
+    let mut sys = System::new();
+    let u = sys.var("u");
+    let w = sys.var("w");
+    let cu = sys.constant("cu", exact("[ab]+"));
+    sys.require(Expr::Var(u), cu);
+    sys.require_length(u, 2, 2);
+    let cw = sys.constant("cw", exact("[cd]+"));
+    sys.require(Expr::Var(w), cw);
+    // (u ∪ w) · "!" ⊆ anything of length 3 — forces w to length 2 as well.
+    let bang = sys.constant("bang", Nfa::literal(b"!"));
+    let len3 = sys.constant("len3", Nfa::exact_length(3));
+    sys.require(
+        Expr::Var(u).union(Expr::Var(w)).concat(Expr::Const(bang)),
+        len3,
+    );
+    let solution = solve(&sys, &SolveOptions::default());
+    let a = solution.first().expect("satisfiable");
+    assert!(equivalent(a.get(u).expect("u"), &exact("[ab]{2}")));
+    assert!(equivalent(a.get(w).expect("w"), &exact("[cd]{2}")));
+}
+
+/// An unsatisfiable group nukes every branch even when other groups have
+/// many disjuncts.
+#[test]
+fn unsat_group_dominates() {
+    let mut sys = System::new();
+    // Group 1: two disjuncts (the §3.1.1 example).
+    let v1 = sys.var("v1");
+    let v2 = sys.var("v2");
+    let c1 = sys.constant("c1", exact("x(yy)+"));
+    let c2 = sys.constant("c2", exact("(yy)*z"));
+    let c3 = sys.constant("c3", exact("xyyz|xyyyyz"));
+    sys.require(Expr::Var(v1), c1);
+    sys.require(Expr::Var(v2), c2);
+    sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c3);
+    // Group 2: unsatisfiable.
+    let w1 = sys.var("w1");
+    let w2 = sys.var("w2");
+    let ca = sys.constant("ca", exact("a+"));
+    let cb = sys.constant("cb", exact("b+"));
+    let cc = sys.constant("cc", exact("c+"));
+    sys.require(Expr::Var(w1), ca);
+    sys.require(Expr::Var(w2), cb);
+    sys.require(Expr::Var(w1).concat(Expr::Var(w2)), cc);
+
+    let (solution, stats) = solve_with_stats(&sys, &SolveOptions::default());
+    assert!(!solution.is_sat());
+    assert_eq!(stats.groups, 2);
+}
+
+/// `max_assignments` truncates the cross-group product lazily.
+#[test]
+fn assignment_cap_is_respected() {
+    let mut sys = System::new();
+    for g in 0..2 {
+        let v1 = sys.var(&format!("v1_{g}"));
+        let v2 = sys.var(&format!("v2_{g}"));
+        let c1 = sys.constant(&format!("c1_{g}"), exact("x(yy)+"));
+        let c2 = sys.constant(&format!("c2_{g}"), exact("(yy)*z"));
+        let c3 = sys.constant(&format!("c3_{g}"), exact("xyyz|xyyyyz"));
+        sys.require(Expr::Var(v1), c1);
+        sys.require(Expr::Var(v2), c2);
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c3);
+    }
+    let all = solve(&sys, &SolveOptions::default());
+    assert_eq!(all.assignments().len(), 4, "2 × 2 disjuncts");
+    let capped = solve(
+        &sys,
+        &SolveOptions { max_assignments: Some(3), ..Default::default() },
+    );
+    assert_eq!(capped.assignments().len(), 3);
+}
+
+/// Quotient mode and enumerate mode agree on a corpus-shaped system with
+/// literal constants on both edges of the concatenation.
+#[test]
+fn modes_agree_on_two_sided_literals() {
+    for strip in [false, true] {
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let filter = sys.constant_regex("filter", "[\\d]+$").expect("compiles");
+        let pre = sys.constant("pre", Nfa::literal(b"id='"));
+        let post = sys.constant("post", Nfa::literal(b"' LIMIT 1"));
+        let policy = sys.constant_regex("policy", "''").expect("compiles");
+        sys.require(Expr::Var(v), filter);
+        sys.require(
+            Expr::Const(pre)
+                .concat(Expr::Var(v))
+                .concat(Expr::Const(post)),
+            policy,
+        );
+        let options = SolveOptions { strip_constant_operands: strip, ..Default::default() };
+        let solution = solve(&sys, &options);
+        let a = solution.first().unwrap_or_else(|| panic!("strip={strip}: sat"));
+        let w = a.witness(v).expect("nonempty");
+        // The assembled value (literal context + witness) must contain the
+        // quote pair, and the witness itself must end with a digit for the
+        // filter.
+        let mut assembled = b"id='".to_vec();
+        assembled.extend_from_slice(&w);
+        assembled.extend_from_slice(b"' LIMIT 1");
+        assert!(
+            assembled.windows(2).any(|p| p == b"''"),
+            "strip={strip}: {assembled:?}"
+        );
+        assert!(w.last().expect("nonempty").is_ascii_digit());
+    }
+}
+
+/// Solving twice is deterministic (same assignments, same order).
+#[test]
+fn solving_is_deterministic() {
+    let build = || {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let c1 = sys.constant("c1", exact("x(yy)+"));
+        let c2 = sys.constant("c2", exact("(yy)*z"));
+        let c3 = sys.constant("c3", exact("xyyz|xyyyyz"));
+        sys.require(Expr::Var(v1), c1);
+        sys.require(Expr::Var(v2), c2);
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c3);
+        sys
+    };
+    let s1 = solve(&build(), &SolveOptions::default());
+    let s2 = solve(&build(), &SolveOptions::default());
+    let (a1, a2) = (s1.assignments(), s2.assignments());
+    assert_eq!(a1.len(), a2.len());
+    for (x, y) in a1.iter().zip(a2) {
+        assert!(x.equivalent_to(y));
+    }
+}
+
+/// Empty-language constants are handled: v ⊆ ∅ forces unsat under the
+/// nonemptiness rule, and an ∅ constant inside a concatenation kills that
+/// group.
+#[test]
+fn empty_constants() {
+    let mut sys = System::new();
+    let v = sys.var("v");
+    let never = sys.constant("never", Nfa::empty_language());
+    sys.require(Expr::Var(v), never);
+    assert!(!solve(&sys, &SolveOptions::default()).is_sat());
+
+    let mut sys = System::new();
+    let v = sys.var("v");
+    let never = sys.constant("never", Nfa::empty_language());
+    let top = sys.constant("top", Nfa::sigma_star());
+    sys.require(Expr::Const(never).concat(Expr::Var(v)), top);
+    match solve(&sys, &SolveOptions::default()) {
+        Solution::Unsat => {}
+        Solution::Assignments(_) => panic!("∅ operand cannot be preserved"),
+    }
+}
+
+/// The epsilon-only corner: v ⊆ {ε} composes with concatenation.
+#[test]
+fn epsilon_assignments() {
+    let mut sys = System::new();
+    let v = sys.var("v");
+    let w = sys.var("w");
+    let eps = sys.constant("eps", Nfa::epsilon());
+    let ab = sys.constant("ab", exact("ab"));
+    sys.require(Expr::Var(v), eps);
+    sys.require(Expr::Var(v).concat(Expr::Var(w)), ab);
+    let solution = solve(&sys, &SolveOptions::default());
+    let a = solution.first().expect("satisfiable");
+    assert!(a.get(v).expect("v").contains(b""));
+    assert!(equivalent(a.get(w).expect("w"), &exact("ab")));
+}

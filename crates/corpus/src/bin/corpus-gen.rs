@@ -1,0 +1,32 @@
+//! Emits the full synthetic corpus as PHP-like source trees.
+//!
+//! ```text
+//! corpus-gen [OUT_DIR]     (default: ./corpus-out)
+//! ```
+//!
+//! Produces `OUT_DIR/<app>/<file>.php` for all three applications; the
+//! emitted files can be fed to `dprle-analyze` to re-run the evaluation
+//! from source.
+
+use dprle_corpus::generate_corpus;
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "corpus-out".to_owned())
+        .into();
+    for app in generate_corpus() {
+        let dir = out.join(app.spec.name);
+        let paths = app.write_sources(&dir)?;
+        println!(
+            "{} {}: wrote {} files ({} statements) to {}",
+            app.spec.name,
+            app.spec.version,
+            paths.len(),
+            app.total_statements(),
+            dir.display()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! The published evaluation data set, as shape specifications.
+//!
+//! The paper evaluates on three PHP applications (Figure 11) and 17
+//! SQL-injection defect reports (Figure 12). The applications themselves
+//! (eve 1.0, Utopia News Pro 1.3.0, warp 1.2.1) and the Wassermann–Su
+//! defect reports are not redistributable; this module records the
+//! *published per-row statistics* — basic-block count `|FG|`, constraint
+//! count `|C|`, and the reported solve time — so the generator
+//! (`crate::generate`) can synthesize programs with the same shape and the
+//! benchmark harness can print paper-vs-measured tables.
+
+/// One application of the paper's Figure 11.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AppSpec {
+    /// Application name.
+    pub name: &'static str,
+    /// Version analyzed by the paper.
+    pub version: &'static str,
+    /// Number of PHP files.
+    pub files: usize,
+    /// Lines of code.
+    pub loc: usize,
+    /// Number of files with a generated exploit ("Vulnerable" column).
+    pub vulnerable: usize,
+}
+
+/// Figure 11: the data set.
+pub const FIG11_APPS: [AppSpec; 3] = [
+    AppSpec { name: "eve", version: "1.0", files: 8, loc: 905, vulnerable: 1 },
+    AppSpec { name: "utopia", version: "1.3.0", files: 24, loc: 5438, vulnerable: 4 },
+    AppSpec { name: "warp", version: "1.2.1", files: 44, loc: 24365, vulnerable: 12 },
+];
+
+/// One vulnerability row of the paper's Figure 12.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct VulnSpec {
+    /// Application the file belongs to.
+    pub app: &'static str,
+    /// File/vulnerability name as printed in the paper.
+    pub name: &'static str,
+    /// `|FG|`: number of basic blocks in the file.
+    pub fg: usize,
+    /// `|C|`: number of constraints produced by symbolic execution.
+    pub c: usize,
+    /// `T_S`: the paper's reported constraint-solving time, in seconds
+    /// (on a 2009-era 2.5 GHz Core 2 Duo).
+    pub paper_seconds: f64,
+    /// Whether this is the pathological row dominated by large string
+    /// constants tracked through every machine transformation (`secure`,
+    /// 577 s in the paper).
+    pub heavy: bool,
+}
+
+/// Figure 12: the 17 analyzed vulnerabilities.
+pub const FIG12_ROWS: [VulnSpec; 17] = [
+    VulnSpec { app: "eve", name: "edit", fg: 58, c: 29, paper_seconds: 0.32, heavy: false },
+    VulnSpec { app: "utopia", name: "login", fg: 295, c: 16, paper_seconds: 0.052, heavy: false },
+    VulnSpec { app: "utopia", name: "profile", fg: 855, c: 16, paper_seconds: 0.006, heavy: false },
+    VulnSpec { app: "utopia", name: "styles", fg: 597, c: 156, paper_seconds: 0.65, heavy: false },
+    VulnSpec { app: "utopia", name: "comm", fg: 994, c: 102, paper_seconds: 0.26, heavy: false },
+    VulnSpec { app: "warp", name: "cxapp", fg: 620, c: 10, paper_seconds: 0.054, heavy: false },
+    VulnSpec { app: "warp", name: "ax_help", fg: 610, c: 4, paper_seconds: 0.010, heavy: false },
+    VulnSpec { app: "warp", name: "usr_reg", fg: 608, c: 10, paper_seconds: 0.53, heavy: false },
+    VulnSpec { app: "warp", name: "ax_ed", fg: 630, c: 10, paper_seconds: 0.063, heavy: false },
+    VulnSpec { app: "warp", name: "cart_shop", fg: 856, c: 31, paper_seconds: 0.17, heavy: false },
+    VulnSpec { app: "warp", name: "req_redir", fg: 640, c: 41, paper_seconds: 0.43, heavy: false },
+    VulnSpec { app: "warp", name: "secure", fg: 648, c: 81, paper_seconds: 577.0, heavy: true },
+    VulnSpec { app: "warp", name: "a_cont", fg: 606, c: 10, paper_seconds: 0.057, heavy: false },
+    VulnSpec { app: "warp", name: "usr_prf", fg: 740, c: 66, paper_seconds: 0.22, heavy: false },
+    VulnSpec { app: "warp", name: "xw_mn", fg: 698, c: 387, paper_seconds: 0.50, heavy: false },
+    VulnSpec { app: "warp", name: "castvote", fg: 710, c: 10, paper_seconds: 0.052, heavy: false },
+    VulnSpec { app: "warp", name: "pay_nfo", fg: 628, c: 10, paper_seconds: 0.18, heavy: false },
+];
+
+/// The Figure 12 rows belonging to `app`.
+pub fn rows_for_app(app: &str) -> Vec<&'static VulnSpec> {
+    FIG12_ROWS.iter().filter(|r| r.app == app).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_counts_match_fig11_vulnerable_column() {
+        for app in &FIG11_APPS {
+            assert_eq!(
+                rows_for_app(app.name).len(),
+                app.vulnerable,
+                "{} row count",
+                app.name
+            );
+        }
+        assert_eq!(FIG12_ROWS.len(), 17);
+    }
+
+    #[test]
+    fn exactly_one_heavy_row() {
+        let heavy: Vec<_> = FIG12_ROWS.iter().filter(|r| r.heavy).collect();
+        assert_eq!(heavy.len(), 1);
+        assert_eq!(heavy[0].name, "secure");
+        assert_eq!(heavy[0].paper_seconds, 577.0);
+    }
+
+    #[test]
+    fn sixteen_of_seventeen_under_a_second() {
+        let fast = FIG12_ROWS.iter().filter(|r| r.paper_seconds < 1.0).count();
+        assert_eq!(fast, 16);
+    }
+}

@@ -1,0 +1,112 @@
+//! Fuzzing the front end with random programs: the printer/parser
+//! round-trip, the CFG builder, symbolic execution, and the interpreter
+//! must all be total on well-formed inputs; the analysis must stay sound
+//! (exploits replay) whenever it reports a finding.
+
+use dprle_core::SolveOptions;
+use dprle_corpus::{random_program, RandomProgramConfig};
+use dprle_lang::symex::SymexOptions;
+use dprle_lang::{analyze, parse_php, print_php, run_with_oracle, Cfg, Policy};
+use std::collections::HashMap;
+
+const SEEDS: u64 = 120;
+
+#[test]
+fn print_parse_roundtrip_on_random_programs() {
+    let config = RandomProgramConfig::default();
+    for seed in 0..SEEDS {
+        let program = random_program(seed, &config);
+        let printed = print_php(&program);
+        let reparsed = parse_php(&program.name, &printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
+        assert_eq!(program, reparsed, "seed {seed}\n{printed}");
+    }
+}
+
+#[test]
+fn cfg_and_symex_are_total_on_random_programs() {
+    let config = RandomProgramConfig::default();
+    let symex = SymexOptions { max_paths: 100_000, max_loop_unroll: 2, ..Default::default() };
+    for seed in 0..SEEDS {
+        let program = random_program(seed, &config);
+        let cfg = Cfg::build(&program);
+        assert!(cfg.num_blocks() >= 2, "seed {seed}");
+        // Exploration must terminate without panicking; the path limit is
+        // an acceptable (reported) outcome.
+        let _ = dprle_lang::explore(&program, &symex);
+    }
+}
+
+#[test]
+fn interpreter_is_total_with_an_oracle() {
+    let config = RandomProgramConfig::default();
+    for seed in 0..SEEDS {
+        let program = random_program(seed, &config);
+        // Alternate opaque decisions deterministically; loops that spin on
+        // an opaque condition terminate because the oracle flips.
+        let mut flip = false;
+        let mut oracle = |_: &str| {
+            flip = !flip;
+            Some(flip)
+        };
+        let inputs: HashMap<String, Vec<u8>> = [
+            ("in0".to_string(), b"abc".to_vec()),
+            ("in1".to_string(), b"'".to_vec()),
+            ("in2".to_string(), Vec::new()),
+        ]
+        .into_iter()
+        .collect();
+        // Totality means no panic/hang: normal completion and the
+        // iteration-cap error (for genuinely divergent loops) are both
+        // acceptable outcomes.
+        match run_with_oracle(&program, &inputs, &mut oracle) {
+            Ok(_) | Err(dprle_lang::InterpError::LoopBound) => {}
+            Err(e) => panic!("seed {seed}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn findings_on_random_programs_replay() {
+    // Soundness sweep: for every finding on opaque-free random programs,
+    // the witnesses drive a real execution into an unsafe query.
+    let config = RandomProgramConfig { max_depth: 2, ..Default::default() };
+    let symex = SymexOptions { max_paths: 50_000, max_loop_unroll: 2, ..Default::default() };
+    let mut findings_seen = 0usize;
+    for seed in 0..SEEDS {
+        let program = random_program(seed, &config);
+        // Skip programs with opaque conditions: their decisions are not
+        // replayable from a finding alone.
+        if print_php(&program).contains("unknown(") {
+            continue;
+        }
+        let Ok(report) = analyze(
+            &program,
+            &Policy::sql_quote(),
+            &symex,
+            &SolveOptions::default(),
+        ) else {
+            continue; // mixed mapped use or path limit: fine for fuzzing
+        };
+        for finding in &report.findings {
+            if finding.witnesses.is_empty() {
+                continue; // concrete unsafe query: nothing to replay
+            }
+            let inputs: HashMap<String, Vec<u8>> = finding
+                .witnesses
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            let Ok(result) = dprle_lang::run(&program, &inputs) else {
+                continue;
+            };
+            assert!(
+                result.any_query_contains(b'\''),
+                "seed {seed}: finding did not replay\n{}",
+                print_php(&program)
+            );
+            findings_seen += 1;
+        }
+    }
+    assert!(findings_seen > 5, "fuzzing should exercise real findings: {findings_seen}");
+}

@@ -1,0 +1,295 @@
+//! A PHP-like string-program IR.
+//!
+//! The paper's evaluation (§4) analyzes PHP web applications whose bugs
+//! hinge on string flow: untrusted `$_GET`/`$_POST` values are filtered
+//! with `preg_match`, concatenated with literals, and passed to a `query()`
+//! sink (Figure 1). This IR models exactly that fragment: string
+//! assignments and concatenation, regex filter guards, opaque branches,
+//! `exit`, and query sinks. It is the substrate the symbolic-execution
+//! front end (the analog of the paper's Wassermann–Su-based prototype) runs
+//! on.
+
+use std::fmt;
+
+/// A string-valued expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StringExpr {
+    /// A string literal, e.g. `"nid_"`.
+    Literal(Vec<u8>),
+    /// An untrusted request parameter, e.g. `$_POST['posted_newsid']`.
+    Input(String),
+    /// A program variable, e.g. `$newsid`.
+    Var(String),
+    /// Concatenation of parts (PHP `.`).
+    Concat(Vec<StringExpr>),
+    /// ASCII lower-casing (PHP `strtolower`). Per-byte case folding is an
+    /// alphabetic homomorphism, so constraints through it stay decidable
+    /// (see `dprle_automata::homomorphism`).
+    Lower(Box<StringExpr>),
+    /// ASCII upper-casing (PHP `strtoupper`).
+    Upper(Box<StringExpr>),
+}
+
+impl StringExpr {
+    /// Convenience constructor for a literal.
+    pub fn lit(s: &str) -> StringExpr {
+        StringExpr::Literal(s.as_bytes().to_vec())
+    }
+
+    /// Convenience constructor for an input parameter.
+    pub fn input(name: &str) -> StringExpr {
+        StringExpr::Input(name.to_owned())
+    }
+
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: &str) -> StringExpr {
+        StringExpr::Var(name.to_owned())
+    }
+
+    /// Concatenates two expressions, flattening nested concats.
+    pub fn concat(self, rhs: StringExpr) -> StringExpr {
+        let mut parts = match self {
+            StringExpr::Concat(p) => p,
+            other => vec![other],
+        };
+        match rhs {
+            StringExpr::Concat(p) => parts.extend(p),
+            other => parts.push(other),
+        }
+        StringExpr::Concat(parts)
+    }
+
+    /// The set of input-parameter names mentioned (transitively through
+    /// concatenation, not through variables).
+    pub fn inputs(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_inputs(&mut out);
+        out
+    }
+
+    fn collect_inputs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            StringExpr::Input(name) => out.push(name),
+            StringExpr::Literal(_) | StringExpr::Var(_) => {}
+            StringExpr::Concat(parts) => {
+                for p in parts {
+                    p.collect_inputs(out);
+                }
+            }
+            StringExpr::Lower(inner) | StringExpr::Upper(inner) => inner.collect_inputs(out),
+        }
+    }
+}
+
+impl fmt::Display for StringExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StringExpr::Literal(bytes) => write!(f, "{:?}", String::from_utf8_lossy(bytes)),
+            StringExpr::Input(name) => write!(f, "$_REQUEST[{name}]"),
+            StringExpr::Var(name) => write!(f, "${name}"),
+            StringExpr::Concat(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " . ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            StringExpr::Lower(inner) => write!(f, "strtolower({inner})"),
+            StringExpr::Upper(inner) => write!(f, "strtoupper({inner})"),
+        }
+    }
+}
+
+/// A branch condition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Cond {
+    /// `preg_match(pattern, subject)` — true iff the pattern matches
+    /// somewhere in the subject (PCRE search semantics).
+    PregMatch {
+        /// The regex pattern (without delimiters).
+        pattern: String,
+        /// The subject expression.
+        subject: StringExpr,
+    },
+    /// String equality against a literal.
+    EqualsLiteral {
+        /// The subject expression.
+        subject: StringExpr,
+        /// The literal compared against.
+        literal: Vec<u8>,
+    },
+    /// Negation.
+    Not(Box<Cond>),
+    /// A condition the string analysis cannot interpret (integer compares,
+    /// database state, …). Both branches are considered feasible and no
+    /// string constraint is recorded.
+    Opaque(String),
+}
+
+impl Cond {
+    /// Negates the condition (collapsing double negation).
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Not(inner) => *inner,
+            other => Cond::Not(Box::new(other)),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `$var = expr;`
+    Assign {
+        /// Variable being assigned.
+        var: String,
+        /// Value expression.
+        value: StringExpr,
+    },
+    /// `if (cond) { then } else { els }`
+    If {
+        /// The branch condition.
+        cond: Cond,
+        /// Statements executed when the condition holds.
+        then: Vec<Stmt>,
+        /// Statements executed otherwise.
+        els: Vec<Stmt>,
+    },
+    /// `while (cond) { body }` — analyzed by bounded unrolling (see
+    /// `symex::SymexOptions::max_loop_unroll`).
+    While {
+        /// The loop condition.
+        cond: Cond,
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+    /// `exit;` — terminates the program (the paper's Figure 1, line 4).
+    Exit,
+    /// `query(expr);` — the security-sensitive database sink.
+    Query {
+        /// The query-string expression.
+        expr: StringExpr,
+    },
+    /// `echo expr;` — an uninteresting effect, kept to make programs
+    /// realistically sized.
+    Echo {
+        /// The echoed expression.
+        expr: StringExpr,
+    },
+}
+
+/// A whole program (one PHP file in the paper's data set).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    /// Source-file name, e.g. `"usr_reg"`.
+    pub name: String,
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates an empty program named `name`.
+    pub fn new(name: &str) -> Program {
+        Program { name: name.to_owned(), stmts: Vec::new() }
+    }
+
+    /// Total number of statements, including nested branch bodies (a rough
+    /// LOC analog for generated programs).
+    pub fn num_statements(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If { then, els, .. } => 1 + count(then) + count(els),
+                    Stmt::While { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+
+    /// The paper's Figure 1 program (Utopia News Pro fragment): the faulty
+    /// `preg_match('/[\d]+$/', …)` filter followed by a vulnerable query.
+    pub fn figure1() -> Program {
+        Program {
+            name: "utopia_figure1".to_owned(),
+            stmts: vec![
+                Stmt::Assign {
+                    var: "newsid".to_owned(),
+                    value: StringExpr::input("posted_newsid"),
+                },
+                Stmt::If {
+                    cond: Cond::PregMatch {
+                        pattern: "[\\d]+$".to_owned(),
+                        subject: StringExpr::var("newsid"),
+                    }
+                    .negate(),
+                    then: vec![
+                        Stmt::Echo { expr: StringExpr::lit("Invalid article news ID.") },
+                        Stmt::Exit,
+                    ],
+                    els: vec![],
+                },
+                Stmt::Assign {
+                    var: "newsid".to_owned(),
+                    value: StringExpr::lit("nid_").concat(StringExpr::var("newsid")),
+                },
+                Stmt::Query {
+                    expr: StringExpr::lit("SELECT * FROM news WHERE newsid=")
+                        .concat(StringExpr::var("newsid")),
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_flattens() {
+        let e = StringExpr::lit("a")
+            .concat(StringExpr::lit("b"))
+            .concat(StringExpr::var("x").concat(StringExpr::lit("c")));
+        match &e {
+            StringExpr::Concat(parts) => assert_eq!(parts.len(), 4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inputs_are_collected() {
+        let e = StringExpr::input("a")
+            .concat(StringExpr::lit("x"))
+            .concat(StringExpr::input("b"));
+        assert_eq!(e.inputs(), vec!["a", "b"]);
+        assert!(StringExpr::var("v").inputs().is_empty());
+    }
+
+    #[test]
+    fn negate_collapses_double_negation() {
+        let c = Cond::Opaque("p".to_owned());
+        let n = c.clone().negate();
+        assert!(matches!(n, Cond::Not(_)));
+        assert_eq!(n.negate(), c);
+    }
+
+    #[test]
+    fn figure1_program_shape() {
+        let p = Program::figure1();
+        assert_eq!(p.stmts.len(), 4);
+        assert!(p.num_statements() > 4, "nested statements counted");
+        assert!(matches!(p.stmts.last(), Some(Stmt::Query { .. })));
+    }
+
+    #[test]
+    fn display_is_php_ish() {
+        let e = StringExpr::lit("nid_").concat(StringExpr::var("newsid"));
+        assert_eq!(e.to_string(), "\"nid_\" . $newsid");
+        assert_eq!(StringExpr::input("x").to_string(), "$_REQUEST[x]");
+    }
+}

@@ -1,0 +1,198 @@
+//! Control-flow graphs over the string IR.
+//!
+//! The paper's Figure 12 reports `|FG|`, "the number of basic blocks in the
+//! code", for every analyzed file; this module computes that metric (and a
+//! usable CFG) for IR programs.
+
+use crate::ast::{Program, Stmt};
+
+/// Identifier of a basic block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(pub u32);
+
+/// A basic block: a maximal straight-line statement run.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Indices of the statements in the block (paths into nested
+    /// statement lists, rendered as strings for debuggability).
+    pub statements: Vec<String>,
+    /// Successor blocks.
+    pub successors: Vec<BlockId>,
+    /// Whether the block ends in `exit` (no successors) or falls off the
+    /// end of the program.
+    pub terminates: bool,
+}
+
+/// A control-flow graph.
+#[derive(Clone, Debug, Default)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    pub fn build(program: &Program) -> Cfg {
+        let mut cfg = Cfg::default();
+        let entry = cfg.fresh();
+        let exit_block = cfg.fresh();
+        cfg.blocks[exit_block.index()].terminates = true;
+        let last = cfg.lower(&program.stmts, entry, "");
+        if let Some(last) = last {
+            cfg.blocks[last.index()].successors.push(exit_block);
+        }
+        cfg
+    }
+
+    /// The number of basic blocks — the paper's `|FG|` column.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The blocks, indexable by [`BlockId`].
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.blocks.iter().map(|b| b.successors.len()).sum()
+    }
+
+    fn fresh(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Lowers a statement list starting in `current`; returns the block
+    /// control falls out of, or `None` if all paths exit.
+    fn lower(&mut self, stmts: &[Stmt], mut current: BlockId, prefix: &str) -> Option<BlockId> {
+        for (i, stmt) in stmts.iter().enumerate() {
+            let label = format!("{prefix}{i}");
+            match stmt {
+                Stmt::Assign { .. } | Stmt::Query { .. } | Stmt::Echo { .. } => {
+                    self.blocks[current.index()].statements.push(label);
+                }
+                Stmt::Exit => {
+                    self.blocks[current.index()].statements.push(label);
+                    self.blocks[current.index()].terminates = true;
+                    return None;
+                }
+                Stmt::While { body, .. } => {
+                    // head (condition) → body → back to head; head → exit.
+                    let head = self.fresh();
+                    self.blocks[current.index()].successors.push(head);
+                    self.blocks[head.index()].statements.push(label.clone());
+                    let body_entry = self.fresh();
+                    self.blocks[head.index()].successors.push(body_entry);
+                    if let Some(body_out) = self.lower(body, body_entry, &format!("{label}.w")) {
+                        self.blocks[body_out.index()].successors.push(head);
+                    }
+                    let exit = self.fresh();
+                    self.blocks[head.index()].successors.push(exit);
+                    current = exit;
+                }
+                Stmt::If { then, els, .. } => {
+                    self.blocks[current.index()].statements.push(label.clone());
+                    let then_entry = self.fresh();
+                    let else_entry = self.fresh();
+                    self.blocks[current.index()].successors.push(then_entry);
+                    self.blocks[current.index()].successors.push(else_entry);
+                    let then_out = self.lower(then, then_entry, &format!("{label}.t"));
+                    let else_out = self.lower(els, else_entry, &format!("{label}.e"));
+                    match (then_out, else_out) {
+                        (None, None) => return None,
+                        (Some(b), None) | (None, Some(b)) => current = b,
+                        (Some(a), Some(b)) => {
+                            let join = self.fresh();
+                            self.blocks[a.index()].successors.push(join);
+                            self.blocks[b.index()].successors.push(join);
+                            current = join;
+                        }
+                    }
+                }
+            }
+        }
+        Some(current)
+    }
+}
+
+impl BlockId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Cond, Program, Stmt, StringExpr};
+
+    #[test]
+    fn straight_line_is_two_blocks() {
+        let mut p = Program::new("straight");
+        p.stmts.push(Stmt::Assign { var: "a".into(), value: StringExpr::lit("x") });
+        p.stmts.push(Stmt::Query { expr: StringExpr::var("a") });
+        let cfg = Cfg::build(&p);
+        // Entry block + synthetic exit block.
+        assert_eq!(cfg.num_blocks(), 2);
+        assert_eq!(cfg.num_edges(), 1);
+    }
+
+    #[test]
+    fn branch_creates_diamond() {
+        let mut p = Program::new("diamond");
+        p.stmts.push(Stmt::If {
+            cond: Cond::Opaque("c".into()),
+            then: vec![Stmt::Echo { expr: StringExpr::lit("t") }],
+            els: vec![Stmt::Echo { expr: StringExpr::lit("e") }],
+        });
+        p.stmts.push(Stmt::Query { expr: StringExpr::lit("q") });
+        let cfg = Cfg::build(&p);
+        // entry, then, else, join, exit.
+        assert_eq!(cfg.num_blocks(), 5);
+    }
+
+    #[test]
+    fn exit_terminates_path() {
+        let p = Program::figure1();
+        let cfg = Cfg::build(&p);
+        // entry, exit-block(synthetic), then (echo+exit), else(empty).
+        assert!(cfg.num_blocks() >= 4);
+        assert!(cfg.blocks().iter().any(|b| b.terminates));
+    }
+
+    #[test]
+    fn all_paths_exiting_yields_no_fallthrough_edge() {
+        let mut p = Program::new("allexit");
+        p.stmts.push(Stmt::If {
+            cond: Cond::Opaque("c".into()),
+            then: vec![Stmt::Exit],
+            els: vec![Stmt::Exit],
+        });
+        // Unreachable query after the if.
+        p.stmts.push(Stmt::Query { expr: StringExpr::lit("q") });
+        let cfg = Cfg::build(&p);
+        // No join block is created when both arms exit.
+        let terminating = cfg.blocks().iter().filter(|b| b.terminates).count();
+        assert!(terminating >= 2);
+    }
+
+    #[test]
+    fn nested_branches_grow_block_count() {
+        fn nested(depth: usize) -> Vec<Stmt> {
+            if depth == 0 {
+                return vec![Stmt::Echo { expr: StringExpr::lit("leaf") }];
+            }
+            vec![Stmt::If {
+                cond: Cond::Opaque(format!("c{depth}")),
+                then: nested(depth - 1),
+                els: vec![Stmt::Echo { expr: StringExpr::lit("e") }],
+            }]
+        }
+        let mut small = Program::new("d1");
+        small.stmts = nested(1);
+        let mut big = Program::new("d4");
+        big.stmts = nested(4);
+        assert!(Cfg::build(&big).num_blocks() > Cfg::build(&small).num_blocks());
+    }
+}

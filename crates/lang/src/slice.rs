@@ -1,0 +1,317 @@
+//! Program slicing with respect to a query sink.
+//!
+//! The paper (§2) proposes that, beyond an exploit input, an analysis
+//! "could reasonably be extended to produce a slice of the program with
+//! respect to the values that end up in the subverted query … helping the
+//! developer locate potential causes of the error". This module implements
+//! that extension: a backward, syntax-directed slice that keeps
+//!
+//! * the sink itself,
+//! * every assignment that (transitively) flows into the sink value, and
+//! * every branch whose condition tests a value flowing into the sink
+//!   (these are the input-validation checks whose weakness caused the bug —
+//!   the paper's Figure 1 slice keeps exactly the input read and the faulty
+//!   `preg_match`).
+//!
+//! The slice is conservative across branches (both arms are scanned), so
+//! it over-approximates rather than misses a cause.
+
+use crate::ast::{Cond, Program, Stmt, StringExpr};
+use crate::php;
+use std::collections::BTreeSet;
+
+/// One kept statement: where it sits and how it reads.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SliceLine {
+    /// Nesting-aware position, e.g. `"3"` or `"1.then.0"`.
+    pub position: String,
+    /// The statement, rendered in PHP-like syntax (one line; branch bodies
+    /// elided).
+    pub rendered: String,
+}
+
+/// The slice: kept lines in source order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Slice {
+    /// Kept statements, in program order.
+    pub lines: Vec<SliceLine>,
+}
+
+impl Slice {
+    /// Renders the slice one statement per line.
+    pub fn to_text(&self) -> String {
+        self.lines
+            .iter()
+            .map(|l| format!("[{}] {}", l.position, l.rendered))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Computes the backward slice of `program` with respect to its
+/// `sink_index`-th `query()` statement (in preorder). Returns `None` when
+/// the program has no such sink.
+pub fn slice_for_sink(program: &Program, sink_index: usize) -> Option<Slice> {
+    // Phase 1: find the sink and seed the relevant-variable set.
+    let mut counter = 0usize;
+    let seed = find_sink(&program.stmts, sink_index, &mut counter)?;
+    let mut relevant: BTreeSet<String> = seed;
+
+    // Phase 2: fixpoint over the whole program (assignments can appear
+    // before or after branches that test them; iterating to a fixpoint
+    // keeps the traversal simple and conservative).
+    loop {
+        let before = relevant.len();
+        grow(&program.stmts, &mut relevant);
+        if relevant.len() == before {
+            break;
+        }
+    }
+
+    // Phase 3: collect the kept statements in order.
+    let mut slice = Slice::default();
+    let mut sink_counter = 0usize;
+    collect(&program.stmts, "", &relevant, sink_index, &mut sink_counter, &mut slice);
+    Some(slice)
+}
+
+/// Names used by an expression: variables as-is, inputs prefixed with `@`
+/// so they can't collide with variables.
+fn expr_names(e: &StringExpr, out: &mut BTreeSet<String>) {
+    match e {
+        StringExpr::Literal(_) => {}
+        StringExpr::Var(name) => {
+            out.insert(name.clone());
+        }
+        StringExpr::Input(name) => {
+            out.insert(format!("@{name}"));
+        }
+        StringExpr::Concat(parts) => {
+            for p in parts {
+                expr_names(p, out);
+            }
+        }
+        StringExpr::Lower(inner) | StringExpr::Upper(inner) => expr_names(inner, out),
+    }
+}
+
+fn cond_names(c: &Cond, out: &mut BTreeSet<String>) {
+    match c {
+        Cond::PregMatch { subject, .. } | Cond::EqualsLiteral { subject, .. } => {
+            expr_names(subject, out)
+        }
+        Cond::Not(inner) => cond_names(inner, out),
+        Cond::Opaque(_) => {}
+    }
+}
+
+fn find_sink(
+    stmts: &[Stmt],
+    target: usize,
+    counter: &mut usize,
+) -> Option<BTreeSet<String>> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Query { expr } => {
+                if *counter == target {
+                    let mut seed = BTreeSet::new();
+                    expr_names(expr, &mut seed);
+                    return Some(seed);
+                }
+                *counter += 1;
+            }
+            Stmt::If { then, els, .. } => {
+                if let Some(seed) = find_sink(then, target, counter) {
+                    return Some(seed);
+                }
+                if let Some(seed) = find_sink(els, target, counter) {
+                    return Some(seed);
+                }
+            }
+            Stmt::While { body, .. } => {
+                if let Some(seed) = find_sink(body, target, counter) {
+                    return Some(seed);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Adds the dependencies of relevant assignments to the relevant set.
+fn grow(stmts: &[Stmt], relevant: &mut BTreeSet<String>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { var, value }
+                if relevant.contains(var) => {
+                    expr_names(value, relevant);
+                }
+            Stmt::If { then, els, .. } => {
+                grow(then, relevant);
+                grow(els, relevant);
+            }
+            Stmt::While { body, .. } => grow(body, relevant),
+            _ => {}
+        }
+    }
+}
+
+fn collect(
+    stmts: &[Stmt],
+    prefix: &str,
+    relevant: &BTreeSet<String>,
+    sink_index: usize,
+    sink_counter: &mut usize,
+    out: &mut Slice,
+) {
+    for (i, stmt) in stmts.iter().enumerate() {
+        let position =
+            if prefix.is_empty() { i.to_string() } else { format!("{prefix}.{i}") };
+        match stmt {
+            Stmt::Assign { var, value } => {
+                if relevant.contains(var) {
+                    out.lines.push(SliceLine {
+                        position,
+                        rendered: render_one(stmt),
+                    });
+                    let _ = value;
+                }
+            }
+            Stmt::Query { .. } => {
+                if *sink_counter == sink_index {
+                    out.lines.push(SliceLine { position, rendered: render_one(stmt) });
+                }
+                *sink_counter += 1;
+            }
+            Stmt::If { cond, then, els } => {
+                let mut tested = BTreeSet::new();
+                cond_names(cond, &mut tested);
+                if tested.iter().any(|n| relevant.contains(n)) {
+                    out.lines.push(SliceLine {
+                        position: position.clone(),
+                        rendered: format!("if ({}) {{ … }}", render_cond(cond)),
+                    });
+                }
+                collect(then, &format!("{position}.then"), relevant, sink_index, sink_counter, out);
+                collect(els, &format!("{position}.else"), relevant, sink_index, sink_counter, out);
+            }
+            Stmt::While { cond, body } => {
+                let mut tested = BTreeSet::new();
+                cond_names(cond, &mut tested);
+                if tested.iter().any(|n| relevant.contains(n)) {
+                    out.lines.push(SliceLine {
+                        position: position.clone(),
+                        rendered: format!("while ({}) {{ … }}", render_cond(cond)),
+                    });
+                }
+                collect(body, &format!("{position}.loop"), relevant, sink_index, sink_counter, out);
+            }
+            Stmt::Echo { .. } | Stmt::Exit => {}
+        }
+    }
+}
+
+fn render_one(stmt: &Stmt) -> String {
+    let mut program = Program::new("line");
+    program.stmts = vec![stmt.clone()];
+    let text = php::print_php(&program);
+    text.lines().nth(1).unwrap_or("").trim().to_owned()
+}
+
+fn render_cond(cond: &Cond) -> String {
+    // Reuse the printer through a throwaway if-statement.
+    let mut program = Program::new("cond");
+    program.stmts = vec![Stmt::If { cond: cond.clone(), then: vec![], els: vec![] }];
+    let text = php::print_php(&program);
+    let line = text.lines().nth(1).unwrap_or("");
+    line.trim()
+        .trim_start_matches("if (")
+        .trim_end_matches(") {")
+        .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_slice_keeps_input_check_prefix_and_sink() {
+        let slice = slice_for_sink(&Program::figure1(), 0).expect("has a sink");
+        let text = slice.to_text();
+        // The input read (line 1) and the faulty check (line 2), as the
+        // paper describes, plus the value-building assignment and the sink.
+        assert!(text.contains("$newsid = $_POST['posted_newsid'];"), "{text}");
+        assert!(text.contains("preg_match"), "{text}");
+        assert!(text.contains("nid_"), "{text}");
+        assert!(text.contains("query("), "{text}");
+        // The irrelevant echo inside the guard is elided.
+        assert!(!text.contains("Invalid article news ID"), "{text}");
+        assert_eq!(slice.lines.len(), 4, "{text}");
+    }
+
+    #[test]
+    fn unrelated_statements_are_elided() {
+        use crate::ast::{Cond, Stmt, StringExpr};
+        let mut p = Program::new("mix");
+        p.stmts.push(Stmt::Assign { var: "x".into(), value: StringExpr::input("used") });
+        p.stmts.push(Stmt::Assign { var: "y".into(), value: StringExpr::input("unused") });
+        p.stmts.push(Stmt::If {
+            cond: Cond::PregMatch { pattern: "a".into(), subject: StringExpr::var("y") },
+            then: vec![Stmt::Echo { expr: StringExpr::lit("hi") }],
+            els: vec![],
+        });
+        p.stmts.push(Stmt::Query { expr: StringExpr::var("x") });
+        let slice = slice_for_sink(&p, 0).expect("has a sink");
+        let text = slice.to_text();
+        assert!(text.contains("$x ="), "{text}");
+        assert!(!text.contains("$y ="), "{text}");
+        assert!(!text.contains("preg_match"), "{text}");
+        assert_eq!(slice.lines.len(), 2);
+    }
+
+    #[test]
+    fn transitive_flow_is_followed() {
+        use crate::ast::{Stmt, StringExpr};
+        let mut p = Program::new("chain");
+        p.stmts.push(Stmt::Assign { var: "a".into(), value: StringExpr::input("src") });
+        p.stmts.push(Stmt::Assign {
+            var: "b".into(),
+            value: StringExpr::lit("pre_").concat(StringExpr::var("a")),
+        });
+        p.stmts.push(Stmt::Assign { var: "c".into(), value: StringExpr::var("b") });
+        p.stmts.push(Stmt::Query { expr: StringExpr::var("c") });
+        let slice = slice_for_sink(&p, 0).expect("has a sink");
+        assert_eq!(slice.lines.len(), 4, "{}", slice.to_text());
+    }
+
+    #[test]
+    fn second_sink_selected_by_index() {
+        use crate::ast::{Stmt, StringExpr};
+        let mut p = Program::new("two");
+        p.stmts.push(Stmt::Assign { var: "x".into(), value: StringExpr::input("a") });
+        p.stmts.push(Stmt::Query { expr: StringExpr::lit("static") });
+        p.stmts.push(Stmt::Query { expr: StringExpr::var("x") });
+        let first = slice_for_sink(&p, 0).expect("sink 0");
+        assert_eq!(first.lines.len(), 1, "{}", first.to_text());
+        let second = slice_for_sink(&p, 1).expect("sink 1");
+        assert_eq!(second.lines.len(), 2, "{}", second.to_text());
+        assert!(slice_for_sink(&p, 2).is_none());
+    }
+
+    #[test]
+    fn sink_inside_branch_is_found() {
+        use crate::ast::{Cond, Stmt, StringExpr};
+        let mut p = Program::new("nested");
+        p.stmts.push(Stmt::Assign { var: "q".into(), value: StringExpr::input("k") });
+        p.stmts.push(Stmt::If {
+            cond: Cond::Opaque("flip".into()),
+            then: vec![Stmt::Query { expr: StringExpr::var("q") }],
+            els: vec![],
+        });
+        let slice = slice_for_sink(&p, 0).expect("nested sink");
+        let text = slice.to_text();
+        assert!(text.contains("[1.then.0] query"), "{text}");
+        assert!(text.contains("$q ="), "{text}");
+    }
+}

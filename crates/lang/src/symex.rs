@@ -1,0 +1,660 @@
+//! Path-sensitive symbolic execution for the string IR.
+//!
+//! This is the analog of the paper's "simple prototype program analysis
+//! that uses symbolic execution to set up a system of string variable
+//! constraints based on paths that lead to the defect" (§4). Each program
+//! path is explored; `preg_match` and equality branches contribute
+//! language constraints on the symbolic values they test, and every
+//! `query()` sink reached yields a [`SinkReach`] recording the symbolic
+//! query string plus the path's constraints.
+
+use crate::ast::{Cond, Program, Stmt, StringExpr};
+use dprle_automata::{complement, ByteMap, Nfa};
+use dprle_regex::Regex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One atom of a symbolic string value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Atom {
+    /// A known literal chunk.
+    Literal(Vec<u8>),
+    /// An untrusted input parameter, by name.
+    Input(String),
+    /// An input parameter viewed through a byte-to-byte homomorphism
+    /// (e.g. `strtolower($_GET['x'])`). Case folding distributes over
+    /// concatenation, so symbolic evaluation pushes it down to atoms.
+    MappedInput {
+        /// The per-byte map applied (boxed: 256 bytes of table).
+        map: Box<ByteMap>,
+        /// A short display name for the map (`strtolower`, …).
+        map_name: String,
+        /// The underlying input parameter.
+        input: String,
+    },
+}
+
+/// A symbolic string: a concatenation of literal chunks and inputs.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SymValue {
+    /// The atoms in order. Adjacent literals are kept merged.
+    pub atoms: Vec<Atom>,
+}
+
+impl SymValue {
+    /// The empty string.
+    pub fn empty() -> SymValue {
+        SymValue::default()
+    }
+
+    /// A single literal.
+    pub fn literal(bytes: &[u8]) -> SymValue {
+        if bytes.is_empty() {
+            return SymValue::empty();
+        }
+        SymValue { atoms: vec![Atom::Literal(bytes.to_vec())] }
+    }
+
+    /// A single input parameter.
+    pub fn input(name: &str) -> SymValue {
+        SymValue { atoms: vec![Atom::Input(name.to_owned())] }
+    }
+
+    /// Appends another symbolic value, merging adjacent literals.
+    pub fn append(&mut self, other: &SymValue) {
+        for atom in &other.atoms {
+            match (self.atoms.last_mut(), atom) {
+                (Some(Atom::Literal(tail)), Atom::Literal(chunk)) => {
+                    tail.extend_from_slice(chunk);
+                }
+                _ => self.atoms.push(atom.clone()),
+            }
+        }
+    }
+
+    /// Whether the value is fully concrete (no inputs).
+    pub fn is_concrete(&self) -> bool {
+        self.atoms.iter().all(|a| matches!(a, Atom::Literal(_)))
+    }
+
+    /// Applies a byte map to the whole value: literals concretely, inputs
+    /// symbolically (composing with any map already applied).
+    pub fn map_bytes(&self, map: &ByteMap, map_name: &str) -> SymValue {
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| match a {
+                Atom::Literal(bytes) => Atom::Literal(map.map_bytes(bytes)),
+                Atom::Input(name) => Atom::MappedInput {
+                    map: Box::new(map.clone()),
+                    map_name: map_name.to_owned(),
+                    input: name.clone(),
+                },
+                Atom::MappedInput { map: inner, map_name: inner_name, input } => {
+                    // Compose: outer ∘ inner.
+                    let mut table = [0u8; 256];
+                    for (i, slot) in table.iter_mut().enumerate() {
+                        *slot = map.map(inner.map(i as u8));
+                    }
+                    Atom::MappedInput {
+                        map: Box::new(ByteMap::from_table(table)),
+                        map_name: format!("{map_name}∘{inner_name}"),
+                        input: input.clone(),
+                    }
+                }
+            })
+            .collect();
+        SymValue { atoms }
+    }
+
+    /// The concrete bytes, if fully concrete.
+    pub fn concrete_bytes(&self) -> Option<Vec<u8>> {
+        if !self.is_concrete() {
+            return None;
+        }
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            if let Atom::Literal(bytes) = a {
+                out.extend_from_slice(bytes);
+            }
+        }
+        Some(out)
+    }
+
+    /// The input parameters mentioned, in order of first occurrence.
+    pub fn inputs(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for a in &self.atoms {
+            match a {
+                Atom::Input(name) | Atom::MappedInput { input: name, .. } => {
+                    if !out.contains(&name.as_str()) {
+                        out.push(name);
+                    }
+                }
+                Atom::Literal(_) => {}
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "\"\"");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " . ")?;
+            }
+            match a {
+                Atom::Literal(bytes) => write!(f, "{:?}", String::from_utf8_lossy(bytes))?,
+                Atom::Input(name) => write!(f, "{name}")?,
+                Atom::MappedInput { map_name, input, .. } => {
+                    write!(f, "{map_name}({input})")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A language constraint collected along a path: `subject ⊆ language`.
+#[derive(Clone, Debug)]
+pub struct PathCondition {
+    /// The constrained symbolic value.
+    pub subject: SymValue,
+    /// The language it must lie in.
+    pub language: Nfa,
+    /// Human-readable origin, e.g. `preg_match(/[\d]+$/) held`.
+    pub description: String,
+}
+
+/// What kind of security-sensitive sink a path reached.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SinkKind {
+    /// A database query — SQL-injection surface.
+    Query,
+    /// An HTML-emitting `echo` — cross-site-scripting surface (the paper
+    /// names XSS alongside SQL injection as a target class; tracked only
+    /// when [`SymexOptions::track_echo`] is set).
+    Echo,
+}
+
+/// A path that reaches a security-sensitive sink.
+#[derive(Clone, Debug)]
+pub struct SinkReach {
+    /// Program name.
+    pub program: String,
+    /// Index of the sink among the program's recorded reaches, in path
+    /// order.
+    pub sink_index: usize,
+    /// Which kind of sink was reached.
+    pub kind: SinkKind,
+    /// The symbolic sink value (query string or echoed HTML).
+    pub query: SymValue,
+    /// The constraints accumulated along the path.
+    pub conditions: Vec<PathCondition>,
+    /// The branch decisions taken (true = then), for reporting/slicing.
+    pub decisions: Vec<bool>,
+}
+
+/// Errors from symbolic execution.
+#[derive(Clone, Debug)]
+pub enum SymexError {
+    /// A `preg_match` pattern failed to parse/compile.
+    BadPattern {
+        /// The offending pattern.
+        pattern: String,
+        /// The underlying regex error.
+        error: dprle_regex::ParseRegexError,
+    },
+    /// The path bound was exceeded; results would be incomplete.
+    PathLimit(usize),
+}
+
+impl fmt::Display for SymexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymexError::BadPattern { pattern, error } => {
+                write!(f, "pattern /{pattern}/ failed to compile: {error}")
+            }
+            SymexError::PathLimit(n) => write!(f, "exceeded path limit of {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SymexError {}
+
+/// Options for path exploration.
+#[derive(Clone, Debug)]
+pub struct SymexOptions {
+    /// Maximum number of explored paths before giving up.
+    pub max_paths: usize,
+    /// Also record `echo` statements as sinks (for XSS policies).
+    pub track_echo: bool,
+    /// Loop-unrolling bound for `while` statements: each loop is explored
+    /// for 0, 1, …, `max_loop_unroll` iterations; deeper behaviors are cut
+    /// off (standard bounded symbolic execution — findings stay sound,
+    /// absence of findings beyond the bound is not guaranteed).
+    pub max_loop_unroll: usize,
+}
+
+impl Default for SymexOptions {
+    fn default() -> Self {
+        SymexOptions { max_paths: 4096, track_echo: false, max_loop_unroll: 3 }
+    }
+}
+
+/// Explores all feasible paths of `program`, returning every sink reach.
+///
+/// Infeasibility is pruned *concretely*: a branch whose condition tests a
+/// fully concrete value takes only the matching arm. Symbolic conditions
+/// fork the path and record the corresponding language constraint.
+///
+/// # Errors
+///
+/// Fails on malformed regex patterns or when the path bound is exceeded.
+pub fn explore(program: &Program, options: &SymexOptions) -> Result<Vec<SinkReach>, SymexError> {
+    let mut explorer = Explorer {
+        program: &program.name,
+        options,
+        reaches: Vec::new(),
+        paths: 0,
+        regex_cache: HashMap::new(),
+    };
+    let state = State { env: HashMap::new(), conditions: Vec::new(), decisions: Vec::new() };
+    explorer.run(&program.stmts, state)?;
+    Ok(explorer.reaches)
+}
+
+#[derive(Clone, Default)]
+struct State {
+    env: HashMap<String, SymValue>,
+    conditions: Vec<PathCondition>,
+    decisions: Vec<bool>,
+}
+
+struct Explorer<'a> {
+    program: &'a str,
+    options: &'a SymexOptions,
+    reaches: Vec<SinkReach>,
+    paths: usize,
+    regex_cache: HashMap<String, Regex>,
+}
+
+impl Explorer<'_> {
+    fn record(&mut self, kind: SinkKind, query: SymValue, state: &State) {
+        let sink_index = self.reaches.len();
+        self.reaches.push(SinkReach {
+            program: self.program.to_owned(),
+            sink_index,
+            kind,
+            query,
+            conditions: state.conditions.clone(),
+            decisions: state.decisions.clone(),
+        });
+    }
+
+    fn run(&mut self, stmts: &[Stmt], mut state: State) -> Result<(), SymexError> {
+        self.paths += 1;
+        if self.paths > self.options.max_paths {
+            return Err(SymexError::PathLimit(self.options.max_paths));
+        }
+        let mut i = 0;
+        while i < stmts.len() {
+            match &stmts[i] {
+                Stmt::Assign { var, value } => {
+                    let v = eval(value, &state.env);
+                    state.env.insert(var.clone(), v);
+                }
+                Stmt::Echo { expr } => {
+                    if self.options.track_echo {
+                        let value = eval(expr, &state.env);
+                        // Concrete echoes of literals are uninteresting.
+                        if !value.is_concrete() {
+                            self.record(SinkKind::Echo, value, &state);
+                        }
+                    }
+                }
+                Stmt::Exit => return Ok(()),
+                Stmt::Query { expr } => {
+                    let query = eval(expr, &state.env);
+                    self.record(SinkKind::Query, query, &state);
+                }
+                Stmt::If { cond, then, els } => {
+                    let rest = &stmts[i + 1..];
+                    return self.branch(cond, then, els, rest, state);
+                }
+                Stmt::While { cond, body } => {
+                    // Bounded unrolling: while (c) { b } ≈ if (c) { b; if (c)
+                    // { b; … }} with at most `max_loop_unroll` iterations,
+                    // then assume the loop exits. A bound of 0 skips the
+                    // loop entirely.
+                    if self.options.max_loop_unroll > 0 {
+                        let rest = &stmts[i + 1..];
+                        let unrolled =
+                            unroll(cond, body, self.options.max_loop_unroll - 1);
+                        return self.branch(&unrolled.0, &unrolled.1, &[], rest, state);
+                    }
+                }
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    fn branch(
+        &mut self,
+        cond: &Cond,
+        then: &[Stmt],
+        els: &[Stmt],
+        rest: &[Stmt],
+        state: State,
+    ) -> Result<(), SymexError> {
+        match self.judge(cond, &state)? {
+            Judgment::ConcreteTrue => {
+                let mut s = state;
+                s.decisions.push(true);
+                self.run_seq(then, rest, s)
+            }
+            Judgment::ConcreteFalse => {
+                let mut s = state;
+                s.decisions.push(false);
+                self.run_seq(els, rest, s)
+            }
+            Judgment::Symbolic { when_true, when_false } => {
+                let mut t = state.clone();
+                t.decisions.push(true);
+                if let Some(c) = when_true {
+                    t.conditions.push(*c);
+                }
+                self.run_seq(then, rest, t)?;
+                let mut e = state;
+                e.decisions.push(false);
+                if let Some(c) = when_false {
+                    e.conditions.push(*c);
+                }
+                self.run_seq(els, rest, e)
+            }
+        }
+    }
+
+    /// Runs a branch arm followed by the remaining statements. The arm is
+    /// spliced ahead of the continuation so `exit` inside it correctly
+    /// terminates the whole path.
+    fn run_seq(&mut self, arm: &[Stmt], rest: &[Stmt], state: State) -> Result<(), SymexError> {
+        let mut seq: Vec<Stmt> = Vec::with_capacity(arm.len() + rest.len());
+        seq.extend_from_slice(arm);
+        seq.extend_from_slice(rest);
+        self.run(&seq, state)
+    }
+
+    fn judge(&mut self, cond: &Cond, state: &State) -> Result<Judgment, SymexError> {
+        match cond {
+            Cond::Not(inner) => Ok(self.judge(inner, state)?.negate()),
+            Cond::Opaque(_) => {
+                Ok(Judgment::Symbolic { when_true: None, when_false: None })
+            }
+            Cond::PregMatch { pattern, subject } => {
+                let regex = self.compile(pattern)?;
+                let value = eval_expr_cached(subject, &state.env);
+                if let Some(bytes) = value.concrete_bytes() {
+                    return Ok(if regex.is_match(&bytes) {
+                        Judgment::ConcreteTrue
+                    } else {
+                        Judgment::ConcreteFalse
+                    });
+                }
+                let lang = regex.search_language().clone();
+                Ok(Judgment::Symbolic {
+                    when_true: Some(Box::new(PathCondition {
+                        subject: value.clone(),
+                        language: lang.clone(),
+                        description: format!("preg_match(/{pattern}/) held"),
+                    })),
+                    when_false: Some(Box::new(PathCondition {
+                        subject: value,
+                        language: complement(&lang),
+                        description: format!("preg_match(/{pattern}/) failed"),
+                    })),
+                })
+            }
+            Cond::EqualsLiteral { subject, literal } => {
+                let value = eval_expr_cached(subject, &state.env);
+                if let Some(bytes) = value.concrete_bytes() {
+                    return Ok(if &bytes == literal {
+                        Judgment::ConcreteTrue
+                    } else {
+                        Judgment::ConcreteFalse
+                    });
+                }
+                let lit = Nfa::literal(literal);
+                Ok(Judgment::Symbolic {
+                    when_true: Some(Box::new(PathCondition {
+                        subject: value.clone(),
+                        language: lit.clone(),
+                        description: format!(
+                            "equals {:?}",
+                            String::from_utf8_lossy(literal)
+                        ),
+                    })),
+                    when_false: Some(Box::new(PathCondition {
+                        subject: value,
+                        language: complement(&lit),
+                        description: format!(
+                            "differs from {:?}",
+                            String::from_utf8_lossy(literal)
+                        ),
+                    })),
+                })
+            }
+        }
+    }
+
+    fn compile(&mut self, pattern: &str) -> Result<Regex, SymexError> {
+        if let Some(r) = self.regex_cache.get(pattern) {
+            return Ok(r.clone());
+        }
+        let r = Regex::new(pattern).map_err(|error| SymexError::BadPattern {
+            pattern: pattern.to_owned(),
+            error,
+        })?;
+        self.regex_cache.insert(pattern.to_owned(), r.clone());
+        Ok(r)
+    }
+}
+
+/// Builds the if-shaped unrolling of a while loop: returns the loop
+/// condition and the then-arm containing `depth` nested copies.
+fn unroll(cond: &Cond, body: &[Stmt], depth: usize) -> (Cond, Vec<Stmt>) {
+    let mut then: Vec<Stmt> = body.to_vec();
+    if depth > 0 {
+        let (inner_cond, inner_then) = unroll(cond, body, depth - 1);
+        then.push(Stmt::If { cond: inner_cond, then: inner_then, els: Vec::new() });
+    }
+    (cond.clone(), then)
+}
+
+enum Judgment {
+    ConcreteTrue,
+    ConcreteFalse,
+    Symbolic {
+        when_true: Option<Box<PathCondition>>,
+        when_false: Option<Box<PathCondition>>,
+    },
+}
+
+impl Judgment {
+    fn negate(self) -> Judgment {
+        match self {
+            Judgment::ConcreteTrue => Judgment::ConcreteFalse,
+            Judgment::ConcreteFalse => Judgment::ConcreteTrue,
+            Judgment::Symbolic { when_true, when_false } => {
+                Judgment::Symbolic { when_true: when_false, when_false: when_true }
+            }
+        }
+    }
+}
+
+/// Evaluates a string expression to a symbolic value under `env`.
+/// Unassigned variables evaluate to the empty string (PHP semantics for
+/// uninitialized string use).
+pub fn eval(expr: &StringExpr, env: &HashMap<String, SymValue>) -> SymValue {
+    match expr {
+        StringExpr::Literal(bytes) => SymValue::literal(bytes),
+        StringExpr::Input(name) => SymValue::input(name),
+        StringExpr::Var(name) => env.get(name).cloned().unwrap_or_default(),
+        StringExpr::Concat(parts) => {
+            let mut out = SymValue::empty();
+            for p in parts {
+                out.append(&eval(p, env));
+            }
+            out
+        }
+        StringExpr::Lower(inner) => {
+            eval(inner, env).map_bytes(&ByteMap::to_lowercase(), "strtolower")
+        }
+        StringExpr::Upper(inner) => {
+            eval(inner, env).map_bytes(&ByteMap::to_uppercase(), "strtoupper")
+        }
+    }
+}
+
+fn eval_expr_cached(expr: &StringExpr, env: &HashMap<String, SymValue>) -> SymValue {
+    eval(expr, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Program;
+
+    #[test]
+    fn symvalue_merges_literals() {
+        let mut v = SymValue::literal(b"a");
+        v.append(&SymValue::literal(b"b"));
+        assert_eq!(v.atoms.len(), 1);
+        v.append(&SymValue::input("x"));
+        v.append(&SymValue::literal(b"c"));
+        assert_eq!(v.atoms.len(), 3);
+        assert_eq!(v.to_string(), "\"ab\" . x . \"c\"");
+    }
+
+    #[test]
+    fn symvalue_concreteness() {
+        assert_eq!(SymValue::literal(b"hi").concrete_bytes(), Some(b"hi".to_vec()));
+        assert_eq!(SymValue::input("x").concrete_bytes(), None);
+        assert!(SymValue::empty().is_concrete());
+        assert_eq!(SymValue::empty().concrete_bytes(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn figure1_reaches_sink_with_filter_condition() {
+        let reaches = explore(&Program::figure1(), &SymexOptions::default()).expect("explores");
+        assert_eq!(reaches.len(), 1, "one path reaches the query");
+        let r = &reaches[0];
+        assert_eq!(r.conditions.len(), 1);
+        assert!(r.conditions[0].description.contains("preg_match"));
+        // The filter held on the surviving path (if-arm exits).
+        assert!(r.conditions[0].language.contains(b"123"));
+        assert!(r.conditions[0].language.contains(b"' OR 1=1 --9"));
+        // The query is "SELECT…" . "nid_" . input.
+        assert_eq!(r.query.inputs(), vec!["posted_newsid"]);
+        assert!(r.query.to_string().contains("nid_"));
+    }
+
+    #[test]
+    fn concrete_branches_are_pruned() {
+        use crate::ast::{Cond, Stmt};
+        let mut p = Program::new("prune");
+        p.stmts.push(Stmt::Assign { var: "a".into(), value: StringExpr::lit("abc") });
+        p.stmts.push(Stmt::If {
+            cond: Cond::PregMatch { pattern: "^abc$".into(), subject: StringExpr::var("a") },
+            then: vec![Stmt::Query { expr: StringExpr::input("x") }],
+            els: vec![Stmt::Query { expr: StringExpr::lit("never") }],
+        });
+        let reaches = explore(&p, &SymexOptions::default()).expect("explores");
+        assert_eq!(reaches.len(), 1, "only the true arm is feasible");
+        assert!(reaches[0].conditions.is_empty(), "concrete check leaves no constraint");
+    }
+
+    #[test]
+    fn opaque_branches_fork() {
+        use crate::ast::{Cond, Stmt};
+        let mut p = Program::new("fork");
+        p.stmts.push(Stmt::If {
+            cond: Cond::Opaque("unknown()".into()),
+            then: vec![Stmt::Query { expr: StringExpr::input("x") }],
+            els: vec![],
+        });
+        p.stmts.push(Stmt::Query { expr: StringExpr::input("y") });
+        let reaches = explore(&p, &SymexOptions::default()).expect("explores");
+        // then-arm: query(x) then query(y); else-arm: query(y) → 3 reaches.
+        assert_eq!(reaches.len(), 3);
+    }
+
+    #[test]
+    fn exit_in_branch_kills_continuation() {
+        use crate::ast::{Cond, Stmt};
+        let mut p = Program::new("exit");
+        p.stmts.push(Stmt::If {
+            cond: Cond::Opaque("c".into()),
+            then: vec![Stmt::Exit],
+            els: vec![],
+        });
+        p.stmts.push(Stmt::Query { expr: StringExpr::input("x") });
+        let reaches = explore(&p, &SymexOptions::default()).expect("explores");
+        assert_eq!(reaches.len(), 1, "only the else path reaches the sink");
+        assert_eq!(reaches[0].decisions, vec![false]);
+    }
+
+    #[test]
+    fn equality_conditions_constrain() {
+        use crate::ast::{Cond, Stmt};
+        let mut p = Program::new("eq");
+        p.stmts.push(Stmt::If {
+            cond: Cond::EqualsLiteral {
+                subject: StringExpr::input("mode"),
+                literal: b"admin".to_vec(),
+            },
+            then: vec![Stmt::Query { expr: StringExpr::input("q") }],
+            els: vec![],
+        });
+        let reaches = explore(&p, &SymexOptions::default()).expect("explores");
+        assert_eq!(reaches.len(), 1);
+        let c = &reaches[0].conditions[0];
+        assert!(c.language.contains(b"admin"));
+        assert!(!c.language.contains(b"user"));
+    }
+
+    #[test]
+    fn bad_pattern_is_reported() {
+        use crate::ast::{Cond, Stmt};
+        let mut p = Program::new("bad");
+        p.stmts.push(Stmt::If {
+            cond: Cond::PregMatch { pattern: "(".into(), subject: StringExpr::input("x") },
+            then: vec![],
+            els: vec![],
+        });
+        assert!(matches!(
+            explore(&p, &SymexOptions::default()),
+            Err(SymexError::BadPattern { .. })
+        ));
+    }
+
+    #[test]
+    fn path_limit_is_enforced() {
+        use crate::ast::{Cond, Stmt};
+        let mut p = Program::new("blowup");
+        for i in 0..12 {
+            p.stmts.push(Stmt::If {
+                cond: Cond::Opaque(format!("c{i}")),
+                then: vec![Stmt::Echo { expr: StringExpr::lit("t") }],
+                els: vec![Stmt::Echo { expr: StringExpr::lit("e") }],
+            });
+        }
+        let opts = SymexOptions { max_paths: 100, ..Default::default() };
+        assert!(matches!(explore(&p, &opts), Err(SymexError::PathLimit(100))));
+    }
+}

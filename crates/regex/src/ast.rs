@@ -1,0 +1,153 @@
+//! Abstract syntax for the PCRE-style regular-expression subset.
+//!
+//! The paper's motivating front end deals with patterns like `/[\d]+$/`
+//! taken from PHP `preg_match` calls: character classes, escapes, anchors,
+//! alternation, grouping, and the usual quantifiers. Features that would
+//! leave the regular languages (backreferences, lookaround) are not
+//! representable.
+
+use dprle_automata::ByteClass;
+use std::fmt;
+
+/// Position-based anchors. PCRE treats these as zero-width assertions; in
+/// the language-theoretic reading used here they select between exact-match
+/// and substring-match semantics (see [`crate::Regex::search_language`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Anchor {
+    /// `^` — start of subject.
+    Start,
+    /// `$` — end of subject.
+    End,
+}
+
+/// A parsed regular expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// Matches any single byte in the class.
+    Class(ByteClass),
+    /// Matches the alternatives in order: `e₁e₂…`.
+    Concat(Vec<Ast>),
+    /// Matches any one alternative: `e₁|e₂|…`.
+    Alt(Vec<Ast>),
+    /// Zero or more repetitions: `e*`.
+    Star(Box<Ast>),
+    /// One or more repetitions: `e+`.
+    Plus(Box<Ast>),
+    /// Zero or one occurrence: `e?`.
+    Optional(Box<Ast>),
+    /// Bounded repetition `e{min}`, `e{min,}`, or `e{min,max}`.
+    Repeat {
+        /// The repeated expression.
+        inner: Box<Ast>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions; `None` means unbounded.
+        max: Option<u32>,
+    },
+    /// A positional anchor (`^` or `$`).
+    Anchor(Anchor),
+}
+
+impl Ast {
+    /// Convenience constructor for a single literal byte.
+    pub fn byte(b: u8) -> Ast {
+        Ast::Class(ByteClass::singleton(b))
+    }
+
+    /// Convenience constructor for a literal byte string.
+    pub fn literal(bytes: &[u8]) -> Ast {
+        match bytes.len() {
+            0 => Ast::Empty,
+            1 => Ast::byte(bytes[0]),
+            _ => Ast::Concat(bytes.iter().map(|&b| Ast::byte(b)).collect()),
+        }
+    }
+
+    /// Whether any anchor occurs anywhere in the expression.
+    pub fn has_anchor(&self) -> bool {
+        match self {
+            Ast::Anchor(_) => true,
+            Ast::Empty | Ast::Class(_) => false,
+            Ast::Concat(parts) | Ast::Alt(parts) => parts.iter().any(Ast::has_anchor),
+            Ast::Star(inner) | Ast::Plus(inner) | Ast::Optional(inner) => inner.has_anchor(),
+            Ast::Repeat { inner, .. } => inner.has_anchor(),
+        }
+    }
+}
+
+impl fmt::Display for Ast {
+    /// Re-renders the expression in (parenthesized) regex syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ast::Empty => Ok(()),
+            Ast::Class(c) => write!(f, "{c}"),
+            Ast::Concat(parts) => {
+                for p in parts {
+                    match p {
+                        Ast::Alt(_) => write!(f, "({p})")?,
+                        _ => write!(f, "{p}")?,
+                    }
+                }
+                Ok(())
+            }
+            Ast::Alt(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            Ast::Star(inner) => write!(f, "({inner})*"),
+            Ast::Plus(inner) => write!(f, "({inner})+"),
+            Ast::Optional(inner) => write!(f, "({inner})?"),
+            Ast::Repeat { inner, min, max: Some(max) } if min == max => {
+                write!(f, "({inner}){{{min}}}")
+            }
+            Ast::Repeat { inner, min, max: Some(max) } => write!(f, "({inner}){{{min},{max}}}"),
+            Ast::Repeat { inner, min, max: None } => write!(f, "({inner}){{{min},}}"),
+            Ast::Anchor(Anchor::Start) => write!(f, "^"),
+            Ast::Anchor(Anchor::End) => write!(f, "$"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_shapes() {
+        assert_eq!(Ast::literal(b""), Ast::Empty);
+        assert_eq!(Ast::literal(b"a"), Ast::byte(b'a'));
+        match Ast::literal(b"ab") {
+            Ast::Concat(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anchor_detection() {
+        assert!(Ast::Anchor(Anchor::Start).has_anchor());
+        assert!(Ast::Concat(vec![Ast::byte(b'a'), Ast::Anchor(Anchor::End)]).has_anchor());
+        assert!(!Ast::Star(Box::new(Ast::byte(b'a'))).has_anchor());
+        assert!(Ast::Repeat { inner: Box::new(Ast::Anchor(Anchor::End)), min: 0, max: None }
+            .has_anchor());
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let ast = Ast::Alt(vec![
+            Ast::literal(b"ab"),
+            Ast::Star(Box::new(Ast::byte(b'c'))),
+        ]);
+        assert_eq!(ast.to_string(), "ab|(c)*");
+        let rep = Ast::Repeat { inner: Box::new(Ast::byte(b'x')), min: 2, max: Some(4) };
+        assert_eq!(rep.to_string(), "(x){2,4}");
+        let exact = Ast::Repeat { inner: Box::new(Ast::byte(b'x')), min: 3, max: Some(3) };
+        assert_eq!(exact.to_string(), "(x){3}");
+    }
+}

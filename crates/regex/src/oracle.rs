@@ -1,0 +1,264 @@
+//! A reference matcher: direct, obviously-correct interpretation of the
+//! regex AST, used for differential testing of the Thompson compiler and
+//! the automata pipeline.
+//!
+//! The implementation computes, for a pattern and an input, the set of
+//! *end positions* reachable from a start position — a textbook
+//! continuation-set matcher with a fixpoint for `*`/`+` so nullable inner
+//! expressions cannot loop. It is deliberately simple and slow
+//! (exponential in the worst case); its only job is to disagree with the
+//! compiled machines when one of them is wrong.
+
+use crate::ast::Ast;
+use std::collections::BTreeSet;
+
+/// Whether `ast` matches `input` *in full*, by direct interpretation.
+///
+/// # Panics
+///
+/// Panics if the AST contains anchors (use the compiler's anchor handling
+/// first; the oracle models languages, not positions).
+pub fn oracle_is_full_match(ast: &Ast, input: &[u8]) -> bool {
+    ends(ast, input, 0).contains(&input.len())
+}
+
+/// End positions reachable when matching `ast` against `input[start..]`.
+fn ends(ast: &Ast, input: &[u8], start: usize) -> BTreeSet<usize> {
+    match ast {
+        Ast::Empty => BTreeSet::from([start]),
+        Ast::Class(c) => {
+            if start < input.len() && c.contains(input[start]) {
+                BTreeSet::from([start + 1])
+            } else {
+                BTreeSet::new()
+            }
+        }
+        Ast::Concat(parts) => {
+            let mut cur = BTreeSet::from([start]);
+            for p in parts {
+                let mut next = BTreeSet::new();
+                for &pos in &cur {
+                    next.extend(ends(p, input, pos));
+                }
+                cur = next;
+                if cur.is_empty() {
+                    break;
+                }
+            }
+            cur
+        }
+        Ast::Alt(parts) => {
+            let mut out = BTreeSet::new();
+            for p in parts {
+                out.extend(ends(p, input, start));
+            }
+            out
+        }
+        Ast::Star(inner) => closure(inner, input, start, true),
+        Ast::Plus(inner) => {
+            // One mandatory iteration, then the closure.
+            let mut out = BTreeSet::new();
+            for pos in ends(inner, input, start) {
+                out.extend(closure(inner, input, pos, true));
+            }
+            out
+        }
+        Ast::Optional(inner) => {
+            let mut out = ends(inner, input, start);
+            out.insert(start);
+            out
+        }
+        Ast::Repeat { inner, min, max } => {
+            let mut cur = BTreeSet::from([start]);
+            // Mandatory prefix.
+            for _ in 0..*min {
+                let mut next = BTreeSet::new();
+                for &pos in &cur {
+                    next.extend(ends(inner, input, pos));
+                }
+                cur = next;
+                if cur.is_empty() {
+                    return cur;
+                }
+            }
+            match max {
+                None => {
+                    let mut out = BTreeSet::new();
+                    for &pos in &cur {
+                        out.extend(closure(inner, input, pos, true));
+                    }
+                    out
+                }
+                Some(max) => {
+                    let mut out = cur.clone();
+                    let mut frontier = cur;
+                    for _ in *min..*max {
+                        let mut next = BTreeSet::new();
+                        for &pos in &frontier {
+                            next.extend(ends(inner, input, pos));
+                        }
+                        frontier = next.difference(&out).copied().collect();
+                        out.extend(next);
+                        if frontier.is_empty() {
+                            break;
+                        }
+                    }
+                    out
+                }
+            }
+        }
+        Ast::Anchor(_) => panic!("oracle does not interpret anchors"),
+    }
+}
+
+/// Positions reachable by zero or more iterations of `inner` from `start`.
+fn closure(inner: &Ast, input: &[u8], start: usize, include_start: bool) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    if include_start {
+        out.insert(start);
+    }
+    let mut frontier = BTreeSet::from([start]);
+    while !frontier.is_empty() {
+        let mut next = BTreeSet::new();
+        for &pos in &frontier {
+            for end in ends(inner, input, pos) {
+                if !out.contains(&end) {
+                    next.insert(end);
+                }
+            }
+        }
+        out.extend(next.iter().copied());
+        frontier = next;
+    }
+    out
+}
+
+/// Generates a random anchor-free AST for differential testing;
+/// deterministic per seed.
+pub fn random_ast(seed: u64, max_depth: usize) -> Ast {
+    // Tiny xorshift so the regex crate needs no rand dependency.
+    fn next(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+    fn gen(state: &mut u64, depth: usize) -> Ast {
+        let choice = if depth == 0 { next(state) % 2 } else { next(state) % 8 };
+        let byte = |state: &mut u64| b'a' + (next(state) % 3) as u8;
+        match choice {
+            0 => Ast::byte(byte(state)),
+            1 => Ast::Class(dprle_automata::ByteClass::from_bytes([
+                byte(state),
+                byte(state),
+            ])),
+            2 => Ast::Concat(vec![gen(state, depth - 1), gen(state, depth - 1)]),
+            3 => Ast::Alt(vec![gen(state, depth - 1), gen(state, depth - 1)]),
+            4 => Ast::Star(Box::new(gen(state, depth - 1))),
+            5 => Ast::Plus(Box::new(gen(state, depth - 1))),
+            6 => Ast::Optional(Box::new(gen(state, depth - 1))),
+            _ => {
+                let min = (next(state) % 3) as u32;
+                let extra = (next(state) % 3) as u32;
+                let max = if next(state).is_multiple_of(4) { None } else { Some(min + extra) };
+                Ast::Repeat { inner: Box::new(gen(state, depth - 1)), min, max }
+            }
+        }
+    }
+    let mut state = seed | 1;
+    gen(&mut state, max_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_exact;
+    use crate::parser::parse;
+
+    fn oracle(pattern: &str, input: &[u8]) -> bool {
+        oracle_is_full_match(&parse(pattern).expect("parses"), input)
+    }
+
+    #[test]
+    fn oracle_basics() {
+        assert!(oracle("abc", b"abc"));
+        assert!(!oracle("abc", b"ab"));
+        assert!(oracle("a*", b""));
+        assert!(oracle("a*", b"aaa"));
+        assert!(!oracle("a+", b""));
+        assert!(oracle("(ab|c)+", b"abcab"));
+        assert!(oracle("a{2,3}", b"aa"));
+        assert!(!oracle("a{2,3}", b"aaaa"));
+        assert!(oracle("a{2,}", b"aaaaa"));
+    }
+
+    #[test]
+    fn oracle_handles_nullable_star_without_looping() {
+        // (a?)* can iterate without consuming; the fixpoint must terminate.
+        assert!(oracle("(a?)*", b""));
+        assert!(oracle("(a?)*", b"aaa"));
+        assert!(oracle("(a*)*", b"aa"));
+        assert!(!oracle("(a*)*", b"b"));
+    }
+
+    #[test]
+    fn differential_against_compiler_on_fixed_patterns() {
+        let patterns = [
+            "a", "ab", "a|b", "a*", "a+b?", "(ab)*a", "a{0,2}b{1,3}",
+            "(a|bb)*", "[ab]c*", "((a)(b))|c", "(a?b){2}",
+        ];
+        let words: Vec<Vec<u8>> = all_words(4);
+        for pattern in patterns {
+            let ast = parse(pattern).expect("parses");
+            let compiled = compile_exact(&ast).expect("compiles");
+            for w in &words {
+                assert_eq!(
+                    oracle_is_full_match(&ast, w),
+                    compiled.contains(w),
+                    "pattern {pattern} word {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn differential_against_compiler_on_random_asts() {
+        let words: Vec<Vec<u8>> = all_words(4);
+        for seed in 0..200u64 {
+            let ast = random_ast(seed, 3);
+            let compiled = compile_exact(&ast).expect("anchor-free compiles");
+            for w in &words {
+                assert_eq!(
+                    oracle_is_full_match(&ast, w),
+                    compiled.contains(w),
+                    "seed {seed} ast {ast} word {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_ast_is_deterministic() {
+        assert_eq!(random_ast(9, 3), random_ast(9, 3));
+    }
+
+    fn all_words(max_len: usize) -> Vec<Vec<u8>> {
+        let mut out: Vec<Vec<u8>> = vec![Vec::new()];
+        let mut layer: Vec<Vec<u8>> = vec![Vec::new()];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &layer {
+                for b in [b'a', b'b', b'c'] {
+                    let mut v = w.clone();
+                    v.push(b);
+                    next.push(v);
+                }
+            }
+            out.extend(next.iter().cloned());
+            layer = next;
+        }
+        out
+    }
+}

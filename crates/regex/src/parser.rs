@@ -1,0 +1,497 @@
+//! Recursive-descent parser for the PCRE-style subset.
+//!
+//! Grammar (standard precedence: alternation < concatenation < repetition):
+//!
+//! ```text
+//! alt    ::= concat ('|' concat)*
+//! concat ::= repeat*
+//! repeat ::= atom ('*' | '+' | '?' | '{' bounds '}')*
+//! atom   ::= '(' alt ')' | '[' class ']' | '.' | '^' | '$' | escape | byte
+//! ```
+//!
+//! Unsupported PCRE constructs (backreferences, lookaround, named groups)
+//! are rejected with a positioned error rather than silently misparsed.
+//! Lazy quantifiers parse as nested `?` and recognize the same language as
+//! their greedy counterparts.
+
+use crate::ast::{Anchor, Ast};
+use crate::error::{ParseRegexError, RegexErrorKind};
+use dprle_automata::ByteClass;
+
+/// Parses a pattern into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns [`ParseRegexError`] describing the offending position for
+/// malformed or unsupported syntax.
+pub fn parse(pattern: &str) -> Result<Ast, ParseRegexError> {
+    let mut p = Parser { input: pattern.as_bytes(), pos: 0 };
+    let ast = p.alt()?;
+    if p.pos != p.input.len() {
+        return Err(p.error(RegexErrorKind::UnbalancedParen));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, kind: RegexErrorKind) -> ParseRegexError {
+        ParseRegexError { pos: self.pos, kind }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alt(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut parts = vec![self.concat()?];
+        while self.eat(b'|') {
+            parts.push(self.concat()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one part") } else { Ast::Alt(parts) })
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut ast = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    ast = Ast::Star(Box::new(ast));
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    ast = Ast::Plus(Box::new(ast));
+                }
+                Some(b'?') => {
+                    // Note: a lazy quantifier such as `a*?` parses as
+                    // `(a*)?`, which recognizes the same language as PCRE's
+                    // lazy `a*?` — laziness affects match positions only.
+                    self.pos += 1;
+                    ast = Ast::Optional(Box::new(ast));
+                }
+                Some(b'{') => {
+                    // `{` only begins a bound when followed by a digit or
+                    // comma; otherwise it is a literal brace (PCRE behavior).
+                    match self.input.get(self.pos + 1) {
+                        Some(c) if c.is_ascii_digit() || *c == b',' => {
+                            self.pos += 1;
+                            let (min, max) = self.bounds()?;
+                            ast = Ast::Repeat { inner: Box::new(ast), min, max };
+                        }
+                        _ => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(ast)
+    }
+
+    fn bounds(&mut self) -> Result<(u32, Option<u32>), ParseRegexError> {
+        let min = self.number()?;
+        if self.eat(b'}') {
+            return Ok((min, Some(min)));
+        }
+        if !self.eat(b',') {
+            return Err(self.error(RegexErrorKind::MalformedBound));
+        }
+        if self.eat(b'}') {
+            return Ok((min, None));
+        }
+        let max = self.number()?;
+        if !self.eat(b'}') {
+            return Err(self.error(RegexErrorKind::MalformedBound));
+        }
+        if max < min {
+            return Err(self.error(RegexErrorKind::MalformedBound));
+        }
+        Ok((min, Some(max)))
+    }
+
+    fn number(&mut self) -> Result<u32, ParseRegexError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error(RegexErrorKind::MalformedBound));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("digits are UTF-8")
+            .parse()
+            .map_err(|_| self.error(RegexErrorKind::MalformedBound))
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseRegexError> {
+        match self.bump() {
+            Some(b'(') => {
+                if self.peek() == Some(b'?') {
+                    return Err(self.error(RegexErrorKind::UnsupportedGroup));
+                }
+                let inner = self.alt()?;
+                if !self.eat(b')') {
+                    return Err(self.error(RegexErrorKind::UnbalancedParen));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => self.class(),
+            Some(b'.') => Ok(Ast::Class(ByteClass::FULL.difference(&ByteClass::singleton(b'\n')))),
+            Some(b'^') => Ok(Ast::Anchor(Anchor::Start)),
+            Some(b'$') => Ok(Ast::Anchor(Anchor::End)),
+            Some(b'\\') => {
+                let class = self.escape()?;
+                Ok(Ast::Class(class))
+            }
+            Some(b @ (b'*' | b'+' | b'?')) => {
+                self.pos -= 1;
+                let _ = b;
+                Err(self.error(RegexErrorKind::DanglingQuantifier))
+            }
+            Some(b) => Ok(Ast::byte(b)),
+            None => Err(self.error(RegexErrorKind::UnexpectedEnd)),
+        }
+    }
+
+    /// Parses the body of a `[...]` class (the `[` has been consumed).
+    fn class(&mut self) -> Result<Ast, ParseRegexError> {
+        let negated = self.eat(b'^');
+        let mut class = ByteClass::EMPTY;
+        let mut first = true;
+        loop {
+            // POSIX named class, e.g. [[:digit:]].
+            if self.peek() == Some(b'[') && self.input.get(self.pos + 1) == Some(&b':') {
+                class = class.union(&self.posix_class()?);
+                first = false;
+                continue;
+            }
+            let b = match self.bump() {
+                None => return Err(self.error(RegexErrorKind::UnbalancedClass)),
+                Some(b']') if !first => break,
+                Some(b) => b,
+            };
+            first = false;
+            let lo = if b == b'\\' { self.escape()? } else { ByteClass::singleton(b) };
+            // Range? Only when the left side was a single byte and a `-` is
+            // followed by something other than `]`.
+            if lo.len() == 1 && self.peek() == Some(b'-') && self.input.get(self.pos + 1) != Some(&b']')
+            {
+                self.pos += 1; // consume '-'
+                let hi_b = match self.bump() {
+                    None => return Err(self.error(RegexErrorKind::UnbalancedClass)),
+                    Some(b'\\') => {
+                        let c = self.escape()?;
+                        if c.len() != 1 {
+                            return Err(self.error(RegexErrorKind::BadClassRange));
+                        }
+                        c.min_byte().expect("single byte")
+                    }
+                    Some(b) => b,
+                };
+                let lo_b = lo.min_byte().expect("single byte");
+                if lo_b > hi_b {
+                    return Err(self.error(RegexErrorKind::BadClassRange));
+                }
+                class = class.union(&ByteClass::range(lo_b, hi_b));
+            } else {
+                class = class.union(&lo);
+            }
+        }
+        let class = if negated { class.complement() } else { class };
+        Ok(Ast::Class(class))
+    }
+
+    /// Parses a POSIX named class `[:name:]` (positioned at the opening
+    /// `[`), returning its byte set.
+    fn posix_class(&mut self) -> Result<ByteClass, ParseRegexError> {
+        let start = self.pos;
+        self.pos += 2; // consume "[:"
+        let name_start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_alphabetic()) {
+            self.pos += 1;
+        }
+        let name = std::str::from_utf8(&self.input[name_start..self.pos])
+            .expect("ASCII letters are UTF-8")
+            .to_owned();
+        if !(self.eat(b':') && self.eat(b']')) {
+            self.pos = start;
+            return Err(self.error(RegexErrorKind::UnbalancedClass));
+        }
+        Ok(match name.as_str() {
+            "digit" => digit_class(),
+            "alpha" => ByteClass::range(b'A', b'Z').union(&ByteClass::range(b'a', b'z')),
+            "alnum" => ByteClass::range(b'0', b'9')
+                .union(&ByteClass::range(b'A', b'Z'))
+                .union(&ByteClass::range(b'a', b'z')),
+            "upper" => ByteClass::range(b'A', b'Z'),
+            "lower" => ByteClass::range(b'a', b'z'),
+            "space" => space_class(),
+            "xdigit" => ByteClass::range(b'0', b'9')
+                .union(&ByteClass::range(b'A', b'F'))
+                .union(&ByteClass::range(b'a', b'f')),
+            "punct" => ByteClass::range(b'!', b'/')
+                .union(&ByteClass::range(b':', b'@'))
+                .union(&ByteClass::range(b'[', b'`'))
+                .union(&ByteClass::range(b'{', b'~')),
+            "word" => word_class(),
+            _ => {
+                self.pos = start;
+                return Err(self.error(RegexErrorKind::UnbalancedClass));
+            }
+        })
+    }
+
+    /// Parses an escape (the `\` has been consumed) into a byte class.
+    fn escape(&mut self) -> Result<ByteClass, ParseRegexError> {
+        let b = self.bump().ok_or_else(|| self.error(RegexErrorKind::UnexpectedEnd))?;
+        Ok(match b {
+            b'd' => digit_class(),
+            b'D' => digit_class().complement(),
+            b'w' => word_class(),
+            b'W' => word_class().complement(),
+            b's' => space_class(),
+            b'S' => space_class().complement(),
+            b'n' => ByteClass::singleton(b'\n'),
+            b'r' => ByteClass::singleton(b'\r'),
+            b't' => ByteClass::singleton(b'\t'),
+            b'0' => ByteClass::singleton(0),
+            b'x' => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                ByteClass::singleton(hi * 16 + lo)
+            }
+            b'1'..=b'9' => return Err(self.error(RegexErrorKind::UnsupportedBackreference)),
+            // Escaped metacharacters and anything else: the literal byte.
+            _ => ByteClass::singleton(b),
+        })
+    }
+
+    fn hex_digit(&mut self) -> Result<u8, ParseRegexError> {
+        let b = self.bump().ok_or_else(|| self.error(RegexErrorKind::UnexpectedEnd))?;
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(self.error(RegexErrorKind::MalformedEscape)),
+        }
+    }
+}
+
+/// The `\d` class.
+pub fn digit_class() -> ByteClass {
+    ByteClass::range(b'0', b'9')
+}
+
+/// The `\w` class (`[0-9A-Za-z_]`).
+pub fn word_class() -> ByteClass {
+    ByteClass::range(b'0', b'9')
+        .union(&ByteClass::range(b'A', b'Z'))
+        .union(&ByteClass::range(b'a', b'z'))
+        .union(&ByteClass::singleton(b'_'))
+}
+
+/// The `\s` class (`[ \t\n\r\x0b\x0c]`).
+pub fn space_class() -> ByteClass {
+    ByteClass::from_bytes([b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ast {
+        parse(s).unwrap_or_else(|e| panic!("parse {s:?}: {e}"))
+    }
+
+    #[test]
+    fn parses_literals_and_concat() {
+        assert_eq!(p("ab"), Ast::Concat(vec![Ast::byte(b'a'), Ast::byte(b'b')]));
+        assert_eq!(p(""), Ast::Empty);
+        assert_eq!(p("a"), Ast::byte(b'a'));
+    }
+
+    #[test]
+    fn parses_alternation_precedence() {
+        // ab|c == (ab)|(c), not a(b|c).
+        match p("ab|c") {
+            Ast::Alt(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert_eq!(parts[1], Ast::byte(b'c'));
+            }
+            other => panic!("expected alt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        assert_eq!(p("a*"), Ast::Star(Box::new(Ast::byte(b'a'))));
+        assert_eq!(p("a+"), Ast::Plus(Box::new(Ast::byte(b'a'))));
+        assert_eq!(p("a?"), Ast::Optional(Box::new(Ast::byte(b'a'))));
+        assert_eq!(
+            p("a{2,5}"),
+            Ast::Repeat { inner: Box::new(Ast::byte(b'a')), min: 2, max: Some(5) }
+        );
+        assert_eq!(
+            p("a{3}"),
+            Ast::Repeat { inner: Box::new(Ast::byte(b'a')), min: 3, max: Some(3) }
+        );
+        assert_eq!(p("a{2,}"), Ast::Repeat { inner: Box::new(Ast::byte(b'a')), min: 2, max: None });
+    }
+
+    #[test]
+    fn literal_brace_is_not_a_bound() {
+        assert_eq!(p("a{x"), Ast::Concat(vec![Ast::byte(b'a'), Ast::byte(b'{'), Ast::byte(b'x')]));
+    }
+
+    #[test]
+    fn parses_classes() {
+        assert_eq!(p("[0-9]"), Ast::Class(ByteClass::range(b'0', b'9')));
+        assert_eq!(p("[abc]"), Ast::Class(ByteClass::from_bytes([b'a', b'b', b'c'])));
+        assert_eq!(p("[\\d]"), Ast::Class(digit_class()));
+        // `]` first is a literal.
+        assert_eq!(p("[]a]"), Ast::Class(ByteClass::from_bytes([b']', b'a'])));
+        // Trailing `-` is a literal.
+        assert_eq!(p("[a-]"), Ast::Class(ByteClass::from_bytes([b'a', b'-'])));
+    }
+
+    #[test]
+    fn parses_posix_classes() {
+        assert_eq!(p("[[:digit:]]"), Ast::Class(digit_class()));
+        assert_eq!(p("[[:digit:]x]"), Ast::Class(digit_class().union(&ByteClass::singleton(b'x'))));
+        match p("[[:alpha:][:digit:]]") {
+            Ast::Class(c) => {
+                assert!(c.contains(b'q') && c.contains(b'7') && !c.contains(b'_'));
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("[^[:space:]]") {
+            Ast::Class(c) => {
+                assert!(!c.contains(b' ') && c.contains(b'x'));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("[[:bogus:]]").is_err());
+        assert!(parse("[[:digit]]").is_err());
+        // A bare "[:" outside a class context is not special: `[` opens a
+        // class whose first member may be ':'.
+        assert_eq!(p("[:a]"), Ast::Class(ByteClass::from_bytes([b':', b'a'])));
+    }
+
+    #[test]
+    fn parses_negated_class() {
+        match p("[^0-9]") {
+            Ast::Class(c) => {
+                assert!(!c.contains(b'5'));
+                assert!(c.contains(b'a'));
+                assert!(c.contains(0xff));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_escapes() {
+        assert_eq!(p("\\d"), Ast::Class(digit_class()));
+        assert_eq!(p("\\."), Ast::byte(b'.'));
+        assert_eq!(p("\\x41"), Ast::byte(b'A'));
+        assert_eq!(p("\\n"), Ast::byte(b'\n'));
+        match p("\\w") {
+            Ast::Class(c) => assert!(c.contains(b'_') && c.contains(b'Q') && !c.contains(b'-')),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_anchors_and_dot() {
+        assert_eq!(p("^"), Ast::Anchor(Anchor::Start));
+        assert_eq!(p("$"), Ast::Anchor(Anchor::End));
+        match p(".") {
+            Ast::Class(c) => {
+                assert!(c.contains(b'a'));
+                assert!(!c.contains(b'\n'));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_papers_filter() {
+        // The (faulty) filter from the paper's Figure 1: /[\d]+$/
+        let ast = p("[\\d]+$");
+        match ast {
+            Ast::Concat(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Ast::Plus(_)));
+                assert_eq!(parts[1], Ast::Anchor(Anchor::End));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(parse("(?:ab)").is_err());
+        assert!(parse("a\\1").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("[ab").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("a{3,1}").is_err());
+        assert!(parse("[z-a]").is_err());
+        assert!(parse("\\x4g").is_err());
+    }
+
+    #[test]
+    fn error_positions_point_at_offence() {
+        let err = parse("ab(?=x)").expect_err("lookahead unsupported");
+        assert_eq!(err.pos, 3);
+    }
+
+    #[test]
+    fn nested_groups() {
+        let ast = p("(a(b|c))*");
+        match ast {
+            Ast::Star(inner) => match *inner {
+                Ast::Concat(ref parts) => assert_eq!(parts.len(), 2),
+                ref other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Crate-level semantic tests for the regex front end: search semantics,
+//! real-world filter patterns, and conversion round-trips through the
+//! public API only.
+
+use dprle_regex::{compile_exact, compile_search, nfa_to_regex, oracle_is_full_match, parse, Regex};
+
+/// Search semantics is exactly "some substring matches exactly": for an
+/// anchor-free pattern, `search(re)` accepts `w` iff some `w[i..j]` is in
+/// `exact(re)`.
+#[test]
+fn search_is_substring_of_exact() {
+    let patterns = ["ab", "a+b", "(ab|ba)c?", "[0-9]{2}", "x[yz]*x"];
+    let words: Vec<Vec<u8>> = {
+        let alphabet = [b'a', b'b', b'c', b'x'];
+        let mut out: Vec<Vec<u8>> = vec![Vec::new()];
+        let mut layer: Vec<Vec<u8>> = vec![Vec::new()];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for w in &layer {
+                for &b in &alphabet {
+                    let mut v = w.clone();
+                    v.push(b);
+                    next.push(v);
+                }
+            }
+            out.extend(next.iter().cloned());
+            layer = next;
+        }
+        out
+    };
+    for pattern in patterns {
+        let ast = parse(pattern).expect("parses");
+        let exact = compile_exact(&ast).expect("compiles");
+        let search = compile_search(&ast).expect("compiles");
+        for w in &words {
+            let some_substring = (0..=w.len()).any(|i| {
+                (i..=w.len()).any(|j| exact.contains(&w[i..j]))
+            });
+            assert_eq!(
+                search.contains(w),
+                some_substring,
+                "pattern {pattern} word {w:?}"
+            );
+        }
+    }
+}
+
+/// Real-world validation patterns behave like their PHP counterparts.
+#[test]
+fn realistic_filters() {
+    let email = Regex::new("^[a-z0-9._]+@[a-z0-9-]+\\.[a-z]{2,4}$").expect("compiles");
+    assert!(email.is_match(b"alice@example.com"));
+    assert!(email.is_match(b"a.b_c@x-y.org"));
+    assert!(!email.is_match(b"alice@example"));
+    assert!(!email.is_match(b"alice at example.com"));
+
+    let hexcolor = Regex::new("^#?[[:xdigit:]]{6}$").expect("compiles");
+    assert!(hexcolor.is_match(b"#a1B2c3"));
+    assert!(hexcolor.is_match(b"ffffff"));
+    assert!(!hexcolor.is_match(b"#xyzxyz"));
+
+    let ipv4ish = Regex::new("^[0-9]{1,3}(\\.[0-9]{1,3}){3}$").expect("compiles");
+    assert!(ipv4ish.is_match(b"192.168.0.1"));
+    assert!(!ipv4ish.is_match(b"192.168.0"));
+
+    let phone = Regex::new("^\\+?[0-9][0-9 -]{6,14}$").expect("compiles");
+    assert!(phone.is_match(b"+1 555-867-5309"));
+    assert!(!phone.is_match(b"call me"));
+}
+
+/// The paper's faulty filter vs the fixed filter, as language inclusion.
+#[test]
+fn faulty_filter_is_strictly_weaker() {
+    let faulty = Regex::new("[\\d]+$").expect("compiles");
+    let fixed = Regex::new("^[\\d]+$").expect("compiles");
+    assert!(dprle_automata::is_subset(
+        fixed.search_language(),
+        faulty.search_language()
+    ));
+    assert!(!dprle_automata::is_subset(
+        faulty.search_language(),
+        fixed.search_language()
+    ));
+    // The gap is exactly the exploit space: a witness in faulty \ fixed.
+    let gap = dprle_automata::analysis::difference(
+        faulty.search_language(),
+        fixed.search_language(),
+    );
+    let w = gap.shortest_member().expect("the filters differ");
+    assert!(faulty.is_match(&w));
+    assert!(!fixed.is_match(&w));
+}
+
+/// AST → NFA → AST round-trips preserve the language for every pattern in
+/// a mixed pile (via the exact compiler and the state-elimination
+/// converter).
+#[test]
+fn regex_nfa_regex_roundtrip() {
+    let patterns = [
+        "abc",
+        "a|b|c",
+        "(ab)*",
+        "a+b?c{2,3}",
+        "[0-9a-f]+",
+        "x(y|zz)*x",
+        "(a|b)(c|d)(e|f)",
+    ];
+    for pattern in patterns {
+        let ast = parse(pattern).expect("parses");
+        let compiled = compile_exact(&ast).expect("compiles");
+        let back = nfa_to_regex(&compiled, 100_000).expect("nonempty");
+        let recompiled = compile_exact(&back).expect("recompiles");
+        assert!(
+            dprle_automata::equivalent(&compiled, &recompiled),
+            "pattern {pattern} → {back}"
+        );
+    }
+}
+
+/// The oracle agrees with the compiled machines for the paper's patterns.
+#[test]
+fn oracle_agrees_on_paper_patterns() {
+    for pattern in ["[\\d]+", "(xx)+y", "x*y", "x(yy)+", "(yy)*z", "op{5}q*"] {
+        let ast = parse(pattern).expect("parses");
+        let compiled = compile_exact(&ast).expect("compiles");
+        for w in [&b""[..], b"x", b"xx", b"xxy", b"xy", b"y", b"123", b"op", b"oppppp"] {
+            assert_eq!(
+                oracle_is_full_match(&ast, w),
+                compiled.contains(w),
+                "pattern {pattern} word {w:?}"
+            );
+        }
+    }
+}

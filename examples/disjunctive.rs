@@ -1,0 +1,43 @@
+//! Shared variables across concatenations (paper §3.4.3, Figures 9–10).
+//!
+//! The system
+//!
+//! ```text
+//! va ⊆ o(pp)+     vb ⊆ p*(qq)+     vc ⊆ q*r
+//! va·vb ⊆ op{5}q*      vb·vc ⊆ p*q{4}r
+//! ```
+//!
+//! forms a single CI-group in which `vb` participates in *both*
+//! concatenations, making them mutually dependent. The solver must find
+//! assignments to `va` and `vc` for which a single `vb` satisfies both
+//! constraints simultaneously.
+//!
+//! Run with: `cargo run --example disjunctive`
+
+use dprle::core::{satisfies_system, solve, Expr, SolveOptions, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = System::new();
+    let va = sys.var("va");
+    let vb = sys.var("vb");
+    let vc = sys.var("vc");
+    let ca = sys.constant_regex_exact("ca", "o(pp)+")?;
+    let cb = sys.constant_regex_exact("cb", "p*(qq)+")?;
+    let cc = sys.constant_regex_exact("cc", "q*r")?;
+    let c1 = sys.constant_regex_exact("c1", "op{5}q*")?;
+    let c2 = sys.constant_regex_exact("c2", "p*q{4}r")?;
+    sys.require(Expr::Var(va), ca);
+    sys.require(Expr::Var(vb), cb);
+    sys.require(Expr::Var(vc), cc);
+    sys.require(Expr::Var(va).concat(Expr::Var(vb)), c1);
+    sys.require(Expr::Var(vb).concat(Expr::Var(vc)), c2);
+
+    println!("System (Figure 9):\n{sys}");
+    let solution = solve(&sys, &SolveOptions::default());
+    println!("{} disjunctive assignments:", solution.assignments().len());
+    for (i, assignment) in solution.assignments().iter().enumerate() {
+        assert!(satisfies_system(&sys, assignment), "solver output must satisfy");
+        println!("assignment {}:\n{}\n", i + 1, assignment.display(&sys));
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Path feasibility for directed testing (paper §1 and §5).
+//!
+//! The paper motivates the decision procedure for concolic testing /
+//! whitebox fuzzing: "symbolic execution … requires decision procedures
+//! for strongest-postcondition calculations as well as ruling out
+//! infeasible paths", and contrasts with Wassermann et al.'s incomplete
+//! reverser, which "cannot be used to soundly rule out infeasible program
+//! paths". This example shows both directions on string-constrained
+//! branches:
+//!
+//! * a feasible path: the solver produces an input driving execution down
+//!   it;
+//! * an infeasible path (two contradictory `preg_match` outcomes on the
+//!   same value): the solver returns *unsat*, soundly pruning the path.
+//!
+//! Run with: `cargo run --example path_feasibility`
+
+use dprle::core::{solve, Expr, SolveOptions, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Path 1 (feasible): the input matched /^[a-z]+/ AND matched /x$/.
+    // Branch conditions become language constraints on the same variable.
+    let mut sys = System::new();
+    let input = sys.var("input");
+    let starts_lower = sys.constant_regex("starts_lower", "^[a-z]+")?;
+    let ends_x = sys.constant_regex("ends_x", "x$")?;
+    sys.require(Expr::Var(input), starts_lower);
+    sys.require(Expr::Var(input), ends_x);
+    match solve(&sys, &SolveOptions::default()).first() {
+        Some(assignment) => {
+            let w = assignment.witness(input).expect("nonempty");
+            println!(
+                "path [match ^[a-z]+, match x$] is FEASIBLE, e.g. input = {:?}",
+                String::from_utf8_lossy(&w)
+            );
+        }
+        None => unreachable!("this path is feasible"),
+    }
+
+    // Path 2 (infeasible): the same value both matched /^[0-9]+$/ and
+    // FAILED to match /[0-9]/ — contradictory.
+    let mut sys = System::new();
+    let input = sys.var("input");
+    let all_digits = sys.constant_regex("all_digits", "^[0-9]+$")?;
+    let digitless = {
+        // The false branch of preg_match(/[0-9]/, v): v has no digit.
+        let has_digit = dprle::regex::Regex::new("[0-9]")?;
+        let none = dprle::automata::complement(has_digit.search_language());
+        sys.constant("digitless", none)
+    };
+    sys.require(Expr::Var(input), all_digits);
+    sys.require(Expr::Var(input), digitless);
+    let solution = solve(&sys, &SolveOptions::default());
+    if !solution.is_sat() {
+        println!("path [match ^[0-9]+$, fail [0-9]] is INFEASIBLE: soundly pruned");
+    } else {
+        unreachable!("this path is contradictory");
+    }
+
+    // Path 3 (strongest postcondition): after $q = "SELECT " . input with
+    // the feasible-path constraints, what can $q look like? Ask for the
+    // language of q's possible values that are dangerous.
+    let mut sys = System::new();
+    let input = sys.var("input");
+    let filter = sys.constant_regex("filter", "^[a-z' ]+$")?; // letters, quotes, spaces
+    let select = sys.constant("select", dprle::automata::Nfa::literal(b"SELECT "));
+    let unsafe_q = sys.constant_regex("unsafe", "'")?;
+    sys.require(Expr::Var(input), filter);
+    sys.require(Expr::Const(select).concat(Expr::Var(input)), unsafe_q);
+    match solve(&sys, &SolveOptions::default()).first() {
+        Some(assignment) => {
+            let w = assignment.witness(input).expect("nonempty");
+            println!(
+                "dangerous-query postcondition reachable, e.g. input = {:?}",
+                String::from_utf8_lossy(&w)
+            );
+        }
+        None => println!("no dangerous query reachable through the filter"),
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: build a constraint system, solve it, inspect the answer.
+//!
+//! Solves the paper's §3.1.1 examples:
+//!
+//! 1. `v1 ⊆ (xx)+y, v1 ⊆ x*y` — a single maximal assignment.
+//! 2. `v1 ⊆ x(yy)+, v2 ⊆ (yy)*z, v1·v2 ⊆ xyyz|xyyyyz` — two inherently
+//!    disjunctive assignments.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dprle::core::{solve, Expr, SolveOptions, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Example 1: plain intersection ---------------------------------
+    let mut sys = System::new();
+    let v1 = sys.var("v1");
+    let a = sys.constant_regex_exact("a", "(xx)+y")?;
+    let b = sys.constant_regex_exact("b", "x*y")?;
+    sys.require(Expr::Var(v1), a);
+    sys.require(Expr::Var(v1), b);
+
+    println!("System 1:\n{sys}");
+    let solution = solve(&sys, &SolveOptions::default());
+    for (i, assignment) in solution.assignments().iter().enumerate() {
+        println!("assignment {}:\n{}\n", i + 1, assignment.display(&sys));
+    }
+
+    // --- Example 2: disjunctive solutions ------------------------------
+    let mut sys = System::new();
+    let v1 = sys.var("v1");
+    let v2 = sys.var("v2");
+    let c1 = sys.constant_regex_exact("c1", "x(yy)+")?;
+    let c2 = sys.constant_regex_exact("c2", "(yy)*z")?;
+    let c3 = sys.constant_regex_exact("c3", "xyyz|xyyyyz")?;
+    sys.require(Expr::Var(v1), c1);
+    sys.require(Expr::Var(v2), c2);
+    sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c3);
+
+    println!("System 2:\n{sys}");
+    let solution = solve(&sys, &SolveOptions::default());
+    println!("{} disjunctive assignments:", solution.assignments().len());
+    for (i, assignment) in solution.assignments().iter().enumerate() {
+        println!("assignment {}:\n{}\n", i + 1, assignment.display(&sys));
+    }
+    Ok(())
+}

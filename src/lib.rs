@@ -1,0 +1,45 @@
+//! # dprle — A Decision Procedure for Subset Constraints over Regular Languages
+//!
+//! A from-scratch Rust reproduction of Hooimeijer & Weimer (PLDI 2009):
+//! a solver for systems of equations over regular-language variables with
+//! concatenation and subset constraints, together with the automata
+//! substrate, regex front end, symbolic-execution-based SQL-injection
+//! analysis, and synthetic evaluation corpus the paper's evaluation needs.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! names and hosts the runnable examples and cross-crate integration tests.
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`automata`] | `dprle-automata` | byte-class ε-NFAs, DFA ops, minimization, quotients |
+//! | [`regex`] | `dprle-regex` | PCRE-subset parser + Thompson compiler |
+//! | [`core`] | `dprle-core` | the decision procedure (CI, dependency graphs, worklist, gci) |
+//! | [`lang`] | `dprle-lang` | PHP-like IR, CFGs, symbolic execution, SQLI analysis |
+//! | [`corpus`] | `dprle-corpus` | synthetic eve/utopia/warp evaluation corpus |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dprle::core::{solve, Expr, SolveOptions, System};
+//!
+//! // v1 ⊆ (xx)+y and v1 ⊆ x*y  (paper §3.1.1)
+//! let mut sys = System::new();
+//! let v1 = sys.var("v1");
+//! let a = sys.constant_regex_exact("a", "(xx)+y")?;
+//! let b = sys.constant_regex_exact("b", "x*y")?;
+//! sys.require(Expr::Var(v1), a);
+//! sys.require(Expr::Var(v1), b);
+//!
+//! let solution = solve(&sys, &SolveOptions::default());
+//! assert!(solution.first().expect("sat").get(v1).expect("v1").contains(b"xxy"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dprle_automata as automata;
+pub use dprle_core as core;
+pub use dprle_corpus as corpus;
+pub use dprle_lang as lang;
+pub use dprle_regex as regex;

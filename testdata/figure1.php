@@ -1,0 +1,9 @@
+<?php
+// Adapted from Utopia News Pro (the paper's Figure 1).
+$newsid = $_POST['posted_newsid'];
+if (!preg_match('/[\d]+$/', $newsid)) {
+    echo 'Invalid article news ID.';
+    exit;
+}
+$newsid = "nid_" . $newsid;
+query("SELECT * FROM news WHERE newsid=" . $newsid);

@@ -1,0 +1,8 @@
+; The paper's motivating system in SMT-LIB 2.6 strings syntax.
+(set-logic QF_S)
+(declare-const v1 String)
+(assert (str.in_re v1 (re.++ re.all (re.+ (re.range "0" "9")))))
+(assert (str.in_re (str.++ "nid_" v1)
+                   (re.++ re.all (str.to_re "'") re.all)))
+(check-sat)
+(get-model)

@@ -1,0 +1,7 @@
+<?php
+// Reflected XSS: the message is echoed without encoding.
+$msg = $_GET['msg'];
+if ($msg == "") {
+    exit;
+}
+echo "<div class=msg>" . $msg . "</div>";

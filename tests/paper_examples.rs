@@ -1,0 +1,230 @@
+//! Every worked example in the paper, reproduced through the public API.
+//!
+//! These tests are the executable record of the expository figures:
+//! §3.1.1's two example systems, Figure 4's intermediate machines, Figure 6's
+//! dependency graph, and Figures 9–10's mutually dependent concatenations.
+
+use dprle::automata::{equivalent, ops, Nfa};
+use dprle::core::ci::{concat_intersect_full, minimal_solutions};
+use dprle::core::{
+    satisfies_system, solve, DependencyGraph, Expr, NodeKind, SolveOptions, System,
+};
+use dprle::regex::Regex;
+
+fn exact(pattern: &str) -> Nfa {
+    Regex::new(pattern).expect("pattern compiles").exact_language().clone()
+}
+
+/// §3.1.1, first example: v1 ⊆ (xx)+y, v1 ⊆ x*y.
+#[test]
+fn section_3_1_1_intersection_example() {
+    let mut sys = System::new();
+    let v1 = sys.var("v1");
+    let a = sys.constant("a", exact("(xx)+y"));
+    let b = sys.constant("b", exact("x*y"));
+    sys.require(Expr::Var(v1), a);
+    sys.require(Expr::Var(v1), b);
+    let solution = solve(&sys, &SolveOptions::default());
+    let assignments = solution.assignments();
+    assert_eq!(assignments.len(), 1);
+    let x1 = assignments[0].get(v1).expect("assigned");
+    // "The correct satisfying assignment … is [v1 ↦ L((xx)+y)]."
+    assert!(equivalent(x1, &exact("(xx)+y")));
+    // The text's rejected candidates: L(xy) is not satisfying; ∅ and
+    // L(xxy) are satisfying but not maximal.
+    assert!(!x1.contains(b"xy"));
+    assert!(x1.contains(b"xxy"));
+    assert!(x1.contains(b"xxxxy"));
+}
+
+/// §3.1.1, second example: two inherently disjunctive assignments.
+#[test]
+fn section_3_1_1_disjunctive_example() {
+    let mut sys = System::new();
+    let v1 = sys.var("v1");
+    let v2 = sys.var("v2");
+    let c1 = sys.constant("c1", exact("x(yy)+"));
+    let c2 = sys.constant("c2", exact("(yy)*z"));
+    let c3 = sys.constant("c3", exact("xyyz|xyyyyz"));
+    sys.require(Expr::Var(v1), c1);
+    sys.require(Expr::Var(v2), c2);
+    sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c3);
+    let solution = solve(&sys, &SolveOptions::default());
+    let assignments = solution.assignments();
+    assert_eq!(assignments.len(), 2, "A1 and A2");
+    // A1 = [v1 ↦ L(xyy), v2 ↦ L(z|yyz)]
+    let a1 = assignments
+        .iter()
+        .find(|a| equivalent(a.get(v1).expect("v1"), &exact("xyy")))
+        .expect("A1 present");
+    assert!(equivalent(a1.get(v2).expect("v2"), &exact("z|yyz")));
+    // A2 = [v1 ↦ L(x(yy|yyyy)), v2 ↦ L(z)]
+    let a2 = assignments
+        .iter()
+        .find(|a| equivalent(a.get(v2).expect("v2"), &exact("z")))
+        .expect("A2 present");
+    assert!(equivalent(a2.get(v1).expect("v1"), &exact("x(yy|yyyy)")));
+    // "It is not possible to merge A1 and A2": the pointwise union is not
+    // satisfying.
+    let v1_union = ops::union(a1.get(v1).expect("v1"), a2.get(v1).expect("v1"));
+    let v2_union = ops::union(a1.get(v2).expect("v2"), a2.get(v2).expect("v2"));
+    let merged = ops::concat(&v1_union, &v2_union).nfa;
+    assert!(!dprle::automata::is_subset(&merged, sys.const_machine(c3)));
+}
+
+/// Figure 4: the worked CI run on the motivating languages, including the
+/// intermediate machines M₄ and M₅.
+#[test]
+fn figure_4_intermediate_machines() {
+    let c1 = Nfa::literal(b"nid_");
+    let c2 = Regex::new("[\\d]+$").expect("filter").search_language().clone();
+    let c3 = Regex::new("'").expect("quote").search_language().clone();
+    let run = concat_intersect_full(&c1, &c2, &c3);
+
+    // M₄ = c₁ · c₂ accepts filtered inputs prefixed with nid_.
+    assert!(run.m4.contains(b"nid_123"));
+    assert!(run.m4.contains(b"nid_' OR 1=1 --9"));
+    assert!(!run.m4.contains(b"123"));
+
+    // M₅ = M₄ ∩ c₃ additionally demands a quote.
+    assert!(run.m5.contains(b"nid_'9"));
+    assert!(!run.m5.contains(b"nid_9"));
+
+    // Q_lhs and Q_rhs are nonempty and the solution is unique modulo
+    // language equivalence.
+    assert!(!run.qlhs.is_empty() && !run.qrhs.is_empty());
+    let solutions = minimal_solutions(run.solutions);
+    assert_eq!(solutions.len(), 1);
+    assert!(equivalent(&solutions[0].v1, &c1));
+    // x₁′′: "all strings that contain a single quote and end with a digit".
+    let v2 = &solutions[0].v2;
+    assert!(v2.contains(b"' OR 1=1 ; DROP news --9"));
+    assert!(!v2.contains(b"1234"));
+    assert!(!v2.contains(b"'x"));
+}
+
+/// Figure 6: the dependency graph of the running CI system has the six
+/// vertices and four edges the picture shows.
+#[test]
+fn figure_6_dependency_graph() {
+    let mut sys = System::new();
+    let v1 = sys.var("v1");
+    let v2 = sys.var("v2");
+    let c1 = sys.constant("c1", Nfa::literal(b"nid_"));
+    let c2 = sys.constant("c2", exact(".*[0-9]"));
+    let c3 = sys.constant("c3", exact(".*'.*"));
+    sys.require(Expr::Var(v1), c1);
+    sys.require(Expr::Var(v2), c2);
+    sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c3);
+    let graph = DependencyGraph::from_system(&sys);
+    assert_eq!(graph.num_nodes(), 6); // v1 v2 c1 c2 c3 t0
+    assert_eq!(graph.subset_edges().len(), 3);
+    assert_eq!(graph.concat_edges().len(), 1);
+    let t0 = graph.concat_edges()[0].target;
+    assert!(matches!(graph.kind(t0), NodeKind::Temp(0)));
+    // "There is no forward path through the graph from c3 to v2", yet c3
+    // constrains v2 — check the c3 edge targets the temp.
+    let c3_node = graph.const_node(c3);
+    let targets: Vec<_> = graph
+        .subset_edges()
+        .iter()
+        .filter(|e| e.source == c3_node)
+        .map(|e| e.target)
+        .collect();
+    assert_eq!(targets, vec![t0]);
+}
+
+/// Figures 9–10: the CI-group with the shared variable vb; the paper's two
+/// reported assignments occur among the solver's output, every output
+/// satisfies the system, and the paper's concrete solution languages match.
+#[test]
+fn figure_9_10_ci_group() {
+    let mut sys = System::new();
+    let va = sys.var("va");
+    let vb = sys.var("vb");
+    let vc = sys.var("vc");
+    let ca = sys.constant("ca", exact("o(pp)+"));
+    let cb = sys.constant("cb", exact("p*(qq)+"));
+    let cc = sys.constant("cc", exact("q*r"));
+    let c1 = sys.constant("c1", exact("op{5}q*"));
+    let c2 = sys.constant("c2", exact("p*q{4}r"));
+    sys.require(Expr::Var(va), ca);
+    sys.require(Expr::Var(vb), cb);
+    sys.require(Expr::Var(vc), cc);
+    sys.require(Expr::Var(va).concat(Expr::Var(vb)), c1);
+    sys.require(Expr::Var(vb).concat(Expr::Var(vc)), c2);
+
+    let solution = solve(&sys, &SolveOptions::default());
+    let assignments = solution.assignments();
+    assert!(!assignments.is_empty());
+    for a in assignments {
+        assert!(satisfies_system(&sys, a));
+    }
+    // Paper's A1 = [va ↦ op², vb ↦ p³q², vc ↦ q²r].
+    assert!(
+        assignments.iter().any(|a| {
+            equivalent(a.get(va).expect("va"), &exact("op{2}"))
+                && equivalent(a.get(vb).expect("vb"), &exact("p{3}q{2}"))
+                && equivalent(a.get(vc).expect("vc"), &exact("q{2}r"))
+        }),
+        "paper's A1 present"
+    );
+    // Paper's A2 = [va ↦ op⁴, vb ↦ pq², vc ↦ q²r].
+    assert!(
+        assignments.iter().any(|a| {
+            equivalent(a.get(va).expect("va"), &exact("op{4}"))
+                && equivalent(a.get(vb).expect("vb"), &exact("pq{2}"))
+                && equivalent(a.get(vc).expect("vc"), &exact("q{2}r"))
+        }),
+        "paper's A2 present"
+    );
+}
+
+/// §3.4.3's nested tower: (v1·v2)·v3 ⊆ c4 — "the NFAs for v1, v2 and v3
+/// will all be represented as sub-NFAs of a single larger NFA"; observable
+/// as the final subset constraint affecting all three variables.
+#[test]
+fn section_3_4_3_nested_concatenation() {
+    let mut sys = System::new();
+    let v1 = sys.var("v1");
+    let v2 = sys.var("v2");
+    let v3 = sys.var("v3");
+    let c1 = sys.constant("c1", exact("a*"));
+    let c2 = sys.constant("c2", exact("b*"));
+    let c3 = sys.constant("c3", exact("c*"));
+    let c4 = sys.constant("c4", exact("aabcc"));
+    sys.require(Expr::Var(v1), c1);
+    sys.require(Expr::Var(v2), c2);
+    sys.require(Expr::Var(v3), c3);
+    sys.require(Expr::Var(v1).concat(Expr::Var(v2)).concat(Expr::Var(v3)), c4);
+    let solution = solve(&sys, &SolveOptions::default());
+    let a = solution.first().expect("sat");
+    assert!(equivalent(a.get(v1).expect("v1"), &exact("aa")));
+    assert!(equivalent(a.get(v2).expect("v2"), &exact("b")));
+    assert!(equivalent(a.get(v3).expect("v3"), &exact("cc")));
+}
+
+/// §3.5's two-call example: the system needing two inductive
+/// concat-intersect applications solves correctly.
+#[test]
+fn section_3_5_two_ci_calls() {
+    let mut sys = System::new();
+    let v1 = sys.var("v1");
+    let v2 = sys.var("v2");
+    let v3 = sys.var("v3");
+    let c1 = sys.constant("c1", exact("a+"));
+    let c2 = sys.constant("c2", exact("b+"));
+    let c3 = sys.constant("c3", exact("c+"));
+    let c4 = sys.constant("c4", exact("ab+"));
+    let c5 = sys.constant("c5", exact("abbc"));
+    sys.require(Expr::Var(v1), c1);
+    sys.require(Expr::Var(v2), c2);
+    sys.require(Expr::Var(v3), c3);
+    sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c4);
+    sys.require(Expr::Var(v1).concat(Expr::Var(v2)).concat(Expr::Var(v3)), c5);
+    let solution = solve(&sys, &SolveOptions::default());
+    let a = solution.first().expect("sat");
+    assert!(equivalent(a.get(v1).expect("v1"), &exact("a")));
+    assert!(equivalent(a.get(v2).expect("v2"), &exact("bb")));
+    assert!(equivalent(a.get(v3).expect("v3"), &exact("c")));
+}
