@@ -95,8 +95,8 @@ pub fn count_words_of_length(nfa: &Nfa, n: usize) -> u128 {
                 if !live[t.index()] {
                     continue;
                 }
-                next[q] = next[q]
-                    .saturating_add(counts[t.index()].saturating_mul(class.len() as u128));
+                next[q] =
+                    next[q].saturating_add(counts[t.index()].saturating_mul(class.len() as u128));
             }
         }
         counts = next;
@@ -265,7 +265,10 @@ mod tests {
     fn size_of_basic_languages() {
         assert_eq!(language_size(&Nfa::empty_language()), LanguageSize::Empty);
         assert_eq!(language_size(&Nfa::epsilon()), LanguageSize::Finite(1));
-        assert_eq!(language_size(&Nfa::literal(b"abc")), LanguageSize::Finite(1));
+        assert_eq!(
+            language_size(&Nfa::literal(b"abc")),
+            LanguageSize::Finite(1)
+        );
         assert_eq!(language_size(&Nfa::sigma_star()), LanguageSize::Infinite);
         let union = ops::union(&Nfa::literal(b"a"), &Nfa::literal(b"bb"));
         assert_eq!(language_size(&union), LanguageSize::Finite(2));
@@ -322,8 +325,7 @@ mod tests {
     #[test]
     fn members_agree_with_enumerate_upto() {
         let m = ops::concat(&ops::star(&Nfa::literal(b"ab")), &Nfa::literal(b"a")).nfa;
-        let from_iter: Vec<Vec<u8>> =
-            members(&m).take_while(|w| w.len() <= 5).collect();
+        let from_iter: Vec<Vec<u8>> = members(&m).take_while(|w| w.len() <= 5).collect();
         let reference = m.enumerate_upto(b"ab", 5);
         assert_eq!(from_iter.len(), reference.len());
         for w in &from_iter {

@@ -31,7 +31,9 @@ impl ByteClass {
     pub const EMPTY: ByteClass = ByteClass { words: [0; 4] };
 
     /// The full alphabet Σ (all 256 byte values).
-    pub const FULL: ByteClass = ByteClass { words: [u64::MAX; 4] };
+    pub const FULL: ByteClass = ByteClass {
+        words: [u64::MAX; 4],
+    };
 
     /// Creates an empty byte class.
     pub fn new() -> Self {
@@ -180,7 +182,11 @@ impl ByteClass {
 
     /// Iterates over the member bytes in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { class: self, next: 0, done: false }
+        Iter {
+            class: self,
+            next: 0,
+            done: false,
+        }
     }
 }
 

@@ -127,7 +127,11 @@ impl Dfa {
         start: StateId,
         finals: Vec<bool>,
     ) -> Dfa {
-        Dfa { states, start, finals }
+        Dfa {
+            states,
+            start,
+            finals,
+        }
     }
 }
 
@@ -182,7 +186,11 @@ pub fn determinize(nfa: &Nfa) -> Dfa {
         new_row.sort_by_key(|&(_, t)| t);
         *row = new_row;
     }
-    Dfa { states, start: StateId(0), finals }
+    Dfa {
+        states,
+        start: StateId(0),
+        finals,
+    }
 }
 
 /// The NFA for the complement language Σ* \ L(nfa).
@@ -277,7 +285,10 @@ mod tests {
     #[test]
     fn complement_of_sigma_star_is_empty() {
         assert!(complement(&Nfa::sigma_star()).is_empty_language());
-        assert!(equivalent(&complement(&Nfa::empty_language()), &Nfa::sigma_star()));
+        assert!(equivalent(
+            &complement(&Nfa::empty_language()),
+            &Nfa::sigma_star()
+        ));
     }
 
     #[test]
@@ -308,7 +319,10 @@ mod tests {
         let cex = inclusion_counterexample(&astar, &aa).expect("inclusion fails");
         assert!(astar.contains(&cex));
         assert!(!aa.contains(&cex));
-        assert!(cex.len() <= 1, "shortest counterexample is ε or 'a', got {cex:?}");
+        assert!(
+            cex.len() <= 1,
+            "shortest counterexample is ε or 'a', got {cex:?}"
+        );
         assert_eq!(inclusion_counterexample(&aa, &astar), None);
     }
 

@@ -22,7 +22,11 @@ pub fn nfa_to_dot(nfa: &Nfa, name: &str) -> String {
     let _ = writeln!(out, "  rankdir=LR;");
     let _ = writeln!(out, "  __start [shape=point];");
     for q in nfa.state_ids() {
-        let shape = if nfa.is_final(q) { "doublecircle" } else { "circle" };
+        let shape = if nfa.is_final(q) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
         let _ = writeln!(out, "  {} [shape={shape}];", q.index());
     }
     let _ = writeln!(out, "  __start -> {};", nfa.start().index());
@@ -54,7 +58,11 @@ pub fn dfa_to_dot(dfa: &Dfa, name: &str) -> String {
     let _ = writeln!(out, "  rankdir=LR;");
     let _ = writeln!(out, "  __start [shape=point];");
     for q in 0..dfa.num_states() {
-        let shape = if dfa.is_final(StateId(q as u32)) { "doublecircle" } else { "circle" };
+        let shape = if dfa.is_final(StateId(q as u32)) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
         let _ = writeln!(out, "  {q} [shape={shape}];");
     }
     let _ = writeln!(out, "  __start -> {};", dfa.start().index());

@@ -83,7 +83,11 @@ pub fn random_nfa(seed: u64, config: &RandomNfaConfig) -> Nfa {
 /// seeds derived from `seed` until one has a reachable final state.
 pub fn random_nonempty_nfa(seed: u64, config: &RandomNfaConfig) -> Nfa {
     for attempt in 0..u64::MAX {
-        let m = random_nfa(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(attempt), config);
+        let m = random_nfa(
+            seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(attempt),
+            config,
+        );
         if !m.is_empty_language() {
             return m;
         }
@@ -116,7 +120,11 @@ fn random_class(rng: &mut StdRng, alphabet: &[u8]) -> ByteClass {
         return c;
     }
     // Mostly singletons; occasionally multi-byte classes.
-    let k = if rng.gen_bool(0.8) { 1 } else { rng.gen_range(1..=alphabet.len()) };
+    let k = if rng.gen_bool(0.8) {
+        1
+    } else {
+        rng.gen_range(1..=alphabet.len())
+    };
     for _ in 0..k {
         c.insert(alphabet[rng.gen_range(0..alphabet.len())]);
     }
@@ -139,15 +147,24 @@ mod tests {
 
     #[test]
     fn respects_state_count() {
-        let cfg = RandomNfaConfig { states: 17, ..Default::default() };
+        let cfg = RandomNfaConfig {
+            states: 17,
+            ..Default::default()
+        };
         assert_eq!(random_nfa(1, &cfg).num_states(), 17);
-        let tiny = RandomNfaConfig { states: 0, ..Default::default() };
+        let tiny = RandomNfaConfig {
+            states: 0,
+            ..Default::default()
+        };
         assert_eq!(random_nfa(1, &tiny).num_states(), 1);
     }
 
     #[test]
     fn nonempty_generator_is_nonempty() {
-        let cfg = RandomNfaConfig { final_probability: 0.05, ..Default::default() };
+        let cfg = RandomNfaConfig {
+            final_probability: 0.05,
+            ..Default::default()
+        };
         for seed in 0..20 {
             assert!(!random_nonempty_nfa(seed, &cfg).is_empty_language());
         }
@@ -155,7 +172,10 @@ mod tests {
 
     #[test]
     fn alphabet_is_respected() {
-        let cfg = RandomNfaConfig { alphabet: vec![b'x'], ..Default::default() };
+        let cfg = RandomNfaConfig {
+            alphabet: vec![b'x'],
+            ..Default::default()
+        };
         let m = random_nfa(7, &cfg);
         for (_, class, _) in m.edges() {
             for b in class.iter() {

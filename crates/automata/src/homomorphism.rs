@@ -213,6 +213,9 @@ mod tests {
         assert!(v_language.contains(b"SeLeCt"));
         assert!(!v_language.contains(b"selec"));
         // Round-trip: the image of the solution is within the bound.
-        assert!(is_subset(&image(&v_language, &ByteMap::to_lowercase()), &bound));
+        assert!(is_subset(
+            &image(&v_language, &ByteMap::to_lowercase()),
+            &bound
+        ));
     }
 }

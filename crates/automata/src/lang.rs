@@ -1,0 +1,471 @@
+//! Interned language handles with cached canonical fingerprints.
+//!
+//! The worklist solver branches on every disjunctive group solution and
+//! carries whole machines through each branch; with owned [`Nfa`] values
+//! that means deep copies at every branch, leaf binding, and constant
+//! lookup, plus a fresh determinize+minimize pass every time two solutions
+//! are compared for language equality. [`Lang`] makes a language a
+//! cheap-to-clone handle (`Arc` internally) with interior-cached, lazily
+//! computed properties — the canonical minimal-DFA fingerprint
+//! ([`canonical_key`]), emptiness, ε-freeness, and edge counts — so each of
+//! those is paid at most once per underlying machine no matter how many
+//! branches share it. [`LangStore`] layers hash-consing (one representative
+//! handle per distinct language) and memoization of the binary operations
+//! the solver runs repeatedly (intersection, inclusion) keyed by operand
+//! fingerprints, with counters that the solver surfaces as cache
+//! observability stats.
+
+use crate::dfa;
+use crate::minimize::{canonical_key, minimize, CanonicalKey};
+use crate::nfa::Nfa;
+use crate::ops;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A regular language: a shared, immutable [`Nfa`] with lazily cached
+/// canonical properties.
+///
+/// Cloning is O(1) (an `Arc` bump); the wrapped machine is immutable, which
+/// is what makes the interior caches sound. `Lang` dereferences to [`Nfa`],
+/// so read-only machine APIs (`contains`, `num_states`, …) work unchanged
+/// on handles.
+#[derive(Clone)]
+pub struct Lang {
+    inner: Arc<LangInner>,
+}
+
+struct LangInner {
+    nfa: Nfa,
+    fingerprint: OnceLock<Arc<CanonicalKey>>,
+    empty: OnceLock<bool>,
+    eps_free: OnceLock<bool>,
+    edge_count: OnceLock<usize>,
+}
+
+impl Lang {
+    /// Wraps a machine in a shareable handle.
+    pub fn new(nfa: Nfa) -> Self {
+        Lang {
+            inner: Arc::new(LangInner {
+                nfa,
+                fingerprint: OnceLock::new(),
+                empty: OnceLock::new(),
+                eps_free: OnceLock::new(),
+                edge_count: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// The wrapped machine.
+    pub fn nfa(&self) -> &Nfa {
+        &self.inner.nfa
+    }
+
+    /// Recovers an owned machine (clones only if the handle is shared).
+    pub fn into_nfa(self) -> Nfa {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.nfa,
+            Err(shared) => shared.nfa.clone(),
+        }
+    }
+
+    /// Whether two handles share one underlying machine.
+    pub fn ptr_eq(a: &Lang, b: &Lang) -> bool {
+        Arc::ptr_eq(&a.inner, &b.inner)
+    }
+
+    /// The canonical minimal-DFA fingerprint of the language. Computed on
+    /// first use (one determinize+minimize), then cached: language equality
+    /// and hashing are O(key length) afterwards. Equal fingerprints hold
+    /// exactly for equal languages.
+    pub fn fingerprint(&self) -> Arc<CanonicalKey> {
+        self.inner
+            .fingerprint
+            .get_or_init(|| Arc::new(canonical_key(&self.inner.nfa)))
+            .clone()
+    }
+
+    /// Whether [`Lang::fingerprint`] has already been computed (used by
+    /// [`LangStore`] to count cache hits without forcing computation).
+    pub fn fingerprint_is_cached(&self) -> bool {
+        self.inner.fingerprint.get().is_some()
+    }
+
+    /// Language-level equality: pointer equality fast path, then cached
+    /// fingerprints.
+    pub fn same_language(&self, other: &Lang) -> bool {
+        Lang::ptr_eq(self, other) || self.fingerprint() == other.fingerprint()
+    }
+
+    /// Whether the language is empty (cached).
+    pub fn is_empty_language(&self) -> bool {
+        *self
+            .inner
+            .empty
+            .get_or_init(|| self.inner.nfa.is_empty_language())
+    }
+
+    /// Whether the machine has no ε-transitions (cached).
+    pub fn is_eps_free(&self) -> bool {
+        *self
+            .inner
+            .eps_free
+            .get_or_init(|| self.inner.nfa.eps_edges().next().is_none())
+    }
+
+    /// Number of states of the underlying machine.
+    pub fn num_states(&self) -> usize {
+        self.inner.nfa.num_states()
+    }
+
+    /// Number of byte-class transitions of the underlying machine (cached:
+    /// the count walks every state).
+    pub fn num_edges(&self) -> usize {
+        *self
+            .inner
+            .edge_count
+            .get_or_init(|| self.inner.nfa.num_transitions())
+    }
+}
+
+impl std::ops::Deref for Lang {
+    type Target = Nfa;
+    fn deref(&self) -> &Nfa {
+        &self.inner.nfa
+    }
+}
+
+impl From<Nfa> for Lang {
+    fn from(nfa: Nfa) -> Self {
+        Lang::new(nfa)
+    }
+}
+
+impl From<&Nfa> for Lang {
+    fn from(nfa: &Nfa) -> Self {
+        Lang::new(nfa.clone())
+    }
+}
+
+impl AsRef<Nfa> for Lang {
+    fn as_ref(&self) -> &Nfa {
+        &self.inner.nfa
+    }
+}
+
+impl fmt::Debug for Lang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lang")
+            .field("states", &self.num_states())
+            .field("fingerprinted", &self.fingerprint_is_cached())
+            .finish()
+    }
+}
+
+/// Counters for the interning layer, surfaced through `SolveStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Fingerprint requests answered from a handle's cache.
+    pub fingerprint_hits: u64,
+    /// Fingerprint requests that ran determinize+minimize.
+    pub fingerprint_misses: u64,
+    /// Binary operations (intersection, inclusion) answered from the memo
+    /// tables.
+    pub op_hits: u64,
+    /// Binary operations computed directly (and, with interning enabled,
+    /// recorded in the memo tables).
+    pub op_misses: u64,
+    /// Distinct languages hash-consed into the store.
+    pub interned: u64,
+    /// States of machines materialized by store-computed operations.
+    pub states_materialized: u64,
+}
+
+impl StoreStats {
+    /// Total minimization passes the store triggered (each fingerprint miss
+    /// is one determinize+minimize run).
+    pub fn minimizations(&self) -> u64 {
+        self.fingerprint_misses
+    }
+}
+
+#[derive(Default)]
+struct StoreInner {
+    interned: HashMap<Arc<CanonicalKey>, Lang>,
+    intersect_memo: HashMap<(Arc<CanonicalKey>, Arc<CanonicalKey>), Lang>,
+    inclusion_memo: HashMap<(Arc<CanonicalKey>, Arc<CanonicalKey>), bool>,
+    minimize_memo: HashMap<Arc<CanonicalKey>, Lang>,
+    stats: StoreStats,
+}
+
+/// Hash-consing interner and binary-operation memo table for [`Lang`].
+///
+/// All methods take `&self`; the store is internally synchronized, so one
+/// store can be shared across incremental solver checks (and, later,
+/// parallel branch exploration). With `interning(false)` the store becomes
+/// a pass-through that computes every operation directly — the
+/// `ablation_interning` benchmark compares the two modes.
+pub struct LangStore {
+    inner: Mutex<StoreInner>,
+    enabled: bool,
+}
+
+impl Default for LangStore {
+    fn default() -> Self {
+        LangStore::new()
+    }
+}
+
+impl LangStore {
+    /// A store with interning and memoization enabled.
+    pub fn new() -> Self {
+        LangStore {
+            inner: Mutex::new(StoreInner::default()),
+            enabled: true,
+        }
+    }
+
+    /// A store with the caching layer toggled; `interning(false)` computes
+    /// everything directly (ablation baseline).
+    pub fn interning(enabled: bool) -> Self {
+        LangStore {
+            inner: Mutex::new(StoreInner::default()),
+            enabled,
+        }
+    }
+
+    /// Whether the caching layer is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The language's fingerprint, with hit/miss accounting.
+    pub fn key_of(&self, lang: &Lang) -> Arc<CanonicalKey> {
+        let cached = lang.fingerprint_is_cached();
+        let key = lang.fingerprint();
+        let mut inner = self.inner.lock().expect("store lock");
+        if cached {
+            inner.stats.fingerprint_hits += 1;
+        } else {
+            inner.stats.fingerprint_misses += 1;
+        }
+        key
+    }
+
+    /// Hash-conses `lang`: returns the store's representative handle for
+    /// the same language, inserting `lang` if it is new. Sharing the
+    /// representative means later fingerprint and emptiness queries on any
+    /// equal-language handle hit the same caches.
+    pub fn intern(&self, lang: Lang) -> Lang {
+        if !self.enabled {
+            return lang;
+        }
+        let key = self.key_of(&lang);
+        let mut inner = self.inner.lock().expect("store lock");
+        if let Some(existing) = inner.interned.get(&key) {
+            return existing.clone();
+        }
+        inner.stats.interned += 1;
+        inner.interned.insert(key, lang.clone());
+        lang
+    }
+
+    /// Memoized language intersection. The memo key is the unordered
+    /// fingerprint pair (intersection is commutative on languages), so
+    /// `intersect(a, b)` and `intersect(b, a)` share one entry.
+    pub fn intersect(&self, a: &Lang, b: &Lang) -> Lang {
+        if !self.enabled {
+            let result = Lang::new(ops::intersect_lang(a.nfa(), b.nfa()));
+            let mut inner = self.inner.lock().expect("store lock");
+            inner.stats.op_misses += 1;
+            inner.stats.states_materialized += result.num_states() as u64;
+            return result;
+        }
+        let (ka, kb) = (self.key_of(a), self.key_of(b));
+        let key = if ka <= kb { (ka, kb) } else { (kb, ka) };
+        if let Some(hit) = self.lookup_intersect(&key) {
+            return hit;
+        }
+        let result = Lang::new(ops::intersect_lang(a.nfa(), b.nfa()));
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.stats.op_misses += 1;
+        inner.stats.states_materialized += result.num_states() as u64;
+        inner.intersect_memo.insert(key, result.clone());
+        result
+    }
+
+    fn lookup_intersect(&self, key: &(Arc<CanonicalKey>, Arc<CanonicalKey>)) -> Option<Lang> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let hit = inner.intersect_memo.get(key).cloned();
+        if hit.is_some() {
+            inner.stats.op_hits += 1;
+        }
+        hit
+    }
+
+    /// Memoized language inclusion (`a ⊆ b`), keyed by the ordered
+    /// fingerprint pair.
+    pub fn is_subset(&self, a: &Lang, b: &Lang) -> bool {
+        if Lang::ptr_eq(a, b) {
+            return true;
+        }
+        if !self.enabled {
+            self.inner.lock().expect("store lock").stats.op_misses += 1;
+            return dfa::is_subset(a.nfa(), b.nfa());
+        }
+        let key = (self.key_of(a), self.key_of(b));
+        if key.0 == key.1 {
+            return true;
+        }
+        {
+            let mut inner = self.inner.lock().expect("store lock");
+            if let Some(&hit) = inner.inclusion_memo.get(&key) {
+                inner.stats.op_hits += 1;
+                return hit;
+            }
+        }
+        let result = dfa::is_subset(a.nfa(), b.nfa());
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.stats.op_misses += 1;
+        inner.inclusion_memo.insert(key, result);
+        result
+    }
+
+    /// Memoized language-preserving minimization, keyed by fingerprint.
+    pub fn minimized(&self, a: &Lang) -> Lang {
+        if !self.enabled {
+            let result = Lang::new(minimize(a.nfa()));
+            let mut inner = self.inner.lock().expect("store lock");
+            inner.stats.op_misses += 1;
+            inner.stats.states_materialized += result.num_states() as u64;
+            return result;
+        }
+        let key = self.key_of(a);
+        {
+            let mut inner = self.inner.lock().expect("store lock");
+            if let Some(hit) = inner.minimize_memo.get(&key).cloned() {
+                inner.stats.op_hits += 1;
+                return hit;
+            }
+        }
+        let result = Lang::new(minimize(a.nfa()));
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.stats.op_misses += 1;
+        inner.stats.states_materialized += result.num_states() as u64;
+        inner.minimize_memo.insert(key, result.clone());
+        result
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().expect("store lock").stats
+    }
+
+    /// Adds `states` to the materialization counter (for machines built by
+    /// the solver outside the store's own operations).
+    pub fn note_materialized(&self, states: usize) {
+        self.inner
+            .lock()
+            .expect("store lock")
+            .stats
+            .states_materialized += states as u64;
+    }
+}
+
+impl fmt::Debug for LangStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LangStore")
+            .field("enabled", &self.enabled)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::equivalent;
+
+    fn ab_star() -> Nfa {
+        ops::star(&Nfa::from_words([b"ab".as_slice()]))
+    }
+
+    #[test]
+    fn handles_share_the_fingerprint() {
+        let l = Lang::new(ab_star());
+        let l2 = l.clone();
+        assert!(!l2.fingerprint_is_cached());
+        let k = l.fingerprint();
+        assert!(l2.fingerprint_is_cached(), "clones share the cache");
+        assert_eq!(k, l2.fingerprint());
+    }
+
+    #[test]
+    fn same_language_matches_equivalence() {
+        let a = Lang::new(ab_star());
+        let b = Lang::new(ab_star().normalize());
+        let c = Lang::new(Nfa::literal(b"ab"));
+        assert!(a.same_language(&b));
+        assert!(!a.same_language(&c));
+        assert!(equivalent(a.nfa(), b.nfa()));
+    }
+
+    #[test]
+    fn interning_returns_one_representative() {
+        let store = LangStore::new();
+        let a = store.intern(Lang::new(ab_star()));
+        let b = store.intern(Lang::new(ab_star().normalize()));
+        assert!(Lang::ptr_eq(&a, &b));
+        assert_eq!(store.stats().interned, 1);
+    }
+
+    #[test]
+    fn intersect_is_memoized_and_correct() {
+        let store = LangStore::new();
+        let a = Lang::new(ab_star());
+        let b = Lang::new(Nfa::length_between(0, 4));
+        let first = store.intersect(&a, &b);
+        let again = store.intersect(&b, &a);
+        assert!(Lang::ptr_eq(&first, &again), "commutative memo hit");
+        assert!(equivalent(
+            first.nfa(),
+            &ops::intersect_lang(a.nfa(), b.nfa())
+        ));
+        let stats = store.stats();
+        assert_eq!((stats.op_hits, stats.op_misses), (1, 1));
+    }
+
+    #[test]
+    fn inclusion_is_memoized() {
+        let store = LangStore::new();
+        let small = Lang::new(Nfa::literal(b"ab"));
+        let big = Lang::new(ab_star());
+        assert!(store.is_subset(&small, &big));
+        assert!(store.is_subset(&small, &big));
+        assert!(!store.is_subset(&big, &small));
+        let stats = store.stats();
+        assert_eq!(stats.op_hits, 1);
+    }
+
+    #[test]
+    fn disabled_store_still_computes() {
+        let store = LangStore::interning(false);
+        let a = Lang::new(ab_star());
+        let b = Lang::new(Nfa::length_between(0, 4));
+        let first = store.intersect(&a, &b);
+        let again = store.intersect(&a, &b);
+        assert!(!Lang::ptr_eq(&first, &again), "no memo when disabled");
+        assert!(equivalent(first.nfa(), again.nfa()));
+        assert!(store.is_subset(&a, &a));
+    }
+
+    #[test]
+    fn cached_properties_match_direct_computation() {
+        let l = Lang::new(ab_star());
+        assert_eq!(l.is_empty_language(), l.nfa().is_empty_language());
+        assert_eq!(l.num_edges(), l.nfa().num_transitions());
+        assert!(!l.is_eps_free(), "star introduces ε-edges");
+        assert!(Lang::new(Nfa::literal(b"x")).is_eps_free());
+    }
+}

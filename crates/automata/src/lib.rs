@@ -18,6 +18,9 @@
 //!   equivalence (the `⊆` judgments of the constraint language).
 //! * [`minimize`] — DFA minimization (the optimization the paper suggests
 //!   for its Figure 12 `secure` outlier).
+//! * [`lang`] — cheap-to-clone interned language handles ([`Lang`]) with
+//!   cached canonical fingerprints, and the hash-consing / memoizing
+//!   [`LangStore`] the solver shares across worklist branches.
 //! * [`quotient`] — existential and universal left/right quotients, used by
 //!   the solver when concatenation operands are constants.
 //! * [`dot`] — Graphviz export for regenerating paper-style machine figures.
@@ -54,6 +57,7 @@ pub mod dfa;
 pub mod dot;
 pub mod generate;
 pub mod homomorphism;
+pub mod lang;
 pub mod minimize;
 pub mod nfa;
 pub mod ops;
@@ -63,5 +67,6 @@ pub use analysis::{is_finite, language_size, members, LanguageSize};
 pub use byteclass::ByteClass;
 pub use dfa::{complement, determinize, equivalent, inclusion_counterexample, is_subset, Dfa};
 pub use homomorphism::ByteMap;
+pub use lang::{Lang, LangStore, StoreStats};
 pub use minimize::{canonical_key, minimize, minimize_dfa, minimize_dfa_hopcroft, CanonicalKey};
 pub use nfa::{Nfa, State, StateId};

@@ -27,8 +27,10 @@ pub fn minimize_dfa(dfa: &Dfa) -> Dfa {
         .flat_map(|q| dfa.transitions(StateId(q as u32)).iter().map(|&(c, _)| c))
         .collect();
     let alphabet = minterms(classes.iter());
-    let symbols: Vec<u8> =
-        alphabet.iter().map(|c| c.min_byte().expect("minterms nonempty")).collect();
+    let symbols: Vec<u8> = alphabet
+        .iter()
+        .map(|c| c.min_byte().expect("minterms nonempty"))
+        .collect();
 
     // Initial partition: finals vs non-finals.
     let mut block_of: Vec<usize> = (0..n)
@@ -83,7 +85,9 @@ pub fn minimize_dfa(dfa: &Dfa) -> Dfa {
         let mut by_target: std::collections::HashMap<usize, ByteClass> =
             std::collections::HashMap::new();
         for &(c, t) in dfa.transitions(StateId(q as u32)) {
-            let e = by_target.entry(block_of[t.index()]).or_insert(ByteClass::EMPTY);
+            let e = by_target
+                .entry(block_of[t.index()])
+                .or_insert(ByteClass::EMPTY);
             *e = e.union(&c);
         }
         let mut row: Vec<(ByteClass, StateId)> = by_target
@@ -120,8 +124,10 @@ pub fn minimize_dfa_hopcroft(dfa: &Dfa) -> Dfa {
         .flat_map(|q| dfa.transitions(StateId(q as u32)).iter().map(|&(c, _)| c))
         .collect();
     let alphabet = minterms(classes.iter());
-    let symbols: Vec<u8> =
-        alphabet.iter().map(|c| c.min_byte().expect("minterms nonempty")).collect();
+    let symbols: Vec<u8> = alphabet
+        .iter()
+        .map(|c| c.min_byte().expect("minterms nonempty"))
+        .collect();
     let k = symbols.len();
 
     // Reverse transition table per symbol.
@@ -152,7 +158,9 @@ pub fn minimize_dfa_hopcroft(dfa: &Dfa) -> Dfa {
 
     use std::collections::BTreeSet;
     let mut work: BTreeSet<(usize, usize)> = BTreeSet::new();
-    let smaller = (0..blocks.len()).min_by_key(|&b| blocks[b].len()).expect("nonempty");
+    let smaller = (0..blocks.len())
+        .min_by_key(|&b| blocks[b].len())
+        .expect("nonempty");
     for s in 0..k {
         work.insert((smaller, s));
     }
@@ -216,7 +224,9 @@ pub fn minimize_dfa_hopcroft(dfa: &Dfa) -> Dfa {
         let mut by_target: std::collections::HashMap<usize, ByteClass> =
             std::collections::HashMap::new();
         for &(c, t) in dfa.transitions(StateId(q as u32)) {
-            let e = by_target.entry(block_of[t.index()]).or_insert(ByteClass::EMPTY);
+            let e = by_target
+                .entry(block_of[t.index()])
+                .or_insert(ByteClass::EMPTY);
             *e = e.union(&c);
         }
         let mut row: Vec<(ByteClass, StateId)> = by_target

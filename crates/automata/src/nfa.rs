@@ -64,7 +64,11 @@ impl Nfa {
     /// Creates a machine with a single start state and no transitions or
     /// final states; recognizes the empty language.
     pub fn new() -> Self {
-        Nfa { states: vec![State::default()], start: StateId(0), finals: BTreeSet::new() }
+        Nfa {
+            states: vec![State::default()],
+            start: StateId(0),
+            finals: BTreeSet::new(),
+        }
     }
 
     /// The machine for the empty language ∅.
@@ -282,7 +286,10 @@ impl Nfa {
 
     /// The total number of transitions (byte-class plus epsilon).
     pub fn num_transitions(&self) -> usize {
-        self.states.iter().map(|s| s.edges.len() + s.eps.len()).sum()
+        self.states
+            .iter()
+            .map(|s| s.edges.len() + s.eps.len())
+            .sum()
     }
 
     /// The start state.
@@ -312,9 +319,10 @@ impl Nfa {
 
     /// Iterates over all byte-class edges as `(from, class, to)`.
     pub fn edges(&self) -> impl Iterator<Item = (StateId, ByteClass, StateId)> + '_ {
-        self.states.iter().enumerate().flat_map(|(i, s)| {
-            s.edges.iter().map(move |&(c, t)| (StateId(i as u32), c, t))
-        })
+        self.states
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.edges.iter().map(move |&(c, t)| (StateId(i as u32), c, t)))
     }
 
     /// Iterates over all epsilon edges as `(from, to)`.
@@ -576,13 +584,13 @@ impl Nfa {
         let co = self.co_reachable();
         let mut new_of_old: Vec<Option<StateId>> = vec![None; self.states.len()];
         let mut old_of_new: Vec<StateId> = Vec::new();
-        let keep = |q: StateId, old_of_new: &mut Vec<StateId>,
-                        new_of_old: &mut Vec<Option<StateId>>| {
-            let id = StateId(old_of_new.len() as u32);
-            new_of_old[q.index()] = Some(id);
-            old_of_new.push(q);
-            id
-        };
+        let keep =
+            |q: StateId, old_of_new: &mut Vec<StateId>, new_of_old: &mut Vec<Option<StateId>>| {
+                let id = StateId(old_of_new.len() as u32);
+                new_of_old[q.index()] = Some(id);
+                old_of_new.push(q);
+                id
+            };
         // Keep the start unconditionally so the result is a valid machine.
         keep(self.start, &mut old_of_new, &mut new_of_old);
         for q in self.state_ids() {
@@ -707,7 +715,11 @@ impl Nfa {
     ///
     /// Panics if the machine does not have exactly one final state.
     pub fn single_final(&self) -> StateId {
-        assert_eq!(self.finals.len(), 1, "machine must have exactly one final state");
+        assert_eq!(
+            self.finals.len(),
+            1,
+            "machine must have exactly one final state"
+        );
         *self.finals.iter().next().expect("one final")
     }
 

@@ -73,7 +73,12 @@ pub fn concat(a: &Nfa, b: &Nfa) -> Concatenation {
     let s2 = right_map[b.start().index()];
     out.add_eps(f1, s2);
     out.add_final(right_map[b.single_final().index()]);
-    Concatenation { nfa: out, left_map, right_map, bridge: (f1, s2) }
+    Concatenation {
+        nfa: out,
+        left_map,
+        right_map,
+        bridge: (f1, s2),
+    }
 }
 
 /// The machine for `L(a) ∪ L(b)`, in normalized shape.
@@ -213,16 +218,17 @@ pub fn intersect(a: &Nfa, b: &Nfa) -> Product {
     let mut work: VecDeque<StateId> = VecDeque::from([out.start()]);
     while let Some(pq) = work.pop_front() {
         let (p, q) = pairs[pq.index()];
-        let mut intern =
-            |pair: (StateId, StateId), out: &mut Nfa, pairs: &mut Vec<(StateId, StateId)>,
-             work: &mut VecDeque<StateId>| {
-                *index.entry(pair).or_insert_with(|| {
-                    let id = out.add_state();
-                    pairs.push(pair);
-                    work.push_back(id);
-                    id
-                })
-            };
+        let mut intern = |pair: (StateId, StateId),
+                          out: &mut Nfa,
+                          pairs: &mut Vec<(StateId, StateId)>,
+                          work: &mut VecDeque<StateId>| {
+            *index.entry(pair).or_insert_with(|| {
+                let id = out.add_state();
+                pairs.push(pair);
+                work.push_back(id);
+                id
+            })
+        };
         // Synchronized byte moves.
         let pa = a.state(p).edges.clone();
         let qb = b.state(q).edges.clone();

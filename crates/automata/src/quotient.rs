@@ -65,7 +65,10 @@ pub fn left_quotient_universal(of: &Nfa, by: &Nfa) -> Nfa {
 
 /// Existential right quotient: `{w | ∃u ∈ L(by), w·u ∈ L(of)}`.
 pub fn right_quotient(of: &Nfa, by: &Nfa) -> Nfa {
-    left_quotient(&of.reverse(), &by.reverse()).reverse().trim().0
+    left_quotient(&of.reverse(), &by.reverse())
+        .reverse()
+        .trim()
+        .0
 }
 
 /// Universal right quotient: `{w | ∀u ∈ L(by), w·u ∈ L(of)}`.

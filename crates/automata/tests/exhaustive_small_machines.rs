@@ -5,8 +5,8 @@
 //! unconditionally.
 
 use dprle_automata::{
-    canonical_key, complement, determinize, equivalent, is_subset, minimize, ops, ByteClass,
-    Nfa, StateId,
+    canonical_key, complement, determinize, equivalent, is_subset, minimize, ops, ByteClass, Nfa,
+    StateId,
 };
 
 /// Builds every 2-state machine over {a}: each of the 4 ordered state
@@ -23,11 +23,7 @@ fn all_two_state_machines() -> Vec<Nfa> {
                 let ids = [m.start(), s1];
                 for (i, &(f, t)) in pairs.iter().enumerate() {
                     if edge_mask & (1 << i) != 0 {
-                        m.add_edge(
-                            ids[f as usize],
-                            ByteClass::singleton(b'a'),
-                            ids[t as usize],
-                        );
+                        m.add_edge(ids[f as usize], ByteClass::singleton(b'a'), ids[t as usize]);
                     }
                     if eps_mask & (1 << i) != 0 {
                         m.add_eps(ids[f as usize], ids[t as usize]);
@@ -62,14 +58,14 @@ fn determinize_minimize_complement_agree_on_all_small_machines() {
         let c = complement(m);
         for n in 0..=DEPTH {
             let w = vec![b'a'; n];
-            assert_eq!(
-                m.contains(&w),
-                !c.contains(&w),
-                "complement #{i} on a^{n}"
-            );
+            assert_eq!(m.contains(&w), !c.contains(&w), "complement #{i} on a^{n}");
         }
         // Emptiness agrees with enumeration.
-        assert_eq!(m.is_empty_language(), reference.is_empty() && deep_empty(m), "#{i}");
+        assert_eq!(
+            m.is_empty_language(),
+            reference.is_empty() && deep_empty(m),
+            "#{i}"
+        );
     }
 }
 
@@ -91,7 +87,11 @@ fn canonical_keys_partition_all_small_machines() {
     }
     // Unary languages recognized by 2-state NFAs are few; the partition
     // must be drastically coarser than the machine count.
-    assert!(groups.len() < 40, "only {} distinct languages", groups.len());
+    assert!(
+        groups.len() < 40,
+        "only {} distinct languages",
+        groups.len()
+    );
     for members in groups.values() {
         let first = &machines[members[0]];
         for &j in &members[1..] {
@@ -123,8 +123,16 @@ fn union_and_intersection_algebra_on_sampled_pairs() {
             let n = ops::intersect(a, b).nfa;
             for len in 0..=4usize {
                 let w = vec![b'a'; len];
-                assert_eq!(u.contains(&w), a.contains(&w) || b.contains(&w), "{i},{j} union a^{len}");
-                assert_eq!(n.contains(&w), a.contains(&w) && b.contains(&w), "{i},{j} inter a^{len}");
+                assert_eq!(
+                    u.contains(&w),
+                    a.contains(&w) || b.contains(&w),
+                    "{i},{j} union a^{len}"
+                );
+                assert_eq!(
+                    n.contains(&w),
+                    a.contains(&w) && b.contains(&w),
+                    "{i},{j} inter a^{len}"
+                );
             }
             // De Morgan on machines: ¬(A ∪ B) ≡ ¬A ∩ ¬B.
             if i % 485 == 0 && j % 655 == 0 {

@@ -8,7 +8,10 @@
 //! * lazy first-solution vs eager all-solutions (§3.5: "we can generate
 //!   the first solution without having to enumerate the others");
 //! * `strip_constant_operands` — quotient rewriting of constant
-//!   concatenation operands (an extension beyond the paper).
+//!   concatenation operands (an extension beyond the paper);
+//! * `interning` — the shared `LangStore` (hash-consed handles, canonical
+//!   fingerprints, memoized intersection/inclusion/minimization) versus
+//!   recomputing every operation directly (DESIGN.md §4).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dprle_core::{solve, solve_first, GciOptions, SolveOptions};
@@ -20,7 +23,10 @@ use dprle_lang::{explore, to_system, Policy};
 /// The mid-weight `usr_prf` row (|C| = 66): long constraint chains where
 /// intermediate minimization matters.
 fn medium_system() -> dprle_core::System {
-    let spec = FIG12_ROWS.iter().find(|s| s.name == "usr_prf").expect("row");
+    let spec = FIG12_ROWS
+        .iter()
+        .find(|s| s.name == "usr_prf")
+        .expect("row");
     let program = vulnerable_program(spec);
     let reaches = explore(&program, &SymexOptions::default()).expect("explores");
     to_system(&reaches[0], &Policy::sql_quote()).0
@@ -36,7 +42,10 @@ fn bench_minimize_intermediate(criterion: &mut Criterion) {
     });
     group.bench_function("off_prototype_mode", |b| {
         // The paper's prototype behavior: no intermediate minimization.
-        let options = SolveOptions { minimize_intermediate: false, ..Default::default() };
+        let options = SolveOptions {
+            minimize_intermediate: false,
+            ..Default::default()
+        };
         b.iter(|| std::hint::black_box(solve(&sys, &options)))
     });
     group.finish();
@@ -52,7 +61,10 @@ fn bench_gci_minimize_solutions(criterion: &mut Criterion) {
     });
     group.bench_function("off", |b| {
         let options = SolveOptions {
-            gci: GciOptions { minimize_solutions: false, ..Default::default() },
+            gci: GciOptions {
+                minimize_solutions: false,
+                ..Default::default()
+            },
             ..Default::default()
         };
         b.iter(|| std::hint::black_box(solve(&sys, &options)))
@@ -70,7 +82,10 @@ fn bench_dedup(criterion: &mut Criterion) {
     });
     group.bench_function("off", |b| {
         let options = SolveOptions {
-            gci: GciOptions { dedup: false, ..Default::default() },
+            gci: GciOptions {
+                dedup: false,
+                ..Default::default()
+            },
             ..Default::default()
         };
         b.iter(|| std::hint::black_box(solve(&sys, &options)))
@@ -96,7 +111,10 @@ fn bench_constant_stripping(criterion: &mut Criterion) {
     group.sample_size(10);
     // The motivating shape: literal-prefixed tainted value against a
     // policy language (constant operands on the CI group's left edge).
-    let spec = FIG12_ROWS.iter().find(|s| s.name == "cart_shop").expect("row");
+    let spec = FIG12_ROWS
+        .iter()
+        .find(|s| s.name == "cart_shop")
+        .expect("row");
     let program = vulnerable_program(spec);
     let reaches = explore(&program, &SymexOptions::default()).expect("explores");
     let sys = to_system(&reaches[0], &Policy::sql_quote()).0;
@@ -104,8 +122,44 @@ fn bench_constant_stripping(criterion: &mut Criterion) {
         b.iter(|| std::hint::black_box(solve(&sys, &SolveOptions::default())))
     });
     group.bench_function("quotient_mode", |b| {
-        let options = SolveOptions { strip_constant_operands: true, ..Default::default() };
+        let options = SolveOptions {
+            strip_constant_operands: true,
+            ..Default::default()
+        };
         b.iter(|| std::hint::black_box(solve(&sys, &options)))
+    });
+    group.finish();
+}
+
+fn bench_interning(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("ablation_interning");
+    group.sample_size(10);
+    // Two workloads where languages recur: a branching worklist (shared
+    // partial assignments, repeated leaf intersections) and a real Fig. 12
+    // row (repeated constants across a long constraint chain).
+    let branching = nested_system(3, 4);
+    let row = medium_system();
+    group.bench_function("on_branching", |b| {
+        let options = SolveOptions::default();
+        b.iter(|| std::hint::black_box(solve(&branching, &options)))
+    });
+    group.bench_function("off_branching", |b| {
+        let options = SolveOptions {
+            interning: false,
+            ..Default::default()
+        };
+        b.iter(|| std::hint::black_box(solve(&branching, &options)))
+    });
+    group.bench_function("on_usr_prf", |b| {
+        let options = SolveOptions::default();
+        b.iter(|| std::hint::black_box(solve(&row, &options)))
+    });
+    group.bench_function("off_usr_prf", |b| {
+        let options = SolveOptions {
+            interning: false,
+            ..Default::default()
+        };
+        b.iter(|| std::hint::black_box(solve(&row, &options)))
     });
     group.finish();
 }
@@ -116,6 +170,7 @@ criterion_group!(
     bench_gci_minimize_solutions,
     bench_dedup,
     bench_lazy_vs_eager,
-    bench_constant_stripping
+    bench_constant_stripping,
+    bench_interning
 );
 criterion_main!(benches);

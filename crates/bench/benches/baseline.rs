@@ -67,7 +67,10 @@ fn bench_alignment(criterion: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("bounded", depth), &depth, |b, &d| {
-            let options = BoundedOptions { max_len: 2 * d, max_candidates: 1 << 16 };
+            let options = BoundedOptions {
+                max_len: 2 * d,
+                max_candidates: 1 << 16,
+            };
             b.iter(|| {
                 let sol = solve_bounded(&sys, &options);
                 assert!(sol.is_some());
@@ -91,7 +94,10 @@ fn bench_witness_depth(criterion: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("bounded", depth), &depth, |b, &d| {
-            let options = BoundedOptions { max_len: d + 1, max_candidates: 1 << 16 };
+            let options = BoundedOptions {
+                max_len: d + 1,
+                max_candidates: 1 << 16,
+            };
             b.iter(|| {
                 let sol = solve_bounded(&sys, &options);
                 assert!(sol.is_some());

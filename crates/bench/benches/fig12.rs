@@ -14,13 +14,13 @@ fn bench_fig12(criterion: &mut Criterion) {
     let policy = Policy::sql_quote();
     // Representative rows: smallest |C|, medium, largest |C|.
     for name in ["ax_help", "cart_shop", "xw_mn"] {
-        let spec = FIG12_ROWS.iter().find(|s| s.name == name).expect("row exists");
+        let spec = FIG12_ROWS
+            .iter()
+            .find(|s| s.name == name)
+            .expect("row exists");
         let program = vulnerable_program(spec);
         let reaches = explore(&program, &SymexOptions::default()).expect("explores");
-        let systems: Vec<_> = reaches
-            .iter()
-            .map(|r| to_system(r, &policy).0)
-            .collect();
+        let systems: Vec<_> = reaches.iter().map(|r| to_system(r, &policy).0).collect();
         group.bench_function(format!("solve/{name}"), |b| {
             b.iter(|| {
                 for sys in &systems {
@@ -35,7 +35,10 @@ fn bench_fig12(criterion: &mut Criterion) {
 fn bench_constraint_generation(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("fig12_frontend");
     group.sample_size(10);
-    let spec = FIG12_ROWS.iter().find(|s| s.name == "comm").expect("row exists");
+    let spec = FIG12_ROWS
+        .iter()
+        .find(|s| s.name == "comm")
+        .expect("row exists");
     let program = vulnerable_program(spec);
     group.bench_function("symbolic_execution/comm", |b| {
         b.iter(|| std::hint::black_box(explore(&program, &SymexOptions::default()).expect("ok")))

@@ -47,7 +47,10 @@ fn main() {
         println!("fitted states-visited growth exponent: {visit_fit:.2}  (paper bound: <= 3)");
         assert!(visit_fit <= 3.3, "enumeration cost exceeds the cubic bound");
         if family == CiFamily::Modular {
-            assert!(m5_fit >= 1.6, "modular family should approach the bound, got {m5_fit:.2}");
+            assert!(
+                m5_fit >= 1.6,
+                "modular family should approach the bound, got {m5_fit:.2}"
+            );
         }
     }
 
@@ -59,7 +62,10 @@ fn main() {
             let start = Instant::now();
             let first = solve_first(&sys, &SolveOptions::default());
             let secs = start.elapsed().as_secs_f64();
-            assert!(first.is_some(), "nested system k={k} q={q} must be satisfiable");
+            assert!(
+                first.is_some(),
+                "nested system k={k} q={q} must be satisfiable"
+            );
             println!("{k:>3} {q:>5} {secs:>10.4}");
         }
     }

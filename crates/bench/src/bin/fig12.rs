@@ -9,8 +9,13 @@
 //! for the no-minimization mode that magnifies the outlier further).
 //!
 //! Usage: `cargo run -p dprle-bench --bin fig12 --release [--skip-heavy] [--json]`
+//!
+//! Always writes the machine-readable results (per-row `|FG|`, `|C|`, solve
+//! time, and interning cache counters) to `BENCH_fig12.json` in the current
+//! directory; `--json` additionally prints that JSON to stdout instead of
+//! the human-readable table.
 
-use dprle_bench::{fig12_shape_violations, run_fig12};
+use dprle_bench::{fig12_rows_json, fig12_shape_violations, run_fig12};
 use dprle_core::SolveOptions;
 
 fn main() {
@@ -20,8 +25,14 @@ fn main() {
 
     let rows = run_fig12(&SolveOptions::default(), include_heavy);
 
+    let json = fig12_rows_json(&rows);
+    match std::fs::write("BENCH_fig12.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_fig12.json ({} rows)", rows.len()),
+        Err(e) => eprintln!("warning: could not write BENCH_fig12.json: {e}"),
+    }
+
     if as_json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        println!("{json}");
         return;
     }
 
@@ -45,7 +56,11 @@ fn main() {
             rows.iter().filter(|r| r.exploitable).count(),
             rows.len(),
             fast,
-            if include_heavy { ", `secure` is the outlier" } else { "" }
+            if include_heavy {
+                ", `secure` is the outlier"
+            } else {
+                ""
+            }
         );
     } else {
         println!("\nSHAPE VIOLATIONS:");

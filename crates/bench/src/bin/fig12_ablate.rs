@@ -31,7 +31,10 @@ fn main() {
         let no_minimize = if spec.c <= NO_MINIMIZE_C_LIMIT && !spec.heavy {
             let row = run_fig12_row(
                 spec,
-                &SolveOptions { minimize_intermediate: false, ..Default::default() },
+                &SolveOptions {
+                    minimize_intermediate: false,
+                    ..Default::default()
+                },
             );
             assert!(row.exploitable);
             format!("{:>14.3}", row.seconds)
@@ -40,7 +43,10 @@ fn main() {
         };
         let quotient = run_fig12_row(
             spec,
-            &SolveOptions { strip_constant_operands: true, ..Default::default() },
+            &SolveOptions {
+                strip_constant_operands: true,
+                ..Default::default()
+            },
         );
         assert!(default.exploitable && quotient.exploitable);
         println!(

@@ -9,7 +9,7 @@
 //! Exits nonzero on the first discrepancy, printing the offending system
 //! so it can be minimized into a regression test.
 
-use dprle_core::{satisfies_system, solve, SolveOptions, Solution};
+use dprle_core::{satisfies_system, solve, Solution, SolveOptions};
 use dprle_corpus::scaling::{random_system, RandomSystemConfig};
 
 fn main() {
@@ -18,9 +18,24 @@ fn main() {
     let offset: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
 
     let configs = [
-        RandomSystemConfig { vars: 2, subset_constraints: 2, concat_constraints: 1, machine_states: 4 },
-        RandomSystemConfig { vars: 3, subset_constraints: 3, concat_constraints: 2, machine_states: 4 },
-        RandomSystemConfig { vars: 3, subset_constraints: 1, concat_constraints: 3, machine_states: 3 },
+        RandomSystemConfig {
+            vars: 2,
+            subset_constraints: 2,
+            concat_constraints: 1,
+            machine_states: 4,
+        },
+        RandomSystemConfig {
+            vars: 3,
+            subset_constraints: 3,
+            concat_constraints: 2,
+            machine_states: 4,
+        },
+        RandomSystemConfig {
+            vars: 3,
+            subset_constraints: 1,
+            concat_constraints: 3,
+            machine_states: 3,
+        },
     ];
 
     let mut sat = 0usize;
@@ -32,7 +47,10 @@ fn main() {
         let sys = random_system(seed, config);
 
         // Mode 1: defaults (verification on — but check externally too).
-        let options = SolveOptions { verify: false, ..Default::default() };
+        let options = SolveOptions {
+            verify: false,
+            ..Default::default()
+        };
         let solution = solve(&sys, &options);
         for a in solution.assignments() {
             if !satisfies_system(&sys, a) {
@@ -42,7 +60,10 @@ fn main() {
         }
 
         // Mode 2: quotient stripping must agree on satisfiability.
-        let stripped = SolveOptions { strip_constant_operands: true, ..Default::default() };
+        let stripped = SolveOptions {
+            strip_constant_operands: true,
+            ..Default::default()
+        };
         let agree = solve(&sys, &stripped);
         // Enumerate mode may be incomplete for multi-string constants, so
         // the only hard requirement is: if default says sat, stripped must

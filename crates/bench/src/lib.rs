@@ -26,11 +26,10 @@ use dprle_core::{Solution, SolveOptions};
 use dprle_corpus::{vulnerable_program, VulnSpec, FIG12_ROWS};
 use dprle_lang::symex::SymexOptions;
 use dprle_lang::{explore, to_system, Cfg, Policy};
-use serde::Serialize;
 use std::time::Instant;
 
 /// One measured Figure 12 row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig12Row {
     /// Application name.
     pub app: String,
@@ -50,6 +49,16 @@ pub struct Fig12Row {
     pub paper_seconds: f64,
     /// Whether an exploit was found (every row should be `true`).
     pub exploitable: bool,
+    /// Fingerprint-cache hits summed over the row's solver runs.
+    pub fingerprint_hits: usize,
+    /// Fingerprint-cache misses (canonicalizations performed).
+    pub fingerprint_misses: usize,
+    /// Memoized-operation hits (intersection/inclusion/minimize).
+    pub memo_op_hits: usize,
+    /// Deepest worklist across the row's solver runs.
+    pub peak_worklist: usize,
+    /// Total states materialized by store-level operations.
+    pub states_materialized: usize,
 }
 
 /// Runs one Figure 12 row: generates the program, runs symbolic execution,
@@ -64,13 +73,24 @@ pub fn run_fig12_row(spec: &VulnSpec, options: &SolveOptions) -> Fig12Row {
     // The vulnerable path is the one that reaches the final sink.
     let mut exploitable = false;
     let mut c = 0usize;
+    let mut fingerprint_hits = 0usize;
+    let mut fingerprint_misses = 0usize;
+    let mut memo_op_hits = 0usize;
+    let mut peak_worklist = 0usize;
+    let mut states_materialized = 0usize;
     let start = Instant::now();
     for reach in &reaches {
         let (sys, _) = to_system(reach, &policy);
         c = c.max(sys.num_constraints());
-        if let Solution::Assignments(_) = dprle_core::solve(&sys, options) {
+        let (solution, stats) = dprle_core::solve_with_stats(&sys, options);
+        if let Solution::Assignments(_) = solution {
             exploitable = true;
         }
+        fingerprint_hits += stats.fingerprint_hits;
+        fingerprint_misses += stats.fingerprint_misses;
+        memo_op_hits += stats.memo_op_hits;
+        peak_worklist = peak_worklist.max(stats.peak_worklist);
+        states_materialized += stats.states_materialized;
     }
     let seconds = start.elapsed().as_secs_f64();
     Fig12Row {
@@ -83,6 +103,11 @@ pub fn run_fig12_row(spec: &VulnSpec, options: &SolveOptions) -> Fig12Row {
         seconds,
         paper_seconds: spec.paper_seconds,
         exploitable,
+        fingerprint_hits,
+        fingerprint_misses,
+        memo_op_hits,
+        peak_worklist,
+        states_materialized,
     }
 }
 
@@ -96,6 +121,63 @@ pub fn run_fig12(options: &SolveOptions, include_heavy: bool) -> Vec<Fig12Row> {
         .collect()
 }
 
+/// Escapes `s` as a JSON string literal (including the quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders Figure 12 rows as a pretty-printed JSON array. Hand-rolled
+/// because the offline build carries no serde; the schema is the
+/// `BENCH_fig12.json` contract tracked across PRs.
+pub fn fig12_rows_json(rows: &[Fig12Row]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let fields = [
+            ("app", json_string(&r.app)),
+            ("name", json_string(&r.name)),
+            ("fg", r.fg.to_string()),
+            ("fg_paper", r.fg_paper.to_string()),
+            ("c", r.c.to_string()),
+            ("c_paper", r.c_paper.to_string()),
+            ("seconds", format!("{:.6}", r.seconds)),
+            ("paper_seconds", format!("{:.3}", r.paper_seconds)),
+            ("exploitable", r.exploitable.to_string()),
+            ("fingerprint_hits", r.fingerprint_hits.to_string()),
+            ("fingerprint_misses", r.fingerprint_misses.to_string()),
+            ("memo_op_hits", r.memo_op_hits.to_string()),
+            ("peak_worklist", r.peak_worklist.to_string()),
+            ("states_materialized", r.states_materialized.to_string()),
+        ];
+        for (j, (k, v)) in fields.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(k), v));
+        }
+        out.push_str("\n  }");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 /// Shape checks the paper's prose highlights for Figure 12. Returns a list
 /// of violations (empty = the reproduction has the published shape).
 pub fn fig12_shape_violations(rows: &[Fig12Row]) -> Vec<String> {
@@ -105,10 +187,16 @@ pub fn fig12_shape_violations(rows: &[Fig12Row]) -> Vec<String> {
             out.push(format!("{}: no exploit found", r.name));
         }
         if r.c != r.c_paper {
-            out.push(format!("{}: |C| {} != published {}", r.name, r.c, r.c_paper));
+            out.push(format!(
+                "{}: |C| {} != published {}",
+                r.name, r.c, r.c_paper
+            ));
         }
         if r.fg < r.fg_paper {
-            out.push(format!("{}: |FG| {} < published {}", r.name, r.fg, r.fg_paper));
+            out.push(format!(
+                "{}: |FG| {} < published {}",
+                r.name, r.fg, r.fg_paper
+            ));
         }
     }
     if let Some(heavy) = rows.iter().find(|r| r.name == "secure") {
@@ -128,7 +216,7 @@ pub fn fig12_shape_violations(rows: &[Fig12Row]) -> Vec<String> {
 }
 
 /// One measured point of the §3.5 complexity sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ComplexityPoint {
     /// The machine-size parameter `Q`.
     pub q: usize,
@@ -158,7 +246,14 @@ pub enum CiFamily {
 
 impl CiFamily {
     /// Instantiates the family at size `q`.
-    pub fn instance(self, q: usize) -> (dprle_automata::Nfa, dprle_automata::Nfa, dprle_automata::Nfa) {
+    pub fn instance(
+        self,
+        q: usize,
+    ) -> (
+        dprle_automata::Nfa,
+        dprle_automata::Nfa,
+        dprle_automata::Nfa,
+    ) {
         match self {
             CiFamily::Sparse => dprle_corpus::scaling::ci_instance(q),
             CiFamily::Dense => dprle_corpus::scaling::ci_instance_dense(q),
@@ -252,6 +347,11 @@ mod tests {
             seconds: 0.01,
             paper_seconds: 0.01,
             exploitable: true,
+            fingerprint_hits: 10,
+            fingerprint_misses: 5,
+            memo_op_hits: 3,
+            peak_worklist: 2,
+            states_materialized: 40,
         };
         assert!(fig12_shape_violations(std::slice::from_ref(&good)).is_empty());
         let mut bad = good;

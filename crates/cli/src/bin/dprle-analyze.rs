@@ -142,19 +142,13 @@ fn main() -> ExitCode {
                             .enumerate()
                             .skip(1)
                         {
-                            println!(
-                                "    alternative {}: {:?}",
-                                i,
-                                String::from_utf8_lossy(&alt)
-                            );
+                            println!("    alternative {}: {:?}", i, String::from_utf8_lossy(&alt));
                         }
                     }
                 }
             }
             if show_slice {
-                if let Some(slice) =
-                    dprle_lang::slice_for_sink(&program, finding.sink_index)
-                {
+                if let Some(slice) = dprle_lang::slice_for_sink(&program, finding.sink_index) {
                     println!("  slice:");
                     for line in slice.to_text().lines() {
                         println!("    {line}");

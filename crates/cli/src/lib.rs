@@ -61,7 +61,10 @@ pub struct ParsedFile {
 /// Returns a [`ParseFileError`] pointing at the offending line for syntax
 /// errors, undeclared names, malformed regexes, or duplicate definitions.
 pub fn parse_file(input: &str) -> Result<ParsedFile, ParseFileError> {
-    let mut parser = FileParser { system: System::new(), declared_vars: Vec::new() };
+    let mut parser = FileParser {
+        system: System::new(),
+        declared_vars: Vec::new(),
+    };
     // Statements end with ';'. Track line numbers by counting newlines.
     let mut line = 1usize;
     let mut statement = String::new();
@@ -88,7 +91,9 @@ pub fn parse_file(input: &str) -> Result<ParsedFile, ParseFileError> {
             message: "trailing statement without ';'".to_owned(),
         });
     }
-    Ok(ParsedFile { system: parser.system })
+    Ok(ParsedFile {
+        system: parser.system,
+    })
 }
 
 fn strip_comments(s: &str) -> String {
@@ -105,7 +110,10 @@ struct FileParser {
 
 impl FileParser {
     fn err(&self, line: usize, message: impl Into<String>) -> ParseFileError {
-        ParseFileError { line, message: message.into() }
+        ParseFileError {
+            line,
+            message: message.into(),
+        }
     }
 
     fn statement(&mut self, raw: &str, line: usize) -> Result<(), ParseFileError> {
@@ -147,9 +155,7 @@ impl FileParser {
 
     fn check_name(&self, name: &str, line: usize) -> Result<(), ParseFileError> {
         let ok = !name.is_empty()
-            && name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
             && !name.chars().next().expect("nonempty").is_ascii_digit();
         if ok {
             Ok(())
@@ -163,7 +169,10 @@ impl FileParser {
         value: &str,
         line: usize,
     ) -> Result<dprle_automata::Nfa, ParseFileError> {
-        if let Some(inner) = value.strip_prefix("match(").and_then(|v| v.strip_suffix(')')) {
+        if let Some(inner) = value
+            .strip_prefix("match(")
+            .and_then(|v| v.strip_suffix(')'))
+        {
             let pattern = self.regex_body(inner.trim(), line)?;
             let re = dprle_regex::Regex::new(&pattern)
                 .map_err(|e| self.err(line, format!("bad regex: {e}")))?;
@@ -179,7 +188,10 @@ impl FileParser {
             let bytes = self.literal_body(value, line)?;
             return Ok(dprle_automata::Nfa::literal(&bytes));
         }
-        Err(self.err(line, format!("expected \"literal\", /regex/, or match(/regex/), got `{value}`")))
+        Err(self.err(
+            line,
+            format!("expected \"literal\", /regex/, or match(/regex/), got `{value}`"),
+        ))
     }
 
     fn regex_body(&self, value: &str, line: usize) -> Result<String, ParseFileError> {
@@ -220,7 +232,10 @@ impl FileParser {
                 other => {
                     return Err(self.err(
                         line,
-                        format!("unknown escape `\\{}`", other.map(String::from).unwrap_or_default()),
+                        format!(
+                            "unknown escape `\\{}`",
+                            other.map(String::from).unwrap_or_default()
+                        ),
                     ))
                 }
             }
@@ -352,7 +367,11 @@ mod tests {
         assert_eq!(parsed.system.num_constraints(), 2);
         let solution = solve(&parsed.system, &SolveOptions::default());
         let v1 = parsed.system.var_id("v1").expect("declared");
-        let w = solution.first().expect("sat").witness(v1).expect("nonempty");
+        let w = solution
+            .first()
+            .expect("sat")
+            .witness(v1)
+            .expect("nonempty");
         assert!(w.contains(&b'\''));
     }
 
@@ -374,10 +393,7 @@ mod tests {
 
     #[test]
     fn union_and_parens_in_expressions() {
-        let parsed = parse_file(
-            "var v w; c := /x*/; (v | w) . v <= c; v <= c;",
-        )
-        .expect("parses");
+        let parsed = parse_file("var v w; c := /x*/; (v | w) . v <= c; v <= c;").expect("parses");
         assert_eq!(parsed.system.num_constraints(), 2);
     }
 

@@ -16,6 +16,8 @@
 //!   --no-verify      skip re-verification of produced assignments
 //!   --core           on unsat, print a minimal unsatisfiable core
 //!   --trace          print the solver's event trace to stderr
+//!   --stats          print solver counters (cache hits, worklist depth)
+//!   --no-interning   disable language interning/memoization (ablation)
 //!   -h, --help       this message
 //! ```
 
@@ -23,7 +25,7 @@ use dprle_cli::parse_file;
 use dprle_core::{Solution, SolveOptions};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] FILE
+const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--stats] [--no-interning] FILE
   solves a system of subset constraints over regular languages
   (see the dprle-cli crate docs for the input format)";
 
@@ -36,6 +38,8 @@ struct Args {
     verify: bool,
     trace: bool,
     core: bool,
+    stats: bool,
+    interning: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -48,6 +52,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         verify: true,
         trace: false,
         core: false,
+        stats: false,
+        interning: true,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -59,6 +65,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--no-verify" => args.verify = false,
             "--trace" => args.trace = true,
             "--core" => args.core = true,
+            "--stats" => args.stats = true,
+            "--no-interning" => args.interning = false,
             "--dot-var" => {
                 i += 1;
                 let name = argv.get(i).ok_or("--dot-var needs a name")?;
@@ -132,11 +140,25 @@ fn main() -> ExitCode {
         max_assignments: if args.first { Some(1) } else { None },
         verify: args.verify,
         trace: args.trace,
+        interning: args.interning,
         ..Default::default()
     };
     let (solution, stats) = dprle_core::solve_with_stats(&system, &options);
     for event in &stats.events {
         eprintln!("trace: {event}");
+    }
+    if args.stats {
+        eprintln!("stats: ci-groups             {}", stats.groups);
+        eprintln!("stats: group disjuncts       {}", stats.group_disjuncts);
+        eprintln!("stats: branches completed    {}", stats.branches_completed);
+        eprintln!("stats: branches filtered     {}", stats.branches_filtered);
+        eprintln!("stats: peak worklist depth   {}", stats.peak_worklist);
+        eprintln!("stats: max leaf states       {}", stats.max_leaf_states);
+        eprintln!("stats: fingerprint hits      {}", stats.fingerprint_hits);
+        eprintln!("stats: fingerprint misses    {}", stats.fingerprint_misses);
+        eprintln!("stats: memoized-op hits      {}", stats.memo_op_hits);
+        eprintln!("stats: memoized-op misses    {}", stats.memo_op_misses);
+        eprintln!("stats: states materialized   {}", stats.states_materialized);
     }
     match solution {
         Solution::Unsat => {

@@ -79,7 +79,11 @@ impl fmt::Display for SmtOutput {
 /// Returns the first syntax or translation error with its byte position.
 pub fn run_script(input: &str) -> Result<Vec<SmtOutput>, SmtError> {
     let sexprs = parse_sexprs(input)?;
-    let mut engine = Engine { system: System::new(), outputs: Vec::new(), model: None };
+    let mut engine = Engine {
+        system: System::new(),
+        outputs: Vec::new(),
+        model: None,
+    };
     for sexpr in &sexprs {
         engine.command(sexpr)?;
     }
@@ -113,7 +117,10 @@ impl Sexpr {
 }
 
 fn err(pos: usize, message: impl Into<String>) -> SmtError {
-    SmtError { pos, message: message.into() }
+    SmtError {
+        pos,
+        message: message.into(),
+    }
 }
 
 fn parse_sexprs(input: &str) -> Result<Vec<Sexpr>, SmtError> {
@@ -255,7 +262,9 @@ impl Engine {
                 Ok(())
             }
             "assert" => {
-                let body = items.get(1).ok_or_else(|| err(*pos, "assert needs a body"))?;
+                let body = items
+                    .get(1)
+                    .ok_or_else(|| err(*pos, "assert needs a body"))?;
                 self.assert(body)
             }
             "check-sat" => {
@@ -312,7 +321,9 @@ impl Engine {
             }
             Some("=") => {
                 // (= term "literal") — equality with a constant string.
-                let term = items.get(1).ok_or_else(|| err(*pos, "= needs two operands"))?;
+                let term = items
+                    .get(1)
+                    .ok_or_else(|| err(*pos, "= needs two operands"))?;
                 let value = match items.get(2) {
                     Some(Sexpr::Str { value, .. }) => value.clone(),
                     _ => return Err(err(*pos, "`=` supports only a string-literal right side")),
@@ -323,7 +334,10 @@ impl Engine {
                 self.system.require(lhs, rhs);
                 Ok(())
             }
-            _ => Err(err(*pos, "only (str.in_re …) and (= t \"lit\") assertions are supported")),
+            _ => Err(err(
+                *pos,
+                "only (str.in_re …) and (= t \"lit\") assertions are supported",
+            )),
         }
     }
 
@@ -331,7 +345,9 @@ impl Engine {
         match sexpr {
             Sexpr::Str { value, .. } => {
                 let name = format!("__lit{}", self.system.num_consts());
-                Ok(Expr::Const(self.system.constant(&name, Nfa::literal(value))))
+                Ok(Expr::Const(
+                    self.system.constant(&name, Nfa::literal(value)),
+                ))
             }
             Sexpr::Atom { text, pos } => match self.system.var_id(text) {
                 Some(v) => Ok(Expr::Var(v)),
@@ -362,9 +378,10 @@ impl Engine {
                 "re.none" => Ok(Nfa::empty_language()),
                 other => Err(err(*pos, format!("unknown regex atom `{other}`"))),
             },
-            Sexpr::Str { pos, .. } => {
-                Err(err(*pos, "string literals need (str.to_re …) in regex position"))
-            }
+            Sexpr::Str { pos, .. } => Err(err(
+                *pos,
+                "string literals need (str.to_re …) in regex position",
+            )),
             Sexpr::List { items, pos } => {
                 // Indexed operator: ((_ re.loop n m) r)
                 if let Some(Sexpr::List { items: index, .. }) = items.first() {
@@ -385,7 +402,9 @@ impl Engine {
                             return Err(err(*pos, "re.loop upper bound below lower bound"));
                         }
                         let inner = self.regex(
-                            items.get(1).ok_or_else(|| err(*pos, "re.loop needs a regex"))?,
+                            items
+                                .get(1)
+                                .ok_or_else(|| err(*pos, "re.loop needs a regex"))?,
                         )?;
                         return Ok(ops::repeat_range(&inner, n, m));
                     }
@@ -419,7 +438,8 @@ impl Engine {
                     }
                     "re.++" => {
                         let mut out = self.regex(
-                            args.first().ok_or_else(|| err(*pos, "re.++ needs operands"))?,
+                            args.first()
+                                .ok_or_else(|| err(*pos, "re.++ needs operands"))?,
                         )?;
                         for a in &args[1..] {
                             out = ops::concat(&out, &self.regex(a)?).nfa;
@@ -492,7 +512,10 @@ mod tests {
         match &out[1] {
             SmtOutput::Model(lines) => {
                 assert_eq!(lines.len(), 1);
-                assert!(lines[0].starts_with("(define-fun v1 () String"), "{lines:?}");
+                assert!(
+                    lines[0].starts_with("(define-fun v1 () String"),
+                    "{lines:?}"
+                );
                 assert!(lines[0].contains('\''), "witness has the quote: {lines:?}");
             }
             other => panic!("{other:?}"),

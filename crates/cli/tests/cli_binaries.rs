@@ -38,7 +38,11 @@ c2 . v1 <= c3;
 fn solver_finds_the_exploit() {
     let file = temp_file("motivating.dprle", MOTIVATING);
     let out = dprle(&["--witness", file.to_str().expect("utf8 path")]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("sat: 1 disjunctive assignment"), "{stdout}");
     assert!(stdout.contains("v1 = "), "{stdout}");
@@ -92,7 +96,11 @@ const MOTIVATING_SMT: &str = r#"
 fn solver_accepts_smtlib_scripts() {
     let file = temp_file("motivating.smt2", MOTIVATING_SMT);
     let out = dprle(&[file.to_str().expect("utf8 path")]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.starts_with("sat"), "{stdout}");
     assert!(stdout.contains("define-fun v1"), "{stdout}");
@@ -188,7 +196,11 @@ fn analyzer_unroll_bound_controls_loop_findings() {
     );
     // With zero unrolling only the constant query remains: safe.
     let out = dprle_analyze(&["--unroll", "0", file.to_str().expect("utf8")]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     // With the default bound the loop body injects.
     let out = dprle_analyze(&[file.to_str().expect("utf8")]);
     assert_eq!(out.status.code(), Some(1));

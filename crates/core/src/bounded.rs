@@ -38,7 +38,10 @@ pub struct BoundedOptions {
 
 impl Default for BoundedOptions {
     fn default() -> Self {
-        BoundedOptions { max_len: 8, max_candidates: 4096 }
+        BoundedOptions {
+            max_len: 8,
+            max_candidates: 4096,
+        }
     }
 }
 
@@ -115,9 +118,7 @@ fn search(
             let concrete = concretize(system, &c.lhs, assignment);
             system.const_machine(c.rhs).contains(&concrete)
         });
-        if consistent
-            && search(system, constraints, vars, candidates, depth + 1, assignment)
-        {
+        if consistent && search(system, constraints, vars, candidates, depth + 1, assignment) {
             return true;
         }
     }
@@ -150,7 +151,10 @@ mod tests {
     use dprle_regex::Regex;
 
     fn exact(pattern: &str) -> Nfa {
-        Regex::new(pattern).expect("compiles").exact_language().clone()
+        Regex::new(pattern)
+            .expect("compiles")
+            .exact_language()
+            .clone()
     }
 
     /// Checks a bounded solution against the system concretely.
@@ -206,7 +210,10 @@ mod tests {
         sys.require(Expr::Var(v), c);
         assert!(solve_bounded(&sys, &BoundedOptions::default()).is_none());
         assert!(solve(&sys, &SolveOptions::default()).is_sat());
-        let bigger = BoundedOptions { max_len: 10, ..Default::default() };
+        let bigger = BoundedOptions {
+            max_len: 10,
+            ..Default::default()
+        };
         assert!(solve_bounded(&sys, &bigger).is_some());
     }
 
@@ -249,7 +256,10 @@ mod tests {
         sys.require(Expr::Var(vc), cc);
         sys.require(Expr::Var(va).concat(Expr::Var(vb)), c1);
         sys.require(Expr::Var(vb).concat(Expr::Var(vc)), c2);
-        let options = BoundedOptions { max_len: 7, ..Default::default() };
+        let options = BoundedOptions {
+            max_len: 7,
+            ..Default::default()
+        };
         let sol = solve_bounded(&sys, &options).expect("in bounds");
         check(&sys, &sol);
     }

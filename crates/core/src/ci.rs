@@ -19,16 +19,19 @@
 //! in this crate's test suite (see `tests/theorem_properties.rs` at the
 //! workspace root and the unit tests below).
 
-use dprle_automata::{equivalent, ops, Nfa, StateId};
+use dprle_automata::{equivalent, ops, CanonicalKey, Lang, Nfa, StateId};
+use std::sync::Arc;
 
 /// One disjunctive solution of a CI instance: a pair of regular languages
-/// for `v₁` and `v₂`.
+/// for `v₁` and `v₂`, held as shared [`Lang`] handles (cloning a solution
+/// shares the machines, and canonical fingerprints computed during
+/// dedup/subsumption stay cached on the handles).
 #[derive(Clone, Debug)]
 pub struct CiSolution {
     /// Assignment for the left variable.
-    pub v1: Nfa,
+    pub v1: Lang,
     /// Assignment for the right variable.
-    pub v2: Nfa,
+    pub v2: Lang,
 }
 
 /// The full output of a CI run, exposing the intermediate machines
@@ -115,12 +118,22 @@ pub fn concat_intersect_full(c1: &Nfa, c2: &Nfa, c3: &Nfa) -> CiRun {
             if v2.is_empty_language() {
                 continue;
             }
-            solutions.push(CiSolution { v1, v2 });
+            solutions.push(CiSolution {
+                v1: v1.into(),
+                v2: v2.into(),
+            });
         }
     }
     let m5_states = product.nfa.num_states();
     let states_visited = cat.nfa.num_states() + m5_states + solutions.len() * m5_states;
-    CiRun { m4: cat.nfa, m5: product.nfa.clone(), qlhs, qrhs, solutions, states_visited }
+    CiRun {
+        m4: cat.nfa,
+        m5: product.nfa.clone(),
+        qlhs,
+        qrhs,
+        solutions,
+        states_visited,
+    }
 }
 
 /// Removes solutions that are language-equivalent duplicates of earlier
@@ -155,10 +168,12 @@ pub fn minimal_solutions(solutions: Vec<CiSolution>) -> Vec<CiSolution> {
     // checks become Vec comparisons and inclusion checks stay small.
     let keyed: Vec<Keyed> = solutions
         .into_iter()
-        .map(|s| Keyed::new(CiSolution {
-            v1: dprle_automata::minimize(&s.v1),
-            v2: dprle_automata::minimize(&s.v2),
-        }))
+        .map(|s| {
+            Keyed::new(CiSolution {
+                v1: Lang::new(dprle_automata::minimize(&s.v1)),
+                v2: Lang::new(dprle_automata::minimize(&s.v2)),
+            })
+        })
         .collect();
     let mut sols: Vec<Keyed> = Vec::with_capacity(keyed.len());
     for s in keyed {
@@ -187,17 +202,19 @@ pub fn minimal_solutions(solutions: Vec<CiSolution>) -> Vec<CiSolution> {
         .collect()
 }
 
-/// A CI solution with canonical language fingerprints for both sides.
+/// A CI solution with canonical language fingerprints for both sides. The
+/// fingerprints come from the handles' interior caches, so a language that
+/// survives into several merge candidates is canonicalized once.
 struct Keyed {
     sol: CiSolution,
-    k1: dprle_automata::CanonicalKey,
-    k2: dprle_automata::CanonicalKey,
+    k1: Arc<CanonicalKey>,
+    k2: Arc<CanonicalKey>,
 }
 
 impl Keyed {
     fn new(sol: CiSolution) -> Keyed {
-        let k1 = dprle_automata::canonical_key(&sol.v1);
-        let k2 = dprle_automata::canonical_key(&sol.v2);
+        let k1 = sol.v1.fingerprint();
+        let k2 = sol.v2.fingerprint();
         Keyed { sol, k1, k2 }
     }
 }
@@ -225,25 +242,26 @@ fn merge_keyed(mut sols: Vec<Keyed>) -> Vec<Keyed> {
                 let candidate = if sols[i].k1 == sols[j].k1 {
                     CiSolution {
                         v1: sols[i].sol.v1.clone(),
-                        v2: dprle_automata::minimize(&ops::union(
+                        v2: Lang::new(dprle_automata::minimize(&ops::union(
                             &sols[i].sol.v2,
                             &sols[j].sol.v2,
-                        )),
+                        ))),
                     }
                 } else if sols[i].k2 == sols[j].k2 {
                     CiSolution {
-                        v1: dprle_automata::minimize(&ops::union(
+                        v1: Lang::new(dprle_automata::minimize(&ops::union(
                             &sols[i].sol.v1,
                             &sols[j].sol.v1,
-                        )),
+                        ))),
                         v2: sols[i].sol.v2.clone(),
                     }
                 } else {
                     continue;
                 };
                 let candidate = Keyed::new(candidate);
-                let fresh =
-                    !sols.iter().any(|t| t.k1 == candidate.k1 && t.k2 == candidate.k2);
+                let fresh = !sols
+                    .iter()
+                    .any(|t| t.k1 == candidate.k1 && t.k2 == candidate.k2);
                 if fresh {
                     sols.push(candidate);
                     added += 1;
@@ -290,7 +308,7 @@ mod tests {
         // [v2'] = strings that contain a quote and end with a digit.
         assert!(s.v2.contains(b"' OR 1=1 ; DROP news --9"));
         assert!(s.v2.contains(b"'9"));
-        assert!(!s.v2.contains(b"123"));  // no quote
+        assert!(!s.v2.contains(b"123")); // no quote
         assert!(!s.v2.contains(b"'abc")); // no trailing digit
     }
 
@@ -387,9 +405,8 @@ mod tests {
     fn states_visited_matches_cost_model() {
         let (c1, c2, c3) = running_example();
         let run = concat_intersect_full(&c1, &c2, &c3);
-        let expected = run.m4.num_states()
-            + run.m5.num_states()
-            + run.solutions.len() * run.m5.num_states();
+        let expected =
+            run.m4.num_states() + run.m5.num_states() + run.solutions.len() * run.m5.num_states();
         assert_eq!(run.states_visited, expected);
         // §3.5 construction bound: |M5| <= |M3'|·|M4|.
         let m3 = c3.normalize().num_states();
@@ -399,8 +416,11 @@ mod tests {
     #[test]
     fn epsilon_operands() {
         // v1 ⊆ {ε}, v2 ⊆ a*, v1·v2 ⊆ aa → v1 = ε, v2 = aa.
-        let solutions =
-            concat_intersect(&Nfa::epsilon(), &ops::star(&Nfa::literal(b"a")), &Nfa::literal(b"aa"));
+        let solutions = concat_intersect(
+            &Nfa::epsilon(),
+            &ops::star(&Nfa::literal(b"a")),
+            &Nfa::literal(b"aa"),
+        );
         assert_eq!(minimal_solutions(solutions.clone()).len(), 1);
         let s = &solutions[0];
         assert!(s.v1.contains(b""));
@@ -410,12 +430,18 @@ mod tests {
 
     #[test]
     fn dedup_removes_equivalent_pairs() {
-        let s = CiSolution { v1: Nfa::literal(b"a"), v2: Nfa::literal(b"b") };
-        let dup = CiSolution {
-            v1: Nfa::literal(b"a").normalize(),
-            v2: Nfa::literal(b"b").normalize(),
+        let s = CiSolution {
+            v1: Nfa::literal(b"a").into(),
+            v2: Nfa::literal(b"b").into(),
         };
-        let other = CiSolution { v1: Nfa::literal(b"x"), v2: Nfa::literal(b"b") };
+        let dup = CiSolution {
+            v1: Nfa::literal(b"a").normalize().into(),
+            v2: Nfa::literal(b"b").normalize().into(),
+        };
+        let other = CiSolution {
+            v1: Nfa::literal(b"x").into(),
+            v2: Nfa::literal(b"b").into(),
+        };
         let out = dedup_solutions(vec![s, dup, other]);
         assert_eq!(out.len(), 2);
     }

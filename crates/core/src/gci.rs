@@ -41,8 +41,9 @@
 
 use crate::graph::{CiGroup, ConcatEdgePair, DependencyGraph, NodeId, NodeKind};
 use crate::spec::System;
-use dprle_automata::{canonical_key, is_subset, ops, CanonicalKey, Nfa, StateId};
+use dprle_automata::{ops, CanonicalKey, Lang, LangStore, Nfa, StateId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Options controlling group solving.
 #[derive(Clone, Debug)]
@@ -64,13 +65,19 @@ pub struct GciOptions {
 
 impl Default for GciOptions {
     fn default() -> Self {
-        GciOptions { dedup: true, max_disjuncts: Some(256), minimize_solutions: true }
+        GciOptions {
+            dedup: true,
+            max_disjuncts: Some(256),
+            minimize_solutions: true,
+        }
     }
 }
 
-/// One disjunctive solution for a group: a machine per *leaf* vertex
-/// (variables and constants; temporaries are interior and omitted).
-pub type GroupSolution = BTreeMap<NodeId, Nfa>;
+/// One disjunctive solution for a group: a language handle per *leaf*
+/// vertex (variables and constants; temporaries are interior and omitted).
+/// Handles are cheap to clone, so merging a solution into many worklist
+/// branches shares the underlying machines.
+pub type GroupSolution = BTreeMap<NodeId, Lang>;
 
 /// Solves one CI-group: returns the disjunctive solutions for its leaves.
 ///
@@ -86,10 +93,16 @@ pub fn solve_group(
     graph: &DependencyGraph,
     group: &CiGroup,
     system: &System,
-    leaf_machines: &BTreeMap<NodeId, Nfa>,
+    leaf_machines: &BTreeMap<NodeId, Lang>,
     options: &GciOptions,
+    store: &LangStore,
 ) -> Vec<GroupSolution> {
-    let builder = GroupBuilder { graph, group, system, leaf_machines };
+    let builder = GroupBuilder {
+        graph,
+        group,
+        system,
+        leaf_machines,
+    };
     let Some(roots) = builder.build_roots() else {
         return Vec::new(); // some root machine is empty: no solutions
     };
@@ -97,7 +110,12 @@ pub fn solve_group(
     // Enumerate per-root candidate solutions (choices of bridge edges).
     let mut per_root: Vec<Vec<RootSolution>> = Vec::with_capacity(roots.len());
     for root in &roots {
-        let candidates = enumerate_root(root, options.max_disjuncts, options.minimize_solutions);
+        let candidates = enumerate_root(
+            root,
+            options.max_disjuncts,
+            options.minimize_solutions,
+            store,
+        );
         if candidates.is_empty() {
             return Vec::new();
         }
@@ -111,7 +129,7 @@ pub fn solve_group(
         let mut next = Vec::new();
         for partial in &solutions {
             for candidate in candidates {
-                if let Some(merged) = merge(partial, candidate) {
+                if let Some(merged) = merge(partial, candidate, store) {
                     next.push(merged);
                 }
                 if let Some(cap) = options.max_disjuncts {
@@ -131,7 +149,7 @@ pub fn solve_group(
     // assignable, so their induced language must be their full language.
     solutions.retain(|sol| {
         sol.iter().all(|(node, machine)| match graph.kind(*node) {
-            NodeKind::Const(c) => is_subset(system.const_machine(c), machine),
+            NodeKind::Const(c) => store.is_subset(system.const_lang(c), machine),
             _ => true,
         })
     });
@@ -150,16 +168,20 @@ pub fn solve_group(
             .iter()
             .filter_map(|(n, c)| (*c == 1).then_some(*n))
             .collect();
-        solutions = minimize(solutions, &linear);
+        solutions = minimize(solutions, &linear, store);
     }
     solutions
 }
 
 /// A candidate solution for one root: ordered `(leaf, segment language)`
 /// pairs.
-type RootSolution = Vec<(NodeId, Nfa)>;
+type RootSolution = Vec<(NodeId, Lang)>;
 
-fn merge(partial: &GroupSolution, candidate: &RootSolution) -> Option<GroupSolution> {
+fn merge(
+    partial: &GroupSolution,
+    candidate: &RootSolution,
+    store: &LangStore,
+) -> Option<GroupSolution> {
     let mut out = partial.clone();
     for (node, machine) in candidate {
         match out.get(node) {
@@ -167,7 +189,7 @@ fn merge(partial: &GroupSolution, candidate: &RootSolution) -> Option<GroupSolut
                 out.insert(*node, machine.clone());
             }
             Some(existing) => {
-                let both = ops::intersect_lang(existing, machine);
+                let both = store.intersect(existing, machine);
                 if both.is_empty_language() {
                     return None;
                 }
@@ -184,16 +206,20 @@ fn merge(partial: &GroupSolution, candidate: &RootSolution) -> Option<GroupSolut
 /// distributes over concatenation), and finally removes solutions
 /// *subsumed* pointwise by another (they add no coverage; see
 /// `ci::minimal_solutions`).
-fn minimize(solutions: Vec<GroupSolution>, linear: &[NodeId]) -> Vec<GroupSolution> {
-    let deduped = dedup(solutions);
-    let merged = merge_linear(deduped, linear);
-    prune_subsumed(merged)
+fn minimize(
+    solutions: Vec<GroupSolution>,
+    linear: &[NodeId],
+    store: &LangStore,
+) -> Vec<GroupSolution> {
+    let deduped = dedup(solutions, store);
+    let merged = merge_linear(deduped, linear, store);
+    prune_subsumed(merged, store)
 }
 
-fn dedup(solutions: Vec<GroupSolution>) -> Vec<Keyed> {
+fn dedup(solutions: Vec<GroupSolution>, store: &LangStore) -> Vec<Keyed> {
     let mut out: Vec<Keyed> = Vec::with_capacity(solutions.len());
     for s in solutions {
-        let k = Keyed::new(s);
+        let k = Keyed::new(s, store);
         if !out.iter().any(|t| t.keys == k.keys) {
             out.push(k);
         }
@@ -203,14 +229,16 @@ fn dedup(solutions: Vec<GroupSolution>) -> Vec<Keyed> {
 
 /// A group solution paired with per-node canonical language fingerprints,
 /// so equality and merge checks avoid repeated complement constructions.
+/// Fingerprints come from the store: a handle shared across solutions (the
+/// common case after intersection-merging) is canonicalized once.
 struct Keyed {
     sol: GroupSolution,
-    keys: BTreeMap<NodeId, CanonicalKey>,
+    keys: BTreeMap<NodeId, Arc<CanonicalKey>>,
 }
 
 impl Keyed {
-    fn new(sol: GroupSolution) -> Keyed {
-        let keys = sol.iter().map(|(n, m)| (*n, canonical_key(m))).collect();
+    fn new(sol: GroupSolution, store: &LangStore) -> Keyed {
+        let keys = sol.iter().map(|(n, m)| (*n, store.key_of(m))).collect();
         Keyed { sol, keys }
     }
 }
@@ -218,7 +246,7 @@ impl Keyed {
 /// Additive merge closure over linear leaves (see [`minimize`]); originals
 /// are kept so one solution can feed several maximal merges, and the
 /// subsumption prune removes dominated entries afterwards.
-fn merge_linear(mut sols: Vec<Keyed>, linear: &[NodeId]) -> Vec<Keyed> {
+fn merge_linear(mut sols: Vec<Keyed>, linear: &[NodeId], store: &LangStore) -> Vec<Keyed> {
     const MAX_ADDED: usize = 64;
     let mut added = 0;
     let mut changed = true;
@@ -226,7 +254,7 @@ fn merge_linear(mut sols: Vec<Keyed>, linear: &[NodeId]) -> Vec<Keyed> {
         changed = false;
         'pairs: for i in 0..sols.len() {
             for j in (i + 1)..sols.len() {
-                let Some(candidate) = try_merge(&sols[i], &sols[j], linear) else {
+                let Some(candidate) = try_merge(&sols[i], &sols[j], linear, store) else {
                     continue;
                 };
                 if !sols.iter().any(|t| t.keys == candidate.keys) {
@@ -243,7 +271,7 @@ fn merge_linear(mut sols: Vec<Keyed>, linear: &[NodeId]) -> Vec<Keyed> {
 
 /// If `a` and `b` agree (language-equivalent) on every node except exactly
 /// one linear node, returns the widened solution unioning that node.
-fn try_merge(a: &Keyed, b: &Keyed, linear: &[NodeId]) -> Option<Keyed> {
+fn try_merge(a: &Keyed, b: &Keyed, linear: &[NodeId], store: &LangStore) -> Option<Keyed> {
     if a.keys.len() != b.keys.len() {
         return None;
     }
@@ -262,14 +290,13 @@ fn try_merge(a: &Keyed, b: &Keyed, linear: &[NodeId]) -> Option<Keyed> {
         return None;
     }
     let mut sol = a.sol.clone();
-    let widened =
-        dprle_automata::minimize(&ops::union(&a.sol[&node], &b.sol[&node]));
+    let widened = store.minimized(&Lang::new(ops::union(&a.sol[&node], &b.sol[&node])));
     sol.insert(node, widened);
-    Some(Keyed::new(sol))
+    Some(Keyed::new(sol, store))
 }
 
 /// Keeps only solutions not pointwise contained in another solution.
-fn prune_subsumed(out: Vec<Keyed>) -> Vec<GroupSolution> {
+fn prune_subsumed(out: Vec<Keyed>, store: &LangStore) -> Vec<GroupSolution> {
     let mut keep = vec![true; out.len()];
     for i in 0..out.len() {
         for (j, other) in out.iter().enumerate() {
@@ -277,7 +304,10 @@ fn prune_subsumed(out: Vec<Keyed>) -> Vec<GroupSolution> {
                 continue;
             }
             let subsumed = out[i].sol.iter().all(|(node, machine)| {
-                other.sol.get(node).is_some_and(|big| is_subset(machine, big))
+                other
+                    .sol
+                    .get(node)
+                    .is_some_and(|big| store.is_subset(machine, big))
             });
             if subsumed {
                 keep[i] = false;
@@ -317,7 +347,7 @@ struct GroupBuilder<'a> {
     graph: &'a DependencyGraph,
     group: &'a CiGroup,
     system: &'a System,
-    leaf_machines: &'a BTreeMap<NodeId, Nfa>,
+    leaf_machines: &'a BTreeMap<NodeId, Lang>,
 }
 
 impl GroupBuilder<'_> {
@@ -366,7 +396,12 @@ impl GroupBuilder<'_> {
                 let n = machine.num_states();
                 let core: Vec<u32> = (*next_core..*next_core + n as u32).collect();
                 *next_core += n as u32;
-                Build { nfa: machine, core, segments: vec![node], bridges: Vec::new() }
+                Build {
+                    nfa: machine,
+                    core,
+                    segments: vec![node],
+                    bridges: Vec::new(),
+                }
             }
         };
         // Operation ordering (paper invariant 1): this node's own inbound
@@ -406,7 +441,10 @@ fn concat_builds(left: Build, right: Build) -> Build {
     let mut core = left.core.clone();
     core.extend(right.core.iter().copied());
 
-    let bridge = (left.core[left_final.index()], right.core[right.nfa.start().index()]);
+    let bridge = (
+        left.core[left_final.index()],
+        right.core[right.nfa.start().index()],
+    );
     let mut bridges = left.bridges;
     bridges.push(bridge);
     bridges.extend(right.bridges);
@@ -414,7 +452,12 @@ fn concat_builds(left: Build, right: Build) -> Build {
     let mut segments = left.segments;
     segments.extend(right.segments);
 
-    Build { nfa, core, segments, bridges }
+    Build {
+        nfa,
+        core,
+        segments,
+        bridges,
+    }
 }
 
 /// Intersects a build with a constraint machine, mapping cores through the
@@ -432,7 +475,12 @@ fn intersect_build(build: Build, constraint: &Nfa) -> Option<Build> {
         return None;
     }
     let core = old_of_new.iter().map(|old| core[old.index()]).collect();
-    Some(Build { nfa: trimmed, core, segments: build.segments, bridges: build.bridges })
+    Some(Build {
+        nfa: trimmed,
+        core,
+        segments: build.segments,
+        bridges: build.bridges,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -441,7 +489,12 @@ fn intersect_build(build: Build, constraint: &Nfa) -> Option<Build> {
 
 /// Enumerates the candidate solutions of one root: every combination of one
 /// epsilon instance per bridge whose induced segments are all nonempty.
-fn enumerate_root(root: &Build, cap: Option<usize>, minimize: bool) -> Vec<RootSolution> {
+fn enumerate_root(
+    root: &Build,
+    cap: Option<usize>,
+    minimize: bool,
+    store: &LangStore,
+) -> Vec<RootSolution> {
     // Candidate epsilon instances per bridge, identified by core pairs.
     let mut candidates: Vec<Vec<(StateId, StateId)>> = vec![Vec::new(); root.bridges.len()];
     for (from, to) in root.nfa.eps_edges() {
@@ -454,10 +507,19 @@ fn enumerate_root(root: &Build, cap: Option<usize>, minimize: bool) -> Vec<RootS
     }
     let mut out = Vec::new();
     let mut chosen: Vec<(StateId, StateId)> = Vec::with_capacity(root.bridges.len());
-    enumerate_rec(root, &candidates, &mut chosen, &mut out, cap, minimize);
+    enumerate_rec(
+        root,
+        &candidates,
+        &mut chosen,
+        &mut out,
+        cap,
+        minimize,
+        store,
+    );
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn enumerate_rec(
     root: &Build,
     candidates: &[Vec<(StateId, StateId)>],
@@ -465,6 +527,7 @@ fn enumerate_rec(
     out: &mut Vec<RootSolution>,
     cap: Option<usize>,
     minimize: bool,
+    store: &LangStore,
 ) {
     if let Some(cap) = cap {
         if out.len() >= cap {
@@ -476,7 +539,11 @@ fn enumerate_rec(
         // All bridges chosen; cut out every segment.
         let mut solution = Vec::with_capacity(root.segments.len());
         for (i, &leaf) in root.segments.iter().enumerate() {
-            let start = if i == 0 { root.nfa.start() } else { chosen[i - 1].1 };
+            let start = if i == 0 {
+                root.nfa.start()
+            } else {
+                chosen[i - 1].1
+            };
             let final_ = if i == root.segments.len() - 1 {
                 root.single_final()
             } else {
@@ -486,8 +553,13 @@ fn enumerate_rec(
             if machine.is_empty_language() {
                 return; // incompatible choice combination
             }
-            let machine =
-                if minimize { dprle_automata::minimize(&machine) } else { machine };
+            store.note_materialized(machine.num_states());
+            let machine = Lang::new(machine);
+            let machine = if minimize {
+                store.minimized(&machine)
+            } else {
+                machine
+            };
             solution.push((leaf, machine));
         }
         out.push(solution);
@@ -496,12 +568,20 @@ fn enumerate_rec(
     for &edge in &candidates[k] {
         // Early pruning: the segment ending at this bridge must be
         // nonempty given the previous choice.
-        let seg_start = if k == 0 { root.nfa.start() } else { chosen[k - 1].1 };
-        if root.nfa.induce_segment(seg_start, edge.0).is_empty_language() {
+        let seg_start = if k == 0 {
+            root.nfa.start()
+        } else {
+            chosen[k - 1].1
+        };
+        if root
+            .nfa
+            .induce_segment(seg_start, edge.0)
+            .is_empty_language()
+        {
             continue;
         }
         chosen.push(edge);
-        enumerate_rec(root, candidates, chosen, out, cap, minimize);
+        enumerate_rec(root, candidates, chosen, out, cap, minimize, store);
         chosen.pop();
     }
 }
@@ -511,11 +591,14 @@ mod tests {
     use super::*;
     use crate::graph::DependencyGraph;
     use crate::spec::{Expr, System};
-    use dprle_automata::{equivalent, Nfa};
+    use dprle_automata::{equivalent, is_subset, Nfa};
     use dprle_regex::Regex;
 
     fn exact(pattern: &str) -> Nfa {
-        Regex::new(pattern).expect("pattern compiles").exact_language().clone()
+        Regex::new(pattern)
+            .expect("pattern compiles")
+            .exact_language()
+            .clone()
     }
 
     /// Helper: build the graph, collect leaf machines (vars pre-intersected
@@ -525,6 +608,7 @@ mod tests {
         let groups = graph.ci_groups();
         assert_eq!(groups.len(), 1, "test systems have one group");
         let group = &groups[0];
+        let store = LangStore::new();
         let mut leaf_machines = BTreeMap::new();
         for &node in &group.nodes {
             match graph.kind(node) {
@@ -535,15 +619,22 @@ mod tests {
                             m = ops::intersect_lang(&m, sys.const_machine(c));
                         }
                     }
-                    leaf_machines.insert(node, m);
+                    leaf_machines.insert(node, Lang::new(m));
                 }
                 NodeKind::Const(c) => {
-                    leaf_machines.insert(node, sys.const_machine(c).clone());
+                    leaf_machines.insert(node, sys.const_lang(c).clone());
                 }
                 NodeKind::Temp(_) => {}
             }
         }
-        solve_group(&graph, group, sys, &leaf_machines, &GciOptions::default())
+        solve_group(
+            &graph,
+            group,
+            sys,
+            &leaf_machines,
+            &GciOptions::default(),
+            &store,
+        )
     }
 
     #[test]
@@ -568,7 +659,10 @@ mod tests {
             .find(|s| s[&n1].contains(b"xyy") && !s[&n1].contains(b"xyyyy"))
             .expect("A1");
         assert!(a1[&n2].contains(b"z") && a1[&n2].contains(b"yyz"));
-        let a2 = solutions.iter().find(|s| s[&n1].contains(b"xyyyy")).expect("A2");
+        let a2 = solutions
+            .iter()
+            .find(|s| s[&n1].contains(b"xyyyy"))
+            .expect("A2");
         assert!(a2[&n2].contains(b"z") && !a2[&n2].contains(b"yyz"));
     }
 
@@ -596,7 +690,11 @@ mod tests {
         // The paper reports A1 = [va↦op², vb↦p³q², vc↦q²r] and
         // A2 = [va↦op⁴, vb↦pq², vc↦q²r]; intersection-merging additionally
         // validates the two cross combinations (see module docs).
-        assert!(solutions.len() >= 2 && solutions.len() <= 4, "got {}", solutions.len());
+        assert!(
+            solutions.len() >= 2 && solutions.len() <= 4,
+            "got {}",
+            solutions.len()
+        );
         let a1 = solutions
             .iter()
             .find(|s| s[&na].contains(b"opp") && s[&nc].contains(b"qqr"))

@@ -95,7 +95,10 @@ impl DependencyGraph {
         for constraint in constraints {
             let lhs_node = g.node_for_expr(&constraint.lhs);
             let rhs_node = g.const_node(constraint.rhs);
-            g.subset_edges.push(SubsetEdge { source: rhs_node, target: lhs_node });
+            g.subset_edges.push(SubsetEdge {
+                source: rhs_node,
+                target: lhs_node,
+            });
         }
         g
     }
@@ -128,7 +131,11 @@ impl DependencyGraph {
                 let left = self.node_for_expr(a);
                 let right = self.node_for_expr(b);
                 let target = self.fresh_temp();
-                self.concat_edges.push(ConcatEdgePair { left, right, target });
+                self.concat_edges.push(ConcatEdgePair {
+                    left,
+                    right,
+                    target,
+                });
                 target
             }
             Expr::Union(_, _) => {
@@ -305,8 +312,7 @@ mod tests {
         assert!(matches!(g.kind(t0), NodeKind::Temp(0)));
         assert_eq!(g.concat_edges()[0].left, v1);
         // c3's subset edge targets the temp, not a variable.
-        let c3_edges: Vec<_> =
-            g.subset_edges().iter().filter(|e| e.target == t0).collect();
+        let c3_edges: Vec<_> = g.subset_edges().iter().filter(|e| e.target == t0).collect();
         assert_eq!(c3_edges.len(), 1);
     }
 
@@ -345,7 +351,10 @@ mod tests {
         let v2 = sys.var("v2");
         let v3 = sys.var("v3");
         let c4 = sys.constant("c4", Nfa::sigma_star());
-        sys.require(Expr::Var(v1).concat(Expr::Var(v2)).concat(Expr::Var(v3)), c4);
+        sys.require(
+            Expr::Var(v1).concat(Expr::Var(v2)).concat(Expr::Var(v3)),
+            c4,
+        );
         let g = DependencyGraph::from_system(&sys);
         assert_eq!(g.concat_edges().len(), 2);
         let inner = g.concat_edges()[0];

@@ -8,12 +8,17 @@
 //!
 //! The backend re-solves from scratch on each `check` (the paper's
 //! procedure has no incremental core); the value is the *interface* plus
-//! constant-machine reuse: interned constants persist across scopes, so
-//! the expensive regex→NFA compilations happen once per pattern.
+//! reuse across checks: interned constants persist across scopes (the
+//! expensive regex→NFA compilations happen once per pattern), and all
+//! checks share one [`LangStore`], so canonical fingerprints, leaf
+//! intersections, and inclusion results computed for the common constraint
+//! prefix are cache hits in every later `check`.
 
 use crate::solution::Solution;
-use crate::solve::{solve, SolveOptions};
+use crate::solve::{solve_with_store, SolveOptions, SolveStats};
 use crate::spec::{ConstId, Expr, System, VarId};
+use dprle_automata::LangStore;
+use std::sync::Arc;
 
 /// An incremental solver: a constraint stack over a shared [`System`].
 ///
@@ -44,6 +49,9 @@ pub struct Solver {
     /// Constraint-count marks for each open scope.
     scopes: Vec<usize>,
     options: SolveOptions,
+    /// Shared across every `check` (and across clones of the solver):
+    /// fingerprints and memoized operations persist over push/pop.
+    store: Arc<LangStore>,
 }
 
 impl Solver {
@@ -54,7 +62,13 @@ impl Solver {
 
     /// Creates a solver with explicit options.
     pub fn with_options(options: SolveOptions) -> Solver {
-        Solver { options, ..Default::default() }
+        let store = Arc::new(LangStore::interning(options.interning));
+        Solver {
+            system: System::default(),
+            scopes: Vec::new(),
+            options,
+            store,
+        }
     }
 
     /// Declares (or re-fetches) a string variable.
@@ -127,12 +141,24 @@ impl Solver {
 
     /// Solves the current constraint stack.
     pub fn check(&self) -> Solution {
-        solve(&self.system, &self.options)
+        self.check_with_stats().0
+    }
+
+    /// Like [`Solver::check`], also returning this check's solver counters
+    /// (cache hits accumulate across checks through the shared store, but
+    /// the returned stats are per-call deltas).
+    pub fn check_with_stats(&self) -> (Solution, SolveStats) {
+        solve_with_store(&self.system, &self.options, &self.store)
     }
 
     /// Borrows the underlying system (e.g. for witness name lookups).
     pub fn system(&self) -> &System {
         &self.system
+    }
+
+    /// The language store shared by this solver's checks.
+    pub fn store(&self) -> &LangStore {
+        &self.store
     }
 }
 
@@ -176,7 +202,9 @@ mod tests {
     fn nested_scopes() {
         let mut solver = Solver::new();
         let v = solver.declare("v");
-        let any = solver.constant_regex_exact("any", "[ab]*").expect("compiles");
+        let any = solver
+            .constant_regex_exact("any", "[ab]*")
+            .expect("compiles");
         solver.assert(Expr::Var(v), any);
 
         solver.push();
@@ -198,7 +226,9 @@ mod tests {
         // the intro's directed-testing loop in miniature.
         let mut solver = Solver::new();
         let input = solver.declare("input");
-        let printable = solver.constant_regex_exact("printable", "[ -~]*").expect("re");
+        let printable = solver
+            .constant_regex_exact("printable", "[ -~]*")
+            .expect("re");
         solver.assert(Expr::Var(input), printable);
 
         let cond = solver.constant_regex("admin", "^admin").expect("re");
@@ -212,7 +242,11 @@ mod tests {
         solver.push();
         solver.assert(Expr::Var(input), cond);
         let taken = solver.check();
-        let w1 = taken.first().expect("sat").witness(input).expect("nonempty");
+        let w1 = taken
+            .first()
+            .expect("sat")
+            .witness(input)
+            .expect("nonempty");
         assert!(w1.starts_with(b"admin"));
         solver.pop();
 
@@ -220,7 +254,11 @@ mod tests {
         solver.push();
         solver.assert(Expr::Var(input), not_cond);
         let skipped = solver.check();
-        let w2 = skipped.first().expect("sat").witness(input).expect("witness");
+        let w2 = skipped
+            .first()
+            .expect("sat")
+            .witness(input)
+            .expect("witness");
         assert!(!w2.starts_with(b"admin"));
         solver.pop();
     }
@@ -229,5 +267,22 @@ mod tests {
     #[should_panic(expected = "pop without matching push")]
     fn unbalanced_pop_panics() {
         Solver::new().pop();
+    }
+
+    #[test]
+    fn store_caches_persist_across_checks() {
+        let mut solver = Solver::new();
+        let v = solver.declare("v");
+        let a = solver.constant_regex_exact("a", "[ab]+").expect("compiles");
+        solver.assert(Expr::Var(v), a);
+        let (_, first) = solver.check_with_stats();
+        assert_eq!(
+            first.fingerprint_hits, 0,
+            "nothing cached before the first check"
+        );
+        let (_, second) = solver.check_with_stats();
+        assert!(second.fingerprint_hits > 0, "constant fingerprint reused");
+        assert!(second.memo_op_hits > 0, "leaf minimization reused");
+        assert!(second.fingerprint_misses <= first.fingerprint_misses);
     }
 }

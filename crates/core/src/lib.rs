@@ -50,20 +50,25 @@
 
 pub mod bounded;
 pub mod ci;
-pub mod incremental;
 pub mod gci;
 pub mod graph;
+pub mod incremental;
 pub mod solution;
 pub mod solve;
 pub mod spec;
 pub mod unsat_core;
 
 pub use bounded::{solve_bounded, BoundedOptions, BoundedSolution};
-pub use ci::{concat_intersect, concat_intersect_full, dedup_solutions, minimal_solutions, CiRun, CiSolution};
+pub use ci::{
+    concat_intersect, concat_intersect_full, dedup_solutions, minimal_solutions, CiRun, CiSolution,
+};
 pub use gci::GciOptions;
-pub use incremental::Solver;
 pub use graph::{DependencyGraph, NodeId, NodeKind};
+pub use incremental::Solver;
 pub use solution::{Assignment, Solution};
-pub use solve::{satisfies_system, solve, solve_first, solve_with_stats, SolveOptions, SolveStats};
+pub use solve::{
+    satisfies_system, solve, solve_first, solve_with_stats, solve_with_store, SolveOptions,
+    SolveStats,
+};
 pub use spec::{ConstId, Constraint, Expr, System, VarId};
 pub use unsat_core::{unsat_core, UnsatCore};

@@ -6,14 +6,19 @@
 //! records that none exists.
 
 use crate::spec::{System, VarId};
-use dprle_automata::{equivalent, Nfa};
+use dprle_automata::{equivalent, Lang};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A single satisfying assignment `A = [v₁ ↦ x₁, …, vₘ ↦ xₘ]`.
+///
+/// Languages are held as shared [`Lang`] handles: cloning an assignment (or
+/// a whole [`Solution`]) is O(number of variables), not O(machine size),
+/// and the handles keep their cached canonical fingerprints, so language
+/// comparisons across solver phases stay cheap.
 #[derive(Clone, Debug, Default)]
 pub struct Assignment {
-    map: BTreeMap<VarId, Nfa>,
+    map: BTreeMap<VarId, Lang>,
 }
 
 impl Assignment {
@@ -23,12 +28,13 @@ impl Assignment {
     }
 
     /// Sets the language for `var`.
-    pub fn insert(&mut self, var: VarId, language: Nfa) {
-        self.map.insert(var, language);
+    pub fn insert(&mut self, var: VarId, language: impl Into<Lang>) {
+        self.map.insert(var, language.into());
     }
 
     /// The language assigned to `var` — `A[vᵢ]` in the paper's notation.
-    pub fn get(&self, var: VarId) -> Option<&Nfa> {
+    /// The returned handle dereferences to the underlying machine.
+    pub fn get(&self, var: VarId) -> Option<&Lang> {
         self.map.get(&var)
     }
 
@@ -51,26 +57,32 @@ impl Assignment {
     /// assigned language. This is what turns a solved constraint system
     /// into a test input (paper §4: generating exploit inputs).
     pub fn witness(&self, var: VarId) -> Option<Vec<u8>> {
-        self.map.get(&var).and_then(Nfa::shortest_member)
+        self.map.get(&var).and_then(|l| l.shortest_member())
     }
 
-    /// Whether some assigned language is empty.
+    /// Whether some assigned language is empty (cached per handle).
     pub fn has_empty_language(&self) -> bool {
-        self.map.values().any(Nfa::is_empty_language)
+        self.map.values().any(Lang::is_empty_language)
     }
 
     /// Language-level equality with another assignment over the same
-    /// variables.
+    /// variables. Handles sharing a machine compare in O(1).
     pub fn equivalent_to(&self, other: &Assignment) -> bool {
         self.map.len() == other.map.len()
             && self.map.iter().all(|(v, m)| {
-                other.map.get(v).is_some_and(|o| equivalent(m, o))
+                other
+                    .map
+                    .get(v)
+                    .is_some_and(|o| Lang::ptr_eq(m, o) || equivalent(m.nfa(), o.nfa()))
             })
     }
 
     /// Renders the assignment with variable names and shortest witnesses.
     pub fn display<'a>(&'a self, system: &'a System) -> AssignmentDisplay<'a> {
-        AssignmentDisplay { assignment: self, system }
+        AssignmentDisplay {
+            assignment: self,
+            system,
+        }
     }
 }
 
@@ -93,9 +105,11 @@ impl fmt::Display for AssignmentDisplay<'_> {
             let name = self.system.var_name(*var);
             let lang = dprle_regex::display_language(machine, 200);
             match machine.shortest_member() {
-                Some(w) => {
-                    write!(f, "{name} -> {lang} (e.g. {:?})", String::from_utf8_lossy(&w))?
-                }
+                Some(w) => write!(
+                    f,
+                    "{name} -> {lang} (e.g. {:?})",
+                    String::from_utf8_lossy(&w)
+                )?,
                 None => write!(f, "{name} -> (empty language)")?,
             }
         }
@@ -137,6 +151,7 @@ impl Solution {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dprle_automata::Nfa;
 
     #[test]
     fn assignment_roundtrip() {
@@ -145,7 +160,7 @@ mod tests {
         a.insert(VarId(0), Nfa::literal(b"hi"));
         assert_eq!(a.len(), 1);
         assert!(a.get(VarId(0)).expect("set").contains(b"hi"));
-        assert_eq!(a.get(VarId(1)), None);
+        assert!(a.get(VarId(1)).is_none());
         assert_eq!(a.witness(VarId(0)), Some(b"hi".to_vec()));
         assert!(!a.has_empty_language());
     }
@@ -193,6 +208,9 @@ mod tests {
         assert!(s.contains("hi"), "got {s}");
         let mut b = Assignment::new();
         b.insert(v, Nfa::empty_language());
-        assert!(b.display(&sys).to_string().contains("empty"), "empty case labelled");
+        assert!(
+            b.display(&sys).to_string().contains("empty"),
+            "empty case labelled"
+        );
     }
 }

@@ -31,7 +31,7 @@ use crate::gci::{solve_group, GciOptions};
 use crate::graph::{DependencyGraph, NodeId, NodeKind};
 use crate::solution::{Assignment, Solution};
 use crate::spec::{Constraint, Expr, System, VarId};
-use dprle_automata::{is_subset, ops, Nfa};
+use dprle_automata::{is_subset, ops, Lang, LangStore, Nfa};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Options controlling the solver.
@@ -73,6 +73,12 @@ pub struct SolveOptions {
     /// constants (the induced sub-machine can never equal the whole
     /// constant); quotient stripping is exact for any regular constant.
     pub strip_constant_operands: bool,
+    /// Hash-cons languages in a [`LangStore`] and memoize intersection,
+    /// inclusion, and minimization by canonical fingerprint. Worklist
+    /// branches then share unchanged leaf machines structurally and
+    /// repeated language computations across disjuncts hit the cache.
+    /// Disable (`ablation_interning`) to measure the sharing's effect.
+    pub interning: bool,
 }
 
 impl Default for SolveOptions {
@@ -85,6 +91,7 @@ impl Default for SolveOptions {
             minimize_intermediate: true,
             trace: false,
             strip_constant_operands: false,
+            interning: true,
         }
     }
 }
@@ -104,9 +111,32 @@ pub struct SolveStats {
     pub branches_filtered: usize,
     /// Largest leaf machine (states) after the reduce phase.
     pub max_leaf_states: usize,
+    /// Fingerprint lookups answered from a handle's cached canonical key
+    /// (each hit is one determinize+minimize avoided).
+    pub fingerprint_hits: usize,
+    /// Fingerprint lookups that had to canonicalize a machine (the number
+    /// of minimal-DFA constructions the run actually performed).
+    pub fingerprint_misses: usize,
+    /// Memoized binary operations (intersection, inclusion, minimization)
+    /// answered from the [`LangStore`] cache.
+    pub memo_op_hits: usize,
+    /// Memoized binary operations computed fresh.
+    pub memo_op_misses: usize,
+    /// Deepest the worklist of partial assignments ever got.
+    pub peak_worklist: usize,
+    /// Total NFA states of machines materialized by store-level operations.
+    pub states_materialized: usize,
     /// Human-readable trace events (populated when
     /// [`SolveOptions::trace`] is set).
     pub events: Vec<String>,
+}
+
+impl SolveStats {
+    /// Minimal-DFA canonicalizations performed — the cost the fingerprint
+    /// cache exists to bound (each miss is one canonicalization).
+    pub fn minimizations(&self) -> usize {
+        self.fingerprint_misses
+    }
 }
 
 /// Solves `system`, returning all disjunctive satisfying assignments (or
@@ -137,12 +167,34 @@ pub fn solve(system: &System, options: &SolveOptions) -> Solution {
 
 /// Like [`solve`], additionally returning run statistics.
 pub fn solve_with_stats(system: &System, options: &SolveOptions) -> (Solution, SolveStats) {
-    if options.strip_constant_operands {
+    let store = LangStore::interning(options.interning);
+    solve_with_store(system, options, &store)
+}
+
+/// Like [`solve_with_stats`], but sharing a caller-supplied [`LangStore`]:
+/// interned languages and memoized operations survive across calls, which
+/// is what makes re-solving related systems (incremental push/pop, unsat
+/// core shrinking) cheap. The returned counters are deltas for this call.
+pub fn solve_with_store(
+    system: &System,
+    options: &SolveOptions,
+    store: &LangStore,
+) -> (Solution, SolveStats) {
+    let before = store.stats();
+    let (solution, mut stats) = if options.strip_constant_operands {
         let (stripped, constraints) = strip_constant_operands(system);
-        return solve_prepared(&stripped, &constraints, options, system);
-    }
-    let constraints = system.union_free_constraints();
-    solve_prepared(system, &constraints, options, system)
+        solve_prepared(&stripped, &constraints, options, system, store)
+    } else {
+        let constraints = system.union_free_constraints();
+        solve_prepared(system, &constraints, options, system, store)
+    };
+    let after = store.stats();
+    stats.fingerprint_hits = (after.fingerprint_hits - before.fingerprint_hits) as usize;
+    stats.fingerprint_misses = (after.fingerprint_misses - before.fingerprint_misses) as usize;
+    stats.memo_op_hits = (after.op_hits - before.op_hits) as usize;
+    stats.memo_op_misses = (after.op_misses - before.op_misses) as usize;
+    stats.states_materialized = (after.states_materialized - before.states_materialized) as usize;
+    (solution, stats)
 }
 
 /// The solver body, parameterized over a possibly-rewritten system.
@@ -153,6 +205,7 @@ fn solve_prepared(
     constraints: &[Constraint],
     options: &SolveOptions,
     original: &System,
+    store: &LangStore,
 ) -> (Solution, SolveStats) {
     let mut stats = SolveStats::default();
     macro_rules! trace {
@@ -163,7 +216,11 @@ fn solve_prepared(
         };
     }
     let constraints = constraints.to_vec();
-    trace!("{} union-free constraints over {} variables", constraints.len(), system.num_vars());
+    trace!(
+        "{} union-free constraints over {} variables",
+        constraints.len(),
+        system.num_vars()
+    );
     // Verification always runs against the *original* system so a buggy
     // rewrite cannot vouch for itself.
     let verify_constraints = original.union_free_constraints();
@@ -191,19 +248,28 @@ fn solve_prepared(
 
     // Reduce phase: every variable picks up the intersection of its inbound
     // subset constants. For plain variables this is their final language;
-    // for CI-group members it is their leaf machine.
-    let mut leaf: BTreeMap<NodeId, Nfa> = BTreeMap::new();
+    // for CI-group members it is their leaf machine. Constants enter as
+    // shared handles, so two variables bounded by the same constant reuse
+    // one fingerprint and the store memoizes the repeated intersections.
+    let mut leaf: BTreeMap<NodeId, Lang> = BTreeMap::new();
     for v in system.var_ids() {
         let node = graph.var_node(v);
-        let mut m = Nfa::sigma_star();
+        let mut m: Option<Lang> = None;
         for source in graph.inbound_subset_sources(node) {
             if let NodeKind::Const(c) = graph.kind(source) {
-                m = ops::intersect_lang(&m, system.const_machine(c));
-                if options.minimize_intermediate {
-                    m = dprle_automata::minimize(&m);
-                }
+                let constant = system.const_lang(c);
+                let next = match m {
+                    None => constant.clone(),
+                    Some(prev) => store.intersect(&prev, constant),
+                };
+                m = Some(if options.minimize_intermediate {
+                    store.minimized(&next)
+                } else {
+                    next
+                });
             }
         }
+        let m = m.unwrap_or_else(|| Lang::new(Nfa::sigma_star()));
         stats.max_leaf_states = stats.max_leaf_states.max(m.num_states());
         trace!(
             "reduced {} to a {}-state machine",
@@ -215,7 +281,7 @@ fn solve_prepared(
     for group in graph.ci_groups() {
         for &node in &group.nodes {
             if let NodeKind::Const(c) = graph.kind(node) {
-                leaf.insert(node, system.const_machine(c).clone());
+                leaf.insert(node, system.const_lang(c).clone());
             }
         }
     }
@@ -225,9 +291,16 @@ fn solve_prepared(
     // (Figure 7, lines 13–14).
     let groups = graph.ci_groups();
     stats.groups = groups.len();
-    trace!("dependency graph: {} nodes, {} CI-group(s)", graph.num_nodes(), groups.len());
-    let mut queue: VecDeque<(usize, BTreeMap<NodeId, Nfa>)> =
+    trace!(
+        "dependency graph: {} nodes, {} CI-group(s)",
+        graph.num_nodes(),
+        groups.len()
+    );
+    // Partial assignments hold `Lang` handles: branching clones the map of
+    // handles (O(entries) Arc bumps), never the machines themselves.
+    let mut queue: VecDeque<(usize, BTreeMap<NodeId, Lang>)> =
         VecDeque::from([(0, BTreeMap::new())]);
+    stats.peak_worklist = queue.len();
     let mut produced: Vec<Assignment> = Vec::new();
 
     'queue: while let Some((gi, partial)) = queue.pop_front() {
@@ -256,8 +329,12 @@ fn solve_prepared(
             }
             continue;
         }
-        let disjuncts = solve_group(&graph, &groups[gi], system, &leaf, &options.gci);
-        trace!("group {} produced {} disjunctive solution(s)", gi, disjuncts.len());
+        let disjuncts = solve_group(&graph, &groups[gi], system, &leaf, &options.gci, store);
+        trace!(
+            "group {} produced {} disjunctive solution(s)",
+            gi,
+            disjuncts.len()
+        );
         stats.group_disjuncts += disjuncts.len();
         // An unsatisfiable group kills this branch (and, since groups share
         // no vertices, every branch — but the queue drains naturally).
@@ -266,6 +343,7 @@ fn solve_prepared(
             extended.extend(d);
             queue.push_back((gi + 1, extended));
         }
+        stats.peak_worklist = stats.peak_worklist.max(queue.len());
     }
 
     trace!(
@@ -298,8 +376,8 @@ pub fn solve_first(system: &System, options: &SolveOptions) -> Option<Assignment
 fn finish_branch(
     system: &System,
     graph: &DependencyGraph,
-    leaf: &BTreeMap<NodeId, Nfa>,
-    node_map: &BTreeMap<NodeId, Nfa>,
+    leaf: &BTreeMap<NodeId, Lang>,
+    node_map: &BTreeMap<NodeId, Lang>,
     options: &SolveOptions,
     original: &System,
     verify_constraints: &[Constraint],
@@ -311,7 +389,7 @@ fn finish_branch(
             .get(&node)
             .or_else(|| leaf.get(&node))
             .cloned()
-            .unwrap_or_else(Nfa::sigma_star);
+            .unwrap_or_else(|| Lang::new(Nfa::sigma_star()));
         assignment.insert(v, machine);
     }
     if options.require_nonempty && assignment.has_empty_language() {
@@ -394,14 +472,16 @@ pub fn eval_expr(system: &System, e: &Expr, assignment: &Assignment) -> Nfa {
     match e {
         Expr::Var(v) => assignment
             .get(*v)
-            .cloned()
+            .map(|l| l.nfa().clone())
             .unwrap_or_else(Nfa::sigma_star),
         Expr::Const(c) => system.const_machine(*c).clone(),
-        Expr::Concat(a, b) => ops::concat(
-            &eval_expr(system, a, assignment),
-            &eval_expr(system, b, assignment),
-        )
-        .nfa,
+        Expr::Concat(a, b) => {
+            ops::concat(
+                &eval_expr(system, a, assignment),
+                &eval_expr(system, b, assignment),
+            )
+            .nfa
+        }
         Expr::Union(a, b) => ops::union(
             &eval_expr(system, a, assignment),
             &eval_expr(system, b, assignment),
@@ -439,7 +519,9 @@ pub fn extendable_vars(system: &System, assignment: &Assignment) -> Vec<VarId> {
     let constraints = system.union_free_constraints();
     let mut out = Vec::new();
     'vars: for v in system.var_ids() {
-        let Some(current) = assignment.get(v) else { continue };
+        let Some(current) = assignment.get(v) else {
+            continue;
+        };
         let mut allowed: Option<Nfa> = None;
         for c in &constraints {
             let occurrences = c.lhs.variables().iter().filter(|x| **x == v).count();
@@ -505,7 +587,10 @@ mod tests {
     use dprle_regex::Regex;
 
     fn exact(pattern: &str) -> Nfa {
-        Regex::new(pattern).expect("pattern compiles").exact_language().clone()
+        Regex::new(pattern)
+            .expect("pattern compiles")
+            .exact_language()
+            .clone()
     }
 
     #[test]
@@ -654,7 +739,10 @@ mod tests {
         sys.require(Expr::Var(v), c);
         let solution = solve(&sys, &SolveOptions::default());
         let asg = solution.first().expect("sat");
-        assert!(asg.get(w).expect("unused var still assigned").contains(b"anything"));
+        assert!(asg
+            .get(w)
+            .expect("unused var still assigned")
+            .contains(b"anything"));
     }
 
     #[test]
@@ -667,7 +755,10 @@ mod tests {
         sys.require(Expr::Var(v), cb);
         assert!(!solve(&sys, &SolveOptions::default()).is_sat());
         // With require_nonempty disabled the branch survives with ∅.
-        let opts = SolveOptions { require_nonempty: false, ..Default::default() };
+        let opts = SolveOptions {
+            require_nonempty: false,
+            ..Default::default()
+        };
         let solution = solve(&sys, &opts);
         assert!(solution.is_sat());
         assert!(solution.first().expect("branch").has_empty_language());
@@ -700,11 +791,19 @@ mod tests {
         sys.require(Expr::Const(c).concat(Expr::Var(v)), bound);
 
         let faithful = solve(&sys, &SolveOptions::default());
-        assert!(!faithful.is_sat(), "documented incompleteness of enumerate mode");
+        assert!(
+            !faithful.is_sat(),
+            "documented incompleteness of enumerate mode"
+        );
 
-        let opts = SolveOptions { strip_constant_operands: true, ..Default::default() };
+        let opts = SolveOptions {
+            strip_constant_operands: true,
+            ..Default::default()
+        };
         let solution = solve(&sys, &opts);
-        let asg = solution.first().expect("quotient mode finds the assignment");
+        let asg = solution
+            .first()
+            .expect("quotient mode finds the assignment");
         assert!(equivalent(asg.get(v).expect("assigned"), &exact("b")));
         assert!(satisfies_system(&sys, asg));
     }
@@ -720,7 +819,10 @@ mod tests {
         sys.require(Expr::Var(v1), c1);
         sys.require(Expr::Const(c2).concat(Expr::Var(v1)), c3);
         let base = solve(&sys, &SolveOptions::default());
-        let opts = SolveOptions { strip_constant_operands: true, ..Default::default() };
+        let opts = SolveOptions {
+            strip_constant_operands: true,
+            ..Default::default()
+        };
         let stripped = solve(&sys, &opts);
         let a = base.first().expect("sat");
         let b = stripped.first().expect("sat");
@@ -738,7 +840,10 @@ mod tests {
         let c = sys.constant("c", Nfa::literal(b"ab"));
         let bound = sys.constant("bound", exact("x(ab)+"));
         sys.require(Expr::Var(v).concat(Expr::Const(c)), bound);
-        let opts = SolveOptions { strip_constant_operands: true, ..Default::default() };
+        let opts = SolveOptions {
+            strip_constant_operands: true,
+            ..Default::default()
+        };
         let solution = solve(&sys, &opts);
         let asg = solution.first().expect("sat");
         assert!(equivalent(asg.get(v).expect("assigned"), &exact("x(ab)*")));
@@ -750,7 +855,10 @@ mod tests {
         let v = sys.var("v");
         let a = sys.constant("a", exact("ab*"));
         sys.require(Expr::Var(v), a);
-        let options = SolveOptions { trace: true, ..Default::default() };
+        let options = SolveOptions {
+            trace: true,
+            ..Default::default()
+        };
         let (_, stats) = solve_with_stats(&sys, &options);
         assert!(!stats.events.is_empty());
         let text = stats.events.join("\n");

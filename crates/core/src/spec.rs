@@ -18,7 +18,7 @@
 //! owns the list of constraints. It is the input to the dependency-graph
 //! construction and the solver.
 
-use dprle_automata::Nfa;
+use dprle_automata::{Lang, Nfa};
 use dprle_regex::Regex;
 use std::fmt;
 
@@ -154,7 +154,7 @@ pub struct Constraint {
 #[derive(Clone, Debug, Default)]
 pub struct System {
     vars: Vec<String>,
-    consts: Vec<(String, Nfa)>,
+    consts: Vec<(String, Lang)>,
     constraints: Vec<Constraint>,
 }
 
@@ -179,11 +179,14 @@ impl System {
     /// Unlike variables, constants are interned by *name only*: registering
     /// a different machine under an existing name replaces nothing and
     /// returns the existing id — use distinct names for distinct languages.
-    pub fn constant(&mut self, name: &str, machine: Nfa) -> ConstId {
+    ///
+    /// Accepts an owned [`Nfa`] or an already-shared [`Lang`] handle; the
+    /// table stores handles, so cloning a `System` shares the machines.
+    pub fn constant(&mut self, name: &str, machine: impl Into<Lang>) -> ConstId {
         if let Some(i) = self.consts.iter().position(|(n, _)| n == name) {
             return ConstId(i as u32);
         }
-        self.consts.push((name.to_owned(), machine));
+        self.consts.push((name.to_owned(), machine.into()));
         ConstId((self.consts.len() - 1) as u32)
     }
 
@@ -219,7 +222,10 @@ impl System {
 
     /// Adds the constraint `lhs ⊆ rhs`.
     pub fn require(&mut self, lhs: impl Into<Expr>, rhs: ConstId) {
-        self.constraints.push(Constraint { lhs: lhs.into(), rhs });
+        self.constraints.push(Constraint {
+            lhs: lhs.into(),
+            rhs,
+        });
     }
 
     /// Restricts `var` to strings of length `min..=max` (§3.1.2 extension:
@@ -253,7 +259,10 @@ impl System {
 
     /// Looks up a variable id by name.
     pub fn var_id(&self, name: &str) -> Option<VarId> {
-        self.vars.iter().position(|n| n == name).map(|i| VarId(i as u32))
+        self.vars
+            .iter()
+            .position(|n| n == name)
+            .map(|i| VarId(i as u32))
     }
 
     /// The name of a constant.
@@ -263,6 +272,12 @@ impl System {
 
     /// The machine of a constant.
     pub fn const_machine(&self, c: ConstId) -> &Nfa {
+        self.consts[c.0 as usize].1.nfa()
+    }
+
+    /// The shared language handle of a constant (clone is O(1); the handle
+    /// carries the constant's cached fingerprint across solver phases).
+    pub fn const_lang(&self, c: ConstId) -> &Lang {
         &self.consts[c.0 as usize].1
     }
 
@@ -317,7 +332,12 @@ impl fmt::Display for System {
     /// Renders the system one constraint per line, e.g. `c2 . v1 <= c3`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for c in &self.constraints {
-            writeln!(f, "{} <= {}", self.expr_to_string(&c.lhs), self.const_name(c.rhs))?;
+            writeln!(
+                f,
+                "{} <= {}",
+                self.expr_to_string(&c.lhs),
+                self.const_name(c.rhs)
+            )?;
         }
         Ok(())
     }

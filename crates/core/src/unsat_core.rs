@@ -11,8 +11,9 @@
 //! makes the system satisfiable. The result is a *minimal* core (every
 //! member is necessary), though not necessarily a *minimum* one.
 
-use crate::solve::{solve, SolveOptions};
+use crate::solve::{solve_with_store, SolveOptions};
 use crate::spec::{Constraint, System};
+use dprle_automata::LangStore;
 
 /// A minimal unsatisfiable core: indices into [`System::constraints`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,9 +46,13 @@ impl UnsatCore {
 ///
 /// Cost: one solver call per constraint (deletion loop) plus the initial
 /// check — acceptable for the constraint counts the front end produces
-/// (the paper's largest |C| is 387).
+/// (the paper's largest |C| is 387). Every re-solve shares one
+/// [`LangStore`]: the trials differ only in which constraints are present,
+/// so the constant machines (shared handles across the cloned systems) and
+/// the repeated leaf intersections hit the caches of earlier trials.
 pub fn unsat_core(system: &System, options: &SolveOptions) -> Option<UnsatCore> {
-    if solve(system, options).is_sat() {
+    let store = LangStore::interning(options.interning);
+    if solve_with_store(system, options, &store).0.is_sat() {
         return None;
     }
     let all: Vec<Constraint> = system.constraints().to_vec();
@@ -56,10 +61,9 @@ pub fn unsat_core(system: &System, options: &SolveOptions) -> Option<UnsatCore> 
     let mut i = 0;
     while i < keep.len() {
         // Try removing keep[i].
-        let candidate: Vec<usize> =
-            keep.iter().copied().filter(|&k| k != keep[i]).collect();
+        let candidate: Vec<usize> = keep.iter().copied().filter(|&k| k != keep[i]).collect();
         let trial = with_constraints(system, &all, &candidate);
-        if solve(&trial, options).is_sat() {
+        if solve_with_store(&trial, options, &store).0.is_sat() {
             // Necessary: keep it, move on.
             i += 1;
         } else {
@@ -82,12 +86,16 @@ fn with_constraints(system: &System, all: &[Constraint], indices: &[usize]) -> S
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solve::solve;
     use crate::spec::Expr;
     use dprle_automata::Nfa;
     use dprle_regex::Regex;
 
     fn exact(pattern: &str) -> Nfa {
-        Regex::new(pattern).expect("compiles").exact_language().clone()
+        Regex::new(pattern)
+            .expect("compiles")
+            .exact_language()
+            .clone()
     }
 
     #[test]
@@ -162,6 +170,10 @@ mod tests {
         sys.require(Expr::Var(v), len);
         sys.require(Expr::Const(pre).concat(Expr::Var(v)), policy);
         let core = unsat_core(&sys, &SolveOptions::default()).expect("safe = unsat");
-        assert_eq!(core.indices, vec![0, 2], "filter + policy, not the length cap");
+        assert_eq!(
+            core.indices,
+            vec![0, 2],
+            "filter + policy, not the length cap"
+        );
     }
 }

@@ -3,13 +3,14 @@
 //! analysis actually generates.
 
 use dprle_automata::{equivalent, Nfa};
-use dprle_core::{
-    satisfies_system, solve, solve_with_stats, Expr, SolveOptions, Solution, System,
-};
+use dprle_core::{satisfies_system, solve, solve_with_stats, Expr, Solution, SolveOptions, System};
 use dprle_regex::Regex;
 
 fn exact(pattern: &str) -> Nfa {
-    Regex::new(pattern).expect("compiles").exact_language().clone()
+    Regex::new(pattern)
+        .expect("compiles")
+        .exact_language()
+        .clone()
 }
 
 /// Three independent subsystems in one System: a plain intersection, a CI
@@ -158,7 +159,10 @@ fn assignment_cap_is_respected() {
     assert_eq!(all.assignments().len(), 4, "2 × 2 disjuncts");
     let capped = solve(
         &sys,
-        &SolveOptions { max_assignments: Some(3), ..Default::default() },
+        &SolveOptions {
+            max_assignments: Some(3),
+            ..Default::default()
+        },
     );
     assert_eq!(capped.assignments().len(), 3);
 }
@@ -181,9 +185,14 @@ fn modes_agree_on_two_sided_literals() {
                 .concat(Expr::Const(post)),
             policy,
         );
-        let options = SolveOptions { strip_constant_operands: strip, ..Default::default() };
+        let options = SolveOptions {
+            strip_constant_operands: strip,
+            ..Default::default()
+        };
         let solution = solve(&sys, &options);
-        let a = solution.first().unwrap_or_else(|| panic!("strip={strip}: sat"));
+        let a = solution
+            .first()
+            .unwrap_or_else(|| panic!("strip={strip}: sat"));
         let w = a.witness(v).expect("nonempty");
         // The assembled value (literal context + witness) must contain the
         // quote pair, and the witness itself must end with a digit for the

@@ -44,7 +44,12 @@ pub fn vulnerable_program(spec: &VulnSpec) -> Program {
             subject: StringExpr::var("id"),
         }
         .negate(),
-        then: vec![Stmt::Echo { expr: StringExpr::lit("Invalid ID.") }, Stmt::Exit],
+        then: vec![
+            Stmt::Echo {
+                expr: StringExpr::lit("Invalid ID."),
+            },
+            Stmt::Exit,
+        ],
         els: vec![],
     });
 
@@ -59,7 +64,11 @@ pub fn vulnerable_program(spec: &VulnSpec) -> Program {
 
     // The query sink (Figure 1 lines 6–8). The `secure` row drags large
     // string constants through the constraint system.
-    let template_len = if spec.heavy { 1600 } else { 16 + rng.gen_range(0..32) };
+    let template_len = if spec.heavy {
+        1600
+    } else {
+        16 + rng.gen_range(0..32)
+    };
     let template = sql_template(spec.name, template_len, &mut rng);
     let mut query = StringExpr::Literal(template)
         .concat(StringExpr::lit("nid_"))
@@ -98,7 +107,12 @@ fn aux_guard(index: usize, input: &str) -> Stmt {
                 pattern: "^zz".to_owned(),
                 subject: StringExpr::input(input),
             },
-            then: vec![Stmt::Echo { expr: StringExpr::lit("blocked") }, Stmt::Exit],
+            then: vec![
+                Stmt::Echo {
+                    expr: StringExpr::lit("blocked"),
+                },
+                Stmt::Exit,
+            ],
             els: vec![],
         },
         _ => Stmt::If {
@@ -135,11 +149,22 @@ fn pad_to_blocks(p: &mut Program, target: usize) {
     while Cfg::build(p).num_blocks() < target {
         let var = format!("__pad{i}");
         let sink = p.stmts.pop().expect("program has a sink statement");
-        p.stmts.push(Stmt::Assign { var: var.clone(), value: StringExpr::lit("ok") });
+        p.stmts.push(Stmt::Assign {
+            var: var.clone(),
+            value: StringExpr::lit("ok"),
+        });
         p.stmts.push(Stmt::If {
-            cond: Cond::PregMatch { pattern: "^ok$".to_owned(), subject: StringExpr::Var(var) }
-                .negate(),
-            then: vec![Stmt::Echo { expr: StringExpr::lit("unreachable") }, Stmt::Exit],
+            cond: Cond::PregMatch {
+                pattern: "^ok$".to_owned(),
+                subject: StringExpr::Var(var),
+            }
+            .negate(),
+            then: vec![
+                Stmt::Echo {
+                    expr: StringExpr::lit("unreachable"),
+                },
+                Stmt::Exit,
+            ],
             els: vec![],
         });
         p.stmts.push(sink);
@@ -165,7 +190,9 @@ pub fn safe_program(name: &str, statements: usize) -> Program {
         els: vec![],
     });
     for i in 0..statements.saturating_sub(4) {
-        p.stmts.push(Stmt::Echo { expr: StringExpr::Literal(format!("line {i}").into_bytes()) });
+        p.stmts.push(Stmt::Echo {
+            expr: StringExpr::Literal(format!("line {i}").into_bytes()),
+        });
     }
     p.stmts.push(Stmt::Query {
         expr: StringExpr::lit("SELECT * FROM pages WHERE id=").concat(StringExpr::var("id")),
@@ -237,7 +264,10 @@ pub fn generate_corpus() -> Vec<GeneratedApp> {
 
 /// All 17 vulnerable programs in Figure 12 order.
 pub fn fig12_programs() -> Vec<(&'static VulnSpec, Program)> {
-    FIG12_ROWS.iter().map(|spec| (spec, vulnerable_program(spec))).collect()
+    FIG12_ROWS
+        .iter()
+        .map(|spec| (spec, vulnerable_program(spec)))
+        .collect()
 }
 
 /// Parameters for random program generation (fuzzing the front end).
@@ -253,7 +283,11 @@ pub struct RandomProgramConfig {
 
 impl Default for RandomProgramConfig {
     fn default() -> Self {
-        RandomProgramConfig { max_block_len: 6, max_depth: 3, num_inputs: 3 }
+        RandomProgramConfig {
+            max_block_len: 6,
+            max_depth: 3,
+            num_inputs: 3,
+        }
     }
 }
 
@@ -263,7 +297,10 @@ impl Default for RandomProgramConfig {
 pub fn random_program(seed: u64, config: &RandomProgramConfig) -> Program {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xf022);
     let stmts = random_block(&mut rng, config, config.max_depth);
-    Program { name: format!("fuzz_{seed}"), stmts }
+    Program {
+        name: format!("fuzz_{seed}"),
+        stmts,
+    }
 }
 
 fn random_block(rng: &mut StdRng, config: &RandomProgramConfig, depth: usize) -> Vec<Stmt> {
@@ -272,14 +309,22 @@ fn random_block(rng: &mut StdRng, config: &RandomProgramConfig, depth: usize) ->
 }
 
 fn random_stmt(rng: &mut StdRng, config: &RandomProgramConfig, depth: usize) -> Stmt {
-    let choice = if depth == 0 { rng.gen_range(0..4) } else { rng.gen_range(0..6) };
+    let choice = if depth == 0 {
+        rng.gen_range(0..4)
+    } else {
+        rng.gen_range(0..6)
+    };
     match choice {
         0 => Stmt::Assign {
             var: format!("v{}", rng.gen_range(0..4)),
             value: random_expr(rng, config, 2),
         },
-        1 => Stmt::Echo { expr: random_expr(rng, config, 2) },
-        2 => Stmt::Query { expr: random_expr(rng, config, 2) },
+        1 => Stmt::Echo {
+            expr: random_expr(rng, config, 2),
+        },
+        2 => Stmt::Query {
+            expr: random_expr(rng, config, 2),
+        },
         3 => Stmt::Exit,
         4 => Stmt::If {
             cond: random_cond(rng, config),
@@ -298,7 +343,11 @@ fn random_stmt(rng: &mut StdRng, config: &RandomProgramConfig, depth: usize) -> 
 }
 
 fn random_expr(rng: &mut StdRng, config: &RandomProgramConfig, depth: usize) -> StringExpr {
-    let choice = if depth == 0 { rng.gen_range(0..3) } else { rng.gen_range(0..6) };
+    let choice = if depth == 0 {
+        rng.gen_range(0..3)
+    } else {
+        rng.gen_range(0..6)
+    };
     match choice {
         0 => StringExpr::Literal(random_literal(rng)),
         1 => StringExpr::Input(format!("in{}", rng.gen_range(0..config.num_inputs))),
@@ -330,8 +379,15 @@ fn random_cond(rng: &mut StdRng, config: &RandomProgramConfig) -> Cond {
 
 fn random_literal(rng: &mut StdRng) -> Vec<u8> {
     // A spread of byte shapes: printable, quotes, escapes, high bytes.
-    let pool: [&[u8]; 7] =
-        [b"abc", b"'", b"\\", b"\"q\"", b"\n\t", b"\x00\xff", b"SELECT *"];
+    let pool: [&[u8]; 7] = [
+        b"abc",
+        b"'",
+        b"\\",
+        b"\"q\"",
+        b"\n\t",
+        b"\x00\xff",
+        b"SELECT *",
+    ];
     pool[rng.gen_range(0..pool.len())].to_vec()
 }
 
@@ -371,8 +427,7 @@ mod tests {
     fn constraint_counts_are_met() {
         let spec = &FIG12_ROWS[1]; // utopia/login, |C| = 16
         let p = vulnerable_program(spec);
-        let reaches =
-            dprle_lang::explore(&p, &SymexOptions::default()).expect("explores");
+        let reaches = dprle_lang::explore(&p, &SymexOptions::default()).expect("explores");
         assert_eq!(reaches.len(), 1, "one vulnerable path");
         let (sys, _) = dprle_lang::to_system(&reaches[0], &Policy::sql_quote());
         assert_eq!(sys.num_constraints(), spec.c, "{}", spec.name);
@@ -427,13 +482,12 @@ mod tests {
         for spec in [&FIG12_ROWS[0], &FIG12_ROWS[6]] {
             let p = vulnerable_program(spec);
             let source = dprle_lang::print_php(&p);
-            let reparsed =
-                dprle_lang::parse_php(&p.name, &source).expect("emitted source parses");
+            let reparsed = dprle_lang::parse_php(&p.name, &source).expect("emitted source parses");
             assert_eq!(p, reparsed, "{}", spec.name);
         }
         let safe = safe_program("filler", 12);
-        let reparsed = dprle_lang::parse_php("filler", &dprle_lang::print_php(&safe))
-            .expect("parses");
+        let reparsed =
+            dprle_lang::parse_php("filler", &dprle_lang::print_php(&safe)).expect("parses");
         assert_eq!(safe, reparsed);
     }
 
@@ -477,9 +531,7 @@ mod tests {
         fn expr_max_literal(e: &StringExpr) -> usize {
             match e {
                 StringExpr::Literal(bytes) => bytes.len(),
-                StringExpr::Concat(parts) => {
-                    parts.iter().map(expr_max_literal).max().unwrap_or(0)
-                }
+                StringExpr::Concat(parts) => parts.iter().map(expr_max_literal).max().unwrap_or(0),
                 _ => 0,
             }
         }

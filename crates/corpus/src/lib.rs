@@ -22,5 +22,8 @@ pub mod generate;
 pub mod scaling;
 pub mod spec;
 
-pub use generate::{fig12_programs, generate_app, generate_corpus, random_program, safe_program, vulnerable_program, GeneratedApp, RandomProgramConfig};
+pub use generate::{
+    fig12_programs, generate_app, generate_corpus, random_program, safe_program,
+    vulnerable_program, GeneratedApp, RandomProgramConfig,
+};
 pub use spec::{rows_for_app, AppSpec, VulnSpec, FIG11_APPS, FIG12_ROWS};

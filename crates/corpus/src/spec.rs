@@ -26,9 +26,27 @@ pub struct AppSpec {
 
 /// Figure 11: the data set.
 pub const FIG11_APPS: [AppSpec; 3] = [
-    AppSpec { name: "eve", version: "1.0", files: 8, loc: 905, vulnerable: 1 },
-    AppSpec { name: "utopia", version: "1.3.0", files: 24, loc: 5438, vulnerable: 4 },
-    AppSpec { name: "warp", version: "1.2.1", files: 44, loc: 24365, vulnerable: 12 },
+    AppSpec {
+        name: "eve",
+        version: "1.0",
+        files: 8,
+        loc: 905,
+        vulnerable: 1,
+    },
+    AppSpec {
+        name: "utopia",
+        version: "1.3.0",
+        files: 24,
+        loc: 5438,
+        vulnerable: 4,
+    },
+    AppSpec {
+        name: "warp",
+        version: "1.2.1",
+        files: 44,
+        loc: 24365,
+        vulnerable: 12,
+    },
 ];
 
 /// One vulnerability row of the paper's Figure 12.
@@ -53,23 +71,142 @@ pub struct VulnSpec {
 
 /// Figure 12: the 17 analyzed vulnerabilities.
 pub const FIG12_ROWS: [VulnSpec; 17] = [
-    VulnSpec { app: "eve", name: "edit", fg: 58, c: 29, paper_seconds: 0.32, heavy: false },
-    VulnSpec { app: "utopia", name: "login", fg: 295, c: 16, paper_seconds: 0.052, heavy: false },
-    VulnSpec { app: "utopia", name: "profile", fg: 855, c: 16, paper_seconds: 0.006, heavy: false },
-    VulnSpec { app: "utopia", name: "styles", fg: 597, c: 156, paper_seconds: 0.65, heavy: false },
-    VulnSpec { app: "utopia", name: "comm", fg: 994, c: 102, paper_seconds: 0.26, heavy: false },
-    VulnSpec { app: "warp", name: "cxapp", fg: 620, c: 10, paper_seconds: 0.054, heavy: false },
-    VulnSpec { app: "warp", name: "ax_help", fg: 610, c: 4, paper_seconds: 0.010, heavy: false },
-    VulnSpec { app: "warp", name: "usr_reg", fg: 608, c: 10, paper_seconds: 0.53, heavy: false },
-    VulnSpec { app: "warp", name: "ax_ed", fg: 630, c: 10, paper_seconds: 0.063, heavy: false },
-    VulnSpec { app: "warp", name: "cart_shop", fg: 856, c: 31, paper_seconds: 0.17, heavy: false },
-    VulnSpec { app: "warp", name: "req_redir", fg: 640, c: 41, paper_seconds: 0.43, heavy: false },
-    VulnSpec { app: "warp", name: "secure", fg: 648, c: 81, paper_seconds: 577.0, heavy: true },
-    VulnSpec { app: "warp", name: "a_cont", fg: 606, c: 10, paper_seconds: 0.057, heavy: false },
-    VulnSpec { app: "warp", name: "usr_prf", fg: 740, c: 66, paper_seconds: 0.22, heavy: false },
-    VulnSpec { app: "warp", name: "xw_mn", fg: 698, c: 387, paper_seconds: 0.50, heavy: false },
-    VulnSpec { app: "warp", name: "castvote", fg: 710, c: 10, paper_seconds: 0.052, heavy: false },
-    VulnSpec { app: "warp", name: "pay_nfo", fg: 628, c: 10, paper_seconds: 0.18, heavy: false },
+    VulnSpec {
+        app: "eve",
+        name: "edit",
+        fg: 58,
+        c: 29,
+        paper_seconds: 0.32,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "utopia",
+        name: "login",
+        fg: 295,
+        c: 16,
+        paper_seconds: 0.052,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "utopia",
+        name: "profile",
+        fg: 855,
+        c: 16,
+        paper_seconds: 0.006,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "utopia",
+        name: "styles",
+        fg: 597,
+        c: 156,
+        paper_seconds: 0.65,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "utopia",
+        name: "comm",
+        fg: 994,
+        c: 102,
+        paper_seconds: 0.26,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "cxapp",
+        fg: 620,
+        c: 10,
+        paper_seconds: 0.054,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "ax_help",
+        fg: 610,
+        c: 4,
+        paper_seconds: 0.010,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "usr_reg",
+        fg: 608,
+        c: 10,
+        paper_seconds: 0.53,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "ax_ed",
+        fg: 630,
+        c: 10,
+        paper_seconds: 0.063,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "cart_shop",
+        fg: 856,
+        c: 31,
+        paper_seconds: 0.17,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "req_redir",
+        fg: 640,
+        c: 41,
+        paper_seconds: 0.43,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "secure",
+        fg: 648,
+        c: 81,
+        paper_seconds: 577.0,
+        heavy: true,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "a_cont",
+        fg: 606,
+        c: 10,
+        paper_seconds: 0.057,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "usr_prf",
+        fg: 740,
+        c: 66,
+        paper_seconds: 0.22,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "xw_mn",
+        fg: 698,
+        c: 387,
+        paper_seconds: 0.50,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "castvote",
+        fg: 710,
+        c: 10,
+        paper_seconds: 0.052,
+        heavy: false,
+    },
+    VulnSpec {
+        app: "warp",
+        name: "pay_nfo",
+        fg: 628,
+        c: 10,
+        paper_seconds: 0.18,
+        heavy: false,
+    },
 ];
 
 /// The Figure 12 rows belonging to `app`.

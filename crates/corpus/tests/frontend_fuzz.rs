@@ -26,7 +26,11 @@ fn print_parse_roundtrip_on_random_programs() {
 #[test]
 fn cfg_and_symex_are_total_on_random_programs() {
     let config = RandomProgramConfig::default();
-    let symex = SymexOptions { max_paths: 100_000, max_loop_unroll: 2, ..Default::default() };
+    let symex = SymexOptions {
+        max_paths: 100_000,
+        max_loop_unroll: 2,
+        ..Default::default()
+    };
     for seed in 0..SEEDS {
         let program = random_program(seed, &config);
         let cfg = Cfg::build(&program);
@@ -70,8 +74,15 @@ fn interpreter_is_total_with_an_oracle() {
 fn findings_on_random_programs_replay() {
     // Soundness sweep: for every finding on opaque-free random programs,
     // the witnesses drive a real execution into an unsafe query.
-    let config = RandomProgramConfig { max_depth: 2, ..Default::default() };
-    let symex = SymexOptions { max_paths: 50_000, max_loop_unroll: 2, ..Default::default() };
+    let config = RandomProgramConfig {
+        max_depth: 2,
+        ..Default::default()
+    };
+    let symex = SymexOptions {
+        max_paths: 50_000,
+        max_loop_unroll: 2,
+        ..Default::default()
+    };
     let mut findings_seen = 0usize;
     for seed in 0..SEEDS {
         let program = random_program(seed, &config);
@@ -108,5 +119,8 @@ fn findings_on_random_programs_replay() {
             findings_seen += 1;
         }
     }
-    assert!(findings_seen > 5, "fuzzing should exercise real findings: {findings_seen}");
+    assert!(
+        findings_seen > 5,
+        "fuzzing should exercise real findings: {findings_seen}"
+    );
 }

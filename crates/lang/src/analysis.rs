@@ -26,7 +26,10 @@ pub struct Policy {
 impl Policy {
     /// Creates a policy from an explicit language of unsafe queries.
     pub fn new(name: &str, language: Nfa) -> Policy {
-        Policy { name: name.to_owned(), language }
+        Policy {
+            name: name.to_owned(),
+            language,
+        }
     }
 
     /// The paper's SQL-injection approximation: a query is unsafe when it
@@ -105,7 +108,11 @@ pub struct Finding {
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}: sink #{} is exploitable", self.program, self.sink_index)?;
+        writeln!(
+            f,
+            "{}: sink #{} is exploitable",
+            self.program, self.sink_index
+        )?;
         for (input, value) in &self.witnesses {
             writeln!(f, "  {} = {:?}", input, String::from_utf8_lossy(value))?;
         }
@@ -237,7 +244,9 @@ pub fn build_system(reach: &SinkReach, policy: &Policy) -> Result<GeneratedSyste
             Atom::Input(name) => match inputs.get(name) {
                 Some(InputBinding::Direct(v)) => Expr::Var(*v),
                 Some(InputBinding::Mapped { .. }) => {
-                    return Err(AnalysisError::MixedMappedUse { input: name.clone() })
+                    return Err(AnalysisError::MixedMappedUse {
+                        input: name.clone(),
+                    })
                 }
                 None => {
                     let v = sys.var(name);
@@ -245,11 +254,17 @@ pub fn build_system(reach: &SinkReach, policy: &Policy) -> Result<GeneratedSyste
                     Expr::Var(v)
                 }
             },
-            Atom::MappedInput { map, map_name, input } => {
+            Atom::MappedInput {
+                map,
+                map_name,
+                input,
+            } => {
                 let derived_name = format!("{input}%{map_name}");
                 match inputs.get(input) {
                     Some(InputBinding::Direct(_)) => {
-                        return Err(AnalysisError::MixedMappedUse { input: input.clone() })
+                        return Err(AnalysisError::MixedMappedUse {
+                            input: input.clone(),
+                        })
                     }
                     Some(InputBinding::Mapped { var, map: existing }) => {
                         if existing != map {
@@ -263,16 +278,16 @@ pub fn build_system(reach: &SinkReach, policy: &Policy) -> Result<GeneratedSyste
                         let v = sys.var(&derived_name);
                         inputs.insert(
                             input.clone(),
-                            InputBinding::Mapped { var: v, map: map.clone() },
+                            InputBinding::Mapped {
+                                var: v,
+                                map: map.clone(),
+                            },
                         );
                         // The mapped view ranges over the map's image, so
                         // witnesses are always invertible.
                         if map_constants.insert(derived_name.clone(), ()).is_none() {
                             let img_name = format!("__image_{map_name}");
-                            let img = sys.constant(
-                                &img_name,
-                                image(&Nfa::sigma_star(), map),
-                            );
+                            let img = sys.constant(&img_name, image(&Nfa::sigma_star(), map));
                             sys.require(Expr::Var(v), img);
                         }
                         Expr::Var(v)
@@ -313,7 +328,10 @@ pub fn build_system(reach: &SinkReach, policy: &Policy) -> Result<GeneratedSyste
         let rhs = sys.constant("__policy", policy.language().clone());
         sys.require(lhs, rhs);
     }
-    Ok(GeneratedSystem { system: sys, inputs })
+    Ok(GeneratedSystem {
+        system: sys,
+        inputs,
+    })
 }
 
 /// Analyzes one program: explores paths, solves the constraint system of
@@ -346,7 +364,10 @@ pub fn analyze_sinks(
         .iter()
         .filter(|r| kind.is_none_or(|k| r.kind == k))
         .collect();
-    let mut report = AnalysisReport { total_sinks: relevant.len(), ..Default::default() };
+    let mut report = AnalysisReport {
+        total_sinks: relevant.len(),
+        ..Default::default()
+    };
     for reach in relevant {
         match analyze_reach(reach, policy, solve_options) {
             Some(finding) => report.findings.push(finding),
@@ -362,7 +383,9 @@ pub fn analyze_reach(
     policy: &Policy,
     solve_options: &SolveOptions,
 ) -> Option<Finding> {
-    try_analyze_reach(reach, policy, solve_options).ok().flatten()
+    try_analyze_reach(reach, policy, solve_options)
+        .ok()
+        .flatten()
 }
 
 /// Like [`analyze_reach`] but surfaces constraint-generation errors
@@ -394,7 +417,7 @@ pub fn try_analyze_reach(
                     witnesses.insert(name.clone(), w);
                 }
                 if let Some(m) = assignment.get(*v) {
-                    languages.insert(name.clone(), m.clone());
+                    languages.insert(name.clone(), m.nfa().clone());
                 }
             }
             InputBinding::Mapped { var, map } => {
@@ -454,7 +477,10 @@ mod tests {
         assert_eq!(report.total_sinks, 1);
         assert_eq!(report.findings.len(), 1);
         let finding = &report.findings[0];
-        let exploit = finding.witnesses.get("posted_newsid").expect("input witness");
+        let exploit = finding
+            .witnesses
+            .get("posted_newsid")
+            .expect("input witness");
         // The exploit passes the faulty filter and injects a quote.
         assert!(Regex::new("[\\d]+$").expect("re").is_match(exploit));
         assert!(exploit.contains(&b'\''));
@@ -490,7 +516,9 @@ mod tests {
     fn concrete_unsafe_query_is_flagged_without_inputs() {
         use crate::ast::{Stmt, StringExpr};
         let mut p = Program::new("concrete");
-        p.stmts.push(Stmt::Query { expr: StringExpr::lit("SELECT 'oops'") });
+        p.stmts.push(Stmt::Query {
+            expr: StringExpr::lit("SELECT 'oops'"),
+        });
         let report = analyze(
             &p,
             &Policy::sql_quote(),
@@ -506,7 +534,9 @@ mod tests {
     fn concrete_safe_query_is_not_flagged() {
         use crate::ast::{Stmt, StringExpr};
         let mut p = Program::new("concrete_safe");
-        p.stmts.push(Stmt::Query { expr: StringExpr::lit("SELECT 1") });
+        p.stmts.push(Stmt::Query {
+            expr: StringExpr::lit("SELECT 1"),
+        });
         let report = analyze(
             &p,
             &Policy::sql_quote(),
@@ -581,7 +611,10 @@ mod tests {
                 .concat(StringExpr::input("msg"))
                 .concat(StringExpr::lit("</div>")),
         });
-        let symex = SymexOptions { track_echo: true, ..Default::default() };
+        let symex = SymexOptions {
+            track_echo: true,
+            ..Default::default()
+        };
         let report = analyze_sinks(
             &p,
             &Policy::xss_script_tag(),
@@ -626,7 +659,9 @@ mod tests {
     fn echo_sinks_ignored_by_default() {
         use crate::ast::{Stmt, StringExpr};
         let mut p = Program::new("quiet");
-        p.stmts.push(Stmt::Echo { expr: StringExpr::input("x") });
+        p.stmts.push(Stmt::Echo {
+            expr: StringExpr::input("x"),
+        });
         let report = analyze(
             &p,
             &Policy::xss_script_tag(),
@@ -690,11 +725,7 @@ mod tests {
                 .concat(StringExpr::Lower(Box::new(StringExpr::input("x")))),
         });
         let reaches = explore(&p, &SymexOptions::default()).expect("explores");
-        let result = try_analyze_reach(
-            &reaches[0],
-            &Policy::sql_quote(),
-            &SolveOptions::default(),
-        );
+        let result = try_analyze_reach(&reaches[0], &Policy::sql_quote(), &SolveOptions::default());
         assert!(matches!(result, Err(AnalysisError::MixedMappedUse { .. })));
     }
 
@@ -711,7 +742,9 @@ mod tests {
                 subject: StringExpr::var("a"),
                 literal: b"abc".to_vec(),
             },
-            then: vec![Stmt::Query { expr: StringExpr::input("q") }],
+            then: vec![Stmt::Query {
+                expr: StringExpr::input("q"),
+            }],
             els: vec![],
         });
         let reaches = explore(&p, &SymexOptions::default()).expect("explores");
@@ -721,8 +754,7 @@ mod tests {
 
     #[test]
     fn to_system_counts_constraints() {
-        let reaches =
-            explore(&Program::figure1(), &SymexOptions::default()).expect("explores");
+        let reaches = explore(&Program::figure1(), &SymexOptions::default()).expect("explores");
         let (sys, vars) = to_system(&reaches[0], &Policy::sql_quote());
         assert_eq!(sys.num_constraints(), 2); // filter condition + policy
         assert_eq!(vars.len(), 1);

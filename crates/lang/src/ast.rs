@@ -192,7 +192,10 @@ pub struct Program {
 impl Program {
     /// Creates an empty program named `name`.
     pub fn new(name: &str) -> Program {
-        Program { name: name.to_owned(), stmts: Vec::new() }
+        Program {
+            name: name.to_owned(),
+            stmts: Vec::new(),
+        }
     }
 
     /// Total number of statements, including nested branch bodies (a rough
@@ -228,7 +231,9 @@ impl Program {
                     }
                     .negate(),
                     then: vec![
-                        Stmt::Echo { expr: StringExpr::lit("Invalid article news ID.") },
+                        Stmt::Echo {
+                            expr: StringExpr::lit("Invalid article news ID."),
+                        },
                         Stmt::Exit,
                     ],
                     els: vec![],

@@ -130,8 +130,13 @@ mod tests {
     #[test]
     fn straight_line_is_two_blocks() {
         let mut p = Program::new("straight");
-        p.stmts.push(Stmt::Assign { var: "a".into(), value: StringExpr::lit("x") });
-        p.stmts.push(Stmt::Query { expr: StringExpr::var("a") });
+        p.stmts.push(Stmt::Assign {
+            var: "a".into(),
+            value: StringExpr::lit("x"),
+        });
+        p.stmts.push(Stmt::Query {
+            expr: StringExpr::var("a"),
+        });
         let cfg = Cfg::build(&p);
         // Entry block + synthetic exit block.
         assert_eq!(cfg.num_blocks(), 2);
@@ -143,10 +148,16 @@ mod tests {
         let mut p = Program::new("diamond");
         p.stmts.push(Stmt::If {
             cond: Cond::Opaque("c".into()),
-            then: vec![Stmt::Echo { expr: StringExpr::lit("t") }],
-            els: vec![Stmt::Echo { expr: StringExpr::lit("e") }],
+            then: vec![Stmt::Echo {
+                expr: StringExpr::lit("t"),
+            }],
+            els: vec![Stmt::Echo {
+                expr: StringExpr::lit("e"),
+            }],
         });
-        p.stmts.push(Stmt::Query { expr: StringExpr::lit("q") });
+        p.stmts.push(Stmt::Query {
+            expr: StringExpr::lit("q"),
+        });
         let cfg = Cfg::build(&p);
         // entry, then, else, join, exit.
         assert_eq!(cfg.num_blocks(), 5);
@@ -170,7 +181,9 @@ mod tests {
             els: vec![Stmt::Exit],
         });
         // Unreachable query after the if.
-        p.stmts.push(Stmt::Query { expr: StringExpr::lit("q") });
+        p.stmts.push(Stmt::Query {
+            expr: StringExpr::lit("q"),
+        });
         let cfg = Cfg::build(&p);
         // No join block is created when both arms exit.
         let terminating = cfg.blocks().iter().filter(|b| b.terminates).count();
@@ -181,12 +194,16 @@ mod tests {
     fn nested_branches_grow_block_count() {
         fn nested(depth: usize) -> Vec<Stmt> {
             if depth == 0 {
-                return vec![Stmt::Echo { expr: StringExpr::lit("leaf") }];
+                return vec![Stmt::Echo {
+                    expr: StringExpr::lit("leaf"),
+                }];
             }
             vec![Stmt::If {
                 cond: Cond::Opaque(format!("c{depth}")),
                 then: nested(depth - 1),
-                els: vec![Stmt::Echo { expr: StringExpr::lit("e") }],
+                els: vec![Stmt::Echo {
+                    expr: StringExpr::lit("e"),
+                }],
             }]
         }
         let mut small = Program::new("d1");

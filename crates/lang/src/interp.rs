@@ -77,10 +77,7 @@ impl std::error::Error for InterpError {}
 ///
 /// Fails on malformed patterns or when execution reaches an opaque
 /// condition (use [`run_with_oracle`] to decide those).
-pub fn run(
-    program: &Program,
-    inputs: &HashMap<String, Vec<u8>>,
-) -> Result<RunResult, InterpError> {
+pub fn run(program: &Program, inputs: &HashMap<String, Vec<u8>>) -> Result<RunResult, InterpError> {
     run_with_oracle(program, inputs, &mut |_| None)
 }
 
@@ -167,12 +164,12 @@ impl Interp<'_> {
                 })?;
                 Ok(re.is_match(&subject))
             }
-            Cond::EqualsLiteral { subject, literal } => {
-                Ok(self.eval(subject) == *literal)
+            Cond::EqualsLiteral { subject, literal } => Ok(self.eval(subject) == *literal),
+            Cond::Opaque(description) => {
+                (self.oracle)(description).ok_or_else(|| InterpError::OpaqueCondition {
+                    description: description.clone(),
+                })
             }
-            Cond::Opaque(description) => (self.oracle)(description).ok_or_else(|| {
-                InterpError::OpaqueCondition { description: description.clone() }
-            }),
         }
     }
 
@@ -188,12 +185,8 @@ impl Interp<'_> {
                 }
                 out
             }
-            StringExpr::Lower(inner) => {
-                ByteMap::to_lowercase().map_bytes(&self.eval(inner))
-            }
-            StringExpr::Upper(inner) => {
-                ByteMap::to_uppercase().map_bytes(&self.eval(inner))
-            }
+            StringExpr::Lower(inner) => ByteMap::to_lowercase().map_bytes(&self.eval(inner)),
+            StringExpr::Upper(inner) => ByteMap::to_uppercase().map_bytes(&self.eval(inner)),
         }
     }
 }
@@ -274,16 +267,19 @@ mod tests {
         let mut p = Program::new("opaque");
         p.stmts.push(Stmt::If {
             cond: Cond::Opaque("coin".into()),
-            then: vec![Stmt::Echo { expr: StringExpr::lit("heads") }],
-            els: vec![Stmt::Echo { expr: StringExpr::lit("tails") }],
+            then: vec![Stmt::Echo {
+                expr: StringExpr::lit("heads"),
+            }],
+            els: vec![Stmt::Echo {
+                expr: StringExpr::lit("tails"),
+            }],
         });
         assert!(matches!(
             run(&p, &HashMap::new()),
             Err(InterpError::OpaqueCondition { .. })
         ));
         let mut take_true = |_: &str| Some(true);
-        let result =
-            run_with_oracle(&p, &HashMap::new(), &mut take_true).expect("runs");
+        let result = run_with_oracle(&p, &HashMap::new(), &mut take_true).expect("runs");
         assert_eq!(result.echoes, vec![b"heads".to_vec()]);
     }
 
@@ -296,8 +292,12 @@ mod tests {
                 subject: StringExpr::input("mode"),
                 literal: b"admin".to_vec(),
             },
-            then: vec![Stmt::Query { expr: StringExpr::lit("admin query") }],
-            els: vec![Stmt::Query { expr: StringExpr::lit("user query") }],
+            then: vec![Stmt::Query {
+                expr: StringExpr::lit("admin query"),
+            }],
+            els: vec![Stmt::Query {
+                expr: StringExpr::lit("user query"),
+            }],
         });
         let admin = run(&p, &inputs(&[("mode", b"admin")])).expect("runs");
         assert_eq!(admin.queries[0], b"admin query".to_vec());

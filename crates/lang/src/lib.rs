@@ -47,7 +47,10 @@ pub mod php;
 pub mod slice;
 pub mod symex;
 
-pub use analysis::{analyze, analyze_reach, analyze_sinks, build_system, to_system, try_analyze_reach, AnalysisError, AnalysisReport, Finding, GeneratedSystem, InputBinding, Policy};
+pub use analysis::{
+    analyze, analyze_reach, analyze_sinks, build_system, to_system, try_analyze_reach,
+    AnalysisError, AnalysisReport, Finding, GeneratedSystem, InputBinding, Policy,
+};
 pub use ast::{Cond, Program, Stmt, StringExpr};
 pub use cfg::{BlockId, Cfg};
 pub use interp::{run, run_with_oracle, InterpError, RunResult};

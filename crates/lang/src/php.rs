@@ -53,7 +53,10 @@ pub fn parse_php(name: &str, source: &str) -> Result<Program, ParsePhpError> {
     let mut parser = Parser { tokens, pos: 0 };
     let stmts = parser.block_body(/*top_level=*/ true)?;
     parser.expect_eof()?;
-    Ok(Program { name: name.to_owned(), stmts })
+    Ok(Program {
+        name: name.to_owned(),
+        stmts,
+    })
 }
 
 /// Pretty-prints a [`Program`] as PHP-like source. `parse_php` of the
@@ -103,11 +106,7 @@ fn print_expr(e: &StringExpr) -> String {
         StringExpr::Literal(bytes) => quote_literal(bytes),
         StringExpr::Input(name) => format!("$_POST['{name}']"),
         StringExpr::Var(name) => format!("${name}"),
-        StringExpr::Concat(parts) => parts
-            .iter()
-            .map(print_expr)
-            .collect::<Vec<_>>()
-            .join(" . "),
+        StringExpr::Concat(parts) => parts.iter().map(print_expr).collect::<Vec<_>>().join(" . "),
         StringExpr::Lower(inner) => format!("strtolower({})", print_expr(inner)),
         StringExpr::Upper(inner) => format!("strtoupper({})", print_expr(inner)),
     }
@@ -155,8 +154,8 @@ fn quote_literal(bytes: &[u8]) -> String {
 
 #[derive(Clone, PartialEq, Debug)]
 enum Token {
-    Ident(String),   // preg_match, if, else, exit, query, echo, unknown, die
-    Variable(String), // $name
+    Ident(String),               // preg_match, if, else, exit, query, echo, unknown, die
+    Variable(String),            // $name
     Superglobal { key: String }, // $_POST['k'] / $_GET['k'] / $_REQUEST['k']
     Literal(Vec<u8>),
     LParen,
@@ -177,7 +176,10 @@ struct Spanned {
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParsePhpError {
-    ParsePhpError { line, message: message.into() }
+    ParsePhpError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn lex(source: &str) -> Result<Vec<Spanned>, ParsePhpError> {
@@ -213,43 +215,73 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ParsePhpError> {
                 i += end + 2;
             }
             b'(' => {
-                out.push(Spanned { token: Token::LParen, line });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    line,
+                });
                 i += 1;
             }
             b')' => {
-                out.push(Spanned { token: Token::RParen, line });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    line,
+                });
                 i += 1;
             }
             b'{' => {
-                out.push(Spanned { token: Token::LBrace, line });
+                out.push(Spanned {
+                    token: Token::LBrace,
+                    line,
+                });
                 i += 1;
             }
             b'}' => {
-                out.push(Spanned { token: Token::RBrace, line });
+                out.push(Spanned {
+                    token: Token::RBrace,
+                    line,
+                });
                 i += 1;
             }
             b';' => {
-                out.push(Spanned { token: Token::Semi, line });
+                out.push(Spanned {
+                    token: Token::Semi,
+                    line,
+                });
                 i += 1;
             }
             b'.' => {
-                out.push(Spanned { token: Token::Dot, line });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    line,
+                });
                 i += 1;
             }
             b',' => {
-                out.push(Spanned { token: Token::Comma, line });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    line,
+                });
                 i += 1;
             }
             b'!' => {
-                out.push(Spanned { token: Token::Bang, line });
+                out.push(Spanned {
+                    token: Token::Bang,
+                    line,
+                });
                 i += 1;
             }
             b'=' if source[i..].starts_with("==") => {
-                out.push(Spanned { token: Token::EqEq, line });
+                out.push(Spanned {
+                    token: Token::EqEq,
+                    line,
+                });
                 i += 2;
             }
             b'=' => {
-                out.push(Spanned { token: Token::Assign, line });
+                out.push(Spanned {
+                    token: Token::Assign,
+                    line,
+                });
                 i += 1;
             }
             b'$' => {
@@ -259,15 +291,16 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ParsePhpError> {
             }
             b'\'' | b'"' => {
                 let (lit, next, newlines) = lex_string(bytes, i, line)?;
-                out.push(Spanned { token: Token::Literal(lit), line });
+                out.push(Spanned {
+                    token: Token::Literal(lit),
+                    line,
+                });
                 line += newlines;
                 i = next;
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Spanned {
@@ -275,7 +308,12 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ParsePhpError> {
                     line,
                 });
             }
-            other => return Err(err(line, format!("unexpected character `{}`", other as char))),
+            other => {
+                return Err(err(
+                    line,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
         }
     }
     Ok(out)
@@ -299,7 +337,8 @@ fn lex_variable(source: &str, start: usize, line: usize) -> Result<(Token, usize
             if open_quote != '\'' && open_quote != '"' {
                 return Err(err(line, "superglobal key must be a quoted string"));
             }
-            let after_bracket = start + glob.len() + source[start + glob.len()..].find('[').expect("checked") + 1;
+            let after_bracket =
+                start + glob.len() + source[start + glob.len()..].find('[').expect("checked") + 1;
             let key_start = after_bracket
                 + source[after_bracket..]
                     .find(open_quote)
@@ -526,8 +565,8 @@ impl Parser {
                 self.expect(&Token::LParen, "`(` after preg_match")?;
                 let pattern = match self.bump() {
                     Some(Token::Literal(bytes)) => {
-                        let text = String::from_utf8(bytes)
-                            .map_err(|_| err(line, "non-UTF-8 pattern"))?;
+                        let text =
+                            String::from_utf8(bytes).map_err(|_| err(line, "non-UTF-8 pattern"))?;
                         let inner = text
                             .strip_prefix('/')
                             .and_then(|t| t.rfind('/').map(|i| t[..i].to_owned()))
@@ -561,9 +600,7 @@ impl Parser {
                 let subject = self.expression()?;
                 self.expect(&Token::EqEq, "`==` in condition")?;
                 match self.bump() {
-                    Some(Token::Literal(literal)) => {
-                        Ok(Cond::EqualsLiteral { subject, literal })
-                    }
+                    Some(Token::Literal(literal)) => Ok(Cond::EqualsLiteral { subject, literal }),
                     _ => Err(err(line, "right side of `==` must be a literal")),
                 }
             }
@@ -646,11 +683,15 @@ query("SELECT * FROM news WHERE newsid=" . $newsid);
                 literal: b"admin".to_vec(),
             },
             then: vec![Stmt::Exit],
-            els: vec![Stmt::Echo { expr: StringExpr::lit("no") }],
+            els: vec![Stmt::Echo {
+                expr: StringExpr::lit("no"),
+            }],
         });
         p.stmts.push(Stmt::If {
             cond: Cond::Opaque("rand".into()),
-            then: vec![Stmt::Query { expr: StringExpr::var("a") }],
+            then: vec![Stmt::Query {
+                expr: StringExpr::var("a"),
+            }],
             els: vec![],
         });
         let reparsed = parse_php("mixed", &print_php(&p)).expect("round-trips");
@@ -664,7 +705,10 @@ query("SELECT * FROM news WHERE newsid=" . $newsid);
             let p = parse_php("g", &src).expect("parses");
             assert_eq!(
                 p.stmts[0],
-                Stmt::Assign { var: "x".into(), value: StringExpr::input("k") }
+                Stmt::Assign {
+                    var: "x".into(),
+                    value: StringExpr::input("k")
+                }
             );
         }
     }
@@ -680,7 +724,10 @@ query("SELECT * FROM news WHERE newsid=" . $newsid);
     fn string_escapes_decode() {
         let p = parse_php("e", r#"<?php $x = "a\n\t\"\\\x41\$";"#).expect("parses");
         match &p.stmts[0] {
-            Stmt::Assign { value: StringExpr::Literal(bytes), .. } => {
+            Stmt::Assign {
+                value: StringExpr::Literal(bytes),
+                ..
+            } => {
                 assert_eq!(bytes, b"a\n\t\"\\A$");
             }
             other => panic!("{other:?}"),

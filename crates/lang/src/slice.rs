@@ -71,7 +71,14 @@ pub fn slice_for_sink(program: &Program, sink_index: usize) -> Option<Slice> {
     // Phase 3: collect the kept statements in order.
     let mut slice = Slice::default();
     let mut sink_counter = 0usize;
-    collect(&program.stmts, "", &relevant, sink_index, &mut sink_counter, &mut slice);
+    collect(
+        &program.stmts,
+        "",
+        &relevant,
+        sink_index,
+        &mut sink_counter,
+        &mut slice,
+    );
     Some(slice)
 }
 
@@ -105,11 +112,7 @@ fn cond_names(c: &Cond, out: &mut BTreeSet<String>) {
     }
 }
 
-fn find_sink(
-    stmts: &[Stmt],
-    target: usize,
-    counter: &mut usize,
-) -> Option<BTreeSet<String>> {
+fn find_sink(stmts: &[Stmt], target: usize, counter: &mut usize) -> Option<BTreeSet<String>> {
     for stmt in stmts {
         match stmt {
             Stmt::Query { expr } => {
@@ -143,10 +146,9 @@ fn find_sink(
 fn grow(stmts: &[Stmt], relevant: &mut BTreeSet<String>) {
     for stmt in stmts {
         match stmt {
-            Stmt::Assign { var, value }
-                if relevant.contains(var) => {
-                    expr_names(value, relevant);
-                }
+            Stmt::Assign { var, value } if relevant.contains(var) => {
+                expr_names(value, relevant);
+            }
             Stmt::If { then, els, .. } => {
                 grow(then, relevant);
                 grow(els, relevant);
@@ -166,8 +168,11 @@ fn collect(
     out: &mut Slice,
 ) {
     for (i, stmt) in stmts.iter().enumerate() {
-        let position =
-            if prefix.is_empty() { i.to_string() } else { format!("{prefix}.{i}") };
+        let position = if prefix.is_empty() {
+            i.to_string()
+        } else {
+            format!("{prefix}.{i}")
+        };
         match stmt {
             Stmt::Assign { var, value } => {
                 if relevant.contains(var) {
@@ -180,7 +185,10 @@ fn collect(
             }
             Stmt::Query { .. } => {
                 if *sink_counter == sink_index {
-                    out.lines.push(SliceLine { position, rendered: render_one(stmt) });
+                    out.lines.push(SliceLine {
+                        position,
+                        rendered: render_one(stmt),
+                    });
                 }
                 *sink_counter += 1;
             }
@@ -193,8 +201,22 @@ fn collect(
                         rendered: format!("if ({}) {{ … }}", render_cond(cond)),
                     });
                 }
-                collect(then, &format!("{position}.then"), relevant, sink_index, sink_counter, out);
-                collect(els, &format!("{position}.else"), relevant, sink_index, sink_counter, out);
+                collect(
+                    then,
+                    &format!("{position}.then"),
+                    relevant,
+                    sink_index,
+                    sink_counter,
+                    out,
+                );
+                collect(
+                    els,
+                    &format!("{position}.else"),
+                    relevant,
+                    sink_index,
+                    sink_counter,
+                    out,
+                );
             }
             Stmt::While { cond, body } => {
                 let mut tested = BTreeSet::new();
@@ -205,7 +227,14 @@ fn collect(
                         rendered: format!("while ({}) {{ … }}", render_cond(cond)),
                     });
                 }
-                collect(body, &format!("{position}.loop"), relevant, sink_index, sink_counter, out);
+                collect(
+                    body,
+                    &format!("{position}.loop"),
+                    relevant,
+                    sink_index,
+                    sink_counter,
+                    out,
+                );
             }
             Stmt::Echo { .. } | Stmt::Exit => {}
         }
@@ -222,7 +251,11 @@ fn render_one(stmt: &Stmt) -> String {
 fn render_cond(cond: &Cond) -> String {
     // Reuse the printer through a throwaway if-statement.
     let mut program = Program::new("cond");
-    program.stmts = vec![Stmt::If { cond: cond.clone(), then: vec![], els: vec![] }];
+    program.stmts = vec![Stmt::If {
+        cond: cond.clone(),
+        then: vec![],
+        els: vec![],
+    }];
     let text = php::print_php(&program);
     let line = text.lines().nth(1).unwrap_or("");
     line.trim()
@@ -241,7 +274,10 @@ mod tests {
         let text = slice.to_text();
         // The input read (line 1) and the faulty check (line 2), as the
         // paper describes, plus the value-building assignment and the sink.
-        assert!(text.contains("$newsid = $_POST['posted_newsid'];"), "{text}");
+        assert!(
+            text.contains("$newsid = $_POST['posted_newsid'];"),
+            "{text}"
+        );
         assert!(text.contains("preg_match"), "{text}");
         assert!(text.contains("nid_"), "{text}");
         assert!(text.contains("query("), "{text}");
@@ -254,14 +290,27 @@ mod tests {
     fn unrelated_statements_are_elided() {
         use crate::ast::{Cond, Stmt, StringExpr};
         let mut p = Program::new("mix");
-        p.stmts.push(Stmt::Assign { var: "x".into(), value: StringExpr::input("used") });
-        p.stmts.push(Stmt::Assign { var: "y".into(), value: StringExpr::input("unused") });
+        p.stmts.push(Stmt::Assign {
+            var: "x".into(),
+            value: StringExpr::input("used"),
+        });
+        p.stmts.push(Stmt::Assign {
+            var: "y".into(),
+            value: StringExpr::input("unused"),
+        });
         p.stmts.push(Stmt::If {
-            cond: Cond::PregMatch { pattern: "a".into(), subject: StringExpr::var("y") },
-            then: vec![Stmt::Echo { expr: StringExpr::lit("hi") }],
+            cond: Cond::PregMatch {
+                pattern: "a".into(),
+                subject: StringExpr::var("y"),
+            },
+            then: vec![Stmt::Echo {
+                expr: StringExpr::lit("hi"),
+            }],
             els: vec![],
         });
-        p.stmts.push(Stmt::Query { expr: StringExpr::var("x") });
+        p.stmts.push(Stmt::Query {
+            expr: StringExpr::var("x"),
+        });
         let slice = slice_for_sink(&p, 0).expect("has a sink");
         let text = slice.to_text();
         assert!(text.contains("$x ="), "{text}");
@@ -274,13 +323,21 @@ mod tests {
     fn transitive_flow_is_followed() {
         use crate::ast::{Stmt, StringExpr};
         let mut p = Program::new("chain");
-        p.stmts.push(Stmt::Assign { var: "a".into(), value: StringExpr::input("src") });
+        p.stmts.push(Stmt::Assign {
+            var: "a".into(),
+            value: StringExpr::input("src"),
+        });
         p.stmts.push(Stmt::Assign {
             var: "b".into(),
             value: StringExpr::lit("pre_").concat(StringExpr::var("a")),
         });
-        p.stmts.push(Stmt::Assign { var: "c".into(), value: StringExpr::var("b") });
-        p.stmts.push(Stmt::Query { expr: StringExpr::var("c") });
+        p.stmts.push(Stmt::Assign {
+            var: "c".into(),
+            value: StringExpr::var("b"),
+        });
+        p.stmts.push(Stmt::Query {
+            expr: StringExpr::var("c"),
+        });
         let slice = slice_for_sink(&p, 0).expect("has a sink");
         assert_eq!(slice.lines.len(), 4, "{}", slice.to_text());
     }
@@ -289,9 +346,16 @@ mod tests {
     fn second_sink_selected_by_index() {
         use crate::ast::{Stmt, StringExpr};
         let mut p = Program::new("two");
-        p.stmts.push(Stmt::Assign { var: "x".into(), value: StringExpr::input("a") });
-        p.stmts.push(Stmt::Query { expr: StringExpr::lit("static") });
-        p.stmts.push(Stmt::Query { expr: StringExpr::var("x") });
+        p.stmts.push(Stmt::Assign {
+            var: "x".into(),
+            value: StringExpr::input("a"),
+        });
+        p.stmts.push(Stmt::Query {
+            expr: StringExpr::lit("static"),
+        });
+        p.stmts.push(Stmt::Query {
+            expr: StringExpr::var("x"),
+        });
         let first = slice_for_sink(&p, 0).expect("sink 0");
         assert_eq!(first.lines.len(), 1, "{}", first.to_text());
         let second = slice_for_sink(&p, 1).expect("sink 1");
@@ -303,10 +367,15 @@ mod tests {
     fn sink_inside_branch_is_found() {
         use crate::ast::{Cond, Stmt, StringExpr};
         let mut p = Program::new("nested");
-        p.stmts.push(Stmt::Assign { var: "q".into(), value: StringExpr::input("k") });
+        p.stmts.push(Stmt::Assign {
+            var: "q".into(),
+            value: StringExpr::input("k"),
+        });
         p.stmts.push(Stmt::If {
             cond: Cond::Opaque("flip".into()),
-            then: vec![Stmt::Query { expr: StringExpr::var("q") }],
+            then: vec![Stmt::Query {
+                expr: StringExpr::var("q"),
+            }],
             els: vec![],
         });
         let slice = slice_for_sink(&p, 0).expect("nested sink");

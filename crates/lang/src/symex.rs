@@ -52,12 +52,16 @@ impl SymValue {
         if bytes.is_empty() {
             return SymValue::empty();
         }
-        SymValue { atoms: vec![Atom::Literal(bytes.to_vec())] }
+        SymValue {
+            atoms: vec![Atom::Literal(bytes.to_vec())],
+        }
     }
 
     /// A single input parameter.
     pub fn input(name: &str) -> SymValue {
-        SymValue { atoms: vec![Atom::Input(name.to_owned())] }
+        SymValue {
+            atoms: vec![Atom::Input(name.to_owned())],
+        }
     }
 
     /// Appends another symbolic value, merging adjacent literals.
@@ -90,7 +94,11 @@ impl SymValue {
                     map_name: map_name.to_owned(),
                     input: name.clone(),
                 },
-                Atom::MappedInput { map: inner, map_name: inner_name, input } => {
+                Atom::MappedInput {
+                    map: inner,
+                    map_name: inner_name,
+                    input,
+                } => {
                     // Compose: outer ∘ inner.
                     let mut table = [0u8; 256];
                     for (i, slot) in table.iter_mut().enumerate() {
@@ -150,9 +158,9 @@ impl fmt::Display for SymValue {
             match a {
                 Atom::Literal(bytes) => write!(f, "{:?}", String::from_utf8_lossy(bytes))?,
                 Atom::Input(name) => write!(f, "{name}")?,
-                Atom::MappedInput { map_name, input, .. } => {
-                    write!(f, "{map_name}({input})")?
-                }
+                Atom::MappedInput {
+                    map_name, input, ..
+                } => write!(f, "{map_name}({input})")?,
             }
         }
         Ok(())
@@ -242,7 +250,11 @@ pub struct SymexOptions {
 
 impl Default for SymexOptions {
     fn default() -> Self {
-        SymexOptions { max_paths: 4096, track_echo: false, max_loop_unroll: 3 }
+        SymexOptions {
+            max_paths: 4096,
+            track_echo: false,
+            max_loop_unroll: 3,
+        }
     }
 }
 
@@ -263,7 +275,11 @@ pub fn explore(program: &Program, options: &SymexOptions) -> Result<Vec<SinkReac
         paths: 0,
         regex_cache: HashMap::new(),
     };
-    let state = State { env: HashMap::new(), conditions: Vec::new(), decisions: Vec::new() };
+    let state = State {
+        env: HashMap::new(),
+        conditions: Vec::new(),
+        decisions: Vec::new(),
+    };
     explorer.run(&program.stmts, state)?;
     Ok(explorer.reaches)
 }
@@ -333,8 +349,7 @@ impl Explorer<'_> {
                     // loop entirely.
                     if self.options.max_loop_unroll > 0 {
                         let rest = &stmts[i + 1..];
-                        let unrolled =
-                            unroll(cond, body, self.options.max_loop_unroll - 1);
+                        let unrolled = unroll(cond, body, self.options.max_loop_unroll - 1);
                         return self.branch(&unrolled.0, &unrolled.1, &[], rest, state);
                     }
                 }
@@ -363,7 +378,10 @@ impl Explorer<'_> {
                 s.decisions.push(false);
                 self.run_seq(els, rest, s)
             }
-            Judgment::Symbolic { when_true, when_false } => {
+            Judgment::Symbolic {
+                when_true,
+                when_false,
+            } => {
                 let mut t = state.clone();
                 t.decisions.push(true);
                 if let Some(c) = when_true {
@@ -393,9 +411,10 @@ impl Explorer<'_> {
     fn judge(&mut self, cond: &Cond, state: &State) -> Result<Judgment, SymexError> {
         match cond {
             Cond::Not(inner) => Ok(self.judge(inner, state)?.negate()),
-            Cond::Opaque(_) => {
-                Ok(Judgment::Symbolic { when_true: None, when_false: None })
-            }
+            Cond::Opaque(_) => Ok(Judgment::Symbolic {
+                when_true: None,
+                when_false: None,
+            }),
             Cond::PregMatch { pattern, subject } => {
                 let regex = self.compile(pattern)?;
                 let value = eval_expr_cached(subject, &state.env);
@@ -434,18 +453,12 @@ impl Explorer<'_> {
                     when_true: Some(Box::new(PathCondition {
                         subject: value.clone(),
                         language: lit.clone(),
-                        description: format!(
-                            "equals {:?}",
-                            String::from_utf8_lossy(literal)
-                        ),
+                        description: format!("equals {:?}", String::from_utf8_lossy(literal)),
                     })),
                     when_false: Some(Box::new(PathCondition {
                         subject: value,
                         language: complement(&lit),
-                        description: format!(
-                            "differs from {:?}",
-                            String::from_utf8_lossy(literal)
-                        ),
+                        description: format!("differs from {:?}", String::from_utf8_lossy(literal)),
                     })),
                 })
             }
@@ -471,7 +484,11 @@ fn unroll(cond: &Cond, body: &[Stmt], depth: usize) -> (Cond, Vec<Stmt>) {
     let mut then: Vec<Stmt> = body.to_vec();
     if depth > 0 {
         let (inner_cond, inner_then) = unroll(cond, body, depth - 1);
-        then.push(Stmt::If { cond: inner_cond, then: inner_then, els: Vec::new() });
+        then.push(Stmt::If {
+            cond: inner_cond,
+            then: inner_then,
+            els: Vec::new(),
+        });
     }
     (cond.clone(), then)
 }
@@ -490,9 +507,13 @@ impl Judgment {
         match self {
             Judgment::ConcreteTrue => Judgment::ConcreteFalse,
             Judgment::ConcreteFalse => Judgment::ConcreteTrue,
-            Judgment::Symbolic { when_true, when_false } => {
-                Judgment::Symbolic { when_true: when_false, when_false: when_true }
-            }
+            Judgment::Symbolic {
+                when_true,
+                when_false,
+            } => Judgment::Symbolic {
+                when_true: when_false,
+                when_false: when_true,
+            },
         }
     }
 }
@@ -543,7 +564,10 @@ mod tests {
 
     #[test]
     fn symvalue_concreteness() {
-        assert_eq!(SymValue::literal(b"hi").concrete_bytes(), Some(b"hi".to_vec()));
+        assert_eq!(
+            SymValue::literal(b"hi").concrete_bytes(),
+            Some(b"hi".to_vec())
+        );
         assert_eq!(SymValue::input("x").concrete_bytes(), None);
         assert!(SymValue::empty().is_concrete());
         assert_eq!(SymValue::empty().concrete_bytes(), Some(Vec::new()));
@@ -568,15 +592,28 @@ mod tests {
     fn concrete_branches_are_pruned() {
         use crate::ast::{Cond, Stmt};
         let mut p = Program::new("prune");
-        p.stmts.push(Stmt::Assign { var: "a".into(), value: StringExpr::lit("abc") });
+        p.stmts.push(Stmt::Assign {
+            var: "a".into(),
+            value: StringExpr::lit("abc"),
+        });
         p.stmts.push(Stmt::If {
-            cond: Cond::PregMatch { pattern: "^abc$".into(), subject: StringExpr::var("a") },
-            then: vec![Stmt::Query { expr: StringExpr::input("x") }],
-            els: vec![Stmt::Query { expr: StringExpr::lit("never") }],
+            cond: Cond::PregMatch {
+                pattern: "^abc$".into(),
+                subject: StringExpr::var("a"),
+            },
+            then: vec![Stmt::Query {
+                expr: StringExpr::input("x"),
+            }],
+            els: vec![Stmt::Query {
+                expr: StringExpr::lit("never"),
+            }],
         });
         let reaches = explore(&p, &SymexOptions::default()).expect("explores");
         assert_eq!(reaches.len(), 1, "only the true arm is feasible");
-        assert!(reaches[0].conditions.is_empty(), "concrete check leaves no constraint");
+        assert!(
+            reaches[0].conditions.is_empty(),
+            "concrete check leaves no constraint"
+        );
     }
 
     #[test]
@@ -585,10 +622,14 @@ mod tests {
         let mut p = Program::new("fork");
         p.stmts.push(Stmt::If {
             cond: Cond::Opaque("unknown()".into()),
-            then: vec![Stmt::Query { expr: StringExpr::input("x") }],
+            then: vec![Stmt::Query {
+                expr: StringExpr::input("x"),
+            }],
             els: vec![],
         });
-        p.stmts.push(Stmt::Query { expr: StringExpr::input("y") });
+        p.stmts.push(Stmt::Query {
+            expr: StringExpr::input("y"),
+        });
         let reaches = explore(&p, &SymexOptions::default()).expect("explores");
         // then-arm: query(x) then query(y); else-arm: query(y) → 3 reaches.
         assert_eq!(reaches.len(), 3);
@@ -603,7 +644,9 @@ mod tests {
             then: vec![Stmt::Exit],
             els: vec![],
         });
-        p.stmts.push(Stmt::Query { expr: StringExpr::input("x") });
+        p.stmts.push(Stmt::Query {
+            expr: StringExpr::input("x"),
+        });
         let reaches = explore(&p, &SymexOptions::default()).expect("explores");
         assert_eq!(reaches.len(), 1, "only the else path reaches the sink");
         assert_eq!(reaches[0].decisions, vec![false]);
@@ -618,7 +661,9 @@ mod tests {
                 subject: StringExpr::input("mode"),
                 literal: b"admin".to_vec(),
             },
-            then: vec![Stmt::Query { expr: StringExpr::input("q") }],
+            then: vec![Stmt::Query {
+                expr: StringExpr::input("q"),
+            }],
             els: vec![],
         });
         let reaches = explore(&p, &SymexOptions::default()).expect("explores");
@@ -633,7 +678,10 @@ mod tests {
         use crate::ast::{Cond, Stmt};
         let mut p = Program::new("bad");
         p.stmts.push(Stmt::If {
-            cond: Cond::PregMatch { pattern: "(".into(), subject: StringExpr::input("x") },
+            cond: Cond::PregMatch {
+                pattern: "(".into(),
+                subject: StringExpr::input("x"),
+            },
             then: vec![],
             els: vec![],
         });
@@ -650,11 +698,21 @@ mod tests {
         for i in 0..12 {
             p.stmts.push(Stmt::If {
                 cond: Cond::Opaque(format!("c{i}")),
-                then: vec![Stmt::Echo { expr: StringExpr::lit("t") }],
-                els: vec![Stmt::Echo { expr: StringExpr::lit("e") }],
+                then: vec![Stmt::Echo {
+                    expr: StringExpr::lit("t"),
+                }],
+                els: vec![Stmt::Echo {
+                    expr: StringExpr::lit("e"),
+                }],
             });
         }
-        let opts = SymexOptions { max_paths: 100, ..Default::default() };
-        assert!(matches!(explore(&p, &opts), Err(SymexError::PathLimit(100))));
+        let opts = SymexOptions {
+            max_paths: 100,
+            ..Default::default()
+        };
+        assert!(matches!(
+            explore(&p, &opts),
+            Err(SymexError::PathLimit(100))
+        ));
     }
 }

@@ -5,8 +5,8 @@
 use dprle_core::SolveOptions;
 use dprle_lang::symex::SymexOptions;
 use dprle_lang::{
-    analyze, explore, parse_php, print_php, run, run_with_oracle, Cfg, Cond, Policy, Program,
-    Stmt, StringExpr,
+    analyze, explore, parse_php, print_php, run, run_with_oracle, Cfg, Cond, Policy, Program, Stmt,
+    StringExpr,
 };
 use std::collections::HashMap;
 
@@ -45,7 +45,10 @@ fn cfg_has_a_back_edge() {
 #[test]
 fn symbolic_execution_unrolls_to_the_bound() {
     let program = parse_php("loopy", LOOPY).expect("parses");
-    let options = SymexOptions { max_loop_unroll: 2, ..Default::default() };
+    let options = SymexOptions {
+        max_loop_unroll: 2,
+        ..Default::default()
+    };
     let reaches = explore(&program, &options).expect("explores");
     // Iterations 0, 1, 2 each reach the sink once.
     assert_eq!(reaches.len(), 3);
@@ -62,7 +65,10 @@ fn loop_built_query_is_exploitable_and_replays() {
     let report = analyze(
         &program,
         &Policy::sql_quote(),
-        &SymexOptions { max_loop_unroll: 2, ..Default::default() },
+        &SymexOptions {
+            max_loop_unroll: 2,
+            ..Default::default()
+        },
         &SolveOptions::default(),
     )
     .expect("analyzes");
@@ -81,8 +87,9 @@ fn loop_built_query_is_exploitable_and_replays() {
         first = false;
         Some(take)
     };
-    let inputs: HashMap<String, Vec<u8>> =
-        [("clause".to_string(), exploit.clone())].into_iter().collect();
+    let inputs: HashMap<String, Vec<u8>> = [("clause".to_string(), exploit.clone())]
+        .into_iter()
+        .collect();
     let result = run_with_oracle(&program, &inputs, &mut oracle).expect("runs");
     assert!(result.any_query_contains(b'\''));
 }
@@ -91,12 +98,23 @@ fn loop_built_query_is_exploitable_and_replays() {
 fn interpreter_runs_loops_concretely() {
     // while ($x == "go") { echo "tick"; $x = "stop"; }
     let mut p = Program::new("tick");
-    p.stmts.push(Stmt::Assign { var: "x".into(), value: StringExpr::lit("go") });
+    p.stmts.push(Stmt::Assign {
+        var: "x".into(),
+        value: StringExpr::lit("go"),
+    });
     p.stmts.push(Stmt::While {
-        cond: Cond::EqualsLiteral { subject: StringExpr::var("x"), literal: b"go".to_vec() },
+        cond: Cond::EqualsLiteral {
+            subject: StringExpr::var("x"),
+            literal: b"go".to_vec(),
+        },
         body: vec![
-            Stmt::Echo { expr: StringExpr::lit("tick") },
-            Stmt::Assign { var: "x".into(), value: StringExpr::lit("stop") },
+            Stmt::Echo {
+                expr: StringExpr::lit("tick"),
+            },
+            Stmt::Assign {
+                var: "x".into(),
+                value: StringExpr::lit("stop"),
+            },
         ],
     });
     let result = run(&p, &HashMap::new()).expect("runs");
@@ -108,8 +126,13 @@ fn interpreter_caps_runaway_loops() {
     // while ($x == "") { echo "spin"; } — x stays "" forever.
     let mut p = Program::new("spin");
     p.stmts.push(Stmt::While {
-        cond: Cond::EqualsLiteral { subject: StringExpr::var("x"), literal: Vec::new() },
-        body: vec![Stmt::Echo { expr: StringExpr::lit("spin") }],
+        cond: Cond::EqualsLiteral {
+            subject: StringExpr::var("x"),
+            literal: Vec::new(),
+        },
+        body: vec![Stmt::Echo {
+            expr: StringExpr::lit("spin"),
+        }],
     });
     assert!(matches!(
         run(&p, &HashMap::new()),

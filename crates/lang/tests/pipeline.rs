@@ -26,7 +26,11 @@ if ($mode == "admin") {
 fn whole_application_analysis() {
     let program = parse_php("app", APP).expect("parses");
     let cfg = Cfg::build(&program);
-    assert!(cfg.num_blocks() >= 6, "branchy program: {}", cfg.num_blocks());
+    assert!(
+        cfg.num_blocks() >= 6,
+        "branchy program: {}",
+        cfg.num_blocks()
+    );
 
     let report = analyze(
         &program,
@@ -49,9 +53,15 @@ fn whole_application_analysis() {
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
         // The filter requires `user` even on the admin path.
-        inputs.entry("user".to_owned()).or_insert_with(|| b"x".to_vec());
+        inputs
+            .entry("user".to_owned())
+            .or_insert_with(|| b"x".to_vec());
         let result = run(&program, &inputs).expect("runs");
-        assert!(!result.exited, "sink {} exploit must reach the query", finding.sink_index);
+        assert!(
+            !result.exited,
+            "sink {} exploit must reach the query",
+            finding.sink_index
+        );
         assert!(
             result.any_query_contains(b'\''),
             "sink {} query must carry a quote",
@@ -110,8 +120,7 @@ fn figure1_matches_builtin_constructor() {
     // The checked-in testdata file parses to the same program as the
     // built-in constructor.
     let source = std::fs::read_to_string(
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../testdata/figure1.php"),
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../testdata/figure1.php"),
     )
     .expect("testdata present");
     let parsed = parse_php("utopia_figure1", &source).expect("parses");

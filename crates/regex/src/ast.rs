@@ -104,11 +104,23 @@ impl fmt::Display for Ast {
             Ast::Star(inner) => write!(f, "({inner})*"),
             Ast::Plus(inner) => write!(f, "({inner})+"),
             Ast::Optional(inner) => write!(f, "({inner})?"),
-            Ast::Repeat { inner, min, max: Some(max) } if min == max => {
+            Ast::Repeat {
+                inner,
+                min,
+                max: Some(max),
+            } if min == max => {
                 write!(f, "({inner}){{{min}}}")
             }
-            Ast::Repeat { inner, min, max: Some(max) } => write!(f, "({inner}){{{min},{max}}}"),
-            Ast::Repeat { inner, min, max: None } => write!(f, "({inner}){{{min},}}"),
+            Ast::Repeat {
+                inner,
+                min,
+                max: Some(max),
+            } => write!(f, "({inner}){{{min},{max}}}"),
+            Ast::Repeat {
+                inner,
+                min,
+                max: None,
+            } => write!(f, "({inner}){{{min},}}"),
             Ast::Anchor(Anchor::Start) => write!(f, "^"),
             Ast::Anchor(Anchor::End) => write!(f, "$"),
         }
@@ -134,8 +146,12 @@ mod tests {
         assert!(Ast::Anchor(Anchor::Start).has_anchor());
         assert!(Ast::Concat(vec![Ast::byte(b'a'), Ast::Anchor(Anchor::End)]).has_anchor());
         assert!(!Ast::Star(Box::new(Ast::byte(b'a'))).has_anchor());
-        assert!(Ast::Repeat { inner: Box::new(Ast::Anchor(Anchor::End)), min: 0, max: None }
-            .has_anchor());
+        assert!(Ast::Repeat {
+            inner: Box::new(Ast::Anchor(Anchor::End)),
+            min: 0,
+            max: None
+        }
+        .has_anchor());
     }
 
     #[test]
@@ -145,9 +161,17 @@ mod tests {
             Ast::Star(Box::new(Ast::byte(b'c'))),
         ]);
         assert_eq!(ast.to_string(), "ab|(c)*");
-        let rep = Ast::Repeat { inner: Box::new(Ast::byte(b'x')), min: 2, max: Some(4) };
+        let rep = Ast::Repeat {
+            inner: Box::new(Ast::byte(b'x')),
+            min: 2,
+            max: Some(4),
+        };
         assert_eq!(rep.to_string(), "(x){2,4}");
-        let exact = Ast::Repeat { inner: Box::new(Ast::byte(b'x')), min: 3, max: Some(3) };
+        let exact = Ast::Repeat {
+            inner: Box::new(Ast::byte(b'x')),
+            min: 3,
+            max: Some(3),
+        };
         assert_eq!(exact.to_string(), "(x){3}");
     }
 }

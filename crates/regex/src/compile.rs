@@ -76,7 +76,10 @@ fn strip_edge_anchors(ast: &Ast) -> Result<(Ast, bool, bool), ParseRegexError> {
         _ => Ast::Concat(parts),
     };
     if body.has_anchor() {
-        return Err(ParseRegexError { pos: 0, kind: RegexErrorKind::MisplacedAnchor });
+        return Err(ParseRegexError {
+            pos: 0,
+            kind: RegexErrorKind::MisplacedAnchor,
+        });
     }
     Ok((body, anchored_start, anchored_end))
 }
@@ -93,8 +96,10 @@ fn compile_anchor_free(ast: &Ast) -> Result<Nfa, ParseRegexError> {
             m
         }
         Ast::Alt(parts) => {
-            let machines: Vec<Nfa> =
-                parts.iter().map(compile_anchor_free).collect::<Result<_, _>>()?;
+            let machines: Vec<Nfa> = parts
+                .iter()
+                .map(compile_anchor_free)
+                .collect::<Result<_, _>>()?;
             ops::union_all(machines.iter())
         }
         Ast::Star(inner) => ops::star(&compile_anchor_free(inner)?),
@@ -108,7 +113,10 @@ fn compile_anchor_free(ast: &Ast) -> Result<Nfa, ParseRegexError> {
             }
         }
         Ast::Anchor(_) => {
-            return Err(ParseRegexError { pos: 0, kind: RegexErrorKind::MisplacedAnchor })
+            return Err(ParseRegexError {
+                pos: 0,
+                kind: RegexErrorKind::MisplacedAnchor,
+            })
         }
     })
 }

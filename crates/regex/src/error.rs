@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn display_mentions_position() {
-        let e = ParseRegexError { pos: 7, kind: RegexErrorKind::UnbalancedParen };
+        let e = ParseRegexError {
+            pos: 7,
+            kind: RegexErrorKind::UnbalancedParen,
+        };
         let s = e.to_string();
         assert!(s.contains("offset 7"), "got {s}");
         assert!(s.contains("parenthesis"), "got {s}");
@@ -79,6 +82,9 @@ mod tests {
     #[test]
     fn error_trait_is_implemented() {
         fn takes_error<E: Error>(_: E) {}
-        takes_error(ParseRegexError { pos: 0, kind: RegexErrorKind::UnexpectedEnd });
+        takes_error(ParseRegexError {
+            pos: 0,
+            kind: RegexErrorKind::UnexpectedEnd,
+        });
     }
 }

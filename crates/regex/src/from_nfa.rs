@@ -123,8 +123,16 @@ impl Gnfa {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &s)| {
-                    let ins = self.edges.keys().filter(|(f, t)| *t == s && *f != s).count();
-                    let outs = self.edges.keys().filter(|(f, t)| *f == s && *t != s).count();
+                    let ins = self
+                        .edges
+                        .keys()
+                        .filter(|(f, t)| *t == s && *f != s)
+                        .count();
+                    let outs = self
+                        .edges
+                        .keys()
+                        .filter(|(f, t)| *f == s && *t != s)
+                        .count();
                     ins * outs
                 })
                 .expect("interior nonempty");
@@ -282,9 +290,16 @@ fn simplify(a: Ast) -> Ast {
         }
         Ast::Alt(parts) => {
             let parts: Vec<Ast> = parts.into_iter().map(simplify).collect();
-            parts.into_iter().fold(Ast::Empty, |acc, p| {
-                if acc == Ast::Empty { p } else { alt2(acc, p) }
-            })
+            parts.into_iter().fold(
+                Ast::Empty,
+                |acc, p| {
+                    if acc == Ast::Empty {
+                        p
+                    } else {
+                        alt2(acc, p)
+                    }
+                },
+            )
         }
         Ast::Star(inner) => star(simplify(*inner)),
         Ast::Plus(inner) => Ast::Plus(Box::new(simplify(*inner))),
@@ -362,7 +377,10 @@ mod tests {
 
     #[test]
     fn display_language_forms() {
-        assert_eq!(display_language(&Nfa::empty_language(), 100), "(empty language)");
+        assert_eq!(
+            display_language(&Nfa::empty_language(), 100),
+            "(empty language)"
+        );
         assert_eq!(display_language(&Nfa::epsilon(), 100), "(empty string)");
         assert_eq!(display_language(&Nfa::literal(b"hi"), 100), "hi");
     }
@@ -372,7 +390,10 @@ mod tests {
         let ast = nfa_to_regex(&Nfa::sigma_star(), 1000).expect("nonempty");
         // One star over the full class.
         assert!(matches!(ast, Ast::Star(_)), "got {ast}");
-        assert_eq!(ast.to_string(), "(.)*".replace('.', &ByteClass::FULL.to_string()));
+        assert_eq!(
+            ast.to_string(),
+            "(.)*".replace('.', &ByteClass::FULL.to_string())
+        );
     }
 
     #[test]

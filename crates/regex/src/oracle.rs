@@ -146,7 +146,11 @@ pub fn random_ast(seed: u64, max_depth: usize) -> Ast {
         x
     }
     fn gen(state: &mut u64, depth: usize) -> Ast {
-        let choice = if depth == 0 { next(state) % 2 } else { next(state) % 8 };
+        let choice = if depth == 0 {
+            next(state) % 2
+        } else {
+            next(state) % 8
+        };
         let byte = |state: &mut u64| b'a' + (next(state) % 3) as u8;
         match choice {
             0 => Ast::byte(byte(state)),
@@ -162,8 +166,16 @@ pub fn random_ast(seed: u64, max_depth: usize) -> Ast {
             _ => {
                 let min = (next(state) % 3) as u32;
                 let extra = (next(state) % 3) as u32;
-                let max = if next(state).is_multiple_of(4) { None } else { Some(min + extra) };
-                Ast::Repeat { inner: Box::new(gen(state, depth - 1)), min, max }
+                let max = if next(state).is_multiple_of(4) {
+                    None
+                } else {
+                    Some(min + extra)
+                };
+                Ast::Repeat {
+                    inner: Box::new(gen(state, depth - 1)),
+                    min,
+                    max,
+                }
             }
         }
     }
@@ -206,8 +218,17 @@ mod tests {
     #[test]
     fn differential_against_compiler_on_fixed_patterns() {
         let patterns = [
-            "a", "ab", "a|b", "a*", "a+b?", "(ab)*a", "a{0,2}b{1,3}",
-            "(a|bb)*", "[ab]c*", "((a)(b))|c", "(a?b){2}",
+            "a",
+            "ab",
+            "a|b",
+            "a*",
+            "a+b?",
+            "(ab)*a",
+            "a{0,2}b{1,3}",
+            "(a|bb)*",
+            "[ab]c*",
+            "((a)(b))|c",
+            "(a?b){2}",
         ];
         let words: Vec<Vec<u8>> = all_words(4);
         for pattern in patterns {

@@ -25,7 +25,10 @@ use dprle_automata::ByteClass;
 /// Returns [`ParseRegexError`] describing the offending position for
 /// malformed or unsupported syntax.
 pub fn parse(pattern: &str) -> Result<Ast, ParseRegexError> {
-    let mut p = Parser { input: pattern.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: pattern.as_bytes(),
+        pos: 0,
+    };
     let ast = p.alt()?;
     if p.pos != p.input.len() {
         return Err(p.error(RegexErrorKind::UnbalancedParen));
@@ -40,7 +43,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, kind: RegexErrorKind) -> ParseRegexError {
-        ParseRegexError { pos: self.pos, kind }
+        ParseRegexError {
+            pos: self.pos,
+            kind,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -69,7 +75,11 @@ impl<'a> Parser<'a> {
         while self.eat(b'|') {
             parts.push(self.concat()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one part") } else { Ast::Alt(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Ast::Alt(parts)
+        })
     }
 
     fn concat(&mut self) -> Result<Ast, ParseRegexError> {
@@ -113,7 +123,11 @@ impl<'a> Parser<'a> {
                         Some(c) if c.is_ascii_digit() || *c == b',' => {
                             self.pos += 1;
                             let (min, max) = self.bounds()?;
-                            ast = Ast::Repeat { inner: Box::new(ast), min, max };
+                            ast = Ast::Repeat {
+                                inner: Box::new(ast),
+                                min,
+                                max,
+                            };
                         }
                         _ => break,
                     }
@@ -172,7 +186,9 @@ impl<'a> Parser<'a> {
                 Ok(inner)
             }
             Some(b'[') => self.class(),
-            Some(b'.') => Ok(Ast::Class(ByteClass::FULL.difference(&ByteClass::singleton(b'\n')))),
+            Some(b'.') => Ok(Ast::Class(
+                ByteClass::FULL.difference(&ByteClass::singleton(b'\n')),
+            )),
             Some(b'^') => Ok(Ast::Anchor(Anchor::Start)),
             Some(b'$') => Ok(Ast::Anchor(Anchor::End)),
             Some(b'\\') => {
@@ -207,10 +223,16 @@ impl<'a> Parser<'a> {
                 Some(b) => b,
             };
             first = false;
-            let lo = if b == b'\\' { self.escape()? } else { ByteClass::singleton(b) };
+            let lo = if b == b'\\' {
+                self.escape()?
+            } else {
+                ByteClass::singleton(b)
+            };
             // Range? Only when the left side was a single byte and a `-` is
             // followed by something other than `]`.
-            if lo.len() == 1 && self.peek() == Some(b'-') && self.input.get(self.pos + 1) != Some(&b']')
+            if lo.len() == 1
+                && self.peek() == Some(b'-')
+                && self.input.get(self.pos + 1) != Some(&b']')
             {
                 self.pos += 1; // consume '-'
                 let hi_b = match self.bump() {
@@ -279,7 +301,9 @@ impl<'a> Parser<'a> {
 
     /// Parses an escape (the `\` has been consumed) into a byte class.
     fn escape(&mut self) -> Result<ByteClass, ParseRegexError> {
-        let b = self.bump().ok_or_else(|| self.error(RegexErrorKind::UnexpectedEnd))?;
+        let b = self
+            .bump()
+            .ok_or_else(|| self.error(RegexErrorKind::UnexpectedEnd))?;
         Ok(match b {
             b'd' => digit_class(),
             b'D' => digit_class().complement(),
@@ -303,7 +327,9 @@ impl<'a> Parser<'a> {
     }
 
     fn hex_digit(&mut self) -> Result<u8, ParseRegexError> {
-        let b = self.bump().ok_or_else(|| self.error(RegexErrorKind::UnexpectedEnd))?;
+        let b = self
+            .bump()
+            .ok_or_else(|| self.error(RegexErrorKind::UnexpectedEnd))?;
         match b {
             b'0'..=b'9' => Ok(b - b'0'),
             b'a'..=b'f' => Ok(b - b'a' + 10),
@@ -365,24 +391,45 @@ mod tests {
         assert_eq!(p("a?"), Ast::Optional(Box::new(Ast::byte(b'a'))));
         assert_eq!(
             p("a{2,5}"),
-            Ast::Repeat { inner: Box::new(Ast::byte(b'a')), min: 2, max: Some(5) }
+            Ast::Repeat {
+                inner: Box::new(Ast::byte(b'a')),
+                min: 2,
+                max: Some(5)
+            }
         );
         assert_eq!(
             p("a{3}"),
-            Ast::Repeat { inner: Box::new(Ast::byte(b'a')), min: 3, max: Some(3) }
+            Ast::Repeat {
+                inner: Box::new(Ast::byte(b'a')),
+                min: 3,
+                max: Some(3)
+            }
         );
-        assert_eq!(p("a{2,}"), Ast::Repeat { inner: Box::new(Ast::byte(b'a')), min: 2, max: None });
+        assert_eq!(
+            p("a{2,}"),
+            Ast::Repeat {
+                inner: Box::new(Ast::byte(b'a')),
+                min: 2,
+                max: None
+            }
+        );
     }
 
     #[test]
     fn literal_brace_is_not_a_bound() {
-        assert_eq!(p("a{x"), Ast::Concat(vec![Ast::byte(b'a'), Ast::byte(b'{'), Ast::byte(b'x')]));
+        assert_eq!(
+            p("a{x"),
+            Ast::Concat(vec![Ast::byte(b'a'), Ast::byte(b'{'), Ast::byte(b'x')])
+        );
     }
 
     #[test]
     fn parses_classes() {
         assert_eq!(p("[0-9]"), Ast::Class(ByteClass::range(b'0', b'9')));
-        assert_eq!(p("[abc]"), Ast::Class(ByteClass::from_bytes([b'a', b'b', b'c'])));
+        assert_eq!(
+            p("[abc]"),
+            Ast::Class(ByteClass::from_bytes([b'a', b'b', b'c']))
+        );
         assert_eq!(p("[\\d]"), Ast::Class(digit_class()));
         // `]` first is a literal.
         assert_eq!(p("[]a]"), Ast::Class(ByteClass::from_bytes([b']', b'a'])));
@@ -393,7 +440,10 @@ mod tests {
     #[test]
     fn parses_posix_classes() {
         assert_eq!(p("[[:digit:]]"), Ast::Class(digit_class()));
-        assert_eq!(p("[[:digit:]x]"), Ast::Class(digit_class().union(&ByteClass::singleton(b'x'))));
+        assert_eq!(
+            p("[[:digit:]x]"),
+            Ast::Class(digit_class().union(&ByteClass::singleton(b'x')))
+        );
         match p("[[:alpha:][:digit:]]") {
             Ast::Class(c) => {
                 assert!(c.contains(b'q') && c.contains(b'7') && !c.contains(b'_'));

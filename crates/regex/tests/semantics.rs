@@ -2,7 +2,9 @@
 //! real-world filter patterns, and conversion round-trips through the
 //! public API only.
 
-use dprle_regex::{compile_exact, compile_search, nfa_to_regex, oracle_is_full_match, parse, Regex};
+use dprle_regex::{
+    compile_exact, compile_search, nfa_to_regex, oracle_is_full_match, parse, Regex,
+};
 
 /// Search semantics is exactly "some substring matches exactly": for an
 /// anchor-free pattern, `search(re)` accepts `w` iff some `w[i..j]` is in
@@ -33,9 +35,8 @@ fn search_is_substring_of_exact() {
         let exact = compile_exact(&ast).expect("compiles");
         let search = compile_search(&ast).expect("compiles");
         for w in &words {
-            let some_substring = (0..=w.len()).any(|i| {
-                (i..=w.len()).any(|j| exact.contains(&w[i..j]))
-            });
+            let some_substring =
+                (0..=w.len()).any(|i| (i..=w.len()).any(|j| exact.contains(&w[i..j])));
             assert_eq!(
                 search.contains(w),
                 some_substring,
@@ -82,10 +83,8 @@ fn faulty_filter_is_strictly_weaker() {
         fixed.search_language()
     ));
     // The gap is exactly the exploit space: a witness in faulty \ fixed.
-    let gap = dprle_automata::analysis::difference(
-        faulty.search_language(),
-        fixed.search_language(),
-    );
+    let gap =
+        dprle_automata::analysis::difference(faulty.search_language(), fixed.search_language());
     let w = gap.shortest_member().expect("the filters differ");
     assert!(faulty.is_match(&w));
     assert!(!fixed.is_match(&w));
@@ -123,7 +122,17 @@ fn oracle_agrees_on_paper_patterns() {
     for pattern in ["[\\d]+", "(xx)+y", "x*y", "x(yy)+", "(yy)*z", "op{5}q*"] {
         let ast = parse(pattern).expect("parses");
         let compiled = compile_exact(&ast).expect("compiles");
-        for w in [&b""[..], b"x", b"xx", b"xxy", b"xy", b"y", b"123", b"op", b"oppppp"] {
+        for w in [
+            &b""[..],
+            b"x",
+            b"xx",
+            b"xxy",
+            b"xy",
+            b"y",
+            b"123",
+            b"op",
+            b"oppppp",
+        ] {
             assert_eq!(
                 oracle_is_full_match(&ast, w),
                 compiled.contains(w),

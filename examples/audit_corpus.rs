@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|(k, v)| format!("{k}={:?}", String::from_utf8_lossy(v)))
                 .collect::<Vec<_>>()
                 .join(", ");
-            println!("  {:<12} |C|={:<4} exploit: {}", file.name, finding.num_constraints, exploit);
+            println!(
+                "  {:<12} |C|={:<4} exploit: {}",
+                file.name, finding.num_constraints, exploit
+            );
         }
         println!(
             "  -> {}/{} files vulnerable (paper: {})",

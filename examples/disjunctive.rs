@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let solution = solve(&sys, &SolveOptions::default());
     println!("{} disjunctive assignments:", solution.assignments().len());
     for (i, assignment) in solution.assignments().iter().enumerate() {
-        assert!(satisfies_system(&sys, assignment), "solver output must satisfy");
+        assert!(
+            satisfies_system(&sys, assignment),
+            "solver output must satisfy"
+        );
         println!("assignment {}:\n{}\n", i + 1, assignment.display(&sys));
     }
     Ok(())

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  query: {}", finding.query);
         println!("  constraints |C| = {}", finding.num_constraints);
         for (input, value) in &finding.witnesses {
-            println!("  exploit: {} = {:?}", input, String::from_utf8_lossy(value));
+            println!(
+                "  exploit: {} = {:?}",
+                input,
+                String::from_utf8_lossy(value)
+            );
         }
     }
 

@@ -24,7 +24,10 @@ echo "<div class=msg>" . $msg . "</div>";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = parse_php("guestbook", PAGE)?;
-    let symex = SymexOptions { track_echo: true, ..Default::default() };
+    let symex = SymexOptions {
+        track_echo: true,
+        ..Default::default()
+    };
     let report = analyze_sinks(
         &program,
         &Policy::xss_script_tag(),

@@ -60,7 +60,11 @@ fn exploits_pass_their_own_filters_for_every_fig12_row() {
             .collect();
         let result = dprle::lang::run(&program, &inputs)
             .unwrap_or_else(|e| panic!("{}: interpreter: {e}", spec.name));
-        assert!(!result.exited, "{}: exploit must survive all guards", spec.name);
+        assert!(
+            !result.exited,
+            "{}: exploit must survive all guards",
+            spec.name
+        );
         assert!(
             result.any_query_contains(b'\''),
             "{}: the executed query must be subverted",
@@ -75,12 +79,19 @@ fn regex_to_solver_roundtrip() {
     // verified by the automata crate.
     let mut sys = System::new();
     let v = sys.var("v");
-    let hex = sys.constant_regex_exact("hex", "0x[0-9a-f]+").expect("compiles");
+    let hex = sys
+        .constant_regex_exact("hex", "0x[0-9a-f]+")
+        .expect("compiles");
     let short = sys.constant("short", dprle::automata::Nfa::length_between(0, 4));
     sys.require(Expr::Var(v), hex);
     sys.require(Expr::Var(v), short);
     let solution = solve(&sys, &SolveOptions::default());
-    let lang = solution.first().expect("sat").get(v).expect("assigned").clone();
+    let lang = solution
+        .first()
+        .expect("sat")
+        .get(v)
+        .expect("assigned")
+        .clone();
     assert!(lang.contains(b"0x1"));
     assert!(lang.contains(b"0xab"));
     assert!(!lang.contains(b"0xabc")); // length 5
@@ -127,7 +138,9 @@ fn solve_first_matches_some_full_solution() {
     let v2 = sys.var("v2");
     let c1 = sys.constant_regex_exact("c1", "x(yy)+").expect("compiles");
     let c2 = sys.constant_regex_exact("c2", "(yy)*z").expect("compiles");
-    let c3 = sys.constant_regex_exact("c3", "xyyz|xyyyyz").expect("compiles");
+    let c3 = sys
+        .constant_regex_exact("c3", "xyyz|xyyyyz")
+        .expect("compiles");
     sys.require(Expr::Var(v1), c1);
     sys.require(Expr::Var(v2), c2);
     sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c3);
@@ -160,7 +173,11 @@ fn length_extension_composes_with_analysis_constraints() {
     sys.require(Expr::Const(c2).concat(Expr::Var(v1)), c3);
     sys.require_length(v1, 0, 6);
     let solution = solve(&sys, &SolveOptions::default());
-    let w = solution.first().expect("sat").witness(v1).expect("nonempty");
+    let w = solution
+        .first()
+        .expect("sat")
+        .witness(v1)
+        .expect("nonempty");
     assert!(w.len() <= 6);
     assert!(w.contains(&b'\''));
 }

@@ -6,13 +6,14 @@
 
 use dprle::automata::{equivalent, ops, Nfa};
 use dprle::core::ci::{concat_intersect_full, minimal_solutions};
-use dprle::core::{
-    satisfies_system, solve, DependencyGraph, Expr, NodeKind, SolveOptions, System,
-};
+use dprle::core::{satisfies_system, solve, DependencyGraph, Expr, NodeKind, SolveOptions, System};
 use dprle::regex::Regex;
 
 fn exact(pattern: &str) -> Nfa {
-    Regex::new(pattern).expect("pattern compiles").exact_language().clone()
+    Regex::new(pattern)
+        .expect("pattern compiles")
+        .exact_language()
+        .clone()
 }
 
 /// §3.1.1, first example: v1 ⊆ (xx)+y, v1 ⊆ x*y.
@@ -77,7 +78,10 @@ fn section_3_1_1_disjunctive_example() {
 #[test]
 fn figure_4_intermediate_machines() {
     let c1 = Nfa::literal(b"nid_");
-    let c2 = Regex::new("[\\d]+$").expect("filter").search_language().clone();
+    let c2 = Regex::new("[\\d]+$")
+        .expect("filter")
+        .search_language()
+        .clone();
     let c3 = Regex::new("'").expect("quote").search_language().clone();
     let run = concat_intersect_full(&c1, &c2, &c3);
 
@@ -196,7 +200,10 @@ fn section_3_4_3_nested_concatenation() {
     sys.require(Expr::Var(v1), c1);
     sys.require(Expr::Var(v2), c2);
     sys.require(Expr::Var(v3), c3);
-    sys.require(Expr::Var(v1).concat(Expr::Var(v2)).concat(Expr::Var(v3)), c4);
+    sys.require(
+        Expr::Var(v1).concat(Expr::Var(v2)).concat(Expr::Var(v3)),
+        c4,
+    );
     let solution = solve(&sys, &SolveOptions::default());
     let a = solution.first().expect("sat");
     assert!(equivalent(a.get(v1).expect("v1"), &exact("aa")));
@@ -221,7 +228,10 @@ fn section_3_5_two_ci_calls() {
     sys.require(Expr::Var(v2), c2);
     sys.require(Expr::Var(v3), c3);
     sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c4);
-    sys.require(Expr::Var(v1).concat(Expr::Var(v2)).concat(Expr::Var(v3)), c5);
+    sys.require(
+        Expr::Var(v1).concat(Expr::Var(v2)).concat(Expr::Var(v3)),
+        c5,
+    );
     let solution = solve(&sys, &SolveOptions::default());
     let a = solution.first().expect("sat");
     assert!(equivalent(a.get(v1).expect("v1"), &exact("a")));

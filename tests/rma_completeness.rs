@@ -11,7 +11,7 @@
 
 use dprle::automata::generate::{random_nonempty_nfa, RandomNfaConfig};
 use dprle::automata::Nfa;
-use dprle::core::{solve, Expr, SolveOptions, Solution, System};
+use dprle::core::{solve, Expr, Solution, SolveOptions, System};
 use proptest::prelude::*;
 
 const AB: &[u8] = b"ab";

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! small wall-clock benchmark runner exposing the criterion API surface its
+//! benches use: `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `BenchmarkId`, and `Bencher::iter`. Each benchmark is warmed
+//! up, then timed over an iteration count sized to a fixed per-benchmark
+//! budget; the mean per-iteration time is printed in criterion's familiar
+//! `group/name  time: …` shape. Statistical analysis (outlier detection,
+//! regression against saved baselines, HTML reports) is intentionally
+//! absent. Passing `--test` (as `cargo test --benches` does) runs every
+//! routine once, to completion, without timing loops.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard hint; mirrors `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// One quick pass per routine instead of a timed loop (`--test` mode).
+    test_mode: bool,
+    /// Soft measurement budget per benchmark.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            budget: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`--test` only; other flags that
+    /// `cargo bench` forwards, like `--bench` or filters, are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of measured samples (upper bound here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the soft measurement budget (accepted for API compatibility).
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget;
+        self
+    }
+
+    /// Runs one benchmark routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b| routine(b));
+        self
+    }
+
+    /// Runs one benchmark routine parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op hook).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            println!("{label}: test passed");
+            return;
+        }
+        // Warmup + estimate with a single iteration.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        let est = b.elapsed.max(Duration::from_nanos(1));
+        let budget = self.criterion.budget;
+        let fit = (budget.as_nanos() / est.as_nanos()).max(1);
+        let iters = (fit.min(self.sample_size as u128)) as u64;
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        let mean = b.elapsed.as_secs_f64() / iters as f64;
+        println!("{label}  time: [{} ({} iters)]", format_time(mean), iters);
+    }
+}
+
+/// Passed to each routine; runs and times the measured closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_routines_and_counts_iters() {
+        let mut c = Criterion {
+            test_mode: false,
+            budget: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group.sample_size(10).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(calls >= 2, "warmup + measured iterations, got {calls}");
+    }
+}

@@ -1,0 +1,276 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal property-testing shim covering exactly the surface its test
+//! suites use: the `proptest!` macro with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header, `any::<T>()`
+//! strategies for primitive integers, and `prop_assert!` /
+//! `prop_assert_eq!`. Cases are generated deterministically (seeded from the
+//! test's module path and name), so failures reproduce exactly. No shrinking
+//! is performed: a failing case panics with the generated inputs so it can
+//! be replayed as a unit test.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Test-runner plumbing used by the generated test bodies.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic per-case random source.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// RNG for case number `case` of the property seeded by `fn_seed`.
+        pub fn for_case(fn_seed: u64, case: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(
+                fn_seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ))
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// A failed property case (raised by `prop_assert!`-family macros).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure with the given reason.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    /// A source of generated values for one property argument.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Generates one value.
+        fn new_value(&self, rng: &mut crate::test_runner::TestRng) -> Self::Value;
+    }
+}
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// FNV-1a hash of a static string; seeds per-property RNG streams.
+#[doc(hidden)]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the subset of upstream syntax this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in any::<u64>()) {
+///         prop_assert!(x == x);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_properties!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_properties!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_properties {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __fn_seed =
+                    $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        __fn_seed,
+                        u64::from(__case),
+                    );
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::new_value(&($strat), &mut __rng);
+                    )+
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        __inputs.push_str(concat!(stringify!($arg), " = "));
+                        __inputs.push_str(&::std::format!("{:?}; ", &$arg));
+                    )+
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__e) = __outcome {
+                        panic!(
+                            "property failed at case {}/{}: {}\n  inputs: {}",
+                            __case + 1,
+                            __config.cases,
+                            __e,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// input reporting) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_values_vary(x in any::<u64>(), y in any::<u64>()) {
+            // Same-case x/y come from one stream, so both draws exist and
+            // wrapping arithmetic on them round-trips.
+            prop_assert_eq!(x.wrapping_add(y).wrapping_sub(y), x);
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::for_case(crate::fnv1a("t"), 3);
+        let mut b = crate::test_runner::TestRng::for_case(crate::fnv1a("t"), 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
