@@ -289,6 +289,14 @@ impl LangStore {
         }
         let result = Lang::new(ops::intersect_lang(a.nfa(), b.nfa()));
         let mut inner = self.inner.lock().expect("store lock");
+        // Re-check under the insert lock: a concurrent caller may have
+        // computed the same operation since our lookup missed. Keep the
+        // first representative so every equal-language handle is shared,
+        // and count the race as a hit, not a second miss.
+        if let Some(existing) = inner.intersect_memo.get(&key).cloned() {
+            inner.stats.op_hits += 1;
+            return existing;
+        }
         inner.stats.op_misses += 1;
         inner.stats.states_materialized += result.num_states() as u64;
         inner.intersect_memo.insert(key, result.clone());
@@ -327,6 +335,11 @@ impl LangStore {
         }
         let result = dfa::is_subset(a.nfa(), b.nfa());
         let mut inner = self.inner.lock().expect("store lock");
+        // Same race re-check as `intersect`: first writer wins the entry.
+        if inner.inclusion_memo.contains_key(&key) {
+            inner.stats.op_hits += 1;
+            return result;
+        }
         inner.stats.op_misses += 1;
         inner.inclusion_memo.insert(key, result);
         result
@@ -351,6 +364,11 @@ impl LangStore {
         }
         let result = Lang::new(minimize(a.nfa()));
         let mut inner = self.inner.lock().expect("store lock");
+        // Same race re-check as `intersect`: first writer wins the entry.
+        if let Some(existing) = inner.minimize_memo.get(&key).cloned() {
+            inner.stats.op_hits += 1;
+            return existing;
+        }
         inner.stats.op_misses += 1;
         inner.stats.states_materialized += result.num_states() as u64;
         inner.minimize_memo.insert(key, result.clone());

@@ -324,10 +324,16 @@ pub fn build_system(reach: &SinkReach, policy: &Policy) -> Result<GeneratedSyste
         sys.require(lhs, rhs);
     }
 
-    if let Some(lhs) = value_to_expr(&mut sys, &mut inputs, &mut map_constants, &reach.query)? {
-        let rhs = sys.constant("__policy", policy.language().clone());
-        sys.require(lhs, rhs);
-    }
+    // An empty symbolic query is the concrete empty string; constrain it
+    // like any other concrete query, so a policy that excludes "" proves
+    // the sink safe. Dropping the policy constraint instead turned any
+    // satisfiable path condition into a spurious finding (corpus
+    // frontend_fuzz seed 86: uninitialized variable queried under an
+    // input-dependent branch).
+    let lhs = value_to_expr(&mut sys, &mut inputs, &mut map_constants, &reach.query)?
+        .unwrap_or_else(|| Expr::Const(sys.constant("__empty_query", Nfa::literal(b""))));
+    let rhs = sys.constant("__policy", policy.language().clone());
+    sys.require(lhs, rhs);
     Ok(GeneratedSystem {
         system: sys,
         inputs,
@@ -528,6 +534,36 @@ mod tests {
         .expect("analyzes");
         assert_eq!(report.findings.len(), 1);
         assert!(report.findings[0].witnesses.is_empty());
+    }
+
+    #[test]
+    fn empty_query_under_symbolic_condition_is_safe() {
+        use crate::ast::{Cond, Stmt, StringExpr};
+        // Regression (corpus frontend_fuzz seed 86): querying an
+        // uninitialized variable under an input-dependent branch used to
+        // produce a spurious finding — the empty query generated no policy
+        // constraint at all, so the satisfiable path condition alone
+        // counted as exploitable.
+        let mut p = Program::new("empty_query");
+        p.stmts.push(Stmt::If {
+            cond: Cond::PregMatch {
+                pattern: "[0-9]".into(),
+                subject: StringExpr::input("in0"),
+            },
+            then: vec![Stmt::Query {
+                expr: StringExpr::var("v0"),
+            }],
+            els: vec![],
+        });
+        let report = analyze(
+            &p,
+            &Policy::sql_quote(),
+            &SymexOptions::default(),
+            &SolveOptions::default(),
+        )
+        .expect("analyzes");
+        assert_eq!(report.findings.len(), 0, "empty query cannot be unsafe");
+        assert_eq!(report.safe_sinks, 1);
     }
 
     #[test]
