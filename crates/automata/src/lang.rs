@@ -21,7 +21,7 @@ use crate::nfa::Nfa;
 use crate::ops;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// A regular language: a shared, immutable [`Nfa`] with lazily cached
 /// canonical properties.
@@ -163,6 +163,43 @@ impl fmt::Debug for Lang {
     }
 }
 
+/// The memoized operations a [`LangStore`] performs, as reported to a
+/// [`StoreObserver`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreOp {
+    /// Canonical-fingerprint lookup (`key_of`; a miss is one
+    /// determinize+minimize pass).
+    Fingerprint,
+    /// Language intersection.
+    Intersect,
+    /// Language inclusion.
+    Inclusion,
+    /// Language-preserving minimization.
+    Minimize,
+}
+
+impl StoreOp {
+    /// Stable lower-case name (used by trace sinks and JSON exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreOp::Fingerprint => "fingerprint",
+            StoreOp::Intersect => "intersect",
+            StoreOp::Inclusion => "inclusion",
+            StoreOp::Minimize => "minimize",
+        }
+    }
+}
+
+/// A hook notified of every memoized-operation outcome, in addition to the
+/// store's own [`StoreStats`] counters. Installed with
+/// [`LangStore::set_observer`]; the solver's tracing layer uses this to
+/// emit per-operation `MemoHit`/`MemoMiss` events without the automata
+/// crate knowing about the trace format.
+pub trait StoreObserver: Send + Sync {
+    /// Called once per memoized operation with its hit/miss outcome.
+    fn memo_event(&self, op: StoreOp, hit: bool);
+}
+
 /// Counters for the interning layer, surfaced through `SolveStats`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -208,6 +245,10 @@ struct StoreInner {
 /// `ablation_interning` benchmark compares the two modes.
 pub struct LangStore {
     inner: Mutex<StoreInner>,
+    /// Optional per-operation hook (hit/miss events for tracing). Kept
+    /// outside `inner` so observers are notified after the store lock is
+    /// released and may themselves use the store.
+    observer: RwLock<Option<Arc<dyn StoreObserver>>>,
     enabled: bool,
 }
 
@@ -220,10 +261,7 @@ impl Default for LangStore {
 impl LangStore {
     /// A store with interning and memoization enabled.
     pub fn new() -> Self {
-        LangStore {
-            inner: Mutex::new(StoreInner::default()),
-            enabled: true,
-        }
+        LangStore::interning(true)
     }
 
     /// A store with the caching layer toggled; `interning(false)` computes
@@ -231,6 +269,7 @@ impl LangStore {
     pub fn interning(enabled: bool) -> Self {
         LangStore {
             inner: Mutex::new(StoreInner::default()),
+            observer: RwLock::new(None),
             enabled,
         }
     }
@@ -240,16 +279,40 @@ impl LangStore {
         self.enabled
     }
 
+    /// Installs `observer`, replacing any previous one. Every subsequent
+    /// memoized operation reports its hit/miss outcome to it (in addition
+    /// to the [`StoreStats`] counters, which always accumulate).
+    pub fn set_observer(&self, observer: Arc<dyn StoreObserver>) {
+        *self.observer.write().expect("observer lock") = Some(observer);
+    }
+
+    /// Removes the installed observer, if any.
+    pub fn clear_observer(&self) {
+        *self.observer.write().expect("observer lock") = None;
+    }
+
+    fn notify(&self, op: StoreOp, hit: bool) {
+        // Clone the Arc out of the read guard so the observer runs without
+        // any store lock held.
+        let observer = self.observer.read().expect("observer lock").clone();
+        if let Some(observer) = observer {
+            observer.memo_event(op, hit);
+        }
+    }
+
     /// The language's fingerprint, with hit/miss accounting.
     pub fn key_of(&self, lang: &Lang) -> Arc<CanonicalKey> {
         let cached = lang.fingerprint_is_cached();
         let key = lang.fingerprint();
-        let mut inner = self.inner.lock().expect("store lock");
-        if cached {
-            inner.stats.fingerprint_hits += 1;
-        } else {
-            inner.stats.fingerprint_misses += 1;
+        {
+            let mut inner = self.inner.lock().expect("store lock");
+            if cached {
+                inner.stats.fingerprint_hits += 1;
+            } else {
+                inner.stats.fingerprint_misses += 1;
+            }
         }
+        self.notify(StoreOp::Fingerprint, cached);
         key
     }
 
@@ -277,29 +340,38 @@ impl LangStore {
     pub fn intersect(&self, a: &Lang, b: &Lang) -> Lang {
         if !self.enabled {
             let result = Lang::new(ops::intersect_lang(a.nfa(), b.nfa()));
-            let mut inner = self.inner.lock().expect("store lock");
-            inner.stats.op_misses += 1;
-            inner.stats.states_materialized += result.num_states() as u64;
+            {
+                let mut inner = self.inner.lock().expect("store lock");
+                inner.stats.op_misses += 1;
+                inner.stats.states_materialized += result.num_states() as u64;
+            }
+            self.notify(StoreOp::Intersect, false);
             return result;
         }
         let (ka, kb) = (self.key_of(a), self.key_of(b));
         let key = if ka <= kb { (ka, kb) } else { (kb, ka) };
         if let Some(hit) = self.lookup_intersect(&key) {
+            self.notify(StoreOp::Intersect, true);
             return hit;
         }
         let result = Lang::new(ops::intersect_lang(a.nfa(), b.nfa()));
-        let mut inner = self.inner.lock().expect("store lock");
-        // Re-check under the insert lock: a concurrent caller may have
-        // computed the same operation since our lookup missed. Keep the
-        // first representative so every equal-language handle is shared,
-        // and count the race as a hit, not a second miss.
-        if let Some(existing) = inner.intersect_memo.get(&key).cloned() {
-            inner.stats.op_hits += 1;
-            return existing;
-        }
-        inner.stats.op_misses += 1;
-        inner.stats.states_materialized += result.num_states() as u64;
-        inner.intersect_memo.insert(key, result.clone());
+        let (result, hit) = {
+            let mut inner = self.inner.lock().expect("store lock");
+            // Re-check under the insert lock: a concurrent caller may have
+            // computed the same operation since our lookup missed. Keep the
+            // first representative so every equal-language handle is shared,
+            // and count the race as a hit, not a second miss.
+            if let Some(existing) = inner.intersect_memo.get(&key).cloned() {
+                inner.stats.op_hits += 1;
+                (existing, true)
+            } else {
+                inner.stats.op_misses += 1;
+                inner.stats.states_materialized += result.num_states() as u64;
+                inner.intersect_memo.insert(key, result.clone());
+                (result, false)
+            }
+        };
+        self.notify(StoreOp::Intersect, hit);
         result
     }
 
@@ -320,6 +392,7 @@ impl LangStore {
         }
         if !self.enabled {
             self.inner.lock().expect("store lock").stats.op_misses += 1;
+            self.notify(StoreOp::Inclusion, false);
             return dfa::is_subset(a.nfa(), b.nfa());
         }
         let key = (self.key_of(a), self.key_of(b));
@@ -327,21 +400,31 @@ impl LangStore {
             return true;
         }
         {
-            let mut inner = self.inner.lock().expect("store lock");
-            if let Some(&hit) = inner.inclusion_memo.get(&key) {
-                inner.stats.op_hits += 1;
+            let hit = {
+                let mut inner = self.inner.lock().expect("store lock");
+                inner.inclusion_memo.get(&key).copied().inspect(|_| {
+                    inner.stats.op_hits += 1;
+                })
+            };
+            if let Some(hit) = hit {
+                self.notify(StoreOp::Inclusion, true);
                 return hit;
             }
         }
         let result = dfa::is_subset(a.nfa(), b.nfa());
-        let mut inner = self.inner.lock().expect("store lock");
-        // Same race re-check as `intersect`: first writer wins the entry.
-        if inner.inclusion_memo.contains_key(&key) {
-            inner.stats.op_hits += 1;
-            return result;
-        }
-        inner.stats.op_misses += 1;
-        inner.inclusion_memo.insert(key, result);
+        let hit = {
+            let mut inner = self.inner.lock().expect("store lock");
+            // Same race re-check as `intersect`: first writer wins the entry.
+            if inner.inclusion_memo.contains_key(&key) {
+                inner.stats.op_hits += 1;
+                true
+            } else {
+                inner.stats.op_misses += 1;
+                inner.inclusion_memo.insert(key, result);
+                false
+            }
+        };
+        self.notify(StoreOp::Inclusion, hit);
         result
     }
 
@@ -349,29 +432,42 @@ impl LangStore {
     pub fn minimized(&self, a: &Lang) -> Lang {
         if !self.enabled {
             let result = Lang::new(minimize(a.nfa()));
-            let mut inner = self.inner.lock().expect("store lock");
-            inner.stats.op_misses += 1;
-            inner.stats.states_materialized += result.num_states() as u64;
+            {
+                let mut inner = self.inner.lock().expect("store lock");
+                inner.stats.op_misses += 1;
+                inner.stats.states_materialized += result.num_states() as u64;
+            }
+            self.notify(StoreOp::Minimize, false);
             return result;
         }
         let key = self.key_of(a);
         {
-            let mut inner = self.inner.lock().expect("store lock");
-            if let Some(hit) = inner.minimize_memo.get(&key).cloned() {
-                inner.stats.op_hits += 1;
+            let hit = {
+                let mut inner = self.inner.lock().expect("store lock");
+                inner.minimize_memo.get(&key).cloned().inspect(|_| {
+                    inner.stats.op_hits += 1;
+                })
+            };
+            if let Some(hit) = hit {
+                self.notify(StoreOp::Minimize, true);
                 return hit;
             }
         }
         let result = Lang::new(minimize(a.nfa()));
-        let mut inner = self.inner.lock().expect("store lock");
-        // Same race re-check as `intersect`: first writer wins the entry.
-        if let Some(existing) = inner.minimize_memo.get(&key).cloned() {
-            inner.stats.op_hits += 1;
-            return existing;
-        }
-        inner.stats.op_misses += 1;
-        inner.stats.states_materialized += result.num_states() as u64;
-        inner.minimize_memo.insert(key, result.clone());
+        let (result, hit) = {
+            let mut inner = self.inner.lock().expect("store lock");
+            // Same race re-check as `intersect`: first writer wins the entry.
+            if let Some(existing) = inner.minimize_memo.get(&key).cloned() {
+                inner.stats.op_hits += 1;
+                (existing, true)
+            } else {
+                inner.stats.op_misses += 1;
+                inner.stats.states_materialized += result.num_states() as u64;
+                inner.minimize_memo.insert(key, result.clone());
+                (result, false)
+            }
+        };
+        self.notify(StoreOp::Minimize, hit);
         result
     }
 
@@ -476,6 +572,49 @@ mod tests {
         assert!(!Lang::ptr_eq(&first, &again), "no memo when disabled");
         assert!(equivalent(first.nfa(), again.nfa()));
         assert!(store.is_subset(&a, &a));
+    }
+
+    #[test]
+    fn observer_sees_every_memoized_operation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct Counting {
+            hits: AtomicUsize,
+            misses: AtomicUsize,
+        }
+        impl StoreObserver for Counting {
+            fn memo_event(&self, _op: StoreOp, hit: bool) {
+                if hit {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let store = LangStore::new();
+        let observer = Arc::new(Counting::default());
+        store.set_observer(observer.clone());
+        let a = Lang::new(ab_star());
+        let b = Lang::new(Nfa::length_between(0, 4));
+        store.intersect(&a, &b);
+        store.intersect(&a, &b);
+        let stats = store.stats();
+        // Observer totals match the store's own counters exactly.
+        assert_eq!(
+            observer.hits.load(Ordering::Relaxed) as u64,
+            stats.op_hits + stats.fingerprint_hits
+        );
+        assert_eq!(
+            observer.misses.load(Ordering::Relaxed) as u64,
+            stats.op_misses + stats.fingerprint_misses
+        );
+        // After clearing, operations stop reporting.
+        store.clear_observer();
+        let before =
+            observer.hits.load(Ordering::Relaxed) + observer.misses.load(Ordering::Relaxed);
+        store.minimized(&a);
+        let after = observer.hits.load(Ordering::Relaxed) + observer.misses.load(Ordering::Relaxed);
+        assert_eq!(before, after);
     }
 
     #[test]

@@ -48,6 +48,21 @@ fn main() {
         );
     }
 
+    // Per-phase wall time aggregated over all rows' traced passes
+    // (cumulative: nested spans count toward their ancestors).
+    let mut phase_totals: std::collections::BTreeMap<String, u64> = Default::default();
+    for r in &rows {
+        for p in &r.phases {
+            *phase_totals.entry(p.phase.clone()).or_default() += p.total_us;
+        }
+    }
+    let mut phase_rows: Vec<(String, u64)> = phase_totals.into_iter().collect();
+    phase_rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+    println!("\nPer-phase wall time across all rows (traced pass, cumulative):");
+    for (phase, us) in &phase_rows {
+        println!("  {:<12} {:>10.3} s", phase, *us as f64 / 1e6);
+    }
+
     let violations = fig12_shape_violations(&rows);
     if violations.is_empty() {
         let fast = rows.iter().filter(|r| r.seconds < 1.0).count();

@@ -22,10 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dprle_core::{Solution, SolveOptions};
+use dprle_automata::LangStore;
+use dprle_core::{
+    solve_traced, CollectSink, PhaseRow, Solution, SolveOptions, SolveStats, TraceReport, Tracer,
+};
 use dprle_corpus::{vulnerable_program, VulnSpec, FIG12_ROWS};
 use dprle_lang::symex::SymexOptions;
 use dprle_lang::{explore, to_system, Cfg, Policy};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One measured Figure 12 row.
@@ -43,56 +47,70 @@ pub struct Fig12Row {
     pub c: usize,
     /// Published constraint count.
     pub c_paper: usize,
-    /// Measured constraint-solving time in seconds (`T_S`).
+    /// Measured constraint-solving time in seconds (`T_S`), tracer disabled.
     pub seconds: f64,
+    /// The same workload with a live tracer draining into a null sink —
+    /// recorded next to `seconds` so the disabled-tracer path's zero-cost
+    /// claim is checked on every regeneration of the table.
+    pub traced_seconds: f64,
     /// Published solving time in seconds (2009 hardware).
     pub paper_seconds: f64,
     /// Whether an exploit was found (every row should be `true`).
     pub exploitable: bool,
-    /// Fingerprint-cache hits summed over the row's solver runs.
-    pub fingerprint_hits: usize,
-    /// Fingerprint-cache misses (canonicalizations performed).
-    pub fingerprint_misses: usize,
-    /// Memoized-operation hits (intersection/inclusion/minimize).
-    pub memo_op_hits: usize,
-    /// Deepest worklist across the row's solver runs.
-    pub peak_worklist: usize,
-    /// Total states materialized by store-level operations.
-    pub states_materialized: usize,
+    /// Solver counters aggregated over the row's runs (see
+    /// `SolveStats::absorb`).
+    pub stats: SolveStats,
+    /// Per-phase wall time from the traced pass, hottest first (cumulative:
+    /// nested spans count toward their ancestors).
+    pub phases: Vec<PhaseRow>,
 }
 
 /// Runs one Figure 12 row: generates the program, runs symbolic execution,
 /// and times *constraint solving only* (the paper's `T_S` column measures
-/// "the total time spent solving constraints").
+/// "the total time spent solving constraints"). The solving pass runs
+/// twice — tracer disabled (the `T_S` measurement) and tracer enabled into
+/// a null sink — so the table carries the tracing overhead alongside.
 pub fn run_fig12_row(spec: &VulnSpec, options: &SolveOptions) -> Fig12Row {
     let program = vulnerable_program(spec);
     let fg = Cfg::build(&program).num_blocks();
     let reaches = explore(&program, &SymexOptions::default())
         .unwrap_or_else(|e| panic!("{}: symbolic execution failed: {e}", spec.name));
     let policy = Policy::sql_quote();
+    let systems: Vec<dprle_core::System> = reaches
+        .iter()
+        .map(|reach| to_system(reach, &policy).0)
+        .collect();
+    let c = systems
+        .iter()
+        .map(|s| s.num_constraints())
+        .max()
+        .unwrap_or(0);
     // The vulnerable path is the one that reaches the final sink.
     let mut exploitable = false;
-    let mut c = 0usize;
-    let mut fingerprint_hits = 0usize;
-    let mut fingerprint_misses = 0usize;
-    let mut memo_op_hits = 0usize;
-    let mut peak_worklist = 0usize;
-    let mut states_materialized = 0usize;
+    let mut stats = SolveStats::default();
     let start = Instant::now();
-    for reach in &reaches {
-        let (sys, _) = to_system(reach, &policy);
-        c = c.max(sys.num_constraints());
-        let (solution, stats) = dprle_core::solve_with_stats(&sys, options);
+    for sys in &systems {
+        let store = LangStore::interning(options.interning);
+        let (solution, run_stats) = solve_traced(sys, options, &store, &Tracer::disabled());
         if let Solution::Assignments(_) = solution {
             exploitable = true;
         }
-        fingerprint_hits += stats.fingerprint_hits;
-        fingerprint_misses += stats.fingerprint_misses;
-        memo_op_hits += stats.memo_op_hits;
-        peak_worklist = peak_worklist.max(stats.peak_worklist);
-        states_materialized += stats.states_materialized;
+        stats.absorb(&run_stats);
     }
     let seconds = start.elapsed().as_secs_f64();
+    // Same workload, tracer live: events are collected in memory (the
+    // realistic enabled-tracer cost) and aggregated into per-phase time.
+    let sink = Arc::new(CollectSink::new());
+    let live_tracer = Tracer::new(sink.clone());
+    let start = Instant::now();
+    for sys in &systems {
+        let store = LangStore::interning(options.interning);
+        let _ = solve_traced(sys, options, &store, &live_tracer);
+    }
+    let traced_seconds = start.elapsed().as_secs_f64();
+    let phases = TraceReport::from_events(&sink.take())
+        .map(|r| r.phases)
+        .unwrap_or_default();
     Fig12Row {
         app: spec.app.to_owned(),
         name: spec.name.to_owned(),
@@ -101,13 +119,11 @@ pub fn run_fig12_row(spec: &VulnSpec, options: &SolveOptions) -> Fig12Row {
         c,
         c_paper: spec.c,
         seconds,
+        traced_seconds,
         paper_seconds: spec.paper_seconds,
         exploitable,
-        fingerprint_hits,
-        fingerprint_misses,
-        memo_op_hits,
-        peak_worklist,
-        states_materialized,
+        stats,
+        phases,
     }
 }
 
@@ -158,13 +174,9 @@ pub fn fig12_rows_json(rows: &[Fig12Row]) -> String {
             ("c", r.c.to_string()),
             ("c_paper", r.c_paper.to_string()),
             ("seconds", format!("{:.6}", r.seconds)),
+            ("traced_seconds", format!("{:.6}", r.traced_seconds)),
             ("paper_seconds", format!("{:.3}", r.paper_seconds)),
             ("exploitable", r.exploitable.to_string()),
-            ("fingerprint_hits", r.fingerprint_hits.to_string()),
-            ("fingerprint_misses", r.fingerprint_misses.to_string()),
-            ("memo_op_hits", r.memo_op_hits.to_string()),
-            ("peak_worklist", r.peak_worklist.to_string()),
-            ("states_materialized", r.states_materialized.to_string()),
         ];
         for (j, (k, v)) in fields.iter().enumerate() {
             if j > 0 {
@@ -172,6 +184,31 @@ pub fn fig12_rows_json(rows: &[Fig12Row]) -> String {
             }
             out.push_str(&format!("\n    {}: {}", json_string(k), v));
         }
+        // The solver counters come straight from `SolveStats::counter_fields`
+        // so the benchmark contract and the CLI's `--stats` output can never
+        // drift apart.
+        out.push_str(",\n    \"stats\": {");
+        let counters = r.stats.counter_fields();
+        for (j, (k, v)) in counters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n      {}: {}", json_string(k), v));
+        }
+        out.push_str("\n    }");
+        // Per-phase wall time (µs) of the traced pass, hottest first.
+        out.push_str(",\n    \"phases\": {");
+        for (j, p) in r.phases.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n      {}: {}",
+                json_string(&p.phase),
+                p.total_us
+            ));
+        }
+        out.push_str("\n    }");
         out.push_str("\n  }");
     }
     out.push_str("\n]\n");
@@ -345,13 +382,11 @@ mod tests {
             c: 5,
             c_paper: 5,
             seconds: 0.01,
+            traced_seconds: 0.012,
             paper_seconds: 0.01,
             exploitable: true,
-            fingerprint_hits: 10,
-            fingerprint_misses: 5,
-            memo_op_hits: 3,
-            peak_worklist: 2,
-            states_materialized: 40,
+            stats: SolveStats::default(),
+            phases: Vec::new(),
         };
         assert!(fig12_shape_violations(std::slice::from_ref(&good)).is_empty());
         let mut bad = good;
@@ -359,6 +394,62 @@ mod tests {
         bad.c = 4;
         let violations = fig12_shape_violations(&[bad]);
         assert_eq!(violations.len(), 2);
+    }
+
+    #[test]
+    fn rows_json_carries_timings_and_the_shared_counter_schema() {
+        let row = Fig12Row {
+            app: "x".into(),
+            name: "row".into(),
+            fg: 100,
+            fg_paper: 100,
+            c: 5,
+            c_paper: 5,
+            seconds: 0.01,
+            traced_seconds: 0.012,
+            paper_seconds: 0.01,
+            exploitable: true,
+            stats: SolveStats {
+                groups: 2,
+                fingerprint_hits: 7,
+                ..SolveStats::default()
+            },
+            phases: vec![PhaseRow {
+                phase: "gci".into(),
+                count: 3,
+                total_us: 1234,
+            }],
+        };
+        let json = fig12_rows_json(std::slice::from_ref(&row));
+        assert!(json.contains("\"seconds\": 0.010000"), "{json}");
+        assert!(json.contains("\"traced_seconds\": 0.012000"), "{json}");
+        // Every counter SolveStats exposes appears under "stats".
+        for (name, _) in row.stats.counter_fields() {
+            assert!(json.contains(&format!("\"{name}\":")), "{name}: {json}");
+        }
+        assert!(json.contains("\"fingerprint-hits\": 7"), "{json}");
+        assert!(json.contains("\"phases\": {"), "{json}");
+        assert!(json.contains("\"gci\": 1234"), "{json}");
+    }
+
+    #[test]
+    fn disabled_tracer_overhead_is_within_noise() {
+        // The tracer is threaded through every solver phase; when disabled
+        // it must cost nothing but a branch. Compare min-of-3 timings of the
+        // same fast row with the tracer off vs on (null sink): the disabled
+        // path may not be meaningfully slower than the enabled one.
+        let options = SolveOptions::default();
+        let spec = &FIG12_ROWS[1];
+        let (mut min_off, mut min_on) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            let row = run_fig12_row(spec, &options);
+            min_off = min_off.min(row.seconds);
+            min_on = min_on.min(row.traced_seconds);
+        }
+        assert!(
+            min_off <= min_on * 1.5 + 0.05,
+            "disabled tracer slower than enabled: {min_off}s off vs {min_on}s on"
+        );
     }
 
     #[test]

@@ -2,30 +2,45 @@
 //!
 //! ```text
 //! dprle [OPTIONS] FILE
+//! dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
 //!
 //! `FILE` may be in the native constraint format (see `dprle_cli` docs) or
 //! an SMT-LIB 2.6 strings script (`.smt2` extension — see
 //! `dprle_cli::smtlib` for the supported fragment).
 //!
 //! Options:
-//!   --first          stop at the first satisfying assignment
-//!   --all            print every disjunctive assignment (default)
-//!   --witness        print one shortest witness string per variable
-//!   --dot-graph      print the dependency graph in DOT and exit
-//!   --dot-var NAME   print the solved machine for NAME in DOT
-//!   --no-verify      skip re-verification of produced assignments
-//!   --core           on unsat, print a minimal unsatisfiable core
-//!   --trace          print the solver's event trace to stderr
-//!   --stats          print solver counters (cache hits, worklist depth)
-//!   --no-interning   disable language interning/memoization (ablation)
-//!   -h, --help       this message
+//!   --first            stop at the first satisfying assignment
+//!   --all              print every disjunctive assignment (default)
+//!   --witness          print one shortest witness string per variable
+//!   --dot-graph        print the dependency graph in DOT and exit
+//!   --dot-var NAME     print the solved machine for NAME in DOT
+//!   --no-verify        skip re-verification of produced assignments
+//!   --core             on unsat, print a minimal unsatisfiable core
+//!   --trace            print the solver's event trace to stderr
+//!   --trace=summary    print a per-phase time table after solving
+//!   --trace-out FILE   write the structured event journal as JSONL
+//!   --trace-dot FILE   write the provenance-annotated dependency graph
+//!   --stats            print solver counters (cache hits, worklist depth)
+//!   --no-interning     disable language interning/memoization (ablation)
+//!   -h, --help         this message
 //! ```
+//!
+//! The `trace-report` subcommand re-reads a `--trace-out` journal offline
+//! and prints the same per-phase summary (optionally validating every line
+//! against a JSON schema first).
 
 use dprle_cli::parse_file;
-use dprle_core::{Solution, SolveOptions};
+use dprle_core::{
+    provenance_dot, solve_traced, solver_graph, validate_jsonl, CollectSink, JsonlSink, Solution,
+    SolveOptions, SolveStats, System, TeeSink, TraceReport, TraceSink, Tracer,
+};
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--stats] [--no-interning] FILE
+const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--no-interning] FILE
+       dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
   solves a system of subset constraints over regular languages
   (see the dprle-cli crate docs for the input format)";
 
@@ -37,6 +52,9 @@ struct Args {
     dot_var: Option<String>,
     verify: bool,
     trace: bool,
+    trace_summary: bool,
+    trace_out: Option<String>,
+    trace_dot: Option<String>,
     core: bool,
     stats: bool,
     interning: bool,
@@ -51,6 +69,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         dot_var: None,
         verify: true,
         trace: false,
+        trace_summary: false,
+        trace_out: None,
+        trace_dot: None,
         core: false,
         stats: false,
         interning: true,
@@ -64,6 +85,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--dot-graph" => args.dot_graph = true,
             "--no-verify" => args.verify = false,
             "--trace" => args.trace = true,
+            "--trace=summary" => args.trace_summary = true,
+            "--trace-out" => {
+                i += 1;
+                let path = argv.get(i).ok_or("--trace-out needs a file")?;
+                args.trace_out = Some(path.clone());
+            }
+            "--trace-dot" => {
+                i += 1;
+                let path = argv.get(i).ok_or("--trace-dot needs a file")?;
+                args.trace_dot = Some(path.clone());
+            }
             "--core" => args.core = true,
             "--stats" => args.stats = true,
             "--no-interning" => args.interning = false,
@@ -91,8 +123,165 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
+/// The tracer plus handles to its sinks: the collector backs `--trace=summary`
+/// and `--trace-dot` (both need the events after the solve), the JSONL sink
+/// backs `--trace-out` and is kept typed so deferred write errors surface at
+/// the final flush.
+struct TraceSetup {
+    tracer: Tracer,
+    collect: Option<Arc<CollectSink>>,
+    jsonl: Option<Arc<JsonlSink<BufWriter<File>>>>,
+}
+
+impl TraceSetup {
+    fn from_args(args: &Args) -> Result<TraceSetup, String> {
+        let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+        let collect = if args.trace_summary || args.trace_dot.is_some() {
+            let sink = Arc::new(CollectSink::new());
+            sinks.push(sink.clone());
+            Some(sink)
+        } else {
+            None
+        };
+        let jsonl = match &args.trace_out {
+            Some(path) => {
+                let file =
+                    File::create(path).map_err(|e| format!("dprle: cannot write {path}: {e}"))?;
+                let sink = Arc::new(JsonlSink::new(BufWriter::new(file)));
+                sinks.push(sink.clone());
+                Some(sink)
+            }
+            None => None,
+        };
+        let tracer = match sinks.len() {
+            0 => Tracer::disabled(),
+            1 => Tracer::new(sinks.pop().expect("one sink")),
+            _ => Tracer::new(Arc::new(TeeSink(sinks))),
+        };
+        Ok(TraceSetup {
+            tracer,
+            collect,
+            jsonl,
+        })
+    }
+
+    /// Flushes the journal and renders the summary / provenance outputs.
+    /// Returns an error message if any file write failed.
+    fn finish(&self, args: &Args, system: &System) -> Result<(), String> {
+        if let Some(jsonl) = &self.jsonl {
+            jsonl
+                .flush()
+                .map_err(|e| format!("dprle: writing trace journal: {e}"))?;
+        }
+        let Some(collect) = &self.collect else {
+            return Ok(());
+        };
+        let events = collect.snapshot();
+        if args.trace_summary {
+            match TraceReport::from_events(&events) {
+                Ok(report) => eprint!("{}", report.render()),
+                Err(e) => return Err(format!("dprle: trace summary: {e}")),
+            }
+        }
+        if let Some(path) = &args.trace_dot {
+            let dot = provenance_dot(&solver_graph(system), system, &events);
+            std::fs::write(path, dot).map_err(|e| format!("dprle: cannot write {path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+fn print_stats(stats: &SolveStats) {
+    for line in stats.to_string().lines() {
+        eprintln!("stats: {line}");
+    }
+}
+
+fn trace_report_main(argv: &[String]) -> ExitCode {
+    let mut schema_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--check-schema" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => schema_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--check-schema needs a file\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            other => {
+                if trace_path.is_some() {
+                    eprintln!("multiple trace files\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                trace_path = Some(other.to_owned());
+            }
+        }
+        i += 1;
+    }
+    let Some(trace_path) = trace_path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let jsonl = match std::fs::read_to_string(&trace_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dprle: cannot read {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(schema_path) = schema_path {
+        let schema = match std::fs::read_to_string(&schema_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("dprle: cannot read {schema_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match validate_jsonl(&schema, &jsonl) {
+            Ok(n) => println!("schema: {n} events valid"),
+            Err(e) => {
+                eprintln!("dprle: schema violation: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let events = match dprle_core::parse_jsonl(&jsonl) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("dprle: {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match TraceReport::from_events(&events) {
+        Ok(report) => {
+            print!("{}", report.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dprle: {trace_path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("trace-report") {
+        return trace_report_main(&argv[1..]);
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {
@@ -107,19 +296,42 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let setup = match TraceSetup::from_args(&args) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let options = SolveOptions {
+        max_assignments: if args.first { Some(1) } else { None },
+        verify: args.verify,
+        trace: args.trace,
+        interning: args.interning,
+        ..Default::default()
+    };
     if args.file.ends_with(".smt2") {
-        return match dprle_cli::smtlib::run_script(&input) {
-            Ok(outputs) => {
-                for o in outputs {
-                    println!("{o}");
-                }
-                ExitCode::SUCCESS
-            }
+        let run = match dprle_cli::smtlib::run_script_with_stats(&input, &options, &setup.tracer) {
+            Ok(run) => run,
             Err(e) => {
                 eprintln!("dprle: {}: {e}", args.file);
-                ExitCode::from(2)
+                return ExitCode::from(2);
             }
         };
+        for event in &run.stats.events {
+            eprintln!("trace: {event}");
+        }
+        if args.stats {
+            print_stats(&run.stats);
+        }
+        if let Err(msg) = setup.finish(&args, &run.system) {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+        for o in run.outputs {
+            println!("{o}");
+        }
+        return ExitCode::SUCCESS;
     }
     let parsed = match parse_file(&input) {
         Ok(p) => p,
@@ -136,29 +348,19 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let options = SolveOptions {
-        max_assignments: if args.first { Some(1) } else { None },
-        verify: args.verify,
-        trace: args.trace,
-        interning: args.interning,
-        ..Default::default()
-    };
-    let (solution, stats) = dprle_core::solve_with_stats(&system, &options);
+    let store = dprle_automata::LangStore::interning(options.interning);
+    let (solution, stats) = solve_traced(&system, &options, &store, &setup.tracer);
     for event in &stats.events {
         eprintln!("trace: {event}");
     }
+    // Stats are printed on every exit path — sat, unsat, and early-unsat —
+    // before the solution is inspected, so `--stats` never goes silent.
     if args.stats {
-        eprintln!("stats: ci-groups             {}", stats.groups);
-        eprintln!("stats: group disjuncts       {}", stats.group_disjuncts);
-        eprintln!("stats: branches completed    {}", stats.branches_completed);
-        eprintln!("stats: branches filtered     {}", stats.branches_filtered);
-        eprintln!("stats: peak worklist depth   {}", stats.peak_worklist);
-        eprintln!("stats: max leaf states       {}", stats.max_leaf_states);
-        eprintln!("stats: fingerprint hits      {}", stats.fingerprint_hits);
-        eprintln!("stats: fingerprint misses    {}", stats.fingerprint_misses);
-        eprintln!("stats: memoized-op hits      {}", stats.memo_op_hits);
-        eprintln!("stats: memoized-op misses    {}", stats.memo_op_misses);
-        eprintln!("stats: states materialized   {}", stats.states_materialized);
+        print_stats(&stats);
+    }
+    if let Err(msg) = setup.finish(&args, &system) {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
     }
     match solution {
         Solution::Unsat => {

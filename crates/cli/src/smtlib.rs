@@ -25,8 +25,8 @@
 //! The fragment is exactly the decidable theory the paper treats: no
 //! length arithmetic, no `str.replace`, no word equations.
 
-use dprle_automata::{analysis, complement, ops, ByteClass, Nfa};
-use dprle_core::{solve, Expr, Solution, SolveOptions, System};
+use dprle_automata::{analysis, complement, ops, ByteClass, LangStore, Nfa};
+use dprle_core::{solve_traced, Expr, Solution, SolveOptions, SolveStats, System, Tracer};
 use std::fmt;
 
 /// A positioned SMT-LIB front-end error.
@@ -72,22 +72,62 @@ impl fmt::Display for SmtOutput {
     }
 }
 
+/// The result of executing a script with [`run_script_with_stats`]: the
+/// printable outputs plus the aggregated solver statistics and the final
+/// constraint system (for post-run reporting such as the provenance DOT
+/// export).
+#[derive(Debug)]
+pub struct ScriptRun {
+    /// One entry per output-producing command, in script order.
+    pub outputs: Vec<SmtOutput>,
+    /// Solver counters summed over every `(check-sat)` in the script
+    /// (high-water marks are maxima — see `SolveStats::absorb`).
+    pub stats: SolveStats,
+    /// The system as of the end of the script.
+    pub system: System,
+}
+
 /// Parses and executes an SMT-LIB strings script.
 ///
 /// # Errors
 ///
 /// Returns the first syntax or translation error with its byte position.
 pub fn run_script(input: &str) -> Result<Vec<SmtOutput>, SmtError> {
+    run_script_with_stats(input, &SolveOptions::default(), &Tracer::disabled())
+        .map(|run| run.outputs)
+}
+
+/// Like [`run_script`], with explicit solver options, a tracer threaded
+/// into every `(check-sat)`, and aggregated statistics in the result. All
+/// checks share one [`LangStore`], so later check-sats reuse earlier
+/// fingerprints and memoized operations.
+///
+/// # Errors
+///
+/// Returns the first syntax or translation error with its byte position.
+pub fn run_script_with_stats(
+    input: &str,
+    options: &SolveOptions,
+    tracer: &Tracer,
+) -> Result<ScriptRun, SmtError> {
     let sexprs = parse_sexprs(input)?;
     let mut engine = Engine {
         system: System::new(),
         outputs: Vec::new(),
         model: None,
+        options: options.clone(),
+        store: LangStore::interning(options.interning),
+        tracer: tracer.clone(),
+        stats: SolveStats::default(),
     };
     for sexpr in &sexprs {
         engine.command(sexpr)?;
     }
-    Ok(engine.outputs)
+    Ok(ScriptRun {
+        outputs: engine.outputs,
+        stats: engine.stats,
+        system: engine.system,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -222,6 +262,13 @@ struct Engine {
     outputs: Vec<SmtOutput>,
     /// Last check-sat model, for get-model.
     model: Option<Option<dprle_core::Assignment>>,
+    options: SolveOptions,
+    /// Shared across the script's check-sats: fingerprints and memoized
+    /// operations computed for the common prefix are cache hits later.
+    store: LangStore,
+    tracer: Tracer,
+    /// Aggregated over every check-sat (see `SolveStats::absorb`).
+    stats: SolveStats,
 }
 
 impl Engine {
@@ -268,7 +315,9 @@ impl Engine {
                 self.assert(body)
             }
             "check-sat" => {
-                let solution = solve(&self.system, &SolveOptions::default());
+                let (solution, stats) =
+                    solve_traced(&self.system, &self.options, &self.store, &self.tracer);
+                self.stats.absorb(&stats);
                 let sat = solution.is_sat();
                 self.model = Some(match solution {
                     Solution::Assignments(mut list) => Some(list.remove(0)),

@@ -188,6 +188,155 @@ fn solver_prints_unsat_core() {
     assert!(!stdout.contains("w <= ok"), "{stdout}");
 }
 
+fn repo_schema_path() -> String {
+    format!(
+        "{}/../../docs/trace.schema.json",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn trace_out_journal_is_schema_valid_and_counts_disjuncts() {
+    let file = temp_file("trace_out.dprle", MOTIVATING);
+    let journal = std::env::temp_dir().join("dprle_cli_test_trace_out.jsonl");
+    let out = dprle(&[
+        "--trace-out",
+        journal.to_str().expect("utf8"),
+        file.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let reported: usize = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("sat: "))
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("sat line")
+        .parse()
+        .expect("assignment count");
+    let jsonl = std::fs::read_to_string(&journal).expect("journal written");
+    let valid = dprle_core::validate_jsonl(dprle_core::TRACE_SCHEMA, &jsonl).expect("schema-valid");
+    assert!(valid > 0, "journal is non-empty");
+    let disjuncts = jsonl
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"GciDisjunct\""))
+        .count();
+    assert_eq!(
+        disjuncts, reported,
+        "one GciDisjunct event per reported disjunctive assignment\n{jsonl}"
+    );
+}
+
+#[test]
+fn trace_report_prints_phase_table_and_checks_schema() {
+    let file = temp_file("trace_report.dprle", MOTIVATING);
+    let journal = std::env::temp_dir().join("dprle_cli_test_trace_report.jsonl");
+    let out = dprle(&[
+        "--trace-out",
+        journal.to_str().expect("utf8"),
+        file.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success());
+    let schema = repo_schema_path();
+    let out = dprle(&[
+        "trace-report",
+        "--check-schema",
+        &schema,
+        journal.to_str().expect("utf8"),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("events valid"), "{stdout}");
+    assert!(stdout.contains("per-phase wall time"), "{stdout}");
+    for phase in ["solve", "reduce", "gci"] {
+        assert!(stdout.contains(phase), "phase {phase} missing: {stdout}");
+    }
+}
+
+#[test]
+fn trace_report_rejects_journals_that_violate_the_schema() {
+    let bogus = temp_file(
+        "bogus_trace.jsonl",
+        "{\"seq\":0,\"ts_us\":1,\"kind\":\"NotARealEvent\"}\n",
+    );
+    let schema = repo_schema_path();
+    let out = dprle(&[
+        "trace-report",
+        "--check-schema",
+        &schema,
+        bogus.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema violation"));
+}
+
+#[test]
+fn trace_summary_prints_phase_table_to_stderr() {
+    let file = temp_file("trace_summary.dprle", MOTIVATING);
+    let out = dprle(&["--trace=summary", file.to_str().expect("utf8 path")]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trace: per-phase wall time"), "{stderr}");
+    assert!(stderr.contains("memo cache:"), "{stderr}");
+}
+
+#[test]
+fn trace_dot_writes_provenance_graph() {
+    let file = temp_file("trace_dot.dprle", MOTIVATING);
+    let dot_path = std::env::temp_dir().join("dprle_cli_test_provenance.dot");
+    let out = dprle(&[
+        "--trace-dot",
+        dot_path.to_str().expect("utf8"),
+        file.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success());
+    let dot = std::fs::read_to_string(&dot_path).expect("dot written");
+    assert!(dot.starts_with("digraph solver_provenance"), "{dot}");
+    assert!(dot.contains("visit(s)"), "{dot}");
+}
+
+#[test]
+fn stats_are_printed_even_when_unsat() {
+    let file = temp_file(
+        "unsat_stats.dprle",
+        "var v;\na := /a/;\nb := /b/;\nv <= a;\nv <= b;\n",
+    );
+    let out = dprle(&["--stats", file.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stats: groups: 0"), "{stderr}");
+    assert!(stderr.contains("stats: branches-filtered: 1"), "{stderr}");
+}
+
+#[test]
+fn stats_and_tracing_work_for_smtlib_scripts() {
+    let file = temp_file("stats.smt2", MOTIVATING_SMT);
+    let journal = std::env::temp_dir().join("dprle_cli_test_smt_trace.jsonl");
+    let out = dprle(&[
+        "--stats",
+        "--trace-out",
+        journal.to_str().expect("utf8"),
+        file.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stats: groups:"), "{stderr}");
+    let jsonl = std::fs::read_to_string(&journal).expect("journal written");
+    dprle_core::validate_jsonl(dprle_core::TRACE_SCHEMA, &jsonl).expect("schema-valid");
+    assert!(jsonl.contains("\"kind\":\"SolveStart\""), "{jsonl}");
+}
+
 #[test]
 fn analyzer_unroll_bound_controls_loop_findings() {
     let file = temp_file(

@@ -41,8 +41,10 @@
 
 use crate::graph::{CiGroup, ConcatEdgePair, DependencyGraph, NodeId, NodeKind};
 use crate::spec::System;
+use crate::trace::{TraceEventKind, Tracer};
 use dprle_automata::{ops, CanonicalKey, Lang, LangStore, Nfa, StateId};
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Options controlling group solving.
@@ -89,6 +91,12 @@ pub type GroupSolution = BTreeMap<NodeId, Lang>;
 ///
 /// An empty return value means the group is unsatisfiable (some root's
 /// intersection machine is empty, or every combination was rejected).
+///
+/// When `tracer` is enabled the call is bracketed by `CiGroupStart` /
+/// `CiGroupEnd` events and every returned solution is reported as a
+/// `GciDisjunct` (so the event count equals the disjunct count the solver
+/// branches on), carrying the group's bridge count, the solution's total
+/// leaf states, and a hash of its canonical language fingerprints.
 pub fn solve_group(
     graph: &DependencyGraph,
     group: &CiGroup,
@@ -96,6 +104,46 @@ pub fn solve_group(
     leaf_machines: &BTreeMap<NodeId, Lang>,
     options: &GciOptions,
     store: &LangStore,
+    tracer: &Tracer,
+) -> Vec<GroupSolution> {
+    tracer.emit(|| TraceEventKind::CiGroupStart {
+        group: group.index,
+        nodes: group.nodes.iter().map(|n| n.index() as u32).collect(),
+        bridges: group.num_bridges(),
+    });
+    let solutions = solve_group_inner(graph, group, system, leaf_machines, options, store, tracer);
+    if tracer.is_enabled() {
+        for sol in &solutions {
+            let states: usize = sol.values().map(Lang::num_states).sum();
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            for (node, lang) in sol {
+                node.index().hash(&mut hasher);
+                store.key_of(lang).hash(&mut hasher);
+            }
+            let fingerprint = hasher.finish();
+            tracer.emit(|| TraceEventKind::GciDisjunct {
+                group: group.index,
+                bridge_eps: group.num_bridges(),
+                states,
+                fingerprint,
+            });
+        }
+    }
+    tracer.emit(|| TraceEventKind::CiGroupEnd {
+        group: group.index,
+        disjuncts: solutions.len(),
+    });
+    solutions
+}
+
+fn solve_group_inner(
+    graph: &DependencyGraph,
+    group: &CiGroup,
+    system: &System,
+    leaf_machines: &BTreeMap<NodeId, Lang>,
+    options: &GciOptions,
+    store: &LangStore,
+    tracer: &Tracer,
 ) -> Vec<GroupSolution> {
     let builder = GroupBuilder {
         graph,
@@ -109,17 +157,20 @@ pub fn solve_group(
 
     // Enumerate per-root candidate solutions (choices of bridge edges).
     let mut per_root: Vec<Vec<RootSolution>> = Vec::with_capacity(roots.len());
-    for root in &roots {
-        let candidates = enumerate_root(
-            root,
-            options.max_disjuncts,
-            options.minimize_solutions,
-            store,
-        );
-        if candidates.is_empty() {
-            return Vec::new();
+    {
+        let _enumerate_span = tracer.span("enumerate", None, Some(group.index));
+        for root in &roots {
+            let candidates = enumerate_root(
+                root,
+                options.max_disjuncts,
+                options.minimize_solutions,
+                store,
+            );
+            if candidates.is_empty() {
+                return Vec::new();
+            }
+            per_root.push(candidates);
         }
-        per_root.push(candidates);
     }
 
     // Cartesian product across roots, merging shared leaves by
@@ -168,6 +219,7 @@ pub fn solve_group(
             .iter()
             .filter_map(|(n, c)| (*c == 1).then_some(*n))
             .collect();
+        let _minimize_span = tracer.span("minimize", None, Some(group.index));
         solutions = minimize(solutions, &linear, store);
     }
     solutions
@@ -634,6 +686,7 @@ mod tests {
             &leaf_machines,
             &GciOptions::default(),
             &store,
+            &Tracer::disabled(),
         )
     }
 

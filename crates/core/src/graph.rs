@@ -218,7 +218,10 @@ impl DependencyGraph {
                 Some(gi) => gi,
                 None => {
                     root_of_group.push(root);
-                    groups.push(CiGroup::default());
+                    groups.push(CiGroup {
+                        index: groups.len(),
+                        ..CiGroup::default()
+                    });
                     groups.len() - 1
                 }
             };
@@ -273,10 +276,22 @@ impl DependencyGraph {
 /// One CI-group: a connected component of ∘-edges.
 #[derive(Clone, Debug, Default)]
 pub struct CiGroup {
+    /// Position of this group in [`DependencyGraph::ci_groups`]'s return
+    /// value (the group id trace events report).
+    pub index: usize,
     /// Indices into [`DependencyGraph::concat_edges`].
     pub edge_indices: Vec<usize>,
     /// All vertices touched by the group's edges.
     pub nodes: BTreeSet<NodeId>,
+}
+
+impl CiGroup {
+    /// The number of ε-bridges the group's machines contain: one per
+    /// ∘-edge (each concatenation welds its operands with exactly one
+    /// bridge — see `gci::concat_builds`).
+    pub fn num_bridges(&self) -> usize {
+        self.edge_indices.len()
+    }
 }
 
 #[cfg(test)]

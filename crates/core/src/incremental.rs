@@ -15,8 +15,9 @@
 //! prefix are cache hits in every later `check`.
 
 use crate::solution::Solution;
-use crate::solve::{solve_with_store, SolveOptions, SolveStats};
+use crate::solve::{solve_traced, SolveOptions, SolveStats};
 use crate::spec::{ConstId, Expr, System, VarId};
+use crate::trace::{TraceEventKind, Tracer};
 use dprle_automata::LangStore;
 use std::sync::Arc;
 
@@ -52,6 +53,9 @@ pub struct Solver {
     /// Shared across every `check` (and across clones of the solver):
     /// fingerprints and memoized operations persist over push/pop.
     store: Arc<LangStore>,
+    /// Disabled by default; [`Solver::set_tracer`] turns the solver's
+    /// push/pop/check lifecycle and every check's solve into trace events.
+    tracer: Tracer,
 }
 
 impl Solver {
@@ -68,7 +72,22 @@ impl Solver {
             scopes: Vec::new(),
             options,
             store,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer: `push`/`pop` emit `IncrementalPush`/`Pop`
+    /// events, and each `check` emits `IncrementalCheck` followed by the
+    /// full solver trace of that check (all sharing the tracer's clock and
+    /// sequence numbers, so a multi-check session journals as one stream).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The currently installed tracer (disabled unless
+    /// [`Solver::set_tracer`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Declares (or re-fetches) a string variable.
@@ -117,6 +136,9 @@ impl Solver {
     /// the matching [`Solver::pop`].
     pub fn push(&mut self) {
         self.scopes.push(self.system.num_constraints());
+        self.tracer.emit(|| TraceEventKind::IncrementalPush {
+            depth: self.scopes.len(),
+        });
     }
 
     /// Closes the innermost scope, retracting its constraints.
@@ -127,6 +149,9 @@ impl Solver {
     pub fn pop(&mut self) {
         let mark = self.scopes.pop().expect("pop without matching push");
         self.system.truncate_constraints(mark);
+        self.tracer.emit(|| TraceEventKind::IncrementalPop {
+            depth: self.scopes.len(),
+        });
     }
 
     /// The number of currently open scopes.
@@ -148,7 +173,10 @@ impl Solver {
     /// (cache hits accumulate across checks through the shared store, but
     /// the returned stats are per-call deltas).
     pub fn check_with_stats(&self) -> (Solution, SolveStats) {
-        solve_with_store(&self.system, &self.options, &self.store)
+        self.tracer.emit(|| TraceEventKind::IncrementalCheck {
+            assertions: self.system.num_constraints(),
+        });
+        solve_traced(&self.system, &self.options, &self.store, &self.tracer)
     }
 
     /// Borrows the underlying system (e.g. for witness name lookups).
@@ -267,6 +295,42 @@ mod tests {
     #[should_panic(expected = "pop without matching push")]
     fn unbalanced_pop_panics() {
         Solver::new().pop();
+    }
+
+    #[test]
+    fn tracer_journals_the_push_pop_check_lifecycle() {
+        use crate::trace::{check_well_nested, CollectSink, TraceEventKind, Tracer};
+
+        let sink = std::sync::Arc::new(CollectSink::new());
+        let mut solver = Solver::new();
+        solver.set_tracer(Tracer::new(sink.clone()));
+        let v = solver.declare("v");
+        let a = solver.constant("a", Nfa::literal(b"a"));
+        solver.assert(Expr::Var(v), a);
+        assert!(solver.check().is_sat());
+        solver.push();
+        let b = solver.constant("b", Nfa::literal(b"b"));
+        solver.assert(Expr::Var(v), b);
+        assert!(!solver.check().is_sat());
+        solver.pop();
+
+        let events = sink.take();
+        check_well_nested(&events).expect("nested spans");
+        let count = |name: &str| events.iter().filter(|e| e.kind.kind_name() == name).count();
+        assert_eq!(count("IncrementalPush"), 1);
+        assert_eq!(count("IncrementalPop"), 1);
+        assert_eq!(count("IncrementalCheck"), 2);
+        assert_eq!(count("SolveStart"), 2);
+        assert!(count("MemoMiss") > 0, "store observer wired through checks");
+        // The check inside the scope sees two assertions.
+        let depths: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::IncrementalCheck { assertions } => Some(assertions),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(depths, vec![1, 2]);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod incremental;
 pub mod solution;
 pub mod solve;
 pub mod spec;
+pub mod trace;
 pub mod unsat_core;
 
 pub use bounded::{solve_bounded, BoundedOptions, BoundedSolution};
@@ -67,8 +68,13 @@ pub use graph::{DependencyGraph, NodeId, NodeKind};
 pub use incremental::Solver;
 pub use solution::{Assignment, Solution};
 pub use solve::{
-    satisfies_system, solve, solve_first, solve_with_stats, solve_with_store, SolveOptions,
-    SolveStats,
+    satisfies_system, solve, solve_first, solve_traced, solve_with_stats, solve_with_store,
+    solver_graph, SolveOptions, SolveStats,
 };
 pub use spec::{ConstId, Constraint, Expr, System, VarId};
-pub use unsat_core::{unsat_core, UnsatCore};
+pub use trace::{
+    check_well_nested, parse_jsonl, provenance_dot, validate_jsonl, CollectSink, JsonlSink,
+    NullSink, PhaseRow, SpanGuard, TeeSink, TraceEvent, TraceEventKind, TraceReport, TraceSink,
+    Tracer, TracerStoreObserver, TRACE_SCHEMA,
+};
+pub use unsat_core::{unsat_core, unsat_core_traced, UnsatCore};

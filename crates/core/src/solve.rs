@@ -31,8 +31,11 @@ use crate::gci::{solve_group, GciOptions};
 use crate::graph::{DependencyGraph, NodeId, NodeKind};
 use crate::solution::{Assignment, Solution};
 use crate::spec::{Constraint, Expr, System, VarId};
+use crate::trace::{TraceEventKind, Tracer, TracerStoreObserver};
 use dprle_automata::{is_subset, ops, Lang, LangStore, Nfa};
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
 
 /// Options controlling the solver.
 #[derive(Clone, Debug)]
@@ -100,6 +103,7 @@ impl Default for SolveOptions {
 /// paper reasons about costs in machine sizes and solution counts; these
 /// counters expose the same quantities).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[must_use = "solver statistics are the point of the *_with_stats entry points"]
 pub struct SolveStats {
     /// Number of CI-groups the dependency graph contained.
     pub groups: usize,
@@ -136,6 +140,57 @@ impl SolveStats {
     /// cache exists to bound (each miss is one canonicalization).
     pub fn minimizations(&self) -> usize {
         self.fingerprint_misses
+    }
+
+    /// Every numeric counter as a `(name, value)` row, in display order.
+    /// The single source of truth for stats reporting: the CLI's `--stats`
+    /// output, the [`Display`](fmt::Display) impl, and the bench JSON all
+    /// iterate this instead of hand-copying fields.
+    pub fn counter_fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("groups", self.groups as u64),
+            ("group-disjuncts", self.group_disjuncts as u64),
+            ("branches-completed", self.branches_completed as u64),
+            ("branches-filtered", self.branches_filtered as u64),
+            ("max-leaf-states", self.max_leaf_states as u64),
+            ("fingerprint-hits", self.fingerprint_hits as u64),
+            ("fingerprint-misses", self.fingerprint_misses as u64),
+            ("memo-op-hits", self.memo_op_hits as u64),
+            ("memo-op-misses", self.memo_op_misses as u64),
+            ("peak-worklist", self.peak_worklist as u64),
+            ("states-materialized", self.states_materialized as u64),
+        ]
+    }
+
+    /// Accumulates another run's counters into this one (summing totals,
+    /// taking the max of the high-water marks, appending events) — for
+    /// aggregating across the check-sats of one SMT script or the repeats
+    /// of one benchmark row.
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.groups += other.groups;
+        self.group_disjuncts += other.group_disjuncts;
+        self.branches_completed += other.branches_completed;
+        self.branches_filtered += other.branches_filtered;
+        self.max_leaf_states = self.max_leaf_states.max(other.max_leaf_states);
+        self.fingerprint_hits += other.fingerprint_hits;
+        self.fingerprint_misses += other.fingerprint_misses;
+        self.memo_op_hits += other.memo_op_hits;
+        self.memo_op_misses += other.memo_op_misses;
+        self.peak_worklist = self.peak_worklist.max(other.peak_worklist);
+        self.states_materialized += other.states_materialized;
+        self.events.extend(other.events.iter().cloned());
+    }
+}
+
+impl fmt::Display for SolveStats {
+    /// One `name: value` line per counter, in [`SolveStats::counter_fields`]
+    /// order (callers wanting a prefix — the CLI's `stats: ` — prepend it
+    /// per line).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.counter_fields() {
+            writeln!(f, "{name}: {value}")?;
+        }
+        Ok(())
     }
 }
 
@@ -180,15 +235,37 @@ pub fn solve_with_store(
     options: &SolveOptions,
     store: &LangStore,
 ) -> (Solution, SolveStats) {
+    solve_traced(system, options, store, &Tracer::disabled())
+}
+
+/// Like [`solve_with_store`], additionally recording a structured event
+/// trace of the run (phase spans, reduce steps, CI-group disjuncts,
+/// worklist decisions — see the [`trace`](crate::trace) module). While the
+/// run lasts, the tracer is installed as the store's observer so memo-cache
+/// outcomes appear as `MemoHit`/`MemoMiss` events. A disabled tracer makes
+/// this identical to [`solve_with_store`]: no event is ever constructed.
+pub fn solve_traced(
+    system: &System,
+    options: &SolveOptions,
+    store: &LangStore,
+    tracer: &Tracer,
+) -> (Solution, SolveStats) {
+    let observing = tracer.is_enabled();
+    if observing {
+        store.set_observer(Arc::new(TracerStoreObserver(tracer.clone())));
+    }
     let before = store.stats();
     let (solution, mut stats) = if options.strip_constant_operands {
         let (stripped, constraints) = strip_constant_operands(system);
-        solve_prepared(&stripped, &constraints, options, system, store)
+        solve_prepared(&stripped, &constraints, options, system, store, tracer)
     } else {
         let constraints = system.union_free_constraints();
-        solve_prepared(system, &constraints, options, system, store)
+        solve_prepared(system, &constraints, options, system, store, tracer)
     };
     let after = store.stats();
+    if observing {
+        store.clear_observer();
+    }
     stats.fingerprint_hits = (after.fingerprint_hits - before.fingerprint_hits) as usize;
     stats.fingerprint_misses = (after.fingerprint_misses - before.fingerprint_misses) as usize;
     stats.memo_op_hits = (after.op_hits - before.op_hits) as usize;
@@ -206,6 +283,7 @@ fn solve_prepared(
     options: &SolveOptions,
     original: &System,
     store: &LangStore,
+    tracer: &Tracer,
 ) -> (Solution, SolveStats) {
     let mut stats = SolveStats::default();
     macro_rules! trace {
@@ -216,6 +294,11 @@ fn solve_prepared(
         };
     }
     let constraints = constraints.to_vec();
+    tracer.emit(|| TraceEventKind::SolveStart {
+        constraints: constraints.len(),
+        vars: system.num_vars(),
+    });
+    let _solve_span = tracer.span("solve", None, None);
     trace!(
         "{} union-free constraints over {} variables",
         constraints.len(),
@@ -225,26 +308,45 @@ fn solve_prepared(
     // rewrite cannot vouch for itself.
     let verify_constraints = original.union_free_constraints();
 
-    // Variable-free constraints are decided immediately and kept out of
-    // the graph (routing them through gci could only narrow constants,
-    // which the constant filter would then reject).
+    // Variable-free constraints are decided directly and kept out of the
+    // graph (routing them through gci could only narrow constants, which
+    // the constant filter would then reject).
     let mut graph_constraints = Vec::with_capacity(constraints.len());
+    let mut constant_constraints = Vec::new();
     for c in &constraints {
         if c.lhs.variables().is_empty() {
-            if !constant_constraint_holds(system, c) {
-                trace!(
-                    "variable-free constraint `{} <= {}` fails: unsat",
-                    system.expr_to_string(&c.lhs),
-                    system.const_name(c.rhs)
-                );
-                return (Solution::Unsat, stats);
-            }
+            constant_constraints.push(c.clone());
         } else {
             graph_constraints.push(c.clone());
         }
     }
 
+    // The graph and its groups are computed before the variable-free check
+    // so every exit path — including an early UNSAT — reports the full
+    // shape counters.
     let graph = DependencyGraph::from_constraints(system, &graph_constraints);
+    let groups = graph.ci_groups();
+    stats.groups = groups.len();
+    trace!(
+        "dependency graph: {} nodes, {} CI-group(s)",
+        graph.num_nodes(),
+        groups.len()
+    );
+
+    for c in &constant_constraints {
+        if !constant_constraint_holds(system, c) {
+            trace!(
+                "variable-free constraint `{} <= {}` fails: unsat",
+                system.expr_to_string(&c.lhs),
+                system.const_name(c.rhs)
+            );
+            tracer.emit(|| TraceEventKind::SolveEnd {
+                sat: false,
+                assignments: 0,
+            });
+            return (Solution::Unsat, stats);
+        }
+    }
 
     // Reduce phase: every variable picks up the intersection of its inbound
     // subset constants. For plain variables this is their final language;
@@ -254,6 +356,7 @@ fn solve_prepared(
     let mut leaf: BTreeMap<NodeId, Lang> = BTreeMap::new();
     for v in system.var_ids() {
         let node = graph.var_node(v);
+        let _reduce_span = tracer.span("reduce", Some(node.index() as u32), None);
         let mut m: Option<Lang> = None;
         for source in graph.inbound_subset_sources(node) {
             if let NodeKind::Const(c) = graph.kind(source) {
@@ -263,6 +366,7 @@ fn solve_prepared(
                     Some(prev) => store.intersect(&prev, constant),
                 };
                 m = Some(if options.minimize_intermediate {
+                    let _min_span = tracer.span("minimize", Some(node.index() as u32), None);
                     store.minimized(&next)
                 } else {
                     next
@@ -276,9 +380,14 @@ fn solve_prepared(
             system.var_name(v),
             m.num_states()
         );
+        tracer.emit(|| TraceEventKind::ReduceStep {
+            node: node.index() as u32,
+            var: system.var_name(v).to_owned(),
+            states: m.num_states(),
+        });
         leaf.insert(node, m);
     }
-    for group in graph.ci_groups() {
+    for group in &groups {
         for &node in &group.nodes {
             if let NodeKind::Const(c) = graph.kind(node) {
                 leaf.insert(node, system.const_lang(c).clone());
@@ -289,13 +398,6 @@ fn solve_prepared(
     // Worklist over CI-groups: each queue entry is (next group index,
     // partial node assignment); group solutions branch the queue
     // (Figure 7, lines 13–14).
-    let groups = graph.ci_groups();
-    stats.groups = groups.len();
-    trace!(
-        "dependency graph: {} nodes, {} CI-group(s)",
-        graph.num_nodes(),
-        groups.len()
-    );
     // Partial assignments hold `Lang` handles: branching clones the map of
     // handles (O(entries) Arc bumps), never the machines themselves.
     let mut queue: VecDeque<(usize, BTreeMap<NodeId, Lang>)> =
@@ -316,6 +418,8 @@ fn solve_prepared(
                 options,
                 original,
                 &verify_constraints,
+                tracer,
+                gi,
             ) {
                 Some(assignment) => {
                     produced.push(assignment);
@@ -329,7 +433,18 @@ fn solve_prepared(
             }
             continue;
         }
-        let disjuncts = solve_group(&graph, &groups[gi], system, &leaf, &options.gci, store);
+        let disjuncts = {
+            let _gci_span = tracer.span("gci", None, Some(gi));
+            solve_group(
+                &graph,
+                &groups[gi],
+                system,
+                &leaf,
+                &options.gci,
+                store,
+                tracer,
+            )
+        };
         trace!(
             "group {} produced {} disjunctive solution(s)",
             gi,
@@ -338,10 +453,20 @@ fn solve_prepared(
         stats.group_disjuncts += disjuncts.len();
         // An unsatisfiable group kills this branch (and, since groups share
         // no vertices, every branch — but the queue drains naturally).
+        if disjuncts.is_empty() {
+            tracer.emit(|| TraceEventKind::WorklistPrune {
+                group: gi,
+                reason: "group-unsat".to_owned(),
+            });
+        }
         for d in disjuncts {
             let mut extended = partial.clone();
             extended.extend(d);
             queue.push_back((gi + 1, extended));
+            tracer.emit(|| TraceEventKind::WorklistBranch {
+                group: gi,
+                depth: queue.len(),
+            });
         }
         stats.peak_worklist = stats.peak_worklist.max(queue.len());
     }
@@ -357,7 +482,25 @@ fn solve_prepared(
     } else {
         Solution::Assignments(produced)
     };
+    tracer.emit(|| TraceEventKind::SolveEnd {
+        sat: solution.is_sat(),
+        assignments: solution.assignments().len(),
+    });
     (solution, stats)
+}
+
+/// The dependency graph the (non-rewriting) solver actually uses for
+/// `system`: its union-free constraints with the variable-free ones
+/// removed (those are decided directly and never enter the graph). Trace
+/// events' `node` ids refer to this graph — pair it with a recorded event
+/// stream for the provenance DOT export.
+pub fn solver_graph(system: &System) -> DependencyGraph {
+    let constraints: Vec<Constraint> = system
+        .union_free_constraints()
+        .into_iter()
+        .filter(|c| !c.lhs.variables().is_empty())
+        .collect();
+    DependencyGraph::from_constraints(system, &constraints)
 }
 
 /// Convenience wrapper: the first satisfying assignment, if any.
@@ -381,6 +524,8 @@ fn finish_branch(
     options: &SolveOptions,
     original: &System,
     verify_constraints: &[Constraint],
+    tracer: &Tracer,
+    group_index: usize,
 ) -> Option<Assignment> {
     let mut assignment = Assignment::new();
     for v in system.var_ids() {
@@ -393,10 +538,21 @@ fn finish_branch(
         assignment.insert(v, machine);
     }
     if options.require_nonempty && assignment.has_empty_language() {
+        tracer.emit(|| TraceEventKind::WorklistPrune {
+            group: group_index,
+            reason: "empty-language".to_owned(),
+        });
         return None;
     }
-    if options.verify && !satisfies(original, verify_constraints, &assignment) {
-        return None;
+    if options.verify {
+        let _verify_span = tracer.span("verify", None, None);
+        if !satisfies(original, verify_constraints, &assignment) {
+            tracer.emit(|| TraceEventKind::WorklistPrune {
+                group: group_index,
+                reason: "verify-failed".to_owned(),
+            });
+            return None;
+        }
     }
     Some(assignment)
 }

@@ -1,0 +1,1663 @@
+//! Structured solver tracing: typed events, hierarchical spans, and sinks.
+//!
+//! The aggregate [`SolveStats`](crate::SolveStats) counters say *how much*
+//! a run cost; this module says *where*. The solver (and the gci,
+//! incremental, and unsat-core layers) is threaded with a [`Tracer`] handle
+//! that, when enabled, emits a stream of typed [`TraceEvent`]s — reduce
+//! steps, CI-group discovery, per-disjunct `gci` branching (the paper's
+//! Figure 8 `all_combinations`), worklist branch/prune decisions, and
+//! memo-cache hits from the [`LangStore`](dprle_automata::LangStore) — each
+//! stamped with a monotonic timestamp and, where meaningful, the
+//! dependency-graph vertex it concerns (Figure 5 node ids).
+//!
+//! **Zero cost when disabled.** [`Tracer::disabled`] carries no state; every
+//! emission site goes through [`Tracer::emit`], which takes a closure and
+//! never runs it (never allocates, never reads the clock) unless a sink is
+//! attached. The bench suite guards this with a disabled-vs-enabled timing
+//! comparison.
+//!
+//! **Spans.** Phases are delimited by `SpanStart`/`SpanEnd` event pairs
+//! managed by RAII guards ([`Tracer::span`]), forming a properly nested
+//! hierarchy (checked by [`check_well_nested`] and a property test). Span
+//! durations are *cumulative*: a `minimize` span inside a `reduce` span
+//! counts toward both phases.
+//!
+//! **Sinks.** Three consumers ship with the CLI:
+//!
+//! * [`JsonlSink`] — one JSON object per line (`--trace-out trace.jsonl`),
+//!   schema-checked against `docs/trace.schema.json` ([`validate_jsonl`]);
+//! * [`TraceReport`] — in-memory aggregation behind `--trace=summary` and
+//!   the `dprle trace-report` subcommand (per-phase wall-time table, top-5
+//!   hottest CI-groups);
+//! * [`provenance_dot`] — the Figure 5 dependency graph annotated with
+//!   per-vertex visit counts and cumulative time (`--trace-dot`).
+//!
+//! Event ↔ pseudocode mapping (see DESIGN.md §5 "Observability"):
+//!
+//! | Event | Paper location |
+//! |---|---|
+//! | `ReduceStep` | Fig. 7 lines 3–8 (`reduce`) |
+//! | `CiGroupStart`/`End` | Fig. 7 line 10 (group selection) |
+//! | `GciDisjunct` | Fig. 8 `all_combinations` output |
+//! | `WorklistBranch`/`Prune` | Fig. 7 lines 13–14 / 16–23 |
+//! | `MemoHit`/`MemoMiss` | implementation cache (PR 1) |
+
+use crate::graph::{DependencyGraph, NodeKind};
+use crate::spec::System;
+use dprle_automata::{StoreObserver, StoreOp};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------
+
+/// A typed trace event payload. Every variant maps to a step of the
+/// paper's Figure 7/8 pseudocode or to an implementation-layer cache (see
+/// the module docs for the table).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEventKind {
+    /// A solver run began (`solve`, Fig. 7 line 1).
+    SolveStart {
+        /// Union-free constraints in the (possibly rewritten) system.
+        constraints: usize,
+        /// Declared variables.
+        vars: usize,
+    },
+    /// The run finished.
+    SolveEnd {
+        /// Whether any assignment survived.
+        sat: bool,
+        /// Number of disjunctive assignments returned.
+        assignments: usize,
+    },
+    /// A phase span opened (closed by the matching [`SpanEnd`] with the
+    /// same `span` id).
+    ///
+    /// [`SpanEnd`]: TraceEventKind::SpanEnd
+    SpanStart {
+        /// Unique span id (per tracer session).
+        span: u64,
+        /// Enclosing span id (`0` = top level).
+        parent: u64,
+        /// Phase name (`solve`, `reduce`, `gci`, `minimize`, `verify`, …).
+        phase: String,
+        /// Dependency-graph vertex this span is attributable to, if any.
+        node: Option<u32>,
+        /// CI-group index this span is attributable to, if any.
+        group: Option<usize>,
+    },
+    /// A phase span closed.
+    SpanEnd {
+        /// Id of the span being closed.
+        span: u64,
+        /// Phase name (repeated for self-describing JSONL lines).
+        phase: String,
+    },
+    /// One variable's reduce step completed (Fig. 7 lines 3–8): its leaf
+    /// machine is the intersection of its inbound subset constants.
+    ReduceStep {
+        /// Dependency-graph vertex of the variable.
+        node: u32,
+        /// Variable name.
+        var: String,
+        /// States of the reduced leaf machine.
+        states: usize,
+    },
+    /// The generalized concat-intersect procedure started on a CI-group
+    /// (Fig. 7 line 10 / Fig. 8).
+    CiGroupStart {
+        /// Group index (order of discovery in the dependency graph).
+        group: usize,
+        /// Dependency-graph vertices belonging to the group.
+        nodes: Vec<u32>,
+        /// Number of ε-bridges in the group (one per ∘-edge pair).
+        bridges: usize,
+    },
+    /// The group finished, producing `disjuncts` disjunctive solutions.
+    CiGroupEnd {
+        /// Group index.
+        group: usize,
+        /// Number of disjunctive group solutions.
+        disjuncts: usize,
+    },
+    /// One disjunctive group solution (Fig. 8 `all_combinations` member)
+    /// that survived constant filtering and dedup.
+    GciDisjunct {
+        /// Group index.
+        group: usize,
+        /// The group's bridge count (every disjunct fixes one ε-instance
+        /// per bridge).
+        bridge_eps: usize,
+        /// Total NFA states across the solution's leaf machines.
+        states: usize,
+        /// Hash of the solution's canonical language fingerprints
+        /// (identifies language-identical disjuncts across runs).
+        fingerprint: u64,
+    },
+    /// A worklist entry was enqueued for the next group (Fig. 7 lines
+    /// 13–14: branching on a disjunctive group solution).
+    WorklistBranch {
+        /// Index of the group whose disjunct caused the branch.
+        group: usize,
+        /// Worklist depth after the push.
+        depth: usize,
+    },
+    /// A branch died (Fig. 7 lines 16–23, or an unsatisfiable group).
+    WorklistPrune {
+        /// Group index (the group count itself for completed branches
+        /// pruned by the final filters).
+        group: usize,
+        /// Why: `empty-language`, `verify-failed`, or `group-unsat`.
+        reason: String,
+    },
+    /// A memoized [`LangStore`](dprle_automata::LangStore) operation was
+    /// answered from cache.
+    MemoHit {
+        /// Operation: `fingerprint`, `intersect`, `inclusion`, `minimize`.
+        op: String,
+    },
+    /// A memoized operation was computed fresh.
+    MemoMiss {
+        /// Operation: `fingerprint`, `intersect`, `inclusion`, `minimize`.
+        op: String,
+    },
+    /// An incremental-solver scope was opened.
+    IncrementalPush {
+        /// Scope depth after the push.
+        depth: usize,
+    },
+    /// An incremental-solver scope was closed.
+    IncrementalPop {
+        /// Scope depth after the pop.
+        depth: usize,
+    },
+    /// An incremental `check` started.
+    IncrementalCheck {
+        /// Constraints on the assertion stack.
+        assertions: usize,
+    },
+    /// One deletion trial of the unsat-core minimizer.
+    UnsatCoreTrial {
+        /// Constraint index the trial dropped.
+        dropped: usize,
+        /// Whether the system stayed unsat without it (if so, the
+        /// constraint is redundant and leaves the core).
+        still_unsat: bool,
+    },
+}
+
+impl TraceEventKind {
+    /// Every kind name, in a stable order (the JSON `kind` discriminators;
+    /// `docs/trace.schema.json` must cover exactly this set — a drift test
+    /// enforces it).
+    pub const ALL_KINDS: &'static [&'static str] = &[
+        "SolveStart",
+        "SolveEnd",
+        "SpanStart",
+        "SpanEnd",
+        "ReduceStep",
+        "CiGroupStart",
+        "CiGroupEnd",
+        "GciDisjunct",
+        "WorklistBranch",
+        "WorklistPrune",
+        "MemoHit",
+        "MemoMiss",
+        "IncrementalPush",
+        "IncrementalPop",
+        "IncrementalCheck",
+        "UnsatCoreTrial",
+    ];
+
+    /// The JSON `kind` discriminator for this event.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEventKind::SolveStart { .. } => "SolveStart",
+            TraceEventKind::SolveEnd { .. } => "SolveEnd",
+            TraceEventKind::SpanStart { .. } => "SpanStart",
+            TraceEventKind::SpanEnd { .. } => "SpanEnd",
+            TraceEventKind::ReduceStep { .. } => "ReduceStep",
+            TraceEventKind::CiGroupStart { .. } => "CiGroupStart",
+            TraceEventKind::CiGroupEnd { .. } => "CiGroupEnd",
+            TraceEventKind::GciDisjunct { .. } => "GciDisjunct",
+            TraceEventKind::WorklistBranch { .. } => "WorklistBranch",
+            TraceEventKind::WorklistPrune { .. } => "WorklistPrune",
+            TraceEventKind::MemoHit { .. } => "MemoHit",
+            TraceEventKind::MemoMiss { .. } => "MemoMiss",
+            TraceEventKind::IncrementalPush { .. } => "IncrementalPush",
+            TraceEventKind::IncrementalPop { .. } => "IncrementalPop",
+            TraceEventKind::IncrementalCheck { .. } => "IncrementalCheck",
+            TraceEventKind::UnsatCoreTrial { .. } => "UnsatCoreTrial",
+        }
+    }
+}
+
+/// One recorded trace event: a sequence number, a monotonic timestamp in
+/// microseconds since the tracer session began, and the typed payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Session-monotonic sequence number (0-based).
+    pub seq: u64,
+    /// Microseconds since the tracer was created (monotonic clock).
+    pub ts_us: u64,
+    /// The event payload.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// Serializes the event as one flat JSON object (a JSONL line, without
+    /// the trailing newline). `fingerprint` is encoded as a 16-digit hex
+    /// string so 64-bit values survive f64-based JSON consumers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"ts_us\":{},\"kind\":\"{}\"",
+            self.seq,
+            self.ts_us,
+            self.kind.kind_name()
+        );
+        match &self.kind {
+            TraceEventKind::SolveStart { constraints, vars } => {
+                let _ = write!(out, ",\"constraints\":{constraints},\"vars\":{vars}");
+            }
+            TraceEventKind::SolveEnd { sat, assignments } => {
+                let _ = write!(out, ",\"sat\":{sat},\"assignments\":{assignments}");
+            }
+            TraceEventKind::SpanStart {
+                span,
+                parent,
+                phase,
+                node,
+                group,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"span\":{span},\"parent\":{parent},\"phase\":{}",
+                    json_string(phase)
+                );
+                match node {
+                    Some(n) => {
+                        let _ = write!(out, ",\"node\":{n}");
+                    }
+                    None => out.push_str(",\"node\":null"),
+                }
+                match group {
+                    Some(g) => {
+                        let _ = write!(out, ",\"group\":{g}");
+                    }
+                    None => out.push_str(",\"group\":null"),
+                }
+            }
+            TraceEventKind::SpanEnd { span, phase } => {
+                let _ = write!(out, ",\"span\":{span},\"phase\":{}", json_string(phase));
+            }
+            TraceEventKind::ReduceStep { node, var, states } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"var\":{},\"states\":{states}",
+                    json_string(var)
+                );
+            }
+            TraceEventKind::CiGroupStart {
+                group,
+                nodes,
+                bridges,
+            } => {
+                let _ = write!(out, ",\"group\":{group},\"nodes\":[");
+                for (i, n) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{n}");
+                }
+                let _ = write!(out, "],\"bridges\":{bridges}");
+            }
+            TraceEventKind::CiGroupEnd { group, disjuncts } => {
+                let _ = write!(out, ",\"group\":{group},\"disjuncts\":{disjuncts}");
+            }
+            TraceEventKind::GciDisjunct {
+                group,
+                bridge_eps,
+                states,
+                fingerprint,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"group\":{group},\"bridge_eps\":{bridge_eps},\"states\":{states},\"fingerprint\":\"{fingerprint:016x}\""
+                );
+            }
+            TraceEventKind::WorklistBranch { group, depth } => {
+                let _ = write!(out, ",\"group\":{group},\"depth\":{depth}");
+            }
+            TraceEventKind::WorklistPrune { group, reason } => {
+                let _ = write!(out, ",\"group\":{group},\"reason\":{}", json_string(reason));
+            }
+            TraceEventKind::MemoHit { op } | TraceEventKind::MemoMiss { op } => {
+                let _ = write!(out, ",\"op\":{}", json_string(op));
+            }
+            TraceEventKind::IncrementalPush { depth }
+            | TraceEventKind::IncrementalPop { depth } => {
+                let _ = write!(out, ",\"depth\":{depth}");
+            }
+            TraceEventKind::IncrementalCheck { assertions } => {
+                let _ = write!(out, ",\"assertions\":{assertions}");
+            }
+            TraceEventKind::UnsatCoreTrial {
+                dropped,
+                still_unsat,
+            } => {
+                let _ = write!(out, ",\"dropped\":{dropped},\"still_unsat\":{still_unsat}");
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line back into an event (inverse of
+    /// [`TraceEvent::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (bad JSON,
+    /// unknown kind, missing or mistyped field).
+    pub fn from_json(line: &str) -> Result<TraceEvent, String> {
+        let value = Json::parse(line)?;
+        let obj = value.as_object().ok_or("event line is not a JSON object")?;
+        let seq = get_u64(obj, "seq")?;
+        let ts_us = get_u64(obj, "ts_us")?;
+        let kind_name = get_str(obj, "kind")?;
+        let kind = match kind_name {
+            "SolveStart" => TraceEventKind::SolveStart {
+                constraints: get_usize(obj, "constraints")?,
+                vars: get_usize(obj, "vars")?,
+            },
+            "SolveEnd" => TraceEventKind::SolveEnd {
+                sat: get_bool(obj, "sat")?,
+                assignments: get_usize(obj, "assignments")?,
+            },
+            "SpanStart" => TraceEventKind::SpanStart {
+                span: get_u64(obj, "span")?,
+                parent: get_u64(obj, "parent")?,
+                phase: get_str(obj, "phase")?.to_owned(),
+                node: get_opt_u32(obj, "node")?,
+                group: get_opt_u32(obj, "group")?.map(|g| g as usize),
+            },
+            "SpanEnd" => TraceEventKind::SpanEnd {
+                span: get_u64(obj, "span")?,
+                phase: get_str(obj, "phase")?.to_owned(),
+            },
+            "ReduceStep" => TraceEventKind::ReduceStep {
+                node: get_u64(obj, "node")? as u32,
+                var: get_str(obj, "var")?.to_owned(),
+                states: get_usize(obj, "states")?,
+            },
+            "CiGroupStart" => TraceEventKind::CiGroupStart {
+                group: get_usize(obj, "group")?,
+                nodes: get_u32_array(obj, "nodes")?,
+                bridges: get_usize(obj, "bridges")?,
+            },
+            "CiGroupEnd" => TraceEventKind::CiGroupEnd {
+                group: get_usize(obj, "group")?,
+                disjuncts: get_usize(obj, "disjuncts")?,
+            },
+            "GciDisjunct" => TraceEventKind::GciDisjunct {
+                group: get_usize(obj, "group")?,
+                bridge_eps: get_usize(obj, "bridge_eps")?,
+                states: get_usize(obj, "states")?,
+                fingerprint: {
+                    let hex = get_str(obj, "fingerprint")?;
+                    u64::from_str_radix(hex, 16)
+                        .map_err(|e| format!("bad fingerprint {hex:?}: {e}"))?
+                },
+            },
+            "WorklistBranch" => TraceEventKind::WorklistBranch {
+                group: get_usize(obj, "group")?,
+                depth: get_usize(obj, "depth")?,
+            },
+            "WorklistPrune" => TraceEventKind::WorklistPrune {
+                group: get_usize(obj, "group")?,
+                reason: get_str(obj, "reason")?.to_owned(),
+            },
+            "MemoHit" => TraceEventKind::MemoHit {
+                op: get_str(obj, "op")?.to_owned(),
+            },
+            "MemoMiss" => TraceEventKind::MemoMiss {
+                op: get_str(obj, "op")?.to_owned(),
+            },
+            "IncrementalPush" => TraceEventKind::IncrementalPush {
+                depth: get_usize(obj, "depth")?,
+            },
+            "IncrementalPop" => TraceEventKind::IncrementalPop {
+                depth: get_usize(obj, "depth")?,
+            },
+            "IncrementalCheck" => TraceEventKind::IncrementalCheck {
+                assertions: get_usize(obj, "assertions")?,
+            },
+            "UnsatCoreTrial" => TraceEventKind::UnsatCoreTrial {
+                dropped: get_usize(obj, "dropped")?,
+                still_unsat: get_bool(obj, "still_unsat")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(TraceEvent { seq, ts_us, kind })
+    }
+}
+
+/// Parses a whole JSONL document (blank lines skipped) into events.
+///
+/// # Errors
+///
+/// Returns `line N: <problem>` for the first offending line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(TraceEvent::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Tracer + sinks
+// ---------------------------------------------------------------------
+
+/// Consumes trace events as they are produced. Implementations must be
+/// cheap and non-blocking — they run inline on the solver's thread.
+pub trait TraceSink: Send + Sync {
+    /// Called once per event, in emission order.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// The handle threaded through the solver. Cloning shares the session
+/// (sequence numbers, clock, and span stack). [`Tracer::disabled`] (also
+/// the `Default`) carries nothing: every emission site short-circuits on a
+/// null check and never constructs the event.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+struct TracerInner {
+    sink: Arc<dyn TraceSink>,
+    epoch: Instant,
+    seq: AtomicU64,
+    next_span: AtomicU64,
+    /// Stack of open span ids, for parent attribution. The solver is
+    /// single-threaded per run; the mutex is uncontended.
+    stack: Mutex<Vec<u64>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default for every untraced
+    /// solver entry point).
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer recording to `sink`, with timestamps measured from now.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                sink,
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+                next_span: AtomicU64::new(1),
+                stack: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records the event produced by `build`. When the tracer is disabled
+    /// the closure never runs — emission sites pay one branch.
+    pub fn emit(&self, build: impl FnOnce() -> TraceEventKind) {
+        if let Some(inner) = &self.inner {
+            inner.record(build());
+        }
+    }
+
+    /// Opens a phase span; the returned guard closes it on drop. `node`
+    /// and `group` attribute the span's wall time to a dependency-graph
+    /// vertex / CI-group in reports and the DOT provenance export.
+    pub fn span(&self, phase: &'static str, node: Option<u32>, group: Option<usize>) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { open: None };
+        };
+        let span = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = {
+            let mut stack = inner.stack.lock().expect("span stack");
+            let parent = stack.last().copied().unwrap_or(0);
+            stack.push(span);
+            parent
+        };
+        inner.record(TraceEventKind::SpanStart {
+            span,
+            parent,
+            phase: phase.to_owned(),
+            node,
+            group,
+        });
+        SpanGuard {
+            open: Some(OpenSpan {
+                tracer: self.clone(),
+                span,
+                phase,
+            }),
+        }
+    }
+}
+
+impl TracerInner {
+    fn record(&self, kind: TraceEventKind) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ts_us = self.epoch.elapsed().as_micros() as u64;
+        self.sink.record(&TraceEvent { seq, ts_us, kind });
+    }
+}
+
+/// RAII guard for an open span (see [`Tracer::span`]).
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    tracer: Tracer,
+    span: u64,
+    phase: &'static str,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else { return };
+        let Some(inner) = &open.tracer.inner else {
+            return;
+        };
+        {
+            let mut stack = inner.stack.lock().expect("span stack");
+            // Guards drop LIFO within the solver, so the top is ours;
+            // tolerate (and repair) a stray entry rather than panicking in
+            // a tracing layer.
+            if let Some(pos) = stack.iter().rposition(|&s| s == open.span) {
+                stack.truncate(pos);
+            }
+        }
+        inner.record(TraceEventKind::SpanEnd {
+            span: open.span,
+            phase: open.phase.to_owned(),
+        });
+    }
+}
+
+/// Collects events in memory (summary mode, tests, report generation).
+#[derive(Default)]
+pub struct CollectSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> CollectSink {
+        CollectSink::default()
+    }
+
+    /// Removes and returns everything recorded so far.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock().expect("collect sink"))
+    }
+
+    /// Clones the events recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("collect sink").clone()
+    }
+}
+
+impl TraceSink for CollectSink {
+    fn record(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("collect sink")
+            .push(event.clone());
+    }
+}
+
+/// Discards every event. An *enabled* tracer over a `NullSink` still pays
+/// event construction; the bench overhead guard compares it against the
+/// disabled tracer to bound the cost of the instrumentation itself.
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Fans every event out to several sinks in order (e.g. a JSONL journal
+/// and an in-memory collector for the post-run summary).
+pub struct TeeSink(pub Vec<Arc<dyn TraceSink>>);
+
+impl TraceSink for TeeSink {
+    fn record(&self, event: &TraceEvent) {
+        for sink in &self.0 {
+            sink.record(event);
+        }
+    }
+}
+
+/// Streams events as JSON Lines to a writer (`--trace-out`).
+pub struct JsonlSink<W: std::io::Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: std::io::Write + Send> JsonlSink<W> {
+    /// Wraps `out`; each event becomes one line.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Flushes and returns the writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.out.into_inner().expect("jsonl sink");
+        let _ = w.flush();
+        w
+    }
+
+    /// Flushes buffered output, surfacing any deferred write error (the
+    /// per-event writes swallow errors to keep the solver running).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying writer's flush error.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("jsonl sink").flush()
+    }
+}
+
+impl<W: std::io::Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        let mut out = self.out.lock().expect("jsonl sink");
+        // I/O errors are not allowed to abort a solve; the CLI flushes and
+        // surfaces failures when closing the sink.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+}
+
+/// Adapter installing a [`Tracer`] as a
+/// [`LangStore`](dprle_automata::LangStore) observer: memo-cache outcomes
+/// become `MemoHit`/`MemoMiss` events.
+pub struct TracerStoreObserver(pub Tracer);
+
+impl StoreObserver for TracerStoreObserver {
+    fn memo_event(&self, op: StoreOp, hit: bool) {
+        self.0.emit(|| {
+            if hit {
+                TraceEventKind::MemoHit {
+                    op: op.name().to_owned(),
+                }
+            } else {
+                TraceEventKind::MemoMiss {
+                    op: op.name().to_owned(),
+                }
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aggregation: TraceReport
+// ---------------------------------------------------------------------
+
+/// Aggregated per-phase wall time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Phase name.
+    pub phase: String,
+    /// Number of spans.
+    pub count: u64,
+    /// Cumulative wall time (child spans count toward their ancestors).
+    pub total_us: u64,
+}
+
+/// Aggregation of one trace: per-phase timings, per-group and per-vertex
+/// attributions, and memo-cache totals. Built either from in-memory events
+/// (`--trace=summary`) or from a parsed JSONL file (`dprle trace-report`).
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    /// Total events aggregated.
+    pub events: usize,
+    /// Wall-clock span of the trace (first to last timestamp).
+    pub total_us: u64,
+    /// Per-phase rows, hottest first.
+    pub phases: Vec<PhaseRow>,
+    /// Cumulative `gci` span time per CI-group.
+    pub group_us: BTreeMap<usize, u64>,
+    /// Disjunctive solutions recorded per CI-group.
+    pub group_disjuncts: BTreeMap<usize, usize>,
+    /// Event count per kind name.
+    pub kind_counts: BTreeMap<&'static str, u64>,
+    /// Memo-cache hits (all operations).
+    pub memo_hits: u64,
+    /// Memo-cache misses.
+    pub memo_misses: u64,
+    /// Per-vertex visit counts (reduce steps + group membership).
+    pub node_visits: BTreeMap<u32, u64>,
+    /// Per-vertex cumulative span time.
+    pub node_us: BTreeMap<u32, u64>,
+}
+
+impl TraceReport {
+    /// Aggregates `events`, validating span nesting on the way.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first nesting violation (a `SpanEnd`
+    /// that does not close the innermost open span, or a span left open at
+    /// the end of the trace).
+    pub fn from_events(events: &[TraceEvent]) -> Result<TraceReport, String> {
+        let mut report = TraceReport {
+            events: events.len(),
+            ..TraceReport::default()
+        };
+        if let (Some(first), Some(last)) = (events.first(), events.last()) {
+            report.total_us = last.ts_us.saturating_sub(first.ts_us);
+        }
+        // Open spans: (id, phase, start ts, node, group).
+        type OpenSpan = (u64, String, u64, Option<u32>, Option<usize>);
+        let mut open: Vec<OpenSpan> = Vec::new();
+        let mut phase_totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for event in events {
+            *report
+                .kind_counts
+                .entry(event.kind.kind_name())
+                .or_insert(0) += 1;
+            match &event.kind {
+                TraceEventKind::SpanStart {
+                    span,
+                    phase,
+                    node,
+                    group,
+                    ..
+                } => {
+                    open.push((*span, phase.clone(), event.ts_us, *node, *group));
+                }
+                TraceEventKind::SpanEnd { span, phase } => {
+                    let Some((id, open_phase, start, node, group)) = open.pop() else {
+                        return Err(format!(
+                            "seq {}: SpanEnd {span} ({phase}) with no open span",
+                            event.seq
+                        ));
+                    };
+                    if id != *span {
+                        return Err(format!(
+                            "seq {}: SpanEnd {span} ({phase}) but innermost open span is {id} ({open_phase})",
+                            event.seq
+                        ));
+                    }
+                    let us = event.ts_us.saturating_sub(start);
+                    let slot = phase_totals.entry(open_phase).or_insert((0, 0));
+                    slot.0 += 1;
+                    slot.1 += us;
+                    if let Some(node) = node {
+                        *report.node_us.entry(node).or_insert(0) += us;
+                        *report.node_visits.entry(node).or_insert(0) += 1;
+                    }
+                    if let Some(group) = group {
+                        *report.group_us.entry(group).or_insert(0) += us;
+                    }
+                }
+                TraceEventKind::ReduceStep { node, .. } => {
+                    *report.node_visits.entry(*node).or_insert(0) += 1;
+                }
+                TraceEventKind::CiGroupStart { nodes, .. } => {
+                    for n in nodes {
+                        *report.node_visits.entry(*n).or_insert(0) += 1;
+                    }
+                }
+                TraceEventKind::GciDisjunct { group, .. } => {
+                    *report.group_disjuncts.entry(*group).or_insert(0) += 1;
+                }
+                TraceEventKind::MemoHit { .. } => report.memo_hits += 1,
+                TraceEventKind::MemoMiss { .. } => report.memo_misses += 1,
+                _ => {}
+            }
+        }
+        if let Some((id, phase, ..)) = open.last() {
+            return Err(format!("span {id} ({phase}) never closed"));
+        }
+        report.phases = phase_totals
+            .into_iter()
+            .map(|(phase, (count, total_us))| PhaseRow {
+                phase,
+                count,
+                total_us,
+            })
+            .collect();
+        report.phases.sort_by(|a, b| {
+            b.total_us
+                .cmp(&a.total_us)
+                .then_with(|| a.phase.cmp(&b.phase))
+        });
+        Ok(report)
+    }
+
+    /// Cumulative wall time of one phase, if it occurred.
+    pub fn phase_us(&self, phase: &str) -> Option<u64> {
+        self.phases
+            .iter()
+            .find(|p| p.phase == phase)
+            .map(|p| p.total_us)
+    }
+
+    /// The `n` hottest CI-groups as `(group, cumulative µs, disjuncts)`,
+    /// hottest first.
+    pub fn top_groups(&self, n: usize) -> Vec<(usize, u64, usize)> {
+        let mut rows: Vec<(usize, u64, usize)> = self
+            .group_us
+            .iter()
+            .map(|(&g, &us)| (g, us, self.group_disjuncts.get(&g).copied().unwrap_or(0)))
+            .collect();
+        // Groups that produced disjuncts but never got a timed span still
+        // deserve a row.
+        for (&g, &d) in &self.group_disjuncts {
+            if !self.group_us.contains_key(&g) {
+                rows.push((g, 0, d));
+            }
+        }
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Renders the human-readable summary: the per-phase time table, the
+    /// top-5 hottest CI-groups, and memo-cache totals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} events over {:.3} ms",
+            self.events,
+            self.total_us as f64 / 1000.0
+        );
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "trace: per-phase wall time (cumulative):");
+            let _ = writeln!(out, "trace:   {:<16} {:>8} {:>12}", "phase", "spans", "ms");
+            for row in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "trace:   {:<16} {:>8} {:>12.3}",
+                    row.phase,
+                    row.count,
+                    row.total_us as f64 / 1000.0
+                );
+            }
+        }
+        let top = self.top_groups(5);
+        if !top.is_empty() {
+            let _ = writeln!(out, "trace: hottest CI-groups (top {}):", top.len());
+            let _ = writeln!(
+                out,
+                "trace:   {:<8} {:>12} {:>10}",
+                "group", "ms", "disjuncts"
+            );
+            for (group, us, disjuncts) in top {
+                let _ = writeln!(
+                    out,
+                    "trace:   {:<8} {:>12.3} {:>10}",
+                    group,
+                    us as f64 / 1000.0,
+                    disjuncts
+                );
+            }
+        }
+        if self.memo_hits + self.memo_misses > 0 {
+            let _ = writeln!(
+                out,
+                "trace: memo cache: {} hits / {} misses ({:.1}% hit rate)",
+                self.memo_hits,
+                self.memo_misses,
+                100.0 * self.memo_hits as f64 / (self.memo_hits + self.memo_misses) as f64
+            );
+        }
+        let disjuncts: usize = self.group_disjuncts.values().sum();
+        let _ = writeln!(
+            out,
+            "trace: {} CI-group(s) traced, {} disjunct(s) recorded",
+            self.group_disjuncts.len().max(self.group_us.len()),
+            disjuncts
+        );
+        out
+    }
+}
+
+/// Checks that every `SpanEnd` closes the innermost open span and no span
+/// stays open — the well-nestedness invariant the RAII guards maintain.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn check_well_nested(events: &[TraceEvent]) -> Result<(), String> {
+    TraceReport::from_events(events).map(|_| ())
+}
+
+// ---------------------------------------------------------------------
+// Provenance DOT export
+// ---------------------------------------------------------------------
+
+/// Renders the dependency graph (paper Fig. 5) annotated with per-vertex
+/// visit counts and cumulative attributable time from a trace — the
+/// "where did the run go" picture. Vertices never visited are drawn
+/// dashed.
+pub fn provenance_dot(graph: &DependencyGraph, system: &System, events: &[TraceEvent]) -> String {
+    let report = TraceReport::from_events(events).unwrap_or_default();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph solver_provenance {{");
+    let _ = writeln!(
+        out,
+        "  label=\"solver provenance (visits, cumulative time)\";"
+    );
+    for i in 0..graph.num_nodes() {
+        let node = crate::graph::NodeId(i as u32);
+        let (name, shape) = match graph.kind(node) {
+            NodeKind::Var(v) => (system.var_name(v).to_owned(), "circle"),
+            NodeKind::Const(c) => (system.const_name(c).to_owned(), "box"),
+            NodeKind::Temp(t) => (format!("t{t}"), "diamond"),
+        };
+        let visits = report.node_visits.get(&(i as u32)).copied().unwrap_or(0);
+        let us = report.node_us.get(&(i as u32)).copied().unwrap_or(0);
+        let label = if us > 0 {
+            format!("{name}\\n{visits} visit(s), {:.3} ms", us as f64 / 1000.0)
+        } else {
+            format!("{name}\\n{visits} visit(s)")
+        };
+        let style = if visits == 0 { ", style=dashed" } else { "" };
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"{}\", shape={shape}{style}];",
+            label.replace('"', "\\\"")
+        );
+    }
+    for e in graph.subset_edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"⊆\"];",
+            e.source.index(),
+            e.target.index()
+        );
+    }
+    for e in graph.concat_edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"∘l\", style=dashed];",
+            e.left.index(),
+            e.target.index()
+        );
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"∘r\", style=dashed];",
+            e.right.index(),
+            e.target.index()
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Schema validation
+// ---------------------------------------------------------------------
+
+/// The JSON Schema for trace events, embedded from
+/// `docs/trace.schema.json` so the binary validates against exactly the
+/// checked-in contract.
+pub const TRACE_SCHEMA: &str = include_str!("../../../docs/trace.schema.json");
+
+/// Validates a JSONL document against the event schema (the `oneOf`
+/// subset of JSON Schema the checked-in file uses: per-kind `required`
+/// lists and `properties` type checks). Returns the number of validated
+/// events.
+///
+/// # Errors
+///
+/// Returns `line N: <problem>` for the first invalid line, or a
+/// description of a malformed schema.
+pub fn validate_jsonl(schema_src: &str, jsonl: &str) -> Result<usize, String> {
+    let schema = Schema::parse(schema_src)?;
+    let mut count = 0usize;
+    for (i, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        schema
+            .validate_line(line)
+            .map_err(|e| format!("line {}: {e}", i + 1))?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// The event kinds a schema document covers (the `kind` consts of its
+/// `oneOf` branches) — used by the drift test to compare against
+/// [`TraceEventKind::ALL_KINDS`].
+///
+/// # Errors
+///
+/// Returns a description of a malformed schema.
+pub fn schema_kinds(schema_src: &str) -> Result<Vec<String>, String> {
+    Ok(Schema::parse(schema_src)?
+        .branches
+        .iter()
+        .map(|b| b.kind.clone())
+        .collect())
+}
+
+struct Schema {
+    branches: Vec<SchemaBranch>,
+}
+
+struct SchemaBranch {
+    kind: String,
+    required: Vec<String>,
+    /// property name → allowed JSON type names.
+    properties: Vec<(String, Vec<String>)>,
+}
+
+impl Schema {
+    fn parse(src: &str) -> Result<Schema, String> {
+        let value = Json::parse(src).map_err(|e| format!("schema: {e}"))?;
+        let obj = value.as_object().ok_or("schema: not a JSON object")?;
+        let one_of = lookup(obj, "oneOf")
+            .and_then(Json::as_array)
+            .ok_or("schema: missing oneOf array")?;
+        let mut branches = Vec::new();
+        for branch in one_of {
+            let bobj = branch
+                .as_object()
+                .ok_or("schema: oneOf entry not an object")?;
+            let props = lookup(bobj, "properties")
+                .and_then(Json::as_object)
+                .ok_or("schema: branch without properties")?;
+            let kind = props
+                .iter()
+                .find(|(k, _)| k == "kind")
+                .and_then(|(_, v)| v.as_object())
+                .and_then(|k| lookup(k, "const"))
+                .and_then(Json::as_str)
+                .ok_or("schema: branch kind without const")?
+                .to_owned();
+            let required = lookup(bobj, "required")
+                .and_then(Json::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|v| v.as_str().map(str::to_owned))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut properties = Vec::new();
+            for (name, spec) in props {
+                if name == "kind" {
+                    continue;
+                }
+                let types = spec
+                    .as_object()
+                    .and_then(|s| lookup(s, "type"))
+                    .map(|t| match t {
+                        Json::Str(s) => vec![s.clone()],
+                        Json::Arr(items) => items
+                            .iter()
+                            .filter_map(|v| v.as_str().map(str::to_owned))
+                            .collect(),
+                        _ => Vec::new(),
+                    })
+                    .unwrap_or_default();
+                properties.push((name.clone(), types));
+            }
+            branches.push(SchemaBranch {
+                kind,
+                required,
+                properties,
+            });
+        }
+        if branches.is_empty() {
+            return Err("schema: oneOf has no branches".to_owned());
+        }
+        Ok(Schema { branches })
+    }
+
+    fn validate_line(&self, line: &str) -> Result<(), String> {
+        let value = Json::parse(line)?;
+        let obj = value.as_object().ok_or("not a JSON object")?;
+        let kind = lookup(obj, "kind")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `kind`")?;
+        let branch = self
+            .branches
+            .iter()
+            .find(|b| b.kind == kind)
+            .ok_or_else(|| format!("event kind {kind:?} is not covered by the schema"))?;
+        for req in &branch.required {
+            if lookup(obj, req).is_none() {
+                return Err(format!("{kind}: missing required field `{req}`"));
+            }
+        }
+        for (name, types) in &branch.properties {
+            let Some(actual) = lookup(obj, name) else {
+                continue;
+            };
+            if !types.is_empty() && !types.iter().any(|t| actual.type_matches(t)) {
+                return Err(format!(
+                    "{kind}: field `{name}` has type {}, expected one of {types:?}",
+                    actual.type_name()
+                ));
+            }
+        }
+        // Unknown fields fail closed: the schema is the contract.
+        for (name, _) in obj {
+            if name != "kind" && !branch.properties.iter().any(|(p, _)| p == name) {
+                return Err(format!("{kind}: unexpected field `{name}`"));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader (the workspace is serde-free by construction)
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Only what the trace tooling needs: enough to read
+/// back JSONL events and the checked-in schema document.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+fn lookup<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+impl Json {
+    fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let value = Json::parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err("unexpected end of input".to_owned()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    if bytes.get(*pos) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {pos}"));
+                    }
+                    *pos += 1;
+                    let value = Json::parse_value(bytes, pos)?;
+                    fields.push((key, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(Json::parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+            Some(b't') if bytes[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Json::Bool(false))
+            }
+            Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Json::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while let Some(&c) = bytes.get(*pos) {
+                    if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                        *pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| format!("bad number at byte {start}"))?;
+                text.parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| format!("bad number {text:?} at byte {start}"))
+            }
+        }
+    }
+
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "boolean",
+            Json::Num(n) if n.fract() == 0.0 => "integer",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    fn type_matches(&self, schema_type: &str) -> bool {
+        match schema_type {
+            "integer" => matches!(self, Json::Num(n) if n.fract() == 0.0),
+            "number" => matches!(self, Json::Num(_)),
+            "string" => matches!(self, Json::Str(_)),
+            "boolean" => matches!(self, Json::Bool(_)),
+            "null" => matches!(self, Json::Null),
+            "array" => matches!(self, Json::Arr(_)),
+            "object" => matches!(self, Json::Obj(_)),
+            _ => false,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&c) = bytes.get(*pos) {
+        if c.is_ascii_whitespace() {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_owned());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_owned())?;
+                        let ch = char::from_u32(code).ok_or("bad \\u code point")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".to_owned()),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (including quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    lookup(obj, key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer field `{key}`"))
+}
+
+fn get_usize(obj: &[(String, Json)], key: &str) -> Result<usize, String> {
+    get_u64(obj, key).map(|v| v as usize)
+}
+
+fn get_bool(obj: &[(String, Json)], key: &str) -> Result<bool, String> {
+    match lookup(obj, key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing boolean field `{key}`")),
+    }
+}
+
+fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
+    lookup(obj, key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn get_opt_u32(obj: &[(String, Json)], key: &str) -> Result<Option<u32>, String> {
+    match lookup(obj, key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(|n| Some(n as u32))
+            .ok_or_else(|| format!("field `{key}` is neither integer nor null")),
+    }
+}
+
+fn get_u32_array(obj: &[(String, Json)], key: &str) -> Result<Vec<u32>, String> {
+    lookup(obj, key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("missing array field `{key}`"))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .map(|n| n as u32)
+                .ok_or_else(|| format!("non-integer element in `{key}`"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let sink = Arc::new(CollectSink::new());
+        let tracer = Tracer::new(sink.clone());
+        tracer.emit(|| TraceEventKind::SolveStart {
+            constraints: 3,
+            vars: 2,
+        });
+        {
+            let _solve = tracer.span("solve", None, None);
+            {
+                let _reduce = tracer.span("reduce", Some(0), None);
+                tracer.emit(|| TraceEventKind::ReduceStep {
+                    node: 0,
+                    var: "v1".to_owned(),
+                    states: 4,
+                });
+            }
+            {
+                let _gci = tracer.span("gci", None, Some(0));
+                tracer.emit(|| TraceEventKind::CiGroupStart {
+                    group: 0,
+                    nodes: vec![0, 1, 5],
+                    bridges: 1,
+                });
+                tracer.emit(|| TraceEventKind::GciDisjunct {
+                    group: 0,
+                    bridge_eps: 1,
+                    states: 7,
+                    fingerprint: 0xdead_beef_0102_0304,
+                });
+                tracer.emit(|| TraceEventKind::CiGroupEnd {
+                    group: 0,
+                    disjuncts: 1,
+                });
+            }
+            tracer.emit(|| TraceEventKind::MemoHit {
+                op: "intersect".to_owned(),
+            });
+            tracer.emit(|| TraceEventKind::WorklistPrune {
+                group: 1,
+                reason: "empty-language".to_owned(),
+            });
+        }
+        tracer.emit(|| TraceEventKind::SolveEnd {
+            sat: true,
+            assignments: 1,
+        });
+        sink.take()
+    }
+
+    #[test]
+    fn disabled_tracer_never_runs_the_closure() {
+        let tracer = Tracer::disabled();
+        tracer.emit(|| unreachable!("closure must not run when disabled"));
+        let _span = tracer.span("solve", None, None);
+        assert!(!tracer.is_enabled());
+    }
+
+    #[test]
+    fn events_are_sequenced_and_monotone() {
+        let events = sample_events();
+        assert!(!events.is_empty());
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        for pair in events.windows(2) {
+            assert!(pair[1].ts_us >= pair[0].ts_us);
+        }
+    }
+
+    #[test]
+    fn spans_are_well_nested_with_parents() {
+        let events = sample_events();
+        check_well_nested(&events).expect("RAII guards nest");
+        // The reduce span's parent is the solve span.
+        let solve_id = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                TraceEventKind::SpanStart { span, phase, .. } if phase == "solve" => Some(*span),
+                _ => None,
+            })
+            .expect("solve span");
+        let reduce_parent = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                TraceEventKind::SpanStart { parent, phase, .. } if phase == "reduce" => {
+                    Some(*parent)
+                }
+                _ => None,
+            })
+            .expect("reduce span");
+        assert_eq!(reduce_parent, solve_id);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_event() {
+        let events = sample_events();
+        for event in &events {
+            let line = event.to_json();
+            let back = TraceEvent::from_json(&line).expect("parses");
+            assert_eq!(&back, event, "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_parse_jsonl() {
+        let events = sample_events();
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        for e in &events {
+            sink.record(e);
+        }
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let parsed = parse_jsonl(&text).expect("parses");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn report_aggregates_phases_groups_and_memo() {
+        let events = sample_events();
+        let report = TraceReport::from_events(&events).expect("well nested");
+        assert_eq!(report.events, events.len());
+        let phases: Vec<&str> = report.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert!(phases.contains(&"solve"));
+        assert!(phases.contains(&"reduce"));
+        assert!(phases.contains(&"gci"));
+        assert_eq!(report.group_disjuncts.get(&0), Some(&1));
+        assert_eq!(report.memo_hits, 1);
+        assert_eq!(report.memo_misses, 0);
+        // Node 0 was visited by the reduce span, the reduce step, and group
+        // membership.
+        assert_eq!(report.node_visits.get(&0), Some(&3));
+        let rendered = report.render();
+        assert!(rendered.contains("per-phase wall time"), "{rendered}");
+        assert!(rendered.contains("hottest CI-groups"), "{rendered}");
+        assert!(rendered.contains("memo cache"), "{rendered}");
+    }
+
+    #[test]
+    fn ill_nested_traces_are_rejected() {
+        let mut events = sample_events();
+        // Drop a SpanEnd: the trace now has an unclosed span.
+        let pos = events
+            .iter()
+            .position(|e| matches!(e.kind, TraceEventKind::SpanEnd { .. }))
+            .expect("has span ends");
+        events.remove(pos);
+        assert!(check_well_nested(&events).is_err());
+    }
+
+    #[test]
+    fn schema_validates_generated_events() {
+        let events = sample_events();
+        let jsonl: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        let n = validate_jsonl(TRACE_SCHEMA, &jsonl).expect("schema-valid");
+        assert_eq!(n, events.len());
+    }
+
+    #[test]
+    fn schema_rejects_unknown_kinds_and_missing_fields() {
+        let bogus = "{\"seq\":0,\"ts_us\":0,\"kind\":\"NotAnEvent\"}";
+        assert!(validate_jsonl(TRACE_SCHEMA, bogus).is_err());
+        let missing = "{\"seq\":0,\"ts_us\":0,\"kind\":\"GciDisjunct\",\"group\":0}";
+        assert!(validate_jsonl(TRACE_SCHEMA, missing).is_err());
+        let extra =
+            "{\"seq\":0,\"ts_us\":0,\"kind\":\"MemoHit\",\"op\":\"intersect\",\"smuggled\":1}";
+        assert!(validate_jsonl(TRACE_SCHEMA, extra).is_err());
+    }
+
+    #[test]
+    fn schema_covers_exactly_the_event_taxonomy() {
+        let mut covered = schema_kinds(TRACE_SCHEMA).expect("schema parses");
+        covered.sort();
+        let mut expected: Vec<String> = TraceEventKind::ALL_KINDS
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        expected.sort();
+        assert_eq!(covered, expected, "docs/trace.schema.json drifted");
+    }
+}

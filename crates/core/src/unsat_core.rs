@@ -11,8 +11,9 @@
 //! makes the system satisfiable. The result is a *minimal* core (every
 //! member is necessary), though not necessarily a *minimum* one.
 
-use crate::solve::{solve_with_store, SolveOptions};
+use crate::solve::{solve_traced, SolveOptions};
 use crate::spec::{Constraint, System};
+use crate::trace::{TraceEventKind, Tracer};
 use dprle_automata::LangStore;
 
 /// A minimal unsatisfiable core: indices into [`System::constraints`].
@@ -51,8 +52,19 @@ impl UnsatCore {
 /// so the constant machines (shared handles across the cloned systems) and
 /// the repeated leaf intersections hit the caches of earlier trials.
 pub fn unsat_core(system: &System, options: &SolveOptions) -> Option<UnsatCore> {
+    unsat_core_traced(system, options, &Tracer::disabled())
+}
+
+/// Like [`unsat_core`], recording every deletion trial as an
+/// `UnsatCoreTrial` trace event (plus the full solver trace of each trial's
+/// re-solve).
+pub fn unsat_core_traced(
+    system: &System,
+    options: &SolveOptions,
+    tracer: &Tracer,
+) -> Option<UnsatCore> {
     let store = LangStore::interning(options.interning);
-    if solve_with_store(system, options, &store).0.is_sat() {
+    if solve_traced(system, options, &store, tracer).0.is_sat() {
         return None;
     }
     let all: Vec<Constraint> = system.constraints().to_vec();
@@ -61,9 +73,15 @@ pub fn unsat_core(system: &System, options: &SolveOptions) -> Option<UnsatCore> 
     let mut i = 0;
     while i < keep.len() {
         // Try removing keep[i].
-        let candidate: Vec<usize> = keep.iter().copied().filter(|&k| k != keep[i]).collect();
+        let dropped = keep[i];
+        let candidate: Vec<usize> = keep.iter().copied().filter(|&k| k != dropped).collect();
         let trial = with_constraints(system, &all, &candidate);
-        if solve_with_store(&trial, options, &store).0.is_sat() {
+        let sat = solve_traced(&trial, options, &store, tracer).0.is_sat();
+        tracer.emit(|| TraceEventKind::UnsatCoreTrial {
+            dropped,
+            still_unsat: !sat,
+        });
+        if sat {
             // Necessary: keep it, move on.
             i += 1;
         } else {
@@ -154,6 +172,42 @@ mod tests {
             }
             assert!(solve(&pair, &SolveOptions::default()).is_sat());
         }
+    }
+
+    #[test]
+    fn traced_trials_explain_the_core() {
+        use crate::trace::{CollectSink, TraceEventKind, Tracer};
+        use std::sync::Arc;
+
+        let mut sys = System::new();
+        let v = sys.var("v");
+        let w = sys.var("w");
+        let a = sys.constant("a", exact("a+"));
+        let b = sys.constant("b", exact("b+"));
+        let c = sys.constant("c", exact("c*"));
+        sys.require(Expr::Var(w), c); // redundant
+        sys.require(Expr::Var(v), a); // conflict half 1
+        sys.require(Expr::Var(v), b); // conflict half 2
+        let sink = Arc::new(CollectSink::new());
+        let tracer = Tracer::new(sink.clone());
+        let core = unsat_core_traced(&sys, &SolveOptions::default(), &tracer).expect("unsat");
+        assert_eq!(core.indices, vec![1, 2]);
+        let trials: Vec<(usize, bool)> = sink
+            .take()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::UnsatCoreTrial {
+                    dropped,
+                    still_unsat,
+                } => Some((dropped, still_unsat)),
+                _ => None,
+            })
+            .collect();
+        // One trial per surviving constraint, and the redundant constraint's
+        // trial stays unsat (which is why it leaves the core).
+        assert!(trials.contains(&(0, true)), "{trials:?}");
+        assert!(trials.contains(&(1, false)), "{trials:?}");
+        assert!(trials.contains(&(2, false)), "{trials:?}");
     }
 
     #[test]

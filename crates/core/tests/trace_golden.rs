@@ -1,0 +1,165 @@
+//! Golden-trace test for the paper's Fig. 9/10 worked example: the
+//! two-constraint system `va·vb ⊆ c1`, `vb·vc ⊆ c2` whose shared `vb`
+//! fuses both concatenations into a single CI-group with two ∘-edges —
+//! and therefore exactly two ε-bridges in the generalized
+//! concat-intersect construction.
+
+use dprle_core::{
+    check_well_nested, parse_jsonl, solve_traced, validate_jsonl, CollectSink, Expr, SolveOptions,
+    System, TraceEvent, TraceEventKind, TraceReport, Tracer, TRACE_SCHEMA,
+};
+use dprle_regex::Regex;
+use std::sync::Arc;
+
+fn exact(pattern: &str) -> dprle_automata::Nfa {
+    Regex::new(pattern)
+        .expect("compiles")
+        .exact_language()
+        .clone()
+}
+
+/// Builds the worked example and returns its trace plus the solver outputs.
+fn traced_worked_example() -> (
+    Vec<TraceEvent>,
+    dprle_core::Solution,
+    dprle_core::SolveStats,
+) {
+    let mut sys = System::new();
+    let va = sys.var("va");
+    let vb = sys.var("vb");
+    let vc = sys.var("vc");
+    let c1 = sys.constant("c1", exact("ab"));
+    let c2 = sys.constant("c2", exact("ba"));
+    sys.require(Expr::Var(va).concat(Expr::Var(vb)), c1);
+    sys.require(Expr::Var(vb).concat(Expr::Var(vc)), c2);
+
+    let sink = Arc::new(CollectSink::new());
+    let tracer = Tracer::new(sink.clone());
+    let store = dprle_automata::LangStore::new();
+    let (solution, stats) = solve_traced(&sys, &SolveOptions::default(), &store, &tracer);
+    (sink.take(), solution, stats)
+}
+
+#[test]
+fn fig9_worked_example_has_one_group_with_two_bridges() {
+    let (events, solution, stats) = traced_worked_example();
+    assert!(solution.is_sat(), "the worked example is satisfiable");
+
+    let starts: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TraceEventKind::CiGroupStart {
+                group,
+                nodes,
+                bridges,
+            } => Some((*group, nodes.clone(), *bridges)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(starts.len(), 1, "shared vb fuses both ∘-edges: {starts:?}");
+    let (group, nodes, bridges) = &starts[0];
+    assert_eq!(*bridges, 2, "one ε-bridge per concatenation edge");
+    assert!(
+        nodes.len() >= 3,
+        "group spans at least va, vb, vc: {nodes:?}"
+    );
+
+    let disjuncts: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TraceEventKind::GciDisjunct {
+                group: g,
+                bridge_eps,
+                states,
+                fingerprint,
+            } => Some((*g, *bridge_eps, *states, *fingerprint)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        disjuncts.len(),
+        stats.group_disjuncts,
+        "one GciDisjunct per disjunctive group solution"
+    );
+    assert!(!disjuncts.is_empty(), "sat run produced disjuncts");
+    for (g, bridge_eps, states, _) in &disjuncts {
+        assert_eq!(g, group, "all disjuncts belong to the single group");
+        assert_eq!(*bridge_eps, 2, "bridge count is a group invariant");
+        assert!(*states > 0, "solutions carry non-empty machines");
+    }
+
+    let ends: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TraceEventKind::CiGroupEnd {
+                group: g,
+                disjuncts,
+            } => Some((*g, *disjuncts)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ends, vec![(*group, disjuncts.len())]);
+}
+
+#[test]
+fn fig9_trace_brackets_the_solve_and_times_every_phase() {
+    let (events, _, _) = traced_worked_example();
+    match &events.first().expect("nonempty").kind {
+        TraceEventKind::SolveStart { constraints, vars } => {
+            assert_eq!((*constraints, *vars), (2, 3));
+        }
+        other => panic!("first event is SolveStart, got {other:?}"),
+    }
+    // The solve span closes after SolveEnd, so the tail is SolveEnd
+    // followed only by SpanEnd events.
+    let end_pos = events
+        .iter()
+        .rposition(|e| matches!(e.kind, TraceEventKind::SolveEnd { .. }))
+        .expect("trace carries a SolveEnd");
+    assert!(
+        matches!(
+            events[end_pos].kind,
+            TraceEventKind::SolveEnd { sat: true, .. }
+        ),
+        "SolveEnd reports sat: {:?}",
+        events[end_pos]
+    );
+    assert!(
+        events[end_pos + 1..]
+            .iter()
+            .all(|e| matches!(e.kind, TraceEventKind::SpanEnd { .. })),
+        "only span closures follow SolveEnd"
+    );
+
+    check_well_nested(&events).expect("spans are well-nested");
+    for w in events.windows(2) {
+        assert!(w[1].seq > w[0].seq, "sequence numbers strictly increase");
+        assert!(w[1].ts_us >= w[0].ts_us, "timestamps are monotone");
+    }
+
+    let report = TraceReport::from_events(&events).expect("aggregates");
+    for phase in ["solve", "reduce", "gci", "enumerate", "minimize"] {
+        assert!(
+            report.phase_us(phase).is_some(),
+            "phase {phase} was timed; have {:?}",
+            report.phases
+        );
+    }
+}
+
+#[test]
+fn fig9_trace_round_trips_through_jsonl_and_the_schema() {
+    let (events, _, _) = traced_worked_example();
+    let jsonl: String = events
+        .iter()
+        .map(|e| {
+            let mut line = e.to_json();
+            line.push('\n');
+            line
+        })
+        .collect();
+    let parsed = parse_jsonl(&jsonl).expect("round-trips");
+    assert_eq!(parsed, events);
+    let valid = validate_jsonl(TRACE_SCHEMA, &jsonl).expect("schema-valid");
+    assert_eq!(valid, events.len());
+}

@@ -1,0 +1,147 @@
+//! Property tests over randomly generated constraint systems: every trace
+//! the solver emits — sat or unsat, grouped or not — is well-nested, in
+//! order, schema-valid, and consistent with the returned statistics.
+
+use dprle_automata::{LangStore, Nfa};
+use dprle_core::{
+    check_well_nested, parse_jsonl, solve_traced, validate_jsonl, CollectSink, Expr, SolveOptions,
+    System, TraceEventKind, Tracer, TRACE_SCHEMA,
+};
+use dprle_regex::Regex;
+use proptest::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use std::sync::Arc;
+
+fn exact(pattern: &str) -> Nfa {
+    Regex::new(pattern)
+        .expect("compiles")
+        .exact_language()
+        .clone()
+}
+
+/// Splitmix-style step: deterministic stream of choices from one seed.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A small random system over {a, b}: 2–3 variables, 1–3 subset
+/// constraints, 0–2 concatenation constraints, machines drawn from a pool
+/// of simple regular languages. Deterministic per seed.
+fn random_system(seed: u64) -> System {
+    const POOL: &[&str] = &[
+        "a",
+        "b",
+        "a*",
+        "b*",
+        "(a|b)*",
+        "ab",
+        "ba",
+        "a+",
+        "(a|b){1,3}",
+        "b+a*",
+    ];
+    let mut state = seed;
+    let mut sys = System::new();
+    let nvars = 2 + (next(&mut state) % 2) as usize;
+    let vars: Vec<_> = (0..nvars).map(|i| sys.var(&format!("v{i}"))).collect();
+    let mut consts = 0usize;
+    let mut fresh = |sys: &mut System, state: &mut u64| {
+        let pattern = POOL[(next(state) % POOL.len() as u64) as usize];
+        let name = format!("c{consts}");
+        consts += 1;
+        sys.constant(&name, exact(pattern))
+    };
+    for _ in 0..1 + next(&mut state) % 3 {
+        let v = vars[(next(&mut state) % vars.len() as u64) as usize];
+        let c = fresh(&mut sys, &mut state);
+        sys.require(Expr::Var(v), c);
+    }
+    for _ in 0..next(&mut state) % 3 {
+        let v = vars[(next(&mut state) % vars.len() as u64) as usize];
+        let w = vars[(next(&mut state) % vars.len() as u64) as usize];
+        let c = fresh(&mut sys, &mut state);
+        sys.require(Expr::Var(v).concat(Expr::Var(w)), c);
+    }
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn traces_are_well_nested_and_monotone(seed in any::<u64>()) {
+        let sys = random_system(seed);
+        let sink = Arc::new(CollectSink::new());
+        let tracer = Tracer::new(sink.clone());
+        let store = LangStore::new();
+        let (solution, stats) =
+            solve_traced(&sys, &SolveOptions::default(), &store, &tracer);
+        let events = sink.take();
+
+        prop_assert!(!events.is_empty(), "every solve emits at least start/end");
+        if let Err(e) = check_well_nested(&events) {
+            return Err(proptest::test_runner::TestCaseError::fail(e));
+        }
+        for w in events.windows(2) {
+            prop_assert!(w[1].seq > w[0].seq, "seq regressed: {:?}", w);
+            prop_assert!(w[1].ts_us >= w[0].ts_us, "ts regressed: {:?}", w);
+        }
+        let disjuncts = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::GciDisjunct { .. }))
+            .count();
+        prop_assert_eq!(disjuncts, stats.group_disjuncts);
+        // The solve span closes after SolveEnd; only SpanEnd events follow.
+        let end_pos = events
+            .iter()
+            .rposition(|e| matches!(e.kind, TraceEventKind::SolveEnd { .. }));
+        let Some(end_pos) = end_pos else {
+            return Err(proptest::test_runner::TestCaseError::fail(
+                "trace carries a SolveEnd",
+            ));
+        };
+        match events[end_pos].kind {
+            TraceEventKind::SolveEnd { sat, .. } => {
+                prop_assert_eq!(sat, solution.is_sat());
+            }
+            _ => unreachable!(),
+        }
+        prop_assert!(
+            events[end_pos + 1..]
+                .iter()
+                .all(|e| matches!(e.kind, TraceEventKind::SpanEnd { .. })),
+            "only span closures follow SolveEnd"
+        );
+    }
+
+    #[test]
+    fn traces_survive_jsonl_and_validate(seed in any::<u64>()) {
+        let sys = random_system(seed);
+        let sink = Arc::new(CollectSink::new());
+        let tracer = Tracer::new(sink.clone());
+        let store = LangStore::new();
+        let _ = solve_traced(&sys, &SolveOptions::default(), &store, &tracer);
+        let events = sink.take();
+
+        let jsonl: String = events
+            .iter()
+            .map(|e| {
+                let mut line = e.to_json();
+                line.push('\n');
+                line
+            })
+            .collect();
+        let parsed = match parse_jsonl(&jsonl) {
+            Ok(p) => p,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(e)),
+        };
+        prop_assert_eq!(parsed, events.clone());
+        match validate_jsonl(TRACE_SCHEMA, &jsonl) {
+            Ok(n) => prop_assert_eq!(n, events.len()),
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(e)),
+        }
+    }
+}
