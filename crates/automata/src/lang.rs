@@ -92,6 +92,34 @@ impl Lang {
         self.inner.fingerprint.get().is_some()
     }
 
+    /// Like [`Lang::fingerprint`], additionally reporting whether *this
+    /// call* ran the canonicalization. Under concurrency the underlying
+    /// `OnceLock` runs its initializer exactly once, so exactly one caller
+    /// ever observes `true` per handle — which makes hit/miss accounting
+    /// race-free (checking [`Lang::fingerprint_is_cached`] first and then
+    /// computing would let two racing threads both count a miss).
+    pub fn fingerprint_tracked(&self) -> (Arc<CanonicalKey>, bool) {
+        let mut computed = false;
+        let key = self
+            .inner
+            .fingerprint
+            .get_or_init(|| {
+                computed = true;
+                Arc::new(canonical_key(&self.inner.nfa))
+            })
+            .clone();
+        (key, computed)
+    }
+
+    /// An address identifying this handle's shared allocation, stable for
+    /// as long as any clone of the handle is alive. Used as the identity of
+    /// per-handle cache slots (see [`MemoIdentity::Fingerprint`]); callers
+    /// comparing addresses across time must hold a clone so the allocation
+    /// cannot be reused.
+    pub fn handle_addr(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
     /// Language-level equality: pointer equality fast path, then cached
     /// fingerprints.
     pub fn same_language(&self, other: &Lang) -> bool {
@@ -190,6 +218,70 @@ impl StoreOp {
     }
 }
 
+/// The identity of one memo-cache slot, as reported to
+/// [`StoreObserver::memo_event_keyed`]. Two events with equal identities
+/// landed on the same cache slot, which is what lets a deterministic
+/// replay of a parallel run reassign hit/miss outcomes in a canonical
+/// order: the first touch of a slot in replay order is the miss,
+/// regardless of which thread actually won the race.
+#[derive(Clone, Debug)]
+pub enum MemoIdentity {
+    /// A handle's per-allocation fingerprint slot. Holding the `Lang`
+    /// clone pins the allocation, so the address-based identity cannot be
+    /// reused while the identity is alive.
+    Fingerprint(Lang),
+    /// The minimization memo slot for a language.
+    Minimize(Arc<CanonicalKey>),
+    /// The intersection memo slot for an (unordered, pre-normalized)
+    /// fingerprint pair.
+    Intersect(Arc<CanonicalKey>, Arc<CanonicalKey>),
+    /// The inclusion memo slot for an (ordered) fingerprint pair.
+    Inclusion(Arc<CanonicalKey>, Arc<CanonicalKey>),
+}
+
+impl PartialEq for MemoIdentity {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (MemoIdentity::Fingerprint(a), MemoIdentity::Fingerprint(b)) => Lang::ptr_eq(a, b),
+            (MemoIdentity::Minimize(a), MemoIdentity::Minimize(b)) => a == b,
+            (MemoIdentity::Intersect(a0, a1), MemoIdentity::Intersect(b0, b1)) => {
+                a0 == b0 && a1 == b1
+            }
+            (MemoIdentity::Inclusion(a0, a1), MemoIdentity::Inclusion(b0, b1)) => {
+                a0 == b0 && a1 == b1
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for MemoIdentity {}
+
+impl std::hash::Hash for MemoIdentity {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            MemoIdentity::Fingerprint(l) => {
+                0u8.hash(state);
+                l.handle_addr().hash(state);
+            }
+            MemoIdentity::Minimize(k) => {
+                1u8.hash(state);
+                k.hash(state);
+            }
+            MemoIdentity::Intersect(a, b) => {
+                2u8.hash(state);
+                a.hash(state);
+                b.hash(state);
+            }
+            MemoIdentity::Inclusion(a, b) => {
+                3u8.hash(state);
+                a.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
 /// A hook notified of every memoized-operation outcome, in addition to the
 /// store's own [`StoreStats`] counters. Installed with
 /// [`LangStore::set_observer`]; the solver's tracing layer uses this to
@@ -198,6 +290,16 @@ impl StoreOp {
 pub trait StoreObserver: Send + Sync {
     /// Called once per memoized operation with its hit/miss outcome.
     fn memo_event(&self, op: StoreOp, hit: bool);
+
+    /// Like [`StoreObserver::memo_event`], additionally carrying the cache
+    /// slot's identity when the store can name one (`None` for pass-through
+    /// stores, which have no slots — every operation is a deterministic
+    /// miss). The default forwards to `memo_event`, so observers that do
+    /// not care about identities need not change.
+    fn memo_event_keyed(&self, op: StoreOp, identity: Option<&MemoIdentity>, hit: bool) {
+        let _ = identity;
+        self.memo_event(op, hit);
+    }
 }
 
 /// Counters for the interning layer, surfaced through `SolveStats`.
@@ -291,28 +393,36 @@ impl LangStore {
         *self.observer.write().expect("observer lock") = None;
     }
 
-    fn notify(&self, op: StoreOp, hit: bool) {
+    fn notify(&self, op: StoreOp, identity: Option<MemoIdentity>, hit: bool) {
         // Clone the Arc out of the read guard so the observer runs without
         // any store lock held.
         let observer = self.observer.read().expect("observer lock").clone();
         if let Some(observer) = observer {
-            observer.memo_event(op, hit);
+            observer.memo_event_keyed(op, identity.as_ref(), hit);
         }
     }
 
-    /// The language's fingerprint, with hit/miss accounting.
+    /// The language's fingerprint, with hit/miss accounting. The hit/miss
+    /// split is race-free: [`Lang::fingerprint_tracked`] reports whether
+    /// *this* call ran the canonicalization, so concurrent callers racing
+    /// on one handle record exactly one miss between them — total misses
+    /// equal the number of distinct handles canonicalized, independent of
+    /// scheduling.
     pub fn key_of(&self, lang: &Lang) -> Arc<CanonicalKey> {
-        let cached = lang.fingerprint_is_cached();
-        let key = lang.fingerprint();
+        let (key, computed) = lang.fingerprint_tracked();
         {
             let mut inner = self.inner.lock().expect("store lock");
-            if cached {
-                inner.stats.fingerprint_hits += 1;
-            } else {
+            if computed {
                 inner.stats.fingerprint_misses += 1;
+            } else {
+                inner.stats.fingerprint_hits += 1;
             }
         }
-        self.notify(StoreOp::Fingerprint, cached);
+        self.notify(
+            StoreOp::Fingerprint,
+            Some(MemoIdentity::Fingerprint(lang.clone())),
+            !computed,
+        );
         key
     }
 
@@ -345,13 +455,14 @@ impl LangStore {
                 inner.stats.op_misses += 1;
                 inner.stats.states_materialized += result.num_states() as u64;
             }
-            self.notify(StoreOp::Intersect, false);
+            self.notify(StoreOp::Intersect, None, false);
             return result;
         }
         let (ka, kb) = (self.key_of(a), self.key_of(b));
         let key = if ka <= kb { (ka, kb) } else { (kb, ka) };
+        let identity = || MemoIdentity::Intersect(key.0.clone(), key.1.clone());
         if let Some(hit) = self.lookup_intersect(&key) {
-            self.notify(StoreOp::Intersect, true);
+            self.notify(StoreOp::Intersect, Some(identity()), true);
             return hit;
         }
         let result = Lang::new(ops::intersect_lang(a.nfa(), b.nfa()));
@@ -367,11 +478,11 @@ impl LangStore {
             } else {
                 inner.stats.op_misses += 1;
                 inner.stats.states_materialized += result.num_states() as u64;
-                inner.intersect_memo.insert(key, result.clone());
+                inner.intersect_memo.insert(key.clone(), result.clone());
                 (result, false)
             }
         };
-        self.notify(StoreOp::Intersect, hit);
+        self.notify(StoreOp::Intersect, Some(identity()), hit);
         result
     }
 
@@ -392,13 +503,14 @@ impl LangStore {
         }
         if !self.enabled {
             self.inner.lock().expect("store lock").stats.op_misses += 1;
-            self.notify(StoreOp::Inclusion, false);
+            self.notify(StoreOp::Inclusion, None, false);
             return dfa::is_subset(a.nfa(), b.nfa());
         }
         let key = (self.key_of(a), self.key_of(b));
         if key.0 == key.1 {
             return true;
         }
+        let identity = || MemoIdentity::Inclusion(key.0.clone(), key.1.clone());
         {
             let hit = {
                 let mut inner = self.inner.lock().expect("store lock");
@@ -407,7 +519,7 @@ impl LangStore {
                 })
             };
             if let Some(hit) = hit {
-                self.notify(StoreOp::Inclusion, true);
+                self.notify(StoreOp::Inclusion, Some(identity()), true);
                 return hit;
             }
         }
@@ -420,11 +532,11 @@ impl LangStore {
                 true
             } else {
                 inner.stats.op_misses += 1;
-                inner.inclusion_memo.insert(key, result);
+                inner.inclusion_memo.insert(key.clone(), result);
                 false
             }
         };
-        self.notify(StoreOp::Inclusion, hit);
+        self.notify(StoreOp::Inclusion, Some(identity()), hit);
         result
     }
 
@@ -437,7 +549,7 @@ impl LangStore {
                 inner.stats.op_misses += 1;
                 inner.stats.states_materialized += result.num_states() as u64;
             }
-            self.notify(StoreOp::Minimize, false);
+            self.notify(StoreOp::Minimize, None, false);
             return result;
         }
         let key = self.key_of(a);
@@ -449,7 +561,7 @@ impl LangStore {
                 })
             };
             if let Some(hit) = hit {
-                self.notify(StoreOp::Minimize, true);
+                self.notify(StoreOp::Minimize, Some(MemoIdentity::Minimize(key)), true);
                 return hit;
             }
         }
@@ -463,11 +575,11 @@ impl LangStore {
             } else {
                 inner.stats.op_misses += 1;
                 inner.stats.states_materialized += result.num_states() as u64;
-                inner.minimize_memo.insert(key, result.clone());
+                inner.minimize_memo.insert(key.clone(), result.clone());
                 (result, false)
             }
         };
-        self.notify(StoreOp::Minimize, hit);
+        self.notify(StoreOp::Minimize, Some(MemoIdentity::Minimize(key)), hit);
         result
     }
 
@@ -615,6 +727,118 @@ mod tests {
         store.minimized(&a);
         let after = observer.hits.load(Ordering::Relaxed) + observer.misses.load(Ordering::Relaxed);
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn fingerprint_tracked_reports_one_computation_per_handle() {
+        let l = Lang::new(ab_star());
+        let (k1, computed1) = l.fingerprint_tracked();
+        let (k2, computed2) = l.clone().fingerprint_tracked();
+        assert!(computed1, "first call canonicalizes");
+        assert!(!computed2, "clones share the cached key");
+        assert_eq!(k1, k2);
+        // Concurrent first touches: exactly one caller computes.
+        let fresh = Lang::new(ab_star());
+        let computed_count = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let (_, computed) = fresh.fingerprint_tracked();
+                    if computed {
+                        computed_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(computed_count.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    // False positive: `MemoIdentity` hashes by handle address and
+    // immutable `Arc<CanonicalKey>`s, not through `Lang`'s interior cache.
+    #[allow(clippy::mutable_key_type)]
+    fn memo_identity_distinguishes_slots() {
+        use std::collections::HashSet;
+        let a = Lang::new(ab_star());
+        let b = a.clone();
+        let c = Lang::new(ab_star());
+        // Clones share a slot; a fresh structurally-equal handle does not.
+        assert_eq!(
+            MemoIdentity::Fingerprint(a.clone()),
+            MemoIdentity::Fingerprint(b.clone())
+        );
+        assert_ne!(
+            MemoIdentity::Fingerprint(a.clone()),
+            MemoIdentity::Fingerprint(c.clone())
+        );
+        let ka = a.fingerprint();
+        let kc = c.fingerprint();
+        assert_eq!(
+            MemoIdentity::Minimize(ka.clone()),
+            MemoIdentity::Minimize(kc.clone()),
+            "value-keyed slots compare by language"
+        );
+        assert_ne!(
+            MemoIdentity::Minimize(ka.clone()),
+            MemoIdentity::Intersect(ka.clone(), kc.clone())
+        );
+        let mut set = HashSet::new();
+        set.insert(MemoIdentity::Fingerprint(a));
+        set.insert(MemoIdentity::Fingerprint(b));
+        set.insert(MemoIdentity::Fingerprint(c));
+        set.insert(MemoIdentity::Minimize(ka));
+        set.insert(MemoIdentity::Minimize(kc));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn keyed_observer_receives_slot_identities() {
+        #[derive(Default)]
+        struct Recording {
+            identities: Mutex<Vec<(StoreOp, Option<MemoIdentity>, bool)>>,
+        }
+        impl StoreObserver for Recording {
+            fn memo_event(&self, _op: StoreOp, _hit: bool) {}
+            fn memo_event_keyed(&self, op: StoreOp, identity: Option<&MemoIdentity>, hit: bool) {
+                self.identities
+                    .lock()
+                    .expect("recording")
+                    .push((op, identity.cloned(), hit));
+            }
+        }
+        let store = LangStore::new();
+        let observer = Arc::new(Recording::default());
+        store.set_observer(observer.clone());
+        let a = Lang::new(ab_star());
+        let b = Lang::new(Nfa::length_between(0, 4));
+        store.intersect(&a, &b);
+        store.intersect(&b, &a);
+        let events = observer.identities.lock().expect("recording").clone();
+        // Every enabled-store event carries an identity.
+        assert!(events.iter().all(|(_, id, _)| id.is_some()));
+        let intersects: Vec<_> = events
+            .iter()
+            .filter(|(op, _, _)| *op == StoreOp::Intersect)
+            .collect();
+        assert_eq!(intersects.len(), 2);
+        assert_eq!(
+            intersects[0].1, intersects[1].1,
+            "commuted operands land on one slot"
+        );
+        assert!(!intersects[0].2, "first touch misses");
+        assert!(intersects[1].2, "second touch hits");
+        // A pass-through store reports no identities.
+        let plain = LangStore::interning(false);
+        plain.set_observer(observer.clone());
+        plain.intersect(&a, &b);
+        let last = observer
+            .identities
+            .lock()
+            .expect("recording")
+            .last()
+            .cloned()
+            .expect("event recorded");
+        assert!(last.1.is_none());
     }
 
     #[test]

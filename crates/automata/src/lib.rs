@@ -67,6 +67,6 @@ pub use analysis::{is_finite, language_size, members, LanguageSize};
 pub use byteclass::ByteClass;
 pub use dfa::{complement, determinize, equivalent, inclusion_counterexample, is_subset, Dfa};
 pub use homomorphism::ByteMap;
-pub use lang::{Lang, LangStore, StoreObserver, StoreOp, StoreStats};
+pub use lang::{Lang, LangStore, MemoIdentity, StoreObserver, StoreOp, StoreStats};
 pub use minimize::{canonical_key, minimize, minimize_dfa, minimize_dfa_hopcroft, CanonicalKey};
 pub use nfa::{Nfa, State, StateId};

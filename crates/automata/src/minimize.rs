@@ -105,9 +105,69 @@ pub fn minimize_dfa(dfa: &Dfa) -> Dfa {
 /// Minimizes the language of an NFA: determinize, refine, and convert back.
 ///
 /// The result is a deterministic (epsilon-free) NFA recognizing the same
-/// language with the minimal number of live states.
+/// language with the minimal number of live states, rebuilt under the
+/// canonical BFS numbering (the one [`canonical_key`] serializes). That
+/// makes the output a *value*: any two inputs with the same language
+/// produce the identical `Nfa`, not merely isomorphic ones. The parallel
+/// solver depends on this — concurrent branches that race to minimize
+/// language-equal machines must end up with interchangeable results, or
+/// memo-table contents (and everything derived from them, such as product
+/// sizes) would vary from run to run.
 pub fn minimize(nfa: &Nfa) -> Nfa {
-    minimize_dfa(&determinize(nfa)).to_nfa().trim().0
+    let min = minimize_dfa(&determinize(nfa));
+    let order = bfs_order(&min);
+    let mut rank: Vec<u32> = vec![0; min.num_states()];
+    for (new, &old) in order.iter().enumerate() {
+        rank[old.index()] = new as u32;
+    }
+    let mut out = Nfa::new();
+    for _ in 1..order.len() {
+        out.add_state();
+    }
+    for (new, &old) in order.iter().enumerate() {
+        let mut row: Vec<(ByteClass, StateId)> = min.transitions(old).to_vec();
+        row.sort();
+        for (class, t) in row {
+            out.add_edge(StateId(new as u32), class, StateId(rank[t.index()]));
+        }
+        if min.is_final(old) {
+            out.add_final(StateId(new as u32));
+        }
+    }
+    // Drop the dead sink the completion step introduced, if any. `trim`
+    // keeps the start state first and the survivors in ascending id order,
+    // so the canonical numbering is preserved.
+    out.trim().0
+}
+
+/// The BFS state order of a DFA with class-sorted edge traversal, starting
+/// from the start state. For a *minimal complete* DFA this order is
+/// invariant under state renumbering (the minimal DFA is unique up to
+/// isomorphism and byte classes are renaming-independent), which is what
+/// makes [`canonical_key`] — and the canonical rebuild in [`minimize`] —
+/// well defined. Unreachable states are omitted.
+fn bfs_order(dfa: &Dfa) -> Vec<StateId> {
+    let n = dfa.num_states();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut seen: Vec<bool> = vec![false; n];
+    let mut bfs: Vec<StateId> = vec![dfa.start()];
+    seen[dfa.start().index()] = true;
+    let mut i = 0;
+    while i < bfs.len() {
+        let q = bfs[i];
+        i += 1;
+        let mut row: Vec<(ByteClass, StateId)> = dfa.transitions(q).to_vec();
+        row.sort();
+        for (_, t) in row {
+            if !seen[t.index()] {
+                seen[t.index()] = true;
+                bfs.push(t);
+            }
+        }
+    }
+    bfs
 }
 
 /// Hopcroft's worklist minimization: O(k·n·log n) over the minterm
@@ -251,24 +311,10 @@ pub fn minimize_dfa_hopcroft(dfa: &Dfa) -> Dfa {
 pub fn canonical_key(nfa: &Nfa) -> CanonicalKey {
     let min = minimize_dfa(&determinize(nfa));
     // BFS renumbering with deterministic edge order.
-    let n = min.num_states();
-    let mut order: Vec<Option<u32>> = vec![None; n];
-    let mut bfs: Vec<StateId> = vec![min.start()];
-    order[min.start().index()] = Some(0);
-    let mut next = 1u32;
-    let mut i = 0;
-    while i < bfs.len() {
-        let q = bfs[i];
-        i += 1;
-        let mut row: Vec<(ByteClass, StateId)> = min.transitions(q).to_vec();
-        row.sort();
-        for (_, t) in row {
-            if order[t.index()].is_none() {
-                order[t.index()] = Some(next);
-                next += 1;
-                bfs.push(t);
-            }
-        }
+    let bfs = bfs_order(&min);
+    let mut order: Vec<Option<u32>> = vec![None; min.num_states()];
+    for (new, &old) in bfs.iter().enumerate() {
+        order[old.index()] = Some(new as u32);
     }
     // Serialize: per state in BFS order, finality then sorted transitions.
     let mut words: Vec<u64> = vec![bfs.len() as u64];
@@ -347,6 +393,25 @@ mod tests {
         assert_eq!(m.num_states(), 1);
         assert!(m.contains(b""));
         assert!(m.contains(b"xyz"));
+    }
+
+    #[test]
+    fn minimize_is_value_canonical() {
+        // Language-equal but structurally different inputs minimize to the
+        // *identical* machine (same state numbering, same edge order), not
+        // merely isomorphic ones — the property concurrent memo sharing
+        // relies on.
+        let a = ops::star(&Nfa::literal(b"ab"));
+        let b = ops::union(
+            &Nfa::epsilon(),
+            &ops::concat(&Nfa::literal(b"ab"), &ops::star(&Nfa::literal(b"ab"))).nfa,
+        );
+        let (ma, mb) = (minimize(&a), minimize(&b));
+        assert_eq!(ma.num_states(), mb.num_states());
+        assert_eq!(ma.start(), mb.start());
+        assert_eq!(ma.finals(), mb.finals());
+        let edges = |m: &Nfa| m.edges().collect::<Vec<_>>();
+        assert_eq!(edges(&ma), edges(&mb));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! CI performance smoke test over the motivating (non-heavy) Figure 12
+//! corpus.
+//!
+//! Re-measures every fast row, compares the **median** untraced solve
+//! time against the same rows in the checked-in `BENCH_fig12.json`
+//! baseline, and fails if the median regressed by more than the
+//! tolerance (default 25%). The median — not the mean or any single
+//! row — keeps one noisy row on a shared CI runner from flagging a
+//! phantom regression; a real slowdown in the solver moves every row.
+//!
+//! The fresh measurement is written to `target/bench-smoke/` so CI can
+//! upload it as an artifact next to the baseline it was judged against.
+//!
+//! Usage:
+//!   cargo run -p dprle-bench --bin bench_smoke --release \
+//!     [--tolerance PCT] [--baseline PATH]
+//!
+//! Exit codes: 0 ok, 1 median regression, 2 unusable baseline.
+
+use dprle_bench::{fig12_rows_json, parse_fig12_baseline, run_fig12};
+use dprle_core::SolveOptions;
+
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.total_cmp(b));
+    values[values.len() / 2]
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tolerance_pct: f64 = flag_value(&args, "--tolerance")
+        .map(|s| {
+            s.parse().ok().filter(|p| *p >= 0.0).unwrap_or_else(|| {
+                eprintln!("--tolerance needs a non-negative percentage, got `{s}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(25.0);
+    let baseline_path = flag_value(&args, "--baseline")
+        .unwrap_or_else(|| format!("{}/../../BENCH_fig12.json", env!("CARGO_MANIFEST_DIR")));
+
+    let baseline_json = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("bench_smoke: cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = parse_fig12_baseline(&baseline_json);
+    if baseline.is_empty() {
+        eprintln!("bench_smoke: baseline {baseline_path} has no (name, seconds) rows");
+        std::process::exit(2);
+    }
+
+    let rows = run_fig12(&SolveOptions::default(), false);
+
+    let out_dir = "target/bench-smoke";
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: could not create {out_dir}: {e}");
+    }
+    let out_path = format!("{out_dir}/BENCH_fig12.json");
+    match std::fs::write(&out_path, fig12_rows_json(&rows)) {
+        Ok(()) => eprintln!("wrote {out_path} ({} rows)", rows.len()),
+        Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+    }
+
+    // Judge only rows present in both runs: the checked-in baseline also
+    // carries the heavy `secure` row this smoke pass skips.
+    let mut fresh = Vec::new();
+    let mut base = Vec::new();
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "row", "baseline (s)", "fresh (s)", "ratio"
+    );
+    for r in &rows {
+        let Some((_, b)) = baseline.iter().find(|(n, _)| *n == r.name) else {
+            println!("{:<12} {:>12} {:>12.6} {:>8}", r.name, "-", r.seconds, "-");
+            continue;
+        };
+        println!(
+            "{:<12} {:>12.6} {:>12.6} {:>7.2}x",
+            r.name,
+            b,
+            r.seconds,
+            r.seconds / b.max(f64::EPSILON)
+        );
+        fresh.push(r.seconds);
+        base.push(*b);
+    }
+    if fresh.is_empty() {
+        eprintln!("bench_smoke: no overlap between fresh rows and baseline {baseline_path}");
+        std::process::exit(2);
+    }
+
+    let fresh_median = median(fresh);
+    let base_median = median(base);
+    let limit = base_median * (1.0 + tolerance_pct / 100.0);
+    println!(
+        "\nmedian solve time: baseline {base_median:.6}s, fresh {fresh_median:.6}s, \
+         limit {limit:.6}s (+{tolerance_pct}%)"
+    );
+    if fresh_median > limit {
+        eprintln!(
+            "bench_smoke: median regressed {:.1}% (> {tolerance_pct}% tolerance)",
+            (fresh_median / base_median - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("within tolerance");
+}

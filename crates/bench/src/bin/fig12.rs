@@ -8,22 +8,37 @@
 //! times differ — 2009 testbed vs this machine, and see the ablation bench
 //! for the no-minimization mode that magnifies the outlier further).
 //!
-//! Usage: `cargo run -p dprle-bench --bin fig12 --release [--skip-heavy] [--json]`
+//! Usage: `cargo run -p dprle-bench --bin fig12 --release [--skip-heavy] [--json] [--jobs N]`
+//!
+//! `--jobs N` adds a third, untraced solving pass per row with `N`
+//! worklist workers (the branch-parallel solver, whose output is
+//! byte-identical to sequential) and reports the per-row speedup.
 //!
 //! Always writes the machine-readable results (per-row `|FG|`, `|C|`, solve
-//! time, and interning cache counters) to `BENCH_fig12.json` in the current
-//! directory; `--json` additionally prints that JSON to stdout instead of
-//! the human-readable table.
+//! time, parallel jobs/speedup, and interning cache counters) to
+//! `BENCH_fig12.json` in the current directory; `--json` additionally
+//! prints that JSON to stdout instead of the human-readable table.
 
-use dprle_bench::{fig12_rows_json, fig12_shape_violations, run_fig12};
+use dprle_bench::{fig12_rows_json, fig12_shape_violations, run_fig12_jobs};
 use dprle_core::SolveOptions;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let include_heavy = !args.iter().any(|a| a == "--skip-heavy");
     let as_json = args.iter().any(|a| a == "--json");
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|n| *n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            }),
+        None => 1,
+    };
 
-    let rows = run_fig12(&SolveOptions::default(), include_heavy);
+    let rows = run_fig12_jobs(&SolveOptions::default(), include_heavy, jobs);
 
     let json = fig12_rows_json(&rows);
     match std::fs::write("BENCH_fig12.json", &json) {
@@ -37,15 +52,55 @@ fn main() {
     }
 
     println!("Figure 12: experimental results (measured vs published)");
-    println!(
-        "{:<8} {:<10} {:>6} {:>6} {:>6} {:>6} {:>10} {:>10}",
-        "App", "Vuln", "|FG|", "(pub)", "|C|", "(pub)", "T_S (s)", "(pub s)"
-    );
-    for r in &rows {
+    if jobs > 1 {
         println!(
-            "{:<8} {:<10} {:>6} {:>6} {:>6} {:>6} {:>10.3} {:>10.3}",
-            r.app, r.name, r.fg, r.fg_paper, r.c, r.c_paper, r.seconds, r.paper_seconds
+            "{:<8} {:<10} {:>6} {:>6} {:>6} {:>6} {:>10} {:>10} {:>5} {:>10} {:>8}",
+            "App",
+            "Vuln",
+            "|FG|",
+            "(pub)",
+            "|C|",
+            "(pub)",
+            "T_S (s)",
+            "(pub s)",
+            "jobs",
+            "par (s)",
+            "speedup"
         );
+    } else {
+        println!(
+            "{:<8} {:<10} {:>6} {:>6} {:>6} {:>6} {:>10} {:>10}",
+            "App", "Vuln", "|FG|", "(pub)", "|C|", "(pub)", "T_S (s)", "(pub s)"
+        );
+    }
+    for r in &rows {
+        if jobs > 1 {
+            println!(
+                "{:<8} {:<10} {:>6} {:>6} {:>6} {:>6} {:>10.3} {:>10.3} {:>5} {:>10.3} {:>7.2}x",
+                r.app,
+                r.name,
+                r.fg,
+                r.fg_paper,
+                r.c,
+                r.c_paper,
+                r.seconds,
+                r.paper_seconds,
+                r.jobs,
+                r.par_seconds,
+                r.speedup
+            );
+        } else {
+            println!(
+                "{:<8} {:<10} {:>6} {:>6} {:>6} {:>6} {:>10.3} {:>10.3}",
+                r.app, r.name, r.fg, r.fg_paper, r.c, r.c_paper, r.seconds, r.paper_seconds
+            );
+        }
+    }
+    if jobs > 1 {
+        let mut speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+        speedups.sort_by(|a, b| a.total_cmp(b));
+        let median = speedups[speedups.len() / 2];
+        println!("\nMedian speedup at --jobs {jobs}: {median:.2}x (hardware dependent)");
     }
 
     // Per-phase wall time aggregated over all rows' traced passes

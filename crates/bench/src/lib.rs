@@ -55,6 +55,16 @@ pub struct Fig12Row {
     pub traced_seconds: f64,
     /// Published solving time in seconds (2009 hardware).
     pub paper_seconds: f64,
+    /// Worker threads of the parallel pass (`1` = the pass was skipped and
+    /// the sequential measurement is reused).
+    pub jobs: usize,
+    /// Measured constraint-solving time with `jobs` worklist workers,
+    /// tracer disabled. Byte-identical output to the sequential pass is
+    /// guaranteed by the deterministic merge; the delta is pure scheduling.
+    pub par_seconds: f64,
+    /// `seconds / par_seconds` — the parallel pass's speedup. Hardware
+    /// dependent: meaningful only on multi-core runners.
+    pub speedup: f64,
     /// Whether an exploit was found (every row should be `true`).
     pub exploitable: bool,
     /// Solver counters aggregated over the row's runs (see
@@ -71,6 +81,14 @@ pub struct Fig12Row {
 /// twice — tracer disabled (the `T_S` measurement) and tracer enabled into
 /// a null sink — so the table carries the tracing overhead alongside.
 pub fn run_fig12_row(spec: &VulnSpec, options: &SolveOptions) -> Fig12Row {
+    run_fig12_row_jobs(spec, options, 1)
+}
+
+/// Like [`run_fig12_row`], additionally timing a third, untraced pass with
+/// `jobs` worklist workers (skipped when `jobs <= 1`). The parallel pass
+/// produces byte-identical solutions and statistics — only wall time may
+/// differ — so the row's `speedup` isolates the scheduling win.
+pub fn run_fig12_row_jobs(spec: &VulnSpec, options: &SolveOptions, jobs: usize) -> Fig12Row {
     let program = vulnerable_program(spec);
     let fg = Cfg::build(&program).num_blocks();
     let reaches = explore(&program, &SymexOptions::default())
@@ -111,6 +129,29 @@ pub fn run_fig12_row(spec: &VulnSpec, options: &SolveOptions) -> Fig12Row {
     let phases = TraceReport::from_events(&sink.take())
         .map(|r| r.phases)
         .unwrap_or_default();
+    // Third pass: the same untraced workload on the parallel worklist.
+    // The systems are rebuilt from scratch first: `Lang` handles cache
+    // their canonical fingerprint, so reusing the warmed systems from the
+    // passes above would credit cache warmth to the thread count. Cold
+    // sequential vs cold parallel is the honest comparison.
+    let (jobs, par_seconds) = if jobs > 1 {
+        let par_systems: Vec<dprle_core::System> = reaches
+            .iter()
+            .map(|reach| to_system(reach, &policy).0)
+            .collect();
+        let par_options = SolveOptions {
+            jobs,
+            ..options.clone()
+        };
+        let start = Instant::now();
+        for sys in &par_systems {
+            let store = LangStore::interning(par_options.interning);
+            let _ = solve_traced(sys, &par_options, &store, &Tracer::disabled());
+        }
+        (jobs, start.elapsed().as_secs_f64())
+    } else {
+        (1, seconds)
+    };
     Fig12Row {
         app: spec.app.to_owned(),
         name: spec.name.to_owned(),
@@ -121,6 +162,13 @@ pub fn run_fig12_row(spec: &VulnSpec, options: &SolveOptions) -> Fig12Row {
         seconds,
         traced_seconds,
         paper_seconds: spec.paper_seconds,
+        jobs,
+        par_seconds,
+        speedup: if par_seconds > 0.0 {
+            seconds / par_seconds
+        } else {
+            1.0
+        },
         exploitable,
         stats,
         phases,
@@ -130,10 +178,15 @@ pub fn run_fig12_row(spec: &VulnSpec, options: &SolveOptions) -> Fig12Row {
 /// Runs all 17 rows. `include_heavy: false` skips the deliberately
 /// expensive `secure` row (useful in quick checks and Criterion loops).
 pub fn run_fig12(options: &SolveOptions, include_heavy: bool) -> Vec<Fig12Row> {
+    run_fig12_jobs(options, include_heavy, 1)
+}
+
+/// Like [`run_fig12`] with a parallel pass at `jobs` workers per row.
+pub fn run_fig12_jobs(options: &SolveOptions, include_heavy: bool, jobs: usize) -> Vec<Fig12Row> {
     FIG12_ROWS
         .iter()
         .filter(|s| include_heavy || !s.heavy)
-        .map(|s| run_fig12_row(s, options))
+        .map(|s| run_fig12_row_jobs(s, options, jobs))
         .collect()
 }
 
@@ -176,6 +229,9 @@ pub fn fig12_rows_json(rows: &[Fig12Row]) -> String {
             ("seconds", format!("{:.6}", r.seconds)),
             ("traced_seconds", format!("{:.6}", r.traced_seconds)),
             ("paper_seconds", format!("{:.3}", r.paper_seconds)),
+            ("jobs", r.jobs.to_string()),
+            ("par_seconds", format!("{:.6}", r.par_seconds)),
+            ("speedup", format!("{:.3}", r.speedup)),
             ("exploitable", r.exploitable.to_string()),
         ];
         for (j, (k, v)) in fields.iter().enumerate() {
@@ -212,6 +268,33 @@ pub fn fig12_rows_json(rows: &[Fig12Row]) -> String {
         out.push_str("\n  }");
     }
     out.push_str("\n]\n");
+    out
+}
+
+/// Parses `(name, seconds)` pairs back out of a checked-in
+/// `BENCH_fig12.json`.
+///
+/// Line-oriented on purpose: the file is always produced by
+/// [`fig12_rows_json`], whose one-field-per-line layout this relies on —
+/// it is not a general JSON parser. `"seconds"` is matched exactly, so
+/// `traced_seconds`/`par_seconds`/`paper_seconds` never collide.
+pub fn parse_fig12_baseline(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("\"name\": ") {
+            name = rest
+                .trim()
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(str::to_owned);
+        } else if let Some(rest) = line.strip_prefix("\"seconds\": ") {
+            if let (Some(n), Ok(v)) = (name.take(), rest.trim().parse::<f64>()) {
+                out.push((n, v));
+            }
+        }
+    }
     out
 }
 
@@ -384,6 +467,9 @@ mod tests {
             seconds: 0.01,
             traced_seconds: 0.012,
             paper_seconds: 0.01,
+            jobs: 1,
+            par_seconds: 0.01,
+            speedup: 1.0,
             exploitable: true,
             stats: SolveStats::default(),
             phases: Vec::new(),
@@ -408,6 +494,9 @@ mod tests {
             seconds: 0.01,
             traced_seconds: 0.012,
             paper_seconds: 0.01,
+            jobs: 1,
+            par_seconds: 0.01,
+            speedup: 1.0,
             exploitable: true,
             stats: SolveStats {
                 groups: 2,
@@ -430,6 +519,35 @@ mod tests {
         assert!(json.contains("\"fingerprint-hits\": 7"), "{json}");
         assert!(json.contains("\"phases\": {"), "{json}");
         assert!(json.contains("\"gci\": 1234"), "{json}");
+    }
+
+    #[test]
+    fn baseline_parser_roundtrips_rows_json() {
+        let mk = |name: &str, seconds: f64| Fig12Row {
+            app: "x".into(),
+            name: name.into(),
+            fg: 1,
+            fg_paper: 1,
+            c: 1,
+            c_paper: 1,
+            seconds,
+            traced_seconds: seconds * 2.0,
+            paper_seconds: 9.0,
+            jobs: 4,
+            par_seconds: seconds / 2.0,
+            speedup: 2.0,
+            exploitable: true,
+            stats: SolveStats::default(),
+            phases: Vec::new(),
+        };
+        let rows = [mk("edit", 0.125), mk("secure", 3.5)];
+        let parsed = parse_fig12_baseline(&fig12_rows_json(&rows));
+        // Only the untraced sequential `seconds` field is extracted — the
+        // traced/par/paper variants must not collide with it.
+        assert_eq!(
+            parsed,
+            vec![("edit".to_owned(), 0.125), ("secure".to_owned(), 3.5)]
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //!   --trace-dot FILE   write the provenance-annotated dependency graph
 //!   --stats            print solver counters (cache hits, worklist depth)
 //!   --no-interning     disable language interning/memoization (ablation)
+//!   --jobs N           worklist worker threads (default 1; deterministic)
 //!   -h, --help         this message
 //! ```
 //!
@@ -39,7 +40,7 @@ use std::io::BufWriter;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--no-interning] FILE
+const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--no-interning] [--jobs N] FILE
        dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
   solves a system of subset constraints over regular languages
   (see the dprle-cli crate docs for the input format)";
@@ -58,6 +59,7 @@ struct Args {
     core: bool,
     stats: bool,
     interning: bool,
+    jobs: usize,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -75,6 +77,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         core: false,
         stats: false,
         interning: true,
+        jobs: 1,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -99,6 +102,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--core" => args.core = true,
             "--stats" => args.stats = true,
             "--no-interning" => args.interning = false,
+            "--jobs" => {
+                i += 1;
+                let n = argv.get(i).ok_or("--jobs needs a count")?;
+                args.jobs = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{n}`"))?;
+            }
             "--dot-var" => {
                 i += 1;
                 let name = argv.get(i).ok_or("--dot-var needs a name")?;
@@ -308,6 +320,7 @@ fn main() -> ExitCode {
         verify: args.verify,
         trace: args.trace,
         interning: args.interning,
+        jobs: args.jobs,
         ..Default::default()
     };
     if args.file.ends_with(".smt2") {

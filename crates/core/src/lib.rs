@@ -53,6 +53,7 @@ pub mod ci;
 pub mod gci;
 pub mod graph;
 pub mod incremental;
+pub mod parallel;
 pub mod solution;
 pub mod solve;
 pub mod spec;
@@ -66,6 +67,7 @@ pub use ci::{
 pub use gci::GciOptions;
 pub use graph::{DependencyGraph, NodeId, NodeKind};
 pub use incremental::Solver;
+pub use parallel::ParallelSolver;
 pub use solution::{Assignment, Solution};
 pub use solve::{
     satisfies_system, solve, solve_first, solve_traced, solve_with_stats, solve_with_store,

@@ -29,9 +29,10 @@
 
 use crate::gci::{solve_group, GciOptions};
 use crate::graph::{DependencyGraph, NodeId, NodeKind};
+use crate::parallel::{drive_worklist, RoutedStoreObserver, WorklistCtx};
 use crate::solution::{Assignment, Solution};
 use crate::spec::{Constraint, Expr, System, VarId};
-use crate::trace::{TraceEventKind, Tracer, TracerStoreObserver};
+use crate::trace::{TraceEventKind, Tracer};
 use dprle_automata::{is_subset, ops, Lang, LangStore, Nfa};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -82,6 +83,13 @@ pub struct SolveOptions {
     /// repeated language computations across disjuncts hit the cache.
     /// Disable (`ablation_interning`) to measure the sharing's effect.
     pub interning: bool,
+    /// Worker threads for the worklist phase. `1` (the default) runs the
+    /// sequential Figure 7 loop; larger values distribute each worklist
+    /// level across a scoped thread pool and deterministically merge the
+    /// results, so solutions, statistics, and trace journals are
+    /// byte-identical to the sequential run (timestamps aside) — see the
+    /// [`parallel`](crate::parallel) module. `0` is treated as `1`.
+    pub jobs: usize,
 }
 
 impl Default for SolveOptions {
@@ -95,6 +103,7 @@ impl Default for SolveOptions {
             trace: false,
             strip_constant_operands: false,
             interning: true,
+            jobs: 1,
         }
     }
 }
@@ -252,7 +261,10 @@ pub fn solve_traced(
 ) -> (Solution, SolveStats) {
     let observing = tracer.is_enabled();
     if observing {
-        store.set_observer(Arc::new(TracerStoreObserver(tracer.clone())));
+        // The routed observer behaves exactly like `TracerStoreObserver`
+        // on the main thread; on parallel workers it redirects memo events
+        // into the worker's per-entry buffer for the deterministic replay.
+        store.set_observer(Arc::new(RoutedStoreObserver::new(tracer.clone())));
     }
     let before = store.stats();
     let (solution, mut stats) = if options.strip_constant_operands {
@@ -400,6 +412,37 @@ fn solve_prepared(
     // (Figure 7, lines 13–14).
     // Partial assignments hold `Lang` handles: branching clones the map of
     // handles (O(entries) Arc bumps), never the machines themselves.
+    if options.jobs > 1 {
+        let ctx = WorklistCtx {
+            system,
+            graph: &graph,
+            groups: &groups,
+            leaf: &leaf,
+            options,
+            original,
+            verify_constraints: &verify_constraints,
+            store,
+            tracer,
+        };
+        let produced = drive_worklist(&ctx, options.jobs, &mut stats);
+        trace!(
+            "{} branch(es) completed, {} filtered, {} assignment(s) returned",
+            stats.branches_completed,
+            stats.branches_filtered,
+            stats.branches_completed - stats.branches_filtered
+        );
+        let solution = if produced.is_empty() {
+            Solution::Unsat
+        } else {
+            Solution::Assignments(produced)
+        };
+        tracer.emit(|| TraceEventKind::SolveEnd {
+            sat: solution.is_sat(),
+            assignments: solution.assignments().len(),
+        });
+        return (solution, stats);
+    }
+
     let mut queue: VecDeque<(usize, BTreeMap<NodeId, Lang>)> =
         VecDeque::from([(0, BTreeMap::new())]);
     stats.peak_worklist = queue.len();
@@ -463,12 +506,16 @@ fn solve_prepared(
             let mut extended = partial.clone();
             extended.extend(d);
             queue.push_back((gi + 1, extended));
+            // Track the high-water mark at every enqueue: measuring once
+            // per loop iteration (as earlier revisions did) under-reports
+            // the peak whenever the run stops mid-iteration — e.g. a
+            // `max_assignments` break after this entry's pushes.
+            stats.peak_worklist = stats.peak_worklist.max(queue.len());
             tracer.emit(|| TraceEventKind::WorklistBranch {
                 group: gi,
                 depth: queue.len(),
             });
         }
-        stats.peak_worklist = stats.peak_worklist.max(queue.len());
     }
 
     trace!(
@@ -516,7 +563,7 @@ pub fn solve_first(system: &System, options: &SolveOptions) -> Option<Assignment
 /// Turns a completed branch's node assignment into a variable assignment,
 /// applying the nonemptiness and verification filters.
 #[allow(clippy::too_many_arguments)]
-fn finish_branch(
+pub(crate) fn finish_branch(
     system: &System,
     graph: &DependencyGraph,
     leaf: &BTreeMap<NodeId, Lang>,
@@ -1069,5 +1116,136 @@ mod tests {
         );
         assert!(m.contains(b"ab"));
         assert!(!m.contains(b"a"));
+    }
+
+    /// Two independent CI-groups, each producing two disjuncts — the
+    /// smallest system whose worklist genuinely branches (4 complete
+    /// branches, queue trajectory 1 → 2 → 3 → 4).
+    fn two_group_disjunctive_system() -> System {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let v3 = sys.var("v3");
+        let v4 = sys.var("v4");
+        let cx = sys.constant("cx", exact("x(yy)+"));
+        let cy = sys.constant("cy", exact("(yy)*z"));
+        let ct = sys.constant("ct", exact("xyyz|xyyyyz"));
+        sys.require(Expr::Var(v1), cx);
+        sys.require(Expr::Var(v2), cy);
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), ct);
+        sys.require(Expr::Var(v3), cx);
+        sys.require(Expr::Var(v4), cy);
+        sys.require(Expr::Var(v3).concat(Expr::Var(v4)), ct);
+        sys
+    }
+
+    #[test]
+    fn peak_worklist_counts_every_enqueue() {
+        let sys = two_group_disjunctive_system();
+        // Trajectory: seed (1); pop + group 0 pushes two children (2);
+        // pop + group 1 pushes two (3); pop + group 1 pushes two (4).
+        let (solution, stats) = solve_with_stats(&sys, &SolveOptions::default());
+        assert_eq!(solution.assignments().len(), 4);
+        assert_eq!(stats.peak_worklist, 4);
+        // An early `max_assignments` exit must not lose the high-water
+        // mark: the peak is reached while branching, before the first
+        // completed branch stops the run.
+        let opts = SolveOptions {
+            max_assignments: Some(1),
+            ..SolveOptions::default()
+        };
+        let (solution, stats) = solve_with_stats(&sys, &opts);
+        assert_eq!(solution.assignments().len(), 1);
+        assert_eq!(stats.peak_worklist, 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_solutions_and_stats() {
+        // Each run gets a *fresh* system: fingerprint hit/miss counters
+        // depend on the handles' interior caches, which a previous run over
+        // the same `System` would have warmed.
+        let sequential = SolveOptions {
+            trace: true,
+            ..SolveOptions::default()
+        };
+        let (seq, seq_stats) = solve_with_stats(&two_group_disjunctive_system(), &sequential);
+        for jobs in [2, 4, 8] {
+            let sys = two_group_disjunctive_system();
+            let opts = SolveOptions {
+                jobs,
+                ..sequential.clone()
+            };
+            let (par, par_stats) = solve_with_stats(&sys, &opts);
+            assert_eq!(par.assignments().len(), seq.assignments().len());
+            for (a, b) in seq.assignments().iter().zip(par.assignments()) {
+                for v in sys.var_ids() {
+                    let (sa, sb) = (a.get(v).expect("assigned"), b.get(v).expect("assigned"));
+                    assert_eq!(sa.fingerprint(), sb.fingerprint(), "jobs={jobs} var {v:?}");
+                }
+            }
+            // Full equality: every counter *and* the human-readable event
+            // strings (SolveStats derives PartialEq over all fields).
+            assert_eq!(par_stats, seq_stats, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_respects_max_assignments() {
+        let sys = two_group_disjunctive_system();
+        for jobs in [1, 4] {
+            let opts = SolveOptions {
+                max_assignments: Some(2),
+                jobs,
+                ..SolveOptions::default()
+            };
+            let (solution, stats) = solve_with_stats(&sys, &opts);
+            assert_eq!(solution.assignments().len(), 2, "jobs={jobs}");
+            assert_eq!(stats.branches_completed, 2, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_solver_handle_matches_options_knob() {
+        let opts = SolveOptions::default();
+        let (via_handle, handle_stats) = crate::parallel::ParallelSolver::new(4)
+            .solve_with_stats(&two_group_disjunctive_system(), &opts);
+        let (via_knob, knob_stats) = solve_with_stats(
+            &two_group_disjunctive_system(),
+            &SolveOptions {
+                jobs: 4,
+                ..opts.clone()
+            },
+        );
+        assert_eq!(via_handle.assignments().len(), via_knob.assignments().len());
+        assert_eq!(handle_stats, knob_stats);
+    }
+
+    #[test]
+    fn parallel_unsat_group_drains_cleanly() {
+        // The branching groups are satisfiable but a later group is not →
+        // every branch dies. Fresh systems per run (see above).
+        fn build() -> System {
+            let mut sys = two_group_disjunctive_system();
+            let v5 = sys.var("v5");
+            let v6 = sys.var("v6");
+            let ca = sys.constant("ca", exact("a"));
+            let cb = sys.constant("cb", exact("b"));
+            let cc = sys.constant("cc", exact("c"));
+            sys.require(Expr::Var(v5), ca);
+            sys.require(Expr::Var(v6), cb);
+            sys.require(Expr::Var(v5).concat(Expr::Var(v6)), cc);
+            sys
+        }
+        let (seq, seq_stats) = solve_with_stats(&build(), &SolveOptions::default());
+        let (par, par_stats) = solve_with_stats(
+            &build(),
+            &SolveOptions {
+                jobs: 4,
+                ..SolveOptions::default()
+            },
+        );
+        assert!(!seq.is_sat());
+        assert!(!par.is_sat());
+        assert_eq!(par_stats, seq_stats);
     }
 }

@@ -94,6 +94,48 @@ pub fn nested_system(k: usize, q: usize) -> System {
     sys
 }
 
+/// A system of `groups` independent CI-groups, each branching into
+/// `disjuncts` disjunctive solutions — the workload the branch-parallel
+/// worklist solver is built for.
+///
+/// Group `i` constrains a disjoint variable pair:
+/// `aᵢ ⊆ x(yy)+`, `bᵢ ⊆ (yy)*z`, `aᵢ·bᵢ ⊆ x(yy|yyyy|…){1}z`-style targets
+/// whose alternation width fixes the disjunct count. The worklist then
+/// fans out to `disjuncts^groups` complete branches, every one paying the
+/// (memo-free) verification cost — the part of the run that scales with
+/// worker threads. All machines are built from regexes, so the system is
+/// deterministic; solving it at any `jobs` count must produce identical
+/// output (the determinism harness relies on this).
+pub fn multi_group_system(groups: usize, disjuncts: usize) -> System {
+    use dprle_regex::Regex;
+    let d = disjuncts.max(1);
+    let target: String = {
+        let alts: Vec<String> = (1..=d).map(|k| "yy".repeat(k)).collect();
+        format!("x({})z", alts.join("|"))
+    };
+    let compile = |pattern: &str| -> Nfa {
+        Regex::new(pattern)
+            .expect("generator patterns compile")
+            .exact_language()
+            .clone()
+    };
+    let cx = compile("x(yy)+");
+    let cy = compile("(yy)*z");
+    let ct = compile(&target);
+    let mut sys = System::new();
+    for g in 0..groups.max(1) {
+        let a = sys.var(&format!("a{g}"));
+        let b = sys.var(&format!("b{g}"));
+        let kx = sys.constant(&format!("cx{g}"), cx.clone());
+        let ky = sys.constant(&format!("cy{g}"), cy.clone());
+        let kt = sys.constant(&format!("ct{g}"), ct.clone());
+        sys.require(Expr::Var(a), kx);
+        sys.require(Expr::Var(b), ky);
+        sys.require(Expr::Var(a).concat(Expr::Var(b)), kt);
+    }
+    sys
+}
+
 /// Parameters for random system generation.
 #[derive(Clone, Debug)]
 pub struct RandomSystemConfig {
@@ -190,6 +232,16 @@ mod tests {
         // Position × modulus pairs: well above linear in input size.
         assert!(run.m5.num_states() > 3 * c1.num_states());
         assert!(!run.solutions.is_empty());
+    }
+
+    #[test]
+    fn multi_group_system_branches_as_designed() {
+        let sys = multi_group_system(3, 2);
+        let (solution, stats) = dprle_core::solve_with_stats(&sys, &SolveOptions::default());
+        assert_eq!(stats.groups, 3);
+        // 2 disjuncts per group → 2³ complete branches, all satisfying.
+        assert_eq!(stats.branches_completed, 8);
+        assert_eq!(solution.assignments().len(), 8);
     }
 
     #[test]
