@@ -141,9 +141,28 @@ impl Dfa {
 /// reachable subset-states are materialized. The result's transition
 /// function is partial (no explicit dead state).
 pub fn determinize(nfa: &Nfa) -> Dfa {
+    determinize_counted(nfa).0
+}
+
+/// Cost report of one determinization, consumed by the metrics registry's
+/// "determinization blowup" histograms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeterminizeCost {
+    /// DFA subset-states produced.
+    pub dfa_states: usize,
+    /// Total states returned across every ε-closure evaluated by the
+    /// construction — the "ε-closure work" cost driver.
+    pub closure_visited: usize,
+}
+
+/// Like [`determinize`], additionally reporting the subset-construction
+/// cost (output states and ε-closure work).
+pub fn determinize_counted(nfa: &Nfa) -> (Dfa, DeterminizeCost) {
+    let mut cost = DeterminizeCost::default();
     let classes: Vec<ByteClass> = nfa.edges().map(|(_, c, _)| c).collect();
     let alphabet = minterms(classes.iter());
     let start_set = nfa.eps_closure(&BTreeSet::from([nfa.start()]));
+    cost.closure_visited += start_set.len();
     let mut index: HashMap<BTreeSet<StateId>, StateId> = HashMap::new();
     let mut sets: Vec<BTreeSet<StateId>> = vec![start_set.clone()];
     index.insert(start_set, StateId(0));
@@ -157,6 +176,7 @@ pub fn determinize(nfa: &Nfa) -> Dfa {
             // All minterm members behave identically, so step on any one.
             let b = block.min_byte().expect("minterm blocks are nonempty");
             let next = nfa.eps_closure(&nfa.step(&cur, b));
+            cost.closure_visited += next.len();
             if next.is_empty() {
                 continue;
             }
@@ -186,11 +206,15 @@ pub fn determinize(nfa: &Nfa) -> Dfa {
         new_row.sort_by_key(|&(_, t)| t);
         *row = new_row;
     }
-    Dfa {
-        states,
-        start: StateId(0),
-        finals,
-    }
+    cost.dfa_states = states.len();
+    (
+        Dfa {
+            states,
+            start: StateId(0),
+            finals,
+        },
+        cost,
+    )
 }
 
 /// The NFA for the complement language Σ* \ L(nfa).
@@ -324,6 +348,16 @@ mod tests {
             "shortest counterexample is ε or 'a', got {cex:?}"
         );
         assert_eq!(inclusion_counterexample(&aa, &astar), None);
+    }
+
+    #[test]
+    fn counted_determinization_reports_cost() {
+        let n = ops::union(&Nfa::literal(b"ab"), &ops::star(&Nfa::literal(b"a")));
+        let (d, cost) = determinize_counted(&n);
+        assert_eq!(cost.dfa_states, d.num_states());
+        assert!(cost.closure_visited > 0);
+        // The counted path is the path: plain determinize is identical.
+        assert_eq!(determinize(&n), d);
     }
 
     #[test]

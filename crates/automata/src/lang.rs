@@ -15,13 +15,24 @@
 //! fingerprints, with counters that the solver surfaces as cache
 //! observability stats.
 
-use crate::dfa;
-use crate::minimize::{canonical_key, minimize, CanonicalKey};
+use crate::dfa::{self, DeterminizeCost};
+use crate::metrics::{id, Metrics};
+use crate::minimize::{canonical_key_counted, minimize_counted, CanonicalKey};
 use crate::nfa::Nfa;
 use crate::ops;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Approximate per-state heap footprint of an [`Nfa`] in bytes, used by the
+/// store's memo byte accounting. Shape-derived (never allocator-derived) so
+/// the accounting is identical across runs and thread counts.
+const STATE_BYTES: u64 = 24;
+/// Approximate per-transition heap footprint, same accounting.
+const EDGE_BYTES: u64 = 40;
+/// Flat charge for one inclusion-memo entry (a boolean plus two `Arc` key
+/// references).
+const INCLUSION_ENTRY_BYTES: u64 = 24;
 
 /// A regular language: a shared, immutable [`Nfa`] with lazily cached
 /// canonical properties.
@@ -80,10 +91,7 @@ impl Lang {
     /// and hashing are O(key length) afterwards. Equal fingerprints hold
     /// exactly for equal languages.
     pub fn fingerprint(&self) -> Arc<CanonicalKey> {
-        self.inner
-            .fingerprint
-            .get_or_init(|| Arc::new(canonical_key(&self.inner.nfa)))
-            .clone()
+        self.fingerprint_tracked_costed().0
     }
 
     /// Whether [`Lang::fingerprint`] has already been computed (used by
@@ -99,16 +107,39 @@ impl Lang {
     /// race-free (checking [`Lang::fingerprint_is_cached`] first and then
     /// computing would let two racing threads both count a miss).
     pub fn fingerprint_tracked(&self) -> (Arc<CanonicalKey>, bool) {
-        let mut computed = false;
+        let (key, cost) = self.fingerprint_tracked_costed();
+        (key, cost.is_some())
+    }
+
+    /// Like [`Lang::fingerprint_tracked`], but the "this call computed"
+    /// signal carries the computation's cost: the subset-construction work
+    /// and the serialized key footprint. Exactly one caller per handle ever
+    /// observes `Some` (the `OnceLock` winner), which is what lets the
+    /// metrics registry charge each canonicalization exactly once no matter
+    /// how many threads race on the handle.
+    pub fn fingerprint_tracked_costed(&self) -> (Arc<CanonicalKey>, Option<FingerprintCost>) {
+        let cost = std::cell::Cell::new(None);
         let key = self
             .inner
             .fingerprint
             .get_or_init(|| {
-                computed = true;
-                Arc::new(canonical_key(&self.inner.nfa))
+                let (key, determinize) = canonical_key_counted(&self.inner.nfa);
+                cost.set(Some(FingerprintCost {
+                    determinize,
+                    key_bytes: key.byte_len() as u64,
+                }));
+                Arc::new(key)
             })
             .clone();
-        (key, computed)
+        (key, cost.get())
+    }
+
+    /// Rough heap footprint of the wrapped machine in bytes, derived only
+    /// from its shape (states and transitions), so identical machines are
+    /// charged identically on every run. Used by the store's memo byte
+    /// accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        self.num_states() as u64 * STATE_BYTES + self.num_edges() as u64 * EDGE_BYTES
     }
 
     /// An address identifying this handle's shared allocation, stable for
@@ -155,6 +186,16 @@ impl Lang {
             .edge_count
             .get_or_init(|| self.inner.nfa.num_transitions())
     }
+}
+
+/// Cost of one canonical-fingerprint computation, reported by
+/// [`Lang::fingerprint_tracked_costed`] to the single caller that ran it.
+#[derive(Clone, Copy, Debug)]
+pub struct FingerprintCost {
+    /// Subset-construction cost of the canonicalization.
+    pub determinize: DeterminizeCost,
+    /// Serialized key footprint in bytes.
+    pub key_bytes: u64,
 }
 
 impl std::ops::Deref for Lang {
@@ -319,6 +360,11 @@ pub struct StoreStats {
     pub interned: u64,
     /// States of machines materialized by store-computed operations.
     pub states_materialized: u64,
+    /// Approximate bytes retained by the memo tables and interner
+    /// (shape-derived estimates; see [`Lang::approx_bytes`] and
+    /// [`CanonicalKey::byte_len`]). Incremented only by the insert winner,
+    /// so the total is deterministic across thread counts.
+    pub memo_bytes: u64,
 }
 
 impl StoreStats {
@@ -336,6 +382,12 @@ struct StoreInner {
     inclusion_memo: HashMap<(Arc<CanonicalKey>, Arc<CanonicalKey>), bool>,
     minimize_memo: HashMap<Arc<CanonicalKey>, Lang>,
     stats: StoreStats,
+    /// Registry the store records operation costs into. Kept inside the
+    /// existing mutex (no extra lock); the handle's atomic operations are
+    /// no-ops when metrics are disabled, and every recording site below is
+    /// winner-only (first memo writer / fingerprint computer), so totals
+    /// are deterministic across thread counts.
+    metrics: Metrics,
 }
 
 /// Hash-consing interner and binary-operation memo table for [`Lang`].
@@ -393,6 +445,13 @@ impl LangStore {
         *self.observer.write().expect("observer lock") = None;
     }
 
+    /// Installs the metrics registry handle the store records operation
+    /// costs into (replacing any previous one). A [`Metrics::disabled`]
+    /// handle — the default — makes every recording a no-op.
+    pub fn set_metrics(&self, metrics: Metrics) {
+        self.inner.lock().expect("store lock").metrics = metrics;
+    }
+
     fn notify(&self, op: StoreOp, identity: Option<MemoIdentity>, hit: bool) {
         // Clone the Arc out of the read guard so the observer runs without
         // any store lock held.
@@ -409,11 +468,25 @@ impl LangStore {
     /// equal the number of distinct handles canonicalized, independent of
     /// scheduling.
     pub fn key_of(&self, lang: &Lang) -> Arc<CanonicalKey> {
-        let (key, computed) = lang.fingerprint_tracked();
+        let (key, cost) = lang.fingerprint_tracked_costed();
+        let computed = cost.is_some();
         {
             let mut inner = self.inner.lock().expect("store lock");
-            if computed {
+            if let Some(cost) = cost {
                 inner.stats.fingerprint_misses += 1;
+                inner.stats.memo_bytes += cost.key_bytes;
+                inner.metrics.add(id::FINGERPRINT_BYTES, cost.key_bytes);
+                inner.metrics.add(id::STORE_MEMO_BYTES, cost.key_bytes);
+                inner.metrics.add(
+                    id::EPS_CLOSURE_VISITED,
+                    cost.determinize.closure_visited as u64,
+                );
+                inner
+                    .metrics
+                    .observe(id::DETERMINIZE_IN, lang.num_states() as u64);
+                inner
+                    .metrics
+                    .observe(id::DETERMINIZE_OUT, cost.determinize.dfa_states as u64);
             } else {
                 inner.stats.fingerprint_hits += 1;
             }
@@ -440,6 +513,8 @@ impl LangStore {
             return existing.clone();
         }
         inner.stats.interned += 1;
+        inner.stats.memo_bytes += lang.approx_bytes();
+        inner.metrics.add(id::STORE_MEMO_BYTES, lang.approx_bytes());
         inner.interned.insert(key, lang.clone());
         lang
     }
@@ -449,11 +524,13 @@ impl LangStore {
     /// `intersect(a, b)` and `intersect(b, a)` share one entry.
     pub fn intersect(&self, a: &Lang, b: &Lang) -> Lang {
         if !self.enabled {
-            let result = Lang::new(ops::intersect_lang(a.nfa(), b.nfa()));
+            let (nfa, cost) = ops::intersect_lang_counted(a.nfa(), b.nfa());
+            let result = Lang::new(nfa);
             {
                 let mut inner = self.inner.lock().expect("store lock");
                 inner.stats.op_misses += 1;
                 inner.stats.states_materialized += result.num_states() as u64;
+                record_intersect_cost(&inner.metrics, &cost, &result);
             }
             self.notify(StoreOp::Intersect, None, false);
             return result;
@@ -465,19 +542,28 @@ impl LangStore {
             self.notify(StoreOp::Intersect, Some(identity()), true);
             return hit;
         }
-        let result = Lang::new(ops::intersect_lang(a.nfa(), b.nfa()));
+        let (nfa, cost) = ops::intersect_lang_counted(a.nfa(), b.nfa());
+        let result = Lang::new(nfa);
         let (result, hit) = {
             let mut inner = self.inner.lock().expect("store lock");
             // Re-check under the insert lock: a concurrent caller may have
             // computed the same operation since our lookup missed. Keep the
             // first representative so every equal-language handle is shared,
-            // and count the race as a hit, not a second miss.
+            // and count the race as a hit, not a second miss. Cost metrics
+            // follow the same rule: only the insert winner records, so the
+            // recorded totals match the deterministic memo contents rather
+            // than the scheduling-dependent set of racers.
             if let Some(existing) = inner.intersect_memo.get(&key).cloned() {
                 inner.stats.op_hits += 1;
                 (existing, true)
             } else {
                 inner.stats.op_misses += 1;
                 inner.stats.states_materialized += result.num_states() as u64;
+                inner.stats.memo_bytes += result.approx_bytes();
+                record_intersect_cost(&inner.metrics, &cost, &result);
+                inner
+                    .metrics
+                    .add(id::STORE_MEMO_BYTES, result.approx_bytes());
                 inner.intersect_memo.insert(key.clone(), result.clone());
                 (result, false)
             }
@@ -532,6 +618,10 @@ impl LangStore {
                 true
             } else {
                 inner.stats.op_misses += 1;
+                inner.stats.memo_bytes += INCLUSION_ENTRY_BYTES;
+                inner
+                    .metrics
+                    .add(id::STORE_MEMO_BYTES, INCLUSION_ENTRY_BYTES);
                 inner.inclusion_memo.insert(key.clone(), result);
                 false
             }
@@ -543,11 +633,13 @@ impl LangStore {
     /// Memoized language-preserving minimization, keyed by fingerprint.
     pub fn minimized(&self, a: &Lang) -> Lang {
         if !self.enabled {
-            let result = Lang::new(minimize(a.nfa()));
+            let (nfa, det) = minimize_counted(a.nfa());
+            let result = Lang::new(nfa);
             {
                 let mut inner = self.inner.lock().expect("store lock");
                 inner.stats.op_misses += 1;
                 inner.stats.states_materialized += result.num_states() as u64;
+                record_minimize_cost(&inner.metrics, a, &det, &result);
             }
             self.notify(StoreOp::Minimize, None, false);
             return result;
@@ -565,7 +657,8 @@ impl LangStore {
                 return hit;
             }
         }
-        let result = Lang::new(minimize(a.nfa()));
+        let (nfa, det) = minimize_counted(a.nfa());
+        let result = Lang::new(nfa);
         let (result, hit) = {
             let mut inner = self.inner.lock().expect("store lock");
             // Same race re-check as `intersect`: first writer wins the entry.
@@ -575,6 +668,11 @@ impl LangStore {
             } else {
                 inner.stats.op_misses += 1;
                 inner.stats.states_materialized += result.num_states() as u64;
+                inner.stats.memo_bytes += result.approx_bytes();
+                record_minimize_cost(&inner.metrics, a, &det, &result);
+                inner
+                    .metrics
+                    .add(id::STORE_MEMO_BYTES, result.approx_bytes());
                 inner.minimize_memo.insert(key.clone(), result.clone());
                 (result, false)
             }
@@ -591,12 +689,29 @@ impl LangStore {
     /// Adds `states` to the materialization counter (for machines built by
     /// the solver outside the store's own operations).
     pub fn note_materialized(&self, states: usize) {
-        self.inner
-            .lock()
-            .expect("store lock")
-            .stats
-            .states_materialized += states as u64;
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.stats.states_materialized += states as u64;
+        inner.metrics.add(id::STORE_MATERIALIZED, states as u64);
     }
+}
+
+/// Records one computed intersection's cost: product states explored vs.
+/// reachable after trimming, plus the materialized result.
+fn record_intersect_cost(metrics: &Metrics, cost: &ops::IntersectCost, result: &Lang) {
+    metrics.add(id::INTERSECT_PRODUCTS, cost.explored as u64);
+    metrics.observe(id::INTERSECT_EXPLORED, cost.explored as u64);
+    metrics.observe(id::INTERSECT_REACHABLE, cost.reachable as u64);
+    metrics.add(id::STORE_MATERIALIZED, result.num_states() as u64);
+}
+
+/// Records one computed minimization's cost: the determinization blowup
+/// (input NFA states → subset-construction states), ε-closure work, and the
+/// materialized result.
+fn record_minimize_cost(metrics: &Metrics, input: &Lang, det: &DeterminizeCost, result: &Lang) {
+    metrics.observe(id::DETERMINIZE_IN, input.num_states() as u64);
+    metrics.observe(id::DETERMINIZE_OUT, det.dfa_states as u64);
+    metrics.add(id::EPS_CLOSURE_VISITED, det.closure_visited as u64);
+    metrics.add(id::STORE_MATERIALIZED, result.num_states() as u64);
 }
 
 impl fmt::Debug for LangStore {
@@ -839,6 +954,47 @@ mod tests {
             .cloned()
             .expect("event recorded");
         assert!(last.1.is_none());
+    }
+
+    #[test]
+    fn memo_bytes_grow_only_on_insert_wins() {
+        let store = LangStore::new();
+        let a = Lang::new(ab_star());
+        let b = Lang::new(Nfa::length_between(0, 4));
+        store.intersect(&a, &b);
+        let after_first = store.stats().memo_bytes;
+        assert!(after_first > 0, "fingerprints + memo entry were charged");
+        store.intersect(&b, &a);
+        assert_eq!(store.stats().memo_bytes, after_first, "hits charge nothing");
+        store.is_subset(&a, &b);
+        assert_eq!(
+            store.stats().memo_bytes,
+            after_first + INCLUSION_ENTRY_BYTES
+        );
+    }
+
+    #[test]
+    fn store_records_costs_into_an_installed_registry() {
+        let store = LangStore::new();
+        let metrics = Metrics::enabled();
+        store.set_metrics(metrics.clone());
+        let a = Lang::new(ab_star());
+        let b = Lang::new(Nfa::length_between(0, 4));
+        store.intersect(&a, &b);
+        store.intersect(&a, &b); // memo hit: records nothing new
+        let snap = metrics.snapshot().expect("enabled registry");
+        let counter = |name: &str| match snap.get(name).expect(name).value {
+            crate::metrics::MetricValue::Counter { value } => value,
+            ref other => panic!("{name} is {other:?}"),
+        };
+        assert!(counter("automata.intersect.products") > 0);
+        assert!(counter("automata.fingerprint.bytes") > 0);
+        assert!(counter("automata.eps_closure.visited_states") > 0);
+        assert_eq!(
+            counter("core.store.memo_bytes"),
+            store.stats().memo_bytes,
+            "registry and StoreStats agree on the byte accounting"
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!   [`LangStore`] the solver shares across worklist branches.
 //! * [`quotient`] — existential and universal left/right quotients, used by
 //!   the solver when concatenation operands are constants.
+//! * [`metrics`] — the sharded, zero-cost-when-disabled metrics registry
+//!   ([`Metrics`]) the solver layers resource budgets on top of.
 //! * [`dot`] — Graphviz export for regenerating paper-style machine figures.
 //! * [`generate`] — seeded random machines for property tests and the
 //!   complexity benchmarks.
@@ -58,6 +60,7 @@ pub mod dot;
 pub mod generate;
 pub mod homomorphism;
 pub mod lang;
+pub mod metrics;
 pub mod minimize;
 pub mod nfa;
 pub mod ops;
@@ -65,8 +68,17 @@ pub mod quotient;
 
 pub use analysis::{is_finite, language_size, members, LanguageSize};
 pub use byteclass::ByteClass;
-pub use dfa::{complement, determinize, equivalent, inclusion_counterexample, is_subset, Dfa};
+pub use dfa::{
+    complement, determinize, determinize_counted, equivalent, inclusion_counterexample, is_subset,
+    DeterminizeCost, Dfa,
+};
 pub use homomorphism::ByteMap;
-pub use lang::{Lang, LangStore, MemoIdentity, StoreObserver, StoreOp, StoreStats};
-pub use minimize::{canonical_key, minimize, minimize_dfa, minimize_dfa_hopcroft, CanonicalKey};
+pub use lang::{
+    FingerprintCost, Lang, LangStore, MemoIdentity, StoreObserver, StoreOp, StoreStats,
+};
+pub use metrics::{MetricEntry, MetricValue, Metrics, MetricsSnapshot};
+pub use minimize::{
+    canonical_key, canonical_key_counted, minimize, minimize_counted, minimize_dfa,
+    minimize_dfa_hopcroft, CanonicalKey,
+};
 pub use nfa::{Nfa, State, StateId};

@@ -8,7 +8,7 @@
 //! the minterm alphabet), and rebuild.
 
 use crate::byteclass::{minterms, ByteClass};
-use crate::dfa::{determinize, Dfa};
+use crate::dfa::{determinize, determinize_counted, DeterminizeCost, Dfa};
 use crate::nfa::{Nfa, StateId};
 
 /// Minimizes a DFA by partition refinement (Moore's algorithm).
@@ -114,7 +114,17 @@ pub fn minimize_dfa(dfa: &Dfa) -> Dfa {
 /// memo-table contents (and everything derived from them, such as product
 /// sizes) would vary from run to run.
 pub fn minimize(nfa: &Nfa) -> Nfa {
-    let min = minimize_dfa(&determinize(nfa));
+    minimize_counted(nfa).0
+}
+
+/// [`minimize`] plus the cost of the *top-level* subset construction it
+/// performs: how many DFA states the input determinized into and how much
+/// ε-closure work that took. The auxiliary determinizations inside
+/// [`minimize_dfa`]'s rebuild are cheap (they run on the already-minimal
+/// machine) and are not counted.
+pub fn minimize_counted(nfa: &Nfa) -> (Nfa, DeterminizeCost) {
+    let (dfa, cost) = determinize_counted(nfa);
+    let min = minimize_dfa(&dfa);
     let order = bfs_order(&min);
     let mut rank: Vec<u32> = vec![0; min.num_states()];
     for (new, &old) in order.iter().enumerate() {
@@ -137,7 +147,7 @@ pub fn minimize(nfa: &Nfa) -> Nfa {
     // Drop the dead sink the completion step introduced, if any. `trim`
     // keeps the start state first and the survivors in ascending id order,
     // so the canonical numbering is preserved.
-    out.trim().0
+    (out.trim().0, cost)
 }
 
 /// The BFS state order of a DFA with class-sorted edge traversal, starting
@@ -309,7 +319,14 @@ pub fn minimize_dfa_hopcroft(dfa: &Dfa) -> Dfa {
 /// the solver's quadratic pile of language-equivalence queries into one
 /// minimization per machine plus cheap `Vec` comparisons.
 pub fn canonical_key(nfa: &Nfa) -> CanonicalKey {
-    let min = minimize_dfa(&determinize(nfa));
+    canonical_key_counted(nfa).0
+}
+
+/// [`canonical_key`] plus the cost of the top-level subset construction,
+/// under the same accounting as [`minimize_counted`].
+pub fn canonical_key_counted(nfa: &Nfa) -> (CanonicalKey, DeterminizeCost) {
+    let (dfa, cost) = determinize_counted(nfa);
+    let min = minimize_dfa(&dfa);
     // BFS renumbering with deterministic edge order.
     let bfs = bfs_order(&min);
     let mut order: Vec<Option<u32>> = vec![None; min.num_states()];
@@ -330,7 +347,7 @@ pub fn canonical_key(nfa: &Nfa) -> CanonicalKey {
             ));
         }
     }
-    CanonicalKey(words)
+    (CanonicalKey(words), cost)
 }
 
 fn class_words(class: &ByteClass) -> [u64; 4] {
@@ -345,6 +362,14 @@ fn class_words(class: &ByteClass) -> [u64; 4] {
 /// equal languages.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct CanonicalKey(Vec<u64>);
+
+impl CanonicalKey {
+    /// Approximate heap footprint of the key in bytes (its word payload).
+    /// Used by the store's memo byte accounting.
+    pub fn byte_len(&self) -> usize {
+        self.0.len() * std::mem::size_of::<u64>()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -412,6 +437,19 @@ mod tests {
         assert_eq!(ma.finals(), mb.finals());
         let edges = |m: &Nfa| m.edges().collect::<Vec<_>>();
         assert_eq!(edges(&ma), edges(&mb));
+    }
+
+    #[test]
+    fn counted_variants_match_uncounted_and_report_cost() {
+        let n = ops::union(&Nfa::literal(b"ab"), &Nfa::literal(b"ba"));
+        let (m, cost) = minimize_counted(&n);
+        assert!(equivalent(&m, &minimize(&n)));
+        assert!(cost.dfa_states > 0);
+        assert!(cost.closure_visited > 0);
+        let (k, kcost) = canonical_key_counted(&n);
+        assert_eq!(k, canonical_key(&n));
+        assert_eq!(kcost.dfa_states, cost.dfa_states);
+        assert!(k.byte_len() >= std::mem::size_of::<u64>());
     }
 
     #[test]

@@ -211,23 +211,45 @@ impl Product {
 /// assert!(!p.nfa.contains(b"h"));
 /// ```
 pub fn intersect(a: &Nfa, b: &Nfa) -> Product {
+    try_intersect(a, b, usize::MAX).expect("unlimited product cannot exceed its cap")
+}
+
+/// Like [`intersect`], but aborts — returning `None` — as soon as the
+/// product would materialize more than `max_states` states.
+///
+/// This is the enforcement point for the solver's `max_product_states`
+/// resource budget: the BFS stops *before* exceeding the cap, so at most
+/// `max_states` product states (and their edges) ever exist. The bound
+/// depends only on the operands, which keeps budgeted solves
+/// deterministic across worklist thread counts.
+pub fn try_intersect(a: &Nfa, b: &Nfa, max_states: usize) -> Option<Product> {
     let mut out = Nfa::new();
     let mut pairs: Vec<(StateId, StateId)> = vec![(a.start(), b.start())];
+    if max_states == 0 {
+        return None;
+    }
     let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
     index.insert((a.start(), b.start()), out.start());
     let mut work: VecDeque<StateId> = VecDeque::from([out.start()]);
+    let mut exhausted = false;
     while let Some(pq) = work.pop_front() {
         let (p, q) = pairs[pq.index()];
         let mut intern = |pair: (StateId, StateId),
                           out: &mut Nfa,
                           pairs: &mut Vec<(StateId, StateId)>,
-                          work: &mut VecDeque<StateId>| {
-            *index.entry(pair).or_insert_with(|| {
-                let id = out.add_state();
-                pairs.push(pair);
-                work.push_back(id);
-                id
-            })
+                          work: &mut VecDeque<StateId>|
+         -> Option<StateId> {
+            if let Some(&id) = index.get(&pair) {
+                return Some(id);
+            }
+            if pairs.len() >= max_states {
+                return None;
+            }
+            let id = out.add_state();
+            index.insert(pair, id);
+            pairs.push(pair);
+            work.push_back(id);
+            Some(id)
         };
         // Synchronized byte moves.
         let pa = a.state(p).edges.clone();
@@ -238,30 +260,63 @@ pub fn intersect(a: &Nfa, b: &Nfa) -> Product {
                 if c.is_empty() {
                     continue;
                 }
-                let t = intern((t1, t2), &mut out, &mut pairs, &mut work);
-                out.add_edge(pq, c, t);
+                match intern((t1, t2), &mut out, &mut pairs, &mut work) {
+                    Some(t) => out.add_edge(pq, c, t),
+                    None => exhausted = true,
+                }
             }
         }
         // Asynchronous epsilon moves.
         for &t1 in &a.state(p).eps.clone() {
-            let t = intern((t1, q), &mut out, &mut pairs, &mut work);
-            out.add_eps(pq, t);
+            match intern((t1, q), &mut out, &mut pairs, &mut work) {
+                Some(t) => out.add_eps(pq, t),
+                None => exhausted = true,
+            }
         }
         for &t2 in &b.state(q).eps.clone() {
-            let t = intern((p, t2), &mut out, &mut pairs, &mut work);
-            out.add_eps(pq, t);
+            match intern((p, t2), &mut out, &mut pairs, &mut work) {
+                Some(t) => out.add_eps(pq, t),
+                None => exhausted = true,
+            }
+        }
+        if exhausted {
+            return None;
         }
         if a.is_final(p) && b.is_final(q) {
             out.add_final(pq);
         }
     }
-    Product { nfa: out, pairs }
+    Some(Product { nfa: out, pairs })
 }
 
 /// Convenience wrapper: the intersection machine without provenance,
 /// trimmed.
 pub fn intersect_lang(a: &Nfa, b: &Nfa) -> Nfa {
-    intersect(a, b).nfa.trim().0
+    intersect_lang_counted(a, b).0
+}
+
+/// Cost report of one intersection: the §3.5 "product states explored vs.
+/// reachable" numbers the metrics registry records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntersectCost {
+    /// Product states materialized by the BFS (explored pairs).
+    pub explored: usize,
+    /// Product states surviving the trim (on a live start→final path).
+    pub reachable: usize,
+}
+
+/// Like [`intersect_lang`], additionally reporting the explored and
+/// reachable product-state counts so callers can record them without
+/// recomputing the product.
+pub fn intersect_lang_counted(a: &Nfa, b: &Nfa) -> (Nfa, IntersectCost) {
+    let product = intersect(a, b);
+    let explored = product.pairs.len();
+    let trimmed = product.nfa.trim().0;
+    let cost = IntersectCost {
+        explored,
+        reachable: trimmed.num_states(),
+    };
+    (trimmed, cost)
 }
 
 /// The intersection of any number of languages, trimmed after each step
@@ -336,6 +391,36 @@ mod tests {
     fn union_all_empty_iterator() {
         let u = union_all(std::iter::empty());
         assert!(u.is_empty_language());
+    }
+
+    #[test]
+    fn union_all_empty_iterator_pins_shape() {
+        // Pinned behavior (not a panic): the empty union is the empty
+        // language, materialized as a start state plus a disconnected
+        // final — never zero states, so budget/metrics accounting that
+        // divides by or logs state counts sees a nonzero machine.
+        let u = union_all(std::iter::empty());
+        assert_eq!(u.num_states(), 2);
+        assert!(!u.contains(b""));
+        assert!(u.is_empty_language());
+        // Degenerate singleton union is the identity.
+        let one = union_all([&Nfa::literal(b"q")]);
+        assert!(one.contains(b"q"));
+        assert!(!one.contains(b""));
+    }
+
+    #[test]
+    fn intersect_all_empty_iterator_pins_sigma_star() {
+        // Pinned behavior (not a panic): the empty intersection is the
+        // neutral element Σ*, a nonzero-state machine.
+        let top = intersect_all(std::iter::empty());
+        assert!(top.num_states() >= 1);
+        assert!(top.contains(b""));
+        assert!(top.contains(b"anything"));
+        // Degenerate singleton intersection is the identity.
+        let one = intersect_all([&Nfa::literal(b"q")]);
+        assert!(one.contains(b"q"));
+        assert!(!one.contains(b"qq"));
     }
 
     #[test]
@@ -454,5 +539,35 @@ mod tests {
         let b = Nfa::sigma_star();
         let p = intersect(&a, &b);
         assert!(p.nfa.num_states() <= a.num_states() * b.num_states());
+    }
+
+    #[test]
+    fn try_intersect_honors_the_cap() {
+        let a = Nfa::literal(b"aaaa");
+        let b = Nfa::sigma_star();
+        let full = intersect(&a, &b);
+        let need = full.pairs.len();
+        // A generous cap succeeds with the identical product.
+        let ok = try_intersect(&a, &b, need).expect("cap not hit");
+        assert_eq!(ok.pairs.len(), need);
+        assert!(ok.nfa.contains(b"aaaa"));
+        // One state short: aborts, never exceeding the cap.
+        assert!(try_intersect(&a, &b, need - 1).is_none());
+        assert!(try_intersect(&a, &b, 0).is_none());
+    }
+
+    #[test]
+    fn counted_intersection_reports_explored_vs_reachable() {
+        // `aaaa ∩ Σ*` explores the full line but every state is live.
+        let a = Nfa::literal(b"aaaa");
+        let (m, cost) = intersect_lang_counted(&a, &Nfa::sigma_star());
+        assert!(m.contains(b"aaaa"));
+        assert_eq!(cost.explored, intersect(&a, &Nfa::sigma_star()).pairs.len());
+        assert!(cost.reachable <= cost.explored);
+        assert!(cost.reachable >= 1);
+        // A disjoint intersection explores states but none survive trim.
+        let (empty, cost) = intersect_lang_counted(&Nfa::literal(b"a"), &Nfa::literal(b"b"));
+        assert!(empty.is_empty_language());
+        assert!(cost.explored >= 1);
     }
 }

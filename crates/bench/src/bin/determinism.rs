@@ -4,7 +4,7 @@
 //! Every corpus entry — the `testdata/` constraint files, the PHP audit
 //! sources behind the examples, and generated multi-group / random
 //! systems — is solved once per `--jobs` value, and each run must agree
-//! with the first on three facets:
+//! with the first on four facets:
 //!
 //! 1. **Solutions**: per-variable canonical fingerprints of every
 //!    assignment, in order (the deterministic-merge ordering).
@@ -14,6 +14,10 @@
 //! 3. **Trace journal**: the JSONL event stream with `ts_us` zeroed —
 //!    wall-clock time is the only permitted difference; span ids and
 //!    sequence numbers are replayed in sequential order by design.
+//! 4. **Metrics snapshot**: every run installs a fresh metrics registry,
+//!    and its final snapshot — serialized with a zeroed timestamp — must
+//!    be byte-identical: counters, gauge peaks, and histogram buckets all
+//!    reflect work recorded only at thread-count-invariant sites.
 //!
 //! Each run rebuilds its system from scratch (re-parse, re-explore,
 //! re-generate). This is load-bearing, not paranoia: `Lang` handles carry
@@ -31,7 +35,9 @@
 use dprle_automata::LangStore;
 use dprle_cli::parse_file;
 use dprle_cli::smtlib::run_script_with_stats;
-use dprle_core::{solve_traced, CollectSink, Solution, SolveOptions, SolveStats, System, Tracer};
+use dprle_core::{
+    solve_traced, CollectSink, Metrics, Solution, SolveOptions, SolveStats, System, Tracer,
+};
 use dprle_corpus::scaling::{multi_group_system, random_system, RandomSystemConfig};
 use dprle_lang::symex::{SinkKind, SymexOptions};
 use dprle_lang::{build_system, explore, parse_php, Policy};
@@ -45,14 +51,27 @@ struct RunResult {
     stats: SolveStats,
     /// JSONL journal lines with `ts_us` zeroed.
     journal: Vec<String>,
+    /// Metrics-snapshot JSONL lines with the `Meta` timestamp zeroed.
+    metrics: Vec<String>,
 }
 
 fn traced_options(jobs: usize) -> SolveOptions {
     SolveOptions {
         jobs,
         trace: true,
+        metrics: Metrics::enabled(),
         ..SolveOptions::default()
     }
+}
+
+fn zeroed_metrics(metrics: &Metrics) -> Vec<String> {
+    metrics
+        .snapshot()
+        .expect("registry installed by traced_options")
+        .to_jsonl(0)
+        .lines()
+        .map(str::to_owned)
+        .collect()
 }
 
 fn solution_lines(system: &System, solution: &Solution) -> Vec<String> {
@@ -98,6 +117,7 @@ fn run_system(system: &System, jobs: usize) -> RunResult {
         solutions: solution_lines(system, &solution),
         stats,
         journal: zeroed_journal(&sink),
+        metrics: zeroed_metrics(&options.metrics),
     }
 }
 
@@ -138,6 +158,7 @@ fn smt2_entry(file: &'static str) -> Entry {
                 solutions: run.outputs.iter().map(|o| o.to_string()).collect(),
                 stats: run.stats,
                 journal: zeroed_journal(&sink),
+                metrics: zeroed_metrics(&options.metrics),
             }
         }),
     }
@@ -213,7 +234,7 @@ fn corpus() -> Vec<Entry> {
     entries
 }
 
-fn write_journal(dir: &str, entry: &str, jobs: usize, journal: &[String]) {
+fn write_lines(dir: &str, entry: &str, suffix: &str, lines: &[String]) {
     let safe: String = entry
         .chars()
         .map(|c| {
@@ -224,14 +245,19 @@ fn write_journal(dir: &str, entry: &str, jobs: usize, journal: &[String]) {
             }
         })
         .collect();
-    let path = format!("{dir}/{safe}.jobs{jobs}.jsonl");
-    let mut body = journal.join("\n");
+    let path = format!("{dir}/{safe}.{suffix}.jsonl");
+    let mut body = lines.join("\n");
     if !body.is_empty() {
         body.push('\n');
     }
     if let Err(e) = std::fs::write(&path, body) {
         eprintln!("warning: could not write {path}: {e}");
     }
+}
+
+fn write_run(dir: &str, entry: &str, jobs: usize, run: &RunResult) {
+    write_lines(dir, entry, &format!("jobs{jobs}"), &run.journal);
+    write_lines(dir, entry, &format!("metrics.jobs{jobs}"), &run.metrics);
 }
 
 /// Reports the first differing line between two journals.
@@ -289,11 +315,11 @@ fn main() {
     for entry in &entries {
         let baseline_jobs = jobs_list[0];
         let baseline = (entry.build)(baseline_jobs);
-        write_journal(dir, &entry.name, baseline_jobs, &baseline.journal);
+        write_run(dir, &entry.name, baseline_jobs, &baseline);
         let mut verdict = "identical";
         for &jobs in &jobs_list[1..] {
             let run = (entry.build)(jobs);
-            write_journal(dir, &entry.name, jobs, &run.journal);
+            write_run(dir, &entry.name, jobs, &run);
             let mut entry_diverged = false;
             if run.solutions != baseline.solutions {
                 eprintln!(
@@ -312,6 +338,13 @@ fn main() {
             if let Some((line, a, b)) = first_journal_diff(&baseline.journal, &run.journal) {
                 eprintln!(
                     "DIVERGENCE {}: journal differs at jobs={jobs} vs jobs={baseline_jobs}, line {line}\n  jobs={baseline_jobs}: {a}\n  jobs={jobs}: {b}",
+                    entry.name
+                );
+                entry_diverged = true;
+            }
+            if let Some((line, a, b)) = first_journal_diff(&baseline.metrics, &run.metrics) {
+                eprintln!(
+                    "DIVERGENCE {}: metrics snapshot differs at jobs={jobs} vs jobs={baseline_jobs}, line {line}\n  jobs={baseline_jobs}: {a}\n  jobs={jobs}: {b}",
                     entry.name
                 );
                 entry_diverged = true;

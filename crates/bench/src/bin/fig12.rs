@@ -69,8 +69,17 @@ fn main() {
         );
     } else {
         println!(
-            "{:<8} {:<10} {:>6} {:>6} {:>6} {:>6} {:>10} {:>10}",
-            "App", "Vuln", "|FG|", "(pub)", "|C|", "(pub)", "T_S (s)", "(pub s)"
+            "{:<8} {:<10} {:>6} {:>6} {:>6} {:>6} {:>10} {:>10} {:>9} {:>9}",
+            "App",
+            "Vuln",
+            "|FG|",
+            "(pub)",
+            "|C|",
+            "(pub)",
+            "T_S (s)",
+            "(pub s)",
+            "products",
+            "peak KiB"
         );
     }
     for r in &rows {
@@ -91,8 +100,17 @@ fn main() {
             );
         } else {
             println!(
-                "{:<8} {:<10} {:>6} {:>6} {:>6} {:>6} {:>10.3} {:>10.3}",
-                r.app, r.name, r.fg, r.fg_paper, r.c, r.c_paper, r.seconds, r.paper_seconds
+                "{:<8} {:<10} {:>6} {:>6} {:>6} {:>6} {:>10.3} {:>10.3} {:>9} {:>9}",
+                r.app,
+                r.name,
+                r.fg,
+                r.fg_paper,
+                r.c,
+                r.c_paper,
+                r.seconds,
+                r.paper_seconds,
+                r.product_states,
+                r.peak_bytes / 1024
             );
         }
     }

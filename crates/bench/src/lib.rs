@@ -67,6 +67,11 @@ pub struct Fig12Row {
     pub speedup: f64,
     /// Whether an exploit was found (every row should be `true`).
     pub exploitable: bool,
+    /// Product states explored across the row's solves (the §3.5 cost
+    /// driver) — promoted out of `stats` as a first-class column.
+    pub product_states: u64,
+    /// Peak interning-memo bytes of any single solve in the row.
+    pub peak_bytes: u64,
     /// Solver counters aggregated over the row's runs (see
     /// `SolveStats::absorb`).
     pub stats: SolveStats,
@@ -170,6 +175,8 @@ pub fn run_fig12_row_jobs(spec: &VulnSpec, options: &SolveOptions, jobs: usize) 
             1.0
         },
         exploitable,
+        product_states: stats.product_states,
+        peak_bytes: stats.peak_bytes,
         stats,
         phases,
     }
@@ -233,6 +240,8 @@ pub fn fig12_rows_json(rows: &[Fig12Row]) -> String {
             ("par_seconds", format!("{:.6}", r.par_seconds)),
             ("speedup", format!("{:.3}", r.speedup)),
             ("exploitable", r.exploitable.to_string()),
+            ("product_states", r.product_states.to_string()),
+            ("peak_bytes", r.peak_bytes.to_string()),
         ];
         for (j, (k, v)) in fields.iter().enumerate() {
             if j > 0 {
@@ -452,6 +461,8 @@ mod tests {
             assert_eq!(row.c, row.c_paper, "{}", row.name);
             assert!(row.fg >= row.fg_paper, "{}", row.name);
             assert!(row.seconds < 5.0, "{} took {}s", row.name, row.seconds);
+            assert!(row.product_states > 0, "{} explored no products", row.name);
+            assert!(row.peak_bytes > 0, "{} charged no memo bytes", row.name);
         }
     }
 
@@ -471,6 +482,8 @@ mod tests {
             par_seconds: 0.01,
             speedup: 1.0,
             exploitable: true,
+            product_states: 0,
+            peak_bytes: 0,
             stats: SolveStats::default(),
             phases: Vec::new(),
         };
@@ -498,6 +511,8 @@ mod tests {
             par_seconds: 0.01,
             speedup: 1.0,
             exploitable: true,
+            product_states: 42,
+            peak_bytes: 4096,
             stats: SolveStats {
                 groups: 2,
                 fingerprint_hits: 7,
@@ -512,6 +527,8 @@ mod tests {
         let json = fig12_rows_json(std::slice::from_ref(&row));
         assert!(json.contains("\"seconds\": 0.010000"), "{json}");
         assert!(json.contains("\"traced_seconds\": 0.012000"), "{json}");
+        assert!(json.contains("\"product_states\": 42"), "{json}");
+        assert!(json.contains("\"peak_bytes\": 4096"), "{json}");
         // Every counter SolveStats exposes appears under "stats".
         for (name, _) in row.stats.counter_fields() {
             assert!(json.contains(&format!("\"{name}\":")), "{name}: {json}");
@@ -537,6 +554,8 @@ mod tests {
             par_seconds: seconds / 2.0,
             speedup: 2.0,
             exploitable: true,
+            product_states: 0,
+            peak_bytes: 0,
             stats: SolveStats::default(),
             phases: Vec::new(),
         };
@@ -567,6 +586,29 @@ mod tests {
         assert!(
             min_off <= min_on * 1.5 + 0.05,
             "disabled tracer slower than enabled: {min_off}s off vs {min_on}s on"
+        );
+    }
+
+    #[test]
+    fn disabled_metrics_overhead_is_within_noise() {
+        // The metrics handle rides through every hot path; when disabled it
+        // must cost nothing but a branch (same contract as the tracer).
+        // Min-of-3 timings of a fast row, registry absent vs installed: the
+        // disabled path may not be meaningfully slower than the enabled one.
+        let spec = &FIG12_ROWS[1];
+        let disabled = SolveOptions::default();
+        let enabled = SolveOptions {
+            metrics: dprle_core::Metrics::enabled(),
+            ..SolveOptions::default()
+        };
+        let (mut min_off, mut min_on) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            min_off = min_off.min(run_fig12_row(spec, &disabled).seconds);
+            min_on = min_on.min(run_fig12_row(spec, &enabled).seconds);
+        }
+        assert!(
+            min_off <= min_on * 1.5 + 0.05,
+            "disabled metrics slower than enabled: {min_off}s off vs {min_on}s on"
         );
     }
 

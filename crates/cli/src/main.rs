@@ -3,6 +3,7 @@
 //! ```text
 //! dprle [OPTIONS] FILE
 //! dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
+//! dprle metrics-report [--check-schema] [--top K] METRICS.jsonl
 //!
 //! `FILE` may be in the native constraint format (see `dprle_cli` docs) or
 //! an SMT-LIB 2.6 strings script (`.smt2` extension — see
@@ -21,6 +22,11 @@
 //!   --trace-out FILE   write the structured event journal as JSONL
 //!   --trace-dot FILE   write the provenance-annotated dependency graph
 //!   --stats            print solver counters (cache hits, worklist depth)
+//!   --metrics-out FILE write a metrics snapshot after solving
+//!   --metrics-format F snapshot format: `json` (default) or `prom`
+//!   --max-product-states N  abort once N product states were explored
+//!   --max-live-states N     abort once N solution-machine states are live
+//!   --deadline-ms N    abort the solve after N milliseconds
 //!   --no-interning     disable language interning/memoization (ablation)
 //!   --jobs N           worklist worker threads (default 1; deterministic)
 //!   -h, --help         this message
@@ -28,22 +34,41 @@
 //!
 //! The `trace-report` subcommand re-reads a `--trace-out` journal offline
 //! and prints the same per-phase summary (optionally validating every line
-//! against a JSON schema first).
+//! against a JSON schema first). The `metrics-report` subcommand re-reads
+//! a `--metrics-out` JSON snapshot and prints the top-K most expensive
+//! operations (optionally validating it against the bundled
+//! `docs/metrics.schema.json` first).
+//!
+//! Exit codes: 0 = sat (or report success), 1 = unsat (or schema
+//! violation), 2 = usage/input error, 3 = resource budget exhausted.
 
 use dprle_cli::parse_file;
 use dprle_core::{
-    provenance_dot, solve_traced, solver_graph, validate_jsonl, CollectSink, JsonlSink, Solution,
-    SolveOptions, SolveStats, System, TeeSink, TraceReport, TraceSink, Tracer,
+    parse_snapshot, provenance_dot, render_report, solver_graph, try_solve_traced, validate_jsonl,
+    validate_metrics_jsonl, Budget, CollectSink, JsonlSink, Metrics, Solution, SolveOptions,
+    SolveStats, System, TeeSink, TraceReport, TraceSink, Tracer,
 };
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--no-interning] [--jobs N] FILE
+const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--metrics-out FILE] [--metrics-format json|prom] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--no-interning] [--jobs N] FILE
        dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
+       dprle metrics-report [--check-schema] [--top K] METRICS.jsonl
   solves a system of subset constraints over regular languages
   (see the dprle-cli crate docs for the input format)";
+
+/// Exit status for a solve aborted by `--max-product-states`,
+/// `--max-live-states`, or `--deadline-ms`.
+const EXIT_EXHAUSTED: u8 = 3;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Prom,
+}
 
 struct Args {
     file: String,
@@ -60,6 +85,11 @@ struct Args {
     stats: bool,
     interning: bool,
     jobs: usize,
+    metrics_out: Option<String>,
+    metrics_format: MetricsFormat,
+    max_product_states: Option<u64>,
+    max_live_states: Option<u64>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -78,7 +108,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         stats: false,
         interning: true,
         jobs: 1,
+        metrics_out: None,
+        metrics_format: MetricsFormat::Json,
+        max_product_states: None,
+        max_live_states: None,
+        deadline_ms: None,
     };
+    fn budget_arg(argv: &[String], i: usize, flag: &str) -> Result<u64, String> {
+        let n = argv.get(i).ok_or_else(|| format!("{flag} needs a count"))?;
+        n.parse::<u64>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("{flag} needs a positive integer, got `{n}`"))
+    }
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -101,6 +143,36 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--core" => args.core = true,
             "--stats" => args.stats = true,
+            "--metrics-out" => {
+                i += 1;
+                let path = argv.get(i).ok_or("--metrics-out needs a file")?;
+                args.metrics_out = Some(path.clone());
+            }
+            "--metrics-format" => {
+                i += 1;
+                let format = argv.get(i).ok_or("--metrics-format needs json or prom")?;
+                args.metrics_format = match format.as_str() {
+                    "json" => MetricsFormat::Json,
+                    "prom" => MetricsFormat::Prom,
+                    other => {
+                        return Err(format!(
+                            "--metrics-format must be json or prom, got `{other}`"
+                        ))
+                    }
+                };
+            }
+            "--max-product-states" => {
+                i += 1;
+                args.max_product_states = Some(budget_arg(argv, i, "--max-product-states")?);
+            }
+            "--max-live-states" => {
+                i += 1;
+                args.max_live_states = Some(budget_arg(argv, i, "--max-live-states")?);
+            }
+            "--deadline-ms" => {
+                i += 1;
+                args.deadline_ms = Some(budget_arg(argv, i, "--deadline-ms")?);
+            }
             "--no-interning" => args.interning = false,
             "--jobs" => {
                 i += 1;
@@ -209,6 +281,29 @@ fn print_stats(stats: &SolveStats) {
     }
 }
 
+/// Writes the registry snapshot to `--metrics-out` in the selected
+/// format. A no-op when the flag is absent (the registry is then the
+/// disabled handle and has no snapshot to give).
+fn write_metrics(args: &Args, metrics: &Metrics) -> Result<(), String> {
+    let Some(path) = &args.metrics_out else {
+        return Ok(());
+    };
+    let Some(snapshot) = metrics.snapshot() else {
+        return Ok(());
+    };
+    let text = match args.metrics_format {
+        MetricsFormat::Json => {
+            let ts_us = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+                .unwrap_or(0);
+            snapshot.to_jsonl(ts_us)
+        }
+        MetricsFormat::Prom => snapshot.to_prometheus(),
+    };
+    std::fs::write(path, text).map_err(|e| format!("dprle: cannot write {path}: {e}"))
+}
+
 fn trace_report_main(argv: &[String]) -> ExitCode {
     let mut schema_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
@@ -289,10 +384,79 @@ fn trace_report_main(argv: &[String]) -> ExitCode {
     }
 }
 
+fn metrics_report_main(argv: &[String]) -> ExitCode {
+    let mut check_schema = false;
+    let mut top = 10usize;
+    let mut metrics_path: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--check-schema" => check_schema = true,
+            "--top" => {
+                i += 1;
+                let Some(k) = argv.get(i).and_then(|k| k.parse::<usize>().ok()) else {
+                    eprintln!("--top needs a count\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                top = k;
+            }
+            "-h" | "--help" => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            other => {
+                if metrics_path.is_some() {
+                    eprintln!("multiple metrics files\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                metrics_path = Some(other.to_owned());
+            }
+        }
+        i += 1;
+    }
+    let Some(metrics_path) = metrics_path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let jsonl = match std::fs::read_to_string(&metrics_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dprle: cannot read {metrics_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if check_schema {
+        match validate_metrics_jsonl(&jsonl) {
+            Ok(n) => println!("schema: {n} lines valid"),
+            Err(e) => {
+                eprintln!("dprle: schema violation: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    match parse_snapshot(&jsonl) {
+        Ok(snapshot) => {
+            print!("{}", render_report(&snapshot, top));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dprle: {metrics_path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("trace-report") {
         return trace_report_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("metrics-report") {
+        return metrics_report_main(&argv[1..]);
     }
     let args = match parse_args(&argv) {
         Ok(a) => a,
@@ -315,12 +479,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let metrics = if args.metrics_out.is_some() {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
     let options = SolveOptions {
         max_assignments: if args.first { Some(1) } else { None },
         verify: args.verify,
         trace: args.trace,
         interning: args.interning,
         jobs: args.jobs,
+        metrics: metrics.clone(),
+        budget: Budget {
+            max_product_states: args.max_product_states,
+            max_live_states: args.max_live_states,
+            deadline: args.deadline_ms.map(Duration::from_millis),
+        },
         ..Default::default()
     };
     if args.file.ends_with(".smt2") {
@@ -328,6 +503,15 @@ fn main() -> ExitCode {
             Ok(run) => run,
             Err(e) => {
                 eprintln!("dprle: {}: {e}", args.file);
+                // A budget breach is a solver outcome, not a script error:
+                // the partial metrics still get written, and the exit code
+                // tells the two apart.
+                if e.exhausted.is_some() {
+                    if let Err(msg) = write_metrics(&args, &metrics) {
+                        eprintln!("{msg}");
+                    }
+                    return ExitCode::from(EXIT_EXHAUSTED);
+                }
                 return ExitCode::from(2);
             }
         };
@@ -336,6 +520,10 @@ fn main() -> ExitCode {
         }
         if args.stats {
             print_stats(&run.stats);
+        }
+        if let Err(msg) = write_metrics(&args, &metrics) {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
         }
         if let Err(msg) = setup.finish(&args, &run.system) {
             eprintln!("{msg}");
@@ -362,7 +550,25 @@ fn main() -> ExitCode {
     }
 
     let store = dprle_automata::LangStore::interning(options.interning);
-    let (solution, stats) = solve_traced(&system, &options, &store, &setup.tracer);
+    let (solution, stats) = match try_solve_traced(&system, &options, &store, &setup.tracer) {
+        Ok(run) => run,
+        Err(exhausted) => {
+            for event in &exhausted.stats.events {
+                eprintln!("trace: {event}");
+            }
+            if args.stats {
+                print_stats(&exhausted.stats);
+            }
+            if let Err(msg) = write_metrics(&args, &metrics) {
+                eprintln!("{msg}");
+            }
+            if let Err(msg) = setup.finish(&args, &system) {
+                eprintln!("{msg}");
+            }
+            eprintln!("dprle: {exhausted}");
+            return ExitCode::from(EXIT_EXHAUSTED);
+        }
+    };
     for event in &stats.events {
         eprintln!("trace: {event}");
     }
@@ -370,6 +576,10 @@ fn main() -> ExitCode {
     // before the solution is inspected, so `--stats` never goes silent.
     if args.stats {
         print_stats(&stats);
+    }
+    if let Err(msg) = write_metrics(&args, &metrics) {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
     }
     if let Err(msg) = setup.finish(&args, &system) {
         eprintln!("{msg}");
@@ -379,7 +589,12 @@ fn main() -> ExitCode {
         Solution::Unsat => {
             println!("unsat: no satisfying assignments");
             if args.core {
-                if let Some(core) = dprle_core::unsat_core(&system, &options) {
+                // The core search re-solves constraint subsets; a budget
+                // tuned for the full system would spuriously abort those
+                // probes, so it runs unlimited.
+                let mut core_options = options.clone();
+                core_options.budget = Budget::default();
+                if let Some(core) = dprle_core::unsat_core(&system, &core_options) {
                     println!("unsat core ({} constraints):", core.indices.len());
                     for line in core.display(&system).lines() {
                         println!("  {line}");

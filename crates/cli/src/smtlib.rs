@@ -26,7 +26,10 @@
 //! length arithmetic, no `str.replace`, no word equations.
 
 use dprle_automata::{analysis, complement, ops, ByteClass, LangStore, Nfa};
-use dprle_core::{solve_traced, Expr, Solution, SolveOptions, SolveStats, System, Tracer};
+use dprle_core::metrics::id;
+use dprle_core::{
+    try_solve_traced, Expr, ResourceExhausted, Solution, SolveOptions, SolveStats, System, Tracer,
+};
 use std::fmt;
 
 /// A positioned SMT-LIB front-end error.
@@ -36,6 +39,11 @@ pub struct SmtError {
     pub pos: usize,
     /// Description.
     pub message: String,
+    /// Populated when a `(check-sat)` tripped a resource budget rather
+    /// than failing to parse: carries the typed breach (with its metrics
+    /// snapshot) so callers can distinguish "bad script" from "solver
+    /// out of budget" and exit accordingly.
+    pub exhausted: Option<Box<ResourceExhausted>>,
 }
 
 impl fmt::Display for SmtError {
@@ -160,6 +168,7 @@ fn err(pos: usize, message: impl Into<String>) -> SmtError {
     SmtError {
         pos,
         message: message.into(),
+        exhausted: None,
     }
 }
 
@@ -315,8 +324,21 @@ impl Engine {
                 self.assert(body)
             }
             "check-sat" => {
-                let (solution, stats) =
-                    solve_traced(&self.system, &self.options, &self.store, &self.tracer);
+                let (solution, stats) = match try_solve_traced(
+                    &self.system,
+                    &self.options,
+                    &self.store,
+                    &self.tracer,
+                ) {
+                    Ok(run) => run,
+                    Err(exhausted) => {
+                        return Err(SmtError {
+                            pos: *pos,
+                            message: format!("check-sat aborted: {exhausted}"),
+                            exhausted: Some(exhausted),
+                        })
+                    }
+                };
                 self.stats.absorb(&stats);
                 let sat = solution.is_sat();
                 self.model = Some(match solution {
@@ -493,6 +515,9 @@ impl Engine {
                         for a in &args[1..] {
                             out = ops::concat(&out, &self.regex(a)?).nfa;
                         }
+                        self.options
+                            .metrics
+                            .add(id::CONCAT_STATES, out.num_states() as u64);
                         Ok(out)
                     }
                     "re.union" => {
@@ -500,14 +525,22 @@ impl Engine {
                             .iter()
                             .map(|a| self.regex(a))
                             .collect::<Result<_, _>>()?;
-                        Ok(ops::union_all(machines.iter()))
+                        let out = ops::union_all(machines.iter());
+                        self.options
+                            .metrics
+                            .add(id::UNION_STATES, out.num_states() as u64);
+                        Ok(out)
                     }
                     "re.inter" => {
                         let machines: Vec<Nfa> = args
                             .iter()
                             .map(|a| self.regex(a))
                             .collect::<Result<_, _>>()?;
-                        Ok(ops::intersect_all(machines.iter()))
+                        let out = ops::intersect_all(machines.iter());
+                        self.options
+                            .metrics
+                            .add(id::INTERSECT_PRODUCTS, out.num_states() as u64);
+                        Ok(out)
                     }
                     "re.*" => Ok(ops::star(&sub(self, 0)?)),
                     "re.+" => Ok(ops::plus(&sub(self, 0)?)),
@@ -681,6 +714,53 @@ mod tests {
         )
         .expect("runs");
         assert_eq!(out, vec![SmtOutput::CheckSat(true)]);
+    }
+
+    #[test]
+    fn check_sat_reports_budget_exhaustion() {
+        let options = SolveOptions {
+            budget: dprle_core::Budget {
+                max_product_states: Some(1),
+                ..Default::default()
+            },
+            ..SolveOptions::default()
+        };
+        let e = run_script_with_stats(MOTIVATING, &options, &Tracer::disabled())
+            .expect_err("a 1-product-state budget cannot solve the motivating query");
+        let exhausted = e.exhausted.as_ref().expect("typed breach attached");
+        assert_eq!(exhausted.kind, dprle_core::BudgetKind::ProductStates);
+        assert!(e.message.contains("product-states"), "{e}");
+        // The same script runs clean without the budget.
+        let ok = run_script_with_stats(MOTIVATING, &SolveOptions::default(), &Tracer::disabled())
+            .expect("unlimited budget");
+        assert_eq!(ok.outputs[0], SmtOutput::CheckSat(true));
+    }
+
+    #[test]
+    fn lowering_records_into_an_installed_registry() {
+        let metrics = dprle_core::Metrics::enabled();
+        let options = SolveOptions {
+            metrics: metrics.clone(),
+            ..SolveOptions::default()
+        };
+        run_script_with_stats(MOTIVATING, &options, &Tracer::disabled()).expect("runs");
+        let snapshot = metrics.snapshot().expect("enabled registry");
+        assert!(
+            snapshot
+                .get("automata.concat.states")
+                .expect("re.++ lowered")
+                .headline()
+                > 0,
+            "regex lowering charges the concat counter"
+        );
+        assert!(
+            snapshot
+                .get("core.solve.product_states")
+                .expect("solved")
+                .headline()
+                > 0,
+            "check-sat recorded solver work"
+        );
     }
 
     #[test]

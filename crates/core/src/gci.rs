@@ -40,9 +40,11 @@
 //! front end, where constants are singleton languages).
 
 use crate::graph::{CiGroup, ConcatEdgePair, DependencyGraph, NodeId, NodeKind};
+use crate::metrics::{id, Metrics};
 use crate::spec::System;
 use crate::trace::{TraceEventKind, Tracer};
 use dprle_automata::{ops, CanonicalKey, Lang, LangStore, Nfa, StateId};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -63,6 +65,17 @@ pub struct GciOptions {
     /// minimization techniques might improve performance"); disabling this
     /// reproduces the prototype's behavior for the ablation study.
     pub minimize_solutions: bool,
+    /// Metrics registry the group solve records its operation costs into.
+    /// Disabled (no-op) by default. The per-entry set of recording calls
+    /// depends only on the entry's inputs, so totals are identical at every
+    /// `--jobs N`.
+    pub metrics: Metrics,
+    /// Per-operation cap on product states explored by one intersection
+    /// (paper §3.5). A build whose intersection would materialize more than
+    /// this many pairs aborts with [`ProductCapHit`] *before* exceeding it.
+    /// Deterministic at every `--jobs N`: the check depends only on the
+    /// operand machines.
+    pub max_product_states: Option<u64>,
 }
 
 impl Default for GciOptions {
@@ -71,8 +84,50 @@ impl Default for GciOptions {
             dedup: true,
             max_disjuncts: Some(256),
             minimize_solutions: true,
+            metrics: Metrics::disabled(),
+            max_product_states: None,
         }
     }
+}
+
+/// Deterministic cost totals of one [`solve_group`] call, charged against
+/// the solver's cumulative [`crate::metrics::Budget`] by the driver.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroupCost {
+    /// Product states explored by the group's intersection constructions.
+    pub product_states: u64,
+    /// States of the returned solution machines (the states the solver
+    /// keeps live when it branches on the disjuncts).
+    pub states_built: u64,
+}
+
+impl GroupCost {
+    fn add_products(&self, cell: &Cell<u64>) -> GroupCost {
+        GroupCost {
+            product_states: self.product_states + cell.get(),
+            states_built: self.states_built,
+        }
+    }
+}
+
+/// A solved group: its disjunctive solutions plus the cost totals.
+#[derive(Clone, Debug)]
+pub struct GroupOutcome {
+    /// Disjunctive solutions; empty means the group is unsatisfiable.
+    pub solutions: Vec<GroupSolution>,
+    /// Deterministic cost of producing them.
+    pub cost: GroupCost,
+}
+
+/// A group solve aborted: one intersection hit
+/// [`GciOptions::max_product_states`]. At most `limit` product states were
+/// materialized by the aborting operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProductCapHit {
+    /// The configured per-operation cap.
+    pub limit: u64,
+    /// Cost accumulated by the group before the abort.
+    pub cost: GroupCost,
 }
 
 /// One disjunctive solution for a group: a language handle per *leaf*
@@ -97,6 +152,10 @@ pub type GroupSolution = BTreeMap<NodeId, Lang>;
 /// `GciDisjunct` (so the event count equals the disjunct count the solver
 /// branches on), carrying the group's bridge count, the solution's total
 /// leaf states, and a hash of its canonical language fingerprints.
+///
+/// Returns `Err` when an intersection hits
+/// [`GciOptions::max_product_states`]; the `CiGroupEnd` event is still
+/// emitted (with zero disjuncts) so traces stay well-bracketed.
 pub fn solve_group(
     graph: &DependencyGraph,
     group: &CiGroup,
@@ -105,15 +164,27 @@ pub fn solve_group(
     options: &GciOptions,
     store: &LangStore,
     tracer: &Tracer,
-) -> Vec<GroupSolution> {
+) -> Result<GroupOutcome, ProductCapHit> {
     tracer.emit(|| TraceEventKind::CiGroupStart {
         group: group.index,
         nodes: group.nodes.iter().map(|n| n.index() as u32).collect(),
         bridges: group.num_bridges(),
     });
-    let solutions = solve_group_inner(graph, group, system, leaf_machines, options, store, tracer);
+    let result = solve_group_inner(graph, group, system, leaf_machines, options, store, tracer);
+    let solutions: &[GroupSolution] = match &result {
+        Ok(outcome) => &outcome.solutions,
+        Err(_) => &[],
+    };
+    if options.metrics.is_enabled() {
+        for sol in solutions {
+            let states: usize = sol.values().map(Lang::num_states).sum();
+            options
+                .metrics
+                .observe(id::GCI_DISJUNCT_STATES, states as u64);
+        }
+    }
     if tracer.is_enabled() {
-        for sol in &solutions {
+        for sol in solutions {
             let states: usize = sol.values().map(Lang::num_states).sum();
             let mut hasher = std::collections::hash_map::DefaultHasher::new();
             for (node, lang) in sol {
@@ -129,11 +200,12 @@ pub fn solve_group(
             });
         }
     }
+    let disjuncts = solutions.len();
     tracer.emit(|| TraceEventKind::CiGroupEnd {
         group: group.index,
-        disjuncts: solutions.len(),
+        disjuncts,
     });
-    solutions
+    result
 }
 
 fn solve_group_inner(
@@ -144,15 +216,43 @@ fn solve_group_inner(
     options: &GciOptions,
     store: &LangStore,
     tracer: &Tracer,
-) -> Vec<GroupSolution> {
+) -> Result<GroupOutcome, ProductCapHit> {
+    let cap = options
+        .max_product_states
+        .map_or(usize::MAX, |v| usize::try_from(v).unwrap_or(usize::MAX));
     let builder = GroupBuilder {
         graph,
         group,
         system,
         leaf_machines,
+        metrics: &options.metrics,
+        cap,
+        product_states: Cell::new(0),
     };
-    let Some(roots) = builder.build_roots() else {
-        return Vec::new(); // some root machine is empty: no solutions
+    let mut cost = GroupCost::default();
+    let roots = match builder.build_roots() {
+        Ok(Some(roots)) => roots,
+        // Some root machine is empty: no solutions.
+        Ok(None) => {
+            return Ok(GroupOutcome {
+                solutions: Vec::new(),
+                cost: cost.add_products(&builder.product_states),
+            })
+        }
+        Err(CapHit) => {
+            return Err(ProductCapHit {
+                limit: options.max_product_states.unwrap_or(u64::MAX),
+                cost: cost.add_products(&builder.product_states),
+            })
+        }
+    };
+    cost = cost.add_products(&builder.product_states);
+
+    let unsat = |cost: GroupCost| {
+        Ok(GroupOutcome {
+            solutions: Vec::new(),
+            cost,
+        })
     };
 
     // Enumerate per-root candidate solutions (choices of bridge edges).
@@ -167,7 +267,7 @@ fn solve_group_inner(
                 store,
             );
             if candidates.is_empty() {
-                return Vec::new();
+                return unsat(cost);
             }
             per_root.push(candidates);
         }
@@ -192,7 +292,7 @@ fn solve_group_inner(
         }
         solutions = next;
         if solutions.is_empty() {
-            return Vec::new();
+            return unsat(cost);
         }
     }
 
@@ -220,9 +320,14 @@ fn solve_group_inner(
             .filter_map(|(n, c)| (*c == 1).then_some(*n))
             .collect();
         let _minimize_span = tracer.span("minimize", None, Some(group.index));
-        solutions = minimize(solutions, &linear, store);
+        solutions = minimize(solutions, &linear, store, &options.metrics);
     }
-    solutions
+    cost.states_built = solutions
+        .iter()
+        .flat_map(|sol| sol.values())
+        .map(|lang| lang.num_states() as u64)
+        .sum();
+    Ok(GroupOutcome { solutions, cost })
 }
 
 /// A candidate solution for one root: ordered `(leaf, segment language)`
@@ -262,9 +367,10 @@ fn minimize(
     solutions: Vec<GroupSolution>,
     linear: &[NodeId],
     store: &LangStore,
+    metrics: &Metrics,
 ) -> Vec<GroupSolution> {
     let deduped = dedup(solutions, store);
-    let merged = merge_linear(deduped, linear, store);
+    let merged = merge_linear(deduped, linear, store, metrics);
     prune_subsumed(merged, store)
 }
 
@@ -298,7 +404,12 @@ impl Keyed {
 /// Additive merge closure over linear leaves (see [`minimize`]); originals
 /// are kept so one solution can feed several maximal merges, and the
 /// subsumption prune removes dominated entries afterwards.
-fn merge_linear(mut sols: Vec<Keyed>, linear: &[NodeId], store: &LangStore) -> Vec<Keyed> {
+fn merge_linear(
+    mut sols: Vec<Keyed>,
+    linear: &[NodeId],
+    store: &LangStore,
+    metrics: &Metrics,
+) -> Vec<Keyed> {
     const MAX_ADDED: usize = 64;
     let mut added = 0;
     let mut changed = true;
@@ -306,7 +417,7 @@ fn merge_linear(mut sols: Vec<Keyed>, linear: &[NodeId], store: &LangStore) -> V
         changed = false;
         'pairs: for i in 0..sols.len() {
             for j in (i + 1)..sols.len() {
-                let Some(candidate) = try_merge(&sols[i], &sols[j], linear, store) else {
+                let Some(candidate) = try_merge(&sols[i], &sols[j], linear, store, metrics) else {
                     continue;
                 };
                 if !sols.iter().any(|t| t.keys == candidate.keys) {
@@ -323,7 +434,13 @@ fn merge_linear(mut sols: Vec<Keyed>, linear: &[NodeId], store: &LangStore) -> V
 
 /// If `a` and `b` agree (language-equivalent) on every node except exactly
 /// one linear node, returns the widened solution unioning that node.
-fn try_merge(a: &Keyed, b: &Keyed, linear: &[NodeId], store: &LangStore) -> Option<Keyed> {
+fn try_merge(
+    a: &Keyed,
+    b: &Keyed,
+    linear: &[NodeId],
+    store: &LangStore,
+    metrics: &Metrics,
+) -> Option<Keyed> {
     if a.keys.len() != b.keys.len() {
         return None;
     }
@@ -342,7 +459,9 @@ fn try_merge(a: &Keyed, b: &Keyed, linear: &[NodeId], store: &LangStore) -> Opti
         return None;
     }
     let mut sol = a.sol.clone();
-    let widened = store.minimized(&Lang::new(ops::union(&a.sol[&node], &b.sol[&node])));
+    let union = ops::union(&a.sol[&node], &b.sol[&node]);
+    metrics.add(id::UNION_STATES, union.num_states() as u64);
+    let widened = store.minimized(&Lang::new(union));
     sol.insert(node, widened);
     Some(Keyed::new(sol, store))
 }
@@ -395,17 +514,26 @@ impl Build {
     }
 }
 
+/// Marker error: a build's intersection hit the product-state cap.
+struct CapHit;
+
 struct GroupBuilder<'a> {
     graph: &'a DependencyGraph,
     group: &'a CiGroup,
     system: &'a System,
     leaf_machines: &'a BTreeMap<NodeId, Lang>,
+    metrics: &'a Metrics,
+    /// Per-operation product-state cap (`usize::MAX` when unbudgeted).
+    cap: usize,
+    /// Product states explored so far across this builder's intersections.
+    product_states: Cell<u64>,
 }
 
 impl GroupBuilder<'_> {
-    /// Builds the machine for every root temp of the group. Returns `None`
-    /// if any root's language is empty.
-    fn build_roots(&self) -> Option<Vec<Build>> {
+    /// Builds the machine for every root temp of the group. `Ok(None)`
+    /// means some root's language is empty; `Err(CapHit)` means an
+    /// intersection hit the product-state cap.
+    fn build_roots(&self) -> Result<Option<Vec<Build>>, CapHit> {
         let edges: Vec<&ConcatEdgePair> = self
             .group
             .edge_indices
@@ -417,10 +545,13 @@ impl GroupBuilder<'_> {
         let mut next_core = 0u32;
         for e in &edges {
             if !is_operand(e.target) {
-                roots.push(self.build_node(e.target, &edges, &mut next_core)?);
+                match self.build_node(e.target, &edges, &mut next_core)? {
+                    Some(build) => roots.push(build),
+                    None => return Ok(None),
+                }
             }
         }
-        Some(roots)
+        Ok(Some(roots))
     }
 
     fn build_node(
@@ -428,16 +559,23 @@ impl GroupBuilder<'_> {
         node: NodeId,
         edges: &[&ConcatEdgePair],
         next_core: &mut u32,
-    ) -> Option<Build> {
+    ) -> Result<Option<Build>, CapHit> {
         let mut build = match self.graph.kind(node) {
             NodeKind::Temp(_) => {
                 let e = edges
                     .iter()
                     .find(|e| e.target == node)
                     .expect("every temp in a group is a concat target");
-                let left = self.build_node(e.left, edges, next_core)?;
-                let right = self.build_node(e.right, edges, next_core)?;
-                concat_builds(left, right)
+                let Some(left) = self.build_node(e.left, edges, next_core)? else {
+                    return Ok(None);
+                };
+                let Some(right) = self.build_node(e.right, edges, next_core)? else {
+                    return Ok(None);
+                };
+                let joined = concat_builds(left, right);
+                self.metrics
+                    .add(id::CONCAT_STATES, joined.nfa.num_states() as u64);
+                joined
             }
             NodeKind::Var(_) | NodeKind::Const(_) => {
                 let machine = self
@@ -465,10 +603,50 @@ impl GroupBuilder<'_> {
                 let NodeKind::Const(c) = self.graph.kind(source) else {
                     unreachable!("subset-edge sources are constants in the Figure 2 grammar");
                 };
-                build = intersect_build(build, self.system.const_machine(c))?;
+                match self.intersect_build(build, self.system.const_machine(c))? {
+                    Some(next) => build = next,
+                    None => return Ok(None),
+                }
             }
         }
-        Some(build)
+        Ok(Some(build))
+    }
+
+    /// Intersects a build with a constraint machine, mapping cores through
+    /// the product and trimming. `Ok(None)` when the result is empty;
+    /// `Err(CapHit)` when the product would exceed the cap (at most `cap`
+    /// product states were materialized).
+    fn intersect_build(&self, build: Build, constraint: &Nfa) -> Result<Option<Build>, CapHit> {
+        let constraint = constraint.normalize();
+        let Some(product) = ops::try_intersect(&build.nfa, &constraint, self.cap) else {
+            self.product_states
+                .set(self.product_states.get() + self.cap as u64);
+            return Err(CapHit);
+        };
+        let explored = product.pairs.len();
+        self.product_states
+            .set(self.product_states.get() + explored as u64);
+        let core: Vec<u32> = product
+            .pairs
+            .iter()
+            .map(|&(left, _)| build.core[left.index()])
+            .collect();
+        let (trimmed, old_of_new) = product.nfa.trim();
+        self.metrics.add(id::INTERSECT_PRODUCTS, explored as u64);
+        self.metrics
+            .observe(id::INTERSECT_EXPLORED, explored as u64);
+        self.metrics
+            .observe(id::INTERSECT_REACHABLE, trimmed.num_states() as u64);
+        if trimmed.finals().is_empty() {
+            return Ok(None);
+        }
+        let core = old_of_new.iter().map(|old| core[old.index()]).collect();
+        Ok(Some(Build {
+            nfa: trimmed,
+            core,
+            segments: build.segments,
+            bridges: build.bridges,
+        }))
     }
 }
 
@@ -510,29 +688,6 @@ fn concat_builds(left: Build, right: Build) -> Build {
         segments,
         bridges,
     }
-}
-
-/// Intersects a build with a constraint machine, mapping cores through the
-/// product and trimming. Returns `None` when the result is empty.
-fn intersect_build(build: Build, constraint: &Nfa) -> Option<Build> {
-    let constraint = constraint.normalize();
-    let product = ops::intersect(&build.nfa, &constraint);
-    let core: Vec<u32> = product
-        .pairs
-        .iter()
-        .map(|&(left, _)| build.core[left.index()])
-        .collect();
-    let (trimmed, old_of_new) = product.nfa.trim();
-    if trimmed.finals().is_empty() {
-        return None;
-    }
-    let core = old_of_new.iter().map(|old| core[old.index()]).collect();
-    Some(Build {
-        nfa: trimmed,
-        core,
-        segments: build.segments,
-        bridges: build.bridges,
-    })
 }
 
 // ---------------------------------------------------------------------
@@ -688,6 +843,108 @@ mod tests {
             &store,
             &Tracer::disabled(),
         )
+        .expect("no product-state cap set")
+        .solutions
+    }
+
+    /// The §3.1.1 two-variable system (one temp, so `intersect_build` runs).
+    fn simple_system() -> System {
+        let mut sys = System::new();
+        let v1 = sys.var("v1");
+        let v2 = sys.var("v2");
+        let c1 = sys.constant("c1", exact("x(yy)+"));
+        let c2 = sys.constant("c2", exact("(yy)*z"));
+        let c3 = sys.constant("c3", exact("xyyz|xyyyyz"));
+        sys.require(Expr::Var(v1), c1);
+        sys.require(Expr::Var(v2), c2);
+        sys.require(Expr::Var(v1).concat(Expr::Var(v2)), c3);
+        sys
+    }
+
+    fn solve_single_group_with(
+        sys: &System,
+        options: &GciOptions,
+    ) -> Result<GroupOutcome, ProductCapHit> {
+        let graph = DependencyGraph::from_system(sys);
+        let groups = graph.ci_groups();
+        assert_eq!(groups.len(), 1, "test systems have one group");
+        let group = &groups[0];
+        let store = LangStore::new();
+        let mut leaf_machines = BTreeMap::new();
+        for &node in &group.nodes {
+            match graph.kind(node) {
+                NodeKind::Var(_) => {
+                    let mut m = Nfa::sigma_star();
+                    for source in graph.inbound_subset_sources(node) {
+                        if let NodeKind::Const(c) = graph.kind(source) {
+                            m = ops::intersect_lang(&m, sys.const_machine(c));
+                        }
+                    }
+                    leaf_machines.insert(node, Lang::new(m));
+                }
+                NodeKind::Const(c) => {
+                    leaf_machines.insert(node, sys.const_lang(c).clone());
+                }
+                NodeKind::Temp(_) => {}
+            }
+        }
+        solve_group(
+            &graph,
+            group,
+            sys,
+            &leaf_machines,
+            options,
+            &store,
+            &Tracer::disabled(),
+        )
+    }
+
+    #[test]
+    fn product_cap_aborts_before_exceeding_the_limit() {
+        let sys = simple_system();
+        let tight = GciOptions {
+            max_product_states: Some(1),
+            ..GciOptions::default()
+        };
+        let hit = solve_single_group_with(&sys, &tight).expect_err("cap of 1 must trip");
+        assert_eq!(hit.limit, 1);
+        assert!(hit.cost.product_states >= 1);
+        // The same system solves cleanly with the cap lifted, and reports
+        // a nonzero deterministic cost.
+        let outcome =
+            solve_single_group_with(&sys, &GciOptions::default()).expect("uncapped solves");
+        assert_eq!(outcome.solutions.len(), 2);
+        assert!(outcome.cost.product_states > 0);
+        assert!(outcome.cost.states_built > 0);
+    }
+
+    #[test]
+    fn group_solve_records_into_an_installed_registry() {
+        let sys = simple_system();
+        let metrics = Metrics::enabled();
+        let options = GciOptions {
+            metrics: metrics.clone(),
+            ..GciOptions::default()
+        };
+        let outcome = solve_single_group_with(&sys, &options).expect("solves");
+        let snapshot = metrics.snapshot().expect("enabled registry");
+        let products = snapshot
+            .get("automata.intersect.products")
+            .expect("recorded")
+            .headline();
+        assert_eq!(products, outcome.cost.product_states);
+        let disjuncts = snapshot
+            .get("core.gci.disjunct_states")
+            .expect("recorded")
+            .headline();
+        assert_eq!(disjuncts, outcome.cost.states_built);
+        assert!(
+            snapshot
+                .get("automata.concat.states")
+                .expect("recorded")
+                .headline()
+                > 0
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod ci;
 pub mod gci;
 pub mod graph;
 pub mod incremental;
+pub mod metrics;
 pub mod parallel;
 pub mod solution;
 pub mod solve;
@@ -64,14 +65,18 @@ pub use bounded::{solve_bounded, BoundedOptions, BoundedSolution};
 pub use ci::{
     concat_intersect, concat_intersect_full, dedup_solutions, minimal_solutions, CiRun, CiSolution,
 };
-pub use gci::GciOptions;
+pub use gci::{GciOptions, GroupCost, GroupOutcome, ProductCapHit};
 pub use graph::{DependencyGraph, NodeId, NodeKind};
 pub use incremental::Solver;
+pub use metrics::{
+    parse_snapshot, render_report, validate_metrics_jsonl, Budget, BudgetKind, MetricEntry,
+    MetricValue, Metrics, MetricsSnapshot, ResourceExhausted, METRICS_SCHEMA,
+};
 pub use parallel::ParallelSolver;
 pub use solution::{Assignment, Solution};
 pub use solve::{
     satisfies_system, solve, solve_first, solve_traced, solve_with_stats, solve_with_store,
-    solver_graph, SolveOptions, SolveStats,
+    solver_graph, try_solve_traced, SolveOptions, SolveStats,
 };
 pub use spec::{ConstId, Constraint, Expr, System, VarId};
 pub use trace::{

@@ -48,10 +48,13 @@
 // `Arc<CanonicalKey>`s only, never through the mutable cell.
 #![allow(clippy::mutable_key_type)]
 
-use crate::gci::solve_group;
+use crate::gci::{solve_group, GroupOutcome, ProductCapHit};
 use crate::graph::{CiGroup, DependencyGraph, NodeId};
+use crate::metrics::{id, BudgetKind};
 use crate::solution::{Assignment, Solution};
-use crate::solve::{finish_branch, SolveOptions, SolveStats};
+use crate::solve::{
+    charge_entry_cost, check_deadline, finish_branch, Breach, BudgetTrack, SolveOptions, SolveStats,
+};
 use crate::spec::{Constraint, System};
 use crate::trace::{TraceEvent, TraceEventKind, Tracer};
 use dprle_automata::{Lang, LangStore, MemoIdentity, StoreObserver, StoreOp};
@@ -127,11 +130,13 @@ pub(crate) struct WorklistCtx<'a> {
     pub tracer: &'a Tracer,
 }
 
-/// What one group-level entry produced: its disjunctive group solutions
-/// plus the trace events (and their memo-slot identities) buffered while
-/// computing them.
+/// What one group-level entry produced: its group outcome (disjunctive
+/// solutions plus deterministic cost, or a product-cap breach) plus the
+/// trace events (and their memo-slot identities) buffered while computing
+/// them. Costs and breaches are *charged* only at the entry's replay
+/// position, so budget accounting is identical to the sequential run.
 struct EntryOutcome {
-    disjuncts: Vec<BTreeMap<NodeId, Lang>>,
+    result: Result<GroupOutcome, ProductCapHit>,
     events: Vec<TraceEvent>,
     ids: Vec<Option<MemoIdentity>>,
 }
@@ -271,7 +276,7 @@ fn solve_level_entry(ctx: &WorklistCtx<'_>, gi: usize) -> EntryOutcome {
     let (fork, sink) = ctx.tracer.fork_buffered();
     let ids: IdBuffer = Rc::default();
     let guard = SlotGuard::install(&fork, &ids);
-    let disjuncts = {
+    let result = {
         let _gci_span = fork.span("gci", None, Some(gi));
         solve_group(
             ctx.graph,
@@ -285,7 +290,7 @@ fn solve_level_entry(ctx: &WorklistCtx<'_>, gi: usize) -> EntryOutcome {
     };
     drop(guard);
     EntryOutcome {
-        disjuncts,
+        result,
         events: sink.map(|s| s.take()).unwrap_or_default(),
         ids: Rc::try_unwrap(ids)
             .map(RefCell::into_inner)
@@ -391,15 +396,25 @@ fn memo_kind_named(op: String, hit: bool) -> TraceEventKind {
 /// Drives the worklist with `jobs` workers, producing the assignments in
 /// the sequential order and updating `stats` exactly as the sequential
 /// loop would. Called from `solve_prepared` when `options.jobs > 1`.
+///
+/// Budget accounting happens at replay positions only, so breaches are
+/// raised at the same worklist entry as in the sequential run. The workers
+/// may already have computed (and recorded metrics for) level-mates of the
+/// breaching entry — that speculative work is discarded here, but an
+/// error-path metrics *snapshot* can include it (documented on
+/// [`try_solve_traced`](crate::solve::try_solve_traced)).
 pub(crate) fn drive_worklist(
     ctx: &WorklistCtx<'_>,
     jobs: usize,
     stats: &mut SolveStats,
-) -> Vec<Assignment> {
+    track: &mut BudgetTrack,
+) -> Result<Vec<Assignment>, Breach> {
+    let metrics = &ctx.options.metrics;
     // The simulated sequential queue length: one seed entry, then
     // `-1` per pop and `+1` per push, replayed in sequential order.
     let mut sim_len = 1usize;
     stats.peak_worklist = stats.peak_worklist.max(sim_len);
+    metrics.gauge_set(id::WORKLIST_DEPTH, sim_len as u64);
 
     let mut level: Vec<BTreeMap<NodeId, Lang>> = vec![BTreeMap::new()];
     for gi in 0..ctx.groups.len() {
@@ -418,27 +433,40 @@ pub(crate) fn drive_worklist(
         let mut next: Vec<BTreeMap<NodeId, Lang>> = Vec::new();
         for (partial, result) in level.iter().zip(results) {
             sim_len -= 1;
+            metrics.gauge_set(id::WORKLIST_DEPTH, sim_len as u64);
+            check_deadline(ctx.options, track)?;
             replay_entry_events(ctx.tracer, result.events, &result.ids, &computed, &mut seen);
+            let outcome = match result.result {
+                Ok(outcome) => outcome,
+                Err(hit) => {
+                    stats.product_states += hit.cost.product_states;
+                    metrics.add(id::SOLVE_PRODUCT_STATES, hit.cost.product_states);
+                    return Err((BudgetKind::ProductStates, hit.limit, hit.limit));
+                }
+            };
+            charge_entry_cost(&outcome.cost, ctx.options, stats, track)?;
+            let disjuncts = outcome.solutions;
             if ctx.options.trace {
                 stats.events.push(format!(
                     "group {} produced {} disjunctive solution(s)",
                     gi,
-                    result.disjuncts.len()
+                    disjuncts.len()
                 ));
             }
-            stats.group_disjuncts += result.disjuncts.len();
-            if result.disjuncts.is_empty() {
+            stats.group_disjuncts += disjuncts.len();
+            if disjuncts.is_empty() {
                 ctx.tracer.emit(|| TraceEventKind::WorklistPrune {
                     group: gi,
                     reason: "group-unsat".to_owned(),
                 });
             }
-            for disjunct in result.disjuncts {
+            for disjunct in disjuncts {
                 let mut extended = partial.clone();
                 extended.extend(disjunct);
                 next.push(extended);
                 sim_len += 1;
                 stats.peak_worklist = stats.peak_worklist.max(sim_len);
+                metrics.gauge_set(id::WORKLIST_DEPTH, sim_len as u64);
                 ctx.tracer.emit(|| TraceEventKind::WorklistBranch {
                     group: gi,
                     depth: sim_len,
@@ -465,6 +493,8 @@ pub(crate) fn drive_worklist(
     let mut produced: Vec<Assignment> = Vec::new();
     for result in results {
         sim_len = sim_len.saturating_sub(1);
+        metrics.gauge_set(id::WORKLIST_DEPTH, sim_len as u64);
+        check_deadline(ctx.options, track)?;
         stats.branches_completed += 1;
         replay_entry_events(ctx.tracer, result.events, &result.ids, &computed, &mut seen);
         match result.assignment {
@@ -479,7 +509,7 @@ pub(crate) fn drive_worklist(
             None => stats.branches_filtered += 1,
         }
     }
-    produced
+    Ok(produced)
 }
 
 #[cfg(test)]

@@ -27,8 +27,9 @@
 //! the merge of per-group disjuncts — the same set Figure 7 computes, with
 //! the same branch-on-disjunction behavior.
 
-use crate::gci::{solve_group, GciOptions};
+use crate::gci::{solve_group, GciOptions, GroupCost};
 use crate::graph::{DependencyGraph, NodeId, NodeKind};
+use crate::metrics::{id, Budget, BudgetKind, Metrics, ResourceExhausted};
 use crate::parallel::{drive_worklist, RoutedStoreObserver, WorklistCtx};
 use crate::solution::{Assignment, Solution};
 use crate::spec::{Constraint, Expr, System, VarId};
@@ -37,6 +38,7 @@ use dprle_automata::{is_subset, ops, Lang, LangStore, Nfa};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Options controlling the solver.
 #[derive(Clone, Debug)]
@@ -90,6 +92,17 @@ pub struct SolveOptions {
     /// byte-identical to the sequential run (timestamps aside) — see the
     /// [`parallel`](crate::parallel) module. `0` is treated as `1`.
     pub jobs: usize,
+    /// Metrics registry the run records into (see
+    /// [`metrics`](crate::metrics)). Disabled — a no-op handle — by
+    /// default. The entry points copy this handle into [`GciOptions`] and
+    /// install it on the [`LangStore`], so automata-, store-, and
+    /// solver-level costs all land in one registry.
+    pub metrics: Metrics,
+    /// Resource limits for the run. Breaches surface as a typed
+    /// [`ResourceExhausted`] from [`try_solve_traced`]; the infallible
+    /// entry points panic with a descriptive message instead of silently
+    /// blowing up memory. Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for SolveOptions {
@@ -104,6 +117,8 @@ impl Default for SolveOptions {
             strip_constant_operands: false,
             interning: true,
             jobs: 1,
+            metrics: Metrics::disabled(),
+            budget: Budget::default(),
         }
     }
 }
@@ -139,6 +154,17 @@ pub struct SolveStats {
     pub peak_worklist: usize,
     /// Total NFA states of machines materialized by store-level operations.
     pub states_materialized: usize,
+    /// Product states explored by the run's budget-relevant intersection
+    /// constructions (the generalized concat-intersect builds — the paper's
+    /// §3.5 quadratic term). Driver-accumulated from per-group costs, so it
+    /// is available with metrics disabled and identical at every
+    /// [`SolveOptions::jobs`] count.
+    pub product_states: u64,
+    /// Growth of the store's memo byte footprint over this run (canonical
+    /// fingerprint keys, interned machines, memo table entries — see
+    /// `StoreStats::memo_bytes`). A before/after diff, so shared-store
+    /// callers get this run's contribution only.
+    pub peak_bytes: u64,
     /// Human-readable trace events (populated when
     /// [`SolveOptions::trace`] is set).
     pub events: Vec<String>,
@@ -155,7 +181,7 @@ impl SolveStats {
     /// The single source of truth for stats reporting: the CLI's `--stats`
     /// output, the [`Display`](fmt::Display) impl, and the bench JSON all
     /// iterate this instead of hand-copying fields.
-    pub fn counter_fields(&self) -> [(&'static str, u64); 11] {
+    pub fn counter_fields(&self) -> [(&'static str, u64); 13] {
         [
             ("groups", self.groups as u64),
             ("group-disjuncts", self.group_disjuncts as u64),
@@ -168,6 +194,8 @@ impl SolveStats {
             ("memo-op-misses", self.memo_op_misses as u64),
             ("peak-worklist", self.peak_worklist as u64),
             ("states-materialized", self.states_materialized as u64),
+            ("product-states", self.product_states),
+            ("peak-bytes", self.peak_bytes),
         ]
     }
 
@@ -187,6 +215,8 @@ impl SolveStats {
         self.memo_op_misses += other.memo_op_misses;
         self.peak_worklist = self.peak_worklist.max(other.peak_worklist);
         self.states_materialized += other.states_materialized;
+        self.product_states += other.product_states;
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
         self.events.extend(other.events.iter().cloned());
     }
 }
@@ -259,6 +289,41 @@ pub fn solve_traced(
     store: &LangStore,
     tracer: &Tracer,
 ) -> (Solution, SolveStats) {
+    match try_solve_traced(system, options, store, tracer) {
+        Ok(result) => result,
+        Err(exhausted) => panic!(
+            "solve exceeded its resource budget: {exhausted} \
+             (use try_solve_traced to handle ResourceExhausted gracefully)"
+        ),
+    }
+}
+
+/// The fallible form of [`solve_traced`]: returns a typed
+/// [`ResourceExhausted`] when [`SolveOptions::budget`] is breached, instead
+/// of panicking. With the default (unlimited) budget it never errs.
+///
+/// The error carries the [`SolveStats`] accumulated up to the breach and —
+/// when [`SolveOptions::metrics`] is enabled — a full registry snapshot.
+/// At `jobs > 1` an error-path snapshot may additionally include the
+/// speculative work of level-mates computed before the breach was replayed;
+/// success-path metrics are byte-identical at every jobs count.
+pub fn try_solve_traced(
+    system: &System,
+    options: &SolveOptions,
+    store: &LangStore,
+    tracer: &Tracer,
+) -> Result<(Solution, SolveStats), Box<ResourceExhausted>> {
+    // Normalize: group solving records into the same registry and inherits
+    // the per-operation product cap from the budget (an explicitly set
+    // `gci.max_product_states` wins).
+    let mut options = options.clone();
+    options.gci.metrics = options.metrics.clone();
+    if options.gci.max_product_states.is_none() {
+        options.gci.max_product_states = options.budget.max_product_states;
+    }
+    store.set_metrics(options.metrics.clone());
+    let options = &options;
+
     let observing = tracer.is_enabled();
     if observing {
         // The routed observer behaves exactly like `TracerStoreObserver`
@@ -267,7 +332,7 @@ pub fn solve_traced(
         store.set_observer(Arc::new(RoutedStoreObserver::new(tracer.clone())));
     }
     let before = store.stats();
-    let (solution, mut stats) = if options.strip_constant_operands {
+    let result = if options.strip_constant_operands {
         let (stripped, constraints) = strip_constant_operands(system);
         solve_prepared(&stripped, &constraints, options, system, store, tracer)
     } else {
@@ -278,12 +343,117 @@ pub fn solve_traced(
     if observing {
         store.clear_observer();
     }
-    stats.fingerprint_hits = (after.fingerprint_hits - before.fingerprint_hits) as usize;
-    stats.fingerprint_misses = (after.fingerprint_misses - before.fingerprint_misses) as usize;
-    stats.memo_op_hits = (after.op_hits - before.op_hits) as usize;
-    stats.memo_op_misses = (after.op_misses - before.op_misses) as usize;
-    stats.states_materialized = (after.states_materialized - before.states_materialized) as usize;
-    (solution, stats)
+    let finalize = |stats: &mut SolveStats| {
+        stats.fingerprint_hits = (after.fingerprint_hits - before.fingerprint_hits) as usize;
+        stats.fingerprint_misses = (after.fingerprint_misses - before.fingerprint_misses) as usize;
+        stats.memo_op_hits = (after.op_hits - before.op_hits) as usize;
+        stats.memo_op_misses = (after.op_misses - before.op_misses) as usize;
+        stats.states_materialized =
+            (after.states_materialized - before.states_materialized) as usize;
+    };
+    match result {
+        Ok((solution, mut stats)) => {
+            finalize(&mut stats);
+            Ok((solution, stats))
+        }
+        Err(mut exhausted) => {
+            finalize(&mut exhausted.stats);
+            Err(exhausted)
+        }
+    }
+}
+
+/// A budget breach as `(kind, limit, observed)` — the internal currency of
+/// the budget checks, turned into a full [`ResourceExhausted`] (snapshot +
+/// stats attached) only at the driver's return boundary.
+pub(crate) type Breach = (BudgetKind, u64, u64);
+
+/// Mutable budget-tracking state threaded through the sequential loop and
+/// the parallel replay, so both charge identical totals in identical order.
+pub(crate) struct BudgetTrack {
+    /// Solve start time; `Some` only when a deadline is configured.
+    pub(crate) start: Option<Instant>,
+    /// Cumulative states *kept* (reduce-phase leaves + group solution
+    /// machines), checked against `Budget::max_live_states`.
+    pub(crate) live_states: u64,
+    /// Cumulative group-solution states, reported by the
+    /// `MetricsSnapshot` trace event.
+    pub(crate) states_built: u64,
+}
+
+impl BudgetTrack {
+    fn new(budget: &Budget) -> BudgetTrack {
+        BudgetTrack {
+            start: budget.deadline.map(|_| Instant::now()),
+            live_states: 0,
+            states_built: 0,
+        }
+    }
+}
+
+/// Charges one entry's deterministic group cost against the cumulative
+/// budget, the stats, and the metrics registry. Shared by the sequential
+/// loop and the parallel replay (called at the entry's replay position), so
+/// totals and breach points are identical at every `--jobs N`.
+pub(crate) fn charge_entry_cost(
+    cost: &GroupCost,
+    options: &SolveOptions,
+    stats: &mut SolveStats,
+    track: &mut BudgetTrack,
+) -> Result<(), Breach> {
+    stats.product_states += cost.product_states;
+    track.live_states += cost.states_built;
+    track.states_built += cost.states_built;
+    options
+        .metrics
+        .add(id::SOLVE_PRODUCT_STATES, cost.product_states);
+    options
+        .metrics
+        .add(id::SOLVE_STATES_BUILT, cost.states_built);
+    if let Some(limit) = options.budget.max_product_states {
+        if stats.product_states > limit {
+            return Err((BudgetKind::ProductStates, limit, stats.product_states));
+        }
+    }
+    if let Some(limit) = options.budget.max_live_states {
+        if track.live_states > limit {
+            return Err((BudgetKind::LiveStates, limit, track.live_states));
+        }
+    }
+    Ok(())
+}
+
+/// The wall-clock check, run between worklist entries. Inherently
+/// nondeterministic (documented on [`Budget::deadline`]).
+pub(crate) fn check_deadline(options: &SolveOptions, track: &BudgetTrack) -> Result<(), Breach> {
+    if let (Some(deadline), Some(start)) = (options.budget.deadline, track.start) {
+        let elapsed = start.elapsed();
+        if elapsed > deadline {
+            return Err((
+                BudgetKind::Deadline,
+                u64::try_from(deadline.as_micros()).unwrap_or(u64::MAX),
+                u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Wraps a breach into the full error, attaching the metrics snapshot (when
+/// enabled) and the stats accumulated so far.
+fn budget_error(
+    breach: Breach,
+    options: &SolveOptions,
+    stats: &SolveStats,
+) -> Box<ResourceExhausted> {
+    let (kind, limit, observed) = breach;
+    Box::new(ResourceExhausted {
+        kind,
+        limit,
+        observed,
+        snapshot: options.metrics.snapshot(),
+        stats: stats.clone(),
+    })
 }
 
 /// The solver body, parameterized over a possibly-rewritten system.
@@ -296,8 +466,10 @@ fn solve_prepared(
     original: &System,
     store: &LangStore,
     tracer: &Tracer,
-) -> (Solution, SolveStats) {
+) -> Result<(Solution, SolveStats), Box<ResourceExhausted>> {
     let mut stats = SolveStats::default();
+    let mut track = BudgetTrack::new(&options.budget);
+    let memo_before = store.stats().memo_bytes;
     macro_rules! trace {
         ($($arg:tt)*) => {
             if options.trace {
@@ -352,11 +524,13 @@ fn solve_prepared(
                 system.expr_to_string(&c.lhs),
                 system.const_name(c.rhs)
             );
+            stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+            emit_metrics_snapshot(tracer, options, &stats, &track);
             tracer.emit(|| TraceEventKind::SolveEnd {
                 sat: false,
                 assignments: 0,
             });
-            return (Solution::Unsat, stats);
+            return Ok((Solution::Unsat, stats));
         }
     }
 
@@ -387,6 +561,16 @@ fn solve_prepared(
         }
         let m = m.unwrap_or_else(|| Lang::new(Nfa::sigma_star()));
         stats.max_leaf_states = stats.max_leaf_states.max(m.num_states());
+        // The reduce phase keeps every leaf machine live for the rest of
+        // the run, so its states are charged against `max_live_states`.
+        let leaf_cost = GroupCost {
+            product_states: 0,
+            states_built: m.num_states() as u64,
+        };
+        if let Err(breach) = charge_entry_cost(&leaf_cost, options, &mut stats, &mut track) {
+            stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+            return Err(budget_error(breach, options, &stats));
+        }
         trace!(
             "reduced {} to a {}-state machine",
             system.var_name(v),
@@ -424,7 +608,13 @@ fn solve_prepared(
             store,
             tracer,
         };
-        let produced = drive_worklist(&ctx, options.jobs, &mut stats);
+        let produced = match drive_worklist(&ctx, options.jobs, &mut stats, &mut track) {
+            Ok(produced) => produced,
+            Err(breach) => {
+                stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+                return Err(budget_error(breach, options, &stats));
+            }
+        };
         trace!(
             "{} branch(es) completed, {} filtered, {} assignment(s) returned",
             stats.branches_completed,
@@ -436,19 +626,31 @@ fn solve_prepared(
         } else {
             Solution::Assignments(produced)
         };
+        stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+        emit_metrics_snapshot(tracer, options, &stats, &track);
         tracer.emit(|| TraceEventKind::SolveEnd {
             sat: solution.is_sat(),
             assignments: solution.assignments().len(),
         });
-        return (solution, stats);
+        return Ok((solution, stats));
     }
 
     let mut queue: VecDeque<(usize, BTreeMap<NodeId, Lang>)> =
         VecDeque::from([(0, BTreeMap::new())]);
     stats.peak_worklist = queue.len();
+    options
+        .metrics
+        .gauge_set(id::WORKLIST_DEPTH, queue.len() as u64);
     let mut produced: Vec<Assignment> = Vec::new();
 
     'queue: while let Some((gi, partial)) = queue.pop_front() {
+        options
+            .metrics
+            .gauge_set(id::WORKLIST_DEPTH, queue.len() as u64);
+        if let Err(breach) = check_deadline(options, &track) {
+            stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+            return Err(budget_error(breach, options, &stats));
+        }
         if gi == groups.len() {
             // Convert and filter as soon as a branch completes so that
             // `max_assignments` can stop the search early.
@@ -476,7 +678,7 @@ fn solve_prepared(
             }
             continue;
         }
-        let disjuncts = {
+        let result = {
             let _gci_span = tracer.span("gci", None, Some(gi));
             solve_group(
                 &graph,
@@ -488,6 +690,28 @@ fn solve_prepared(
                 tracer,
             )
         };
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(hit) => {
+                // A single intersection hit the per-operation cap: at most
+                // `limit` product states were materialized by it.
+                stats.product_states += hit.cost.product_states;
+                options
+                    .metrics
+                    .add(id::SOLVE_PRODUCT_STATES, hit.cost.product_states);
+                stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+                return Err(budget_error(
+                    (BudgetKind::ProductStates, hit.limit, hit.limit),
+                    options,
+                    &stats,
+                ));
+            }
+        };
+        if let Err(breach) = charge_entry_cost(&outcome.cost, options, &mut stats, &mut track) {
+            stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+            return Err(budget_error(breach, options, &stats));
+        }
+        let disjuncts = outcome.solutions;
         trace!(
             "group {} produced {} disjunctive solution(s)",
             gi,
@@ -511,6 +735,9 @@ fn solve_prepared(
             // the peak whenever the run stops mid-iteration — e.g. a
             // `max_assignments` break after this entry's pushes.
             stats.peak_worklist = stats.peak_worklist.max(queue.len());
+            options
+                .metrics
+                .gauge_set(id::WORKLIST_DEPTH, queue.len() as u64);
             tracer.emit(|| TraceEventKind::WorklistBranch {
                 group: gi,
                 depth: queue.len(),
@@ -529,11 +756,35 @@ fn solve_prepared(
     } else {
         Solution::Assignments(produced)
     };
+    stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+    emit_metrics_snapshot(tracer, options, &stats, &track);
     tracer.emit(|| TraceEventKind::SolveEnd {
         sat: solution.is_sat(),
         assignments: solution.assignments().len(),
     });
-    (solution, stats)
+    Ok((solution, stats))
+}
+
+/// Emits the `MetricsSnapshot` trace event — the registry's headline
+/// aggregates — just before `SolveEnd`, when metrics are enabled.
+fn emit_metrics_snapshot(
+    tracer: &Tracer,
+    options: &SolveOptions,
+    stats: &SolveStats,
+    track: &BudgetTrack,
+) {
+    if let Some(snapshot) = options.metrics.snapshot() {
+        let product_states = stats.product_states;
+        let states_built = track.states_built;
+        let peak_bytes = stats.peak_bytes;
+        let entries = snapshot.len() as u64;
+        tracer.emit(|| TraceEventKind::MetricsSnapshot {
+            product_states,
+            states_built,
+            peak_bytes,
+            entries,
+        });
+    }
 }
 
 /// The dependency graph the (non-rewriting) solver actually uses for
@@ -1157,6 +1408,186 @@ mod tests {
         let (solution, stats) = solve_with_stats(&sys, &opts);
         assert_eq!(solution.assignments().len(), 1);
         assert_eq!(stats.peak_worklist, 4);
+    }
+
+    #[test]
+    fn counter_fields_enumerate_every_numeric_stat_field() {
+        // Drift guard: adding a numeric field to `SolveStats` without
+        // adding it to `counter_fields` silently drops it from the CLI
+        // stats output and the bench JSON. Parse the Debug rendering of
+        // the struct (rustc formats every field as `name: value`) and
+        // require a 1:1 match with the kebab-cased counter names; `events`
+        // is the only non-numeric field and is exempt.
+        let debug = format!("{:?}", SolveStats::default());
+        let body = debug
+            .trim_start_matches("SolveStats {")
+            .trim_end_matches('}');
+        let mut fields: Vec<String> = body
+            .split(", ")
+            .filter_map(|pair| pair.split(':').next())
+            .map(|name| name.trim().replace('_', "-"))
+            .filter(|name| name != "events")
+            .collect();
+        let stats = SolveStats::default();
+        let mut counters: Vec<String> = stats
+            .counter_fields()
+            .iter()
+            .map(|(name, _)| name.to_string())
+            .collect();
+        fields.sort();
+        counters.sort();
+        assert_eq!(
+            counters, fields,
+            "counter_fields() must list exactly the numeric SolveStats fields"
+        );
+    }
+
+    #[test]
+    fn budget_product_cap_errs_instead_of_blowing_up() {
+        let sys = two_group_disjunctive_system();
+        let opts = SolveOptions {
+            budget: crate::metrics::Budget {
+                max_product_states: Some(1),
+                ..Default::default()
+            },
+            ..SolveOptions::default()
+        };
+        let store = LangStore::new();
+        let err = try_solve_traced(&sys, &opts, &store, &Tracer::disabled())
+            .expect_err("a 1-product-state budget must trip");
+        assert_eq!(err.kind, BudgetKind::ProductStates);
+        assert_eq!(err.limit, 1);
+        assert!(
+            err.observed <= err.limit,
+            "the per-op cap aborts before exceeding the limit: observed {} > limit {}",
+            err.observed,
+            err.limit
+        );
+        assert!(err.snapshot.is_none(), "metrics were disabled");
+        assert!(err.to_string().contains("product-states"));
+        // The same system solves cleanly with the budget lifted.
+        let sys = two_group_disjunctive_system();
+        let (solution, stats) = try_solve_traced(
+            &sys,
+            &SolveOptions::default(),
+            &LangStore::new(),
+            &Tracer::disabled(),
+        )
+        .expect("unlimited budget");
+        assert_eq!(solution.assignments().len(), 4);
+        assert!(stats.product_states > 0);
+    }
+
+    #[test]
+    fn budget_live_states_and_deadline_trip() {
+        let sys = two_group_disjunctive_system();
+        let opts = SolveOptions {
+            budget: crate::metrics::Budget {
+                max_live_states: Some(1),
+                ..Default::default()
+            },
+            ..SolveOptions::default()
+        };
+        let err = try_solve_traced(&sys, &opts, &LangStore::new(), &Tracer::disabled())
+            .expect_err("reduce-phase leaves exceed one live state");
+        assert_eq!(err.kind, BudgetKind::LiveStates);
+        assert!(err.observed > err.limit);
+
+        let sys = two_group_disjunctive_system();
+        let opts = SolveOptions {
+            budget: crate::metrics::Budget {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+            ..SolveOptions::default()
+        };
+        let err = try_solve_traced(&sys, &opts, &LangStore::new(), &Tracer::disabled())
+            .expect_err("a zero deadline trips at the first worklist entry");
+        assert_eq!(err.kind, BudgetKind::Deadline);
+    }
+
+    #[test]
+    fn budget_breach_is_identical_across_thread_counts() {
+        let breach = |jobs: usize| {
+            let sys = two_group_disjunctive_system();
+            let opts = SolveOptions {
+                jobs,
+                budget: crate::metrics::Budget {
+                    max_product_states: Some(1),
+                    ..Default::default()
+                },
+                ..SolveOptions::default()
+            };
+            let err = try_solve_traced(&sys, &opts, &LangStore::new(), &Tracer::disabled())
+                .expect_err("budget trips at every jobs count");
+            (err.kind, err.limit, err.observed)
+        };
+        let base = breach(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(breach(jobs), base, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn metrics_registry_reflects_the_run() {
+        let sys = two_group_disjunctive_system();
+        let metrics = Metrics::enabled();
+        let opts = SolveOptions {
+            metrics: metrics.clone(),
+            ..SolveOptions::default()
+        };
+        let (solution, stats) = solve_with_stats(&sys, &opts);
+        assert_eq!(solution.assignments().len(), 4);
+        let snapshot = metrics.snapshot().expect("enabled registry");
+        assert_eq!(
+            snapshot
+                .get("core.solve.product_states")
+                .expect("recorded")
+                .headline(),
+            stats.product_states,
+            "driver-accumulated stats and the registry agree"
+        );
+        let gauge = snapshot.get("core.worklist.depth").expect("recorded");
+        match gauge.value {
+            crate::metrics::MetricValue::Gauge { value, peak } => {
+                assert_eq!(peak, stats.peak_worklist as u64);
+                assert_eq!(value, 0, "the queue drains by the end");
+            }
+            ref other => panic!("worklist depth is a gauge, got {other:?}"),
+        }
+        assert!(
+            snapshot
+                .get("core.store.memo_bytes")
+                .expect("recorded")
+                .headline()
+                > 0,
+            "interning charged the memo byte account"
+        );
+        assert_eq!(
+            stats.peak_bytes,
+            snapshot.get("core.store.memo_bytes").unwrap().headline()
+        );
+    }
+
+    #[test]
+    fn metrics_snapshots_are_identical_across_thread_counts() {
+        let run = |jobs: usize| {
+            let sys = two_group_disjunctive_system();
+            let metrics = Metrics::enabled();
+            let opts = SolveOptions {
+                jobs,
+                metrics: metrics.clone(),
+                ..SolveOptions::default()
+            };
+            let store = LangStore::new();
+            let _ = solve_traced(&sys, &opts, &store, &Tracer::disabled());
+            metrics.snapshot().expect("enabled").to_jsonl(0)
+        };
+        let baseline = run(1);
+        assert!(baseline.contains("automata.intersect.products"));
+        for jobs in [2, 4, 8] {
+            assert_eq!(run(jobs), baseline, "jobs={jobs}");
+        }
     }
 
     #[test]

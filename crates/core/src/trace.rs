@@ -188,6 +188,23 @@ pub enum TraceEventKind {
         /// constraint is redundant and leaves the core).
         still_unsat: bool,
     },
+    /// Headline totals of the solve's metrics registry, emitted just
+    /// before [`SolveEnd`] when metrics are enabled, so journals correlate
+    /// phase spans with operation costs. The full per-metric breakdown
+    /// lives in the JSON/Prometheus snapshot (`--metrics-out`); this event
+    /// carries the budget-relevant aggregates.
+    ///
+    /// [`SolveEnd`]: TraceEventKind::SolveEnd
+    MetricsSnapshot {
+        /// Cumulative product states charged by group solving.
+        product_states: u64,
+        /// Cumulative states built into group solutions.
+        states_built: u64,
+        /// Peak memo-table byte estimate over the run.
+        peak_bytes: u64,
+        /// Number of metric entries in the full registry snapshot.
+        entries: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -211,6 +228,7 @@ impl TraceEventKind {
         "IncrementalPop",
         "IncrementalCheck",
         "UnsatCoreTrial",
+        "MetricsSnapshot",
     ];
 
     /// The JSON `kind` discriminator for this event.
@@ -232,6 +250,7 @@ impl TraceEventKind {
             TraceEventKind::IncrementalPop { .. } => "IncrementalPop",
             TraceEventKind::IncrementalCheck { .. } => "IncrementalCheck",
             TraceEventKind::UnsatCoreTrial { .. } => "UnsatCoreTrial",
+            TraceEventKind::MetricsSnapshot { .. } => "MetricsSnapshot",
         }
     }
 }
@@ -353,6 +372,17 @@ impl TraceEvent {
             } => {
                 let _ = write!(out, ",\"dropped\":{dropped},\"still_unsat\":{still_unsat}");
             }
+            TraceEventKind::MetricsSnapshot {
+                product_states,
+                states_built,
+                peak_bytes,
+                entries,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"product_states\":{product_states},\"states_built\":{states_built},\"peak_bytes\":{peak_bytes},\"entries\":{entries}"
+                );
+            }
         }
         out.push('}');
         out
@@ -441,6 +471,12 @@ impl TraceEvent {
             "UnsatCoreTrial" => TraceEventKind::UnsatCoreTrial {
                 dropped: get_usize(obj, "dropped")?,
                 still_unsat: get_bool(obj, "still_unsat")?,
+            },
+            "MetricsSnapshot" => TraceEventKind::MetricsSnapshot {
+                product_states: get_u64(obj, "product_states")?,
+                states_built: get_u64(obj, "states_built")?,
+                peak_bytes: get_u64(obj, "peak_bytes")?,
+                entries: get_u64(obj, "entries")?,
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
@@ -1250,7 +1286,7 @@ impl Schema {
 /// A parsed JSON value. Only what the trace tooling needs: enough to read
 /// back JSONL events and the checked-in schema document.
 #[derive(Clone, Debug, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -1259,12 +1295,12 @@ enum Json {
     Obj(Vec<(String, Json)>),
 }
 
-fn lookup<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+pub(crate) fn lookup<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
     obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
 impl Json {
-    fn parse(src: &str) -> Result<Json, String> {
+    pub(crate) fn parse(src: &str) -> Result<Json, String> {
         let bytes = src.as_bytes();
         let mut pos = 0usize;
         let value = Json::parse_value(bytes, &mut pos)?;
@@ -1360,28 +1396,28 @@ impl Json {
         }
     }
 
-    fn as_object(&self) -> Option<&[(String, Json)]> {
+    pub(crate) fn as_object(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(fields) => Some(fields),
             _ => None,
         }
     }
 
-    fn as_array(&self) -> Option<&[Json]> {
+    pub(crate) fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
             _ => None,
@@ -1493,7 +1529,7 @@ fn json_string(s: &str) -> String {
     out
 }
 
-fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+pub(crate) fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
     lookup(obj, key)
         .and_then(Json::as_u64)
         .ok_or_else(|| format!("missing integer field `{key}`"))
@@ -1510,7 +1546,7 @@ fn get_bool(obj: &[(String, Json)], key: &str) -> Result<bool, String> {
     }
 }
 
-fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
+pub(crate) fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
     lookup(obj, key)
         .and_then(Json::as_str)
         .ok_or_else(|| format!("missing string field `{key}`"))

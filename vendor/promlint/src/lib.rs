@@ -1,0 +1,454 @@
+//! Offline linter for the Prometheus text exposition format (version
+//! 0.0.4) — a vendored stand-in for `promtool check metrics`, so CI can
+//! validate `dprle --metrics-format prom` output without network access.
+//!
+//! Checked rules, matching what the Prometheus client-library data model
+//! requires of a scrape page:
+//!
+//! * Metric and label names match the required character sets.
+//! * `# HELP` and `# TYPE` appear at most once per metric, before its
+//!   first sample, with a known type (`counter`, `gauge`, `histogram`,
+//!   `summary`, `untyped`).
+//! * All samples of one metric family are contiguous.
+//! * Sample values parse as Go-style floats (including `+Inf`, `NaN`).
+//! * No two samples share a name and label set.
+//! * Histograms: `le` bucket bounds are sorted and end at `+Inf`, bucket
+//!   counts are cumulative (non-decreasing), and the `+Inf` bucket equals
+//!   `<name>_count`; `_sum` and `_count` are present.
+//!
+//! The entry point is [`lint`]; the `promlint` binary wraps it for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One lint violation, positioned by 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Problem {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// What a clean page contained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Distinct metric families seen.
+    pub families: usize,
+    /// Total sample lines.
+    pub samples: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str) -> Option<f64> {
+    match text {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse::<f64>().ok(),
+    }
+}
+
+/// A parsed sample line: name, sorted label pairs, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses `name{l1="v1",...} value`, labels optional. Returns an error
+/// message on malformed syntax.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| "unclosed label brace".to_owned())?;
+            if close < brace {
+                return Err("unclosed label brace".to_owned());
+            }
+            (&line[..brace], &line[close + 1..])
+        }
+        None => match line.find(char::is_whitespace) {
+            Some(ws) => (&line[..ws], &line[ws..]),
+            None => return Err("sample line has no value".to_owned()),
+        },
+    };
+    let name = name_part.trim().to_owned();
+    if !valid_metric_name(&name) {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+    let mut labels = Vec::new();
+    if let Some(brace) = line.find('{') {
+        let close = line.rfind('}').expect("checked above");
+        let body = &line[brace + 1..close];
+        let mut chars = body.chars().peekable();
+        while chars.peek().is_some() {
+            let mut label = String::new();
+            for c in chars.by_ref() {
+                if c == '=' {
+                    break;
+                }
+                label.push(c);
+            }
+            let label = label.trim().to_owned();
+            if !valid_label_name(&label) {
+                return Err(format!("invalid label name `{label}`"));
+            }
+            if chars.next() != Some('"') {
+                return Err(format!("label `{label}` value is not quoted"));
+            }
+            let mut value = String::new();
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                match c {
+                    '\\' => match chars.next() {
+                        Some(e) => value.push(e),
+                        None => return Err("dangling escape in label value".to_owned()),
+                    },
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    c => value.push(c),
+                }
+            }
+            if !closed {
+                return Err(format!("label `{label}` value is unterminated"));
+            }
+            labels.push((label, value));
+            match chars.next() {
+                None => break,
+                Some(',') => continue,
+                Some(c) => return Err(format!("expected `,` between labels, got `{c}`")),
+            }
+        }
+    }
+    let mut fields = rest.split_whitespace();
+    let value_text = fields.next().ok_or("sample line has no value")?;
+    let value =
+        parse_value(value_text).ok_or_else(|| format!("unparseable value `{value_text}`"))?;
+    // An optional trailing timestamp (integer milliseconds) is permitted.
+    if let Some(ts) = fields.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("unparseable timestamp `{ts}`"));
+        }
+    }
+    if fields.next().is_some() {
+        return Err("trailing garbage after sample value".to_owned());
+    }
+    labels.sort();
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Strips a histogram/summary suffix to the family name the `# TYPE`
+/// declaration uses.
+fn family_of(name: &str, types: &HashMap<String, String>) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if types.contains_key(stem) {
+                return stem.to_owned();
+            }
+        }
+    }
+    name.to_owned()
+}
+
+/// Per-family bookkeeping for the cross-line checks.
+#[derive(Default)]
+struct Family {
+    buckets: Vec<(f64, f64)>,
+    sum_seen: bool,
+    count: Option<f64>,
+    closed: bool,
+}
+
+/// Lints a complete exposition page. Returns the summary if clean, or
+/// every violation found.
+///
+/// # Errors
+///
+/// A non-empty `Vec<Problem>` listing each violation with its line.
+pub fn lint(text: &str) -> Result<Summary, Vec<Problem>> {
+    let mut problems = Vec::new();
+    let mut help: HashSet<String> = HashSet::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut families: HashMap<String, Family> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut seen_samples: HashSet<String> = HashSet::new();
+    let mut samples = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let mut problem = |message: String| {
+            problems.push(Problem {
+                line: line_no,
+                message,
+            })
+        };
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some((name, _)) = rest.split_once(' ').or(Some((rest, ""))) else {
+                unreachable!()
+            };
+            if !valid_metric_name(name) {
+                problem(format!("invalid metric name `{name}` in HELP"));
+            } else if !help.insert(name.to_owned()) {
+                problem(format!("duplicate HELP for `{name}`"));
+            } else if families.contains_key(name) {
+                problem(format!("HELP for `{name}` after its first sample"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                problem("TYPE line is missing the type".to_owned());
+                continue;
+            };
+            if !valid_metric_name(name) {
+                problem(format!("invalid metric name `{name}` in TYPE"));
+                continue;
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                problem(format!("unknown type `{kind}` for `{name}`"));
+            }
+            if types.insert(name.to_owned(), kind.to_owned()).is_some() {
+                problem(format!("duplicate TYPE for `{name}`"));
+            }
+            if families.contains_key(name) {
+                problem(format!("TYPE for `{name}` after its first sample"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            // Free-form comment: ignored by scrapers, ignored here.
+            continue;
+        }
+        let sample = match parse_sample(line) {
+            Ok(s) => s,
+            Err(e) => {
+                problem(e);
+                continue;
+            }
+        };
+        samples += 1;
+        let key = format!("{}{:?}", sample.name, sample.labels);
+        if !seen_samples.insert(key) {
+            problem(format!(
+                "duplicate sample for `{}` with identical labels",
+                sample.name
+            ));
+        }
+        let family_name = family_of(&sample.name, &types);
+        if let Some(prev) = order.last() {
+            if *prev != family_name && families.get(&family_name).is_some_and(|f| f.closed) {
+                problem(format!(
+                    "samples of `{family_name}` are not contiguous (resumed after `{prev}`)"
+                ));
+            }
+        }
+        if order.last() != Some(&family_name) {
+            if let Some(prev) = order.last() {
+                if let Some(f) = families.get_mut(prev) {
+                    f.closed = true;
+                }
+            }
+            order.push(family_name.clone());
+        }
+        let family = families.entry(family_name.clone()).or_default();
+        let is_histogram = types.get(&family_name).map(String::as_str) == Some("histogram");
+        if is_histogram {
+            if sample.name.ends_with("_bucket") {
+                match sample.labels.iter().find(|(l, _)| l == "le") {
+                    Some((_, bound)) => match parse_value(bound) {
+                        Some(le) => family.buckets.push((le, sample.value)),
+                        None => problem(format!("unparseable `le` bound `{bound}`")),
+                    },
+                    None => problem(format!("`{}` has no `le` label", sample.name)),
+                }
+            } else if sample.name.ends_with("_sum") {
+                family.sum_seen = true;
+            } else if sample.name.ends_with("_count") {
+                family.count = Some(sample.value);
+            } else {
+                problem(format!(
+                    "histogram `{family_name}` has non-histogram sample `{}`",
+                    sample.name
+                ));
+            }
+        }
+    }
+
+    // Whole-family checks once the page is fully read.
+    for (name, family) in &families {
+        if types.get(name).map(String::as_str) != Some("histogram") {
+            continue;
+        }
+        let line = text.lines().count();
+        let mut problem = |message: String| problems.push(Problem { line, message });
+        for pair in family.buckets.windows(2) {
+            if pair[1].0 < pair[0].0 {
+                problem(format!("histogram `{name}` `le` bounds are not sorted"));
+            }
+            if pair[1].1 < pair[0].1 {
+                problem(format!(
+                    "histogram `{name}` bucket counts are not cumulative"
+                ));
+            }
+        }
+        match family.buckets.last() {
+            Some((le, inf_count)) if le.is_infinite() => {
+                if let Some(count) = family.count {
+                    if (count - inf_count).abs() > f64::EPSILON {
+                        problem(format!(
+                            "histogram `{name}` +Inf bucket {inf_count} != _count {count}"
+                        ));
+                    }
+                }
+            }
+            Some(_) => problem(format!("histogram `{name}` has no `+Inf` bucket")),
+            None => problem(format!("histogram `{name}` has no buckets")),
+        }
+        if !family.sum_seen {
+            problem(format!("histogram `{name}` has no `_sum` sample"));
+        }
+        if family.count.is_none() {
+            problem(format!("histogram `{name}` has no `_count` sample"));
+        }
+    }
+
+    if problems.is_empty() {
+        Ok(Summary {
+            families: families.len(),
+            samples,
+        })
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = "\
+# HELP app_requests_total Requests served\n\
+# TYPE app_requests_total counter\n\
+app_requests_total 42\n\
+# HELP app_latency_seconds Request latency\n\
+# TYPE app_latency_seconds histogram\n\
+app_latency_seconds_bucket{le=\"0.1\"} 3\n\
+app_latency_seconds_bucket{le=\"1\"} 9\n\
+app_latency_seconds_bucket{le=\"+Inf\"} 10\n\
+app_latency_seconds_sum 4.5\n\
+app_latency_seconds_count 10\n";
+
+    #[test]
+    fn clean_page_passes() {
+        let summary = lint(CLEAN).expect("clean");
+        assert_eq!(summary.families, 2);
+        assert_eq!(summary.samples, 6);
+    }
+
+    fn first_problem(text: &str) -> String {
+        lint(text).expect_err("should be flagged")[0]
+            .message
+            .clone()
+    }
+
+    #[test]
+    fn bad_names_types_and_values_are_flagged() {
+        assert!(first_problem("9metric 1\n").contains("invalid metric name"));
+        assert!(first_problem("# TYPE m widget\nm 1\n").contains("unknown type"));
+        assert!(first_problem("m not_a_number\n").contains("unparseable value"));
+        assert!(first_problem("m{9bad=\"x\"} 1\n").contains("invalid label name"));
+        assert!(first_problem("m{l=\"x} 1\n").contains("unterminated"));
+        assert!(first_problem("m 1\nm 2\n").contains("duplicate sample"));
+        assert!(
+            first_problem("# TYPE m counter\n# TYPE m counter\nm 1\n").contains("duplicate TYPE")
+        );
+        assert!(first_problem("m 1\n# HELP m late\n").contains("after its first sample"));
+    }
+
+    #[test]
+    fn histogram_shape_is_enforced() {
+        let unsorted = "# TYPE h histogram\n\
+            h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\n\
+            h_sum 1\nh_count 3\n";
+        let problems = lint(unsorted).expect_err("unsorted bounds");
+        assert!(problems.iter().any(|p| p.message.contains("not sorted")));
+
+        let non_cumulative = "# TYPE h histogram\n\
+            h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        let problems = lint(non_cumulative).expect_err("shrinking counts");
+        assert!(problems
+            .iter()
+            .any(|p| p.message.contains("not cumulative")));
+
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        let problems = lint(no_inf).expect_err("missing +Inf");
+        assert!(problems.iter().any(|p| p.message.contains("+Inf")));
+
+        let count_mismatch = "# TYPE h histogram\n\
+            h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
+        let problems = lint(count_mismatch).expect_err("count mismatch");
+        assert!(problems.iter().any(|p| p.message.contains("!= _count")));
+
+        let missing_sum = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n";
+        let problems = lint(missing_sum).expect_err("missing sum");
+        assert!(problems.iter().any(|p| p.message.contains("_sum")));
+    }
+
+    #[test]
+    fn interleaved_families_are_flagged() {
+        let page = "# TYPE a counter\n# TYPE b counter\na 1\nb 2\na{l=\"x\"} 3\n";
+        let problems = lint(page).expect_err("a resumed after b");
+        assert!(problems
+            .iter()
+            .any(|p| p.message.contains("not contiguous")));
+    }
+
+    #[test]
+    fn labels_escapes_and_timestamps_parse() {
+        let page = "m{path=\"a\\\"b\\\\c\",other=\"y\"} 1 1700000000000\n";
+        let summary = lint(page).expect("escaped labels are fine");
+        assert_eq!(summary.samples, 1);
+        assert!(lint("m 1 not_a_ts\n").is_err());
+    }
+}

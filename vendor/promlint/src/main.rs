@@ -1,0 +1,53 @@
+//! CI front end for the [`promlint`] linter.
+//!
+//! Usage: `promlint FILE...` (or `-` for stdin). Prints each violation
+//! with its file and line; exits 0 when every page is clean, 1 otherwise.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: promlint FILE... (- for stdin)");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        let text = if file == "-" {
+            let mut buf = String::new();
+            match std::io::stdin().read_to_string(&mut buf) {
+                Ok(_) => buf,
+                Err(e) => {
+                    eprintln!("promlint: reading stdin: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("promlint: cannot read {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        };
+        match promlint::lint(&text) {
+            Ok(summary) => println!(
+                "{file}: OK ({} samples across {} metric families)",
+                summary.samples, summary.families
+            ),
+            Err(problems) => {
+                failed = true;
+                for p in &problems {
+                    eprintln!("{file}:{p}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
