@@ -1,0 +1,874 @@
+//! Pluggable language-inclusion engines.
+//!
+//! Every `⊆` judgment in the decision procedure — subset, equivalence,
+//! counterexample extraction, intersection emptiness — goes through one of
+//! the [`InclusionEngine`] implementations defined here:
+//!
+//! * [`EagerEngine`] — the textbook path: determinize and complement the
+//!   right-hand side, build the full reachable product with the left-hand
+//!   side, and test emptiness. Exponential in the RHS in the worst case
+//!   (inherent to the problem), and it pays that worst case up front even
+//!   when a counterexample or an early subsumption would settle the query.
+//! * [`AntichainEngine`] — lazy inclusion checking in the style of
+//!   De Wulf–Doyen–Henzinger–Raskin: interleave an on-the-fly subset
+//!   construction of the RHS with product exploration over *macrostates*
+//!   `(q, S)` (one LHS state, one ε-closed RHS subset), pruning any new
+//!   macrostate subsumed by an already-visited `(q, S')` with `S' ⊆ S`.
+//!   Only the reachable, non-subsumed part of the subset construction is
+//!   ever built, which is what makes budgeted inclusion on determinization
+//!   blowups decidable where the eager path can only abort.
+//!
+//! Both engines share the same cheap structural pre-checks (an empty LHS is
+//! included in everything) and the same budget hooks: a macrostate cap and
+//! a wall-clock deadline, both checked inside the frontier loop, so a
+//! breach surfaces as a typed [`InclusionAbort`] carrying the partial
+//! [`InclusionCost`] instead of an unbounded blowup.
+//!
+//! Engine choice never changes an answer — the differential test suite and
+//! the `differential-inclusion` CI job hold the two implementations to
+//! bit-identical verdicts — so memo tables keyed on canonical language
+//! fingerprints remain engine-invariant.
+
+use crate::byteclass::{minterms, ByteClass};
+use crate::dfa;
+use crate::nfa::{Nfa, StateId};
+use crate::ops;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Which [`InclusionEngine`] implementation answers language queries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Determinize/complement/product: materializes the full RHS subset
+    /// construction before exploring the product.
+    Eager,
+    /// Lazy on-the-fly subset construction with antichain subsumption
+    /// pruning (the default).
+    #[default]
+    Antichain,
+}
+
+impl EngineKind {
+    /// Every selectable engine, in CLI listing order.
+    pub const ALL: [EngineKind; 2] = [EngineKind::Eager, EngineKind::Antichain];
+
+    /// The CLI-facing name (`--inclusion=<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Eager => "eager",
+            EngineKind::Antichain => "antichain",
+        }
+    }
+
+    /// Parses a CLI-facing name back into a kind.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        EngineKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Resource limits enforced inside an engine's work loop.
+///
+/// `max_macrostates` caps the states an engine may *explore* (subset-states
+/// plus product pairs for the eager engine, frontier macrostates for the
+/// antichain engine) — the same per-op semantics as
+/// [`ops::try_intersect`]'s state cap. `deadline` is an absolute wall-clock
+/// cutoff. The default is unlimited.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InclusionLimits {
+    /// Abort once this many macrostates were explored.
+    pub max_macrostates: Option<u64>,
+    /// Abort once this instant has passed.
+    pub deadline: Option<Instant>,
+}
+
+impl InclusionLimits {
+    /// No limits: every query runs to completion.
+    pub const UNLIMITED: InclusionLimits = InclusionLimits {
+        max_macrostates: None,
+        deadline: None,
+    };
+
+    /// The limits left after `spent` macrostates of earlier work in the
+    /// same query (used when one logical query runs several passes, e.g.
+    /// the two directions of an equivalence check).
+    fn minus(self, spent: u64) -> InclusionLimits {
+        InclusionLimits {
+            max_macrostates: self.max_macrostates.map(|m| m.saturating_sub(spent)),
+            deadline: self.deadline,
+        }
+    }
+}
+
+/// Cost report of one inclusion query, whatever the engine.
+///
+/// `macrostates` is the engine-agnostic work measure: subset-states built
+/// plus product pairs explored (eager), or frontier macrostates popped
+/// (antichain). The antichain-only fields are zero for the eager engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InclusionCost {
+    /// Macrostates explored.
+    pub macrostates: u64,
+    /// Final antichain size (maximal frontier knowledge retained).
+    pub antichain_size: u64,
+    /// Macrostates dropped by antichain subsumption.
+    pub prunes: u64,
+}
+
+impl InclusionCost {
+    /// Accumulates another pass's cost into this one.
+    pub fn absorb(&mut self, other: InclusionCost) {
+        self.macrostates += other.macrostates;
+        self.antichain_size += other.antichain_size;
+        self.prunes += other.prunes;
+    }
+}
+
+/// A budget breach inside an engine's frontier loop.
+///
+/// Carries the partial [`InclusionCost`] at the moment of the breach so
+/// callers can fold the wasted work into their metrics snapshot before
+/// propagating a `ResourceExhausted`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InclusionAbort {
+    /// The `max_macrostates` cap was hit.
+    MacrostateCap {
+        /// The cap that was breached.
+        limit: u64,
+        /// Work done up to the breach.
+        cost: InclusionCost,
+    },
+    /// The wall-clock deadline passed.
+    Deadline {
+        /// Work done up to the breach.
+        cost: InclusionCost,
+    },
+}
+
+impl InclusionAbort {
+    /// The partial work report carried by either variant.
+    pub fn cost(&self) -> InclusionCost {
+        match *self {
+            InclusionAbort::MacrostateCap { cost, .. } => cost,
+            InclusionAbort::Deadline { cost } => cost,
+        }
+    }
+}
+
+/// Cheap structural pre-checks shared by every engine: answers that need
+/// no subset construction at all. (The `Lang`-level fingerprint equality
+/// check lives in `LangStore::is_subset`, before the engine is consulted.)
+pub fn subset_precheck(a: &Nfa, b: &Nfa) -> Option<bool> {
+    if a.is_empty_language() {
+        // ∅ ⊆ L(b) for every b.
+        return Some(true);
+    }
+    if b.is_empty_language() {
+        // L(a) ≠ ∅ here, and nothing is included in ∅.
+        return Some(false);
+    }
+    None
+}
+
+/// A pluggable decision procedure for the language queries the solver
+/// issues: inclusion, equivalence, counterexample extraction, and
+/// intersection emptiness.
+///
+/// The `try_*` entry points enforce [`InclusionLimits`] inside their work
+/// loops and report the work done via [`InclusionCost`]; the plain
+/// conveniences run unlimited. Implementations must be pure: same operands
+/// in, same verdict and cost out, no shared mutable state — that is what
+/// keeps memoized results engine-invariant and parallel solves
+/// deterministic.
+pub trait InclusionEngine: Send + Sync {
+    /// Which implementation this is.
+    fn kind(&self) -> EngineKind;
+
+    /// Is `L(a) ⊆ L(b)`? Budgeted.
+    fn try_subset(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(bool, InclusionCost), InclusionAbort>;
+
+    /// A shortest member of `L(a) \ L(b)`, or `None` when `L(a) ⊆ L(b)`.
+    /// Budgeted.
+    fn try_counterexample(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(Option<Vec<u8>>, InclusionCost), InclusionAbort>;
+
+    /// Is `L(a) = L(b)`? Budgeted; the two directions share the budget.
+    fn try_equivalent(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(bool, InclusionCost), InclusionAbort> {
+        let (forward, mut cost) = self.try_subset(a, b, limits)?;
+        if !forward {
+            return Ok((false, cost));
+        }
+        let (backward, back_cost) = self
+            .try_subset(b, a, &limits.minus(cost.macrostates))
+            .map_err(|abort| absorb_abort(abort, cost))?;
+        cost.absorb(back_cost);
+        Ok((backward, cost))
+    }
+
+    /// Is `L(a) ∩ L(b) = ∅`? Budgeted.
+    fn try_intersection_empty(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(bool, InclusionCost), InclusionAbort>;
+
+    /// Unlimited [`InclusionEngine::try_subset`].
+    fn is_subset(&self, a: &Nfa, b: &Nfa) -> bool {
+        self.is_subset_costed(a, b).0
+    }
+
+    /// Unlimited [`InclusionEngine::try_subset`], keeping the cost report.
+    fn is_subset_costed(&self, a: &Nfa, b: &Nfa) -> (bool, InclusionCost) {
+        self.try_subset(a, b, &InclusionLimits::UNLIMITED)
+            .expect("unlimited queries cannot abort")
+    }
+
+    /// Unlimited [`InclusionEngine::try_equivalent`].
+    fn equivalent(&self, a: &Nfa, b: &Nfa) -> bool {
+        self.try_equivalent(a, b, &InclusionLimits::UNLIMITED)
+            .expect("unlimited queries cannot abort")
+            .0
+    }
+
+    /// Unlimited [`InclusionEngine::try_counterexample`].
+    fn counterexample(&self, a: &Nfa, b: &Nfa) -> Option<Vec<u8>> {
+        self.try_counterexample(a, b, &InclusionLimits::UNLIMITED)
+            .expect("unlimited queries cannot abort")
+            .0
+    }
+
+    /// Unlimited [`InclusionEngine::try_intersection_empty`].
+    fn intersection_empty(&self, a: &Nfa, b: &Nfa) -> bool {
+        self.try_intersection_empty(a, b, &InclusionLimits::UNLIMITED)
+            .expect("unlimited queries cannot abort")
+            .0
+    }
+}
+
+/// Re-bases an abort from a later pass onto the cost of earlier passes in
+/// the same logical query.
+fn absorb_abort(abort: InclusionAbort, mut earlier: InclusionCost) -> InclusionAbort {
+    earlier.absorb(abort.cost());
+    match abort {
+        InclusionAbort::MacrostateCap { limit, .. } => InclusionAbort::MacrostateCap {
+            limit,
+            cost: earlier,
+        },
+        InclusionAbort::Deadline { .. } => InclusionAbort::Deadline { cost: earlier },
+    }
+}
+
+fn deadline_passed(limits: &InclusionLimits) -> bool {
+    limits.deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// The static engine for `kind`. Engines are stateless, so one shared
+/// instance per kind serves every caller.
+pub fn engine(kind: EngineKind) -> &'static dyn InclusionEngine {
+    static EAGER: EagerEngine = EagerEngine;
+    static ANTICHAIN: AntichainEngine = AntichainEngine;
+    match kind {
+        EngineKind::Eager => &EAGER,
+        EngineKind::Antichain => &ANTICHAIN,
+    }
+}
+
+/// The engine free functions like [`crate::is_subset`] dispatch to.
+pub fn default_engine() -> &'static dyn InclusionEngine {
+    engine(EngineKind::default())
+}
+
+// ---------------------------------------------------------------------------
+// Eager engine
+// ---------------------------------------------------------------------------
+
+/// The determinize/complement/product decision path (the pre-engine
+/// `dfa::is_subset` behavior), with budget checks threaded through the
+/// subset construction and the product BFS.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EagerEngine;
+
+impl EagerEngine {
+    /// Determinizes `m` under the remaining budget and returns its
+    /// complement as an NFA, charging the subset-states built.
+    fn complement_budgeted(
+        &self,
+        m: &Nfa,
+        limits: &InclusionLimits,
+        cost: &mut InclusionCost,
+    ) -> Result<Nfa, InclusionAbort> {
+        let (d, _) = self.determinize_budgeted(m, limits, cost)?;
+        Ok(d.complement().to_nfa().trim().0)
+    }
+
+    /// Budgeted subset construction, charging produced DFA states as
+    /// macrostates.
+    fn determinize_budgeted(
+        &self,
+        m: &Nfa,
+        limits: &InclusionLimits,
+        cost: &mut InclusionCost,
+    ) -> Result<(dfa::Dfa, dfa::DeterminizeCost), InclusionAbort> {
+        if deadline_passed(limits) {
+            return Err(InclusionAbort::Deadline { cost: *cost });
+        }
+        let remaining = remaining_cap(limits, cost.macrostates);
+        match dfa::try_determinize_counted(m, remaining) {
+            Some((d, det_cost)) => {
+                cost.macrostates += det_cost.dfa_states as u64;
+                Ok((d, det_cost))
+            }
+            None => {
+                cost.macrostates += remaining as u64;
+                Err(InclusionAbort::MacrostateCap {
+                    limit: limits.max_macrostates.unwrap_or(u64::MAX),
+                    cost: *cost,
+                })
+            }
+        }
+    }
+
+    /// Budgeted reachable-product construction, charging explored pairs.
+    fn product_budgeted(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+        cost: &mut InclusionCost,
+    ) -> Result<ops::Product, InclusionAbort> {
+        if deadline_passed(limits) {
+            return Err(InclusionAbort::Deadline { cost: *cost });
+        }
+        let remaining = remaining_cap(limits, cost.macrostates);
+        match ops::try_intersect(a, b, remaining) {
+            Some(product) => {
+                cost.macrostates += product.pairs.len() as u64;
+                Ok(product)
+            }
+            None => {
+                cost.macrostates += remaining as u64;
+                Err(InclusionAbort::MacrostateCap {
+                    limit: limits.max_macrostates.unwrap_or(u64::MAX),
+                    cost: *cost,
+                })
+            }
+        }
+    }
+}
+
+/// The macrostate budget left after `spent`, as a usize cap for the
+/// state-counted constructions.
+fn remaining_cap(limits: &InclusionLimits, spent: u64) -> usize {
+    match limits.max_macrostates {
+        Some(max) => usize::try_from(max.saturating_sub(spent)).unwrap_or(usize::MAX),
+        None => usize::MAX,
+    }
+}
+
+impl InclusionEngine for EagerEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Eager
+    }
+
+    fn try_subset(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(bool, InclusionCost), InclusionAbort> {
+        let mut cost = InclusionCost::default();
+        if let Some(answer) = subset_precheck(a, b) {
+            return Ok((answer, cost));
+        }
+        let not_b = self.complement_budgeted(b, limits, &mut cost)?;
+        let product = self.product_budgeted(a, &not_b, limits, &mut cost)?;
+        Ok((product.nfa.is_empty_language(), cost))
+    }
+
+    fn try_counterexample(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(Option<Vec<u8>>, InclusionCost), InclusionAbort> {
+        let mut cost = InclusionCost::default();
+        if subset_precheck(a, b) == Some(true) {
+            return Ok((None, cost));
+        }
+        let not_b = self.complement_budgeted(b, limits, &mut cost)?;
+        let product = self.product_budgeted(a, &not_b, limits, &mut cost)?;
+        Ok((product.nfa.shortest_member(), cost))
+    }
+
+    /// Each side is determinized at most once: `a ⊆ b` runs against the
+    /// complement of `det(b)` with `a` as-is, and only if that direction
+    /// holds is `det(a)` built for the reverse check. (The pre-engine code
+    /// re-determinized a side per direction.)
+    fn try_equivalent(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(bool, InclusionCost), InclusionAbort> {
+        let mut cost = InclusionCost::default();
+        match (a.is_empty_language(), b.is_empty_language()) {
+            (true, true) => return Ok((true, cost)),
+            (true, false) | (false, true) => return Ok((false, cost)),
+            (false, false) => {}
+        }
+        let not_b = self.complement_budgeted(b, limits, &mut cost)?;
+        let forward = self.product_budgeted(a, &not_b, limits, &mut cost)?;
+        if !forward.nfa.is_empty_language() {
+            return Ok((false, cost));
+        }
+        let not_a = self.complement_budgeted(a, limits, &mut cost)?;
+        let backward = self.product_budgeted(b, &not_a, limits, &mut cost)?;
+        Ok((backward.nfa.is_empty_language(), cost))
+    }
+
+    fn try_intersection_empty(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(bool, InclusionCost), InclusionAbort> {
+        let mut cost = InclusionCost::default();
+        let product = self.product_budgeted(a, b, limits, &mut cost)?;
+        Ok((product.nfa.is_empty_language(), cost))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Antichain engine
+// ---------------------------------------------------------------------------
+
+/// Lazy inclusion: on-the-fly subset construction of the RHS interleaved
+/// with LHS exploration, pruned by antichain subsumption.
+///
+/// The frontier holds macrostates `(q, S)` — `q` an ε-closed-reachable LHS
+/// state, `S` the ε-closed set of RHS states reachable on the same input.
+/// A counterexample exists iff some reachable macrostate has `q` final and
+/// `S` free of finals. A new macrostate is *subsumed* (and dropped) when a
+/// visited `(q, S')` with `S' ⊆ S` exists: every word rejected from `S` is
+/// rejected from `S'` too, so the smaller set finds every counterexample
+/// the larger one would, no later. Conversely, inserting a new minimal `S`
+/// evicts visited supersets from the pruning store — they stay queued (BFS
+/// order, and thus shortest-counterexample extraction, is preserved) but
+/// no longer block future inserts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AntichainEngine;
+
+/// The per-LHS-state antichain of minimal visited RHS subsets.
+struct Antichain {
+    sets: HashMap<StateId, Vec<Rc<BTreeSet<StateId>>>>,
+}
+
+impl Antichain {
+    fn new() -> Antichain {
+        Antichain {
+            sets: HashMap::new(),
+        }
+    }
+
+    /// Inserts `(q, s)` unless a visited `(q, s')` with `s' ⊆ s` subsumes
+    /// it. Returns whether the macrostate is new (and must be queued).
+    fn insert(&mut self, q: StateId, s: &Rc<BTreeSet<StateId>>, cost: &mut InclusionCost) -> bool {
+        let entry = self.sets.entry(q).or_default();
+        if entry.iter().any(|t| t.is_subset(s)) {
+            cost.prunes += 1;
+            return false;
+        }
+        // `s` is a new minimal element: visited strict supersets can never
+        // prune anything `s` would not, so drop them from the store.
+        entry.retain(|t| !s.is_subset(t));
+        entry.push(s.clone());
+        true
+    }
+
+    fn size(&self) -> u64 {
+        self.sets.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl AntichainEngine {
+    /// The shared frontier search: returns a shortest counterexample to
+    /// `L(a) ⊆ L(b)`, or `None` when the inclusion holds.
+    fn counterexample_budgeted(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(Option<Vec<u8>>, InclusionCost), InclusionAbort> {
+        let mut cost = InclusionCost::default();
+        if subset_precheck(a, b) == Some(true) {
+            return Ok((None, cost));
+        }
+        // Minterms of *both* machines' classes: within a block, every byte
+        // induces the same successor macrostate, so one representative
+        // byte per block explores the whole alphabet.
+        let classes: Vec<ByteClass> = a
+            .edges()
+            .map(|(_, c, _)| c)
+            .chain(b.edges().map(|(_, c, _)| c))
+            .collect();
+        let alphabet = minterms(classes.iter());
+        let rejecting = |s: &BTreeSet<StateId>| !s.iter().any(|q| b.is_final(*q));
+
+        let s0 = Rc::new(b.eps_closure(&BTreeSet::from([b.start()])));
+        let a0 = a.eps_closure(&BTreeSet::from([a.start()]));
+        let mut antichain = Antichain::new();
+        let mut queue: VecDeque<(StateId, Rc<BTreeSet<StateId>>, Vec<u8>)> = VecDeque::new();
+        let s0_rejecting = rejecting(&s0);
+        for &q in &a0 {
+            if a.is_final(q) && s0_rejecting {
+                // ε ∈ L(a) \ L(b).
+                cost.antichain_size = antichain.size();
+                return Ok((Some(Vec::new()), cost));
+            }
+            if antichain.insert(q, &s0, &mut cost) {
+                queue.push_back((q, s0.clone(), Vec::new()));
+            }
+        }
+
+        while let Some((q, s, word)) = queue.pop_front() {
+            if let Some(cap) = limits.max_macrostates {
+                if cost.macrostates >= cap {
+                    cost.antichain_size = antichain.size();
+                    return Err(InclusionAbort::MacrostateCap { limit: cap, cost });
+                }
+            }
+            if deadline_passed(limits) {
+                cost.antichain_size = antichain.size();
+                return Err(InclusionAbort::Deadline { cost });
+            }
+            cost.macrostates += 1;
+            let q_set = BTreeSet::from([q]);
+            for block in &alphabet {
+                let byte = block.min_byte().expect("minterm blocks are nonempty");
+                let a_next = a.eps_closure(&a.step(&q_set, byte));
+                if a_next.is_empty() {
+                    continue;
+                }
+                let s_next = Rc::new(b.eps_closure(&b.step(&s, byte)));
+                let s_next_rejecting = rejecting(&s_next);
+                for &qn in &a_next {
+                    if a.is_final(qn) && s_next_rejecting {
+                        // First counterexample discovered is shortest: the
+                        // BFS pops macrostates in word-length order and
+                        // subsumption never removes queued entries.
+                        let mut witness = word.clone();
+                        witness.push(byte);
+                        cost.antichain_size = antichain.size();
+                        return Ok((Some(witness), cost));
+                    }
+                    if antichain.insert(qn, &s_next, &mut cost) {
+                        let mut w = word.clone();
+                        w.push(byte);
+                        queue.push_back((qn, s_next.clone(), w));
+                    }
+                }
+            }
+        }
+        cost.antichain_size = antichain.size();
+        Ok((None, cost))
+    }
+}
+
+impl InclusionEngine for AntichainEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Antichain
+    }
+
+    fn try_subset(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(bool, InclusionCost), InclusionAbort> {
+        let (cex, cost) = self.counterexample_budgeted(a, b, limits)?;
+        Ok((cex.is_none(), cost))
+    }
+
+    fn try_counterexample(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(Option<Vec<u8>>, InclusionCost), InclusionAbort> {
+        self.counterexample_budgeted(a, b, limits)
+    }
+
+    /// Lazy intersection emptiness: the pair-BFS of [`ops::try_intersect`]
+    /// without materializing the product, early-exiting at the first
+    /// accepting pair.
+    fn try_intersection_empty(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(bool, InclusionCost), InclusionAbort> {
+        let mut cost = InclusionCost::default();
+        let start = (a.start(), b.start());
+        let mut seen: BTreeSet<(StateId, StateId)> = BTreeSet::from([start]);
+        let mut queue: VecDeque<(StateId, StateId)> = VecDeque::from([start]);
+        while let Some((p, q)) = queue.pop_front() {
+            if let Some(cap) = limits.max_macrostates {
+                if cost.macrostates >= cap {
+                    return Err(InclusionAbort::MacrostateCap { limit: cap, cost });
+                }
+            }
+            if deadline_passed(limits) {
+                return Err(InclusionAbort::Deadline { cost });
+            }
+            cost.macrostates += 1;
+            if a.is_final(p) && b.is_final(q) {
+                return Ok((false, cost));
+            }
+            for &(ca, t1) in &a.state(p).edges {
+                for &(cb, t2) in &b.state(q).edges {
+                    if !ca.intersect(&cb).is_empty() && seen.insert((t1, t2)) {
+                        queue.push_back((t1, t2));
+                    }
+                }
+            }
+            for &t1 in &a.state(p).eps {
+                if seen.insert((t1, q)) {
+                    queue.push_back((t1, q));
+                }
+            }
+            for &t2 in &b.state(q).eps {
+                if seen.insert((p, t2)) {
+                    queue.push_back((p, t2));
+                }
+            }
+        }
+        Ok((true, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_nonempty_nfa, RandomNfaConfig};
+    use crate::ops;
+
+    fn engines() -> [&'static dyn InclusionEngine; 2] {
+        [engine(EngineKind::Eager), engine(EngineKind::Antichain)]
+    }
+
+    #[test]
+    fn kinds_round_trip_through_names() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EngineKind::parse("bogus"), None);
+        assert_eq!(EngineKind::default(), EngineKind::Antichain);
+    }
+
+    #[test]
+    fn both_engines_agree_on_basic_judgments() {
+        let aa = Nfa::literal(b"aa");
+        let astar = ops::star(&Nfa::literal(b"a"));
+        for e in engines() {
+            assert!(e.is_subset(&aa, &astar), "{}", e.kind());
+            assert!(!e.is_subset(&astar, &aa), "{}", e.kind());
+            assert!(e.is_subset(&Nfa::empty_language(), &aa), "{}", e.kind());
+            assert!(e.is_subset(&aa, &Nfa::sigma_star()), "{}", e.kind());
+            assert!(!e.equivalent(&aa, &astar), "{}", e.kind());
+            assert!(!e.equivalent(&astar, &ops::star(&aa)), "{}", e.kind());
+        }
+    }
+
+    #[test]
+    fn both_engines_find_shortest_counterexamples() {
+        let astar = ops::star(&Nfa::literal(b"a"));
+        let aa = Nfa::literal(b"aa");
+        for e in engines() {
+            let cex = e.counterexample(&astar, &aa).expect("inclusion fails");
+            assert!(astar.contains(&cex), "{}", e.kind());
+            assert!(!aa.contains(&cex), "{}", e.kind());
+            assert!(cex.len() <= 1, "{}: ε or 'a', got {cex:?}", e.kind());
+            assert_eq!(e.counterexample(&aa, &astar), None, "{}", e.kind());
+        }
+    }
+
+    #[test]
+    fn both_engines_agree_on_intersection_emptiness() {
+        let a = Nfa::literal(b"ab");
+        let b = Nfa::literal(b"ba");
+        let pre = ops::concat(&Nfa::literal(b"ab"), &Nfa::sigma_star()).nfa;
+        for e in engines() {
+            assert!(e.intersection_empty(&a, &b), "{}", e.kind());
+            assert!(!e.intersection_empty(&a, &pre), "{}", e.kind());
+            assert!(
+                e.intersection_empty(&Nfa::empty_language(), &Nfa::sigma_star()),
+                "{}",
+                e.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn antichain_matches_eager_on_random_pairs() {
+        let config = RandomNfaConfig {
+            states: 6,
+            alphabet: vec![b'a', b'b'],
+            ..Default::default()
+        };
+        let eager = engine(EngineKind::Eager);
+        let antichain = engine(EngineKind::Antichain);
+        for seed in 0..120u64 {
+            let a = random_nonempty_nfa(seed, &config);
+            let b = random_nonempty_nfa(seed.wrapping_add(1_000_003), &config);
+            assert_eq!(
+                eager.is_subset(&a, &b),
+                antichain.is_subset(&a, &b),
+                "seed {seed} a⊆b"
+            );
+            assert_eq!(
+                eager.is_subset(&b, &a),
+                antichain.is_subset(&b, &a),
+                "seed {seed} b⊆a"
+            );
+            assert_eq!(
+                eager.equivalent(&a, &b),
+                antichain.equivalent(&a, &b),
+                "seed {seed} a≡b"
+            );
+            assert_eq!(
+                eager.intersection_empty(&a, &b),
+                antichain.intersection_empty(&a, &b),
+                "seed {seed} a∩b=∅"
+            );
+            // Counterexamples agree on existence and are valid witnesses of
+            // equal (shortest) length.
+            let ce = eager.counterexample(&a, &b);
+            let ca = antichain.counterexample(&a, &b);
+            assert_eq!(ce.is_some(), ca.is_some(), "seed {seed}");
+            if let (Some(ce), Some(ca)) = (ce, ca) {
+                assert_eq!(ce.len(), ca.len(), "seed {seed}: both are shortest");
+                for w in [&ce, &ca] {
+                    assert!(a.contains(w), "seed {seed}");
+                    assert!(!b.contains(w), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn antichain_prunes_subsumed_macrostates() {
+        // A union of redundant branches makes the RHS subset construction
+        // revisit comparable subsets; the antichain must report prunes.
+        let a = ops::star(&Nfa::class(ByteClass::from_bytes([b'a', b'b'])));
+        let b1 = ops::star(&Nfa::class(ByteClass::from_bytes([b'a', b'b'])));
+        let b2 = ops::concat(
+            &Nfa::class(ByteClass::singleton(b'a')),
+            &ops::star(&Nfa::class(ByteClass::from_bytes([b'a', b'b']))),
+        )
+        .nfa;
+        let b = ops::union(&b1, &b2);
+        let engine = AntichainEngine;
+        let (holds, cost) = engine.is_subset_costed(&a, &b);
+        assert!(holds);
+        assert!(cost.macrostates > 0);
+        assert!(cost.antichain_size > 0);
+        assert!(cost.prunes > 0, "redundant RHS branches must be pruned");
+    }
+
+    #[test]
+    fn frontier_loop_enforces_macrostate_cap() {
+        // Σ* ⊆ (ab)* explores several macrostates; a cap of 1 must abort
+        // from inside the loop with the partial work attached.
+        let a = Nfa::sigma_star();
+        let b = ops::star(&Nfa::literal(b"ab"));
+        let limits = InclusionLimits {
+            max_macrostates: Some(1),
+            deadline: None,
+        };
+        let err = AntichainEngine
+            .try_subset(&a, &b, &limits)
+            .expect_err("cap of 1 must trip");
+        match err {
+            InclusionAbort::MacrostateCap { limit, cost } => {
+                assert_eq!(limit, 1);
+                assert_eq!(cost.macrostates, 1, "exactly the cap was explored");
+            }
+            other => panic!("expected macrostate cap, got {other:?}"),
+        }
+        // The same query decides fine above its true cost.
+        let unlimited = AntichainEngine.is_subset_costed(&a, &b);
+        assert!(!unlimited.0, "Σ* ⊄ (ab)*");
+    }
+
+    #[test]
+    fn frontier_loop_enforces_deadline() {
+        let a = Nfa::sigma_star();
+        let b = ops::star(&Nfa::literal(b"ab"));
+        let limits = InclusionLimits {
+            max_macrostates: None,
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+        };
+        let err = AntichainEngine
+            .try_subset(&a, &b, &limits)
+            .expect_err("expired deadline must trip");
+        assert!(matches!(err, InclusionAbort::Deadline { .. }));
+    }
+
+    #[test]
+    fn eager_engine_aborts_under_the_same_budget() {
+        let a = Nfa::sigma_star();
+        let b = ops::star(&Nfa::literal(b"ab"));
+        let limits = InclusionLimits {
+            max_macrostates: Some(1),
+            deadline: None,
+        };
+        let err = EagerEngine
+            .try_subset(&a, &b, &limits)
+            .expect_err("cap of 1 must trip the eager path too");
+        assert!(matches!(
+            err,
+            InclusionAbort::MacrostateCap { limit: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn equivalence_budget_spans_both_directions() {
+        let lhs = ops::star(&Nfa::literal(b"ab"));
+        let rhs = ops::star(&Nfa::literal(b"ab"));
+        let unlimited = AntichainEngine
+            .try_equivalent(&lhs, &rhs, &InclusionLimits::UNLIMITED)
+            .expect("unlimited");
+        assert!(unlimited.0);
+        let need = unlimited.1.macrostates;
+        assert!(need >= 2, "two directions do real work");
+        let limits = InclusionLimits {
+            max_macrostates: Some(need - 1),
+            deadline: None,
+        };
+        let err = AntichainEngine
+            .try_equivalent(&lhs, &rhs, &limits)
+            .expect_err("shared budget below the two-direction cost must trip");
+        assert!(err.cost().macrostates <= need);
+    }
+}

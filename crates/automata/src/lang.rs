@@ -15,7 +15,8 @@
 //! fingerprints, with counters that the solver surfaces as cache
 //! observability stats.
 
-use crate::dfa::{self, DeterminizeCost};
+use crate::dfa::DeterminizeCost;
+use crate::inclusion::{self, EngineKind, InclusionAbort, InclusionCost, InclusionLimits};
 use crate::metrics::{id, Metrics};
 use crate::minimize::{canonical_key_counted, minimize_counted, CanonicalKey};
 use crate::nfa::Nfa;
@@ -365,6 +366,11 @@ pub struct StoreStats {
     /// [`CanonicalKey::byte_len`]). Incremented only by the insert winner,
     /// so the total is deterministic across thread counts.
     pub memo_bytes: u64,
+    /// Macrostates explored by store-computed inclusion queries (engine
+    /// work; see [`crate::inclusion::InclusionCost`]). Incremented only by
+    /// the memo insert winner, so the total is deterministic across thread
+    /// counts — but it does depend on the selected engine.
+    pub inclusion_macrostates: u64,
 }
 
 impl StoreStats {
@@ -403,6 +409,10 @@ pub struct LangStore {
     /// outside `inner` so observers are notified after the store lock is
     /// released and may themselves use the store.
     observer: RwLock<Option<Arc<dyn StoreObserver>>>,
+    /// Which [`crate::inclusion`] engine answers inclusion queries. Kept
+    /// outside `inner` so the (potentially long) engine run never holds
+    /// the store lock.
+    engine: RwLock<EngineKind>,
     enabled: bool,
 }
 
@@ -424,8 +434,23 @@ impl LangStore {
         LangStore {
             inner: Mutex::new(StoreInner::default()),
             observer: RwLock::new(None),
+            engine: RwLock::new(EngineKind::default()),
             enabled,
         }
+    }
+
+    /// Selects the [`crate::inclusion`] engine behind
+    /// [`LangStore::is_subset`] / [`LangStore::try_is_subset`]. Engine
+    /// choice never changes an answer (the engines are differentially
+    /// tested to agree), so the inclusion memo is engine-invariant and
+    /// survives switches.
+    pub fn set_inclusion_engine(&self, kind: EngineKind) {
+        *self.engine.write().expect("engine lock") = kind;
+    }
+
+    /// The currently selected inclusion engine kind.
+    pub fn inclusion_engine(&self) -> EngineKind {
+        *self.engine.read().expect("engine lock")
     }
 
     /// Whether the caching layer is active.
@@ -582,19 +607,56 @@ impl LangStore {
     }
 
     /// Memoized language inclusion (`a ⊆ b`), keyed by the ordered
-    /// fingerprint pair.
+    /// fingerprint pair and decided by the selected [`crate::inclusion`]
+    /// engine. Unlimited: see [`LangStore::try_is_subset`] for the
+    /// budget-enforcing variant.
     pub fn is_subset(&self, a: &Lang, b: &Lang) -> bool {
+        self.try_is_subset(a, b, &InclusionLimits::UNLIMITED)
+            .expect("unlimited inclusion cannot abort")
+    }
+
+    /// Budgeted [`LangStore::is_subset`]: structural pre-checks and memo
+    /// hits answer for free; an actual engine run observes `limits` inside
+    /// its frontier loop. A breach memoizes nothing (a later unbudgeted
+    /// retry recomputes), but the partial work is still recorded into the
+    /// metrics registry so an exhaustion snapshot reflects it.
+    pub fn try_is_subset(
+        &self,
+        a: &Lang,
+        b: &Lang,
+        limits: &InclusionLimits,
+    ) -> Result<bool, InclusionAbort> {
         if Lang::ptr_eq(a, b) {
-            return true;
+            return Ok(true);
         }
+        // Structural pre-check shared by both engines: ∅ ⊆ L(b). The
+        // emptiness bit is cached on the handle, so this is O(1) after
+        // first touch and deterministic across thread counts.
+        if a.is_empty_language() {
+            return Ok(true);
+        }
+        let engine = inclusion::engine(self.inclusion_engine());
         if !self.enabled {
-            self.inner.lock().expect("store lock").stats.op_misses += 1;
+            let (result, cost) = match engine.try_subset(a.nfa(), b.nfa(), limits) {
+                Ok(computed) => computed,
+                Err(abort) => {
+                    self.record_partial_inclusion(abort.cost());
+                    return Err(abort);
+                }
+            };
+            {
+                let mut inner = self.inner.lock().expect("store lock");
+                inner.stats.op_misses += 1;
+                record_inclusion_cost(&mut inner, &cost);
+            }
             self.notify(StoreOp::Inclusion, None, false);
-            return dfa::is_subset(a.nfa(), b.nfa());
+            return Ok(result);
         }
         let key = (self.key_of(a), self.key_of(b));
         if key.0 == key.1 {
-            return true;
+            // Second shared pre-check: equal fingerprints mean equal
+            // languages, so the inclusion holds without engine work.
+            return Ok(true);
         }
         let identity = || MemoIdentity::Inclusion(key.0.clone(), key.1.clone());
         {
@@ -606,13 +668,21 @@ impl LangStore {
             };
             if let Some(hit) = hit {
                 self.notify(StoreOp::Inclusion, Some(identity()), true);
-                return hit;
+                return Ok(hit);
             }
         }
-        let result = dfa::is_subset(a.nfa(), b.nfa());
+        let (result, cost) = match engine.try_subset(a.nfa(), b.nfa(), limits) {
+            Ok(computed) => computed,
+            Err(abort) => {
+                self.record_partial_inclusion(abort.cost());
+                return Err(abort);
+            }
+        };
         let hit = {
             let mut inner = self.inner.lock().expect("store lock");
-            // Same race re-check as `intersect`: first writer wins the entry.
+            // Same race re-check as `intersect`: first writer wins the
+            // entry, and only the winner records the engine cost, so the
+            // totals stay deterministic across thread counts.
             if inner.inclusion_memo.contains_key(&key) {
                 inner.stats.op_hits += 1;
                 true
@@ -622,12 +692,21 @@ impl LangStore {
                 inner
                     .metrics
                     .add(id::STORE_MEMO_BYTES, INCLUSION_ENTRY_BYTES);
+                record_inclusion_cost(&mut inner, &cost);
                 inner.inclusion_memo.insert(key.clone(), result);
                 false
             }
         };
         self.notify(StoreOp::Inclusion, Some(identity()), hit);
-        result
+        Ok(result)
+    }
+
+    /// Folds an aborted inclusion run's partial cost into the metrics (but
+    /// never into the memo): the exhaustion snapshot carries the wasted
+    /// frontier work.
+    fn record_partial_inclusion(&self, cost: InclusionCost) {
+        let mut inner = self.inner.lock().expect("store lock");
+        record_inclusion_cost(&mut inner, &cost);
     }
 
     /// Memoized language-preserving minimization, keyed by fingerprint.
@@ -693,6 +772,21 @@ impl LangStore {
         inner.stats.states_materialized += states as u64;
         inner.metrics.add(id::STORE_MATERIALIZED, states as u64);
     }
+}
+
+/// Records one computed inclusion query's engine cost: macrostates
+/// explored, the final antichain size (zero for the eager engine), and
+/// subsumption prunes. Called winner-only on the success path and once on
+/// the abort path.
+fn record_inclusion_cost(inner: &mut StoreInner, cost: &InclusionCost) {
+    inner.stats.inclusion_macrostates += cost.macrostates;
+    inner
+        .metrics
+        .add(id::INCLUSION_MACROSTATES, cost.macrostates);
+    inner
+        .metrics
+        .observe(id::INCLUSION_ANTICHAIN_SIZE, cost.antichain_size);
+    inner.metrics.add(id::INCLUSION_PRUNES, cost.prunes);
 }
 
 /// Records one computed intersection's cost: product states explored vs.
@@ -954,6 +1048,71 @@ mod tests {
             .cloned()
             .expect("event recorded");
         assert!(last.1.is_none());
+    }
+
+    #[test]
+    fn inclusion_engine_is_selectable_and_answers_agree() {
+        for kind in EngineKind::ALL {
+            let store = LangStore::new();
+            store.set_inclusion_engine(kind);
+            assert_eq!(store.inclusion_engine(), kind);
+            let small = Lang::new(Nfa::literal(b"ab"));
+            let big = Lang::new(ab_star());
+            assert!(store.is_subset(&small, &big), "{kind}");
+            assert!(!store.is_subset(&big, &small), "{kind}");
+            let stats = store.stats();
+            assert!(
+                stats.inclusion_macrostates > 0,
+                "{kind}: engine work must be counted"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_prechecks_skip_engine_work() {
+        let store = LangStore::new();
+        let empty = Lang::new(Nfa::empty_language());
+        let big = Lang::new(ab_star());
+        let same = Lang::new(ab_star().normalize());
+        assert!(store.is_subset(&empty, &big), "∅ ⊆ L");
+        assert!(store.is_subset(&big, &big), "ptr-equal handles");
+        assert!(store.is_subset(&big, &same), "equal fingerprints");
+        let stats = store.stats();
+        assert_eq!(stats.inclusion_macrostates, 0, "no engine ran");
+        assert_eq!(stats.op_misses, 0, "no memo entry was needed");
+    }
+
+    #[test]
+    fn budgeted_inclusion_aborts_without_memoizing() {
+        let store = LangStore::new();
+        let metrics = Metrics::enabled();
+        store.set_metrics(metrics.clone());
+        let a = Lang::new(Nfa::sigma_star());
+        let b = Lang::new(ab_star());
+        let limits = InclusionLimits {
+            max_macrostates: Some(1),
+            deadline: None,
+        };
+        let err = store
+            .try_is_subset(&a, &b, &limits)
+            .expect_err("cap of 1 must trip");
+        assert!(matches!(
+            err,
+            InclusionAbort::MacrostateCap { limit: 1, .. }
+        ));
+        // Partial work landed in the metrics snapshot, not in the memo.
+        let snap = metrics.snapshot().expect("enabled registry");
+        match snap
+            .get("automata.inclusion.macrostates")
+            .expect("def")
+            .value
+        {
+            crate::metrics::MetricValue::Counter { value } => assert!(value > 0),
+            ref other => panic!("counter expected, got {other:?}"),
+        }
+        assert_eq!(store.stats().op_misses, 0, "aborts memoize nothing");
+        // The same query completes once the budget is lifted.
+        assert!(!store.is_subset(&a, &b));
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   state).
 //! * [`dfa`] — subset construction, complement, language inclusion and
 //!   equivalence (the `⊆` judgments of the constraint language).
+//! * [`inclusion`] — pluggable engines behind every `⊆` judgment: the
+//!   eager determinize/complement/product path and the antichain-based
+//!   lazy subset construction the stack defaults to, both with budget
+//!   hooks inside their frontier loops.
 //! * [`minimize`] — DFA minimization (the optimization the paper suggests
 //!   for its Figure 12 `secure` outlier).
 //! * [`lang`] — cheap-to-clone interned language handles ([`Lang`]) with
@@ -59,6 +63,7 @@ pub mod dfa;
 pub mod dot;
 pub mod generate;
 pub mod homomorphism;
+pub mod inclusion;
 pub mod lang;
 pub mod metrics;
 pub mod minimize;
@@ -70,9 +75,13 @@ pub use analysis::{is_finite, language_size, members, LanguageSize};
 pub use byteclass::ByteClass;
 pub use dfa::{
     complement, determinize, determinize_counted, equivalent, inclusion_counterexample, is_subset,
-    DeterminizeCost, Dfa,
+    try_determinize_counted, DeterminizeCost, Dfa,
 };
 pub use homomorphism::ByteMap;
+pub use inclusion::{
+    engine as inclusion_engine, AntichainEngine, EagerEngine, EngineKind, InclusionAbort,
+    InclusionCost, InclusionEngine, InclusionLimits,
+};
 pub use lang::{
     FingerprintCost, Lang, LangStore, MemoIdentity, StoreObserver, StoreOp, StoreStats,
 };

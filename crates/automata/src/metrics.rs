@@ -88,6 +88,12 @@ pub mod id {
     pub const SOLVE_PRODUCT_STATES: usize = 13;
     /// Cumulative states built by group solving.
     pub const SOLVE_STATES_BUILT: usize = 14;
+    /// Macrostates explored by inclusion engines.
+    pub const INCLUSION_MACROSTATES: usize = 15;
+    /// Histogram of final antichain size per lazy inclusion query.
+    pub const INCLUSION_ANTICHAIN_SIZE: usize = 16;
+    /// Macrostates dropped by antichain subsumption.
+    pub const INCLUSION_PRUNES: usize = 17;
 }
 
 /// The closed metric table. Index = metric id; snapshot order = table
@@ -166,6 +172,21 @@ pub const METRIC_DEFS: &[MetricDef] = &[
     MetricDef {
         name: "core.solve.states_built",
         help: "Cumulative states built by group solving",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "automata.inclusion.macrostates",
+        help: "Macrostates explored by inclusion engines (subset-states plus product pairs)",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "automata.inclusion.antichain_size",
+        help: "Final antichain size per inclusion query (zero for the eager engine)",
+        kind: MetricKind::Histogram,
+    },
+    MetricDef {
+        name: "automata.inclusion.subsumption_prunes",
+        help: "Macrostates dropped by antichain subsumption",
         kind: MetricKind::Counter,
     },
 ];

@@ -1,0 +1,371 @@
+//! Differential-inclusion harness: proves the eager and antichain
+//! inclusion engines are observationally equivalent across the whole
+//! corpus.
+//!
+//! Every corpus entry — the `testdata/` constraint files, the SMT-LIB
+//! script, the PHP audit sources, and generated multi-group / random
+//! systems — is solved once per engine, and the runs must agree on four
+//! facets:
+//!
+//! 1. **Solutions**: per-variable canonical fingerprints of every
+//!    assignment (or the script's sat/unsat verdicts), in order.
+//! 2. **Unsat cores**: for unsatisfiable native systems, the minimal core
+//!    indices shrunk under each engine.
+//! 3. **Stats**: every [`SolveStats`] counter and trace-event string,
+//!    `inclusion-macrostates` excepted — that counter measures the
+//!    engine's own work and is *supposed* to differ.
+//! 4. **Trace journal**: the JSONL event stream with `ts_us` zeroed —
+//!    the engines answer the same queries, so memo traffic, group
+//!    disjuncts, and worklist decisions replay identically.
+//!
+//! Metrics snapshots are compared too, modulo the `automata.inclusion.*`
+//! entries — those count the engine's own macrostates and prunes, the
+//! one family that is *supposed* to differ. Everything else (memo
+//! traffic, product construction, worklist depth) must be byte-equal.
+//!
+//! Each run rebuilds its system from scratch (re-parse, re-explore,
+//! re-generate) so `Lang` fingerprint caches warmed by one engine cannot
+//! serve the other. Zeroed-timestamp journals are written to
+//! `target/differential-inclusion/` for offline diffing.
+//!
+//! Usage: `cargo run -p dprle-bench --bin differential_inclusion --release`
+//!
+//! Exits 1 if any entry diverges on any facet.
+
+use dprle_automata::LangStore;
+use dprle_cli::parse_file;
+use dprle_cli::smtlib::run_script_with_stats;
+use dprle_core::{
+    solve_traced, unsat_core, CollectSink, EngineKind, Metrics, Solution, SolveOptions, SolveStats,
+    System, Tracer,
+};
+use dprle_corpus::scaling::{multi_group_system, random_system, RandomSystemConfig};
+use dprle_lang::symex::{SinkKind, SymexOptions};
+use dprle_lang::{build_system, explore, parse_php, Policy};
+use std::sync::Arc;
+
+/// Everything one solve run produces that must match across engines.
+struct RunResult {
+    /// One line per assignment: `var=<canonical key>` pairs in `var_ids`
+    /// order, or the single line `UNSAT`, or the script's own outputs.
+    solutions: Vec<String>,
+    /// `Some(indices)` when the system was unsat and a core was shrunk.
+    core: Option<Vec<usize>>,
+    stats: SolveStats,
+    /// JSONL journal lines with `ts_us` zeroed.
+    journal: Vec<String>,
+    /// Metrics-snapshot JSONL lines with the timestamp zeroed and
+    /// engine-cost families filtered out.
+    metrics: Vec<String>,
+}
+
+fn traced_options(engine: EngineKind) -> SolveOptions {
+    SolveOptions {
+        inclusion_engine: engine,
+        trace: true,
+        metrics: Metrics::enabled(),
+        ..SolveOptions::default()
+    }
+}
+
+/// The one metric family measuring the engine's own internal work —
+/// the only lines legitimately allowed to differ between engines.
+const ENGINE_COST_PREFIX: &str = "\"name\":\"automata.inclusion.";
+
+fn comparable_metrics(metrics: &Metrics) -> Vec<String> {
+    metrics
+        .snapshot()
+        .expect("registry installed by traced_options")
+        .to_jsonl(0)
+        .lines()
+        .filter(|line| !line.contains(ENGINE_COST_PREFIX))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// The engine's own work counter is the one counter allowed to differ.
+fn comparable_stats(stats: &SolveStats) -> SolveStats {
+    let mut s = stats.clone();
+    s.inclusion_macrostates = 0;
+    s
+}
+
+fn solution_lines(system: &System, solution: &Solution) -> Vec<String> {
+    match solution {
+        Solution::Unsat => vec!["UNSAT".to_owned()],
+        Solution::Assignments(list) => list
+            .iter()
+            .map(|a| {
+                system
+                    .var_ids()
+                    .map(|v| {
+                        let key = a
+                            .get(v)
+                            .map(|l| format!("{:?}", l.fingerprint()))
+                            .unwrap_or_else(|| "<unassigned>".to_owned());
+                        format!("{}={key}", system.var_name(v))
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect(),
+    }
+}
+
+fn zeroed_journal(sink: &CollectSink) -> Vec<String> {
+    sink.take()
+        .into_iter()
+        .map(|mut e| {
+            e.ts_us = 0;
+            e.to_json()
+        })
+        .collect()
+}
+
+/// Solves one freshly built system with a fresh store and tracer; on
+/// unsat, additionally shrinks the core under the same engine.
+fn run_system(system: &System, engine: EngineKind) -> RunResult {
+    let options = traced_options(engine);
+    let sink = Arc::new(CollectSink::new());
+    let tracer = Tracer::new(sink.clone());
+    let store = LangStore::interning(options.interning);
+    let (solution, stats) = solve_traced(system, &options, &store, &tracer);
+    let core = match solution {
+        Solution::Unsat => unsat_core(system, &options).map(|c| c.indices),
+        Solution::Assignments(_) => None,
+    };
+    RunResult {
+        solutions: solution_lines(system, &solution),
+        core,
+        stats,
+        journal: zeroed_journal(&sink),
+        metrics: comparable_metrics(&options.metrics),
+    }
+}
+
+/// One named corpus entry: `build(engine)` must rebuild everything from
+/// scratch and return the run's comparable facets.
+struct Entry {
+    name: String,
+    build: Box<dyn Fn(EngineKind) -> RunResult>,
+}
+
+fn testdata(file: &str) -> String {
+    let path = format!("{}/../../testdata/{file}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn dprle_entry(file: &'static str) -> Entry {
+    Entry {
+        name: format!("testdata/{file}"),
+        build: Box::new(move |engine| {
+            let parsed = parse_file(&testdata(file)).expect("testdata parses");
+            run_system(&parsed.system, engine)
+        }),
+    }
+}
+
+fn smt2_entry(file: &'static str) -> Entry {
+    Entry {
+        name: format!("testdata/{file}"),
+        build: Box::new(move |engine| {
+            let options = traced_options(engine);
+            let sink = Arc::new(CollectSink::new());
+            let tracer = Tracer::new(sink.clone());
+            let run = run_script_with_stats(&testdata(file), &options, &tracer)
+                .expect("testdata script runs");
+            RunResult {
+                solutions: run.outputs.iter().map(|o| o.to_string()).collect(),
+                core: None,
+                stats: run.stats,
+                journal: zeroed_journal(&sink),
+                metrics: comparable_metrics(&options.metrics),
+            }
+        }),
+    }
+}
+
+/// One entry per security-sensitive sink of a PHP source.
+fn php_entries(file: &'static str, policy: fn() -> Policy, kind: Option<SinkKind>) -> Vec<Entry> {
+    let symex = SymexOptions {
+        track_echo: kind == Some(SinkKind::Echo),
+        ..SymexOptions::default()
+    };
+    let source = testdata(file);
+    let program = parse_php(file, &source).expect("testdata PHP parses");
+    let reaches = explore(&program, &symex).expect("explores");
+    let sinks = reaches
+        .iter()
+        .filter(|r| kind.is_none_or(|k| r.kind == k))
+        .count();
+    (0..sinks)
+        .map(|i| Entry {
+            name: format!("testdata/{file}#sink{i}"),
+            build: Box::new(move |engine| {
+                let symex = SymexOptions {
+                    track_echo: kind == Some(SinkKind::Echo),
+                    ..SymexOptions::default()
+                };
+                let program = parse_php(file, &testdata(file)).expect("testdata PHP parses");
+                let reaches = explore(&program, &symex).expect("explores");
+                let reach = reaches
+                    .iter()
+                    .filter(|r| kind.is_none_or(|k| r.kind == k))
+                    .nth(i)
+                    .expect("sink index stable across re-exploration");
+                let generated = build_system(reach, &policy()).expect("builds");
+                run_system(&generated.system, engine)
+            }),
+        })
+        .collect()
+}
+
+fn generated_entry(name: &str, make: impl Fn() -> System + 'static) -> Entry {
+    Entry {
+        name: name.to_owned(),
+        build: Box::new(move |engine| run_system(&make(), engine)),
+    }
+}
+
+fn corpus() -> Vec<Entry> {
+    let mut entries = vec![
+        dprle_entry("motivating.dprle"),
+        dprle_entry("unsat.dprle"),
+        smt2_entry("motivating.smt2"),
+    ];
+    entries.extend(php_entries("figure1.php", Policy::sql_quote, None));
+    entries.extend(php_entries(
+        "xss.php",
+        Policy::xss_script_tag,
+        Some(SinkKind::Echo),
+    ));
+    entries.push(generated_entry("corpus/multi_group_3x2", || {
+        multi_group_system(3, 2)
+    }));
+    entries.push(generated_entry("corpus/multi_group_2x3", || {
+        multi_group_system(2, 3)
+    }));
+    for seed in 0..5u64 {
+        entries.push(generated_entry(&format!("corpus/random_seed{seed}"), {
+            move || random_system(seed, &RandomSystemConfig::default())
+        }));
+    }
+    entries
+}
+
+fn write_lines(dir: &str, entry: &str, suffix: &str, lines: &[String]) {
+    let safe: String = entry
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = format!("{dir}/{safe}.{suffix}.jsonl");
+    let mut body = lines.join("\n");
+    if !body.is_empty() {
+        body.push('\n');
+    }
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+/// Reports the first differing line between two journals.
+fn first_journal_diff(a: &[String], b: &[String]) -> Option<(usize, String, String)> {
+    for i in 0..a.len().max(b.len()) {
+        let (la, lb) = (a.get(i), b.get(i));
+        if la != lb {
+            return Some((
+                i,
+                la.cloned().unwrap_or_else(|| "<missing>".to_owned()),
+                lb.cloned().unwrap_or_else(|| "<missing>".to_owned()),
+            ));
+        }
+    }
+    None
+}
+
+fn main() {
+    let dir = "target/differential-inclusion";
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {dir}: {e}");
+    }
+
+    let mut failures = 0usize;
+    let entries = corpus();
+    println!(
+        "differential-inclusion: {} corpus entries x engines {:?}",
+        entries.len(),
+        EngineKind::ALL.map(EngineKind::name)
+    );
+    for entry in &entries {
+        let eager = (entry.build)(EngineKind::Eager);
+        let antichain = (entry.build)(EngineKind::Antichain);
+        write_lines(dir, &entry.name, "eager", &eager.journal);
+        write_lines(dir, &entry.name, "antichain", &antichain.journal);
+        let mut verdict = "identical";
+        let mut entry_diverged = false;
+        if eager.solutions != antichain.solutions {
+            eprintln!(
+                "DIVERGENCE {}: solutions differ\n  eager: {:?}\n  antichain: {:?}",
+                entry.name, eager.solutions, antichain.solutions
+            );
+            entry_diverged = true;
+        }
+        if eager.core != antichain.core {
+            eprintln!(
+                "DIVERGENCE {}: unsat cores differ\n  eager: {:?}\n  antichain: {:?}",
+                entry.name, eager.core, antichain.core
+            );
+            entry_diverged = true;
+        }
+        if comparable_stats(&eager.stats) != comparable_stats(&antichain.stats) {
+            eprintln!(
+                "DIVERGENCE {}: stats differ (inclusion-macrostates excluded)\n  eager: {:?}\n  antichain: {:?}",
+                entry.name, eager.stats, antichain.stats
+            );
+            entry_diverged = true;
+        }
+        if let Some((line, a, b)) = first_journal_diff(&eager.journal, &antichain.journal) {
+            eprintln!(
+                "DIVERGENCE {}: journal differs at line {line}\n  eager: {a}\n  antichain: {b}",
+                entry.name
+            );
+            entry_diverged = true;
+        }
+        if let Some((line, a, b)) = first_journal_diff(&eager.metrics, &antichain.metrics) {
+            eprintln!(
+                "DIVERGENCE {}: metrics snapshot differs at line {line}\n  eager: {a}\n  antichain: {b}",
+                entry.name
+            );
+            entry_diverged = true;
+        }
+        if entry_diverged {
+            failures += 1;
+            verdict = "DIVERGED";
+        }
+        println!(
+            "  {:<36} {:>4} journal events, {:>3} solution line(s), core {}: {verdict}",
+            entry.name,
+            antichain.journal.len(),
+            antichain.solutions.len(),
+            match &antichain.core {
+                Some(c) => format!("{c:?}"),
+                None => "-".to_owned(),
+            }
+        );
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "\n{failures} corpus entr{} diverged between engines",
+            if failures == 1 { "y" } else { "ies" }
+        );
+        std::process::exit(1);
+    }
+    println!("\nall entries agree across both inclusion engines (journals in {dir}/)");
+}

@@ -121,6 +121,24 @@ fn main() {
         println!("\nMedian speedup at --jobs {jobs}: {median:.2}x (hardware dependent)");
     }
 
+    // Inclusion-engine comparison: the same workload once per engine.
+    println!("\nInclusion engines (eager vs antichain, untraced passes):");
+    println!(
+        "{:<8} {:<10} {:>12} {:>12} {:>12} {:>12}",
+        "App", "Vuln", "eager (s)", "macro", "antich (s)", "macro"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:<10} {:>12.3} {:>12} {:>12.3} {:>12}",
+            r.app,
+            r.name,
+            r.eager_seconds,
+            r.eager_macrostates,
+            r.antichain_seconds,
+            r.antichain_macrostates
+        );
+    }
+
     // Per-phase wall time aggregated over all rows' traced passes
     // (cumulative: nested spans count toward their ancestors).
     let mut phase_totals: std::collections::BTreeMap<String, u64> = Default::default();

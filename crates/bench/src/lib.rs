@@ -24,7 +24,8 @@
 
 use dprle_automata::LangStore;
 use dprle_core::{
-    solve_traced, CollectSink, PhaseRow, Solution, SolveOptions, SolveStats, TraceReport, Tracer,
+    solve_traced, CollectSink, EngineKind, PhaseRow, Solution, SolveOptions, SolveStats,
+    TraceReport, Tracer,
 };
 use dprle_corpus::{vulnerable_program, VulnSpec, FIG12_ROWS};
 use dprle_lang::symex::SymexOptions;
@@ -72,6 +73,18 @@ pub struct Fig12Row {
     pub product_states: u64,
     /// Peak interning-memo bytes of any single solve in the row.
     pub peak_bytes: u64,
+    /// Wall time of the engine-comparison pass under the eager
+    /// determinize/complement/product inclusion engine.
+    pub eager_seconds: f64,
+    /// Inclusion macrostates explored by the eager pass (for the eager
+    /// engine: determinization subset-states plus complement-product
+    /// pairs).
+    pub eager_macrostates: u64,
+    /// Wall time of the engine-comparison pass under the antichain lazy
+    /// inclusion engine (the default).
+    pub antichain_seconds: f64,
+    /// Inclusion macrostates explored by the antichain pass.
+    pub antichain_macrostates: u64,
     /// Solver counters aggregated over the row's runs (see
     /// `SolveStats::absorb`).
     pub stats: SolveStats,
@@ -157,6 +170,31 @@ pub fn run_fig12_row_jobs(spec: &VulnSpec, options: &SolveOptions, jobs: usize) 
     } else {
         (1, seconds)
     };
+    // Engine-comparison passes: the identical workload once per inclusion
+    // engine, cold-rebuilt and untraced like the `T_S` pass, so the two
+    // columns isolate the engine's cost. Both passes produce the same
+    // solutions — the engines provably agree — so only time and
+    // macrostates are kept.
+    let engine_pass = |kind: EngineKind| {
+        let systems: Vec<dprle_core::System> = reaches
+            .iter()
+            .map(|reach| to_system(reach, &policy).0)
+            .collect();
+        let engine_options = SolveOptions {
+            inclusion_engine: kind,
+            ..options.clone()
+        };
+        let mut macrostates = 0u64;
+        let start = Instant::now();
+        for sys in &systems {
+            let store = LangStore::interning(engine_options.interning);
+            let (_, run_stats) = solve_traced(sys, &engine_options, &store, &Tracer::disabled());
+            macrostates += run_stats.inclusion_macrostates;
+        }
+        (start.elapsed().as_secs_f64(), macrostates)
+    };
+    let (eager_seconds, eager_macrostates) = engine_pass(EngineKind::Eager);
+    let (antichain_seconds, antichain_macrostates) = engine_pass(EngineKind::Antichain);
     Fig12Row {
         app: spec.app.to_owned(),
         name: spec.name.to_owned(),
@@ -177,6 +215,10 @@ pub fn run_fig12_row_jobs(spec: &VulnSpec, options: &SolveOptions, jobs: usize) 
         exploitable,
         product_states: stats.product_states,
         peak_bytes: stats.peak_bytes,
+        eager_seconds,
+        eager_macrostates,
+        antichain_seconds,
+        antichain_macrostates,
         stats,
         phases,
     }
@@ -242,6 +284,10 @@ pub fn fig12_rows_json(rows: &[Fig12Row]) -> String {
             ("exploitable", r.exploitable.to_string()),
             ("product_states", r.product_states.to_string()),
             ("peak_bytes", r.peak_bytes.to_string()),
+            ("eager_seconds", format!("{:.6}", r.eager_seconds)),
+            ("eager_macrostates", r.eager_macrostates.to_string()),
+            ("antichain_seconds", format!("{:.6}", r.antichain_seconds)),
+            ("antichain_macrostates", r.antichain_macrostates.to_string()),
         ];
         for (j, (k, v)) in fields.iter().enumerate() {
             if j > 0 {
@@ -484,6 +530,10 @@ mod tests {
             exploitable: true,
             product_states: 0,
             peak_bytes: 0,
+            eager_seconds: 0.02,
+            eager_macrostates: 10,
+            antichain_seconds: 0.01,
+            antichain_macrostates: 5,
             stats: SolveStats::default(),
             phases: Vec::new(),
         };
@@ -513,6 +563,10 @@ mod tests {
             exploitable: true,
             product_states: 42,
             peak_bytes: 4096,
+            eager_seconds: 0.02,
+            eager_macrostates: 10,
+            antichain_seconds: 0.01,
+            antichain_macrostates: 5,
             stats: SolveStats {
                 groups: 2,
                 fingerprint_hits: 7,
@@ -556,6 +610,10 @@ mod tests {
             exploitable: true,
             product_states: 0,
             peak_bytes: 0,
+            eager_seconds: seconds * 3.0,
+            eager_macrostates: 10,
+            antichain_seconds: seconds,
+            antichain_macrostates: 5,
             stats: SolveStats::default(),
             phases: Vec::new(),
         };

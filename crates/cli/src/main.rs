@@ -27,6 +27,10 @@
 //!   --max-product-states N  abort once N product states were explored
 //!   --max-live-states N     abort once N solution-machine states are live
 //!   --deadline-ms N    abort the solve after N milliseconds
+//!   --inclusion E      inclusion engine: `antichain` (default, lazy
+//!                      subset construction with antichain pruning) or
+//!                      `eager` (determinize/complement/product); both
+//!                      agree on every answer, costs differ
 //!   --no-interning     disable language interning/memoization (ablation)
 //!   --jobs N           worklist worker threads (default 1; deterministic)
 //!   -h, --help         this message
@@ -45,8 +49,8 @@
 use dprle_cli::parse_file;
 use dprle_core::{
     parse_snapshot, provenance_dot, render_report, solver_graph, try_solve_traced, validate_jsonl,
-    validate_metrics_jsonl, Budget, CollectSink, JsonlSink, Metrics, Solution, SolveOptions,
-    SolveStats, System, TeeSink, TraceReport, TraceSink, Tracer,
+    validate_metrics_jsonl, Budget, CollectSink, EngineKind, JsonlSink, Metrics, Solution,
+    SolveOptions, SolveStats, System, TeeSink, TraceReport, TraceSink, Tracer,
 };
 use std::fs::File;
 use std::io::BufWriter;
@@ -54,7 +58,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--metrics-out FILE] [--metrics-format json|prom] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--no-interning] [--jobs N] FILE
+const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--metrics-out FILE] [--metrics-format json|prom] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--inclusion eager|antichain] [--no-interning] [--jobs N] FILE
        dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
        dprle metrics-report [--check-schema] [--top K] METRICS.jsonl
   solves a system of subset constraints over regular languages
@@ -90,6 +94,7 @@ struct Args {
     max_product_states: Option<u64>,
     max_live_states: Option<u64>,
     deadline_ms: Option<u64>,
+    inclusion: EngineKind,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -113,7 +118,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         max_product_states: None,
         max_live_states: None,
         deadline_ms: None,
+        inclusion: EngineKind::default(),
     };
+    fn engine_arg(name: &str) -> Result<EngineKind, String> {
+        EngineKind::parse(name)
+            .ok_or_else(|| format!("--inclusion must be eager or antichain, got `{name}`"))
+    }
     fn budget_arg(argv: &[String], i: usize, flag: &str) -> Result<u64, String> {
         let n = argv.get(i).ok_or_else(|| format!("{flag} needs a count"))?;
         n.parse::<u64>()
@@ -172,6 +182,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--deadline-ms" => {
                 i += 1;
                 args.deadline_ms = Some(budget_arg(argv, i, "--deadline-ms")?);
+            }
+            "--inclusion" => {
+                i += 1;
+                let name = argv.get(i).ok_or("--inclusion needs an engine name")?;
+                args.inclusion = engine_arg(name)?;
+            }
+            value if value.starts_with("--inclusion=") => {
+                args.inclusion = engine_arg(&value["--inclusion=".len()..])?;
             }
             "--no-interning" => args.interning = false,
             "--jobs" => {
@@ -496,6 +514,7 @@ fn main() -> ExitCode {
             max_live_states: args.max_live_states,
             deadline: args.deadline_ms.map(Duration::from_millis),
         },
+        inclusion_engine: args.inclusion,
         ..Default::default()
     };
     if args.file.ends_with(".smt2") {

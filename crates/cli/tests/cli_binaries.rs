@@ -354,3 +354,39 @@ fn analyzer_unroll_bound_controls_loop_findings() {
     let out = dprle_analyze(&[file.to_str().expect("utf8")]);
     assert_eq!(out.status.code(), Some(1));
 }
+
+#[test]
+fn budgeted_blowup_exits_3_under_both_inclusion_engines() {
+    // Mirrors the CI budgeted-blowup step, once per inclusion engine: a
+    // binding product budget must exit 3 (graceful ResourceExhausted) —
+    // never a panic — and still write a metrics snapshot that registers
+    // the engine's own work counter.
+    let file = temp_file("budgeted_engines.dprle", MOTIVATING);
+    for engine in ["antichain", "eager"] {
+        let metrics = std::env::temp_dir().join(format!("dprle_cli_test_exhausted_{engine}.jsonl"));
+        let out = dprle(&[
+            "--max-product-states",
+            "2",
+            &format!("--inclusion={engine}"),
+            "--metrics-out",
+            metrics.to_str().expect("utf8 path"),
+            file.to_str().expect("utf8 path"),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "--inclusion={engine} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("resource budget exhausted"),
+            "--inclusion={engine}: {stderr}"
+        );
+        let snapshot = std::fs::read_to_string(&metrics).expect("exhaustion snapshot written");
+        assert!(
+            snapshot.contains("\"name\":\"automata.inclusion.macrostates\""),
+            "--inclusion={engine}: snapshot missing the engine work counter"
+        );
+    }
+}

@@ -40,14 +40,17 @@
 //! front end, where constants are singleton languages).
 
 use crate::graph::{CiGroup, ConcatEdgePair, DependencyGraph, NodeId, NodeKind};
-use crate::metrics::{id, Metrics};
+use crate::metrics::{id, BudgetKind, Metrics};
 use crate::spec::System;
 use crate::trace::{TraceEventKind, Tracer};
-use dprle_automata::{ops, CanonicalKey, Lang, LangStore, Nfa, StateId};
+use dprle_automata::{
+    ops, CanonicalKey, InclusionAbort, InclusionLimits, Lang, LangStore, Nfa, StateId,
+};
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Options controlling group solving.
 #[derive(Clone, Debug)]
@@ -73,9 +76,17 @@ pub struct GciOptions {
     /// Per-operation cap on product states explored by one intersection
     /// (paper §3.5). A build whose intersection would materialize more than
     /// this many pairs aborts with [`ProductCapHit`] *before* exceeding it.
-    /// Deterministic at every `--jobs N`: the check depends only on the
-    /// operand machines.
+    /// The same cap bounds the macrostates of each budgeted inclusion check
+    /// (constant-leaf filtering, subsumption pruning) — the inclusion
+    /// engines' frontier loops are the other place the paper's exponential
+    /// can hide. Deterministic at every `--jobs N`: the check depends only
+    /// on the operand machines.
     pub max_product_states: Option<u64>,
+    /// Wall-clock deadline for budgeted inclusion checks, forwarded into
+    /// the engines' frontier loops. Set by the solver's normalization from
+    /// [`crate::metrics::Budget::deadline`]; inherently nondeterministic,
+    /// like the worklist-level deadline check.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for GciOptions {
@@ -86,6 +97,18 @@ impl Default for GciOptions {
             minimize_solutions: true,
             metrics: Metrics::disabled(),
             max_product_states: None,
+            deadline: None,
+        }
+    }
+}
+
+impl GciOptions {
+    /// The limits handed to every budgeted inclusion check this group
+    /// solve performs.
+    fn inclusion_limits(&self) -> InclusionLimits {
+        InclusionLimits {
+            max_macrostates: self.max_product_states,
+            deadline: self.deadline,
         }
     }
 }
@@ -119,15 +142,36 @@ pub struct GroupOutcome {
     pub cost: GroupCost,
 }
 
-/// A group solve aborted: one intersection hit
-/// [`GciOptions::max_product_states`]. At most `limit` product states were
-/// materialized by the aborting operation.
+/// A group solve aborted: one intersection or budgeted inclusion check hit
+/// a per-operation limit. For [`BudgetKind::ProductStates`] at most `limit`
+/// product states (or inclusion macrostates) were materialized by the
+/// aborting operation; for [`BudgetKind::Deadline`] an inclusion frontier
+/// loop observed the wall-clock deadline (the driver recomputes the
+/// elapsed/limit micros itself, so `limit` is zero here).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProductCapHit {
-    /// The configured per-operation cap.
+    /// Which budget dimension was breached.
+    pub kind: BudgetKind,
+    /// The configured per-operation cap (zero for deadline breaches).
     pub limit: u64,
     /// Cost accumulated by the group before the abort.
     pub cost: GroupCost,
+}
+
+/// Maps an engine-level abort to the group-level error the driver handles.
+fn abort_to_cap_hit(abort: &InclusionAbort, cost: GroupCost) -> ProductCapHit {
+    match abort {
+        InclusionAbort::MacrostateCap { limit, .. } => ProductCapHit {
+            kind: BudgetKind::ProductStates,
+            limit: *limit,
+            cost,
+        },
+        InclusionAbort::Deadline { .. } => ProductCapHit {
+            kind: BudgetKind::Deadline,
+            limit: 0,
+            cost,
+        },
+    }
 }
 
 /// One disjunctive solution for a group: a language handle per *leaf*
@@ -241,6 +285,7 @@ fn solve_group_inner(
         }
         Err(CapHit) => {
             return Err(ProductCapHit {
+                kind: BudgetKind::ProductStates,
                 limit: options.max_product_states.unwrap_or(u64::MAX),
                 cost: cost.add_products(&builder.product_states),
             })
@@ -298,12 +343,34 @@ fn solve_group_inner(
 
     // Reject combinations that narrow a constant leaf: constants are not
     // assignable, so their induced language must be their full language.
-    solutions.retain(|sol| {
-        sol.iter().all(|(node, machine)| match graph.kind(*node) {
-            NodeKind::Const(c) => store.is_subset(system.const_lang(c), machine),
-            _ => true,
-        })
-    });
+    // Each check is a budgeted inclusion query: the engine's frontier loop
+    // honors the same per-operation cap (and deadline) as the product
+    // builds, so a blowup hiding in the subset judgment aborts the group
+    // instead of running away.
+    let limits = options.inclusion_limits();
+    {
+        let mut kept = Vec::with_capacity(solutions.len());
+        for sol in solutions {
+            let mut holds = true;
+            for (node, machine) in &sol {
+                if let NodeKind::Const(c) = graph.kind(*node) {
+                    match store.try_is_subset(system.const_lang(c), machine, &limits) {
+                        Ok(included) => {
+                            if !included {
+                                holds = false;
+                                break;
+                            }
+                        }
+                        Err(abort) => return Err(abort_to_cap_hit(&abort, cost)),
+                    }
+                }
+            }
+            if holds {
+                kept.push(sol);
+            }
+        }
+        solutions = kept;
+    }
 
     if options.dedup {
         // A leaf is *linear* when it occupies exactly one segment across all
@@ -320,7 +387,8 @@ fn solve_group_inner(
             .filter_map(|(n, c)| (*c == 1).then_some(*n))
             .collect();
         let _minimize_span = tracer.span("minimize", None, Some(group.index));
-        solutions = minimize(solutions, &linear, store, &options.metrics);
+        solutions = minimize(solutions, &linear, store, &options.metrics, &limits)
+            .map_err(|abort| abort_to_cap_hit(&abort, cost))?;
     }
     cost.states_built = solutions
         .iter()
@@ -368,10 +436,11 @@ fn minimize(
     linear: &[NodeId],
     store: &LangStore,
     metrics: &Metrics,
-) -> Vec<GroupSolution> {
+    limits: &InclusionLimits,
+) -> Result<Vec<GroupSolution>, InclusionAbort> {
     let deduped = dedup(solutions, store);
     let merged = merge_linear(deduped, linear, store, metrics);
-    prune_subsumed(merged, store)
+    prune_subsumed(merged, store, limits)
 }
 
 fn dedup(solutions: Vec<GroupSolution>, store: &LangStore) -> Vec<Keyed> {
@@ -466,30 +535,42 @@ fn try_merge(
     Some(Keyed::new(sol, store))
 }
 
-/// Keeps only solutions not pointwise contained in another solution.
-fn prune_subsumed(out: Vec<Keyed>, store: &LangStore) -> Vec<GroupSolution> {
+/// Keeps only solutions not pointwise contained in another solution. Every
+/// containment test is a budgeted inclusion query (same per-operation
+/// limits as the product builds).
+fn prune_subsumed(
+    out: Vec<Keyed>,
+    store: &LangStore,
+    limits: &InclusionLimits,
+) -> Result<Vec<GroupSolution>, InclusionAbort> {
     let mut keep = vec![true; out.len()];
     for i in 0..out.len() {
         for (j, other) in out.iter().enumerate() {
             if i == j || !keep[j] || other.keys.len() != out[i].keys.len() {
                 continue;
             }
-            let subsumed = out[i].sol.iter().all(|(node, machine)| {
-                other
-                    .sol
-                    .get(node)
-                    .is_some_and(|big| store.is_subset(machine, big))
-            });
+            let mut subsumed = true;
+            for (node, machine) in &out[i].sol {
+                let contained = match other.sol.get(node) {
+                    Some(big) => store.try_is_subset(machine, big, limits)?,
+                    None => false,
+                };
+                if !contained {
+                    subsumed = false;
+                    break;
+                }
+            }
             if subsumed {
                 keep[i] = false;
                 break;
             }
         }
     }
-    out.into_iter()
+    Ok(out
+        .into_iter()
         .zip(keep)
         .filter_map(|(s, k)| k.then_some(s.sol))
-        .collect()
+        .collect())
 }
 
 // ---------------------------------------------------------------------

@@ -75,9 +75,12 @@ pub use metrics::{
 pub use parallel::ParallelSolver;
 pub use solution::{Assignment, Solution};
 pub use solve::{
-    satisfies_system, solve, solve_first, solve_traced, solve_with_stats, solve_with_store,
-    solver_graph, try_solve_traced, SolveOptions, SolveStats,
+    satisfies_system, satisfies_with, solve, solve_first, solve_traced, solve_with_stats,
+    solve_with_store, solver_graph, try_solve_traced, SolveOptions, SolveStats,
 };
+// Re-exported so downstream crates (CLI, bench) can select an inclusion
+// engine without depending on dprle-automata directly.
+pub use dprle_automata::EngineKind;
 pub use spec::{ConstId, Constraint, Expr, System, VarId};
 pub use trace::{
     check_well_nested, parse_jsonl, provenance_dot, validate_jsonl, CollectSink, JsonlSink,

@@ -50,10 +50,11 @@
 
 use crate::gci::{solve_group, GroupOutcome, ProductCapHit};
 use crate::graph::{CiGroup, DependencyGraph, NodeId};
-use crate::metrics::{id, BudgetKind};
+use crate::metrics::id;
 use crate::solution::{Assignment, Solution};
 use crate::solve::{
-    charge_entry_cost, check_deadline, finish_branch, Breach, BudgetTrack, SolveOptions, SolveStats,
+    cap_hit_breach, charge_entry_cost, check_deadline, finish_branch, Breach, BudgetTrack,
+    SolveOptions, SolveStats,
 };
 use crate::spec::{Constraint, System};
 use crate::trace::{TraceEvent, TraceEventKind, Tracer};
@@ -441,7 +442,7 @@ pub(crate) fn drive_worklist(
                 Err(hit) => {
                     stats.product_states += hit.cost.product_states;
                     metrics.add(id::SOLVE_PRODUCT_STATES, hit.cost.product_states);
-                    return Err((BudgetKind::ProductStates, hit.limit, hit.limit));
+                    return Err(cap_hit_breach(&hit, ctx.options, track));
                 }
             };
             charge_entry_cost(&outcome.cost, ctx.options, stats, track)?;

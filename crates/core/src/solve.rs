@@ -27,14 +27,14 @@
 //! the merge of per-group disjuncts — the same set Figure 7 computes, with
 //! the same branch-on-disjunction behavior.
 
-use crate::gci::{solve_group, GciOptions, GroupCost};
+use crate::gci::{solve_group, GciOptions, GroupCost, ProductCapHit};
 use crate::graph::{DependencyGraph, NodeId, NodeKind};
 use crate::metrics::{id, Budget, BudgetKind, Metrics, ResourceExhausted};
 use crate::parallel::{drive_worklist, RoutedStoreObserver, WorklistCtx};
 use crate::solution::{Assignment, Solution};
 use crate::spec::{Constraint, Expr, System, VarId};
 use crate::trace::{TraceEventKind, Tracer};
-use dprle_automata::{is_subset, ops, Lang, LangStore, Nfa};
+use dprle_automata::{inclusion_engine, ops, EngineKind, Lang, LangStore, Nfa};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -103,6 +103,14 @@ pub struct SolveOptions {
     /// entry points panic with a descriptive message instead of silently
     /// blowing up memory. Unlimited by default.
     pub budget: Budget,
+    /// Which inclusion engine decides the run's `⊆` judgments (constant
+    /// filtering, subsumption pruning, verification). The engines provably
+    /// agree on every judgment, so solutions and unsat answers are
+    /// engine-invariant; costs differ — the default antichain engine
+    /// explores macrostates lazily and can decide inclusions whose eager
+    /// determinize/complement/product construction blows up. Selected on
+    /// the CLI with `--inclusion=eager|antichain`.
+    pub inclusion_engine: EngineKind,
 }
 
 impl Default for SolveOptions {
@@ -119,6 +127,7 @@ impl Default for SolveOptions {
             jobs: 1,
             metrics: Metrics::disabled(),
             budget: Budget::default(),
+            inclusion_engine: EngineKind::default(),
         }
     }
 }
@@ -160,6 +169,13 @@ pub struct SolveStats {
     /// is available with metrics disabled and identical at every
     /// [`SolveOptions::jobs`] count.
     pub product_states: u64,
+    /// Macrostates explored by the run's winning inclusion checks
+    /// (subset-construction states plus product pairs — see the
+    /// [`inclusion`](dprle_automata::inclusion) module). A store-stats
+    /// before/after diff, identical at every [`SolveOptions::jobs`] count
+    /// but *engine-dependent*: differential engine comparisons must exclude
+    /// it.
+    pub inclusion_macrostates: u64,
     /// Growth of the store's memo byte footprint over this run (canonical
     /// fingerprint keys, interned machines, memo table entries — see
     /// `StoreStats::memo_bytes`). A before/after diff, so shared-store
@@ -181,7 +197,7 @@ impl SolveStats {
     /// The single source of truth for stats reporting: the CLI's `--stats`
     /// output, the [`Display`](fmt::Display) impl, and the bench JSON all
     /// iterate this instead of hand-copying fields.
-    pub fn counter_fields(&self) -> [(&'static str, u64); 13] {
+    pub fn counter_fields(&self) -> [(&'static str, u64); 14] {
         [
             ("groups", self.groups as u64),
             ("group-disjuncts", self.group_disjuncts as u64),
@@ -195,6 +211,7 @@ impl SolveStats {
             ("peak-worklist", self.peak_worklist as u64),
             ("states-materialized", self.states_materialized as u64),
             ("product-states", self.product_states),
+            ("inclusion-macrostates", self.inclusion_macrostates),
             ("peak-bytes", self.peak_bytes),
         ]
     }
@@ -216,6 +233,7 @@ impl SolveStats {
         self.peak_worklist = self.peak_worklist.max(other.peak_worklist);
         self.states_materialized += other.states_materialized;
         self.product_states += other.product_states;
+        self.inclusion_macrostates += other.inclusion_macrostates;
         self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
         self.events.extend(other.events.iter().cloned());
     }
@@ -315,13 +333,21 @@ pub fn try_solve_traced(
 ) -> Result<(Solution, SolveStats), Box<ResourceExhausted>> {
     // Normalize: group solving records into the same registry and inherits
     // the per-operation product cap from the budget (an explicitly set
-    // `gci.max_product_states` wins).
+    // `gci.max_product_states` wins). The wall-clock deadline is turned
+    // into an absolute instant here so the inclusion engines' frontier
+    // loops measure the same clock as the worklist-level check, and the
+    // selected inclusion engine is installed on the store so every memoized
+    // `⊆` judgment of this run dispatches through it.
     let mut options = options.clone();
     options.gci.metrics = options.metrics.clone();
     if options.gci.max_product_states.is_none() {
         options.gci.max_product_states = options.budget.max_product_states;
     }
+    if options.gci.deadline.is_none() {
+        options.gci.deadline = options.budget.deadline.map(|d| Instant::now() + d);
+    }
     store.set_metrics(options.metrics.clone());
+    store.set_inclusion_engine(options.inclusion_engine);
     let options = &options;
 
     let observing = tracer.is_enabled();
@@ -350,6 +376,7 @@ pub fn try_solve_traced(
         stats.memo_op_misses = (after.op_misses - before.op_misses) as usize;
         stats.states_materialized =
             (after.states_materialized - before.states_materialized) as usize;
+        stats.inclusion_macrostates = after.inclusion_macrostates - before.inclusion_macrostates;
     };
     match result {
         Ok((solution, mut stats)) => {
@@ -439,6 +466,32 @@ pub(crate) fn check_deadline(options: &SolveOptions, track: &BudgetTrack) -> Res
     Ok(())
 }
 
+/// Turns a group-level [`ProductCapHit`] into the driver's breach tuple.
+/// Product-state hits report the configured cap as both limit and observed
+/// (the operation aborted *before* exceeding it); deadline hits — possible
+/// only from an inclusion engine's frontier loop — recompute the
+/// elapsed/limit micros against the run's own clock, matching
+/// [`check_deadline`]'s reporting.
+pub(crate) fn cap_hit_breach(
+    hit: &ProductCapHit,
+    options: &SolveOptions,
+    track: &BudgetTrack,
+) -> Breach {
+    match hit.kind {
+        BudgetKind::Deadline => {
+            let limit = options
+                .budget
+                .deadline
+                .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+            let observed = track.start.map_or(limit, |s| {
+                u64::try_from(s.elapsed().as_micros()).unwrap_or(u64::MAX)
+            });
+            (BudgetKind::Deadline, limit, observed)
+        }
+        kind => (kind, hit.limit, hit.limit),
+    }
+}
+
 /// Wraps a breach into the full error, attaching the metrics snapshot (when
 /// enabled) and the stats accumulated so far.
 fn budget_error(
@@ -518,7 +571,7 @@ fn solve_prepared(
     );
 
     for c in &constant_constraints {
-        if !constant_constraint_holds(system, c) {
+        if !constant_constraint_holds_with(options.inclusion_engine, system, c) {
             trace!(
                 "variable-free constraint `{} <= {}` fails: unsat",
                 system.expr_to_string(&c.lhs),
@@ -693,15 +746,16 @@ fn solve_prepared(
         let outcome = match result {
             Ok(outcome) => outcome,
             Err(hit) => {
-                // A single intersection hit the per-operation cap: at most
-                // `limit` product states were materialized by it.
+                // A single intersection or inclusion hit a per-operation
+                // limit: at most `limit` product states / macrostates were
+                // materialized by it.
                 stats.product_states += hit.cost.product_states;
                 options
                     .metrics
                     .add(id::SOLVE_PRODUCT_STATES, hit.cost.product_states);
                 stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
                 return Err(budget_error(
-                    (BudgetKind::ProductStates, hit.limit, hit.limit),
+                    cap_hit_breach(&hit, options, &track),
                     options,
                     &stats,
                 ));
@@ -844,7 +898,12 @@ pub(crate) fn finish_branch(
     }
     if options.verify {
         let _verify_span = tracer.span("verify", None, None);
-        if !satisfies(original, verify_constraints, &assignment) {
+        if !satisfies_with(
+            options.inclusion_engine,
+            original,
+            verify_constraints,
+            &assignment,
+        ) {
             tracer.emit(|| TraceEventKind::WorklistPrune {
                 group: group_index,
                 reason: "verify-failed".to_owned(),
@@ -914,10 +973,11 @@ fn strip_constant_operands(system: &System) -> (System, Vec<Constraint>) {
     (out, rewritten)
 }
 
-/// Checks a variable-free constraint by direct machine evaluation.
-fn constant_constraint_holds(system: &System, c: &Constraint) -> bool {
+/// Checks a variable-free constraint by direct machine evaluation, through
+/// the selected inclusion engine.
+fn constant_constraint_holds_with(kind: EngineKind, system: &System, c: &Constraint) -> bool {
     let lhs = eval_expr(system, &c.lhs, &Assignment::new());
-    is_subset(&lhs, system.const_machine(c.rhs))
+    inclusion_engine(kind).is_subset(&lhs, system.const_machine(c.rhs))
 }
 
 /// Evaluates `[e]_A`: substitutes assigned variable languages and folds
@@ -944,11 +1004,24 @@ pub fn eval_expr(system: &System, e: &Expr, assignment: &Assignment) -> Nfa {
 }
 
 /// The *Satisfying* judgment (paper §3.1): every constraint holds under the
-/// assignment, with constants at full strength.
+/// assignment, with constants at full strength. Decided by the default
+/// (antichain) inclusion engine; the solver's verification filter uses
+/// [`satisfies_with`] to honor [`SolveOptions::inclusion_engine`].
 pub fn satisfies(system: &System, constraints: &[Constraint], assignment: &Assignment) -> bool {
+    satisfies_with(EngineKind::default(), system, constraints, assignment)
+}
+
+/// [`satisfies`] through an explicitly selected inclusion engine.
+pub fn satisfies_with(
+    kind: EngineKind,
+    system: &System,
+    constraints: &[Constraint],
+    assignment: &Assignment,
+) -> bool {
+    let engine = inclusion_engine(kind);
     constraints.iter().all(|c| {
         let lhs = eval_expr(system, &c.lhs, assignment);
-        is_subset(&lhs, system.const_machine(c.rhs))
+        engine.is_subset(&lhs, system.const_machine(c.rhs))
     })
 }
 
@@ -995,7 +1068,7 @@ pub fn extendable_vars(system: &System, assignment: &Assignment) -> Vec<VarId> {
             });
         }
         if let Some(allowed) = allowed {
-            if !is_subset(&allowed, current) {
+            if !dprle_automata::is_subset(&allowed, current) {
                 out.push(v);
             }
         }

@@ -4,9 +4,10 @@
 //! [`ResourceExhausted`] — never a panic or an unbounded blowup — and the
 //! identical system must solve cleanly once the budget is lifted.
 
+use dprle::automata::generate::{random_nfa, RandomNfaConfig};
 use dprle::automata::LangStore;
 use dprle::core::{
-    try_solve_traced, Budget, BudgetKind, Expr, Metrics, SolveOptions, System, Tracer,
+    try_solve_traced, Budget, BudgetKind, EngineKind, Expr, Metrics, SolveOptions, System, Tracer,
 };
 use dprle::corpus::scaling::ci_instance_modular;
 use proptest::prelude::*;
@@ -90,5 +91,116 @@ proptest! {
         ).expect("lifted budget");
         prop_assert!(again.is_sat());
         prop_assert_eq!(lifted.product_states, need, "cost is deterministic");
+    }
+}
+
+/// A dense random machine whose subset structure makes inclusion queries
+/// do real frontier work inside the solver.
+fn dense(seed: u64, states: usize) -> dprle::automata::Nfa {
+    random_nfa(
+        seed,
+        &RandomNfaConfig {
+            states,
+            edges_per_state: 3.0,
+            eps_per_state: 0.5,
+            alphabet: vec![b'a', b'b'],
+            final_probability: 0.4,
+        },
+    )
+}
+
+/// A workload whose solve does substantial *inclusion-engine* work after
+/// the product builds: the shared `v1` forces disjunct merging, the
+/// constant leaf `c2` forces narrowing checks, and the dense machines
+/// make both non-trivial.
+fn inclusion_heavy_system() -> System {
+    let (seed, states) = (7u64, 9usize);
+    let mut sys = System::new();
+    let v1 = sys.var("v1");
+    let v2 = sys.var("v2");
+    let k2 = sys.constant("c2", dense(seed + 1, states));
+    let k3 = sys.constant("c3", dense(seed + 2, states));
+    sys.require(Expr::Var(v1).concat(Expr::Var(v2)), k3);
+    sys.require(Expr::Const(k2).concat(Expr::Var(v1)), k3);
+    sys
+}
+
+/// A `ResourceExhausted` raised while the solver is doing inclusion work
+/// carries the engine's partial frontier cost in its metrics snapshot:
+/// `automata.inclusion.macrostates` is positive even though the run never
+/// completed. (The engine records nothing into the inclusion memo on an
+/// abort — only into the metrics registry — so the exhaustion snapshot is
+/// the one place the wasted work is visible.)
+#[test]
+fn exhaustion_snapshot_carries_partial_inclusion_work() {
+    for kind in EngineKind::ALL {
+        let (_, stats) = try_solve_traced(
+            &inclusion_heavy_system(),
+            &SolveOptions {
+                inclusion_engine: kind,
+                metrics: Metrics::enabled(),
+                ..SolveOptions::default()
+            },
+            &LangStore::new(),
+            &Tracer::disabled(),
+        )
+        .expect("no budget set");
+        assert!(
+            stats.inclusion_macrostates > 0,
+            "{kind:?}: workload must do real inclusion work"
+        );
+
+        // Walk the cap downward until an abort lands during or after the
+        // inclusion phase: its snapshot must carry positive macrostates.
+        // (Higher caps may instead trip a product build that precedes any
+        // inclusion query; those snapshots legitimately report zero.)
+        let mut witnessed = false;
+        for limit in (1..stats.product_states).rev() {
+            let options = SolveOptions {
+                inclusion_engine: kind,
+                metrics: Metrics::enabled(),
+                budget: Budget {
+                    max_product_states: Some(limit),
+                    ..Budget::default()
+                },
+                ..SolveOptions::default()
+            };
+            let Err(err) = try_solve_traced(
+                &inclusion_heavy_system(),
+                &options,
+                &LangStore::new(),
+                &Tracer::disabled(),
+            ) else {
+                continue;
+            };
+            assert_eq!(err.kind, BudgetKind::ProductStates);
+            let snapshot = err.snapshot.as_ref().expect("metrics were enabled");
+            let entry = snapshot
+                .get("automata.inclusion.macrostates")
+                .expect("snapshot always registers the inclusion counter");
+            if let dprle::core::MetricValue::Counter { value } = entry.value {
+                if value > 0 {
+                    witnessed = true;
+                    break;
+                }
+            }
+        }
+        assert!(
+            witnessed,
+            "{kind:?}: no budgeted abort carried partial inclusion work"
+        );
+
+        // And the identical system still solves once the budget is lifted.
+        let (solution, _) = try_solve_traced(
+            &inclusion_heavy_system(),
+            &SolveOptions {
+                inclusion_engine: kind,
+                ..SolveOptions::default()
+            },
+            &LangStore::new(),
+            &Tracer::disabled(),
+        )
+        .expect("lifted budget");
+        assert!(solution.is_sat());
     }
 }
