@@ -40,6 +40,12 @@ impl ByteClass {
         Self::EMPTY
     }
 
+    /// The four 64-bit words of the underlying 256-bit membership bitmap,
+    /// low bytes first. A stable representation for hashing.
+    pub fn words(&self) -> [u64; 4] {
+        self.words
+    }
+
     /// Creates the class containing exactly `b`.
     pub fn singleton(b: u8) -> Self {
         let mut c = Self::EMPTY;

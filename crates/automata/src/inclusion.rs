@@ -38,7 +38,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 /// Which [`InclusionEngine`] implementation answers language queries.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EngineKind {
     /// Determinize/complement/product: materializes the full RHS subset
     /// construction before exploring the product.

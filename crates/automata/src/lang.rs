@@ -324,6 +324,38 @@ impl std::hash::Hash for MemoIdentity {
     }
 }
 
+/// One answered inclusion query, reported to
+/// [`StoreObserver::inclusion_query`] by [`LangStore::try_is_subset`].
+/// Structural pre-checks (pointer equality, empty LHS, equal fingerprints)
+/// answer before a query exists and are not reported.
+pub struct InclusionQuery<'a> {
+    /// The engine configured to answer the query (it ran only when
+    /// `engine_ran`).
+    pub engine: EngineKind,
+    /// Left-hand operand.
+    pub lhs: &'a Nfa,
+    /// Right-hand operand.
+    pub rhs: &'a Nfa,
+    /// Canonical fingerprint of the LHS, when the store computed one
+    /// (`None` on the pass-through path, which never fingerprints).
+    pub lhs_key: Option<&'a CanonicalKey>,
+    /// Canonical fingerprint of the RHS, when the store computed one.
+    pub rhs_key: Option<&'a CanonicalKey>,
+    /// The memo slot this query touched, `None` for pass-through stores.
+    pub identity: Option<MemoIdentity>,
+    /// Whether the memo (or a lost insert race) answered the query.
+    pub memo_hit: bool,
+    /// Whether the engine actually ran. `memo_hit && engine_ran` marks a
+    /// lost insert race: the engine ran but another thread's result won.
+    pub engine_ran: bool,
+    /// The verdict; `None` when the budget was exhausted mid-query.
+    pub outcome: Option<bool>,
+    /// Engine work for this query (zero when the engine did not run).
+    pub cost: InclusionCost,
+    /// Wall-clock microseconds spent answering the query.
+    pub wall_us: u64,
+}
+
 /// A hook notified of every memoized-operation outcome, in addition to the
 /// store's own [`StoreStats`] counters. Installed with
 /// [`LangStore::set_observer`]; the solver's tracing layer uses this to
@@ -341,6 +373,21 @@ pub trait StoreObserver: Send + Sync {
     fn memo_event_keyed(&self, op: StoreOp, identity: Option<&MemoIdentity>, hit: bool) {
         let _ = identity;
         self.memo_event(op, hit);
+    }
+
+    /// Whether this observer wants per-query [`InclusionQuery`] reports.
+    /// When `false` (the default) the store skips the wall-clock reads and
+    /// report construction entirely, preserving the zero-cost-when-disabled
+    /// contract of the query ledger.
+    fn wants_queries(&self) -> bool {
+        false
+    }
+
+    /// Called once per [`LangStore::try_is_subset`] query that reaches the
+    /// memo table or an engine, with operands, verdict, and cost. Only
+    /// invoked when [`StoreObserver::wants_queries`] returns `true`.
+    fn inclusion_query(&self, query: &InclusionQuery<'_>) {
+        let _ = query;
     }
 }
 
@@ -484,6 +531,13 @@ impl LangStore {
         if let Some(observer) = observer {
             observer.memo_event_keyed(op, identity.as_ref(), hit);
         }
+    }
+
+    /// The installed observer when it opted into per-query reports, else
+    /// `None` (the cheap common case: one lock-free-ish read, no clock).
+    fn query_observer(&self) -> Option<Arc<dyn StoreObserver>> {
+        let observer = self.observer.read().expect("observer lock").clone()?;
+        observer.wants_queries().then_some(observer)
     }
 
     /// The language's fingerprint, with hit/miss accounting. The hit/miss
@@ -635,12 +689,40 @@ impl LangStore {
         if a.is_empty_language() {
             return Ok(true);
         }
-        let engine = inclusion::engine(self.inclusion_engine());
+        let engine_kind = self.inclusion_engine();
+        let engine = inclusion::engine(engine_kind);
+        // Per-query reporting (the cost ledger) is opt-in: a disabled
+        // ledger costs one observer read here and no clock reads at all.
+        let reporter = self.query_observer();
+        let started = reporter.as_ref().map(|_| std::time::Instant::now());
+        let report = |keys: Option<(&Arc<CanonicalKey>, &Arc<CanonicalKey>)>,
+                      identity: Option<MemoIdentity>,
+                      memo_hit: bool,
+                      engine_ran: bool,
+                      outcome: Option<bool>,
+                      cost: InclusionCost| {
+            if let Some(observer) = &reporter {
+                observer.inclusion_query(&InclusionQuery {
+                    engine: engine_kind,
+                    lhs: a.nfa(),
+                    rhs: b.nfa(),
+                    lhs_key: keys.map(|(k, _)| &**k),
+                    rhs_key: keys.map(|(_, k)| &**k),
+                    identity,
+                    memo_hit,
+                    engine_ran,
+                    outcome,
+                    cost,
+                    wall_us: started.map_or(0, |t| t.elapsed().as_micros() as u64),
+                });
+            }
+        };
         if !self.enabled {
             let (result, cost) = match engine.try_subset(a.nfa(), b.nfa(), limits) {
                 Ok(computed) => computed,
                 Err(abort) => {
                     self.record_partial_inclusion(abort.cost());
+                    report(None, None, false, true, None, abort.cost());
                     return Err(abort);
                 }
             };
@@ -649,6 +731,7 @@ impl LangStore {
                 inner.stats.op_misses += 1;
                 record_inclusion_cost(&mut inner, &cost);
             }
+            report(None, None, false, true, Some(result), cost);
             self.notify(StoreOp::Inclusion, None, false);
             return Ok(result);
         }
@@ -667,6 +750,14 @@ impl LangStore {
                 })
             };
             if let Some(hit) = hit {
+                report(
+                    Some((&key.0, &key.1)),
+                    Some(identity()),
+                    true,
+                    false,
+                    Some(hit),
+                    InclusionCost::default(),
+                );
                 self.notify(StoreOp::Inclusion, Some(identity()), true);
                 return Ok(hit);
             }
@@ -675,6 +766,14 @@ impl LangStore {
             Ok(computed) => computed,
             Err(abort) => {
                 self.record_partial_inclusion(abort.cost());
+                report(
+                    Some((&key.0, &key.1)),
+                    Some(identity()),
+                    false,
+                    true,
+                    None,
+                    abort.cost(),
+                );
                 return Err(abort);
             }
         };
@@ -697,6 +796,14 @@ impl LangStore {
                 false
             }
         };
+        report(
+            Some((&key.0, &key.1)),
+            Some(identity()),
+            hit,
+            true,
+            Some(result),
+            cost,
+        );
         self.notify(StoreOp::Inclusion, Some(identity()), hit);
         Ok(result)
     }

@@ -83,7 +83,8 @@ pub use inclusion::{
     InclusionCost, InclusionEngine, InclusionLimits,
 };
 pub use lang::{
-    FingerprintCost, Lang, LangStore, MemoIdentity, StoreObserver, StoreOp, StoreStats,
+    FingerprintCost, InclusionQuery, Lang, LangStore, MemoIdentity, StoreObserver, StoreOp,
+    StoreStats,
 };
 pub use metrics::{MetricEntry, MetricValue, Metrics, MetricsSnapshot};
 pub use minimize::{

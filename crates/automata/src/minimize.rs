@@ -369,6 +369,22 @@ impl CanonicalKey {
     pub fn byte_len(&self) -> usize {
         self.0.len() * std::mem::size_of::<u64>()
     }
+
+    /// A stable 64-bit digest of the key (FNV-1a over its word payload in
+    /// little-endian order), used by the query cost ledger to name
+    /// languages compactly. Equal keys — equal languages — always digest
+    /// equally, on every platform, so ledger fingerprints can be matched
+    /// across machines and runs.
+    pub fn hash64(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &word in &self.0 {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]

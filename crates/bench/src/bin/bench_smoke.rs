@@ -17,7 +17,7 @@
 //!
 //! Exit codes: 0 ok, 1 median regression, 2 unusable baseline.
 
-use dprle_bench::{fig12_rows_json, parse_fig12_baseline, run_fig12};
+use dprle_bench::{fig12_ledger_jsonl, fig12_rows_json, parse_fig12_baseline, run_fig12};
 use dprle_core::SolveOptions;
 
 fn median(mut values: Vec<f64>) -> f64 {
@@ -67,6 +67,19 @@ fn main() {
     match std::fs::write(&out_path, fig12_rows_json(&rows)) {
         Ok(()) => eprintln!("wrote {out_path} ({} rows)", rows.len()),
         Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+    }
+    // The per-query cost ledger rides along as a second artifact; CI diffs
+    // it against the checked-in BENCH_fig12_ledger.jsonl with
+    // `dprle profile diff` (report-only — per-query wall time is too
+    // machine-dependent to gate on here; the median gate below is the
+    // pass/fail signal).
+    let ledger_path = format!("{out_dir}/BENCH_fig12_ledger.jsonl");
+    match std::fs::write(&ledger_path, fig12_ledger_jsonl(&rows)) {
+        Ok(()) => eprintln!(
+            "wrote {ledger_path} ({} queries)",
+            rows.iter().map(|r| r.queries).sum::<u64>()
+        ),
+        Err(e) => eprintln!("warning: could not write {ledger_path}: {e}"),
     }
 
     // Judge only rows present in both runs: the checked-in baseline also

@@ -8,19 +8,24 @@
 //! times differ — 2009 testbed vs this machine, and see the ablation bench
 //! for the no-minimization mode that magnifies the outlier further).
 //!
-//! Usage: `cargo run -p dprle-bench --bin fig12 --release [--skip-heavy] [--json] [--jobs N]`
+//! Usage: `cargo run -p dprle-bench --bin fig12 --release [--skip-heavy]
+//! [--json] [--jobs N] [--inclusion eager|antichain] [--ledger-out FILE]`
 //!
 //! `--jobs N` adds a third, untraced solving pass per row with `N`
 //! worklist workers (the branch-parallel solver, whose output is
 //! byte-identical to sequential) and reports the per-row speedup.
+//! `--inclusion` selects the engine for every pass, and `--ledger-out`
+//! writes the ledgered pass's per-query cost records as JSONL — feed two
+//! of those (one per engine) to `dprle profile diff` for a per-query
+//! engine comparison.
 //!
 //! Always writes the machine-readable results (per-row `|FG|`, `|C|`, solve
 //! time, parallel jobs/speedup, and interning cache counters) to
 //! `BENCH_fig12.json` in the current directory; `--json` additionally
 //! prints that JSON to stdout instead of the human-readable table.
 
-use dprle_bench::{fig12_rows_json, fig12_shape_violations, run_fig12_jobs};
-use dprle_core::SolveOptions;
+use dprle_bench::{fig12_ledger_jsonl, fig12_rows_json, fig12_shape_violations, run_fig12_jobs};
+use dprle_core::{EngineKind, SolveOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,8 +42,38 @@ fn main() {
             }),
         None => 1,
     };
+    let inclusion = match args.iter().position(|a| a == "--inclusion") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|n| EngineKind::parse(n))
+            .unwrap_or_else(|| {
+                eprintln!("--inclusion needs eager or antichain");
+                std::process::exit(2);
+            }),
+        None => EngineKind::default(),
+    };
+    let ledger_out = args.iter().position(|a| a == "--ledger-out").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--ledger-out needs a file");
+            std::process::exit(2);
+        })
+    });
 
-    let rows = run_fig12_jobs(&SolveOptions::default(), include_heavy, jobs);
+    let options = SolveOptions {
+        inclusion_engine: inclusion,
+        ..SolveOptions::default()
+    };
+    let rows = run_fig12_jobs(&options, include_heavy, jobs);
+
+    if let Some(path) = &ledger_out {
+        match std::fs::write(path, fig12_ledger_jsonl(&rows)) {
+            Ok(()) => eprintln!(
+                "wrote {path} ({} queries)",
+                rows.iter().map(|r| r.queries).sum::<u64>()
+            ),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
 
     let json = fig12_rows_json(&rows);
     match std::fs::write("BENCH_fig12.json", &json) {

@@ -24,8 +24,8 @@
 
 use dprle_automata::LangStore;
 use dprle_core::{
-    solve_traced, CollectSink, EngineKind, PhaseRow, Solution, SolveOptions, SolveStats,
-    TraceReport, Tracer,
+    solve_traced, CollectLedger, CollectSink, EngineKind, Ledger, PhaseRow, Solution, SolveOptions,
+    SolveStats, TraceReport, Tracer,
 };
 use dprle_corpus::{vulnerable_program, VulnSpec, FIG12_ROWS};
 use dprle_lang::symex::SymexOptions;
@@ -91,6 +91,14 @@ pub struct Fig12Row {
     /// Per-phase wall time from the traced pass, hottest first (cumulative:
     /// nested spans count toward their ancestors).
     pub phases: Vec<PhaseRow>,
+    /// Inclusion/product queries recorded by the ledgered pass.
+    pub queries: u64,
+    /// How many of those queries were answered from the interning memo.
+    pub query_memo_hits: u64,
+    /// The ledgered pass's raw cost ledger (JSONL, one record per query)
+    /// — concatenated across rows by [`fig12_ledger_jsonl`] into the
+    /// `BENCH_fig12_ledger.jsonl` artifact `dprle profile diff` consumes.
+    pub ledger: String,
 }
 
 /// Runs one Figure 12 row: generates the program, runs symbolic execution,
@@ -195,6 +203,29 @@ pub fn run_fig12_row_jobs(spec: &VulnSpec, options: &SolveOptions, jobs: usize) 
     };
     let (eager_seconds, eager_macrostates) = engine_pass(EngineKind::Eager);
     let (antichain_seconds, antichain_macrostates) = engine_pass(EngineKind::Antichain);
+    // Ledgered pass: the same workload once more, cold-rebuilt like the
+    // other passes, with the query cost ledger live. Kept separate from
+    // the `T_S` pass so the timing columns stay ledger-free.
+    let ledger_systems: Vec<dprle_core::System> = reaches
+        .iter()
+        .map(|reach| to_system(reach, &policy).0)
+        .collect();
+    let ledger_sink = Arc::new(CollectLedger::new());
+    let ledger_options = SolveOptions {
+        ledger: Ledger::new(ledger_sink.clone()),
+        ..options.clone()
+    };
+    for sys in &ledger_systems {
+        let store = LangStore::interning(ledger_options.interning);
+        let _ = solve_traced(sys, &ledger_options, &store, &Tracer::disabled());
+    }
+    let ledger_records = ledger_sink.take();
+    let queries = ledger_records.len() as u64;
+    let query_memo_hits = ledger_records
+        .iter()
+        .filter(|r| r.memo == Some(dprle_core::MemoStatus::Hit))
+        .count() as u64;
+    let ledger: String = ledger_records.iter().map(|r| r.to_json() + "\n").collect();
     Fig12Row {
         app: spec.app.to_owned(),
         name: spec.name.to_owned(),
@@ -221,7 +252,18 @@ pub fn run_fig12_row_jobs(spec: &VulnSpec, options: &SolveOptions, jobs: usize) 
         antichain_macrostates,
         stats,
         phases,
+        queries,
+        query_memo_hits,
+        ledger,
     }
+}
+
+/// Concatenates the per-row cost ledgers of `rows` into one JSONL
+/// document — the `BENCH_fig12_ledger.jsonl` baseline that
+/// `dprle profile diff` compares fresh runs against. Sequence numbers
+/// restart per row; the profile views key on fingerprints, not `seq`.
+pub fn fig12_ledger_jsonl(rows: &[Fig12Row]) -> String {
+    rows.iter().map(|r| r.ledger.as_str()).collect()
 }
 
 /// Runs all 17 rows. `include_heavy: false` skips the deliberately
@@ -288,6 +330,8 @@ pub fn fig12_rows_json(rows: &[Fig12Row]) -> String {
             ("eager_macrostates", r.eager_macrostates.to_string()),
             ("antichain_seconds", format!("{:.6}", r.antichain_seconds)),
             ("antichain_macrostates", r.antichain_macrostates.to_string()),
+            ("queries", r.queries.to_string()),
+            ("query_memo_hits", r.query_memo_hits.to_string()),
         ];
         for (j, (k, v)) in fields.iter().enumerate() {
             if j > 0 {
@@ -536,6 +580,9 @@ mod tests {
             antichain_macrostates: 5,
             stats: SolveStats::default(),
             phases: Vec::new(),
+            queries: 0,
+            query_memo_hits: 0,
+            ledger: String::new(),
         };
         assert!(fig12_shape_violations(std::slice::from_ref(&good)).is_empty());
         let mut bad = good;
@@ -577,12 +624,17 @@ mod tests {
                 count: 3,
                 total_us: 1234,
             }],
+            queries: 19,
+            query_memo_hits: 6,
+            ledger: String::new(),
         };
         let json = fig12_rows_json(std::slice::from_ref(&row));
         assert!(json.contains("\"seconds\": 0.010000"), "{json}");
         assert!(json.contains("\"traced_seconds\": 0.012000"), "{json}");
         assert!(json.contains("\"product_states\": 42"), "{json}");
         assert!(json.contains("\"peak_bytes\": 4096"), "{json}");
+        assert!(json.contains("\"queries\": 19"), "{json}");
+        assert!(json.contains("\"query_memo_hits\": 6"), "{json}");
         // Every counter SolveStats exposes appears under "stats".
         for (name, _) in row.stats.counter_fields() {
             assert!(json.contains(&format!("\"{name}\":")), "{name}: {json}");
@@ -616,6 +668,9 @@ mod tests {
             antichain_macrostates: 5,
             stats: SolveStats::default(),
             phases: Vec::new(),
+            queries: 0,
+            query_memo_hits: 0,
+            ledger: String::new(),
         };
         let rows = [mk("edit", 0.125), mk("secure", 3.5)];
         let parsed = parse_fig12_baseline(&fig12_rows_json(&rows));
@@ -667,6 +722,75 @@ mod tests {
         assert!(
             min_off <= min_on * 1.5 + 0.05,
             "disabled metrics slower than enabled: {min_off}s off vs {min_on}s on"
+        );
+    }
+
+    #[test]
+    fn disabled_ledger_overhead_is_within_noise() {
+        // The ledger handle rides through the store observer, the gci
+        // product builder, and the verify loop; when disabled it must cost
+        // nothing but a branch (same contract as the tracer and metrics).
+        let spec = &FIG12_ROWS[1];
+        let disabled = SolveOptions::default();
+        let enabled = SolveOptions {
+            ledger: Ledger::new(Arc::new(CollectLedger::new())),
+            ..SolveOptions::default()
+        };
+        let (mut min_off, mut min_on) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            min_off = min_off.min(run_fig12_row(spec, &disabled).seconds);
+            min_on = min_on.min(run_fig12_row(spec, &enabled).seconds);
+        }
+        assert!(
+            min_off <= min_on * 1.5 + 0.05,
+            "disabled ledger slower than enabled: {min_off}s off vs {min_on}s on"
+        );
+    }
+
+    #[test]
+    fn fig12_ledger_diff_names_the_seeded_regression_first() {
+        // The ISSUE's acceptance check: take a real Figure 12 ledger,
+        // artificially slow exactly one query by a large constant, and the
+        // profile diff must rank that query's fingerprint pair first and
+        // trip the --fail-above gate.
+        let row = run_fig12_row(&FIG12_ROWS[1], &SolveOptions::default());
+        assert!(row.queries > 1, "row records several queries");
+        let old = dprle_core::parse_ledger(&row.ledger).expect("row ledger parses");
+        let mut new = old.clone();
+        let victim = &mut new[0];
+        victim.ts_us += 100_000;
+        let victim_fp = format!("{:016x}", victim.lhs_fp);
+        let report = dprle_core::render_diff(
+            &old,
+            &new,
+            &dprle_core::DiffOptions {
+                fail_above_pct: Some(50.0),
+                ..dprle_core::DiffOptions::default()
+            },
+        );
+        assert!(report.gate_breached, "{}", report.text);
+        let first_row = report
+            .text
+            .lines()
+            .find(|l| l.contains('⊆'))
+            .expect("ranked rows");
+        assert!(
+            first_row.contains(&victim_fp),
+            "seeded query first: {first_row}\n{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn fig12_ledger_concat_is_valid_jsonl() {
+        let row = run_fig12_row(&FIG12_ROWS[1], &SolveOptions::default());
+        let doc = fig12_ledger_jsonl(std::slice::from_ref(&row));
+        let n = dprle_core::validate_ledger_jsonl(dprle_core::LEDGER_SCHEMA, &doc)
+            .expect("concatenated ledger is schema-valid");
+        assert_eq!(n as u64, row.queries);
+        assert!(
+            row.query_memo_hits <= row.queries,
+            "memo hits are a subset of all queries"
         );
     }
 

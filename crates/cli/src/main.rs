@@ -4,6 +4,7 @@
 //! dprle [OPTIONS] FILE
 //! dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
 //! dprle metrics-report [--check-schema] [--top K] METRICS.jsonl
+//! dprle profile top|model|diff|check ...
 //!
 //! `FILE` may be in the native constraint format (see `dprle_cli` docs) or
 //! an SMT-LIB 2.6 strings script (`.smt2` extension — see
@@ -24,6 +25,8 @@
 //!   --stats            print solver counters (cache hits, worklist depth)
 //!   --metrics-out FILE write a metrics snapshot after solving
 //!   --metrics-format F snapshot format: `json` (default) or `prom`
+//!   --ledger-out FILE  write one JSONL record per inclusion/product
+//!                      query (the cost ledger; see `dprle profile`)
 //!   --max-product-states N  abort once N product states were explored
 //!   --max-live-states N     abort once N solution-machine states are live
 //!   --deadline-ms N    abort the solve after N milliseconds
@@ -41,16 +44,22 @@
 //! against a JSON schema first). The `metrics-report` subcommand re-reads
 //! a `--metrics-out` JSON snapshot and prints the top-K most expensive
 //! operations (optionally validating it against the bundled
-//! `docs/metrics.schema.json` first).
+//! `docs/metrics.schema.json` first). The `profile` subcommand inspects
+//! `--ledger-out` cost ledgers: `top` ranks the hottest queries, `model`
+//! dumps the features→cost table as JSON, `diff` compares two ledgers
+//! per-query (with an optional `--fail-above PCT` CI gate), and `check`
+//! validates a ledger against `docs/ledger.schema.json`.
 //!
 //! Exit codes: 0 = sat (or report success), 1 = unsat (or schema
 //! violation), 2 = usage/input error, 3 = resource budget exhausted.
 
+mod profile;
+
 use dprle_cli::parse_file;
 use dprle_core::{
     parse_snapshot, provenance_dot, render_report, solver_graph, try_solve_traced, validate_jsonl,
-    validate_metrics_jsonl, Budget, CollectSink, EngineKind, JsonlSink, Metrics, Solution,
-    SolveOptions, SolveStats, System, TeeSink, TraceReport, TraceSink, Tracer,
+    validate_metrics_jsonl, Budget, CollectLedger, CollectSink, EngineKind, JsonlSink, Ledger,
+    Metrics, Solution, SolveOptions, SolveStats, System, TeeSink, TraceReport, TraceSink, Tracer,
 };
 use std::fs::File;
 use std::io::BufWriter;
@@ -58,9 +67,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--metrics-out FILE] [--metrics-format json|prom] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--inclusion eager|antichain] [--no-interning] [--jobs N] FILE
+const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--metrics-out FILE] [--metrics-format json|prom] [--ledger-out FILE] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--inclusion eager|antichain] [--no-interning] [--jobs N] FILE
        dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
        dprle metrics-report [--check-schema] [--top K] METRICS.jsonl
+       dprle profile top|model|diff|check ... (see `dprle profile --help`)
   solves a system of subset constraints over regular languages
   (see the dprle-cli crate docs for the input format)";
 
@@ -91,6 +101,7 @@ struct Args {
     jobs: usize,
     metrics_out: Option<String>,
     metrics_format: MetricsFormat,
+    ledger_out: Option<String>,
     max_product_states: Option<u64>,
     max_live_states: Option<u64>,
     deadline_ms: Option<u64>,
@@ -115,6 +126,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         jobs: 1,
         metrics_out: None,
         metrics_format: MetricsFormat::Json,
+        ledger_out: None,
         max_product_states: None,
         max_live_states: None,
         deadline_ms: None,
@@ -170,6 +182,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         ))
                     }
                 };
+            }
+            "--ledger-out" => {
+                i += 1;
+                let path = argv.get(i).ok_or("--ledger-out needs a file")?;
+                args.ledger_out = Some(path.clone());
             }
             "--max-product-states" => {
                 i += 1;
@@ -322,6 +339,16 @@ fn write_metrics(args: &Args, metrics: &Metrics) -> Result<(), String> {
     std::fs::write(path, text).map_err(|e| format!("dprle: cannot write {path}: {e}"))
 }
 
+/// Writes the collected cost ledger to `--ledger-out` as JSONL. A no-op
+/// when the flag is absent (no sink was installed, so the ledger handle in
+/// `SolveOptions` was the disabled one and no records exist).
+fn write_ledger(args: &Args, sink: &Option<Arc<CollectLedger>>) -> Result<(), String> {
+    let (Some(path), Some(sink)) = (&args.ledger_out, sink) else {
+        return Ok(());
+    };
+    std::fs::write(path, sink.to_jsonl()).map_err(|e| format!("dprle: cannot write {path}: {e}"))
+}
+
 fn trace_report_main(argv: &[String]) -> ExitCode {
     let mut schema_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
@@ -367,6 +394,13 @@ fn trace_report_main(argv: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // An empty journal means the producing run was interrupted before its
+    // first event (or the wrong file was passed); a "0 events" report would
+    // silently bless that, so it is an input error instead.
+    if jsonl.trim().is_empty() {
+        eprintln!("dprle: {trace_path}: line 1: trace journal is empty (no events)");
+        return ExitCode::from(2);
+    }
     if let Some(schema_path) = schema_path {
         let schema = match std::fs::read_to_string(&schema_path) {
             Ok(s) => s,
@@ -447,6 +481,10 @@ fn metrics_report_main(argv: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if jsonl.trim().is_empty() {
+        eprintln!("dprle: {metrics_path}: line 1: metrics snapshot is empty (no entries)");
+        return ExitCode::from(2);
+    }
     if check_schema {
         match validate_metrics_jsonl(&jsonl) {
             Ok(n) => println!("schema: {n} lines valid"),
@@ -476,6 +514,9 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("metrics-report") {
         return metrics_report_main(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("profile") {
+        return profile::profile_main(&argv[1..]);
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {
@@ -502,6 +543,15 @@ fn main() -> ExitCode {
     } else {
         Metrics::disabled()
     };
+    // The ledger collects in memory and is written once at exit so the
+    // file is complete JSONL even on the exhausted paths.
+    let ledger_sink = args
+        .ledger_out
+        .as_ref()
+        .map(|_| Arc::new(CollectLedger::new()));
+    let ledger = ledger_sink
+        .as_ref()
+        .map_or_else(Ledger::disabled, |sink| Ledger::new(sink.clone()));
     let options = SolveOptions {
         max_assignments: if args.first { Some(1) } else { None },
         verify: args.verify,
@@ -515,6 +565,7 @@ fn main() -> ExitCode {
             deadline: args.deadline_ms.map(Duration::from_millis),
         },
         inclusion_engine: args.inclusion,
+        ledger,
         ..Default::default()
     };
     if args.file.ends_with(".smt2") {
@@ -529,6 +580,9 @@ fn main() -> ExitCode {
                     if let Err(msg) = write_metrics(&args, &metrics) {
                         eprintln!("{msg}");
                     }
+                    if let Err(msg) = write_ledger(&args, &ledger_sink) {
+                        eprintln!("{msg}");
+                    }
                     return ExitCode::from(EXIT_EXHAUSTED);
                 }
                 return ExitCode::from(2);
@@ -541,6 +595,10 @@ fn main() -> ExitCode {
             print_stats(&run.stats);
         }
         if let Err(msg) = write_metrics(&args, &metrics) {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+        if let Err(msg) = write_ledger(&args, &ledger_sink) {
             eprintln!("{msg}");
             return ExitCode::from(2);
         }
@@ -581,6 +639,9 @@ fn main() -> ExitCode {
             if let Err(msg) = write_metrics(&args, &metrics) {
                 eprintln!("{msg}");
             }
+            if let Err(msg) = write_ledger(&args, &ledger_sink) {
+                eprintln!("{msg}");
+            }
             if let Err(msg) = setup.finish(&args, &system) {
                 eprintln!("{msg}");
             }
@@ -597,6 +658,10 @@ fn main() -> ExitCode {
         print_stats(&stats);
     }
     if let Err(msg) = write_metrics(&args, &metrics) {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
+    }
+    if let Err(msg) = write_ledger(&args, &ledger_sink) {
         eprintln!("{msg}");
         return ExitCode::from(2);
     }

@@ -356,6 +356,220 @@ fn analyzer_unroll_bound_controls_loop_findings() {
 }
 
 #[test]
+fn trace_report_errors_on_empty_journal() {
+    // An interrupted run can leave a zero-byte journal behind; a "0
+    // events" report used to exit 0 and silently bless it.
+    let empty = temp_file("empty_trace.jsonl", "");
+    let out = dprle(&["trace-report", empty.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "{stderr}");
+    assert!(stderr.contains("empty"), "{stderr}");
+    // Whitespace-only is the same condition.
+    let blank = temp_file("blank_trace.jsonl", "\n\n");
+    let out = dprle(&["trace-report", blank.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn trace_report_errors_on_truncated_journal_with_line_number() {
+    let file = temp_file("trunc_src.dprle", MOTIVATING);
+    let journal = std::env::temp_dir().join("dprle_cli_test_trunc_trace.jsonl");
+    let out = dprle(&[
+        "--trace-out",
+        journal.to_str().expect("utf8"),
+        file.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success());
+    // Chop the journal mid-record, as a crashed producer would.
+    let jsonl = std::fs::read_to_string(&journal).expect("journal written");
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(lines.len() >= 2, "journal has several events");
+    let last = lines.len() - 1;
+    let truncated = format!(
+        "{}\n{}\n",
+        lines[..last].join("\n"),
+        &lines[last][..lines[last].len() / 2]
+    );
+    let trunc = temp_file("trunc_trace.jsonl", &truncated);
+    let out = dprle(&["trace-report", trunc.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(&format!("line {}", last + 1)),
+        "error names the broken line: {stderr}"
+    );
+}
+
+#[test]
+fn metrics_report_errors_on_empty_and_truncated_snapshots() {
+    let empty = temp_file("empty_metrics.jsonl", "");
+    let out = dprle(&["metrics-report", empty.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "{stderr}");
+    assert!(stderr.contains("empty"), "{stderr}");
+
+    let file = temp_file("trunc_metrics_src.dprle", MOTIVATING);
+    let snapshot_path = std::env::temp_dir().join("dprle_cli_test_trunc_metrics.jsonl");
+    let out = dprle(&[
+        "--metrics-out",
+        snapshot_path.to_str().expect("utf8"),
+        file.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success());
+    let jsonl = std::fs::read_to_string(&snapshot_path).expect("snapshot written");
+    let trunc = temp_file("trunc_metrics.jsonl", &jsonl[..jsonl.len() / 2]);
+    let out = dprle(&["metrics-report", trunc.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line"),
+        "truncated snapshot error names a line: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn repo_ledger_schema_path() -> String {
+    format!(
+        "{}/../../docs/ledger.schema.json",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn ledger_out_is_schema_valid_and_profile_views_render() {
+    let file = temp_file("ledger_out.dprle", MOTIVATING);
+    let ledger = std::env::temp_dir().join("dprle_cli_test_ledger_out.jsonl");
+    let out = dprle(&[
+        "--ledger-out",
+        ledger.to_str().expect("utf8"),
+        file.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let schema = repo_ledger_schema_path();
+    let out = dprle(&[
+        "profile",
+        "check",
+        "--schema",
+        &schema,
+        ledger.to_str().expect("utf8"),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("records valid"));
+
+    let out = dprle(&["profile", "top", ledger.to_str().expect("utf8")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hottest queries"), "{stdout}");
+    assert!(stdout.contains("Inclusion"), "{stdout}");
+    assert!(stdout.contains("Product"), "{stdout}");
+
+    let out = dprle(&["profile", "model", ledger.to_str().expect("utf8")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"lhs_states\""), "{stdout}");
+}
+
+#[test]
+fn profile_diff_names_the_seeded_regression_first_and_gates() {
+    let file = temp_file("ledger_diff.dprle", MOTIVATING);
+    let old = std::env::temp_dir().join("dprle_cli_test_ledger_old.jsonl");
+    let out = dprle(&[
+        "--ledger-out",
+        old.to_str().expect("utf8"),
+        file.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success());
+    // Seed a large constant regression into exactly one record; the diff
+    // must rank that query's fingerprint pair first and trip the gate.
+    let jsonl = std::fs::read_to_string(&old).expect("ledger written");
+    let victim = jsonl.lines().next().expect("nonempty ledger");
+    let (prefix, rest) = victim
+        .split_once("\"ts_us\":")
+        .expect("record carries ts_us");
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    let old_us: u64 = digits.parse().expect("ts_us is numeric");
+    let slowed = format!(
+        "{prefix}\"ts_us\":{}{}",
+        old_us + 100_000,
+        &rest[digits.len()..]
+    );
+    let fp = victim
+        .split_once("\"lhs_fp\":\"")
+        .expect("record carries fingerprints")
+        .1
+        .split('"')
+        .next()
+        .expect("fp digits")
+        .to_owned();
+    let new_jsonl: String = jsonl
+        .lines()
+        .map(|l| if l == victim { slowed.as_str() } else { l })
+        .fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
+    let new = temp_file("ledger_new.jsonl", &new_jsonl);
+    let out = dprle(&[
+        "profile",
+        "diff",
+        "--fail-above",
+        "50",
+        old.to_str().expect("utf8"),
+        new.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "gate breached");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let first_row = stdout
+        .lines()
+        .find(|l| l.contains('⊆'))
+        .expect("ranked rows");
+    assert!(
+        first_row.contains(&fp),
+        "seeded query ranked first: {first_row}\nfull: {stdout}"
+    );
+}
+
+#[test]
+fn profile_errors_on_empty_or_missing_ledgers() {
+    let empty = temp_file("empty_ledger.jsonl", "");
+    for view in [
+        vec!["profile", "top"],
+        vec!["profile", "model"],
+        vec!["profile", "check"],
+    ] {
+        let mut argv = view.clone();
+        argv.push(empty.to_str().expect("utf8"));
+        let out = dprle(&argv);
+        assert_eq!(out.status.code(), Some(2), "{view:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("empty"),
+            "{view:?}"
+        );
+    }
+    let out = dprle(&[
+        "profile",
+        "diff",
+        "/nonexistent/a.jsonl",
+        "/nonexistent/b.jsonl",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = dprle(&["profile"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = dprle(&["profile", "nonsense"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn budgeted_blowup_exits_3_under_both_inclusion_engines() {
     // Mirrors the CI budgeted-blowup step, once per inclusion engine: a
     // binding product budget must exit 3 (graceful ResourceExhausted) —

@@ -40,6 +40,7 @@
 //! front end, where constants are singleton languages).
 
 use crate::graph::{CiGroup, ConcatEdgePair, DependencyGraph, NodeId, NodeKind};
+use crate::ledger::{product_draft, Ledger, QueryOutcome};
 use crate::metrics::{id, BudgetKind, Metrics};
 use crate::spec::System;
 use crate::trace::{TraceEventKind, Tracer};
@@ -87,6 +88,10 @@ pub struct GciOptions {
     /// [`crate::metrics::Budget::deadline`]; inherently nondeterministic,
     /// like the worklist-level deadline check.
     pub deadline: Option<Instant>,
+    /// Query cost ledger each `intersect_build` product is recorded into.
+    /// Disabled (no-op) by default; set by the solver's normalization from
+    /// [`crate::solve::SolveOptions::ledger`].
+    pub ledger: Ledger,
 }
 
 impl Default for GciOptions {
@@ -98,6 +103,7 @@ impl Default for GciOptions {
             metrics: Metrics::disabled(),
             max_product_states: None,
             deadline: None,
+            ledger: Ledger::disabled(),
         }
     }
 }
@@ -270,6 +276,7 @@ fn solve_group_inner(
         system,
         leaf_machines,
         metrics: &options.metrics,
+        ledger: &options.ledger,
         cap,
         product_states: Cell::new(0),
     };
@@ -604,6 +611,7 @@ struct GroupBuilder<'a> {
     system: &'a System,
     leaf_machines: &'a BTreeMap<NodeId, Lang>,
     metrics: &'a Metrics,
+    ledger: &'a Ledger,
     /// Per-operation product-state cap (`usize::MAX` when unbudgeted).
     cap: usize,
     /// Product states explored so far across this builder's intersections.
@@ -699,9 +707,27 @@ impl GroupBuilder<'_> {
     /// product states were materialized).
     fn intersect_build(&self, build: Build, constraint: &Nfa) -> Result<Option<Build>, CapHit> {
         let constraint = constraint.normalize();
+        // The clock is read only when the ledger is enabled, preserving the
+        // zero-cost-when-disabled contract.
+        let started = self.ledger.is_enabled().then(Instant::now);
+        let wall = |started: Option<Instant>| {
+            started.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+            })
+        };
         let Some(product) = ops::try_intersect(&build.nfa, &constraint, self.cap) else {
             self.product_states
                 .set(self.product_states.get() + self.cap as u64);
+            self.ledger.record(|| {
+                product_draft(
+                    &build.nfa,
+                    &constraint,
+                    QueryOutcome::Exhausted,
+                    self.cap as u64,
+                    0,
+                    wall(started),
+                )
+            });
             return Err(CapHit);
         };
         let explored = product.pairs.len();
@@ -719,8 +745,28 @@ impl GroupBuilder<'_> {
         self.metrics
             .observe(id::INTERSECT_REACHABLE, trimmed.num_states() as u64);
         if trimmed.finals().is_empty() {
+            self.ledger.record(|| {
+                product_draft(
+                    &build.nfa,
+                    &constraint,
+                    QueryOutcome::Empty,
+                    explored as u64,
+                    0,
+                    wall(started),
+                )
+            });
             return Ok(None);
         }
+        self.ledger.record(|| {
+            product_draft(
+                &build.nfa,
+                &constraint,
+                QueryOutcome::Built,
+                explored as u64,
+                trimmed.num_states() as u64,
+                wall(started),
+            )
+        });
         let core = old_of_new.iter().map(|old| core[old.index()]).collect();
         Ok(Some(Build {
             nfa: trimmed,

@@ -53,8 +53,10 @@ pub mod ci;
 pub mod gci;
 pub mod graph;
 pub mod incremental;
+pub mod ledger;
 pub mod metrics;
 pub mod parallel;
+pub mod schema;
 pub mod solution;
 pub mod solve;
 pub mod spec;
@@ -68,11 +70,17 @@ pub use ci::{
 pub use gci::{GciOptions, GroupCost, GroupOutcome, ProductCapHit};
 pub use graph::{DependencyGraph, NodeId, NodeKind};
 pub use incremental::Solver;
+pub use ledger::{
+    parse_ledger, render_diff, render_model, render_top, validate_ledger_jsonl, CollectLedger,
+    DiffOptions, DiffReport, Ledger, LedgerRecord, LedgerSink, MemoStatus, QueryKind, QueryOutcome,
+    LEDGER_SCHEMA,
+};
 pub use metrics::{
     parse_snapshot, render_report, validate_metrics_jsonl, Budget, BudgetKind, MetricEntry,
     MetricValue, Metrics, MetricsSnapshot, ResourceExhausted, METRICS_SCHEMA,
 };
 pub use parallel::ParallelSolver;
+pub use schema::{schema_kinds, validate_jsonl};
 pub use solution::{Assignment, Solution};
 pub use solve::{
     satisfies_system, satisfies_with, solve, solve_first, solve_traced, solve_with_stats,
@@ -83,8 +91,8 @@ pub use solve::{
 pub use dprle_automata::EngineKind;
 pub use spec::{ConstId, Constraint, Expr, System, VarId};
 pub use trace::{
-    check_well_nested, parse_jsonl, provenance_dot, validate_jsonl, CollectSink, JsonlSink,
-    NullSink, PhaseRow, SpanGuard, TeeSink, TraceEvent, TraceEventKind, TraceReport, TraceSink,
-    Tracer, TracerStoreObserver, TRACE_SCHEMA,
+    check_well_nested, parse_jsonl, provenance_dot, CollectSink, JsonlSink, NullSink, PhaseRow,
+    SpanGuard, TeeSink, TraceEvent, TraceEventKind, TraceReport, TraceSink, Tracer,
+    TracerStoreObserver, TRACE_SCHEMA,
 };
 pub use unsat_core::{unsat_core, unsat_core_traced, UnsatCore};

@@ -28,8 +28,8 @@
 //! [`Budget::deadline`], which is wall-clock by nature and documented as
 //! nondeterministic.
 
+use crate::schema::{self, Json};
 use crate::solve::SolveStats;
-use crate::trace::{self, Json};
 use std::fmt;
 use std::time::Duration;
 
@@ -143,7 +143,7 @@ impl std::error::Error for ResourceExhausted {}
 /// the number of validated lines. Fail-closed: unknown fields, missing
 /// required fields, and type mismatches are all errors.
 pub fn validate_metrics_jsonl(jsonl: &str) -> Result<usize, String> {
-    trace::validate_jsonl(METRICS_SCHEMA, jsonl)
+    schema::validate_jsonl(METRICS_SCHEMA, jsonl)
 }
 
 /// Parses a metrics JSONL snapshot (the `--metrics-format json` output)
@@ -154,17 +154,17 @@ pub fn parse_snapshot(jsonl: &str) -> Result<MetricsSnapshot, String> {
     let meta_line = lines.next().ok_or("empty metrics snapshot")?;
     let meta = Json::parse(meta_line)?;
     let meta = meta.as_object().ok_or("Meta line is not an object")?;
-    match trace::get_str(meta, "kind")? {
+    match schema::get_str(meta, "kind")? {
         "Meta" => {}
         other => return Err(format!("first line has kind {other:?}, expected \"Meta\"")),
     }
-    let tag = trace::get_str(meta, "schema")?;
+    let tag = schema::get_str(meta, "schema")?;
     if tag != METRICS_SCHEMA_TAG {
         return Err(format!(
             "schema tag {tag:?} does not match {METRICS_SCHEMA_TAG:?}"
         ));
     }
-    let declared = trace::get_u64(meta, "entries")?;
+    let declared = schema::get_u64(meta, "entries")?;
     let mut entries = Vec::new();
     for (i, line) in lines.enumerate() {
         let entry = parse_entry(line).map_err(|e| format!("line {}: {e}", i + 2))?;
@@ -182,26 +182,26 @@ pub fn parse_snapshot(jsonl: &str) -> Result<MetricsSnapshot, String> {
 fn parse_entry(line: &str) -> Result<MetricEntry, String> {
     let json = Json::parse(line)?;
     let obj = json.as_object().ok_or("metric line is not an object")?;
-    let name = trace::get_str(obj, "name")?.to_string();
-    let help = trace::get_str(obj, "help")?.to_string();
-    let value = match trace::get_str(obj, "kind")? {
+    let name = schema::get_str(obj, "name")?.to_string();
+    let help = schema::get_str(obj, "help")?.to_string();
+    let value = match schema::get_str(obj, "kind")? {
         "Counter" => MetricValue::Counter {
-            value: trace::get_u64(obj, "value")?,
+            value: schema::get_u64(obj, "value")?,
         },
         "Gauge" => MetricValue::Gauge {
-            value: trace::get_u64(obj, "value")?,
-            peak: trace::get_u64(obj, "peak")?,
+            value: schema::get_u64(obj, "value")?,
+            peak: schema::get_u64(obj, "peak")?,
         },
         "Histogram" => {
-            let buckets = trace::lookup(obj, "buckets")
+            let buckets = schema::lookup(obj, "buckets")
                 .and_then(Json::as_array)
                 .ok_or("histogram is missing a buckets array")?
                 .iter()
                 .map(|b| b.as_u64().ok_or("bucket count is not an integer"))
                 .collect::<Result<Vec<u64>, _>>()?;
             MetricValue::Histogram {
-                count: trace::get_u64(obj, "count")?,
-                sum: trace::get_u64(obj, "sum")?,
+                count: schema::get_u64(obj, "count")?,
+                sum: schema::get_u64(obj, "sum")?,
                 buckets,
             }
         }

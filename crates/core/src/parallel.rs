@@ -50,6 +50,10 @@
 
 use crate::gci::{solve_group, GroupOutcome, ProductCapHit};
 use crate::graph::{CiGroup, DependencyGraph, NodeId};
+use crate::ledger::{
+    collect_computed_costs, draft_from_inclusion, replay_drafts, Ledger, LedgerDraft,
+    LedgerSlotGuard,
+};
 use crate::metrics::id;
 use crate::solution::{Assignment, Solution};
 use crate::solve::{
@@ -58,9 +62,9 @@ use crate::solve::{
 };
 use crate::spec::{Constraint, System};
 use crate::trace::{TraceEvent, TraceEventKind, Tracer};
-use dprle_automata::{Lang, LangStore, MemoIdentity, StoreObserver, StoreOp};
+use dprle_automata::{InclusionQuery, Lang, LangStore, MemoIdentity, StoreObserver, StoreOp};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -140,6 +144,7 @@ struct EntryOutcome {
     result: Result<GroupOutcome, ProductCapHit>,
     events: Vec<TraceEvent>,
     ids: Vec<Option<MemoIdentity>>,
+    ledger: Vec<LedgerDraft>,
 }
 
 /// What one completed branch produced.
@@ -147,6 +152,7 @@ struct FinishOutcome {
     assignment: Option<Assignment>,
     events: Vec<TraceEvent>,
     ids: Vec<Option<MemoIdentity>>,
+    ledger: Vec<LedgerDraft>,
 }
 
 // ---------------------------------------------------------------------
@@ -167,13 +173,18 @@ thread_local! {
 /// otherwise. With no worker slots in play (sequential runs, the reduce
 /// phase) this behaves exactly like
 /// [`TracerStoreObserver`](crate::trace::TracerStoreObserver).
+///
+/// When the run carries an enabled [`Ledger`], the observer additionally
+/// reports every answered inclusion query into it; the ledger does its own
+/// worker-slot routing (see [`LedgerSlotGuard`]), mirroring the trace path.
 pub(crate) struct RoutedStoreObserver {
     main: Tracer,
+    ledger: Ledger,
 }
 
 impl RoutedStoreObserver {
-    pub(crate) fn new(main: Tracer) -> RoutedStoreObserver {
-        RoutedStoreObserver { main }
+    pub(crate) fn new(main: Tracer, ledger: Ledger) -> RoutedStoreObserver {
+        RoutedStoreObserver { main, ledger }
     }
 }
 
@@ -202,6 +213,14 @@ impl StoreObserver for RoutedStoreObserver {
             }
             None => self.main.emit(|| memo_kind(op, hit)),
         });
+    }
+
+    fn wants_queries(&self) -> bool {
+        self.ledger.is_enabled()
+    }
+
+    fn inclusion_query(&self, query: &InclusionQuery<'_>) {
+        self.ledger.record(|| draft_from_inclusion(query));
     }
 }
 
@@ -277,6 +296,11 @@ fn solve_level_entry(ctx: &WorklistCtx<'_>, gi: usize) -> EntryOutcome {
     let (fork, sink) = ctx.tracer.fork_buffered();
     let ids: IdBuffer = Rc::default();
     let guard = SlotGuard::install(&fork, &ids);
+    let ledger_guard = ctx
+        .options
+        .ledger
+        .is_enabled()
+        .then(LedgerSlotGuard::install);
     let result = {
         let _gci_span = fork.span("gci", None, Some(gi));
         solve_group(
@@ -289,6 +313,9 @@ fn solve_level_entry(ctx: &WorklistCtx<'_>, gi: usize) -> EntryOutcome {
             &fork,
         )
     };
+    let ledger = ledger_guard
+        .map(LedgerSlotGuard::finish)
+        .unwrap_or_default();
     drop(guard);
     EntryOutcome {
         result,
@@ -296,6 +323,7 @@ fn solve_level_entry(ctx: &WorklistCtx<'_>, gi: usize) -> EntryOutcome {
         ids: Rc::try_unwrap(ids)
             .map(RefCell::into_inner)
             .unwrap_or_default(),
+        ledger,
     }
 }
 
@@ -303,6 +331,11 @@ fn finish_level_entry(ctx: &WorklistCtx<'_>, partial: &BTreeMap<NodeId, Lang>) -
     let (fork, sink) = ctx.tracer.fork_buffered();
     let ids: IdBuffer = Rc::default();
     let guard = SlotGuard::install(&fork, &ids);
+    let ledger_guard = ctx
+        .options
+        .ledger
+        .is_enabled()
+        .then(LedgerSlotGuard::install);
     let assignment = finish_branch(
         ctx.system,
         ctx.graph,
@@ -314,6 +347,9 @@ fn finish_level_entry(ctx: &WorklistCtx<'_>, partial: &BTreeMap<NodeId, Lang>) -
         &fork,
         ctx.groups.len(),
     );
+    let ledger = ledger_guard
+        .map(LedgerSlotGuard::finish)
+        .unwrap_or_default();
     drop(guard);
     FinishOutcome {
         assignment,
@@ -321,6 +357,7 @@ fn finish_level_entry(ctx: &WorklistCtx<'_>, partial: &BTreeMap<NodeId, Lang>) -
         ids: Rc::try_unwrap(ids)
             .map(RefCell::into_inner)
             .unwrap_or_default(),
+        ledger,
     }
 }
 
@@ -430,6 +467,16 @@ pub(crate) fn drive_worklist(
                 .map(|r| (r.events.as_slice(), r.ids.as_slice())),
             &mut computed,
         );
+        // The ledger replay mirrors the trace replay exactly: per level,
+        // gather the engine cost of every memo slot computed here, then
+        // rewrite each entry's drafts in sequential order (first touch of
+        // a level-computed slot = the miss, carrying its cost).
+        let mut ledger_costs = HashMap::new();
+        collect_computed_costs(
+            results.iter().map(|r| r.ledger.as_slice()),
+            &mut ledger_costs,
+        );
+        let mut ledger_seen = HashSet::new();
         let mut seen = HashSet::new();
         let mut next: Vec<BTreeMap<NodeId, Lang>> = Vec::new();
         for (partial, result) in level.iter().zip(results) {
@@ -437,6 +484,12 @@ pub(crate) fn drive_worklist(
             metrics.gauge_set(id::WORKLIST_DEPTH, sim_len as u64);
             check_deadline(ctx.options, track)?;
             replay_entry_events(ctx.tracer, result.events, &result.ids, &computed, &mut seen);
+            replay_drafts(
+                &ctx.options.ledger,
+                result.ledger,
+                &ledger_costs,
+                &mut ledger_seen,
+            );
             let outcome = match result.result {
                 Ok(outcome) => outcome,
                 Err(hit) => {
@@ -490,6 +543,12 @@ pub(crate) fn drive_worklist(
             .map(|r| (r.events.as_slice(), r.ids.as_slice())),
         &mut computed,
     );
+    let mut ledger_costs = HashMap::new();
+    collect_computed_costs(
+        results.iter().map(|r| r.ledger.as_slice()),
+        &mut ledger_costs,
+    );
+    let mut ledger_seen = HashSet::new();
     let mut seen = HashSet::new();
     let mut produced: Vec<Assignment> = Vec::new();
     for result in results {
@@ -498,6 +557,12 @@ pub(crate) fn drive_worklist(
         check_deadline(ctx.options, track)?;
         stats.branches_completed += 1;
         replay_entry_events(ctx.tracer, result.events, &result.ids, &computed, &mut seen);
+        replay_drafts(
+            &ctx.options.ledger,
+            result.ledger,
+            &ledger_costs,
+            &mut ledger_seen,
+        );
         match result.assignment {
             Some(assignment) => {
                 produced.push(assignment);
@@ -589,6 +654,52 @@ mod tests {
         );
         for jobs in [2, 4, 8] {
             assert_eq!(journal(jobs, &opts), baseline, "jobs={jobs}");
+        }
+    }
+
+    /// Solves a fresh instance of the branching system at the given worker
+    /// count with the ledger enabled and returns the records as JSONL with
+    /// `ts_us` zeroed (the only field scheduling may legitimately change).
+    fn ledger_lines(jobs: usize, options: &SolveOptions) -> Vec<String> {
+        let sys = branching_system();
+        let sink = Arc::new(crate::ledger::CollectLedger::new());
+        let opts = SolveOptions {
+            jobs,
+            ledger: Ledger::new(sink.clone()),
+            ..options.clone()
+        };
+        let store = LangStore::interning(opts.interning);
+        let _ = solve_traced(&sys, &opts, &store, &Tracer::disabled());
+        sink.take()
+            .into_iter()
+            .map(|mut r| {
+                r.ts_us = 0;
+                r.to_json()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ledgers_are_byte_identical_across_thread_counts() {
+        let opts = SolveOptions::default();
+        let baseline = ledger_lines(1, &opts);
+        assert!(
+            baseline
+                .iter()
+                .any(|l| l.contains("\"kind\":\"Inclusion\"")),
+            "inclusion queries must appear for the test to mean anything"
+        );
+        assert!(
+            baseline.iter().any(|l| l.contains("\"kind\":\"Product\"")),
+            "product builds must appear for the test to mean anything"
+        );
+        assert!(
+            baseline.iter().any(|l| l.contains("\"memo\":\"hit\""))
+                && baseline.iter().any(|l| l.contains("\"memo\":\"miss\"")),
+            "memo traffic must appear for the replay rewrite to be exercised"
+        );
+        for jobs in [2, 4, 8] {
+            assert_eq!(ledger_lines(jobs, &opts), baseline, "jobs={jobs}");
         }
     }
 

@@ -29,12 +29,13 @@
 
 use crate::gci::{solve_group, GciOptions, GroupCost, ProductCapHit};
 use crate::graph::{DependencyGraph, NodeId, NodeKind};
+use crate::ledger::{bypass_inclusion_draft, Ledger, SITE_CONST_CHECK, SITE_VERIFY};
 use crate::metrics::{id, Budget, BudgetKind, Metrics, ResourceExhausted};
 use crate::parallel::{drive_worklist, RoutedStoreObserver, WorklistCtx};
 use crate::solution::{Assignment, Solution};
 use crate::spec::{Constraint, Expr, System, VarId};
 use crate::trace::{TraceEventKind, Tracer};
-use dprle_automata::{inclusion_engine, ops, EngineKind, Lang, LangStore, Nfa};
+use dprle_automata::{inclusion_engine, ops, EngineKind, InclusionLimits, Lang, LangStore, Nfa};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -111,6 +112,16 @@ pub struct SolveOptions {
     /// determinize/complement/product construction blows up. Selected on
     /// the CLI with `--inclusion=eager|antichain`.
     pub inclusion_engine: EngineKind,
+    /// Query cost ledger for the run (see [`ledger`](crate::ledger)):
+    /// every store inclusion query, every engine-bypassing `⊆` judgment
+    /// (constant pre-check, verification), and every gci product emits
+    /// one attributed cost record. Disabled — a no-op handle — by
+    /// default; the entry points copy this handle into [`GciOptions`] and
+    /// install a query-reporting store observer. Records are
+    /// byte-identical at every [`SolveOptions::jobs`] count apart from
+    /// the `ts_us` wall-time field. Enabled on the CLI with
+    /// `--ledger-out`.
+    pub ledger: Ledger,
 }
 
 impl Default for SolveOptions {
@@ -128,6 +139,7 @@ impl Default for SolveOptions {
             metrics: Metrics::disabled(),
             budget: Budget::default(),
             inclusion_engine: EngineKind::default(),
+            ledger: Ledger::disabled(),
         }
     }
 }
@@ -340,6 +352,7 @@ pub fn try_solve_traced(
     // `⊆` judgment of this run dispatches through it.
     let mut options = options.clone();
     options.gci.metrics = options.metrics.clone();
+    options.gci.ledger = options.ledger.clone();
     if options.gci.max_product_states.is_none() {
         options.gci.max_product_states = options.budget.max_product_states;
     }
@@ -350,12 +363,17 @@ pub fn try_solve_traced(
     store.set_inclusion_engine(options.inclusion_engine);
     let options = &options;
 
-    let observing = tracer.is_enabled();
+    let observing = tracer.is_enabled() || options.ledger.is_enabled();
     if observing {
         // The routed observer behaves exactly like `TracerStoreObserver`
         // on the main thread; on parallel workers it redirects memo events
         // into the worker's per-entry buffer for the deterministic replay.
-        store.set_observer(Arc::new(RoutedStoreObserver::new(tracer.clone())));
+        // With the ledger enabled it additionally reports every answered
+        // inclusion query.
+        store.set_observer(Arc::new(RoutedStoreObserver::new(
+            tracer.clone(),
+            options.ledger.clone(),
+        )));
     }
     let before = store.stats();
     let result = if options.strip_constant_operands {
@@ -571,7 +589,7 @@ fn solve_prepared(
     );
 
     for c in &constant_constraints {
-        if !constant_constraint_holds_with(options.inclusion_engine, system, c) {
+        if !constant_constraint_holds_with(options, system, c) {
             trace!(
                 "variable-free constraint `{} <= {}` fails: unsat",
                 system.expr_to_string(&c.lhs),
@@ -898,8 +916,9 @@ pub(crate) fn finish_branch(
     }
     if options.verify {
         let _verify_span = tracer.span("verify", None, None);
-        if !satisfies_with(
+        if !satisfies_ledgered(
             options.inclusion_engine,
+            &options.ledger,
             original,
             verify_constraints,
             &assignment,
@@ -974,10 +993,40 @@ fn strip_constant_operands(system: &System) -> (System, Vec<Constraint>) {
 }
 
 /// Checks a variable-free constraint by direct machine evaluation, through
-/// the selected inclusion engine.
-fn constant_constraint_holds_with(kind: EngineKind, system: &System, c: &Constraint) -> bool {
+/// the selected inclusion engine; recorded into the ledger under the
+/// `const-check` site.
+fn constant_constraint_holds_with(options: &SolveOptions, system: &System, c: &Constraint) -> bool {
     let lhs = eval_expr(system, &c.lhs, &Assignment::new());
-    inclusion_engine(kind).is_subset(&lhs, system.const_machine(c.rhs))
+    ledgered_subset(
+        options.inclusion_engine,
+        &options.ledger,
+        SITE_CONST_CHECK,
+        &lhs,
+        system.const_machine(c.rhs),
+    )
+}
+
+/// A `⊆` judgment through the selected engine, recorded into the ledger
+/// as an engine-bypassing query (no store, no memo). Reads the clock only
+/// when the ledger is enabled.
+fn ledgered_subset(
+    kind: EngineKind,
+    ledger: &Ledger,
+    site: &'static str,
+    lhs: &Nfa,
+    rhs: &Nfa,
+) -> bool {
+    let engine = inclusion_engine(kind);
+    if !ledger.is_enabled() {
+        return engine.is_subset(lhs, rhs);
+    }
+    let started = Instant::now();
+    let (result, cost) = engine
+        .try_subset(lhs, rhs, &InclusionLimits::UNLIMITED)
+        .expect("an unlimited inclusion check cannot abort");
+    let wall = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    ledger.record(|| bypass_inclusion_draft(kind, site, lhs, rhs, Some(result), cost, wall));
+    result
 }
 
 /// Evaluates `[e]_A`: substitutes assigned variable languages and folds
@@ -1018,10 +1067,21 @@ pub fn satisfies_with(
     constraints: &[Constraint],
     assignment: &Assignment,
 ) -> bool {
-    let engine = inclusion_engine(kind);
+    satisfies_ledgered(kind, &Ledger::disabled(), system, constraints, assignment)
+}
+
+/// [`satisfies_with`], recording each per-constraint `⊆` judgment into the
+/// ledger under the `verify` site (the solver's verification filter).
+pub(crate) fn satisfies_ledgered(
+    kind: EngineKind,
+    ledger: &Ledger,
+    system: &System,
+    constraints: &[Constraint],
+    assignment: &Assignment,
+) -> bool {
     constraints.iter().all(|c| {
         let lhs = eval_expr(system, &c.lhs, assignment);
-        engine.is_subset(&lhs, system.const_machine(c.rhs))
+        ledgered_subset(kind, ledger, SITE_VERIFY, &lhs, system.const_machine(c.rhs))
     })
 }
 

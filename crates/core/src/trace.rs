@@ -1121,7 +1121,7 @@ pub fn provenance_dot(graph: &DependencyGraph, system: &System, events: &[TraceE
 }
 
 // ---------------------------------------------------------------------
-// Schema validation
+// Schema validation (shared serde-free machinery in `crate::schema`)
 // ---------------------------------------------------------------------
 
 /// The JSON Schema for trace events, embedded from
@@ -1129,451 +1129,12 @@ pub fn provenance_dot(graph: &DependencyGraph, system: &System, events: &[TraceE
 /// checked-in contract.
 pub const TRACE_SCHEMA: &str = include_str!("../../../docs/trace.schema.json");
 
-/// Validates a JSONL document against the event schema (the `oneOf`
-/// subset of JSON Schema the checked-in file uses: per-kind `required`
-/// lists and `properties` type checks). Returns the number of validated
-/// events.
-///
-/// # Errors
-///
-/// Returns `line N: <problem>` for the first invalid line, or a
-/// description of a malformed schema.
-pub fn validate_jsonl(schema_src: &str, jsonl: &str) -> Result<usize, String> {
-    let schema = Schema::parse(schema_src)?;
-    let mut count = 0usize;
-    for (i, line) in jsonl.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        schema
-            .validate_line(line)
-            .map_err(|e| format!("line {}: {e}", i + 1))?;
-        count += 1;
-    }
-    Ok(count)
-}
+pub use crate::schema::{schema_kinds, validate_jsonl};
 
-/// The event kinds a schema document covers (the `kind` consts of its
-/// `oneOf` branches) — used by the drift test to compare against
-/// [`TraceEventKind::ALL_KINDS`].
-///
-/// # Errors
-///
-/// Returns a description of a malformed schema.
-pub fn schema_kinds(schema_src: &str) -> Result<Vec<String>, String> {
-    Ok(Schema::parse(schema_src)?
-        .branches
-        .iter()
-        .map(|b| b.kind.clone())
-        .collect())
-}
-
-struct Schema {
-    branches: Vec<SchemaBranch>,
-}
-
-struct SchemaBranch {
-    kind: String,
-    required: Vec<String>,
-    /// property name → allowed JSON type names.
-    properties: Vec<(String, Vec<String>)>,
-}
-
-impl Schema {
-    fn parse(src: &str) -> Result<Schema, String> {
-        let value = Json::parse(src).map_err(|e| format!("schema: {e}"))?;
-        let obj = value.as_object().ok_or("schema: not a JSON object")?;
-        let one_of = lookup(obj, "oneOf")
-            .and_then(Json::as_array)
-            .ok_or("schema: missing oneOf array")?;
-        let mut branches = Vec::new();
-        for branch in one_of {
-            let bobj = branch
-                .as_object()
-                .ok_or("schema: oneOf entry not an object")?;
-            let props = lookup(bobj, "properties")
-                .and_then(Json::as_object)
-                .ok_or("schema: branch without properties")?;
-            let kind = props
-                .iter()
-                .find(|(k, _)| k == "kind")
-                .and_then(|(_, v)| v.as_object())
-                .and_then(|k| lookup(k, "const"))
-                .and_then(Json::as_str)
-                .ok_or("schema: branch kind without const")?
-                .to_owned();
-            let required = lookup(bobj, "required")
-                .and_then(Json::as_array)
-                .map(|a| {
-                    a.iter()
-                        .filter_map(|v| v.as_str().map(str::to_owned))
-                        .collect()
-                })
-                .unwrap_or_default();
-            let mut properties = Vec::new();
-            for (name, spec) in props {
-                if name == "kind" {
-                    continue;
-                }
-                let types = spec
-                    .as_object()
-                    .and_then(|s| lookup(s, "type"))
-                    .map(|t| match t {
-                        Json::Str(s) => vec![s.clone()],
-                        Json::Arr(items) => items
-                            .iter()
-                            .filter_map(|v| v.as_str().map(str::to_owned))
-                            .collect(),
-                        _ => Vec::new(),
-                    })
-                    .unwrap_or_default();
-                properties.push((name.clone(), types));
-            }
-            branches.push(SchemaBranch {
-                kind,
-                required,
-                properties,
-            });
-        }
-        if branches.is_empty() {
-            return Err("schema: oneOf has no branches".to_owned());
-        }
-        Ok(Schema { branches })
-    }
-
-    fn validate_line(&self, line: &str) -> Result<(), String> {
-        let value = Json::parse(line)?;
-        let obj = value.as_object().ok_or("not a JSON object")?;
-        let kind = lookup(obj, "kind")
-            .and_then(Json::as_str)
-            .ok_or("missing string field `kind`")?;
-        let branch = self
-            .branches
-            .iter()
-            .find(|b| b.kind == kind)
-            .ok_or_else(|| format!("event kind {kind:?} is not covered by the schema"))?;
-        for req in &branch.required {
-            if lookup(obj, req).is_none() {
-                return Err(format!("{kind}: missing required field `{req}`"));
-            }
-        }
-        for (name, types) in &branch.properties {
-            let Some(actual) = lookup(obj, name) else {
-                continue;
-            };
-            if !types.is_empty() && !types.iter().any(|t| actual.type_matches(t)) {
-                return Err(format!(
-                    "{kind}: field `{name}` has type {}, expected one of {types:?}",
-                    actual.type_name()
-                ));
-            }
-        }
-        // Unknown fields fail closed: the schema is the contract.
-        for (name, _) in obj {
-            if name != "kind" && !branch.properties.iter().any(|(p, _)| p == name) {
-                return Err(format!("{kind}: unexpected field `{name}`"));
-            }
-        }
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------
-// A minimal JSON reader (the workspace is serde-free by construction)
-// ---------------------------------------------------------------------
-
-/// A parsed JSON value. Only what the trace tooling needs: enough to read
-/// back JSONL events and the checked-in schema document.
-#[derive(Clone, Debug, PartialEq)]
-pub(crate) enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-pub(crate) fn lookup<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
-    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-}
-
-impl Json {
-    pub(crate) fn parse(src: &str) -> Result<Json, String> {
-        let bytes = src.as_bytes();
-        let mut pos = 0usize;
-        let value = Json::parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing content at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            None => Err("unexpected end of input".to_owned()),
-            Some(b'{') => {
-                *pos += 1;
-                let mut fields = Vec::new();
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) == Some(&b'}') {
-                    *pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                loop {
-                    skip_ws(bytes, pos);
-                    let key = parse_string(bytes, pos)?;
-                    skip_ws(bytes, pos);
-                    if bytes.get(*pos) != Some(&b':') {
-                        return Err(format!("expected ':' at byte {pos}"));
-                    }
-                    *pos += 1;
-                    let value = Json::parse_value(bytes, pos)?;
-                    fields.push((key, value));
-                    skip_ws(bytes, pos);
-                    match bytes.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b'}') => {
-                            *pos += 1;
-                            return Ok(Json::Obj(fields));
-                        }
-                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *pos += 1;
-                let mut items = Vec::new();
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) == Some(&b']') {
-                    *pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                loop {
-                    items.push(Json::parse_value(bytes, pos)?);
-                    skip_ws(bytes, pos);
-                    match bytes.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b']') => {
-                            *pos += 1;
-                            return Ok(Json::Arr(items));
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                    }
-                }
-            }
-            Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
-            Some(b't') if bytes[*pos..].starts_with(b"true") => {
-                *pos += 4;
-                Ok(Json::Bool(true))
-            }
-            Some(b'f') if bytes[*pos..].starts_with(b"false") => {
-                *pos += 5;
-                Ok(Json::Bool(false))
-            }
-            Some(b'n') if bytes[*pos..].starts_with(b"null") => {
-                *pos += 4;
-                Ok(Json::Null)
-            }
-            Some(_) => {
-                let start = *pos;
-                while let Some(&c) = bytes.get(*pos) {
-                    if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
-                        *pos += 1;
-                    } else {
-                        break;
-                    }
-                }
-                let text = std::str::from_utf8(&bytes[start..*pos])
-                    .map_err(|_| format!("bad number at byte {start}"))?;
-                text.parse::<f64>()
-                    .map(Json::Num)
-                    .map_err(|_| format!("bad number {text:?} at byte {start}"))
-            }
-        }
-    }
-
-    pub(crate) fn as_object(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Obj(fields) => Some(fields),
-            _ => None,
-        }
-    }
-
-    pub(crate) fn as_array(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    pub(crate) fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    pub(crate) fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
-            _ => None,
-        }
-    }
-
-    fn type_name(&self) -> &'static str {
-        match self {
-            Json::Null => "null",
-            Json::Bool(_) => "boolean",
-            Json::Num(n) if n.fract() == 0.0 => "integer",
-            Json::Num(_) => "number",
-            Json::Str(_) => "string",
-            Json::Arr(_) => "array",
-            Json::Obj(_) => "object",
-        }
-    }
-
-    fn type_matches(&self, schema_type: &str) -> bool {
-        match schema_type {
-            "integer" => matches!(self, Json::Num(n) if n.fract() == 0.0),
-            "number" => matches!(self, Json::Num(_)),
-            "string" => matches!(self, Json::Str(_)),
-            "boolean" => matches!(self, Json::Bool(_)),
-            "null" => matches!(self, Json::Null),
-            "array" => matches!(self, Json::Arr(_)),
-            "object" => matches!(self, Json::Obj(_)),
-            _ => false,
-        }
-    }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while let Some(&c) = bytes.get(*pos) {
-        if c.is_ascii_whitespace() {
-            *pos += 1;
-        } else {
-            break;
-        }
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    if bytes.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
-    }
-    *pos += 1;
-    let mut out = Vec::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err("unterminated string".to_owned()),
-            Some(b'"') => {
-                *pos += 1;
-                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_owned());
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push(b'"'),
-                    Some(b'\\') => out.push(b'\\'),
-                    Some(b'/') => out.push(b'/'),
-                    Some(b'n') => out.push(b'\n'),
-                    Some(b't') => out.push(b'\t'),
-                    Some(b'r') => out.push(b'\r'),
-                    Some(b'b') => out.push(0x08),
-                    Some(b'f') => out.push(0x0c),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| "bad \\u escape".to_owned())?;
-                        let ch = char::from_u32(code).ok_or("bad \\u code point")?;
-                        let mut buf = [0u8; 4];
-                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
-                        *pos += 4;
-                    }
-                    _ => return Err("bad escape".to_owned()),
-                }
-                *pos += 1;
-            }
-            Some(&c) => {
-                out.push(c);
-                *pos += 1;
-            }
-        }
-    }
-}
-
-/// Escapes `s` as a JSON string literal (including quotes).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-pub(crate) fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
-    lookup(obj, key)
-        .and_then(Json::as_u64)
-        .ok_or_else(|| format!("missing integer field `{key}`"))
-}
-
-fn get_usize(obj: &[(String, Json)], key: &str) -> Result<usize, String> {
-    get_u64(obj, key).map(|v| v as usize)
-}
-
-fn get_bool(obj: &[(String, Json)], key: &str) -> Result<bool, String> {
-    match lookup(obj, key) {
-        Some(Json::Bool(b)) => Ok(*b),
-        _ => Err(format!("missing boolean field `{key}`")),
-    }
-}
-
-pub(crate) fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
-    lookup(obj, key)
-        .and_then(Json::as_str)
-        .ok_or_else(|| format!("missing string field `{key}`"))
-}
-
-fn get_opt_u32(obj: &[(String, Json)], key: &str) -> Result<Option<u32>, String> {
-    match lookup(obj, key) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => v
-            .as_u64()
-            .map(|n| Some(n as u32))
-            .ok_or_else(|| format!("field `{key}` is neither integer nor null")),
-    }
-}
-
-fn get_u32_array(obj: &[(String, Json)], key: &str) -> Result<Vec<u32>, String> {
-    lookup(obj, key)
-        .and_then(Json::as_array)
-        .ok_or_else(|| format!("missing array field `{key}`"))?
-        .iter()
-        .map(|v| {
-            v.as_u64()
-                .map(|n| n as u32)
-                .ok_or_else(|| format!("non-integer element in `{key}`"))
-        })
-        .collect()
-}
+pub(crate) use crate::schema::Json;
+use crate::schema::{
+    get_bool, get_opt_u32, get_str, get_u32_array, get_u64, get_usize, json_string,
+};
 
 #[cfg(test)]
 mod tests {

@@ -10,8 +10,8 @@
 
 use dprle::automata::LangStore;
 use dprle::core::{
-    solve_traced, solve_with_stats, validate_jsonl, CollectSink, Expr, Solution, SolveOptions,
-    System, Tracer,
+    solve_traced, solve_with_stats, validate_jsonl, validate_ledger_jsonl, CollectLedger,
+    CollectSink, Expr, Ledger, Solution, SolveOptions, System, Tracer, LEDGER_SCHEMA,
 };
 use dprle::corpus::scaling::{multi_group_system, random_system, RandomSystemConfig};
 use proptest::prelude::*;
@@ -154,4 +154,73 @@ fn figure_9_10_parallel_journal_is_schema_valid_and_sequential_identical() {
     for (i, (a, b)) in zeroed1.iter().zip(&zeroed4).enumerate() {
         assert_eq!(a, b, "journal line {i} differs between jobs=1 and jobs=4");
     }
+}
+
+/// One ledgered run over a fresh system: raw JSONL (for schema
+/// validation) plus the timestamp-zeroed lines (for byte comparison).
+/// Same per-cold-run discipline as `traced_journal` — the memo hit/miss
+/// column depends on cache temperature.
+fn ledger_journal(make: &dyn Fn() -> System, jobs: usize) -> (String, Vec<String>) {
+    let sys = make();
+    let sink = Arc::new(CollectLedger::new());
+    let options = SolveOptions {
+        jobs,
+        ledger: Ledger::new(sink.clone()),
+        ..SolveOptions::default()
+    };
+    let (_, _) = solve_with_stats(&sys, &options);
+    let records = sink.take();
+    let raw: String = records.iter().map(|r| r.to_json() + "\n").collect();
+    let zeroed = records
+        .into_iter()
+        .map(|mut r| {
+            r.ts_us = 0;
+            r.to_json()
+        })
+        .collect();
+    (raw, zeroed)
+}
+
+/// Asserts the cost ledger for `make()` is schema-valid and — once wall
+/// timestamps are zeroed — byte-identical at every thread count.
+fn assert_ledger_deterministic(label: &str, make: &dyn Fn() -> System) {
+    let (raw1, zeroed1) = ledger_journal(make, 1);
+    let validated = validate_ledger_jsonl(LEDGER_SCHEMA, &raw1).expect("ledger validates");
+    assert!(validated > 0, "{label}: ledger must not be empty");
+    for jobs in [4usize, 8] {
+        let (_, zeroed_n) = ledger_journal(make, jobs);
+        assert_eq!(
+            zeroed1.len(),
+            zeroed_n.len(),
+            "{label}: record count differs between jobs=1 and jobs={jobs}"
+        );
+        for (i, (a, b)) in zeroed1.iter().zip(&zeroed_n).enumerate() {
+            assert_eq!(
+                a, b,
+                "{label}: ledger line {i} differs between jobs=1 and jobs={jobs}"
+            );
+        }
+    }
+}
+
+/// Golden run: the query cost ledger for Figure 9/10 validates against
+/// the embedded schema and replays byte-identically at `--jobs 1/4/8`.
+#[test]
+fn figure_9_10_ledger_is_schema_valid_and_identical_across_jobs() {
+    assert_ledger_deterministic("figure 9/10", &figure_9_10_system);
+}
+
+/// The same byte-identity contract over the synthetic scaling corpus:
+/// a seeded random system and the branching multi-group workload the
+/// parallel solver speculates hardest on.
+#[test]
+fn scaling_corpus_ledgers_are_identical_across_jobs() {
+    let cfg = RandomSystemConfig::default();
+    for seed in [7u64, 1009, 65537] {
+        assert_ledger_deterministic(&format!("random seed {seed}"), &|| {
+            random_system(seed, &cfg)
+        });
+    }
+    assert_ledger_deterministic("multi-group 2x2", &|| multi_group_system(2, 2));
+    assert_ledger_deterministic("multi-group 3x2", &|| multi_group_system(3, 2));
 }
