@@ -21,7 +21,7 @@ use crate::metrics::{id, Metrics};
 use crate::minimize::{canonical_key_counted, minimize_counted, CanonicalKey};
 use crate::nfa::Nfa;
 use crate::ops;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
@@ -408,11 +408,21 @@ pub struct StoreStats {
     pub interned: u64,
     /// States of machines materialized by store-computed operations.
     pub states_materialized: u64,
-    /// Approximate bytes retained by the memo tables and interner
-    /// (shape-derived estimates; see [`Lang::approx_bytes`] and
-    /// [`CanonicalKey::byte_len`]). Incremented only by the insert winner,
-    /// so the total is deterministic across thread counts.
+    /// Approximate bytes currently retained by the memo tables and
+    /// interner (shape-derived estimates; see [`Lang::approx_bytes`]).
+    /// Charged only by the insert winner and released by eviction, so on
+    /// an unbounded store the total is deterministic across thread counts;
+    /// with a byte cap installed ([`LangStore::set_max_bytes`]) eviction
+    /// order — and therefore this value — may vary with scheduling, but
+    /// never answers. Fingerprint keys are not memo entries (they live on
+    /// the handles) and are accounted separately under
+    /// `automata.fingerprint.bytes`.
     pub memo_bytes: u64,
+    /// Memo entries dropped by size-bounded LRU eviction. Zero unless a
+    /// byte cap is installed.
+    pub evictions: u64,
+    /// Approximate bytes reclaimed by size-bounded LRU eviction.
+    pub evicted_bytes: u64,
     /// Macrostates explored by store-computed inclusion queries (engine
     /// work; see [`crate::inclusion::InclusionCost`]). Incremented only by
     /// the memo insert winner, so the total is deterministic across thread
@@ -428,6 +438,23 @@ impl StoreStats {
     }
 }
 
+/// The identity of one retained memo entry — the currency of the store's
+/// LRU bookkeeping. Unlike [`MemoIdentity`] (which also names per-handle
+/// fingerprint slots that the store does not retain), every variant here
+/// maps to exactly one entry of one of the four memo tables, so evicting a
+/// slot is an O(1) map removal.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum SlotKey {
+    /// One hash-consed representative in the interner.
+    Interned(Arc<CanonicalKey>),
+    /// One intersection result, keyed by the unordered fingerprint pair.
+    Intersect(Arc<CanonicalKey>, Arc<CanonicalKey>),
+    /// One inclusion verdict, keyed by the ordered fingerprint pair.
+    Inclusion(Arc<CanonicalKey>, Arc<CanonicalKey>),
+    /// One minimized machine, keyed by the input fingerprint.
+    Minimize(Arc<CanonicalKey>),
+}
+
 #[derive(Default)]
 struct StoreInner {
     interned: HashMap<Arc<CanonicalKey>, Lang>,
@@ -441,6 +468,100 @@ struct StoreInner {
     /// winner-only (first memo writer / fingerprint computer), so totals
     /// are deterministic across thread counts.
     metrics: Metrics,
+    /// Byte cap on the memo tables; `None` (the default) never evicts.
+    max_bytes: Option<u64>,
+    /// Monotonic access clock ordering the LRU queue.
+    tick: u64,
+    /// tick → slot, recency-ordered: the first entry is the next victim.
+    by_recency: BTreeMap<u64, SlotKey>,
+    /// slot → (last-touch tick, byte charge); mirrors the four memo maps.
+    charges: HashMap<SlotKey, (u64, u64)>,
+}
+
+impl StoreInner {
+    /// Publishes the current retained-bytes figure to the metrics gauge.
+    /// Called after every mutation of `stats.memo_bytes` so the gauge (and
+    /// its tracked peak) is continuously accurate, not a snapshot-time read.
+    fn publish_memo_gauge(&mut self) {
+        self.metrics
+            .gauge_set(id::STORE_MEMO_BYTES, self.stats.memo_bytes);
+    }
+
+    /// Refreshes `slot`'s recency after a memo hit. No-op for slots the
+    /// store does not retain (e.g. already evicted between lookup and
+    /// re-check, which cannot happen under the single lock but keeps this
+    /// total).
+    fn touch(&mut self, slot: SlotKey) {
+        self.tick += 1;
+        let next = self.tick;
+        let Some(entry) = self.charges.get_mut(&slot) else {
+            return;
+        };
+        let prev = entry.0;
+        entry.0 = next;
+        self.by_recency.remove(&prev);
+        self.by_recency.insert(next, slot);
+    }
+
+    /// Charges a freshly inserted memo entry (the caller has already put it
+    /// into its table) and evicts least-recently-used entries until the
+    /// store is back under its byte cap, if one is installed. The gauge is
+    /// published only after eviction settles, so observers never see an
+    /// over-cap figure.
+    fn charge_insert(&mut self, slot: SlotKey, bytes: u64) {
+        self.stats.memo_bytes += bytes;
+        self.tick += 1;
+        let tick = self.tick;
+        debug_assert!(!self.charges.contains_key(&slot), "double charge");
+        self.charges.insert(slot.clone(), (tick, bytes));
+        self.by_recency.insert(tick, slot);
+        self.evict_over_cap();
+        self.publish_memo_gauge();
+    }
+
+    /// Drops LRU entries while retained bytes exceed the cap. Each victim
+    /// is removed from its owning table, its charge released, and the
+    /// eviction counted in both [`StoreStats`] and the metrics registry.
+    fn evict_over_cap(&mut self) {
+        let Some(cap) = self.max_bytes else { return };
+        while self.stats.memo_bytes > cap {
+            let Some((_, slot)) = self.by_recency.pop_first() else {
+                break;
+            };
+            let (_, bytes) = self.charges.remove(&slot).expect("charged slot");
+            match &slot {
+                SlotKey::Interned(k) => {
+                    self.interned.remove(k);
+                }
+                SlotKey::Intersect(a, b) => {
+                    self.intersect_memo.remove(&(a.clone(), b.clone()));
+                }
+                SlotKey::Inclusion(a, b) => {
+                    self.inclusion_memo.remove(&(a.clone(), b.clone()));
+                }
+                SlotKey::Minimize(k) => {
+                    self.minimize_memo.remove(k);
+                }
+            }
+            self.stats.memo_bytes = self.stats.memo_bytes.saturating_sub(bytes);
+            self.stats.evictions += 1;
+            self.stats.evicted_bytes += bytes;
+            self.metrics.add(id::STORE_EVICTIONS, 1);
+            self.metrics.add(id::STORE_EVICTED_BYTES, bytes);
+        }
+    }
+
+    /// Mirrors one cache hit into the metrics registry and refreshes the
+    /// slot's recency.
+    fn note_hit(&mut self, slot: SlotKey) {
+        self.metrics.add(id::STORE_MEMO_HITS, 1);
+        self.touch(slot);
+    }
+
+    /// Mirrors one cache miss (a fresh computation) into the registry.
+    fn note_miss(&mut self) {
+        self.metrics.add(id::STORE_MEMO_MISSES, 1);
+    }
 }
 
 /// Hash-consing interner and binary-operation memo table for [`Lang`].
@@ -486,6 +607,31 @@ impl LangStore {
         }
     }
 
+    /// A store with interning enabled and an LRU byte cap on its memo
+    /// tables: whenever an insert pushes the retained estimate past
+    /// `max_bytes`, least-recently-used entries are dropped until it fits.
+    /// Eviction changes hit rates, never answers — an evicted entry is
+    /// simply recomputed on next use.
+    pub fn bounded(max_bytes: u64) -> Self {
+        let store = LangStore::new();
+        store.set_max_bytes(Some(max_bytes));
+        store
+    }
+
+    /// Installs (or, with `None`, removes) the LRU byte cap, evicting
+    /// immediately if the store is already over the new cap.
+    pub fn set_max_bytes(&self, max_bytes: Option<u64>) {
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.max_bytes = max_bytes;
+        inner.evict_over_cap();
+        inner.publish_memo_gauge();
+    }
+
+    /// The installed LRU byte cap, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.inner.lock().expect("store lock").max_bytes
+    }
+
     /// Selects the [`crate::inclusion`] engine behind
     /// [`LangStore::is_subset`] / [`LangStore::try_is_subset`]. Engine
     /// choice never changes an answer (the engines are differentially
@@ -521,7 +667,11 @@ impl LangStore {
     /// costs into (replacing any previous one). A [`Metrics::disabled`]
     /// handle — the default — makes every recording a no-op.
     pub fn set_metrics(&self, metrics: Metrics) {
-        self.inner.lock().expect("store lock").metrics = metrics;
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.metrics = metrics;
+        // Seed the gauge so a registry installed after the store warmed up
+        // still reports the current retained bytes.
+        inner.publish_memo_gauge();
     }
 
     fn notify(&self, op: StoreOp, identity: Option<MemoIdentity>, hit: bool) {
@@ -553,9 +703,11 @@ impl LangStore {
             let mut inner = self.inner.lock().expect("store lock");
             if let Some(cost) = cost {
                 inner.stats.fingerprint_misses += 1;
-                inner.stats.memo_bytes += cost.key_bytes;
+                inner.note_miss();
+                // Key bytes live on the handle, not in the memo tables, so
+                // they are charged to `automata.fingerprint.bytes` only —
+                // the memo gauge tracks evictable entries exclusively.
                 inner.metrics.add(id::FINGERPRINT_BYTES, cost.key_bytes);
-                inner.metrics.add(id::STORE_MEMO_BYTES, cost.key_bytes);
                 inner.metrics.add(
                     id::EPS_CLOSURE_VISITED,
                     cost.determinize.closure_visited as u64,
@@ -568,6 +720,7 @@ impl LangStore {
                     .observe(id::DETERMINIZE_OUT, cost.determinize.dfa_states as u64);
             } else {
                 inner.stats.fingerprint_hits += 1;
+                inner.metrics.add(id::STORE_MEMO_HITS, 1);
             }
         }
         self.notify(
@@ -589,12 +742,13 @@ impl LangStore {
         let key = self.key_of(&lang);
         let mut inner = self.inner.lock().expect("store lock");
         if let Some(existing) = inner.interned.get(&key) {
-            return existing.clone();
+            let existing = existing.clone();
+            inner.touch(SlotKey::Interned(key));
+            return existing;
         }
         inner.stats.interned += 1;
-        inner.stats.memo_bytes += lang.approx_bytes();
-        inner.metrics.add(id::STORE_MEMO_BYTES, lang.approx_bytes());
-        inner.interned.insert(key, lang.clone());
+        inner.interned.insert(key.clone(), lang.clone());
+        inner.charge_insert(SlotKey::Interned(key), lang.approx_bytes());
         lang
     }
 
@@ -608,6 +762,7 @@ impl LangStore {
             {
                 let mut inner = self.inner.lock().expect("store lock");
                 inner.stats.op_misses += 1;
+                inner.note_miss();
                 inner.stats.states_materialized += result.num_states() as u64;
                 record_intersect_cost(&inner.metrics, &cost, &result);
             }
@@ -634,16 +789,18 @@ impl LangStore {
             // than the scheduling-dependent set of racers.
             if let Some(existing) = inner.intersect_memo.get(&key).cloned() {
                 inner.stats.op_hits += 1;
+                inner.note_hit(SlotKey::Intersect(key.0.clone(), key.1.clone()));
                 (existing, true)
             } else {
                 inner.stats.op_misses += 1;
+                inner.note_miss();
                 inner.stats.states_materialized += result.num_states() as u64;
-                inner.stats.memo_bytes += result.approx_bytes();
                 record_intersect_cost(&inner.metrics, &cost, &result);
-                inner
-                    .metrics
-                    .add(id::STORE_MEMO_BYTES, result.approx_bytes());
                 inner.intersect_memo.insert(key.clone(), result.clone());
+                inner.charge_insert(
+                    SlotKey::Intersect(key.0.clone(), key.1.clone()),
+                    result.approx_bytes(),
+                );
                 (result, false)
             }
         };
@@ -656,6 +813,7 @@ impl LangStore {
         let hit = inner.intersect_memo.get(key).cloned();
         if hit.is_some() {
             inner.stats.op_hits += 1;
+            inner.note_hit(SlotKey::Intersect(key.0.clone(), key.1.clone()));
         }
         hit
     }
@@ -729,6 +887,7 @@ impl LangStore {
             {
                 let mut inner = self.inner.lock().expect("store lock");
                 inner.stats.op_misses += 1;
+                inner.note_miss();
                 record_inclusion_cost(&mut inner, &cost);
             }
             report(None, None, false, true, Some(result), cost);
@@ -745,9 +904,12 @@ impl LangStore {
         {
             let hit = {
                 let mut inner = self.inner.lock().expect("store lock");
-                inner.inclusion_memo.get(&key).copied().inspect(|_| {
+                let hit = inner.inclusion_memo.get(&key).copied();
+                if hit.is_some() {
                     inner.stats.op_hits += 1;
-                })
+                    inner.note_hit(SlotKey::Inclusion(key.0.clone(), key.1.clone()));
+                }
+                hit
             };
             if let Some(hit) = hit {
                 report(
@@ -784,15 +946,17 @@ impl LangStore {
             // totals stay deterministic across thread counts.
             if inner.inclusion_memo.contains_key(&key) {
                 inner.stats.op_hits += 1;
+                inner.note_hit(SlotKey::Inclusion(key.0.clone(), key.1.clone()));
                 true
             } else {
                 inner.stats.op_misses += 1;
-                inner.stats.memo_bytes += INCLUSION_ENTRY_BYTES;
-                inner
-                    .metrics
-                    .add(id::STORE_MEMO_BYTES, INCLUSION_ENTRY_BYTES);
+                inner.note_miss();
                 record_inclusion_cost(&mut inner, &cost);
                 inner.inclusion_memo.insert(key.clone(), result);
+                inner.charge_insert(
+                    SlotKey::Inclusion(key.0.clone(), key.1.clone()),
+                    INCLUSION_ENTRY_BYTES,
+                );
                 false
             }
         };
@@ -824,6 +988,7 @@ impl LangStore {
             {
                 let mut inner = self.inner.lock().expect("store lock");
                 inner.stats.op_misses += 1;
+                inner.note_miss();
                 inner.stats.states_materialized += result.num_states() as u64;
                 record_minimize_cost(&inner.metrics, a, &det, &result);
             }
@@ -834,9 +999,12 @@ impl LangStore {
         {
             let hit = {
                 let mut inner = self.inner.lock().expect("store lock");
-                inner.minimize_memo.get(&key).cloned().inspect(|_| {
+                let hit = inner.minimize_memo.get(&key).cloned();
+                if hit.is_some() {
                     inner.stats.op_hits += 1;
-                })
+                    inner.note_hit(SlotKey::Minimize(key.clone()));
+                }
+                hit
             };
             if let Some(hit) = hit {
                 self.notify(StoreOp::Minimize, Some(MemoIdentity::Minimize(key)), true);
@@ -850,16 +1018,15 @@ impl LangStore {
             // Same race re-check as `intersect`: first writer wins the entry.
             if let Some(existing) = inner.minimize_memo.get(&key).cloned() {
                 inner.stats.op_hits += 1;
+                inner.note_hit(SlotKey::Minimize(key.clone()));
                 (existing, true)
             } else {
                 inner.stats.op_misses += 1;
+                inner.note_miss();
                 inner.stats.states_materialized += result.num_states() as u64;
-                inner.stats.memo_bytes += result.approx_bytes();
                 record_minimize_cost(&inner.metrics, a, &det, &result);
-                inner
-                    .metrics
-                    .add(id::STORE_MEMO_BYTES, result.approx_bytes());
                 inner.minimize_memo.insert(key.clone(), result.clone());
+                inner.charge_insert(SlotKey::Minimize(key.clone()), result.approx_bytes());
                 (result, false)
             }
         };
@@ -1229,7 +1396,7 @@ mod tests {
         let b = Lang::new(Nfa::length_between(0, 4));
         store.intersect(&a, &b);
         let after_first = store.stats().memo_bytes;
-        assert!(after_first > 0, "fingerprints + memo entry were charged");
+        assert!(after_first > 0, "the memo entry was charged");
         store.intersect(&b, &a);
         assert_eq!(store.stats().memo_bytes, after_first, "hits charge nothing");
         store.is_subset(&a, &b);
@@ -1256,10 +1423,125 @@ mod tests {
         assert!(counter("automata.intersect.products") > 0);
         assert!(counter("automata.fingerprint.bytes") > 0);
         assert!(counter("automata.eps_closure.visited_states") > 0);
+        let (value, peak) = match snap.get("core.store.memo_bytes").expect("gauge").value {
+            crate::metrics::MetricValue::Gauge { value, peak } => (value, peak),
+            ref other => panic!("core.store.memo_bytes is {other:?}"),
+        };
         assert_eq!(
-            counter("core.store.memo_bytes"),
+            value,
             store.stats().memo_bytes,
             "registry and StoreStats agree on the byte accounting"
+        );
+        assert_eq!(peak, value, "no eviction: the gauge only ever grew");
+        // Hit/miss mirrors match the store's own counters.
+        let stats = store.stats();
+        assert_eq!(
+            counter("core.store.memo_hits"),
+            stats.fingerprint_hits + stats.op_hits
+        );
+        assert_eq!(
+            counter("core.store.memo_misses"),
+            stats.fingerprint_misses + stats.op_misses
+        );
+        assert_eq!(counter("core.store.evictions"), 0);
+    }
+
+    #[test]
+    fn bounded_store_evicts_lru_and_stays_under_cap() {
+        let store = LangStore::bounded(1); // every insert immediately over cap
+        let metrics = Metrics::enabled();
+        store.set_metrics(metrics.clone());
+        assert_eq!(store.max_bytes(), Some(1));
+        let a = Lang::new(ab_star());
+        let b = Lang::new(Nfa::length_between(0, 4));
+        store.intersect(&a, &b);
+        store.is_subset(&a, &b);
+        let stats = store.stats();
+        assert!(stats.memo_bytes <= 1, "cap is enforced after every insert");
+        assert!(stats.evictions > 0, "inserts were evicted");
+        assert!(stats.evicted_bytes > 0);
+        // Evicted entries recompute instead of hitting.
+        let before = store.stats().op_misses;
+        store.intersect(&a, &b);
+        assert_eq!(
+            store.stats().op_misses,
+            before + 1,
+            "the evicted entry is a miss again"
+        );
+        // Answers are unchanged by eviction.
+        assert!(!store.is_subset(&Lang::new(ab_star()), &b));
+        let snap = metrics.snapshot().expect("enabled registry");
+        let counter = |name: &str| match snap.get(name).expect(name).value {
+            crate::metrics::MetricValue::Counter { value } => value,
+            ref other => panic!("{name} is {other:?}"),
+        };
+        assert_eq!(counter("core.store.evictions"), store.stats().evictions);
+        assert_eq!(
+            counter("core.store.evicted_bytes"),
+            store.stats().evicted_bytes
+        );
+        match snap.get("core.store.memo_bytes").expect("gauge").value {
+            crate::metrics::MetricValue::Gauge { value, peak } => {
+                assert!(value <= 1, "published gauge respects the cap");
+                assert!(peak <= 1, "gauge is published only after eviction settles");
+            }
+            ref other => panic!("gauge expected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_touched_entries() {
+        let a = Lang::new(ab_star());
+        let b = Lang::new(Nfa::length_between(0, 4));
+        let c = Lang::new(Nfa::length_between(0, 2));
+        // Size the cap so both intersection results fit, but nothing else.
+        let probe = LangStore::new();
+        let ab = probe.intersect(&a, &b).approx_bytes();
+        let ac = probe.intersect(&a, &c).approx_bytes();
+        let store = LangStore::new();
+        store.set_max_bytes(Some(ab + ac));
+        store.intersect(&a, &b);
+        store.intersect(&a, &c);
+        // Touch (a, b) so (a, c) is now least recently used.
+        store.intersect(&a, &b);
+        let hits_before = store.stats().op_hits;
+        // A third entry forces an eviction: (a, c) must be the victim.
+        store.is_subset(&c, &a);
+        assert!(store.stats().evictions > 0, "cap forced an eviction");
+        store.intersect(&a, &b);
+        assert_eq!(
+            store.stats().op_hits,
+            hits_before + 1,
+            "recently-touched entry survived"
+        );
+        let misses_before = store.stats().op_misses;
+        store.intersect(&a, &c);
+        assert_eq!(
+            store.stats().op_misses,
+            misses_before + 1,
+            "LRU entry was evicted"
+        );
+    }
+
+    #[test]
+    fn set_max_bytes_evicts_immediately_and_lifts() {
+        let store = LangStore::new();
+        let a = Lang::new(ab_star());
+        let b = Lang::new(Nfa::length_between(0, 4));
+        store.intersect(&a, &b);
+        assert!(store.stats().memo_bytes > 0);
+        store.set_max_bytes(Some(0));
+        assert_eq!(store.stats().memo_bytes, 0, "everything evicted");
+        assert!(store.stats().evictions > 0);
+        store.set_max_bytes(None);
+        assert_eq!(store.max_bytes(), None);
+        let evictions = store.stats().evictions;
+        store.intersect(&a, &b);
+        store.is_subset(&a, &b);
+        assert_eq!(
+            store.stats().evictions,
+            evictions,
+            "unbounded again: no further eviction"
         );
     }
 

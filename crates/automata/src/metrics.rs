@@ -94,6 +94,14 @@ pub mod id {
     pub const INCLUSION_ANTICHAIN_SIZE: usize = 16;
     /// Macrostates dropped by antichain subsumption.
     pub const INCLUSION_PRUNES: usize = 17;
+    /// Memoized store operations answered from a cache.
+    pub const STORE_MEMO_HITS: usize = 18;
+    /// Memoized store operations computed fresh.
+    pub const STORE_MEMO_MISSES: usize = 19;
+    /// Memo entries dropped by size-bounded LRU eviction.
+    pub const STORE_EVICTIONS: usize = 20;
+    /// Bytes reclaimed by size-bounded LRU eviction.
+    pub const STORE_EVICTED_BYTES: usize = 21;
 }
 
 /// The closed metric table. Index = metric id; snapshot order = table
@@ -146,8 +154,8 @@ pub const METRIC_DEFS: &[MetricDef] = &[
     },
     MetricDef {
         name: "core.store.memo_bytes",
-        help: "Approximate bytes held by LangStore memo tables",
-        kind: MetricKind::Counter,
+        help: "Approximate bytes held by LangStore memo tables (peak tracked; falls on eviction)",
+        kind: MetricKind::Gauge,
     },
     MetricDef {
         name: "core.store.states_materialized",
@@ -187,6 +195,26 @@ pub const METRIC_DEFS: &[MetricDef] = &[
     MetricDef {
         name: "automata.inclusion.subsumption_prunes",
         help: "Macrostates dropped by antichain subsumption",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "core.store.memo_hits",
+        help: "Memoized store operations (fingerprint, intersect, inclusion, minimize) answered from a cache",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "core.store.memo_misses",
+        help: "Memoized store operations computed fresh",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "core.store.evictions",
+        help: "Memo entries dropped by size-bounded LRU eviction",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "core.store.evicted_bytes",
+        help: "Approximate bytes reclaimed by size-bounded LRU eviction",
         kind: MetricKind::Counter,
     },
 ];

@@ -1,0 +1,373 @@
+//! Load harness for the `dprle serve` multi-session solver service.
+//!
+//! Two modes over the same in-process [`SolverService`] the binary's
+//! `serve` subcommand runs (in-process so the measurement excludes pipe
+//! and socket overhead and isolates the shared-store contention the
+//! tentpole is about):
+//!
+//! * `--smoke` — CI correctness under load: fires a concurrent mix of
+//!   valid, malformed, unknown-field, unparsable, and budget-blown
+//!   requests at the service from many threads, validates every response
+//!   against `docs/serve.schema.json`, checks the typed outcome counts,
+//!   and re-checks that a request's `solutions` under load are
+//!   byte-identical to the same request solved solo. Exit 1 on any
+//!   violation.
+//! * default (bench) — throughput/latency table: solves/sec plus
+//!   p50/p99 per-request latency at 1, 4, and 16 concurrent clients over
+//!   a deterministic request corpus; writes the fresh table to
+//!   `target/serve-bench/BENCH_serve.json` and compares it against the
+//!   checked-in `BENCH_serve.json` baseline **report-only** (serving
+//!   throughput is too machine-dependent to gate CI on; the smoke mode
+//!   is the pass/fail signal).
+//!
+//! Usage:
+//!   cargo run -p dprle-bench --bin serve_bench --release -- \
+//!     [--smoke] [--requests N] [--baseline PATH] [--store-max-bytes N]
+//!
+//! Exit codes: 0 ok, 1 smoke violation, 2 setup error.
+
+use dprle_cli::serve::{ServeConfig, SolverService};
+use dprle_core::{json_string, lookup, validate_jsonl, Json, Metrics};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Deterministic request corpus: a rotating mix of program shapes, each
+/// parameterized by its index so the shared store sees fresh constants
+/// (pure memo replay would flatter the numbers) while still getting
+/// structural hits.
+fn corpus_request(i: usize) -> String {
+    match i % 4 {
+        // The paper's motivating SQL-injection query, with a per-request
+        // prefix literal.
+        0 => format!(
+            "{{\"id\":\"r{i}\",\"input\":{}}}",
+            json_string(&format!(
+                "var v1; c1 := match(/[\\d]+$/); c2 := \"nid{i}_\"; \
+                 c3 := match(/'/); v1 <= c1; c2 . v1 <= c3;"
+            ))
+        ),
+        // An unsat pair of disjoint literals.
+        1 => format!(
+            "{{\"id\":\"r{i}\",\"input\":{}}}",
+            json_string(&format!(
+                "var v; a := \"x{i}\"; b := \"y{i}\"; v <= a; v <= b;"
+            ))
+        ),
+        // A two-variable concatenation against a character-class star.
+        2 => format!(
+            "{{\"id\":\"r{i}\",\"input\":{},\"witness\":true}}",
+            json_string(&format!(
+                "var v w; c := /[a-m]*q{}/; pre := \"ab\"; pre . v . w <= c;",
+                i % 7
+            ))
+        ),
+        // An SMT-LIB script.
+        _ => format!(
+            "{{\"id\":\"r{i}\",\"language\":\"smtlib\",\"input\":{}}}",
+            json_string(&format!(
+                "(declare-fun x () String)\n\
+                 (assert (str.in_re x (re.++ (str.to_re \"k{}\") (re.* (re.range \"a\" \"f\")))))\n\
+                 (check-sat)",
+                i % 5
+            ))
+        ),
+    }
+}
+
+fn new_service(store_max_bytes: Option<u64>) -> Arc<SolverService> {
+    Arc::new(SolverService::new(
+        ServeConfig {
+            store_max_bytes,
+            ..ServeConfig::default()
+        },
+        Metrics::disabled(),
+    ))
+}
+
+/// Runs `requests` through the service from `clients` threads
+/// (round-robin partition) and returns every (request-index, response,
+/// latency in microseconds).
+fn fire(
+    service: &Arc<SolverService>,
+    requests: &[String],
+    clients: usize,
+) -> Vec<(usize, String, u64)> {
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let service = Arc::clone(service);
+            let mine: Vec<(usize, String)> = requests
+                .iter()
+                .enumerate()
+                .skip(c)
+                .step_by(clients)
+                .map(|(i, r)| (i, r.clone()))
+                .collect();
+            std::thread::spawn(move || {
+                let mut out = Vec::with_capacity(mine.len());
+                for (i, request) in mine {
+                    let started = Instant::now();
+                    let response = service.handle_line(&request);
+                    let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    out.push((i, response, us));
+                }
+                out
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for handle in handles {
+        all.extend(handle.join().expect("client thread"));
+    }
+    all.sort_by_key(|(i, _, _)| *i);
+    all
+}
+
+fn percentile(sorted_us: &[u64], pct: f64) -> u64 {
+    let idx = ((sorted_us.len() as f64 * pct / 100.0).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted_us.len() - 1);
+    sorted_us[idx]
+}
+
+fn kind_of(response: &str) -> String {
+    Json::parse(response)
+        .ok()
+        .and_then(|json| {
+            json.as_object().and_then(|obj| {
+                lookup(obj, "kind")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+            })
+        })
+        .unwrap_or_else(|| "<invalid>".to_owned())
+}
+
+fn field_raw(response: &str, key: &str) -> Option<String> {
+    // Byte-exact extraction of a top-level field's rendered value: find
+    // the pinned `"key":` prefix and take everything up to the next
+    // top-level field. Good enough because the service pins field order.
+    let needle = format!("\"{key}\":");
+    let start = response.find(&needle)? + needle.len();
+    let rest = &response[start..];
+    let end = rest.find(",\"stats\":").unwrap_or(rest.len());
+    Some(rest[..end].to_owned())
+}
+
+fn smoke(store_max_bytes: Option<u64>) -> i32 {
+    let service = new_service(store_max_bytes);
+    let sat = corpus_request(0);
+    // The mixed batch: 40 corpus requests plus deliberate garbage.
+    let mut requests: Vec<String> = (0..40).map(corpus_request).collect();
+    requests.push("{\"id\":\"m1\",\"input\":".to_owned()); // truncated JSON
+    requests.push("[1,2,3]".to_owned()); // not an object
+    requests.push("{\"id\":\"m2\",\"input\":\"var v;\",\"bogus\":true}".to_owned());
+    requests.push("{\"id\":\"m3\",\"input\":\"nope nope;\"}".to_owned()); // bad program
+    requests.push("{\"id\":\"m4\",\"input\":\"x\",\"language\":\"cobol\"}".to_owned());
+    requests.push(format!(
+        "{{\"id\":\"m5\",\"input\":{},\"max_product_states\":1}}",
+        json_string("var v1; c1 := match(/[\\d]+$/); c2 := \"nid_\"; c3 := match(/'/); v1 <= c1; c2 . v1 <= c3;")
+    ));
+    let responses = fire(&service, &requests, 8);
+
+    // 1. Every response validates against the pinned wire schema.
+    let schema_path = format!(
+        "{}/../../docs/serve.schema.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let schema = match std::fs::read_to_string(&schema_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve_bench: cannot read {schema_path}: {e}");
+            return 2;
+        }
+    };
+    let jsonl: String = responses.iter().map(|(_, r, _)| format!("{r}\n")).collect();
+    match validate_jsonl(&schema, &jsonl) {
+        Ok(n) => println!("smoke: {n} responses validate against serve.schema.json"),
+        Err(e) => {
+            eprintln!("serve_bench: response schema violation: {e}");
+            return 1;
+        }
+    }
+
+    // 2. Typed outcomes land where they should.
+    let count = |kind: &str| {
+        responses
+            .iter()
+            .filter(|(_, r, _)| kind_of(r) == kind)
+            .count()
+    };
+    let (sat_n, unsat_n, exhausted_n, error_n) = (
+        count("sat"),
+        count("unsat"),
+        count("resource-exhausted"),
+        count("parse-error"),
+    );
+    println!(
+        "smoke: outcomes sat={sat_n} unsat={unsat_n} resource-exhausted={exhausted_n} \
+         parse-error={error_n}"
+    );
+    // 40 corpus requests: indices ≡ 1 (mod 4) are the 10 unsat ones.
+    // The 6 garbage requests: 5 parse-errors + 1 budget blow.
+    let expect = [
+        (sat_n, 30, "sat"),
+        (unsat_n, 10, "unsat"),
+        (exhausted_n, 1, "resource-exhausted"),
+        (error_n, 5, "parse-error"),
+    ];
+    for (got, want, kind) in expect {
+        if got != want {
+            eprintln!("serve_bench: expected {want} {kind} responses, got {got}");
+            return 1;
+        }
+    }
+
+    // 3. Solutions under concurrent load are byte-identical to solo.
+    let solo = new_service(store_max_bytes).handle_line(&sat);
+    let loaded = &responses
+        .iter()
+        .find(|(i, _, _)| *i == 0)
+        .expect("request 0 answered")
+        .1;
+    let (solo_sol, loaded_sol) = (
+        field_raw(&solo, "solutions"),
+        field_raw(loaded, "solutions"),
+    );
+    if solo_sol.is_none() || solo_sol != loaded_sol {
+        eprintln!(
+            "serve_bench: solutions diverged under load\n solo: {solo_sol:?}\n load: {loaded_sol:?}"
+        );
+        return 1;
+    }
+    println!("smoke: solutions under load are byte-identical to solo");
+    println!("smoke: ok");
+    0
+}
+
+fn bench(requests_per_trial: usize, baseline_path: &str, store_max_bytes: Option<u64>) -> i32 {
+    let requests: Vec<String> = (0..requests_per_trial).map(corpus_request).collect();
+    let mut rows = String::from("[\n");
+    let mut summaries = Vec::new();
+    for (t, clients) in [1usize, 4, 16].into_iter().enumerate() {
+        // A fresh service per trial: every client count starts from a
+        // cold store, so trials are comparable.
+        let service = new_service(store_max_bytes);
+        let started = Instant::now();
+        let responses = fire(&service, &requests, clients);
+        let seconds = started.elapsed().as_secs_f64();
+        let mut lat: Vec<u64> = responses.iter().map(|(_, _, us)| *us).collect();
+        lat.sort_unstable();
+        let (p50, p99) = (percentile(&lat, 50.0), percentile(&lat, 99.0));
+        let solves_per_sec = requests.len() as f64 / seconds.max(f64::EPSILON);
+        let errors = responses
+            .iter()
+            .filter(|(_, r, _)| kind_of(r) == "parse-error")
+            .count();
+        if errors > 0 {
+            eprintln!("serve_bench: {errors} unexpected parse-errors in the bench corpus");
+            return 2;
+        }
+        if t > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "  {{\n    \"clients\": {clients},\n    \"requests\": {},\n    \
+             \"seconds\": {seconds:.6},\n    \"solves_per_sec\": {solves_per_sec:.1},\n    \
+             \"p50_us\": {p50},\n    \"p99_us\": {p99}\n  }}",
+            requests.len()
+        ));
+        summaries.push((clients, solves_per_sec, p50, p99));
+        println!(
+            "clients {clients:>2}: {solves_per_sec:>9.1} solves/s  p50 {p50:>6} us  p99 {p99:>6} us"
+        );
+    }
+    rows.push_str("\n]\n");
+
+    let out_dir = "target/serve-bench";
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: could not create {out_dir}: {e}");
+    }
+    let out_path = format!("{out_dir}/BENCH_serve.json");
+    match std::fs::write(&out_path, &rows) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+    }
+
+    // Report-only baseline comparison (same spirit as the ledger diff in
+    // the bench-smoke job: serving throughput on a shared runner is too
+    // noisy to gate on).
+    match std::fs::read_to_string(baseline_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(json) => {
+                println!("\nvs baseline {baseline_path} (report-only):");
+                for row in json.as_array().unwrap_or(&[]) {
+                    let Some(obj) = row.as_object() else { continue };
+                    let get = |k: &str| lookup(obj, k).and_then(Json::as_u64);
+                    let Some(clients) = get("clients") else {
+                        continue;
+                    };
+                    let Some((_, fresh_sps, fresh_p50, _)) = summaries
+                        .iter()
+                        .find(|(c, ..)| *c as u64 == clients)
+                        .copied()
+                    else {
+                        continue;
+                    };
+                    let base_sps = lookup(obj, "solves_per_sec")
+                        .and_then(|v| match v {
+                            Json::Num(n) => Some(*n),
+                            _ => None,
+                        })
+                        .unwrap_or(0.0);
+                    println!(
+                        "  clients {clients:>2}: {fresh_sps:>9.1} vs {base_sps:>9.1} solves/s \
+                         ({:+.1}%), p50 {fresh_p50} vs {} us",
+                        (fresh_sps / base_sps.max(f64::EPSILON) - 1.0) * 100.0,
+                        get("p50_us").unwrap_or(0),
+                    );
+                }
+            }
+            Err(e) => eprintln!("serve_bench: baseline {baseline_path} unparsable: {e}"),
+        },
+        Err(e) => eprintln!("serve_bench: no baseline at {baseline_path}: {e}"),
+    }
+    0
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let store_max_bytes = flag_value(&args, "--store-max-bytes").map(|s| {
+        s.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("--store-max-bytes needs a nonnegative integer, got `{s}`");
+            std::process::exit(2);
+        })
+    });
+    let code = if args.iter().any(|a| a == "--smoke") {
+        smoke(store_max_bytes)
+    } else {
+        let requests = flag_value(&args, "--requests")
+            .map(|s| {
+                s.parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 16)
+                    .unwrap_or_else(|| {
+                        eprintln!("--requests needs an integer >= 16, got `{s}`");
+                        std::process::exit(2);
+                    })
+            })
+            .unwrap_or(240);
+        let baseline = flag_value(&args, "--baseline")
+            .unwrap_or_else(|| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+        bench(requests, &baseline, store_max_bytes)
+    };
+    std::process::exit(code);
+}

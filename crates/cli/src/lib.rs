@@ -28,6 +28,7 @@
 use dprle_core::{Expr, System};
 use std::fmt;
 
+pub mod serve;
 pub mod smtlib;
 
 /// A parse error with line information.

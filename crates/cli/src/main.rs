@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dprle [OPTIONS] FILE
+//! dprle serve [SERVE-OPTIONS]
 //! dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
 //! dprle metrics-report [--check-schema] [--top K] METRICS.jsonl
 //! dprle profile top|model|diff|check ...
@@ -36,7 +37,22 @@
 //!                      agree on every answer, costs differ
 //!   --no-interning     disable language interning/memoization (ablation)
 //!   --jobs N           worklist worker threads (default 1; deterministic)
+//!   --store-max-bytes N  LRU byte cap on the language store's memo
+//!                      tables (default unbounded); eviction changes hit
+//!                      rates, never answers
 //!   -h, --help         this message
+//!
+//! Serve options (`dprle serve` — JSONL request/response service, see
+//! `dprle_cli::serve` for the wire schema):
+//!   --sessions N       concurrent worker sessions (default 4)
+//!   --listen ADDR      serve over TCP at ADDR instead of stdin/stdout
+//!                      (prints `listening HOST:PORT` on stdout; use
+//!                      `--listen 127.0.0.1:0` for an ephemeral port)
+//!   --store-max-bytes N  shared-store LRU byte cap
+//!   --jobs/--inclusion/--max-product-states/--max-live-states/
+//!   --deadline-ms/--no-interning  per-request defaults (requests may
+//!                      override all but interning)
+//!   --metrics-out/--metrics-format/--ledger-out  flushed at shutdown
 //! ```
 //!
 //! The `trace-report` subcommand re-reads a `--trace-out` journal offline
@@ -67,7 +83,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--metrics-out FILE] [--metrics-format json|prom] [--ledger-out FILE] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--inclusion eager|antichain] [--no-interning] [--jobs N] FILE
+const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--metrics-out FILE] [--metrics-format json|prom] [--ledger-out FILE] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--inclusion eager|antichain] [--no-interning] [--jobs N] [--store-max-bytes N] FILE
+       dprle serve [--sessions N] [--listen ADDR] [--store-max-bytes N] [--jobs N] [--inclusion E] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--no-interning] [--metrics-out FILE] [--metrics-format json|prom] [--ledger-out FILE]
        dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
        dprle metrics-report [--check-schema] [--top K] METRICS.jsonl
        dprle profile top|model|diff|check ... (see `dprle profile --help`)
@@ -106,6 +123,7 @@ struct Args {
     max_live_states: Option<u64>,
     deadline_ms: Option<u64>,
     inclusion: EngineKind,
+    store_max_bytes: Option<u64>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -131,6 +149,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         max_live_states: None,
         deadline_ms: None,
         inclusion: EngineKind::default(),
+        store_max_bytes: None,
     };
     fn engine_arg(name: &str) -> Result<EngineKind, String> {
         EngineKind::parse(name)
@@ -199,6 +218,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--deadline-ms" => {
                 i += 1;
                 args.deadline_ms = Some(budget_arg(argv, i, "--deadline-ms")?);
+            }
+            "--store-max-bytes" => {
+                i += 1;
+                // Unlike the budget flags a cap of 0 is meaningful (evict
+                // everything immediately — the harshest ablation).
+                let n = argv.get(i).ok_or("--store-max-bytes needs a byte count")?;
+                args.store_max_bytes = Some(n.parse::<u64>().map_err(|_| {
+                    format!("--store-max-bytes needs a nonnegative integer, got `{n}`")
+                })?);
             }
             "--inclusion" => {
                 i += 1;
@@ -506,6 +534,216 @@ fn metrics_report_main(argv: &[String]) -> ExitCode {
     }
 }
 
+/// `dprle serve`: boots the multi-session solver service over
+/// stdin/stdout (default) or a TCP socket (`--listen`), then flushes the
+/// metrics snapshot and cost ledger after a graceful shutdown
+/// (stdin EOF or SIGTERM/SIGINT).
+fn serve_main(argv: &[String]) -> ExitCode {
+    use dprle_cli::serve::{
+        install_sigterm_flag, serve_stdio, serve_tcp, ServeConfig, SolverService,
+    };
+
+    let mut config = ServeConfig::default();
+    let mut listen: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_format = MetricsFormat::Json;
+    let mut ledger_out: Option<String> = None;
+    fn count_arg(argv: &[String], i: usize, flag: &str) -> Result<u64, String> {
+        let n = argv.get(i).ok_or_else(|| format!("{flag} needs a count"))?;
+        n.parse::<u64>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("{flag} needs a positive integer, got `{n}`"))
+    }
+    let mut i = 0;
+    let parsed: Result<(), String> = loop {
+        if i >= argv.len() {
+            break Ok(());
+        }
+        match argv[i].as_str() {
+            "--sessions" => match count_arg(argv, i + 1, "--sessions") {
+                Ok(n) => {
+                    config.sessions = n as usize;
+                    i += 1;
+                }
+                Err(e) => break Err(e),
+            },
+            "--listen" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(addr) => listen = Some(addr.clone()),
+                    None => break Err("--listen needs an address".to_owned()),
+                }
+            }
+            "--store-max-bytes" => {
+                i += 1;
+                let Some(n) = argv.get(i) else {
+                    break Err("--store-max-bytes needs a byte count".to_owned());
+                };
+                match n.parse::<u64>() {
+                    Ok(n) => config.store_max_bytes = Some(n),
+                    Err(_) => {
+                        break Err(format!(
+                            "--store-max-bytes needs a nonnegative integer, got `{n}`"
+                        ))
+                    }
+                }
+            }
+            "--jobs" => match count_arg(argv, i + 1, "--jobs") {
+                Ok(n) => {
+                    config.jobs = n as usize;
+                    i += 1;
+                }
+                Err(e) => break Err(e),
+            },
+            "--inclusion" => {
+                i += 1;
+                match argv.get(i).and_then(|n| EngineKind::parse(n)) {
+                    Some(engine) => config.inclusion = engine,
+                    None => break Err("--inclusion must be eager or antichain".to_owned()),
+                }
+            }
+            "--max-product-states" => match count_arg(argv, i + 1, "--max-product-states") {
+                Ok(n) => {
+                    config.max_product_states = Some(n);
+                    i += 1;
+                }
+                Err(e) => break Err(e),
+            },
+            "--max-live-states" => match count_arg(argv, i + 1, "--max-live-states") {
+                Ok(n) => {
+                    config.max_live_states = Some(n);
+                    i += 1;
+                }
+                Err(e) => break Err(e),
+            },
+            "--deadline-ms" => match count_arg(argv, i + 1, "--deadline-ms") {
+                Ok(n) => {
+                    config.deadline_ms = Some(n);
+                    i += 1;
+                }
+                Err(e) => break Err(e),
+            },
+            "--no-interning" => config.interning = false,
+            "--metrics-out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(path) => metrics_out = Some(path.clone()),
+                    None => break Err("--metrics-out needs a file".to_owned()),
+                }
+            }
+            "--metrics-format" => {
+                i += 1;
+                match argv.get(i).map(String::as_str) {
+                    Some("json") => metrics_format = MetricsFormat::Json,
+                    Some("prom") => metrics_format = MetricsFormat::Prom,
+                    _ => break Err("--metrics-format must be json or prom".to_owned()),
+                }
+            }
+            "--ledger-out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(path) => ledger_out = Some(path.clone()),
+                    None => break Err("--ledger-out needs a file".to_owned()),
+                }
+            }
+            "-h" | "--help" => break Err(USAGE.to_owned()),
+            other => break Err(format!("unknown serve option `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    };
+    if let Err(msg) = parsed {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
+    }
+    config.collect_ledger = ledger_out.is_some();
+    let metrics = if metrics_out.is_some() {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
+    let service = Arc::new(SolverService::new(config, metrics.clone()));
+    let shutdown = install_sigterm_flag();
+    match &listen {
+        Some(addr) => {
+            let listener = match std::net::TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("dprle: cannot listen on {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            // The bound address goes to stdout (the response channel is
+            // the socket, so stdout is free) — callers binding port 0
+            // read the real port from here.
+            match listener.local_addr() {
+                Ok(bound) => println!("listening {bound}"),
+                Err(_) => println!("listening {addr}"),
+            }
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            if let Err(e) = serve_tcp(&service, listener, shutdown) {
+                eprintln!("dprle: serve: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => serve_stdio(&service, shutdown),
+    }
+    // Flush the shutdown artifacts. Reuse the one-shot writers via a
+    // minimal Args so the formats stay identical.
+    if let Some(path) = &metrics_out {
+        let flush = Args {
+            metrics_out: Some(path.clone()),
+            metrics_format,
+            ..empty_args()
+        };
+        if let Err(msg) = write_metrics(&flush, &metrics) {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &ledger_out {
+        if let Err(e) = std::fs::write(path, service.ledger_jsonl()) {
+            eprintln!("dprle: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    eprintln!(
+        "dprle: serve: handled {} request(s), shutting down",
+        service.requests_handled()
+    );
+    ExitCode::SUCCESS
+}
+
+/// A default `Args` for code paths (serve shutdown flush) that reuse the
+/// one-shot helpers without a real command line.
+fn empty_args() -> Args {
+    Args {
+        file: String::new(),
+        first: false,
+        witness: false,
+        dot_graph: false,
+        dot_var: None,
+        verify: true,
+        trace: false,
+        trace_summary: false,
+        trace_out: None,
+        trace_dot: None,
+        core: false,
+        stats: false,
+        interning: true,
+        jobs: 1,
+        metrics_out: None,
+        metrics_format: MetricsFormat::Json,
+        ledger_out: None,
+        max_product_states: None,
+        max_live_states: None,
+        deadline_ms: None,
+        inclusion: EngineKind::default(),
+        store_max_bytes: None,
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("trace-report") {
@@ -516,6 +754,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("profile") {
         return profile::profile_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        return serve_main(&argv[1..]);
     }
     let args = match parse_args(&argv) {
         Ok(a) => a,
@@ -568,8 +809,14 @@ fn main() -> ExitCode {
         ledger,
         ..Default::default()
     };
+    // Both input formats solve against this store; the optional LRU byte
+    // cap applies to either.
+    let store = dprle_automata::LangStore::interning(options.interning);
+    store.set_max_bytes(args.store_max_bytes);
     if args.file.ends_with(".smt2") {
-        let run = match dprle_cli::smtlib::run_script_with_stats(&input, &options, &setup.tracer) {
+        let store = Arc::new(store);
+        let run = match dprle_cli::smtlib::run_script_shared(&input, &options, &setup.tracer, store)
+        {
             Ok(run) => run,
             Err(e) => {
                 eprintln!("dprle: {}: {e}", args.file);
@@ -626,7 +873,6 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let store = dprle_automata::LangStore::interning(options.interning);
     let (solution, stats) = match try_solve_traced(&system, &options, &store, &setup.tracer) {
         Ok(run) => run,
         Err(exhausted) => {

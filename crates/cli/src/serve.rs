@@ -1,0 +1,975 @@
+//! The `dprle serve` front end: many concurrent solver sessions in one
+//! process, sharing a single (optionally byte-capped) [`LangStore`].
+//!
+//! Requests and responses are JSONL — one JSON object per line — carried
+//! either over stdin/stdout (the default) or over a TCP socket
+//! (`--listen ADDR`). Each request names a program in the native
+//! constraint format or an SMT-LIB strings script, plus optional
+//! per-request overrides for `jobs`, the inclusion engine, and the
+//! resource budget. Every request produces exactly one typed response
+//! (`sat` / `unsat` / `resource-exhausted` / `parse-error`) — malformed
+//! input, budget breaches, and even solver panics are mapped to schema-
+//! compliant JSON rather than crashing the process. The wire schema is
+//! pinned in `docs/serve.schema.json` and documented in DESIGN.md §10.
+//!
+//! ## Request fields
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | `id` | string, required | echoed verbatim in the response |
+//! | `input` | string, required | the program text |
+//! | `language` | `"dprle"` \| `"smtlib"` | input syntax (default `dprle`) |
+//! | `jobs` | integer ≥ 1 | worklist worker threads for this request |
+//! | `inclusion` | `"eager"` \| `"antichain"` | inclusion engine override |
+//! | `max_product_states` | integer ≥ 1 | budget override |
+//! | `max_live_states` | integer ≥ 1 | budget override |
+//! | `deadline_ms` | integer ≥ 1 | budget override |
+//! | `witness` | bool | include one shortest witness per variable |
+//! | `trace` | bool | include human-readable trace events |
+//! | `ledger` | bool | embed this request's cost-ledger records |
+//!
+//! Unknown fields are rejected (fail-closed), mirroring the repo's other
+//! schemas.
+//!
+//! ## Sharing and determinism
+//!
+//! All sessions solve against one shared store, so concurrent requests
+//! reuse each other's fingerprints and memoized operations. Solutions are
+//! store-sharing-invariant (PR 1's contract: memoization changes costs,
+//! never answers), so a request's `solutions`/`witnesses`/`outputs` are
+//! byte-identical whether it runs alone or next to neighbors. Per-request
+//! `stats` are *not* isolated: counters derived from store before/after
+//! diffs can include a concurrent neighbor's work, and hit rates depend
+//! on arrival order. Treat response stats as indicative under load and
+//! authoritative only for serial use.
+//!
+//! ## Shutdown
+//!
+//! Stdio mode drains on stdin EOF; both modes drain on SIGTERM/SIGINT
+//! (requests already read are answered, then the process exits so the
+//! caller can flush metrics and ledger files).
+
+use crate::parse_file;
+use crate::smtlib;
+use dprle_automata::LangStore;
+use dprle_core::{
+    json_string, lookup, try_solve_traced, Budget, CollectLedger, EngineKind, Json, Ledger,
+    Metrics, ResourceExhausted, Solution, SolveOptions, SolveStats, System, Tracer,
+};
+use std::io::{BufRead, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked workers and connection readers wake to poll the
+/// shutdown flag. Bounds shutdown latency, not throughput (a queued
+/// request is picked up immediately).
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Server-level configuration: session count plus the *default* solve
+/// options a request inherits when it does not override them.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Concurrent worker sessions draining the request queue (stdio
+    /// mode); TCP mode instead runs one session per connection.
+    pub sessions: usize,
+    /// LRU byte cap installed on the shared store (`--store-max-bytes`).
+    /// `None` means unbounded — the seed behavior.
+    pub store_max_bytes: Option<u64>,
+    /// Whether the shared store interns/memoizes at all
+    /// (`--no-interning` ablation when false).
+    pub interning: bool,
+    /// Default worklist worker threads per request.
+    pub jobs: usize,
+    /// Default inclusion engine.
+    pub inclusion: EngineKind,
+    /// Default `Budget::max_product_states`.
+    pub max_product_states: Option<u64>,
+    /// Default `Budget::max_live_states`.
+    pub max_live_states: Option<u64>,
+    /// Default wall-clock budget per request, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Collect a server-wide cost ledger across all requests (backs
+    /// `--ledger-out`; per-request embedding is the `ledger` request
+    /// field and works either way).
+    pub collect_ledger: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            sessions: 4,
+            store_max_bytes: None,
+            interning: true,
+            jobs: 1,
+            inclusion: EngineKind::default(),
+            max_product_states: None,
+            max_live_states: None,
+            deadline_ms: None,
+            collect_ledger: false,
+        }
+    }
+}
+
+/// The multi-session solver service: one shared [`LangStore`], one shared
+/// metrics registry, and a stateless-per-request `handle_line` that any
+/// number of threads may call concurrently.
+pub struct SolverService {
+    config: ServeConfig,
+    store: Arc<LangStore>,
+    metrics: Metrics,
+    /// Accumulated cost-ledger JSONL across every request (only when
+    /// `config.collect_ledger`); flushed by the caller at shutdown.
+    ledger_jsonl: Mutex<String>,
+    requests: AtomicU64,
+}
+
+impl SolverService {
+    /// Builds the service: constructs the shared store, installs the
+    /// byte cap and the metrics registry on it.
+    pub fn new(config: ServeConfig, metrics: Metrics) -> SolverService {
+        let store = LangStore::interning(config.interning);
+        store.set_max_bytes(config.store_max_bytes);
+        store.set_metrics(metrics.clone());
+        SolverService {
+            config,
+            store: Arc::new(store),
+            metrics,
+            ledger_jsonl: Mutex::new(String::new()),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shared store (for tests and shutdown-time reporting).
+    pub fn store(&self) -> &Arc<LangStore> {
+        &self.store
+    }
+
+    /// The shared metrics registry handle.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Requests handled so far (including malformed ones).
+    pub fn requests_handled(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The accumulated server-wide cost ledger as JSONL (empty unless
+    /// [`ServeConfig::collect_ledger`] is set).
+    pub fn ledger_jsonl(&self) -> String {
+        self.ledger_jsonl.lock().expect("ledger lock").clone()
+    }
+
+    /// Handles one JSONL request line, returning exactly one JSONL
+    /// response line. Never panics: malformed input becomes a
+    /// `parse-error` response, budget breaches a `resource-exhausted`
+    /// one, and a solver panic is caught and reported as a typed error.
+    /// Safe to call from any number of threads concurrently.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match parse_request(line) {
+            Ok(request) => request,
+            Err((id, message)) => return parse_error_response(id.as_deref(), &message),
+        };
+        let id = request.id.clone();
+        match catch_unwind(AssertUnwindSafe(|| self.solve_request(&request))) {
+            Ok(response) => response,
+            Err(_) => parse_error_response(
+                Some(&id),
+                "internal error: the solver panicked on this request",
+            ),
+        }
+    }
+
+    fn solve_request(&self, request: &Request) -> String {
+        let started = Instant::now();
+        // The per-request sink exists when either the response embeds
+        // the ledger or the server accumulates one; records flow to both.
+        let ledger_sink =
+            (request.ledger || self.config.collect_ledger).then(|| Arc::new(CollectLedger::new()));
+        let options = SolveOptions {
+            interning: self.config.interning,
+            jobs: request.jobs.unwrap_or(self.config.jobs),
+            trace: request.trace,
+            metrics: self.metrics.clone(),
+            budget: Budget {
+                max_product_states: request
+                    .max_product_states
+                    .or(self.config.max_product_states),
+                max_live_states: request.max_live_states.or(self.config.max_live_states),
+                deadline: request
+                    .deadline_ms
+                    .or(self.config.deadline_ms)
+                    .map(Duration::from_millis),
+            },
+            inclusion_engine: request.inclusion.unwrap_or(self.config.inclusion),
+            ledger: ledger_sink
+                .as_ref()
+                .map_or_else(Ledger::disabled, |sink| Ledger::new(sink.clone())),
+            ..SolveOptions::default()
+        };
+        let response = if request.smtlib {
+            self.solve_smtlib(request, &options, started)
+        } else {
+            self.solve_dprle(request, &options, started)
+        };
+        if let Some(sink) = &ledger_sink {
+            if self.config.collect_ledger {
+                self.ledger_jsonl
+                    .lock()
+                    .expect("ledger lock")
+                    .push_str(&sink.to_jsonl());
+            }
+        }
+        match (&ledger_sink, request.ledger) {
+            (Some(sink), true) => embed_ledger(&response, sink),
+            _ => response,
+        }
+    }
+
+    fn solve_dprle(&self, request: &Request, options: &SolveOptions, started: Instant) -> String {
+        let system = match parse_file(&request.input) {
+            Ok(parsed) => parsed.system,
+            Err(e) => return parse_error_response(Some(&request.id), &e.to_string()),
+        };
+        match try_solve_traced(&system, options, &self.store, &Tracer::disabled()) {
+            Ok((Solution::Assignments(assignments), stats)) => {
+                let mut out = ResponseBuilder::new("sat", &request.id);
+                out.num("assignments", assignments.len() as u64);
+                out.raw(
+                    "solutions",
+                    &solutions_json(&system, &assignments, Rendering::Language),
+                );
+                if request.witness {
+                    out.raw(
+                        "witnesses",
+                        &solutions_json(&system, &assignments, Rendering::Witness),
+                    );
+                }
+                out.finish(&stats, started, request.trace)
+            }
+            Ok((Solution::Unsat, stats)) => {
+                ResponseBuilder::new("unsat", &request.id).finish(&stats, started, request.trace)
+            }
+            Err(exhausted) => exhausted_response(&request.id, &exhausted, started, request.trace),
+        }
+    }
+
+    fn solve_smtlib(&self, request: &Request, options: &SolveOptions, started: Instant) -> String {
+        let run = match smtlib::run_script_shared(
+            &request.input,
+            options,
+            &Tracer::disabled(),
+            self.store.clone(),
+        ) {
+            Ok(run) => run,
+            Err(e) => {
+                if let Some(exhausted) = e.exhausted {
+                    return exhausted_response(&request.id, &exhausted, started, request.trace);
+                }
+                return parse_error_response(Some(&request.id), &e.to_string());
+            }
+        };
+        // The script's verdict is its last (check-sat); a script with no
+        // check-sat trivially holds (it constrained nothing), so it
+        // reports sat with zero outputs.
+        let sat = run
+            .outputs
+            .iter()
+            .rev()
+            .find_map(|o| match o {
+                smtlib::SmtOutput::CheckSat(sat) => Some(*sat),
+                smtlib::SmtOutput::Model(_) => None,
+            })
+            .unwrap_or(true);
+        let mut out = ResponseBuilder::new(if sat { "sat" } else { "unsat" }, &request.id);
+        let outputs: Vec<String> = run
+            .outputs
+            .iter()
+            .map(|o| json_string(&o.to_string()))
+            .collect();
+        out.raw("outputs", &format!("[{}]", outputs.join(",")));
+        out.finish(&run.stats, started, request.trace)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------
+
+struct Request {
+    id: String,
+    input: String,
+    smtlib: bool,
+    jobs: Option<usize>,
+    inclusion: Option<EngineKind>,
+    max_product_states: Option<u64>,
+    max_live_states: Option<u64>,
+    deadline_ms: Option<u64>,
+    witness: bool,
+    trace: bool,
+    ledger: bool,
+}
+
+/// Parses and validates one request line, fail-closed: unknown fields and
+/// type mismatches are errors. The error carries the request id when one
+/// was recoverable, so even rejections stay correlated.
+fn parse_request(line: &str) -> Result<Request, (Option<String>, String)> {
+    let json = Json::parse(line).map_err(|e| (None, format!("request is not valid JSON: {e}")))?;
+    let obj = json
+        .as_object()
+        .ok_or_else(|| (None, "request must be a JSON object".to_owned()))?;
+    // Recovered first so every later rejection can echo it.
+    let id = lookup(obj, "id").and_then(Json::as_str).map(str::to_owned);
+    let fail = |message: String| (id.clone(), message);
+    let mut input = None;
+    let mut smtlib = false;
+    let mut jobs = None;
+    let mut inclusion = None;
+    let mut max_product_states = None;
+    let mut max_live_states = None;
+    let mut deadline_ms = None;
+    let mut witness = false;
+    let mut trace = false;
+    let mut ledger = false;
+    let positive = |value: &Json, key: &str| {
+        value
+            .as_u64()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("field `{key}` must be an integer >= 1"))
+    };
+    let boolean = |value: &Json, key: &str| {
+        value
+            .as_bool()
+            .ok_or_else(|| format!("field `{key}` must be a boolean"))
+    };
+    for (key, value) in obj {
+        match key.as_str() {
+            "id" => {
+                if value.as_str().is_none() {
+                    return Err(fail("field `id` must be a string".to_owned()));
+                }
+            }
+            "input" => match value.as_str() {
+                Some(s) => input = Some(s.to_owned()),
+                None => return Err(fail("field `input` must be a string".to_owned())),
+            },
+            "language" => match value.as_str() {
+                Some("dprle") => smtlib = false,
+                Some("smtlib") => smtlib = true,
+                _ => {
+                    return Err(fail(
+                        "field `language` must be \"dprle\" or \"smtlib\"".to_owned(),
+                    ))
+                }
+            },
+            "jobs" => jobs = Some(positive(value, key).map_err(&fail)? as usize),
+            "inclusion" => match value.as_str().and_then(EngineKind::parse) {
+                Some(engine) => inclusion = Some(engine),
+                None => {
+                    return Err(fail(
+                        "field `inclusion` must be \"eager\" or \"antichain\"".to_owned(),
+                    ))
+                }
+            },
+            "max_product_states" => max_product_states = Some(positive(value, key).map_err(&fail)?),
+            "max_live_states" => max_live_states = Some(positive(value, key).map_err(&fail)?),
+            "deadline_ms" => deadline_ms = Some(positive(value, key).map_err(&fail)?),
+            "witness" => witness = boolean(value, key).map_err(&fail)?,
+            "trace" => trace = boolean(value, key).map_err(&fail)?,
+            "ledger" => ledger = boolean(value, key).map_err(&fail)?,
+            other => return Err(fail(format!("unknown field `{other}`"))),
+        }
+    }
+    let Some(id) = id else {
+        return Err((None, "field `id` (string) is required".to_owned()));
+    };
+    let Some(input) = input else {
+        return Err((Some(id), "field `input` (string) is required".to_owned()));
+    };
+    Ok(Request {
+        id,
+        input,
+        smtlib,
+        jobs,
+        inclusion,
+        max_product_states,
+        max_live_states,
+        deadline_ms,
+        witness,
+        trace,
+        ledger,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Response building
+// ---------------------------------------------------------------------
+
+/// Incremental JSON-object writer for responses. Field order is pinned
+/// (kind, id, payload…, stats, trace) so responses are byte-stable for a
+/// given outcome — the concurrency tests compare them directly.
+struct ResponseBuilder {
+    out: String,
+}
+
+impl ResponseBuilder {
+    fn new(kind: &str, id: &str) -> ResponseBuilder {
+        let mut out = String::from("{\"kind\":");
+        out.push_str(&json_string(kind));
+        out.push_str(",\"id\":");
+        out.push_str(&json_string(id));
+        ResponseBuilder { out }
+    }
+
+    fn num(&mut self, key: &str, value: u64) {
+        self.raw(key, &value.to_string());
+    }
+
+    fn str(&mut self, key: &str, value: &str) {
+        let quoted = json_string(value);
+        self.raw(key, &quoted);
+    }
+
+    fn raw(&mut self, key: &str, rendered: &str) {
+        self.out.push(',');
+        self.out.push_str(&json_string(key));
+        self.out.push(':');
+        self.out.push_str(rendered);
+    }
+
+    fn finish(mut self, stats: &SolveStats, started: Instant, trace: bool) -> String {
+        self.raw("stats", &stats_json(stats, started));
+        if trace {
+            let events: Vec<String> = stats.events.iter().map(|e| json_string(e)).collect();
+            self.raw("trace", &format!("[{}]", events.join(",")));
+        }
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Renders the per-request stats object: every [`SolveStats`] counter in
+/// `counter_fields` order plus the request's wall time.
+fn stats_json(stats: &SolveStats, started: Instant) -> String {
+    let mut out = String::from("{");
+    for (name, value) in stats.counter_fields() {
+        out.push_str(&json_string(name));
+        out.push(':');
+        out.push_str(&value.to_string());
+        out.push(',');
+    }
+    let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    out.push_str(&format!("\"wall-us\":{wall_us}}}"));
+    out
+}
+
+/// How [`solutions_json`] renders each variable's solved machine.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Rendering {
+    /// The deterministic language description (`display_language`).
+    Language,
+    /// One shortest witness string (lossy UTF-8), or `null` for the
+    /// empty language.
+    Witness,
+}
+
+/// Renders the assignments as a JSON array of arrays of
+/// `{"var": name, "language"|"witness": …}` objects, in variable order —
+/// deterministic, so solo and concurrent runs compare byte-for-byte.
+fn solutions_json(
+    system: &System,
+    assignments: &[dprle_core::Assignment],
+    rendering: Rendering,
+) -> String {
+    let mut out = String::from("[");
+    for (i, assignment) in assignments.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        let mut first = true;
+        for v in system.var_ids() {
+            let Some(machine) = assignment.get(v) else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"var\":");
+            out.push_str(&json_string(system.var_name(v)));
+            match rendering {
+                Rendering::Language => {
+                    out.push_str(",\"language\":");
+                    out.push_str(&json_string(&dprle_regex::display_language(machine, 400)));
+                }
+                Rendering::Witness => {
+                    out.push_str(",\"witness\":");
+                    match assignment.witness(v) {
+                        Some(w) => {
+                            out.push_str(&json_string(&String::from_utf8_lossy(&w)));
+                        }
+                        None => out.push_str("null"),
+                    }
+                }
+            }
+            out.push('}');
+        }
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+fn exhausted_response(
+    id: &str,
+    exhausted: &ResourceExhausted,
+    started: Instant,
+    trace: bool,
+) -> String {
+    let mut out = ResponseBuilder::new("resource-exhausted", id);
+    out.str("budget", exhausted.kind.name());
+    out.num("limit", exhausted.limit);
+    out.num("observed", exhausted.observed);
+    out.finish(&exhausted.stats, started, trace)
+}
+
+fn parse_error_response(id: Option<&str>, message: &str) -> String {
+    let mut out = String::from("{\"kind\":\"parse-error\",\"id\":");
+    match id {
+        Some(id) => out.push_str(&json_string(id)),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"error\":");
+    out.push_str(&json_string(message));
+    out.push('}');
+    out
+}
+
+/// Splices this request's cost-ledger records into an already-rendered
+/// response as a `"ledger": [...]` field (each record line is itself a
+/// valid JSON object, so they embed raw). Appending to the rendered
+/// object keeps the happy path allocation-free when no embed was asked.
+fn embed_ledger(response: &str, sink: &CollectLedger) -> String {
+    let jsonl = sink.to_jsonl();
+    let records: Vec<&str> = jsonl.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = response
+        .strip_suffix('}')
+        .expect("responses are JSON objects")
+        .to_owned();
+    out.push_str(",\"ledger\":[");
+    out.push_str(&records.join(","));
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------
+
+/// Serves JSONL over stdin/stdout with [`ServeConfig::sessions`] worker
+/// threads draining one shared queue. Returns after stdin EOF (all read
+/// requests answered) or after `shutdown` was raised and the queue
+/// drained; either way every response was flushed before returning.
+pub fn serve_stdio(service: &Arc<SolverService>, shutdown: &'static AtomicBool) {
+    let (tx, rx) = mpsc::channel::<String>();
+    let rx = Arc::new(Mutex::new(rx));
+    // The reader owns `tx`: dropping it on EOF is the drain signal the
+    // workers see as `Disconnected` once the queue empties.
+    let reader = std::thread::spawn(move || {
+        for line in std::io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let workers: Vec<_> = (0..service.config().sessions.max(1))
+        .map(|_| {
+            let service = Arc::clone(service);
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || loop {
+                let job = rx.lock().expect("queue lock").recv_timeout(POLL_INTERVAL);
+                match job {
+                    Ok(line) => {
+                        let response = service.handle_line(&line);
+                        let stdout = std::io::stdout();
+                        let mut out = stdout.lock();
+                        let _ = writeln!(out, "{response}");
+                        let _ = out.flush();
+                    }
+                    // recv_timeout prefers queued jobs over the timeout,
+                    // so a raised flag still drains everything already
+                    // read before the worker exits.
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    // After SIGTERM the reader may still be parked in a blocked stdin
+    // read that no flag can interrupt; it dies with the process, so it is
+    // only joined on the EOF path where it is known to have finished.
+    if !shutdown.load(Ordering::SeqCst) {
+        let _ = reader.join();
+    }
+}
+
+/// Serves JSONL over a TCP socket: one session thread per connection,
+/// each answering its own requests in order on its own stream. Accepts
+/// until `shutdown` is raised, then waits for live connections to finish
+/// their in-flight requests and close.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the listener cannot be switched
+/// to non-blocking mode (required to poll the shutdown flag).
+pub fn serve_tcp(
+    service: &Arc<SolverService>,
+    listener: TcpListener,
+    shutdown: &'static AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let live = Arc::new(AtomicUsize::new(0));
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let service = Arc::clone(service);
+                let live = Arc::clone(&live);
+                live.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(&service, stream, shutdown);
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL / 2);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    while live.load(Ordering::SeqCst) > 0 {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Ok(())
+}
+
+/// One TCP session: reads newline-delimited requests, writes one
+/// response line per request on the same stream. Uses a short read
+/// timeout so a raised shutdown flag closes idle connections promptly;
+/// a connection mid-request finishes it first (drain semantics).
+fn serve_connection(
+    service: &SolverService,
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                pending.extend_from_slice(&buf[..n]);
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let raw: Vec<u8> = pending.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&raw[..pos]);
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let response = service.handle_line(line);
+                    stream.write_all(response.as_bytes())?;
+                    stream.write_all(b"\n")?;
+                    stream.flush()?;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle (no partial request buffered) + shutdown = close.
+                if shutdown.load(Ordering::SeqCst) && pending.is_empty() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Signals
+// ---------------------------------------------------------------------
+
+/// The process-wide graceful-shutdown flag, raised by SIGTERM/SIGINT.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM/SIGINT handlers that raise a process-wide shutdown
+/// flag, and returns the flag for the serve loops to poll. Idempotent.
+/// Storing to an atomic is async-signal-safe; everything else (draining,
+/// flushing) happens on the normal threads that observe the flag.
+#[cfg(unix)]
+pub fn install_sigterm_flag() -> &'static AtomicBool {
+    extern "C" fn raise_shutdown(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal` with a handler that only stores to a static
+    // atomic; both arguments are valid for the platform's prototype.
+    unsafe {
+        signal(SIGTERM, raise_shutdown);
+        signal(SIGINT, raise_shutdown);
+    }
+    &SHUTDOWN
+}
+
+/// Non-Unix fallback: no handlers to install; the flag only ever rises
+/// if some other in-process caller sets it.
+#[cfg(not(unix))]
+pub fn install_sigterm_flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAT_PROGRAM: &str =
+        "var v1; c1 := match(/[\\d]+$/); c2 := \"nid_\"; c3 := match(/'/); v1 <= c1; c2 . v1 <= c3;";
+    const UNSAT_PROGRAM: &str = "var v; a := \"x\"; b := \"y\"; v <= a; v <= b;";
+
+    fn service() -> Arc<SolverService> {
+        Arc::new(SolverService::new(
+            ServeConfig::default(),
+            Metrics::disabled(),
+        ))
+    }
+
+    fn request(fields: &str) -> String {
+        format!("{{{fields}}}")
+    }
+
+    fn field<'a>(response: &'a Json, key: &str) -> &'a Json {
+        lookup(response.as_object().expect("object"), key).expect(key)
+    }
+
+    #[test]
+    fn sat_request_produces_a_typed_sat_response() {
+        let line = request(&format!(
+            "\"id\":\"q1\",\"input\":{},\"witness\":true",
+            json_string(SAT_PROGRAM)
+        ));
+        let response = service().handle_line(&line);
+        let json = Json::parse(&response).expect("response is valid JSON");
+        assert_eq!(field(&json, "kind").as_str(), Some("sat"));
+        assert_eq!(field(&json, "id").as_str(), Some("q1"));
+        assert!(field(&json, "assignments").as_u64().unwrap() >= 1);
+        let witnesses = field(&json, "witnesses").as_array().expect("witnesses");
+        let first = witnesses[0].as_array().expect("assignment")[0]
+            .as_object()
+            .expect("binding");
+        let witness = lookup(first, "witness")
+            .and_then(Json::as_str)
+            .expect("witness");
+        assert!(
+            witness.contains('\''),
+            "exploit contains a quote: {witness}"
+        );
+        // Stats are present with the pinned wall-time field.
+        let stats = field(&json, "stats").as_object().expect("stats");
+        assert!(lookup(stats, "wall-us").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn unsat_request_produces_a_typed_unsat_response() {
+        let line = request(&format!(
+            "\"id\":\"q2\",\"input\":{}",
+            json_string(UNSAT_PROGRAM)
+        ));
+        let json = Json::parse(&service().handle_line(&line)).expect("valid JSON");
+        assert_eq!(field(&json, "kind").as_str(), Some("unsat"));
+    }
+
+    #[test]
+    fn smtlib_requests_run_scripts_and_report_outputs() {
+        let script = r#"
+            (declare-fun x () String)
+            (assert (str.in_re x (re.+ (str.to_re "ab"))))
+            (check-sat)
+        "#;
+        let line = request(&format!(
+            "\"id\":\"s1\",\"language\":\"smtlib\",\"input\":{}",
+            json_string(script)
+        ));
+        let json = Json::parse(&service().handle_line(&line)).expect("valid JSON");
+        assert_eq!(field(&json, "kind").as_str(), Some("sat"));
+        let outputs = field(&json, "outputs").as_array().expect("outputs");
+        assert_eq!(outputs[0].as_str(), Some("sat"));
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error_with_null_id() {
+        let json = Json::parse(&service().handle_line("{nope")).expect("valid JSON");
+        assert_eq!(field(&json, "kind").as_str(), Some("parse-error"));
+        assert!(matches!(field(&json, "id"), Json::Null));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_but_keep_the_id() {
+        let line = request("\"id\":\"q3\",\"input\":\"var v;\",\"bogus\":1");
+        let json = Json::parse(&service().handle_line(&line)).expect("valid JSON");
+        assert_eq!(field(&json, "kind").as_str(), Some("parse-error"));
+        assert_eq!(field(&json, "id").as_str(), Some("q3"));
+        assert!(field(&json, "error").as_str().unwrap().contains("bogus"));
+    }
+
+    #[test]
+    fn bad_programs_are_parse_errors_not_crashes() {
+        let line = request("\"id\":\"q4\",\"input\":\"nope nope;\"");
+        let json = Json::parse(&service().handle_line(&line)).expect("valid JSON");
+        assert_eq!(field(&json, "kind").as_str(), Some("parse-error"));
+        assert!(field(&json, "error").as_str().unwrap().contains("line 1"));
+    }
+
+    #[test]
+    fn blown_budgets_are_resource_exhausted_responses() {
+        let line = request(&format!(
+            "\"id\":\"q5\",\"input\":{},\"max_product_states\":1",
+            json_string(SAT_PROGRAM)
+        ));
+        let json = Json::parse(&service().handle_line(&line)).expect("valid JSON");
+        assert_eq!(field(&json, "kind").as_str(), Some("resource-exhausted"));
+        assert_eq!(field(&json, "budget").as_str(), Some("product-states"));
+        assert_eq!(field(&json, "limit").as_u64(), Some(1));
+    }
+
+    #[test]
+    fn ledger_embedding_returns_valid_json_records() {
+        let line = request(&format!(
+            "\"id\":\"q6\",\"input\":{},\"ledger\":true",
+            json_string(SAT_PROGRAM)
+        ));
+        let json = Json::parse(&service().handle_line(&line)).expect("valid JSON");
+        let records = field(&json, "ledger").as_array().expect("ledger array");
+        assert!(!records.is_empty(), "solve emits ledger records");
+        assert!(records.iter().all(|r| r.as_object().is_some()));
+    }
+
+    #[test]
+    fn server_wide_ledger_accumulates_across_requests() {
+        let service = Arc::new(SolverService::new(
+            ServeConfig {
+                collect_ledger: true,
+                ..ServeConfig::default()
+            },
+            Metrics::disabled(),
+        ));
+        for i in 0..2 {
+            let line = request(&format!(
+                "\"id\":\"q{i}\",\"input\":{}",
+                json_string(SAT_PROGRAM)
+            ));
+            service.handle_line(&line);
+        }
+        let jsonl = service.ledger_jsonl();
+        assert!(
+            dprle_core::validate_ledger_jsonl(dprle_core::LEDGER_SCHEMA, &jsonl)
+                .expect("ledger validates")
+                > 0,
+            "accumulated ledger has records"
+        );
+    }
+
+    #[test]
+    fn per_request_overrides_change_outcomes_not_the_service() {
+        let service = service();
+        let capped = request(&format!(
+            "\"id\":\"a\",\"input\":{},\"max_product_states\":1",
+            json_string(SAT_PROGRAM)
+        ));
+        let free = request(&format!(
+            "\"id\":\"b\",\"input\":{}",
+            json_string(SAT_PROGRAM)
+        ));
+        let capped_json = Json::parse(&service.handle_line(&capped)).expect("valid");
+        let free_json = Json::parse(&service.handle_line(&free)).expect("valid");
+        assert_eq!(
+            field(&capped_json, "kind").as_str(),
+            Some("resource-exhausted")
+        );
+        assert_eq!(field(&free_json, "kind").as_str(), Some("sat"));
+    }
+
+    #[test]
+    fn trace_requests_embed_events() {
+        let line = request(&format!(
+            "\"id\":\"t\",\"input\":{},\"trace\":true",
+            json_string(SAT_PROGRAM)
+        ));
+        let json = Json::parse(&service().handle_line(&line)).expect("valid JSON");
+        let events = field(&json, "trace").as_array().expect("trace array");
+        assert!(!events.is_empty(), "tracing produces events");
+    }
+
+    #[test]
+    fn tcp_round_trip_with_graceful_shutdown() {
+        let service = service();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // A test-local flag standing in for the process-wide one.
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let server = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || serve_tcp(&service, listener, flag))
+        };
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let line = request(&format!(
+            "\"id\":\"net\",\"input\":{}",
+            json_string(SAT_PROGRAM)
+        ));
+        stream.write_all(line.as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send newline");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response line");
+        let json = Json::parse(&response).expect("valid JSON");
+        assert_eq!(field(&json, "kind").as_str(), Some("sat"));
+        assert_eq!(field(&json, "id").as_str(), Some("net"));
+        flag.store(true, Ordering::SeqCst);
+        drop(reader);
+        drop(stream);
+        server
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+    }
+}

@@ -31,6 +31,7 @@ use dprle_core::{
     try_solve_traced, Expr, ResourceExhausted, Solution, SolveOptions, SolveStats, System, Tracer,
 };
 use std::fmt;
+use std::sync::Arc;
 
 /// A positioned SMT-LIB front-end error.
 #[derive(Clone, Debug)]
@@ -118,13 +119,36 @@ pub fn run_script_with_stats(
     options: &SolveOptions,
     tracer: &Tracer,
 ) -> Result<ScriptRun, SmtError> {
+    run_script_shared(
+        input,
+        options,
+        tracer,
+        Arc::new(LangStore::interning(options.interning)),
+    )
+}
+
+/// Like [`run_script_with_stats`], but every `(check-sat)` runs against
+/// the caller-supplied store instead of a script-private one, so
+/// concurrent scripts (the `dprle serve` sessions) reuse each other's
+/// fingerprints and memoized operations. Callers disabling interning
+/// should pass a pass-through store (`LangStore::interning(false)`).
+///
+/// # Errors
+///
+/// Returns the first syntax or translation error with its byte position.
+pub fn run_script_shared(
+    input: &str,
+    options: &SolveOptions,
+    tracer: &Tracer,
+    store: Arc<LangStore>,
+) -> Result<ScriptRun, SmtError> {
     let sexprs = parse_sexprs(input)?;
     let mut engine = Engine {
         system: System::new(),
         outputs: Vec::new(),
         model: None,
         options: options.clone(),
-        store: LangStore::interning(options.interning),
+        store,
         tracer: tracer.clone(),
         stats: SolveStats::default(),
     };
@@ -272,9 +296,10 @@ struct Engine {
     /// Last check-sat model, for get-model.
     model: Option<Option<dprle_core::Assignment>>,
     options: SolveOptions,
-    /// Shared across the script's check-sats: fingerprints and memoized
+    /// Shared across the script's check-sats (and, for served scripts,
+    /// across every session of the process): fingerprints and memoized
     /// operations computed for the common prefix are cache hits later.
-    store: LangStore,
+    store: Arc<LangStore>,
     tracer: Tracer,
     /// Aggregated over every check-sat (see `SolveStats::absorb`).
     stats: SolveStats,

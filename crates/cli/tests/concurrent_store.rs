@@ -1,0 +1,219 @@
+//! Multi-tenant guarantees of the shared [`LangStore`] behind
+//! `dprle serve`:
+//!
+//! 1. Concurrent sessions sharing one store produce **byte-identical**
+//!    solutions to solo runs — memoization and cross-session reuse
+//!    change costs, never answers (PR 1's contract, now under real
+//!    thread interleaving).
+//! 2. An LRU byte cap (`--store-max-bytes`) only changes hit rates and
+//!    eviction counters, never outcomes — even a cap small enough to
+//!    evict on every insert.
+//! 3. Under a cap, a corpus sweep's **peak** memo footprint (the
+//!    `core.store.memo_bytes` gauge's tracked peak, published after
+//!    every eviction settles) stays under the cap — the acceptance
+//!    criterion for the bounded store.
+
+use dprle_cli::serve::{ServeConfig, SolverService};
+use dprle_core::{json_string, MetricValue, Metrics};
+use std::sync::Arc;
+
+/// A deterministic corpus of distinct programs: sat and unsat, single-
+/// and multi-variable, regex- and literal-heavy — enough shape variety
+/// that the shared store sees interning, intersection, inclusion, and
+/// minimization traffic.
+fn corpus() -> Vec<String> {
+    let mut programs = Vec::new();
+    for i in 0..6 {
+        programs.push(format!(
+            "var v1; c1 := match(/[\\d]+$/); c2 := \"nid{i}_\"; c3 := match(/'/); \
+             v1 <= c1; c2 . v1 <= c3;"
+        ));
+        programs.push(format!(
+            "var v; a := \"x{i}\"; b := \"y{i}\"; v <= a; v <= b;"
+        ));
+        programs.push(format!(
+            "var v w; c := /[a-m]*q{i}/; pre := \"ab\"; pre . v . w <= c;"
+        ));
+    }
+    programs
+}
+
+fn service(store_max_bytes: Option<u64>, metrics: Metrics) -> Arc<SolverService> {
+    Arc::new(SolverService::new(
+        ServeConfig {
+            store_max_bytes,
+            ..ServeConfig::default()
+        },
+        metrics,
+    ))
+}
+
+fn request(id: &str, program: &str) -> String {
+    format!(
+        "{{\"id\":{},\"input\":{},\"witness\":true}}",
+        json_string(id),
+        json_string(program)
+    )
+}
+
+/// The deterministic part of a response as raw bytes: everything from
+/// the kind up to (excluding) the stats object — kind, id, assignment
+/// count, solutions, witnesses. Stats legitimately differ between solo
+/// and shared-store runs (that is the point of sharing); these bytes
+/// must not.
+fn answer_bytes(response: &str) -> &str {
+    match response.find(",\"stats\":") {
+        Some(end) => &response[..end],
+        None => response, // parse-error responses carry no stats
+    }
+}
+
+#[test]
+fn concurrent_sessions_are_byte_identical_to_solo_runs() {
+    let programs = corpus();
+    // Solo: each program against its own cold private store.
+    let solo: Vec<String> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| service(None, Metrics::disabled()).handle_line(&request(&format!("q{i}"), p)))
+        .collect();
+
+    // Shared: every program, twice (the second round hits the warm
+    // memo), from 6 threads against one service.
+    let shared = service(None, Metrics::disabled());
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let shared = Arc::clone(&shared);
+            let programs = programs.clone();
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for round in 0..2 {
+                    for (i, p) in programs.iter().enumerate() {
+                        // Same thread-count stride the serve queue would
+                        // produce: each thread owns a slice, all slices
+                        // cover everything across threads.
+                        if (i + round) % 3 == t % 3 {
+                            out.push((i, shared.handle_line(&request(&format!("q{i}"), p))));
+                        }
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+    let mut answered = vec![0usize; programs.len()];
+    for handle in handles {
+        for (i, response) in handle.join().expect("session thread") {
+            assert_eq!(
+                answer_bytes(&response),
+                answer_bytes(&solo[i]),
+                "program {i} diverged under concurrent sharing"
+            );
+            answered[i] += 1;
+        }
+    }
+    assert!(
+        answered.iter().all(|n| *n >= 2),
+        "every program was answered at least twice (warm and cold): {answered:?}"
+    );
+}
+
+#[test]
+fn tiny_cap_eviction_changes_hit_rates_never_outcomes() {
+    let programs = corpus();
+    let unbounded = service(None, Metrics::disabled());
+    // A cap of 1 byte can never retain a memo entry: every insert is
+    // immediately evicted, the harshest possible cache pressure.
+    let capped = service(Some(1), Metrics::disabled());
+    for (i, p) in programs.iter().enumerate() {
+        let line = request(&format!("q{i}"), p);
+        let free = unbounded.handle_line(&line);
+        let tight = capped.handle_line(&line);
+        assert_eq!(
+            answer_bytes(&free),
+            answer_bytes(&tight),
+            "program {i} diverged under eviction"
+        );
+    }
+    let stats = capped.store().stats();
+    assert!(stats.evictions > 0, "a 1-byte cap must evict: {stats:?}");
+    assert!(
+        stats.memo_bytes <= 1,
+        "retained bytes over cap: {}",
+        stats.memo_bytes
+    );
+    // The unbounded twin saw the same traffic but kept everything.
+    assert_eq!(unbounded.store().stats().evictions, 0);
+}
+
+#[test]
+fn corpus_sweep_peak_memo_bytes_stays_under_the_cap() {
+    let programs = corpus();
+    const CAP: u64 = 4 * 1024;
+
+    // Unbounded reference sweep for the answers (and to prove the cap
+    // actually binds on this corpus: the free footprint exceeds it).
+    let unbounded = service(None, Metrics::disabled());
+    let reference: Vec<String> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| unbounded.handle_line(&request(&format!("q{i}"), p)))
+        .collect();
+    assert!(
+        unbounded.store().stats().memo_bytes > CAP,
+        "corpus too small to exercise the cap: unbounded footprint {} <= {CAP}",
+        unbounded.store().stats().memo_bytes
+    );
+
+    // Capped sweep, concurrent, with the metrics registry watching the
+    // continuously-published memo-bytes gauge.
+    let metrics = Metrics::enabled();
+    let capped = service(Some(CAP), metrics.clone());
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let capped = Arc::clone(&capped);
+            let programs = programs.clone();
+            std::thread::spawn(move || {
+                programs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 4 == t)
+                    .map(|(i, p)| (i, capped.handle_line(&request(&format!("q{i}"), p))))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for handle in handles {
+        for (i, response) in handle.join().expect("sweep thread") {
+            assert_eq!(
+                answer_bytes(&response),
+                answer_bytes(&reference[i]),
+                "program {i}: capped sweep diverged from unbounded"
+            );
+        }
+    }
+
+    let stats = capped.store().stats();
+    assert!(
+        stats.memo_bytes <= CAP,
+        "retained {} > cap {CAP}",
+        stats.memo_bytes
+    );
+    assert!(stats.evictions > 0, "cap never bound");
+    let snapshot = metrics.snapshot().expect("metrics enabled");
+    let gauge = snapshot
+        .entries
+        .iter()
+        .find(|e| e.name == "core.store.memo_bytes")
+        .expect("memo-bytes gauge present");
+    match gauge.value {
+        MetricValue::Gauge { value, peak } => {
+            assert!(
+                peak <= CAP,
+                "peak memo bytes {peak} exceeded the cap {CAP} mid-sweep"
+            );
+            assert!(value <= peak, "gauge value {value} above its peak {peak}");
+        }
+        ref other => panic!("memo-bytes is not a gauge: {other:?}"),
+    }
+}

@@ -80,7 +80,7 @@ pub use metrics::{
     MetricValue, Metrics, MetricsSnapshot, ResourceExhausted, METRICS_SCHEMA,
 };
 pub use parallel::ParallelSolver;
-pub use schema::{schema_kinds, validate_jsonl};
+pub use schema::{json_string, lookup, schema_kinds, validate_jsonl, Json};
 pub use solution::{Assignment, Solution};
 pub use solve::{
     satisfies_system, satisfies_with, solve, solve_first, solve_traced, solve_with_stats,

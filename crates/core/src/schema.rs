@@ -172,23 +172,37 @@ impl Schema {
 // ---------------------------------------------------------------------
 
 /// A parsed JSON value. Only what the JSONL tooling needs: enough to
-/// read back events and the checked-in schema documents.
+/// read back events, requests, and the checked-in schema documents.
+/// Objects preserve field order (a `Vec` of pairs, not a map), which is
+/// what keeps round-tripped output deterministic.
 #[derive(Clone, Debug, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number (integers are `f64`s with zero fraction).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object, as ordered `(key, value)` pairs.
     Obj(Vec<(String, Json)>),
 }
 
-pub(crate) fn lookup<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+/// First value under `key` in an object's field list, if present.
+pub fn lookup<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
     obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
 impl Json {
-    pub(crate) fn parse(src: &str) -> Result<Json, String> {
+    /// Parses one complete JSON document (trailing content is an error).
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte-offset description of the first syntax problem.
+    pub fn parse(src: &str) -> Result<Json, String> {
         let bytes = src.as_bytes();
         let mut pos = 0usize;
         let value = Json::parse_value(bytes, &mut pos)?;
@@ -284,30 +298,42 @@ impl Json {
         }
     }
 
-    pub(crate) fn as_object(&self) -> Option<&[(String, Json)]> {
+    /// The object's field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(fields) => Some(fields),
             _ => None,
         }
     }
 
-    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+    /// The array's items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -397,7 +423,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
 }
 
 /// Escapes `s` as a JSON string literal (including quotes).
-pub(crate) fn json_string(s: &str) -> String {
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -188,11 +188,18 @@ pub struct SolveStats {
     /// but *engine-dependent*: differential engine comparisons must exclude
     /// it.
     pub inclusion_macrostates: u64,
-    /// Growth of the store's memo byte footprint over this run (canonical
-    /// fingerprint keys, interned machines, memo table entries — see
-    /// `StoreStats::memo_bytes`). A before/after diff, so shared-store
-    /// callers get this run's contribution only.
+    /// Growth of the store's memo byte footprint over this run (interned
+    /// machines and memo table entries — see `StoreStats::memo_bytes`). A
+    /// before/after diff, so shared-store callers get this run's
+    /// contribution only; under a store byte cap eviction can shrink the
+    /// footprint mid-run, in which case this saturates at zero rather than
+    /// underflowing.
     pub peak_bytes: u64,
+    /// Memo entries dropped by store LRU eviction during this run (a
+    /// before/after diff). Zero unless a `--store-max-bytes` cap is
+    /// installed; nonzero values mean hit rates — never answers — were
+    /// affected by cache pressure.
+    pub store_evictions: u64,
     /// Human-readable trace events (populated when
     /// [`SolveOptions::trace`] is set).
     pub events: Vec<String>,
@@ -209,7 +216,7 @@ impl SolveStats {
     /// The single source of truth for stats reporting: the CLI's `--stats`
     /// output, the [`Display`](fmt::Display) impl, and the bench JSON all
     /// iterate this instead of hand-copying fields.
-    pub fn counter_fields(&self) -> [(&'static str, u64); 14] {
+    pub fn counter_fields(&self) -> [(&'static str, u64); 15] {
         [
             ("groups", self.groups as u64),
             ("group-disjuncts", self.group_disjuncts as u64),
@@ -225,6 +232,7 @@ impl SolveStats {
             ("product-states", self.product_states),
             ("inclusion-macrostates", self.inclusion_macrostates),
             ("peak-bytes", self.peak_bytes),
+            ("store-evictions", self.store_evictions),
         ]
     }
 
@@ -247,6 +255,7 @@ impl SolveStats {
         self.product_states += other.product_states;
         self.inclusion_macrostates += other.inclusion_macrostates;
         self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+        self.store_evictions += other.store_evictions;
         self.events.extend(other.events.iter().cloned());
     }
 }
@@ -395,6 +404,7 @@ pub fn try_solve_traced(
         stats.states_materialized =
             (after.states_materialized - before.states_materialized) as usize;
         stats.inclusion_macrostates = after.inclusion_macrostates - before.inclusion_macrostates;
+        stats.store_evictions = after.evictions - before.evictions;
     };
     match result {
         Ok((solution, mut stats)) => {
