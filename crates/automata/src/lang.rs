@@ -21,8 +21,10 @@ use crate::metrics::{id, Metrics};
 use crate::minimize::{canonical_key_counted, minimize_counted, CanonicalKey};
 use crate::nfa::Nfa;
 use crate::ops;
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Approximate per-state heap footprint of an [`Nfa`] in bytes, used by the
@@ -438,6 +440,105 @@ impl StoreStats {
     }
 }
 
+/// Request-scoped mirror of the store counters.
+///
+/// A shared [`LangStore`] accumulates work from every concurrent session,
+/// so before/after diffs of [`LangStore::stats`] attribute neighbors' work
+/// to whichever request happened to be diffing. Installing a scope with
+/// [`install_stats_scope`] makes every counter bump on the *installing
+/// thread* also land here, giving the request an accurate private view
+/// without touching the global totals. Atomic so one scope can be shared
+/// across the worker threads of a parallel solve (`--jobs N`): adds
+/// commute, so scoped totals are as deterministic as the global ones.
+///
+/// Byte accounting is recorded as gross flows (`bytes_charged` /
+/// `bytes_evicted`) rather than a net figure because eviction triggered by
+/// this scope's inserts may reclaim entries charged by *other* requests;
+/// [`ScopedStoreStats::net_bytes`] reproduces the store-level
+/// `memo_bytes` delta exactly in a single-request window and stays
+/// request-attributable under concurrency.
+#[derive(Debug, Default)]
+pub struct ScopedStoreStats {
+    /// Fingerprint requests answered from a handle's cache.
+    pub fingerprint_hits: AtomicU64,
+    /// Fingerprint requests that ran determinize+minimize.
+    pub fingerprint_misses: AtomicU64,
+    /// Binary operations answered from the memo tables.
+    pub op_hits: AtomicU64,
+    /// Binary operations computed directly.
+    pub op_misses: AtomicU64,
+    /// States of machines materialized through the store.
+    pub states_materialized: AtomicU64,
+    /// Macrostates explored by inclusion queries in this scope.
+    pub inclusion_macrostates: AtomicU64,
+    /// Memo entries evicted while this scope was active.
+    pub evictions: AtomicU64,
+    /// Bytes charged for memo inserts won by this scope.
+    pub bytes_charged: AtomicU64,
+    /// Bytes reclaimed by evictions while this scope was active.
+    pub bytes_evicted: AtomicU64,
+}
+
+impl ScopedStoreStats {
+    /// Net memo-table growth observed by this scope: bytes charged minus
+    /// bytes evicted, floored at zero. In a single-request window this is
+    /// byte-identical to the `memo_bytes` before/after delta it replaces.
+    pub fn net_bytes(&self) -> u64 {
+        self.bytes_charged
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.bytes_evicted.load(Ordering::Relaxed))
+    }
+}
+
+thread_local! {
+    /// The ambient stats scope of this thread, if any. An `Arc` (not a
+    /// borrow) so parallel solve workers can install their spawner's scope.
+    static STATS_SCOPE: RefCell<Option<Arc<ScopedStoreStats>>> = const { RefCell::new(None) };
+}
+
+/// RAII guard returned by [`install_stats_scope`]; restores the previous
+/// scope (if any) on drop, so scopes nest — an unsat-core re-solve inside a
+/// request keeps charging the request's scope.
+pub struct StatsScopeGuard {
+    prev: Option<Arc<ScopedStoreStats>>,
+    /// Guards are thread-affine (thread-local state), not Send.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for StatsScopeGuard {
+    fn drop(&mut self) {
+        STATS_SCOPE.with(|slot| *slot.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `scope` as this thread's ambient stats scope until the returned
+/// guard drops. Every store counter bump performed *by this thread* while
+/// the guard lives is mirrored into `scope`.
+pub fn install_stats_scope(scope: Arc<ScopedStoreStats>) -> StatsScopeGuard {
+    let prev = STATS_SCOPE.with(|slot| slot.borrow_mut().replace(scope));
+    StatsScopeGuard {
+        prev,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// The calling thread's ambient stats scope, if one is installed. Parallel
+/// drivers capture this before spawning workers and re-install it on each
+/// worker so scoped accounting survives the thread hop.
+pub fn current_stats_scope() -> Option<Arc<ScopedStoreStats>> {
+    STATS_SCOPE.with(|slot| slot.borrow().clone())
+}
+
+/// Runs `bump` against the ambient scope, if any. Free when no scope is
+/// installed (one TLS read); called at every `StoreStats` increment site.
+fn scope_bump(bump: impl FnOnce(&ScopedStoreStats)) {
+    STATS_SCOPE.with(|slot| {
+        if let Some(scope) = slot.borrow().as_deref() {
+            bump(scope);
+        }
+    });
+}
+
 /// The identity of one retained memo entry — the currency of the store's
 /// LRU bookkeeping. Unlike [`MemoIdentity`] (which also names per-handle
 /// fingerprint slots that the store does not retain), every variant here
@@ -510,6 +611,9 @@ impl StoreInner {
     /// over-cap figure.
     fn charge_insert(&mut self, slot: SlotKey, bytes: u64) {
         self.stats.memo_bytes += bytes;
+        scope_bump(|s| {
+            s.bytes_charged.fetch_add(bytes, Ordering::Relaxed);
+        });
         self.tick += 1;
         let tick = self.tick;
         debug_assert!(!self.charges.contains_key(&slot), "double charge");
@@ -546,6 +650,10 @@ impl StoreInner {
             self.stats.memo_bytes = self.stats.memo_bytes.saturating_sub(bytes);
             self.stats.evictions += 1;
             self.stats.evicted_bytes += bytes;
+            scope_bump(|s| {
+                s.evictions.fetch_add(1, Ordering::Relaxed);
+                s.bytes_evicted.fetch_add(bytes, Ordering::Relaxed);
+            });
             self.metrics.add(id::STORE_EVICTIONS, 1);
             self.metrics.add(id::STORE_EVICTED_BYTES, bytes);
         }
@@ -703,6 +811,9 @@ impl LangStore {
             let mut inner = self.inner.lock().expect("store lock");
             if let Some(cost) = cost {
                 inner.stats.fingerprint_misses += 1;
+                scope_bump(|s| {
+                    s.fingerprint_misses.fetch_add(1, Ordering::Relaxed);
+                });
                 inner.note_miss();
                 // Key bytes live on the handle, not in the memo tables, so
                 // they are charged to `automata.fingerprint.bytes` only —
@@ -720,6 +831,9 @@ impl LangStore {
                     .observe(id::DETERMINIZE_OUT, cost.determinize.dfa_states as u64);
             } else {
                 inner.stats.fingerprint_hits += 1;
+                scope_bump(|s| {
+                    s.fingerprint_hits.fetch_add(1, Ordering::Relaxed);
+                });
                 inner.metrics.add(id::STORE_MEMO_HITS, 1);
             }
         }
@@ -762,8 +876,15 @@ impl LangStore {
             {
                 let mut inner = self.inner.lock().expect("store lock");
                 inner.stats.op_misses += 1;
+                scope_bump(|s| {
+                    s.op_misses.fetch_add(1, Ordering::Relaxed);
+                });
                 inner.note_miss();
                 inner.stats.states_materialized += result.num_states() as u64;
+                scope_bump(|s| {
+                    s.states_materialized
+                        .fetch_add(result.num_states() as u64, Ordering::Relaxed);
+                });
                 record_intersect_cost(&inner.metrics, &cost, &result);
             }
             self.notify(StoreOp::Intersect, None, false);
@@ -789,12 +910,22 @@ impl LangStore {
             // than the scheduling-dependent set of racers.
             if let Some(existing) = inner.intersect_memo.get(&key).cloned() {
                 inner.stats.op_hits += 1;
+                scope_bump(|s| {
+                    s.op_hits.fetch_add(1, Ordering::Relaxed);
+                });
                 inner.note_hit(SlotKey::Intersect(key.0.clone(), key.1.clone()));
                 (existing, true)
             } else {
                 inner.stats.op_misses += 1;
+                scope_bump(|s| {
+                    s.op_misses.fetch_add(1, Ordering::Relaxed);
+                });
                 inner.note_miss();
                 inner.stats.states_materialized += result.num_states() as u64;
+                scope_bump(|s| {
+                    s.states_materialized
+                        .fetch_add(result.num_states() as u64, Ordering::Relaxed);
+                });
                 record_intersect_cost(&inner.metrics, &cost, &result);
                 inner.intersect_memo.insert(key.clone(), result.clone());
                 inner.charge_insert(
@@ -813,6 +944,9 @@ impl LangStore {
         let hit = inner.intersect_memo.get(key).cloned();
         if hit.is_some() {
             inner.stats.op_hits += 1;
+            scope_bump(|s| {
+                s.op_hits.fetch_add(1, Ordering::Relaxed);
+            });
             inner.note_hit(SlotKey::Intersect(key.0.clone(), key.1.clone()));
         }
         hit
@@ -887,6 +1021,9 @@ impl LangStore {
             {
                 let mut inner = self.inner.lock().expect("store lock");
                 inner.stats.op_misses += 1;
+                scope_bump(|s| {
+                    s.op_misses.fetch_add(1, Ordering::Relaxed);
+                });
                 inner.note_miss();
                 record_inclusion_cost(&mut inner, &cost);
             }
@@ -907,6 +1044,9 @@ impl LangStore {
                 let hit = inner.inclusion_memo.get(&key).copied();
                 if hit.is_some() {
                     inner.stats.op_hits += 1;
+                    scope_bump(|s| {
+                        s.op_hits.fetch_add(1, Ordering::Relaxed);
+                    });
                     inner.note_hit(SlotKey::Inclusion(key.0.clone(), key.1.clone()));
                 }
                 hit
@@ -946,10 +1086,16 @@ impl LangStore {
             // totals stay deterministic across thread counts.
             if inner.inclusion_memo.contains_key(&key) {
                 inner.stats.op_hits += 1;
+                scope_bump(|s| {
+                    s.op_hits.fetch_add(1, Ordering::Relaxed);
+                });
                 inner.note_hit(SlotKey::Inclusion(key.0.clone(), key.1.clone()));
                 true
             } else {
                 inner.stats.op_misses += 1;
+                scope_bump(|s| {
+                    s.op_misses.fetch_add(1, Ordering::Relaxed);
+                });
                 inner.note_miss();
                 record_inclusion_cost(&mut inner, &cost);
                 inner.inclusion_memo.insert(key.clone(), result);
@@ -988,8 +1134,15 @@ impl LangStore {
             {
                 let mut inner = self.inner.lock().expect("store lock");
                 inner.stats.op_misses += 1;
+                scope_bump(|s| {
+                    s.op_misses.fetch_add(1, Ordering::Relaxed);
+                });
                 inner.note_miss();
                 inner.stats.states_materialized += result.num_states() as u64;
+                scope_bump(|s| {
+                    s.states_materialized
+                        .fetch_add(result.num_states() as u64, Ordering::Relaxed);
+                });
                 record_minimize_cost(&inner.metrics, a, &det, &result);
             }
             self.notify(StoreOp::Minimize, None, false);
@@ -1002,6 +1155,9 @@ impl LangStore {
                 let hit = inner.minimize_memo.get(&key).cloned();
                 if hit.is_some() {
                     inner.stats.op_hits += 1;
+                    scope_bump(|s| {
+                        s.op_hits.fetch_add(1, Ordering::Relaxed);
+                    });
                     inner.note_hit(SlotKey::Minimize(key.clone()));
                 }
                 hit
@@ -1018,12 +1174,22 @@ impl LangStore {
             // Same race re-check as `intersect`: first writer wins the entry.
             if let Some(existing) = inner.minimize_memo.get(&key).cloned() {
                 inner.stats.op_hits += 1;
+                scope_bump(|s| {
+                    s.op_hits.fetch_add(1, Ordering::Relaxed);
+                });
                 inner.note_hit(SlotKey::Minimize(key.clone()));
                 (existing, true)
             } else {
                 inner.stats.op_misses += 1;
+                scope_bump(|s| {
+                    s.op_misses.fetch_add(1, Ordering::Relaxed);
+                });
                 inner.note_miss();
                 inner.stats.states_materialized += result.num_states() as u64;
+                scope_bump(|s| {
+                    s.states_materialized
+                        .fetch_add(result.num_states() as u64, Ordering::Relaxed);
+                });
                 record_minimize_cost(&inner.metrics, a, &det, &result);
                 inner.minimize_memo.insert(key.clone(), result.clone());
                 inner.charge_insert(SlotKey::Minimize(key.clone()), result.approx_bytes());
@@ -1044,6 +1210,10 @@ impl LangStore {
     pub fn note_materialized(&self, states: usize) {
         let mut inner = self.inner.lock().expect("store lock");
         inner.stats.states_materialized += states as u64;
+        scope_bump(|s| {
+            s.states_materialized
+                .fetch_add(states as u64, Ordering::Relaxed);
+        });
         inner.metrics.add(id::STORE_MATERIALIZED, states as u64);
     }
 }
@@ -1054,6 +1224,10 @@ impl LangStore {
 /// the abort path.
 fn record_inclusion_cost(inner: &mut StoreInner, cost: &InclusionCost) {
     inner.stats.inclusion_macrostates += cost.macrostates;
+    scope_bump(|s| {
+        s.inclusion_macrostates
+            .fetch_add(cost.macrostates, Ordering::Relaxed);
+    });
     inner
         .metrics
         .add(id::INCLUSION_MACROSTATES, cost.macrostates);

@@ -83,8 +83,8 @@ pub use inclusion::{
     InclusionCost, InclusionEngine, InclusionLimits,
 };
 pub use lang::{
-    FingerprintCost, InclusionQuery, Lang, LangStore, MemoIdentity, StoreObserver, StoreOp,
-    StoreStats,
+    current_stats_scope, install_stats_scope, FingerprintCost, InclusionQuery, Lang, LangStore,
+    MemoIdentity, ScopedStoreStats, StatsScopeGuard, StoreObserver, StoreOp, StoreStats,
 };
 pub use metrics::{MetricEntry, MetricValue, Metrics, MetricsSnapshot};
 pub use minimize::{

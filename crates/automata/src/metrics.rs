@@ -102,6 +102,24 @@ pub mod id {
     pub const STORE_EVICTIONS: usize = 20;
     /// Bytes reclaimed by size-bounded LRU eviction.
     pub const STORE_EVICTED_BYTES: usize = 21;
+    /// Histogram of per-request queue wait in `dprle serve` (µs).
+    pub const SERVE_QUEUE_WAIT_US: usize = 22;
+    /// Histogram of per-request parse time in `dprle serve` (µs).
+    pub const SERVE_PARSE_US: usize = 23;
+    /// Histogram of per-request solve time in `dprle serve` (µs).
+    pub const SERVE_SOLVE_US: usize = 24;
+    /// Histogram of per-request serialization time in `dprle serve` (µs).
+    pub const SERVE_SERIALIZE_US: usize = 25;
+    /// Histogram of per-request wall time in `dprle serve` (µs).
+    pub const SERVE_WALL_US: usize = 26;
+    /// Requests answered `sat` by `dprle serve`.
+    pub const SERVE_SAT: usize = 27;
+    /// Requests answered `unsat` by `dprle serve`.
+    pub const SERVE_UNSAT: usize = 28;
+    /// Requests answered `resource-exhausted` by `dprle serve`.
+    pub const SERVE_RESOURCE_EXHAUSTED: usize = 29;
+    /// Requests answered `parse-error` by `dprle serve`.
+    pub const SERVE_PARSE_ERROR: usize = 30;
 }
 
 /// The closed metric table. Index = metric id; snapshot order = table
@@ -215,6 +233,51 @@ pub const METRIC_DEFS: &[MetricDef] = &[
     MetricDef {
         name: "core.store.evicted_bytes",
         help: "Approximate bytes reclaimed by size-bounded LRU eviction",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "serve.request.queue_wait_us",
+        help: "Microseconds a serve request waited between arrival and worker pickup",
+        kind: MetricKind::Histogram,
+    },
+    MetricDef {
+        name: "serve.request.parse_us",
+        help: "Microseconds spent parsing and validating a serve request line",
+        kind: MetricKind::Histogram,
+    },
+    MetricDef {
+        name: "serve.request.solve_us",
+        help: "Microseconds spent inside the solver per serve request",
+        kind: MetricKind::Histogram,
+    },
+    MetricDef {
+        name: "serve.request.serialize_us",
+        help: "Microseconds spent rendering a serve response line",
+        kind: MetricKind::Histogram,
+    },
+    MetricDef {
+        name: "serve.request.wall_us",
+        help: "Microseconds from serve request arrival to rendered response",
+        kind: MetricKind::Histogram,
+    },
+    MetricDef {
+        name: "serve.requests.sat",
+        help: "Serve requests answered sat",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "serve.requests.unsat",
+        help: "Serve requests answered unsat",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "serve.requests.resource_exhausted",
+        help: "Serve requests answered resource-exhausted (a budget breached)",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "serve.requests.parse_error",
+        help: "Serve requests rejected as parse errors (malformed JSON, schema violation, or solver error)",
         kind: MetricKind::Counter,
     },
 ];

@@ -12,9 +12,12 @@
 //!   and re-checks that a request's `solutions` under load are
 //!   byte-identical to the same request solved solo. Exit 1 on any
 //!   violation.
-//! * default (bench) — throughput/latency table: solves/sec plus
-//!   p50/p99 per-request latency at 1, 4, and 16 concurrent clients over
-//!   a deterministic request corpus; writes the fresh table to
+//! * default (bench) — throughput/latency table: solves/sec, p50/p99
+//!   per-request service latency, and p50/p99 queue-wait (read back from
+//!   each response's lifecycle `breakdown`; the whole corpus arrives as
+//!   one burst into a shared queue, so queue-wait measures backlog
+//!   drain) at 1, 4, and 16 concurrent clients over a deterministic
+//!   request corpus; writes the fresh table to
 //!   `target/serve-bench/BENCH_serve.json` and compares it against the
 //!   checked-in `BENCH_serve.json` baseline **report-only** (serving
 //!   throughput is too machine-dependent to gate CI on; the smoke mode
@@ -28,7 +31,8 @@
 
 use dprle_cli::serve::{ServeConfig, SolverService};
 use dprle_core::{json_string, lookup, validate_jsonl, Json, Metrics};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Deterministic request corpus: a rotating mix of program shapes, each
@@ -84,29 +88,36 @@ fn new_service(store_max_bytes: Option<u64>) -> Arc<SolverService> {
     ))
 }
 
-/// Runs `requests` through the service from `clients` threads
-/// (round-robin partition) and returns every (request-index, response,
-/// latency in microseconds).
+/// Runs `requests` through the service from `clients` drain threads and
+/// returns every (request-index, response, service latency in
+/// microseconds).
+///
+/// The whole batch arrives as one burst: a shared arrival-stamped queue
+/// feeds the drain threads — the same single-queue/worker topology
+/// `serve` runs — so each response's `breakdown` reports a real
+/// queue-wait (time from burst arrival to a worker picking the line up).
+/// The returned latency is service time only (queue-wait excluded); the
+/// bench reads queue-wait back out of the response breakdowns.
 fn fire(
     service: &Arc<SolverService>,
     requests: &[String],
     clients: usize,
 ) -> Vec<(usize, String, u64)> {
+    let arrived = Instant::now();
+    let queue: Arc<Mutex<VecDeque<(usize, String)>>> =
+        Arc::new(Mutex::new(requests.iter().cloned().enumerate().collect()));
     let handles: Vec<_> = (0..clients)
-        .map(|c| {
+        .map(|_| {
             let service = Arc::clone(service);
-            let mine: Vec<(usize, String)> = requests
-                .iter()
-                .enumerate()
-                .skip(c)
-                .step_by(clients)
-                .map(|(i, r)| (i, r.clone()))
-                .collect();
+            let queue = Arc::clone(&queue);
             std::thread::spawn(move || {
-                let mut out = Vec::with_capacity(mine.len());
-                for (i, request) in mine {
+                let mut out = Vec::new();
+                loop {
+                    let Some((i, request)) = queue.lock().expect("queue").pop_front() else {
+                        break;
+                    };
                     let started = Instant::now();
-                    let response = service.handle_line(&request);
+                    let response = service.handle_request(&request, arrived);
                     let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                     out.push((i, response, us));
                 }
@@ -120,6 +131,13 @@ fn fire(
     }
     all.sort_by_key(|(i, _, _)| *i);
     all
+}
+
+/// The `queue-wait-us` each response reports in its lifecycle breakdown.
+fn queue_wait_us(response: &str) -> Option<u64> {
+    let json = Json::parse(response).ok()?;
+    let breakdown = lookup(json.as_object()?, "breakdown")?.as_object()?;
+    lookup(breakdown, "queue-wait-us").and_then(Json::as_u64)
 }
 
 fn percentile(sorted_us: &[u64], pct: f64) -> u64 {
@@ -258,6 +276,19 @@ fn bench(requests_per_trial: usize, baseline_path: &str, store_max_bytes: Option
         let mut lat: Vec<u64> = responses.iter().map(|(_, _, us)| *us).collect();
         lat.sort_unstable();
         let (p50, p99) = (percentile(&lat, 50.0), percentile(&lat, 99.0));
+        let mut queue: Vec<u64> = responses
+            .iter()
+            .filter_map(|(_, r, _)| queue_wait_us(r))
+            .collect();
+        if queue.len() != responses.len() {
+            eprintln!(
+                "serve_bench: {} responses carry no queue-wait breakdown",
+                responses.len() - queue.len()
+            );
+            return 2;
+        }
+        queue.sort_unstable();
+        let (qw50, qw99) = (percentile(&queue, 50.0), percentile(&queue, 99.0));
         let solves_per_sec = requests.len() as f64 / seconds.max(f64::EPSILON);
         let errors = responses
             .iter()
@@ -273,12 +304,14 @@ fn bench(requests_per_trial: usize, baseline_path: &str, store_max_bytes: Option
         rows.push_str(&format!(
             "  {{\n    \"clients\": {clients},\n    \"requests\": {},\n    \
              \"seconds\": {seconds:.6},\n    \"solves_per_sec\": {solves_per_sec:.1},\n    \
-             \"p50_us\": {p50},\n    \"p99_us\": {p99}\n  }}",
+             \"p50_us\": {p50},\n    \"p99_us\": {p99},\n    \
+             \"queue_wait_p50_us\": {qw50},\n    \"queue_wait_p99_us\": {qw99}\n  }}",
             requests.len()
         ));
         summaries.push((clients, solves_per_sec, p50, p99));
         println!(
-            "clients {clients:>2}: {solves_per_sec:>9.1} solves/s  p50 {p50:>6} us  p99 {p99:>6} us"
+            "clients {clients:>2}: {solves_per_sec:>9.1} solves/s  p50 {p50:>6} us  \
+             p99 {p99:>6} us  queue-wait p50 {qw50:>8} us  p99 {qw99:>8} us"
         );
     }
     rows.push_str("\n]\n");

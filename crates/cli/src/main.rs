@@ -3,6 +3,7 @@
 //! ```text
 //! dprle [OPTIONS] FILE
 //! dprle serve [SERVE-OPTIONS]
+//! dprle watch [--interval-ms N] [--count N] HOST:PORT
 //! dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
 //! dprle metrics-report [--check-schema] [--top K] METRICS.jsonl
 //! dprle profile top|model|diff|check ...
@@ -53,6 +54,21 @@
 //!   --deadline-ms/--no-interning  per-request defaults (requests may
 //!                      override all but interning)
 //!   --metrics-out/--metrics-format/--ledger-out  flushed at shutdown
+//!   --admin ADDR       HTTP/1.1 admin plane at ADDR: GET /metrics
+//!                      (Prometheus), /healthz, /readyz (503 while
+//!                      draining), /slow (slowest requests as JSON);
+//!                      implies an enabled metrics registry
+//!   --trace-out FILE   shared trace journal, every event stamped with
+//!                      its request_id
+//!   --slow-log FILE    JSONL log of slow requests (docs/slowlog.schema.json)
+//!   --slow-ms N        slow-log threshold in milliseconds (default 0:
+//!                      log every request)
+//!
+//! Watch (`dprle watch HOST:PORT`) polls a serve admin plane's /metrics
+//! and renders live solves/sec, queue-wait and solve p50/p99, store
+//! hit-rate, and eviction deltas:
+//!   --interval-ms N    poll interval (default 1000)
+//!   --count N          stop after N samples (default: until ^C)
 //! ```
 //!
 //! The `trace-report` subcommand re-reads a `--trace-out` journal offline
@@ -70,6 +86,7 @@
 //! violation), 2 = usage/input error, 3 = resource budget exhausted.
 
 mod profile;
+mod watch;
 
 use dprle_cli::parse_file;
 use dprle_core::{
@@ -84,7 +101,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--metrics-out FILE] [--metrics-format json|prom] [--ledger-out FILE] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--inclusion eager|antichain] [--no-interning] [--jobs N] [--store-max-bytes N] FILE
-       dprle serve [--sessions N] [--listen ADDR] [--store-max-bytes N] [--jobs N] [--inclusion E] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--no-interning] [--metrics-out FILE] [--metrics-format json|prom] [--ledger-out FILE]
+       dprle serve [--sessions N] [--listen ADDR] [--store-max-bytes N] [--jobs N] [--inclusion E] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--no-interning] [--metrics-out FILE] [--metrics-format json|prom] [--ledger-out FILE] [--admin ADDR] [--trace-out FILE] [--slow-log FILE] [--slow-ms N]
+       dprle watch [--interval-ms N] [--count N] HOST:PORT
        dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
        dprle metrics-report [--check-schema] [--top K] METRICS.jsonl
        dprle profile top|model|diff|check ... (see `dprle profile --help`)
@@ -540,7 +558,7 @@ fn metrics_report_main(argv: &[String]) -> ExitCode {
 /// (stdin EOF or SIGTERM/SIGINT).
 fn serve_main(argv: &[String]) -> ExitCode {
     use dprle_cli::serve::{
-        install_sigterm_flag, serve_stdio, serve_tcp, ServeConfig, SolverService,
+        install_sigterm_flag, serve_admin, serve_stdio, serve_tcp, ServeConfig, SolverService,
     };
 
     let mut config = ServeConfig::default();
@@ -548,6 +566,10 @@ fn serve_main(argv: &[String]) -> ExitCode {
     let mut metrics_out: Option<String> = None;
     let mut metrics_format = MetricsFormat::Json;
     let mut ledger_out: Option<String> = None;
+    let mut admin: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut slow_log: Option<String> = None;
+    let mut slow_ms: u64 = 0;
     fn count_arg(argv: &[String], i: usize, flag: &str) -> Result<u64, String> {
         let n = argv.get(i).ok_or_else(|| format!("{flag} needs a count"))?;
         n.parse::<u64>()
@@ -647,6 +669,41 @@ fn serve_main(argv: &[String]) -> ExitCode {
                     None => break Err("--ledger-out needs a file".to_owned()),
                 }
             }
+            "--admin" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(addr) => admin = Some(addr.clone()),
+                    None => break Err("--admin needs an address".to_owned()),
+                }
+            }
+            "--trace-out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(path) => trace_out = Some(path.clone()),
+                    None => break Err("--trace-out needs a file".to_owned()),
+                }
+            }
+            "--slow-log" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(path) => slow_log = Some(path.clone()),
+                    None => break Err("--slow-log needs a file".to_owned()),
+                }
+            }
+            "--slow-ms" => {
+                i += 1;
+                // Unlike the budget flags a threshold of 0 is meaningful
+                // (log every request).
+                let Some(n) = argv.get(i) else {
+                    break Err("--slow-ms needs a millisecond count".to_owned());
+                };
+                match n.parse::<u64>() {
+                    Ok(n) => slow_ms = n,
+                    Err(_) => {
+                        break Err(format!("--slow-ms needs a nonnegative integer, got `{n}`"))
+                    }
+                }
+            }
             "-h" | "--help" => break Err(USAGE.to_owned()),
             other => break Err(format!("unknown serve option `{other}`\n{USAGE}")),
         }
@@ -657,13 +714,66 @@ fn serve_main(argv: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
     config.collect_ledger = ledger_out.is_some();
-    let metrics = if metrics_out.is_some() {
+    // The admin plane's /metrics is useless against a disabled registry,
+    // so --admin implies an enabled one even without --metrics-out.
+    let metrics = if metrics_out.is_some() || admin.is_some() {
         Metrics::enabled()
     } else {
         Metrics::disabled()
     };
     let service = Arc::new(SolverService::new(config, metrics.clone()));
+    if let Some(path) = &slow_log {
+        match File::create(path) {
+            Ok(file) => service.set_slow_log(Box::new(BufWriter::new(file)), slow_ms),
+            Err(e) => {
+                eprintln!("dprle: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // The shared journal; every request's events are stamped with its
+    // request_id, so the interleaved file stays joinable.
+    let trace_sink = match &trace_out {
+        Some(path) => match File::create(path) {
+            Ok(file) => {
+                let sink = Arc::new(JsonlSink::new(BufWriter::new(file)));
+                service.set_trace_sink(sink.clone());
+                Some(sink)
+            }
+            Err(e) => {
+                eprintln!("dprle: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let shutdown = install_sigterm_flag();
+    // The admin plane outlives the serve loop (so /readyz can report the
+    // drain) and is stopped explicitly once the loop returns.
+    let admin_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let admin_thread = match &admin {
+        Some(addr) => {
+            let listener = match std::net::TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("dprle: cannot bind admin listener on {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            // Stderr, not stdout: in stdio mode stdout is the response
+            // channel.
+            match listener.local_addr() {
+                Ok(bound) => eprintln!("dprle: serve: admin listening {bound}"),
+                Err(_) => eprintln!("dprle: serve: admin listening {addr}"),
+            }
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&admin_stop);
+            Some(std::thread::spawn(move || {
+                serve_admin(&service, listener, shutdown, &stop)
+            }))
+        }
+        None => None,
+    };
     match &listen {
         Some(addr) => {
             let listener = match std::net::TcpListener::bind(addr) {
@@ -688,6 +798,19 @@ fn serve_main(argv: &[String]) -> ExitCode {
             }
         }
         None => serve_stdio(&service, shutdown),
+    }
+    // Drain complete: stop the admin plane, then flush the artifacts.
+    admin_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(thread) = admin_thread {
+        if let Err(e) = thread.join().unwrap_or(Ok(())) {
+            eprintln!("dprle: serve: admin: {e}");
+        }
+    }
+    if let Some(sink) = &trace_sink {
+        if let Err(e) = sink.flush() {
+            eprintln!("dprle: writing trace journal: {e}");
+            return ExitCode::from(2);
+        }
     }
     // Flush the shutdown artifacts. Reuse the one-shot writers via a
     // minimal Args so the formats stay identical.
@@ -757,6 +880,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("serve") {
         return serve_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("watch") {
+        return watch::watch_main(&argv[1..], USAGE);
     }
     let args = match parse_args(&argv) {
         Ok(a) => a,

@@ -16,13 +16,13 @@
 //! schema violation, 2 = usage/input error.
 
 use dprle_core::{
-    parse_ledger, render_diff, render_model, render_top, validate_ledger_jsonl, DiffOptions,
-    LedgerRecord, LEDGER_SCHEMA,
+    parse_ledger, render_diff, render_model, render_top, render_top_by_request,
+    validate_ledger_jsonl, DiffOptions, LedgerRecord, LEDGER_SCHEMA,
 };
 use std::process::ExitCode;
 
 const PROFILE_USAGE: &str =
-    "usage: dprle profile top [--trace TRACE.jsonl] [--limit N] LEDGER.jsonl
+    "usage: dprle profile top [--trace TRACE.jsonl] [--limit N] [--by-request] LEDGER.jsonl
        dprle profile model LEDGER.jsonl
        dprle profile diff [--limit N] [--fail-above PCT] OLD.jsonl NEW.jsonl
        dprle profile check [--schema FILE] LEDGER.jsonl
@@ -60,10 +60,12 @@ pub fn profile_main(argv: &[String]) -> ExitCode {
 fn top_main(argv: &[String]) -> ExitCode {
     let mut trace_path: Option<String> = None;
     let mut limit = 20usize;
+    let mut by_request = false;
     let mut ledger_path: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--by-request" => by_request = true,
             "--trace" => {
                 i += 1;
                 match argv.get(i) {
@@ -100,6 +102,15 @@ fn top_main(argv: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if by_request {
+        // The rollup answers "which request cost what" — the span rollup
+        // is a per-phase view and does not compose with it.
+        if trace_path.is_some() {
+            return usage_error("--by-request does not take --trace");
+        }
+        print!("{}", render_top_by_request(&records, limit));
+        return ExitCode::SUCCESS;
+    }
     let trace_jsonl = match &trace_path {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(s) => Some(s),

@@ -38,24 +38,48 @@
 //! store-sharing-invariant (PR 1's contract: memoization changes costs,
 //! never answers), so a request's `solutions`/`witnesses`/`outputs` are
 //! byte-identical whether it runs alone or next to neighbors. Per-request
-//! `stats` are *not* isolated: counters derived from store before/after
-//! diffs can include a concurrent neighbor's work, and hit rates depend
-//! on arrival order. Treat response stats as indicative under load and
-//! authoritative only for serial use.
+//! `stats` are request-scoped: a thread-local counter scope
+//! ([`dprle_automata::ScopedStoreStats`]) captures exactly this request's
+//! store work, so the reported counters never include a concurrent
+//! neighbor's work. Hit rates still depend on arrival order (that is the
+//! point of sharing); the counted events are the request's own.
+//!
+//! ## Observability
+//!
+//! Every request is assigned a service-unique `request_id` (`r0`, `r1`,
+//! …) echoed in the response together with a `breakdown` object timing
+//! the request lifecycle: `queue-wait-us` (arrival to worker pickup),
+//! `parse-us`, `solve-us`, `serialize-us`, and `wall-us` (arrival to
+//! rendered response; always ≥ the sum of the other four). The same
+//! request id is stamped on the request's trace-journal events
+//! (`--trace-out`) and cost-ledger records, so a shared journal or
+//! multi-tenant ledger joins back against responses. Lifecycle phases
+//! feed the `serve.request.*` histograms and `serve.requests.*`
+//! per-outcome counters in the metrics registry, and the N slowest
+//! requests are kept in a ring served by the admin plane's `/slow`
+//! endpoint (mirrored to `--slow-log FILE --slow-ms N` as schema-pinned
+//! JSONL, `docs/slowlog.schema.json`). The admin plane (`--admin
+//! HOST:PORT`) is a minimal HTTP/1.1 listener exposing `GET /metrics`
+//! (Prometheus exposition), `/healthz`, `/readyz` (503 while draining),
+//! and `/slow`.
 //!
 //! ## Shutdown
 //!
 //! Stdio mode drains on stdin EOF; both modes drain on SIGTERM/SIGINT
 //! (requests already read are answered, then the process exits so the
-//! caller can flush metrics and ledger files).
+//! caller can flush metrics and ledger files). The admin listener stays
+//! up through the drain — `/readyz` reports `draining` — and stops after
+//! the main loop returns.
 
 use crate::parse_file;
 use crate::smtlib;
 use dprle_automata::LangStore;
+use dprle_core::metrics::id;
 use dprle_core::{
     json_string, lookup, try_solve_traced, Budget, CollectLedger, EngineKind, Json, Ledger,
-    Metrics, ResourceExhausted, Solution, SolveOptions, SolveStats, System, Tracer,
+    Metrics, ResourceExhausted, Solution, SolveOptions, SolveStats, System, TraceSink, Tracer,
 };
+use std::cell::Cell;
 use std::io::{BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -67,6 +91,20 @@ use std::time::{Duration, Instant};
 /// shutdown flag. Bounds shutdown latency, not throughput (a queued
 /// request is picked up immediately).
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How many of the slowest requests the service retains for the admin
+/// plane's `/slow` endpoint. Small and fixed: the ring is a triage tool,
+/// the full population lives in `--slow-log`.
+pub const SLOW_RING_CAPACITY: usize = 32;
+
+/// The JSON Schema (draft-07 subset) pinning the `--slow-log` JSONL
+/// format; also the shape of each element of the admin `/slow` array.
+pub const SLOWLOG_SCHEMA: &str = include_str!("../../../docs/slowlog.schema.json");
+
+/// Saturating whole-microsecond wall time since `start`.
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Server-level configuration: session count plus the *default* solve
 /// options a request inherits when it does not override them.
@@ -124,6 +162,18 @@ pub struct SolverService {
     /// `config.collect_ledger`); flushed by the caller at shutdown.
     ledger_jsonl: Mutex<String>,
     requests: AtomicU64,
+    /// The [`SLOW_RING_CAPACITY`] slowest completed requests by wall
+    /// time, sorted slowest-first. Always maintained (it is cheap);
+    /// served by the admin plane's `/slow` endpoint.
+    slow_ring: Mutex<Vec<SlowRecord>>,
+    /// JSONL sink for requests at least `slow_threshold_us` slow
+    /// (`--slow-log FILE --slow-ms N`); `None` when not configured.
+    slow_log: Mutex<Option<Box<dyn Write + Send>>>,
+    /// Threshold for `slow_log`, in microseconds. `u64::MAX` disables.
+    slow_threshold_us: AtomicU64,
+    /// Shared trace-journal sink (serve `--trace-out`); each request
+    /// records into it through its own tagged tracer.
+    trace_sink: Mutex<Option<Arc<dyn TraceSink>>>,
 }
 
 impl SolverService {
@@ -139,7 +189,43 @@ impl SolverService {
             metrics,
             ledger_jsonl: Mutex::new(String::new()),
             requests: AtomicU64::new(0),
+            slow_ring: Mutex::new(Vec::new()),
+            slow_log: Mutex::new(None),
+            slow_threshold_us: AtomicU64::new(u64::MAX),
+            trace_sink: Mutex::new(None),
         }
+    }
+
+    /// Installs the slow-request JSONL sink: requests whose wall time is
+    /// at least `threshold_ms` milliseconds are appended as one
+    /// `docs/slowlog.schema.json` record per line.
+    pub fn set_slow_log(&self, sink: Box<dyn Write + Send>, threshold_ms: u64) {
+        *self.slow_log.lock().expect("slow-log lock") = Some(sink);
+        self.slow_threshold_us
+            .store(threshold_ms.saturating_mul(1000), Ordering::Relaxed);
+    }
+
+    /// Installs the shared trace-journal sink (serve `--trace-out`).
+    /// Every subsequent request solves under a tracer tagged with its
+    /// request id, so the interleaved journal stays joinable.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        *self.trace_sink.lock().expect("trace-sink lock") = Some(sink);
+    }
+
+    /// A snapshot of the slow-request ring, slowest first.
+    pub fn slow_snapshot(&self) -> Vec<SlowRecord> {
+        self.slow_ring.lock().expect("slow ring lock").clone()
+    }
+
+    /// The `/slow` payload: a JSON array of slow-request records,
+    /// slowest first (each record is also one `--slow-log` line).
+    pub fn slow_json(&self) -> String {
+        let records: Vec<String> = self
+            .slow_snapshot()
+            .iter()
+            .map(SlowRecord::to_json)
+            .collect();
+        format!("[{}]", records.join(","))
     }
 
     /// The server configuration.
@@ -173,23 +259,120 @@ impl SolverService {
     /// `parse-error` response, budget breaches a `resource-exhausted`
     /// one, and a solver panic is caught and reported as a typed error.
     /// Safe to call from any number of threads concurrently.
+    ///
+    /// Shorthand for [`SolverService::handle_request`] with an arrival
+    /// time of "now" (zero queue wait) — the transports that queue
+    /// requests call `handle_request` with the real enqueue instant.
     pub fn handle_line(&self, line: &str) -> String {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        let request = match parse_request(line) {
-            Ok(request) => request,
-            Err((id, message)) => return parse_error_response(id.as_deref(), &message),
+        self.handle_request(line, Instant::now())
+    }
+
+    /// Handles one request that arrived at `enqueued`, timing the four
+    /// lifecycle phases (queue wait, parse, solve, serialize), stamping
+    /// the response with this request's `request_id` and `breakdown`,
+    /// recording the `serve.request.*` histograms and per-outcome
+    /// `serve.requests.*` counters, and feeding the slow-request ring
+    /// and slow log. The phase invariant `queue-wait + parse + solve +
+    /// serialize <= wall` holds by construction: the phases are disjoint
+    /// sub-intervals of the request's wall interval.
+    pub fn handle_request(&self, line: &str, enqueued: Instant) -> String {
+        let queue_wait_us = elapsed_us(enqueued);
+        let request_id = format!("r{}", self.requests.fetch_add(1, Ordering::Relaxed));
+        let parse_started = Instant::now();
+        let parsed = parse_request(line);
+        let parse_us = elapsed_us(parse_started);
+        let after_parse = Instant::now();
+        // Written by solve_request around the solver call proper; what
+        // remains of the post-parse interval is serialization.
+        let solve_us = Cell::new(0u64);
+        let (echo_id, body) = match parsed {
+            Ok(request) => {
+                let id = request.id.clone();
+                let body = catch_unwind(AssertUnwindSafe(|| {
+                    self.solve_request(&request, &request_id, &solve_us)
+                }))
+                .unwrap_or_else(|_| {
+                    parse_error_response(
+                        Some(&id),
+                        "internal error: the solver panicked on this request",
+                    )
+                });
+                (Some(id), body)
+            }
+            Err((id, message)) => {
+                let body = parse_error_response(id.as_deref(), &message);
+                (id, body)
+            }
         };
-        let id = request.id.clone();
-        match catch_unwind(AssertUnwindSafe(|| self.solve_request(&request))) {
-            Ok(response) => response,
-            Err(_) => parse_error_response(
-                Some(&id),
-                "internal error: the solver panicked on this request",
-            ),
+        let serialize_us = elapsed_us(after_parse).saturating_sub(solve_us.get());
+        let wall_us = elapsed_us(enqueued);
+        let breakdown = Breakdown {
+            queue_wait_us,
+            parse_us,
+            solve_us: solve_us.get(),
+            serialize_us,
+            wall_us,
+        };
+        let response = splice_observability(&body, &request_id, &breakdown);
+        let outcome = response_kind(&body);
+        self.record_request(&request_id, echo_id.as_deref(), outcome, &breakdown);
+        response
+    }
+
+    /// Post-request bookkeeping: metrics, the slow ring, the slow log.
+    fn record_request(
+        &self,
+        request_id: &str,
+        echo_id: Option<&str>,
+        outcome: &'static str,
+        breakdown: &Breakdown,
+    ) {
+        if self.metrics.is_enabled() {
+            self.metrics
+                .observe(id::SERVE_QUEUE_WAIT_US, breakdown.queue_wait_us);
+            self.metrics.observe(id::SERVE_PARSE_US, breakdown.parse_us);
+            self.metrics.observe(id::SERVE_SOLVE_US, breakdown.solve_us);
+            self.metrics
+                .observe(id::SERVE_SERIALIZE_US, breakdown.serialize_us);
+            self.metrics.observe(id::SERVE_WALL_US, breakdown.wall_us);
+            let counter = match outcome {
+                "sat" => id::SERVE_SAT,
+                "unsat" => id::SERVE_UNSAT,
+                "resource-exhausted" => id::SERVE_RESOURCE_EXHAUSTED,
+                _ => id::SERVE_PARSE_ERROR,
+            };
+            self.metrics.add(counter, 1);
+        }
+        let record = SlowRecord {
+            request_id: request_id.to_owned(),
+            id: echo_id.map(str::to_owned),
+            outcome,
+            queue_wait_us: breakdown.queue_wait_us,
+            parse_us: breakdown.parse_us,
+            solve_us: breakdown.solve_us,
+            serialize_us: breakdown.serialize_us,
+            wall_us: breakdown.wall_us,
+        };
+        {
+            let mut ring = self.slow_ring.lock().expect("slow ring lock");
+            ring.push(record.clone());
+            ring.sort_by(|a, b| {
+                b.wall_us
+                    .cmp(&a.wall_us)
+                    .then(a.request_id.cmp(&b.request_id))
+            });
+            ring.truncate(SLOW_RING_CAPACITY);
+        }
+        if breakdown.wall_us >= self.slow_threshold_us.load(Ordering::Relaxed) {
+            let mut log = self.slow_log.lock().expect("slow-log lock");
+            if let Some(sink) = log.as_mut() {
+                let _ = writeln!(sink, "{}", record.to_json());
+                let _ = sink.flush();
+            }
         }
     }
 
-    fn solve_request(&self, request: &Request) -> String {
+    fn solve_request(&self, request: &Request, request_id: &str, solve_us: &Cell<u64>) -> String {
         let started = Instant::now();
         // The per-request sink exists when either the response embeds
         // the ledger or the server accumulates one; records flow to both.
@@ -211,15 +394,24 @@ impl SolverService {
                     .map(Duration::from_millis),
             },
             inclusion_engine: request.inclusion.unwrap_or(self.config.inclusion),
-            ledger: ledger_sink
-                .as_ref()
-                .map_or_else(Ledger::disabled, |sink| Ledger::new(sink.clone())),
+            // Tagged with the request id so multi-tenant ledgers (the
+            // server-wide `--ledger-out` accumulation) stay joinable.
+            ledger: ledger_sink.as_ref().map_or_else(Ledger::disabled, |sink| {
+                Ledger::new_tagged(sink.clone(), request_id)
+            }),
             ..SolveOptions::default()
         };
+        // The shared journal gets a per-request tagged tracer; with no
+        // `--trace-out` the tracer is disabled and records nothing.
+        let journal = self.trace_sink.lock().expect("trace-sink lock").clone();
+        let tracer = match &journal {
+            Some(sink) => Tracer::new_tagged(Arc::clone(sink), request_id),
+            None => Tracer::disabled(),
+        };
         let response = if request.smtlib {
-            self.solve_smtlib(request, &options, started)
+            self.solve_smtlib(request, &options, started, &tracer, solve_us)
         } else {
-            self.solve_dprle(request, &options, started)
+            self.solve_dprle(request, &options, started, &tracer, solve_us)
         };
         if let Some(sink) = &ledger_sink {
             if self.config.collect_ledger {
@@ -235,12 +427,22 @@ impl SolverService {
         }
     }
 
-    fn solve_dprle(&self, request: &Request, options: &SolveOptions, started: Instant) -> String {
+    fn solve_dprle(
+        &self,
+        request: &Request,
+        options: &SolveOptions,
+        started: Instant,
+        tracer: &Tracer,
+        solve_us: &Cell<u64>,
+    ) -> String {
         let system = match parse_file(&request.input) {
             Ok(parsed) => parsed.system,
             Err(e) => return parse_error_response(Some(&request.id), &e.to_string()),
         };
-        match try_solve_traced(&system, options, &self.store, &Tracer::disabled()) {
+        let solve_started = Instant::now();
+        let solved = try_solve_traced(&system, options, &self.store, tracer);
+        solve_us.set(solve_us.get() + elapsed_us(solve_started));
+        match solved {
             Ok((Solution::Assignments(assignments), stats)) => {
                 let mut out = ResponseBuilder::new("sat", &request.id);
                 out.num("assignments", assignments.len() as u64);
@@ -263,13 +465,20 @@ impl SolverService {
         }
     }
 
-    fn solve_smtlib(&self, request: &Request, options: &SolveOptions, started: Instant) -> String {
-        let run = match smtlib::run_script_shared(
-            &request.input,
-            options,
-            &Tracer::disabled(),
-            self.store.clone(),
-        ) {
+    fn solve_smtlib(
+        &self,
+        request: &Request,
+        options: &SolveOptions,
+        started: Instant,
+        tracer: &Tracer,
+        solve_us: &Cell<u64>,
+    ) -> String {
+        // The whole script run counts as "solve": script parsing and
+        // check-sat execution interleave, so they are not split further.
+        let solve_started = Instant::now();
+        let run = smtlib::run_script_shared(&request.input, options, tracer, self.store.clone());
+        solve_us.set(solve_us.get() + elapsed_us(solve_started));
+        let run = match run {
             Ok(run) => run,
             Err(e) => {
                 if let Some(exhausted) = e.exhausted {
@@ -573,6 +782,104 @@ fn embed_ledger(response: &str, sink: &CollectLedger) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Request lifecycle observability
+// ---------------------------------------------------------------------
+
+/// Wall time of the four request lifecycle phases plus the total, all in
+/// microseconds. The phases are disjoint sub-intervals of the wall
+/// interval, so their sum never exceeds `wall_us`.
+struct Breakdown {
+    queue_wait_us: u64,
+    parse_us: u64,
+    solve_us: u64,
+    serialize_us: u64,
+    wall_us: u64,
+}
+
+/// Classifies an already-rendered response by its `kind`. Responses are
+/// rendered by this module with `kind` pinned as the first field, so a
+/// prefix match is exact.
+fn response_kind(response: &str) -> &'static str {
+    for kind in ["sat", "unsat", "resource-exhausted", "parse-error"] {
+        if response
+            .strip_prefix("{\"kind\":\"")
+            .and_then(|rest| rest.strip_prefix(kind))
+            .is_some_and(|rest| rest.starts_with('"'))
+        {
+            return kind;
+        }
+    }
+    debug_assert!(false, "unrecognized response kind: {response}");
+    "parse-error"
+}
+
+/// Splices the request id and lifecycle breakdown onto an
+/// already-rendered response, after every other field (same pattern as
+/// [`embed_ledger`], so existing consumers that cut at `,\"stats\":`
+/// keep working).
+fn splice_observability(response: &str, request_id: &str, breakdown: &Breakdown) -> String {
+    let mut out = response
+        .strip_suffix('}')
+        .expect("responses are JSON objects")
+        .to_owned();
+    out.push_str(",\"request_id\":");
+    out.push_str(&json_string(request_id));
+    out.push_str(&format!(
+        ",\"breakdown\":{{\"queue-wait-us\":{},\"parse-us\":{},\"solve-us\":{},\"serialize-us\":{},\"wall-us\":{}}}}}",
+        breakdown.queue_wait_us,
+        breakdown.parse_us,
+        breakdown.solve_us,
+        breakdown.serialize_us,
+        breakdown.wall_us,
+    ));
+    out
+}
+
+/// One completed request as retained by the slow-request ring and
+/// written to `--slow-log`: identity, outcome, and the full lifecycle
+/// breakdown. Pinned by `docs/slowlog.schema.json`.
+#[derive(Clone, Debug)]
+pub struct SlowRecord {
+    /// The service-unique request id (`rN`).
+    pub request_id: String,
+    /// The client-supplied `id`, when one was recoverable.
+    pub id: Option<String>,
+    /// The response kind: `sat`, `unsat`, `resource-exhausted`, or
+    /// `parse-error`.
+    pub outcome: &'static str,
+    /// Microseconds between arrival and worker pickup.
+    pub queue_wait_us: u64,
+    /// Microseconds spent parsing and validating the request line.
+    pub parse_us: u64,
+    /// Microseconds inside the solver (or SMT-LIB script run).
+    pub solve_us: u64,
+    /// Microseconds rendering the response.
+    pub serialize_us: u64,
+    /// Microseconds from arrival to the rendered response.
+    pub wall_us: u64,
+}
+
+impl SlowRecord {
+    /// Renders the record as one `docs/slowlog.schema.json` JSONL line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"kind\":\"SlowRequest\",\"request_id\":");
+        out.push_str(&json_string(&self.request_id));
+        out.push_str(",\"id\":");
+        match &self.id {
+            Some(id) => out.push_str(&json_string(id)),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"outcome\":");
+        out.push_str(&json_string(self.outcome));
+        out.push_str(&format!(
+            ",\"queue_wait_us\":{},\"parse_us\":{},\"solve_us\":{},\"serialize_us\":{},\"wall_us\":{}}}",
+            self.queue_wait_us, self.parse_us, self.solve_us, self.serialize_us, self.wall_us,
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
 // Transports
 // ---------------------------------------------------------------------
 
@@ -581,7 +888,9 @@ fn embed_ledger(response: &str, sink: &CollectLedger) -> String {
 /// requests answered) or after `shutdown` was raised and the queue
 /// drained; either way every response was flushed before returning.
 pub fn serve_stdio(service: &Arc<SolverService>, shutdown: &'static AtomicBool) {
-    let (tx, rx) = mpsc::channel::<String>();
+    // Each queued line carries its arrival instant so the worker that
+    // picks it up can report the queue wait in the response breakdown.
+    let (tx, rx) = mpsc::channel::<(String, Instant)>();
     let rx = Arc::new(Mutex::new(rx));
     // The reader owns `tx`: dropping it on EOF is the drain signal the
     // workers see as `Disconnected` once the queue empties.
@@ -591,7 +900,7 @@ pub fn serve_stdio(service: &Arc<SolverService>, shutdown: &'static AtomicBool) 
             if line.trim().is_empty() {
                 continue;
             }
-            if tx.send(line).is_err() {
+            if tx.send((line, Instant::now())).is_err() {
                 break;
             }
         }
@@ -603,8 +912,8 @@ pub fn serve_stdio(service: &Arc<SolverService>, shutdown: &'static AtomicBool) 
             std::thread::spawn(move || loop {
                 let job = rx.lock().expect("queue lock").recv_timeout(POLL_INTERVAL);
                 match job {
-                    Ok(line) => {
-                        let response = service.handle_line(&line);
+                    Ok((line, enqueued)) => {
+                        let response = service.handle_request(&line, enqueued);
                         let stdout = std::io::stdout();
                         let mut out = stdout.lock();
                         let _ = writeln!(out, "{response}");
@@ -698,7 +1007,10 @@ fn serve_connection(
                     if line.is_empty() {
                         continue;
                     }
-                    let response = service.handle_line(line);
+                    // TCP sessions handle requests inline (no queue), so
+                    // arrival is the moment the full line was framed and
+                    // queue-wait is effectively zero.
+                    let response = service.handle_request(line, Instant::now());
                     stream.write_all(response.as_bytes())?;
                     stream.write_all(b"\n")?;
                     stream.flush()?;
@@ -720,6 +1032,128 @@ fn serve_connection(
         }
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Admin plane
+// ---------------------------------------------------------------------
+
+/// Serves the admin plane (`--admin HOST:PORT`): a minimal HTTP/1.1
+/// listener answering `GET` requests with `Connection: close`
+/// semantics. Routes:
+///
+/// * `/metrics` — the shared registry as Prometheus exposition text
+///   (identical renderer to `--metrics-out` `.prom` snapshots, so a
+///   quiesced scrape byte-compares with the shutdown snapshot).
+/// * `/healthz` — liveness: `200 ok` while the process runs.
+/// * `/readyz` — readiness: `200 ready`, or `503 draining` once the
+///   shutdown flag is raised (load balancers stop routing during the
+///   SIGTERM drain while in-flight requests finish).
+/// * `/slow` — the slow-request ring as a JSON array, slowest first.
+///
+/// Handles each connection synchronously on the accept thread —
+/// admin requests are tiny and rare, and serializing them keeps the
+/// plane from ever amplifying load on a busy solver. Returns once
+/// `stop` is raised (after the main serve loop drains). The handler
+/// itself records no metrics, so scraping does not perturb what it
+/// measures.
+pub fn serve_admin(
+    service: &Arc<SolverService>,
+    listener: TcpListener,
+    draining: &AtomicBool,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let _ = answer_admin_connection(service, stream, draining);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL / 2);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one HTTP request head, writes one response, closes. Only the
+/// request line is interpreted; headers are read to the blank line and
+/// ignored (admin clients are curl and `dprle watch`).
+fn answer_admin_connection(
+    service: &SolverService,
+    mut stream: TcpStream,
+    draining: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && !head.windows(2).any(|w| w == b"\n\n") {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_owned(),
+        )
+    } else {
+        match path {
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+            "/readyz" => {
+                if draining.load(Ordering::SeqCst) {
+                    (
+                        "503 Service Unavailable",
+                        "text/plain; charset=utf-8",
+                        "draining\n".to_owned(),
+                    )
+                } else {
+                    ("200 OK", "text/plain; charset=utf-8", "ready\n".to_owned())
+                }
+            }
+            "/metrics" => match service.metrics().snapshot() {
+                Some(snapshot) => (
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    snapshot.to_prometheus(),
+                ),
+                None => (
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "metrics registry disabled\n".to_owned(),
+                ),
+            },
+            "/slow" => ("200 OK", "application/json", service.slow_json()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_owned(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
 }
 
 // ---------------------------------------------------------------------
@@ -971,5 +1405,278 @@ mod tests {
             .join()
             .expect("server thread")
             .expect("clean shutdown");
+    }
+
+    fn breakdown_fields(json: &Json) -> (u64, u64, u64, u64, u64) {
+        let breakdown = field(json, "breakdown").as_object().expect("breakdown");
+        let get = |key: &str| {
+            lookup(breakdown, key)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("breakdown field {key}"))
+        };
+        (
+            get("queue-wait-us"),
+            get("parse-us"),
+            get("solve-us"),
+            get("serialize-us"),
+            get("wall-us"),
+        )
+    }
+
+    #[test]
+    fn responses_carry_request_id_and_breakdown() {
+        let service = service();
+        let line = request(&format!(
+            "\"id\":\"q\",\"input\":{}",
+            json_string(SAT_PROGRAM)
+        ));
+        let json = Json::parse(&service.handle_line(&line)).expect("valid JSON");
+        assert_eq!(field(&json, "request_id").as_str(), Some("r0"));
+        let (queue_wait, parse, solve, serialize, wall) = breakdown_fields(&json);
+        assert!(solve > 0, "the solver ran");
+        assert!(
+            queue_wait + parse + solve + serialize <= wall,
+            "phases are disjoint sub-intervals of the wall interval: \
+             {queue_wait} + {parse} + {solve} + {serialize} > {wall}"
+        );
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_sequential() {
+        let service = service();
+        for expected in ["r0", "r1", "r2"] {
+            let line = request(&format!(
+                "\"id\":\"q\",\"input\":{}",
+                json_string(UNSAT_PROGRAM)
+            ));
+            let json = Json::parse(&service.handle_line(&line)).expect("valid JSON");
+            assert_eq!(field(&json, "request_id").as_str(), Some(expected));
+        }
+    }
+
+    #[test]
+    fn parse_errors_also_carry_request_id_and_breakdown() {
+        let json = Json::parse(&service().handle_line("{nope")).expect("valid JSON");
+        assert_eq!(field(&json, "kind").as_str(), Some("parse-error"));
+        assert_eq!(field(&json, "request_id").as_str(), Some("r0"));
+        let (_, _, solve, _, _) = breakdown_fields(&json);
+        assert_eq!(solve, 0, "nothing was solved");
+    }
+
+    #[test]
+    fn lifecycle_metrics_record_histograms_and_outcome_counters() {
+        let service = Arc::new(SolverService::new(
+            ServeConfig::default(),
+            Metrics::enabled(),
+        ));
+        for (id_field, input) in [("a", SAT_PROGRAM), ("b", UNSAT_PROGRAM)] {
+            let line = request(&format!(
+                "\"id\":\"{id_field}\",\"input\":{}",
+                json_string(input)
+            ));
+            service.handle_line(&line);
+        }
+        service.handle_line("{nope");
+        let snapshot = service.metrics().snapshot().expect("metrics enabled");
+        let entry = |name: &str| {
+            snapshot
+                .entries
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("metric {name}"))
+        };
+        for name in [
+            "serve.requests.sat",
+            "serve.requests.unsat",
+            "serve.requests.parse_error",
+        ] {
+            assert_eq!(
+                entry(name).value,
+                dprle_core::MetricValue::Counter { value: 1 },
+                "{name}"
+            );
+        }
+        match &entry("serve.request.wall_us").value {
+            dprle_core::MetricValue::Histogram { count, .. } => assert_eq!(*count, 3),
+            other => panic!("wall_us is a histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_ring_keeps_records_sorted_by_wall_time() {
+        let service = service();
+        for i in 0..3 {
+            let line = request(&format!(
+                "\"id\":\"q{i}\",\"input\":{}",
+                json_string(SAT_PROGRAM)
+            ));
+            service.handle_line(&line);
+        }
+        let ring = service.slow_snapshot();
+        assert_eq!(ring.len(), 3);
+        assert!(
+            ring.windows(2).all(|w| w[0].wall_us >= w[1].wall_us),
+            "slowest first"
+        );
+        let slow = Json::parse(&service.slow_json()).expect("valid JSON");
+        let records = slow.as_array().expect("array");
+        assert_eq!(records.len(), 3);
+        for record in records {
+            let obj = record.as_object().expect("record object");
+            assert_eq!(
+                lookup(obj, "kind").and_then(Json::as_str),
+                Some("SlowRequest")
+            );
+        }
+    }
+
+    /// A `Write` handing everything to a shared buffer, so the test can
+    /// observe what the service wrote to its slow log.
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("buf lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn slow_log_captures_requests_over_the_threshold() {
+        let service = service();
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        // Threshold zero: every request qualifies.
+        service.set_slow_log(Box::new(SharedBuf(Arc::clone(&buf))), 0);
+        let line = request(&format!(
+            "\"id\":\"slow\",\"input\":{}",
+            json_string(SAT_PROGRAM)
+        ));
+        service.handle_line(&line);
+        let logged = String::from_utf8(buf.lock().expect("buf lock").clone()).expect("utf8");
+        let record = Json::parse(logged.trim()).expect("valid JSON");
+        let obj = record.as_object().expect("object");
+        assert_eq!(lookup(obj, "request_id").and_then(Json::as_str), Some("r0"));
+        assert_eq!(lookup(obj, "outcome").and_then(Json::as_str), Some("sat"));
+        assert!(lookup(obj, "wall_us").and_then(Json::as_u64).is_some());
+        assert_eq!(
+            dprle_core::validate_jsonl(SLOWLOG_SCHEMA, &logged).expect("slow log validates"),
+            1,
+            "one slow-log record, pinned by docs/slowlog.schema.json"
+        );
+    }
+
+    #[test]
+    fn slow_log_records_validate_even_without_a_client_id() {
+        let service = service();
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        service.set_slow_log(Box::new(SharedBuf(Arc::clone(&buf))), 0);
+        // Malformed request: no recoverable id, so the record's `id` is
+        // null — the schema's ["string","null"] union covers it.
+        service.handle_line("{nope");
+        let logged = String::from_utf8(buf.lock().expect("buf lock").clone()).expect("utf8");
+        assert_eq!(
+            dprle_core::validate_jsonl(SLOWLOG_SCHEMA, &logged).expect("slow log validates"),
+            1
+        );
+    }
+
+    #[test]
+    fn tagged_trace_journal_stamps_request_ids() {
+        let service = service();
+        let sink = Arc::new(dprle_core::CollectSink::new());
+        service.set_trace_sink(sink.clone());
+        let line = request(&format!(
+            "\"id\":\"t\",\"input\":{}",
+            json_string(SAT_PROGRAM)
+        ));
+        service.handle_line(&line);
+        let events = sink.take();
+        assert!(!events.is_empty(), "journal captured events");
+        assert!(
+            events.iter().all(|e| e.request_id.as_deref() == Some("r0")),
+            "every event is stamped with the owning request id"
+        );
+    }
+
+    #[test]
+    fn embedded_ledger_records_carry_the_request_id() {
+        let line = request(&format!(
+            "\"id\":\"q\",\"input\":{},\"ledger\":true",
+            json_string(SAT_PROGRAM)
+        ));
+        let json = Json::parse(&service().handle_line(&line)).expect("valid JSON");
+        let records = field(&json, "ledger").as_array().expect("ledger array");
+        assert!(!records.is_empty());
+        for record in records {
+            let obj = record.as_object().expect("record");
+            assert_eq!(
+                lookup(obj, "request_id").and_then(Json::as_str),
+                Some("r0"),
+                "ledger records join back to their request"
+            );
+        }
+    }
+
+    fn admin_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect admin");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+        stream.flush().expect("flush");
+        let mut response = String::new();
+        std::io::BufReader::new(stream)
+            .read_to_string(&mut response)
+            .expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn admin_plane_serves_health_metrics_and_slow() {
+        let service = Arc::new(SolverService::new(
+            ServeConfig::default(),
+            Metrics::enabled(),
+        ));
+        let line = request(&format!(
+            "\"id\":\"q\",\"input\":{}",
+            json_string(SAT_PROGRAM)
+        ));
+        service.handle_line(&line);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind admin");
+        let addr = listener.local_addr().expect("addr");
+        let draining: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let admin = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || serve_admin(&service, listener, draining, stop))
+        };
+        let (head, body) = admin_get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "healthz: {head}");
+        assert_eq!(body, "ok\n");
+        let (head, body) = admin_get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 200"), "readyz: {head}");
+        assert_eq!(body, "ready\n");
+        draining.store(true, Ordering::SeqCst);
+        let (head, body) = admin_get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 503"), "draining readyz: {head}");
+        assert_eq!(body, "draining\n");
+        let (head, body) = admin_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "metrics: {head}");
+        assert!(
+            body.contains("# TYPE dprle_serve_requests_sat_total counter")
+                || body.contains("dprle_serve_requests_sat"),
+            "metrics exposition mentions the serve counters: {body}"
+        );
+        let (head, body) = admin_get(addr, "/slow");
+        assert!(head.starts_with("HTTP/1.1 200"), "slow: {head}");
+        let slow = Json::parse(&body).expect("slow is valid JSON");
+        assert_eq!(slow.as_array().expect("array").len(), 1);
+        let (head, _) = admin_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "unknown route: {head}");
+        stop.store(true, Ordering::SeqCst);
+        admin.join().expect("admin thread").expect("clean exit");
     }
 }

@@ -1,0 +1,396 @@
+//! `dprle watch`: a live terminal view over a `dprle serve` admin plane.
+//!
+//! Polls `GET /metrics` on the admin address (`--admin HOST:PORT` on the
+//! server side), parses the Prometheus text exposition, and renders one
+//! line per sample: request throughput, queue-wait and solve latency
+//! quantiles, store hit-rate, and eviction deltas. All quantities except
+//! the first sample are per-interval deltas, so the view tracks what the
+//! server is doing *now*, not since boot.
+//!
+//! The parser understands exactly the subset the repo's
+//! `MetricsSnapshot::to_prometheus` emits: `# HELP`/`# TYPE` comments,
+//! `name value` scalar samples, and the cumulative histogram triple
+//! `name_bucket{le="..."}` / `name_sum` / `name_count`. Quantiles are
+//! estimated from the log2 cumulative buckets: the reported pNN is the
+//! upper bound of the first bucket whose cumulative count reaches the
+//! rank, i.e. a conservative (never underestimating) figure.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// One parsed cumulative histogram: `(le, cumulative count)` pairs in
+/// exposition order (last is `+Inf`), plus the `_sum` / `_count` samples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PromHistogram {
+    pub buckets: Vec<(f64, u64)>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+/// A parsed `/metrics` exposition: scalar samples (counters and gauges)
+/// by name, and histograms by base name.
+#[derive(Clone, Debug, Default)]
+pub struct PromSnapshot {
+    pub scalars: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, PromHistogram>,
+}
+
+impl PromSnapshot {
+    fn scalar(&self, name: &str) -> u64 {
+        self.scalars.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Parses Prometheus text exposition into scalars and histograms.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<PromSnapshot, String> {
+    let mut snapshot = PromSnapshot::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fail = |what: &str| format!("line {}: {what}: `{line}`", lineno + 1);
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| fail("expected `name value`"))?;
+        let value = value_part
+            .parse::<f64>()
+            .map_err(|_| fail("unparsable sample value"))?;
+        if let Some((base, labels)) = name_part.split_once('{') {
+            // The only labeled sample the renderer emits is the
+            // histogram bucket's `le`.
+            let base = base
+                .strip_suffix("_bucket")
+                .ok_or_else(|| fail("unexpected labeled sample"))?;
+            let le = labels
+                .strip_suffix('}')
+                .and_then(|l| l.strip_prefix("le=\""))
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or_else(|| fail("expected a le=\"...\" label"))?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>().map_err(|_| fail("unparsable le bound"))?
+            };
+            snapshot
+                .histograms
+                .entry(base.to_owned())
+                .or_default()
+                .buckets
+                .push((le, value as u64));
+            continue;
+        }
+        // `_sum` / `_count` belong to a histogram only when its buckets
+        // were already seen (exposition order guarantees this); anything
+        // else is a scalar, even if its name happens to end that way.
+        if let Some(base) = name_part.strip_suffix("_sum") {
+            if let Some(hist) = snapshot.histograms.get_mut(base) {
+                hist.sum = value as u64;
+                continue;
+            }
+        }
+        if let Some(base) = name_part.strip_suffix("_count") {
+            if let Some(hist) = snapshot.histograms.get_mut(base) {
+                hist.count = value as u64;
+                continue;
+            }
+        }
+        snapshot.scalars.insert(name_part.to_owned(), value as u64);
+    }
+    Ok(snapshot)
+}
+
+/// The quantile estimate from a cumulative-bucket histogram: the upper
+/// bound of the first bucket whose cumulative count reaches the rank.
+/// Returns `None` on an empty histogram. A result landing in the `+Inf`
+/// bucket falls back to the largest finite bound (the estimate is then
+/// a lower bound rather than an upper one).
+pub fn quantile(hist: &PromHistogram, q: f64) -> Option<f64> {
+    let total = hist.buckets.last()?.1;
+    if total == 0 {
+        return None;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let rank = ((q * total as f64).ceil()).max(1.0) as u64;
+    let mut last_finite = 0.0;
+    for (le, cumulative) in &hist.buckets {
+        if le.is_finite() {
+            last_finite = *le;
+        }
+        if *cumulative >= rank {
+            return Some(if le.is_finite() { *le } else { last_finite });
+        }
+    }
+    Some(last_finite)
+}
+
+/// The per-interval delta of two cumulative histograms (`now - before`),
+/// bucket by bucket. Buckets are matched positionally: both sides come
+/// from the same registry layout. Saturates on counter resets.
+pub fn histogram_delta(before: &PromHistogram, now: &PromHistogram) -> PromHistogram {
+    let buckets = now
+        .buckets
+        .iter()
+        .enumerate()
+        .map(|(i, (le, cumulative))| {
+            let prior = before.buckets.get(i).map_or(0, |(_, c)| *c);
+            (*le, cumulative.saturating_sub(prior))
+        })
+        .collect();
+    PromHistogram {
+        buckets,
+        sum: now.sum.saturating_sub(before.sum),
+        count: now.count.saturating_sub(before.count),
+    }
+}
+
+/// One rendered sample: throughput plus latency quantiles and store
+/// deltas, computed from two successive snapshots (or one snapshot and
+/// the implicit zero snapshot for the first line).
+pub fn render_row(before: &PromSnapshot, now: &PromSnapshot, elapsed: Duration) -> String {
+    let delta = |name: &str| now.scalar(name).saturating_sub(before.scalar(name));
+    let requests = delta("dprle_serve_requests_sat")
+        + delta("dprle_serve_requests_unsat")
+        + delta("dprle_serve_requests_resource_exhausted")
+        + delta("dprle_serve_requests_parse_error");
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    #[allow(clippy::cast_precision_loss)]
+    let rate = requests as f64 / secs;
+    let latency = |name: &str| -> String {
+        let empty = PromHistogram::default();
+        let before = before.histograms.get(name).unwrap_or(&empty);
+        let Some(now) = now.histograms.get(name) else {
+            return "-/-".to_owned();
+        };
+        let window = histogram_delta(before, now);
+        match (quantile(&window, 0.50), quantile(&window, 0.99)) {
+            (Some(p50), Some(p99)) => format!("{p50:.0}/{p99:.0}"),
+            _ => "-/-".to_owned(),
+        }
+    };
+    let hits = delta("dprle_core_store_memo_hits");
+    let misses = delta("dprle_core_store_memo_misses");
+    let hit_rate = if hits + misses == 0 {
+        "-".to_owned()
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        let pct = 100.0 * hits as f64 / (hits + misses) as f64;
+        format!("{pct:.1}%")
+    };
+    format!(
+        "{rate:8.1} req/s  queue-wait p50/p99 {:>11} µs  solve p50/p99 {:>13} µs  hit-rate {hit_rate:>6}  evictions +{}",
+        latency("dprle_serve_request_queue_wait_us"),
+        latency("dprle_serve_request_solve_us"),
+        delta("dprle_core_store_evictions"),
+    )
+}
+
+/// Fetches `/metrics` from the admin plane with a raw HTTP/1.1 GET.
+fn fetch_metrics(addr: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("{addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}: {status}"));
+    }
+    Ok(body.to_owned())
+}
+
+/// The `dprle watch` entry point. Renders one line per poll; the first
+/// line covers the server's lifetime so far, later lines the interval
+/// since the previous poll.
+pub fn watch_main(argv: &[String], usage: &str) -> ExitCode {
+    let mut interval_ms: u64 = 1000;
+    let mut count: Option<u64> = None;
+    let mut addr: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--interval-ms" => {
+                i += 1;
+                let Some(n) = argv
+                    .get(i)
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .filter(|n| *n >= 1)
+                else {
+                    eprintln!("--interval-ms needs a positive integer\n{usage}");
+                    return ExitCode::from(2);
+                };
+                interval_ms = n;
+            }
+            "--count" => {
+                i += 1;
+                let Some(n) = argv
+                    .get(i)
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .filter(|n| *n >= 1)
+                else {
+                    eprintln!("--count needs a positive integer\n{usage}");
+                    return ExitCode::from(2);
+                };
+                count = Some(n);
+            }
+            "-h" | "--help" => {
+                eprintln!("{usage}");
+                return ExitCode::from(2);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown watch option `{other}`\n{usage}");
+                return ExitCode::from(2);
+            }
+            other => {
+                if addr.is_some() {
+                    eprintln!("multiple addresses\n{usage}");
+                    return ExitCode::from(2);
+                }
+                addr = Some(other.to_owned());
+            }
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        eprintln!("dprle watch needs the admin plane's HOST:PORT\n{usage}");
+        return ExitCode::from(2);
+    };
+    println!("watching {addr} every {interval_ms} ms (first line is since server start)");
+    let mut before = PromSnapshot::default();
+    let mut before_at: Option<Instant> = None;
+    let mut samples = 0u64;
+    loop {
+        let body = match fetch_metrics(&addr) {
+            Ok(body) => body,
+            Err(e) => {
+                eprintln!("dprle: watch: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let now_at = Instant::now();
+        let now = match parse_prometheus(&body) {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                eprintln!("dprle: watch: {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // The first interval has no local baseline timestamp; use the
+        // poll interval as a neutral denominator for the rate.
+        let elapsed = before_at.map_or(Duration::from_millis(interval_ms), |t| now_at - t);
+        println!("{}", render_row(&before, &now, elapsed));
+        before = now;
+        before_at = Some(now_at);
+        samples += 1;
+        if count.is_some_and(|n| samples >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprle_core::metrics::id;
+    use dprle_core::Metrics;
+
+    #[test]
+    fn parses_the_repos_own_prometheus_exposition() {
+        let metrics = Metrics::enabled();
+        metrics.add(id::SERVE_SAT, 3);
+        metrics.add(id::SERVE_UNSAT, 1);
+        metrics.observe(id::SERVE_QUEUE_WAIT_US, 7);
+        metrics.observe(id::SERVE_QUEUE_WAIT_US, 100);
+        let text = metrics.snapshot().expect("enabled").to_prometheus();
+        let parsed = parse_prometheus(&text).expect("parses");
+        assert_eq!(parsed.scalar("dprle_serve_requests_sat"), 3);
+        assert_eq!(parsed.scalar("dprle_serve_requests_unsat"), 1);
+        let hist = parsed
+            .histograms
+            .get("dprle_serve_request_queue_wait_us")
+            .expect("histogram");
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 107);
+        assert_eq!(
+            hist.buckets.last().expect("buckets").1,
+            2,
+            "cumulative total"
+        );
+        assert!(hist.buckets.last().expect("buckets").0.is_infinite());
+    }
+
+    #[test]
+    fn quantiles_come_from_cumulative_buckets() {
+        // 10 samples <= 15, 89 more <= 255, 1 more unbounded.
+        let hist = PromHistogram {
+            buckets: vec![(15.0, 10), (255.0, 99), (f64::INFINITY, 100)],
+            sum: 0,
+            count: 100,
+        };
+        assert_eq!(quantile(&hist, 0.05), Some(15.0));
+        assert_eq!(quantile(&hist, 0.50), Some(255.0));
+        assert_eq!(quantile(&hist, 0.99), Some(255.0));
+        // p100 lands in +Inf; the estimate falls back to the largest
+        // finite bound.
+        assert_eq!(quantile(&hist, 1.0), Some(255.0));
+        assert_eq!(quantile(&PromHistogram::default(), 0.5), None);
+    }
+
+    #[test]
+    fn histogram_deltas_subtract_bucket_by_bucket() {
+        let before = PromHistogram {
+            buckets: vec![(15.0, 4), (f64::INFINITY, 5)],
+            sum: 50,
+            count: 5,
+        };
+        let now = PromHistogram {
+            buckets: vec![(15.0, 10), (f64::INFINITY, 12)],
+            sum: 140,
+            count: 12,
+        };
+        let window = histogram_delta(&before, &now);
+        assert_eq!(window.buckets, vec![(15.0, 6), (f64::INFINITY, 7)]);
+        assert_eq!(window.sum, 90);
+        assert_eq!(window.count, 7);
+    }
+
+    #[test]
+    fn rendered_rows_report_interval_deltas() {
+        let metrics = Metrics::enabled();
+        metrics.add(id::SERVE_SAT, 5);
+        metrics.add(id::STORE_MEMO_HITS, 9);
+        metrics.add(id::STORE_MEMO_MISSES, 1);
+        metrics.observe(id::SERVE_QUEUE_WAIT_US, 3);
+        metrics.observe(id::SERVE_SOLVE_US, 900);
+        let before = PromSnapshot::default();
+        let now = parse_prometheus(&metrics.snapshot().expect("enabled").to_prometheus())
+            .expect("parses");
+        let row = render_row(&before, &now, Duration::from_secs(1));
+        assert!(row.contains("5.0 req/s"), "throughput: {row}");
+        assert!(row.contains("hit-rate  90.0%"), "hit rate: {row}");
+        assert!(row.contains("evictions +0"), "evictions: {row}");
+        // A second, idle interval reports zero throughput.
+        let idle = render_row(&now, &now, Duration::from_secs(1));
+        assert!(idle.contains("0.0 req/s"), "idle: {idle}");
+        assert!(idle.contains("-/-"), "no samples in the window: {idle}");
+    }
+}

@@ -476,6 +476,51 @@ fn ledger_out_is_schema_valid_and_profile_views_render() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"lhs_states\""), "{stdout}");
+
+    // One-shot ledgers are untagged; the per-request rollup groups them
+    // all under the placeholder bucket.
+    let out = dprle(&[
+        "profile",
+        "top",
+        "--by-request",
+        ledger.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hottest requests"), "{stdout}");
+    assert!(stdout.contains("(untagged)"), "{stdout}");
+}
+
+#[test]
+fn one_shot_journals_and_ledgers_omit_request_ids() {
+    // `request_id` is a serve-plane tag joining journal and ledger rows
+    // to a response. One-shot runs must omit the field entirely — not
+    // emit `"request_id":null` — so the byte-compare determinism gates
+    // (identical output across `--jobs` levels) never see it.
+    let file = temp_file("untagged.dprle", MOTIVATING);
+    let journal = std::env::temp_dir().join("dprle_cli_test_untagged_trace.jsonl");
+    let ledger = std::env::temp_dir().join("dprle_cli_test_untagged_ledger.jsonl");
+    let out = dprle(&[
+        "--trace-out",
+        journal.to_str().expect("utf8"),
+        "--ledger-out",
+        ledger.to_str().expect("utf8"),
+        file.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for path in [&journal, &ledger] {
+        let jsonl = std::fs::read_to_string(path).expect("output written");
+        assert!(jsonl.lines().count() > 0, "{} is empty", path.display());
+        assert!(
+            !jsonl.contains("request_id"),
+            "{} mentions request_id:\n{jsonl}",
+            path.display()
+        );
+    }
 }
 
 #[test]

@@ -12,10 +12,14 @@
 //!    `core.store.memo_bytes` gauge's tracked peak, published after
 //!    every eviction settles) stays under the cap — the acceptance
 //!    criterion for the bounded store.
+//! 4. Per-response `stats` are **request-scoped**: a session's counters
+//!    cover exactly its own store work, even while another session is
+//!    mutating the same store — a request's stats equal those of a solo
+//!    twin on a private store (minus wall time).
 
 use dprle_cli::serve::{ServeConfig, SolverService};
-use dprle_core::{json_string, MetricValue, Metrics};
-use std::sync::Arc;
+use dprle_core::{json_string, lookup, Json, MetricValue, Metrics};
+use std::sync::{Arc, Barrier};
 
 /// A deterministic corpus of distinct programs: sat and unsat, single-
 /// and multi-variable, regex- and literal-heavy — enough shape variety
@@ -56,15 +60,47 @@ fn request(id: &str, program: &str) -> String {
     )
 }
 
-/// The deterministic part of a response as raw bytes: everything from
-/// the kind up to (excluding) the stats object — kind, id, assignment
-/// count, solutions, witnesses. Stats legitimately differ between solo
-/// and shared-store runs (that is the point of sharing); these bytes
-/// must not.
-fn answer_bytes(response: &str) -> &str {
-    match response.find(",\"stats\":") {
-        Some(end) => &response[..end],
-        None => response, // parse-error responses carry no stats
+/// The deterministic part of a response, structurally: everything except
+/// the fields that legitimately vary run to run — `stats` (hit rates and
+/// wall time differ between solo and shared-store runs; that is the
+/// point of sharing), the service-assigned `request_id`, and the
+/// lifecycle `breakdown` timings. Kind, id, assignment count, solutions,
+/// and witnesses must be identical.
+fn answer(response: &str) -> Json {
+    let Json::Obj(fields) = Json::parse(response).expect("response parses as JSON") else {
+        panic!("response is not an object: {response}");
+    };
+    Json::Obj(
+        fields
+            .into_iter()
+            .filter(|(key, _)| !matches!(key.as_str(), "stats" | "request_id" | "breakdown"))
+            .collect(),
+    )
+}
+
+/// A response's `stats` object minus its `wall-us` timing — the
+/// deterministic, request-scoped counter set.
+fn stats_without_wall(response: &str) -> Vec<(String, Json)> {
+    let Json::Obj(fields) = Json::parse(response).expect("response parses as JSON") else {
+        panic!("response is not an object: {response}");
+    };
+    let Some(Json::Obj(stats)) = lookup(&fields, "stats").cloned() else {
+        panic!("response carries no stats object: {response}");
+    };
+    stats
+        .into_iter()
+        .filter(|(key, _)| key != "wall-us")
+        .collect()
+}
+
+/// The service-assigned `request_id` echoed in a response.
+fn request_id(response: &str) -> String {
+    let Json::Obj(fields) = Json::parse(response).expect("response parses as JSON") else {
+        panic!("response is not an object: {response}");
+    };
+    match lookup(&fields, "request_id") {
+        Some(Json::Str(id)) => id.clone(),
+        other => panic!("response carries no request_id: {other:?}"),
     }
 }
 
@@ -105,8 +141,8 @@ fn concurrent_sessions_are_byte_identical_to_solo_runs() {
     for handle in handles {
         for (i, response) in handle.join().expect("session thread") {
             assert_eq!(
-                answer_bytes(&response),
-                answer_bytes(&solo[i]),
+                answer(&response),
+                answer(&solo[i]),
                 "program {i} diverged under concurrent sharing"
             );
             answered[i] += 1;
@@ -116,6 +152,63 @@ fn concurrent_sessions_are_byte_identical_to_solo_runs() {
         answered.iter().all(|n| *n >= 2),
         "every program was answered at least twice (warm and cold): {answered:?}"
     );
+}
+
+#[test]
+fn concurrent_sessions_report_disjoint_request_scoped_stats() {
+    let programs = corpus();
+    // Two programs sharing no literals or regexes: their store keys are
+    // disjoint, so neither can warm the other's memo. A request-scoped
+    // stats capture must therefore report, for each, exactly the
+    // counters of a solo run on a private cold store — under the old
+    // global before/after diff, the concurrent neighbor's store traffic
+    // bled into both.
+    let (a, b) = (&programs[0], &programs[1]);
+    let solo_a = service(None, Metrics::disabled()).handle_line(&request("a", a));
+    let solo_b = service(None, Metrics::disabled()).handle_line(&request("b", b));
+
+    for round in 0..8 {
+        let shared = service(None, Metrics::disabled());
+        let barrier = Arc::new(Barrier::new(2));
+        let neighbor = {
+            let shared = Arc::clone(&shared);
+            let barrier = Arc::clone(&barrier);
+            let b = b.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                (0..4)
+                    .map(|_| shared.handle_line(&request("b", &b)))
+                    .collect::<Vec<_>>()
+            })
+        };
+        barrier.wait();
+        let got_a = shared.handle_line(&request("a", a));
+        let got_b = neighbor.join().expect("neighbor session");
+
+        assert_eq!(
+            answer(&got_a),
+            answer(&solo_a),
+            "round {round}: answer diverged"
+        );
+        assert_eq!(
+            stats_without_wall(&got_a),
+            stats_without_wall(&solo_a),
+            "round {round}: session A's counters absorbed its neighbor's store work"
+        );
+        // The neighbor's first run is also cold (A never touches B's
+        // keys), so its counters match B's solo twin too.
+        assert_eq!(
+            stats_without_wall(&got_b[0]),
+            stats_without_wall(&solo_b),
+            "round {round}: session B's cold run diverged from its solo twin"
+        );
+        // One service, five requests: five distinct request ids.
+        let mut ids: Vec<String> = got_b.iter().map(|r| request_id(r)).collect();
+        ids.push(request_id(&got_a));
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 5, "round {round}: request ids collided: {ids:?}");
+    }
 }
 
 #[test]
@@ -130,8 +223,8 @@ fn tiny_cap_eviction_changes_hit_rates_never_outcomes() {
         let free = unbounded.handle_line(&line);
         let tight = capped.handle_line(&line);
         assert_eq!(
-            answer_bytes(&free),
-            answer_bytes(&tight),
+            answer(&free),
+            answer(&tight),
             "program {i} diverged under eviction"
         );
     }
@@ -186,8 +279,8 @@ fn corpus_sweep_peak_memo_bytes_stays_under_the_cap() {
     for handle in handles {
         for (i, response) in handle.join().expect("sweep thread") {
             assert_eq!(
-                answer_bytes(&response),
-                answer_bytes(&reference[i]),
+                answer(&response),
+                answer(&reference[i]),
                 "program {i}: capped sweep diverged from unbounded"
             );
         }

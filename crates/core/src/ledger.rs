@@ -43,7 +43,7 @@
 // reasoning as `core::parallel`).
 #![allow(clippy::mutable_key_type)]
 
-use crate::schema::{self, get_str, get_u64, json_string, Json};
+use crate::schema::{self, get_opt_str, get_str, get_u64, json_string, Json};
 use crate::trace::{parse_jsonl, TraceEventKind};
 use dprle_automata::{ByteClass, EngineKind, InclusionCost, InclusionQuery, MemoIdentity, Nfa};
 use std::cell::RefCell;
@@ -216,6 +216,11 @@ pub struct LedgerRecord {
     pub cost_aux: u64,
     /// Antichain subsumption prunes (zero for products).
     pub cost_prunes: u64,
+    /// Serving request this query belongs to, stamped by a tagged ledger
+    /// ([`Ledger::new_tagged`]) so a multi-tenant `dprle serve` ledger
+    /// attributes cost per request. `None` — and absent from the JSONL
+    /// line, keeping one-shot runs byte-identical — outside serve.
+    pub request_id: Option<Arc<str>>,
 }
 
 impl LedgerRecord {
@@ -253,18 +258,22 @@ impl LedgerRecord {
             QueryKind::Inclusion => {
                 let _ = write!(
                     out,
-                    ",\"macrostates\":{},\"antichain\":{},\"prunes\":{}}}",
+                    ",\"macrostates\":{},\"antichain\":{},\"prunes\":{}",
                     self.cost_main, self.cost_aux, self.cost_prunes
                 );
             }
             QueryKind::Product => {
                 let _ = write!(
                     out,
-                    ",\"explored\":{},\"states\":{}}}",
+                    ",\"explored\":{},\"states\":{}",
                     self.cost_main, self.cost_aux
                 );
             }
         }
+        if let Some(request_id) = &self.request_id {
+            let _ = write!(out, ",\"request_id\":{}", json_string(request_id));
+        }
+        out.push('}');
         out
     }
 
@@ -341,6 +350,7 @@ impl LedgerRecord {
             cost_main,
             cost_aux,
             cost_prunes,
+            request_id: get_opt_str(obj, "request_id")?.map(Arc::from),
         })
     }
 }
@@ -429,6 +439,10 @@ pub(crate) struct LedgerDraft {
 struct LedgerInner {
     seq: AtomicU64,
     sink: Arc<dyn LedgerSink>,
+    /// Request id stamped on every emitted record
+    /// ([`Ledger::new_tagged`]); `None` for one-shot ledgers, whose
+    /// records omit the field entirely.
+    tag: Option<Arc<str>>,
 }
 
 /// The zero-cost-when-disabled query recorder. Cheap to clone (an
@@ -455,10 +469,22 @@ impl Ledger {
 
     /// A ledger emitting finalized records to `sink`.
     pub fn new(sink: Arc<dyn LedgerSink>) -> Ledger {
+        Ledger::build(sink, None)
+    }
+
+    /// A ledger that stamps `request_id` on every emitted record. `dprle
+    /// serve` gives each request its own tagged ledger, so a shared
+    /// multi-tenant ledger attributes every query to its request.
+    pub fn new_tagged(sink: Arc<dyn LedgerSink>, request_id: &str) -> Ledger {
+        Ledger::build(sink, Some(Arc::from(request_id)))
+    }
+
+    fn build(sink: Arc<dyn LedgerSink>, tag: Option<Arc<str>>) -> Ledger {
         Ledger {
             inner: Some(Arc::new(LedgerInner {
                 seq: AtomicU64::new(0),
                 sink,
+                tag,
             })),
         }
     }
@@ -488,10 +514,14 @@ impl Ledger {
         }
     }
 
-    /// Assigns the next sequence number and hands the record to the sink.
+    /// Assigns the next sequence number, stamps the ledger's request tag
+    /// (if any), and hands the record to the sink.
     pub(crate) fn emit(&self, mut record: LedgerRecord) {
         let Some(inner) = &self.inner else { return };
         record.seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        if inner.tag.is_some() {
+            record.request_id = inner.tag.clone();
+        }
         inner.sink.record(&record);
     }
 }
@@ -693,6 +723,7 @@ pub(crate) fn draft_from_inclusion(query: &InclusionQuery<'_>) -> LedgerDraft {
         cost_main: serialized_cost.macrostates,
         cost_aux: serialized_cost.antichain_size,
         cost_prunes: serialized_cost.prunes,
+        request_id: None,
     };
     features(&mut record, query.lhs, query.rhs);
     LedgerDraft {
@@ -735,6 +766,7 @@ pub(crate) fn bypass_inclusion_draft(
         cost_main: cost.macrostates,
         cost_aux: cost.antichain_size,
         cost_prunes: cost.prunes,
+        request_id: None,
     };
     features(&mut record, lhs, rhs);
     LedgerDraft {
@@ -771,6 +803,7 @@ pub(crate) fn product_draft(
         cost_main: explored,
         cost_aux: states,
         cost_prunes: 0,
+        request_id: None,
     };
     features(&mut record, lhs, rhs);
     LedgerDraft {
@@ -882,6 +915,66 @@ pub fn render_top(
         out.push_str(&span_rollup(jsonl)?);
     }
     Ok(out)
+}
+
+/// Renders the `top --by-request` view: ledger records grouped by the
+/// `request_id` that `dprle serve` stamps on them, ranked by total query
+/// wall time — which requests a multi-tenant server spent its solver
+/// budget on. Records without a request id (one-shot `--ledger-out`
+/// runs, or pre-tagging ledgers) group under `(untagged)`.
+pub fn render_top_by_request(records: &[LedgerRecord], limit: usize) -> String {
+    #[derive(Default)]
+    struct RequestAgg {
+        wall_us: u64,
+        queries: u64,
+        memo_hits: u64,
+        work: u64,
+    }
+    let mut map: BTreeMap<String, RequestAgg> = BTreeMap::new();
+    for r in records {
+        let key = r.request_id.as_deref().unwrap_or("(untagged)").to_owned();
+        let agg = map.entry(key).or_default();
+        agg.wall_us += r.ts_us;
+        agg.queries += 1;
+        if r.memo == Some(MemoStatus::Hit) {
+            agg.memo_hits += 1;
+        }
+        agg.work += r.cost_main;
+    }
+    let mut rows: Vec<(String, RequestAgg)> = map.into_iter().collect();
+    rows.sort_by(|a, b| {
+        b.1.wall_us
+            .cmp(&a.1.wall_us)
+            .then(b.1.work.cmp(&a.1.work))
+            .then(a.0.cmp(&b.0))
+    });
+    let mut out = String::new();
+    let total_wall: u64 = records.iter().map(|r| r.ts_us).sum();
+    let _ = writeln!(
+        out,
+        "ledger: {} records across {} request(s), total query wall {total_wall} µs",
+        records.len(),
+        rows.len()
+    );
+    let _ = writeln!(
+        out,
+        "hottest requests (top {} of {}):",
+        limit.min(rows.len()),
+        rows.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:>8}  {:>7}  {:>6}  {:>10}  request",
+        "wall_us", "queries", "hits", "work"
+    );
+    for (request, agg) in rows.iter().take(limit) {
+        let _ = writeln!(
+            out,
+            "  {:>8}  {:>7}  {:>6}  {:>10}  {request}",
+            agg.wall_us, agg.queries, agg.memo_hits, agg.work
+        );
+    }
+    out
 }
 
 /// Builds the flame-style span-path rollup from a trace journal: one row
@@ -1157,6 +1250,7 @@ mod tests {
             cost_main: 17,
             cost_aux: 3,
             cost_prunes: if kind == QueryKind::Inclusion { 1 } else { 0 },
+            request_id: None,
         }
     }
 
@@ -1210,6 +1304,50 @@ mod tests {
             records.iter().map(|r| r.seq).collect::<Vec<_>>(),
             vec![0, 1, 2]
         );
+    }
+
+    #[test]
+    fn tagged_ledger_stamps_request_ids_on_every_record() {
+        let sink = Arc::new(CollectLedger::new());
+        let ledger = Ledger::new_tagged(sink.clone(), "r7");
+        ledger.emit(sample_record(QueryKind::Inclusion));
+        ledger.emit(sample_record(QueryKind::Product));
+        let records = sink.take();
+        assert!(records
+            .iter()
+            .all(|r| r.request_id.as_deref() == Some("r7")));
+        // Stamped records still round-trip and validate.
+        for record in &records {
+            let line = record.to_json();
+            assert!(line.contains("\"request_id\":\"r7\""), "{line}");
+            assert_eq!(parse_ledger(&line).expect("parses"), vec![record.clone()]);
+            assert_eq!(schema::validate_jsonl(LEDGER_SCHEMA, &line), Ok(1));
+        }
+    }
+
+    #[test]
+    fn by_request_rollup_groups_and_ranks_by_wall_time() {
+        let tag = |id: Option<&str>, ts_us: u64| {
+            let mut record = sample_record(QueryKind::Inclusion);
+            record.request_id = id.map(Arc::from);
+            record.ts_us = ts_us;
+            record
+        };
+        let records = vec![
+            tag(Some("r0"), 10),
+            tag(Some("r1"), 500),
+            tag(Some("r1"), 500),
+            tag(None, 1),
+        ];
+        let out = render_top_by_request(&records, 10);
+        assert!(
+            out.contains("4 records across 3 request(s)"),
+            "header: {out}"
+        );
+        let rows: Vec<&str> = out.lines().skip(3).collect();
+        assert!(rows[0].ends_with("r1") && rows[0].contains("1000"), "{out}");
+        assert!(rows[1].ends_with("r0"), "{out}");
+        assert!(rows[2].ends_with("(untagged)"), "{out}");
     }
 
     #[test]

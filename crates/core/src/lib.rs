@@ -71,9 +71,9 @@ pub use gci::{GciOptions, GroupCost, GroupOutcome, ProductCapHit};
 pub use graph::{DependencyGraph, NodeId, NodeKind};
 pub use incremental::Solver;
 pub use ledger::{
-    parse_ledger, render_diff, render_model, render_top, validate_ledger_jsonl, CollectLedger,
-    DiffOptions, DiffReport, Ledger, LedgerRecord, LedgerSink, MemoStatus, QueryKind, QueryOutcome,
-    LEDGER_SCHEMA,
+    parse_ledger, render_diff, render_model, render_top, render_top_by_request,
+    validate_ledger_jsonl, CollectLedger, DiffOptions, DiffReport, Ledger, LedgerRecord,
+    LedgerSink, MemoStatus, QueryKind, QueryOutcome, LEDGER_SCHEMA,
 };
 pub use metrics::{
     parse_snapshot, render_report, validate_metrics_jsonl, Budget, BudgetKind, MetricEntry,

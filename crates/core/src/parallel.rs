@@ -270,15 +270,23 @@ where
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // The spawner's request-scoped stats scope is thread-local, so it does
+    // not propagate into the pool on its own: capture it here and install
+    // it once per worker. Scoped counters are atomic and adds commute, so
+    // totals stay byte-identical at every jobs count.
+    let stats_scope = dprle_automata::current_stats_scope();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let _stats_guard = stats_scope.clone().map(dprle_automata::install_stats_scope);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i);
+                    *slots[i].lock().expect("level slot") = Some(out);
                 }
-                let out = f(i);
-                *slots[i].lock().expect("level slot") = Some(out);
             });
         }
     });

@@ -470,6 +470,16 @@ pub(crate) fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a st
         .ok_or_else(|| format!("missing string field `{key}`"))
 }
 
+pub(crate) fn get_opt_str(obj: &[(String, Json)], key: &str) -> Result<Option<String>, String> {
+    match lookup(obj, key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| format!("field `{key}` is not a string")),
+    }
+}
+
 pub(crate) fn get_opt_u32(obj: &[(String, Json)], key: &str) -> Result<Option<u32>, String> {
     match lookup(obj, key) {
         None | Some(Json::Null) => Ok(None),

@@ -35,7 +35,10 @@ use crate::parallel::{drive_worklist, RoutedStoreObserver, WorklistCtx};
 use crate::solution::{Assignment, Solution};
 use crate::spec::{Constraint, Expr, System, VarId};
 use crate::trace::{TraceEventKind, Tracer};
-use dprle_automata::{inclusion_engine, ops, EngineKind, InclusionLimits, Lang, LangStore, Nfa};
+use dprle_automata::{
+    current_stats_scope, inclusion_engine, install_stats_scope, ops, EngineKind, InclusionLimits,
+    Lang, LangStore, Nfa, ScopedStoreStats,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -183,22 +186,22 @@ pub struct SolveStats {
     pub product_states: u64,
     /// Macrostates explored by the run's winning inclusion checks
     /// (subset-construction states plus product pairs — see the
-    /// [`inclusion`](dprle_automata::inclusion) module). A store-stats
-    /// before/after diff, identical at every [`SolveOptions::jobs`] count
-    /// but *engine-dependent*: differential engine comparisons must exclude
-    /// it.
+    /// [`inclusion`](dprle_automata::inclusion) module). Captured by a
+    /// request-scoped counter scope ([`dprle_automata::ScopedStoreStats`]),
+    /// identical at every [`SolveOptions::jobs`] count but
+    /// *engine-dependent*: differential engine comparisons must exclude it.
     pub inclusion_macrostates: u64,
     /// Growth of the store's memo byte footprint over this run (interned
-    /// machines and memo table entries — see `StoreStats::memo_bytes`). A
-    /// before/after diff, so shared-store callers get this run's
-    /// contribution only; under a store byte cap eviction can shrink the
-    /// footprint mid-run, in which case this saturates at zero rather than
+    /// machines and memo table entries — see `StoreStats::memo_bytes`):
+    /// bytes this run's memo inserts charged minus bytes evicted during the
+    /// run, so shared-store callers get this run's contribution only even
+    /// under concurrent sessions; under a store byte cap eviction can
+    /// outpace charging, in which case this saturates at zero rather than
     /// underflowing.
     pub peak_bytes: u64,
-    /// Memo entries dropped by store LRU eviction during this run (a
-    /// before/after diff). Zero unless a `--store-max-bytes` cap is
-    /// installed; nonzero values mean hit rates — never answers — were
-    /// affected by cache pressure.
+    /// Memo entries dropped by store LRU eviction during this run. Zero
+    /// unless a `--store-max-bytes` cap is installed; nonzero values mean
+    /// hit rates — never answers — were affected by cache pressure.
     pub store_evictions: u64,
     /// Human-readable trace events (populated when
     /// [`SolveOptions::trace`] is set).
@@ -384,27 +387,37 @@ pub fn try_solve_traced(
             options.ledger.clone(),
         )));
     }
-    let before = store.stats();
-    let result = if options.strip_constant_operands {
-        let (stripped, constraints) = strip_constant_operands(system);
-        solve_prepared(&stripped, &constraints, options, system, store, tracer)
-    } else {
-        let constraints = system.union_free_constraints();
-        solve_prepared(system, &constraints, options, system, store, tracer)
+    // Request-scoped counter capture: a thread-local scope mirrors every
+    // store counter bump made by this solve (parallel workers re-install it,
+    // see `parallel::map_level`), so the reported stats cover exactly this
+    // run's work — accurate even when the store is shared with concurrent
+    // sessions, and byte-identical to the old global before/after diffs
+    // when it is not.
+    let scope = Arc::new(ScopedStoreStats::default());
+    let result = {
+        let _scope_guard = install_stats_scope(Arc::clone(&scope));
+        if options.strip_constant_operands {
+            let (stripped, constraints) = strip_constant_operands(system);
+            solve_prepared(&stripped, &constraints, options, system, store, tracer)
+        } else {
+            let constraints = system.union_free_constraints();
+            solve_prepared(system, &constraints, options, system, store, tracer)
+        }
     };
-    let after = store.stats();
     if observing {
         store.clear_observer();
     }
     let finalize = |stats: &mut SolveStats| {
-        stats.fingerprint_hits = (after.fingerprint_hits - before.fingerprint_hits) as usize;
-        stats.fingerprint_misses = (after.fingerprint_misses - before.fingerprint_misses) as usize;
-        stats.memo_op_hits = (after.op_hits - before.op_hits) as usize;
-        stats.memo_op_misses = (after.op_misses - before.op_misses) as usize;
-        stats.states_materialized =
-            (after.states_materialized - before.states_materialized) as usize;
-        stats.inclusion_macrostates = after.inclusion_macrostates - before.inclusion_macrostates;
-        stats.store_evictions = after.evictions - before.evictions;
+        let load = |counter: &std::sync::atomic::AtomicU64| {
+            counter.load(std::sync::atomic::Ordering::Relaxed)
+        };
+        stats.fingerprint_hits = load(&scope.fingerprint_hits) as usize;
+        stats.fingerprint_misses = load(&scope.fingerprint_misses) as usize;
+        stats.memo_op_hits = load(&scope.op_hits) as usize;
+        stats.memo_op_misses = load(&scope.op_misses) as usize;
+        stats.states_materialized = load(&scope.states_materialized) as usize;
+        stats.inclusion_macrostates = load(&scope.inclusion_macrostates);
+        stats.store_evictions = load(&scope.evictions);
     };
     match result {
         Ok((solution, mut stats)) => {
@@ -550,7 +563,11 @@ fn solve_prepared(
 ) -> Result<(Solution, SolveStats), Box<ResourceExhausted>> {
     let mut stats = SolveStats::default();
     let mut track = BudgetTrack::new(&options.budget);
-    let memo_before = store.stats().memo_bytes;
+    // Net memo growth observed by the ambient stats scope installed in
+    // `try_solve_traced`; reproduces the old `memo_bytes` before/after diff
+    // exactly in a single-request window and stays request-attributable
+    // when the store is shared (see `ScopedStoreStats::net_bytes`).
+    let scoped_net_bytes = || current_stats_scope().map_or(0, |s| s.net_bytes());
     macro_rules! trace {
         ($($arg:tt)*) => {
             if options.trace {
@@ -605,7 +622,7 @@ fn solve_prepared(
                 system.expr_to_string(&c.lhs),
                 system.const_name(c.rhs)
             );
-            stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+            stats.peak_bytes = scoped_net_bytes();
             emit_metrics_snapshot(tracer, options, &stats, &track);
             tracer.emit(|| TraceEventKind::SolveEnd {
                 sat: false,
@@ -649,7 +666,7 @@ fn solve_prepared(
             states_built: m.num_states() as u64,
         };
         if let Err(breach) = charge_entry_cost(&leaf_cost, options, &mut stats, &mut track) {
-            stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+            stats.peak_bytes = scoped_net_bytes();
             return Err(budget_error(breach, options, &stats));
         }
         trace!(
@@ -692,7 +709,7 @@ fn solve_prepared(
         let produced = match drive_worklist(&ctx, options.jobs, &mut stats, &mut track) {
             Ok(produced) => produced,
             Err(breach) => {
-                stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+                stats.peak_bytes = scoped_net_bytes();
                 return Err(budget_error(breach, options, &stats));
             }
         };
@@ -707,7 +724,7 @@ fn solve_prepared(
         } else {
             Solution::Assignments(produced)
         };
-        stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+        stats.peak_bytes = scoped_net_bytes();
         emit_metrics_snapshot(tracer, options, &stats, &track);
         tracer.emit(|| TraceEventKind::SolveEnd {
             sat: solution.is_sat(),
@@ -729,7 +746,7 @@ fn solve_prepared(
             .metrics
             .gauge_set(id::WORKLIST_DEPTH, queue.len() as u64);
         if let Err(breach) = check_deadline(options, &track) {
-            stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+            stats.peak_bytes = scoped_net_bytes();
             return Err(budget_error(breach, options, &stats));
         }
         if gi == groups.len() {
@@ -781,7 +798,7 @@ fn solve_prepared(
                 options
                     .metrics
                     .add(id::SOLVE_PRODUCT_STATES, hit.cost.product_states);
-                stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+                stats.peak_bytes = scoped_net_bytes();
                 return Err(budget_error(
                     cap_hit_breach(&hit, options, &track),
                     options,
@@ -790,7 +807,7 @@ fn solve_prepared(
             }
         };
         if let Err(breach) = charge_entry_cost(&outcome.cost, options, &mut stats, &mut track) {
-            stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+            stats.peak_bytes = scoped_net_bytes();
             return Err(budget_error(breach, options, &stats));
         }
         let disjuncts = outcome.solutions;
@@ -838,7 +855,7 @@ fn solve_prepared(
     } else {
         Solution::Assignments(produced)
     };
-    stats.peak_bytes = store.stats().memo_bytes.saturating_sub(memo_before);
+    stats.peak_bytes = scoped_net_bytes();
     emit_metrics_snapshot(tracer, options, &stats, &track);
     tracer.emit(|| TraceEventKind::SolveEnd {
         sat: solution.is_sat(),

@@ -263,6 +263,11 @@ pub struct TraceEvent {
     pub seq: u64,
     /// Microseconds since the tracer was created (monotonic clock).
     pub ts_us: u64,
+    /// Serving request this event belongs to, stamped by a tagged tracer
+    /// ([`Tracer::new_tagged`]) so a shared `dprle serve` journal joins
+    /// against responses and ledger records. `None` — and *absent* from the
+    /// JSONL line, keeping one-shot runs byte-identical — outside serve.
+    pub request_id: Option<Arc<str>>,
     /// The event payload.
     pub kind: TraceEventKind,
 }
@@ -384,6 +389,9 @@ impl TraceEvent {
                 );
             }
         }
+        if let Some(request_id) = &self.request_id {
+            let _ = write!(out, ",\"request_id\":{}", json_string(request_id));
+        }
         out.push('}');
         out
     }
@@ -480,7 +488,13 @@ impl TraceEvent {
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
-        Ok(TraceEvent { seq, ts_us, kind })
+        let request_id = get_opt_str(obj, "request_id")?.map(Arc::from);
+        Ok(TraceEvent {
+            seq,
+            ts_us,
+            request_id,
+            kind,
+        })
     }
 }
 
@@ -529,6 +543,9 @@ struct TracerInner {
     /// Stack of open span ids, for parent attribution. The solver is
     /// single-threaded per run; the mutex is uncontended.
     stack: Mutex<Vec<u64>>,
+    /// Request id stamped on every event ([`Tracer::new_tagged`]); `None`
+    /// for one-shot tracers, whose events omit the field entirely.
+    tag: Option<Arc<str>>,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -548,6 +565,18 @@ impl Tracer {
 
     /// A tracer recording to `sink`, with timestamps measured from now.
     pub fn new(sink: Arc<dyn TraceSink>) -> Tracer {
+        Tracer::build(sink, None)
+    }
+
+    /// A tracer recording to `sink` that stamps `request_id` on every
+    /// event. `dprle serve` gives each request its own tagged tracer over
+    /// one shared journal sink, so concurrently interleaved events join
+    /// against their response and ledger records.
+    pub fn new_tagged(sink: Arc<dyn TraceSink>, request_id: &str) -> Tracer {
+        Tracer::build(sink, Some(Arc::from(request_id)))
+    }
+
+    fn build(sink: Arc<dyn TraceSink>, tag: Option<Arc<str>>) -> Tracer {
         Tracer {
             inner: Some(Arc::new(TracerInner {
                 sink,
@@ -555,6 +584,7 @@ impl Tracer {
                 seq: AtomicU64::new(0),
                 next_span: AtomicU64::new(1),
                 stack: Mutex::new(Vec::new()),
+                tag,
             })),
         }
     }
@@ -622,6 +652,7 @@ impl Tracer {
                 seq: AtomicU64::new(0),
                 next_span: AtomicU64::new(1),
                 stack: Mutex::new(Vec::new()),
+                tag: inner.tag.clone(),
             })),
         };
         (child, Some(sink))
@@ -669,7 +700,12 @@ impl TracerInner {
     fn record(&self, kind: TraceEventKind) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let ts_us = self.epoch.elapsed().as_micros() as u64;
-        self.sink.record(&TraceEvent { seq, ts_us, kind });
+        self.sink.record(&TraceEvent {
+            seq,
+            ts_us,
+            request_id: self.tag.clone(),
+            kind,
+        });
     }
 }
 
@@ -1133,7 +1169,7 @@ pub use crate::schema::{schema_kinds, validate_jsonl};
 
 pub(crate) use crate::schema::Json;
 use crate::schema::{
-    get_bool, get_opt_u32, get_str, get_u32_array, get_u64, get_usize, json_string,
+    get_bool, get_opt_str, get_opt_u32, get_str, get_u32_array, get_u64, get_usize, json_string,
 };
 
 #[cfg(test)]
@@ -1295,6 +1331,31 @@ mod tests {
         let jsonl: String = events.iter().map(|e| e.to_json() + "\n").collect();
         let n = validate_jsonl(TRACE_SCHEMA, &jsonl).expect("schema-valid");
         assert_eq!(n, events.len());
+    }
+
+    #[test]
+    fn tagged_events_validate_roundtrip_and_untagged_events_omit_the_field() {
+        let sink = Arc::new(CollectSink::new());
+        let tracer = Tracer::new_tagged(sink.clone(), "r42");
+        tracer.emit(|| TraceEventKind::SolveStart {
+            constraints: 1,
+            vars: 1,
+        });
+        {
+            let _solve = tracer.span("solve", None, None);
+        }
+        let jsonl: String = sink.take().iter().map(|e| e.to_json() + "\n").collect();
+        let n = validate_jsonl(TRACE_SCHEMA, &jsonl).expect("tagged events are schema-valid");
+        assert_eq!(n, 3);
+        for event in parse_jsonl(&jsonl).expect("tagged events parse back") {
+            assert_eq!(event.request_id.as_deref(), Some("r42"));
+        }
+
+        // Untagged tracers must omit the field entirely — not serialize
+        // `"request_id":null` — so one-shot journals stay byte-identical
+        // to pre-tagging output.
+        let untagged: String = sample_events().iter().map(|e| e.to_json() + "\n").collect();
+        assert!(!untagged.contains("request_id"), "{untagged}");
     }
 
     #[test]
