@@ -1,0 +1,249 @@
+//! Cost-predicted inclusion-engine selection (the `auto` engine's brain).
+//!
+//! The per-query cost ledger (PR 6) records, for every inclusion query the
+//! solver issues, a feature vector — operand state/transition counts and
+//! the byte-class width — next to the engine work it cost (`dprle profile
+//! model` aggregates the ledger into one row per observed feature vector).
+//! This module closes the loop: a small checked-in linear model, fitted
+//! offline on `BENCH_fig12_ledger.jsonl` runs of all three concrete
+//! engines over the fig12 corpus, predicts each engine's work from the
+//! features, and [`select`] picks the cheapest engine per query.
+//!
+//! Everything here is deterministic integer arithmetic: the same operands
+//! always produce the same features, predictions, and selection, on every
+//! platform and at every thread count — a hard requirement, because the
+//! selected engine's name is serialized into ledgers and journals that CI
+//! diffs byte-for-byte across `--jobs` values.
+//!
+//! The model is intentionally tiny (ridge-regularized weighted least
+//! squares on five features, re-fitted by hand when the corpus shifts;
+//! see DESIGN.md §12 for the fitting procedure). It does not need to be
+//! accurate in absolute terms — only the *argmin* matters, and the
+//! engines' costs diverge by orders of magnitude exactly where choosing
+//! right matters (determinization blowups).
+
+use crate::byteclass::ByteClass;
+use crate::inclusion::EngineKind;
+use crate::nfa::Nfa;
+use std::collections::BTreeSet;
+
+/// The ledger's per-query feature vector, recomputed store-side so the
+/// selection can run before any engine does.
+///
+/// Field definitions match `core::ledger`'s record schema exactly:
+/// `classes` is the number of *distinct* byte-classes across both
+/// machines' edges (the alphabet width the engines actually explore after
+/// minterm splitting is bounded by a function of this).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryFeatures {
+    /// LHS state count.
+    pub lhs_states: u64,
+    /// LHS edge count (ε-edges excluded).
+    pub lhs_transitions: u64,
+    /// RHS state count.
+    pub rhs_states: u64,
+    /// RHS edge count (ε-edges excluded).
+    pub rhs_transitions: u64,
+    /// Distinct byte-classes across both machines.
+    pub classes: u64,
+}
+
+/// Distinct byte-classes across both machines' edges — the `classes`
+/// ledger feature. (`core::ledger` delegates here so the serialized
+/// feature and the selection feature can never drift apart.)
+pub fn distinct_classes(lhs: &Nfa, rhs: &Nfa) -> u64 {
+    let mut classes: BTreeSet<ByteClass> = BTreeSet::new();
+    classes.extend(lhs.edges().map(|(_, c, _)| c));
+    classes.extend(rhs.edges().map(|(_, c, _)| c));
+    classes.len() as u64
+}
+
+/// Extracts the selection features for an `a`-vs-`b` query.
+pub fn features(a: &Nfa, b: &Nfa) -> QueryFeatures {
+    QueryFeatures {
+        lhs_states: a.num_states() as u64,
+        lhs_transitions: a.num_transitions() as u64,
+        rhs_states: b.num_states() as u64,
+        rhs_transitions: b.num_transitions() as u64,
+        classes: distinct_classes(a, b),
+    }
+}
+
+/// One engine's fitted cost predictor: predicted per-query wall time (in
+/// milli-microsecond units, so small fractional weights survive integer
+/// arithmetic) is the dot product of the weights with `[1, lhs_states,
+/// lhs_transitions, rhs_states, rhs_transitions, classes]`, clamped at
+/// zero.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineWeights {
+    /// The engine these weights predict.
+    pub kind: EngineKind,
+    /// Constant term (milli-units).
+    pub bias: i64,
+    /// Weight on `lhs_states` (milli-units).
+    pub lhs_states: i64,
+    /// Weight on `lhs_transitions` (milli-units).
+    pub lhs_transitions: i64,
+    /// Weight on `rhs_states` (milli-units).
+    pub rhs_states: i64,
+    /// Weight on `rhs_transitions` (milli-units).
+    pub rhs_transitions: i64,
+    /// Weight on `classes` (milli-units).
+    pub classes: i64,
+}
+
+/// The checked-in model, one row per concrete engine, in tie-breaking
+/// order: on equal predictions the earlier row wins, so the default
+/// engine is preferred when the model cannot distinguish.
+///
+/// Fitted by ridge-regularized weighted least squares (λ = 0.5, scaled
+/// per-diagonal) on the union of `BENCH_fig12_ledger.jsonl` regenerations
+/// under `--inclusion eager`, `--inclusion antichain`, and `--inclusion
+/// derivative` (one `dprle profile model` table per engine; each
+/// aggregate row weighted by its query count, target per-query `wall_us`,
+/// weights in milli-µs). On the fitting corpus the argmin matches the
+/// measured-fastest engine on 919 of 1023 queries, and every miss is a
+/// sub-3 µs toss-up between near-tied engines (total selection regret
+/// 89 µs vs 15.9 ms for always picking the default engine). See
+/// DESIGN.md §12 for the exact procedure and the fitting snapshot.
+pub const MODEL: [EngineWeights; 3] = [
+    EngineWeights {
+        kind: EngineKind::Antichain,
+        bias: -5041,
+        lhs_states: 1229,
+        lhs_transitions: 1208,
+        rhs_states: -242,
+        rhs_transitions: -247,
+        classes: 1142,
+    },
+    EngineWeights {
+        kind: EngineKind::Derivative,
+        bias: -474_505,
+        lhs_states: 91_393,
+        lhs_transitions: 89_768,
+        rhs_states: -40_665,
+        rhs_transitions: -35_328,
+        classes: -8473,
+    },
+    EngineWeights {
+        kind: EngineKind::Eager,
+        bias: 1635,
+        lhs_states: 40,
+        lhs_transitions: 40,
+        rhs_states: 240,
+        rhs_transitions: 214,
+        classes: 237,
+    },
+];
+
+/// Predicted per-query wall time for `kind` on a query with features
+/// `f`, in milli-microseconds. Panics if `kind` has no model row (only
+/// the three concrete engines are predictable).
+pub fn predict(kind: EngineKind, f: &QueryFeatures) -> u64 {
+    let w = MODEL
+        .iter()
+        .find(|w| w.kind == kind)
+        .expect("only concrete engines have cost predictions");
+    let raw = w.bias
+        + w.lhs_states * f.lhs_states as i64
+        + w.lhs_transitions * f.lhs_transitions as i64
+        + w.rhs_states * f.rhs_states as i64
+        + w.rhs_transitions * f.rhs_transitions as i64
+        + w.classes * f.classes as i64;
+    raw.max(0) as u64
+}
+
+/// The engine with the smallest predicted work for `f`; ties break toward
+/// the earlier [`MODEL`] row (the default engine first).
+pub fn select(f: &QueryFeatures) -> EngineKind {
+    let mut best = MODEL[0].kind;
+    let mut best_cost = predict(best, f);
+    for w in &MODEL[1..] {
+        let cost = predict(w.kind, f);
+        if cost < best_cost {
+            best = w.kind;
+            best_cost = cost;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn features_match_the_ledger_schema_definitions() {
+        let a = Nfa::literal(b"ab");
+        let b = ops::star(&Nfa::literal(b"a"));
+        let f = features(&a, &b);
+        assert_eq!(f.lhs_states, a.num_states() as u64);
+        assert_eq!(f.lhs_transitions, a.num_transitions() as u64);
+        assert_eq!(f.rhs_states, b.num_states() as u64);
+        assert_eq!(f.rhs_transitions, b.num_transitions() as u64);
+        // 'a' and 'b' singleton classes are distinct; the reverse query
+        // shares the same class set, so the feature is symmetric here.
+        assert_eq!(f.classes, 2);
+        assert_eq!(f.classes, features(&b, &a).classes);
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_concrete() {
+        let a = Nfa::literal(b"ab");
+        let b = ops::star(&Nfa::literal(b"a"));
+        let f = features(&a, &b);
+        let first = select(&f);
+        assert_ne!(first, EngineKind::Auto, "auto must resolve to a worker");
+        for _ in 0..10 {
+            assert_eq!(select(&features(&a, &b)), first);
+        }
+    }
+
+    #[test]
+    fn model_prefers_eager_on_determinization_heavy_queries() {
+        // Anchors the fitted weights to the fig12 corpus: once the LHS
+        // grows past a few dozen states the eager engine is measured
+        // fastest by an order of magnitude (18-32 µs vs 93-643000 µs),
+        // and the model must keep routing those queries to it.
+        for (lhs_states, lhs_transitions, classes) in
+            [(38, 41, 27), (50, 53, 30), (60, 63, 34), (2826, 2829, 42)]
+        {
+            let f = QueryFeatures {
+                lhs_states,
+                lhs_transitions,
+                rhs_states: 8,
+                rhs_transitions: 9,
+                classes,
+            };
+            assert_eq!(select(&f), EngineKind::Eager, "{f:?}");
+        }
+        // ... while the small constraint-graph queries that dominate the
+        // corpus by count stay on the cheap lazy engines.
+        let small = QueryFeatures {
+            lhs_states: 3,
+            lhs_transitions: 4,
+            rhs_states: 3,
+            rhs_transitions: 4,
+            classes: 3,
+        };
+        assert_ne!(select(&small), EngineKind::Eager, "{small:?}");
+    }
+
+    #[test]
+    fn every_concrete_engine_has_exactly_one_model_row() {
+        for kind in [
+            EngineKind::Eager,
+            EngineKind::Antichain,
+            EngineKind::Derivative,
+        ] {
+            assert_eq!(MODEL.iter().filter(|w| w.kind == kind).count(), 1, "{kind}");
+        }
+        assert!(MODEL.iter().all(|w| w.kind != EngineKind::Auto));
+        assert_eq!(
+            MODEL[0].kind,
+            EngineKind::default(),
+            "ties must break toward the default engine"
+        );
+    }
+}

@@ -17,15 +17,22 @@
 //!   Only the reachable, non-subsumed part of the subset construction is
 //!   ever built, which is what makes budgeted inclusion on determinization
 //!   blowups decidable where the eager path can only abort.
+//! * [`crate::derivative::DerivativeEngine`] — Brzozowski/Antimirov-style
+//!   derivative pairs with similarity-based memoization: both operands
+//!   stay symbolic (no product, no up-front subset construction), with
+//!   pruning on *both* sides of the query instead of only the RHS.
+//! * [`AutoEngine`] — not a decision procedure but a dispatcher: resolves
+//!   each query to one of the concrete engines above via the checked-in
+//!   [`crate::costmodel`] fitted on the fig12 ledger corpus.
 //!
-//! Both engines share the same cheap structural pre-checks (an empty LHS is
+//! All engines share the same cheap structural pre-checks (an empty LHS is
 //! included in everything) and the same budget hooks: a macrostate cap and
 //! a wall-clock deadline, both checked inside the frontier loop, so a
 //! breach surfaces as a typed [`InclusionAbort`] carrying the partial
 //! [`InclusionCost`] instead of an unbounded blowup.
 //!
 //! Engine choice never changes an answer — the differential test suite and
-//! the `differential-inclusion` CI job hold the two implementations to
+//! the `differential-inclusion` CI job hold every implementation to
 //! bit-identical verdicts — so memo tables keyed on canonical language
 //! fingerprints remain engine-invariant.
 
@@ -47,17 +54,40 @@ pub enum EngineKind {
     /// pruning (the default).
     #[default]
     Antichain,
+    /// Derivative-pair search with similarity-based memoization
+    /// ([`crate::derivative::DerivativeEngine`]): product-free on both
+    /// sides of the query.
+    Derivative,
+    /// Per-query cost-predicted selection among the concrete engines,
+    /// driven by the checked-in [`crate::costmodel`] fitted on the fig12
+    /// ledger corpus.
+    Auto,
 }
 
 impl EngineKind {
     /// Every selectable engine, in CLI listing order.
-    pub const ALL: [EngineKind; 2] = [EngineKind::Eager, EngineKind::Antichain];
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Eager,
+        EngineKind::Antichain,
+        EngineKind::Derivative,
+        EngineKind::Auto,
+    ];
+
+    /// The engines that run their own search (everything but `auto`,
+    /// which delegates to one of these per query).
+    pub const CONCRETE: [EngineKind; 3] = [
+        EngineKind::Eager,
+        EngineKind::Antichain,
+        EngineKind::Derivative,
+    ];
 
     /// The CLI-facing name (`--inclusion=<name>`).
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Eager => "eager",
             EngineKind::Antichain => "antichain",
+            EngineKind::Derivative => "derivative",
+            EngineKind::Auto => "auto",
         }
     }
 
@@ -190,6 +220,15 @@ pub trait InclusionEngine: Send + Sync {
     /// Which implementation this is.
     fn kind(&self) -> EngineKind;
 
+    /// The kind that will actually run `a`-vs-`b` queries: concrete
+    /// engines answer themselves, while [`AutoEngine`] resolves to the
+    /// concrete kind its cost model picks for these operands. Callers
+    /// that attribute work per engine (the ledger, metrics) should
+    /// resolve first so `auto` queries are charged to their winner.
+    fn resolve(&self, _a: &Nfa, _b: &Nfa) -> EngineKind {
+        self.kind()
+    }
+
     /// Is `L(a) ⊆ L(b)`? Budgeted.
     fn try_subset(
         &self,
@@ -288,9 +327,13 @@ fn deadline_passed(limits: &InclusionLimits) -> bool {
 pub fn engine(kind: EngineKind) -> &'static dyn InclusionEngine {
     static EAGER: EagerEngine = EagerEngine;
     static ANTICHAIN: AntichainEngine = AntichainEngine;
+    static DERIVATIVE: crate::derivative::DerivativeEngine = crate::derivative::DerivativeEngine;
+    static AUTO: AutoEngine = AutoEngine;
     match kind {
         EngineKind::Eager => &EAGER,
         EngineKind::Antichain => &ANTICHAIN,
+        EngineKind::Derivative => &DERIVATIVE,
+        EngineKind::Auto => &AUTO,
     }
 }
 
@@ -667,6 +710,68 @@ impl InclusionEngine for AntichainEngine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Auto engine
+// ---------------------------------------------------------------------------
+
+/// Cost-predicted per-query selection: every call resolves the operands'
+/// features through [`crate::costmodel::select`] and delegates to the
+/// winning concrete engine. Selection is pure integer arithmetic over the
+/// operands, so the engine inherits the purity contract — the same
+/// operands always resolve to the same worker, keeping verdicts, costs,
+/// ledgers, and journals deterministic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AutoEngine;
+
+impl InclusionEngine for AutoEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Auto
+    }
+
+    fn resolve(&self, a: &Nfa, b: &Nfa) -> EngineKind {
+        crate::costmodel::select(&crate::costmodel::features(a, b))
+    }
+
+    fn try_subset(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(bool, InclusionCost), InclusionAbort> {
+        engine(self.resolve(a, b)).try_subset(a, b, limits)
+    }
+
+    fn try_counterexample(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(Option<Vec<u8>>, InclusionCost), InclusionAbort> {
+        engine(self.resolve(a, b)).try_counterexample(a, b, limits)
+    }
+
+    /// Resolves once for the query and lets the winner run both
+    /// directions, so the shared budget stays within one engine's cost
+    /// accounting.
+    fn try_equivalent(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(bool, InclusionCost), InclusionAbort> {
+        engine(self.resolve(a, b)).try_equivalent(a, b, limits)
+    }
+
+    fn try_intersection_empty(
+        &self,
+        a: &Nfa,
+        b: &Nfa,
+        limits: &InclusionLimits,
+    ) -> Result<(bool, InclusionCost), InclusionAbort> {
+        engine(self.resolve(a, b)).try_intersection_empty(a, b, limits)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,6 +789,36 @@ mod tests {
         }
         assert_eq!(EngineKind::parse("bogus"), None);
         assert_eq!(EngineKind::default(), EngineKind::Antichain);
+        assert!(
+            EngineKind::CONCRETE.iter().all(|k| *k != EngineKind::Auto),
+            "auto delegates; it is not a concrete engine"
+        );
+        for kind in EngineKind::CONCRETE {
+            assert!(EngineKind::ALL.contains(&kind));
+        }
+    }
+
+    #[test]
+    fn auto_engine_resolves_to_a_concrete_worker_and_agrees() {
+        let auto = engine(EngineKind::Auto);
+        let aa = Nfa::literal(b"aa");
+        let astar = ops::star(&Nfa::literal(b"a"));
+        let resolved = auto.resolve(&aa, &astar);
+        assert_ne!(resolved, EngineKind::Auto);
+        assert!(EngineKind::CONCRETE.contains(&resolved));
+        // Resolution is pure: the same operands pick the same worker.
+        assert_eq!(auto.resolve(&aa, &astar), resolved);
+        // And concrete engines resolve to themselves.
+        for kind in EngineKind::CONCRETE {
+            assert_eq!(engine(kind).resolve(&aa, &astar), kind);
+        }
+        assert!(auto.is_subset(&aa, &astar));
+        assert!(!auto.is_subset(&astar, &aa));
+        assert!(!auto.equivalent(&aa, &astar));
+        assert!(auto.intersection_empty(&Nfa::literal(b"ab"), &Nfa::literal(b"ba")));
+        let cex = auto.counterexample(&astar, &aa).expect("inclusion fails");
+        assert!(astar.contains(&cex));
+        assert!(!aa.contains(&cex));
     }
 
     #[test]

@@ -981,7 +981,11 @@ impl LangStore {
         if a.is_empty_language() {
             return Ok(true);
         }
-        let engine_kind = self.inclusion_engine();
+        // Resolve `auto` to its per-query winner up front: the worker's
+        // kind (not the `auto` alias) is what the ledger and the metrics
+        // attribute the cost to. Resolution is pure arithmetic over the
+        // operands, so it is identical across threads and runs.
+        let engine_kind = inclusion::engine(self.inclusion_engine()).resolve(a.nfa(), b.nfa());
         let engine = inclusion::engine(engine_kind);
         // Per-query reporting (the cost ledger) is opt-in: a disabled
         // ledger costs one observer read here and no clock reads at all.
@@ -1013,7 +1017,7 @@ impl LangStore {
             let (result, cost) = match engine.try_subset(a.nfa(), b.nfa(), limits) {
                 Ok(computed) => computed,
                 Err(abort) => {
-                    self.record_partial_inclusion(abort.cost());
+                    self.record_partial_inclusion(engine_kind, abort.cost());
                     report(None, None, false, true, None, abort.cost());
                     return Err(abort);
                 }
@@ -1025,7 +1029,7 @@ impl LangStore {
                     s.op_misses.fetch_add(1, Ordering::Relaxed);
                 });
                 inner.note_miss();
-                record_inclusion_cost(&mut inner, &cost);
+                record_inclusion_cost(&mut inner, engine_kind, &cost);
             }
             report(None, None, false, true, Some(result), cost);
             self.notify(StoreOp::Inclusion, None, false);
@@ -1067,7 +1071,7 @@ impl LangStore {
         let (result, cost) = match engine.try_subset(a.nfa(), b.nfa(), limits) {
             Ok(computed) => computed,
             Err(abort) => {
-                self.record_partial_inclusion(abort.cost());
+                self.record_partial_inclusion(engine_kind, abort.cost());
                 report(
                     Some((&key.0, &key.1)),
                     Some(identity()),
@@ -1097,7 +1101,7 @@ impl LangStore {
                     s.op_misses.fetch_add(1, Ordering::Relaxed);
                 });
                 inner.note_miss();
-                record_inclusion_cost(&mut inner, &cost);
+                record_inclusion_cost(&mut inner, engine_kind, &cost);
                 inner.inclusion_memo.insert(key.clone(), result);
                 inner.charge_insert(
                     SlotKey::Inclusion(key.0.clone(), key.1.clone()),
@@ -1121,9 +1125,9 @@ impl LangStore {
     /// Folds an aborted inclusion run's partial cost into the metrics (but
     /// never into the memo): the exhaustion snapshot carries the wasted
     /// frontier work.
-    fn record_partial_inclusion(&self, cost: InclusionCost) {
+    fn record_partial_inclusion(&self, kind: EngineKind, cost: InclusionCost) {
         let mut inner = self.inner.lock().expect("store lock");
-        record_inclusion_cost(&mut inner, &cost);
+        record_inclusion_cost(&mut inner, kind, &cost);
     }
 
     /// Memoized language-preserving minimization, keyed by fingerprint.
@@ -1221,8 +1225,10 @@ impl LangStore {
 /// Records one computed inclusion query's engine cost: macrostates
 /// explored, the final antichain size (zero for the eager engine), and
 /// subsumption prunes. Called winner-only on the success path and once on
-/// the abort path.
-fn record_inclusion_cost(inner: &mut StoreInner, cost: &InclusionCost) {
+/// the abort path. The derivative engine's work additionally mirrors into
+/// the `automata.inclusion.derivative.*` series, keyed by the *resolved*
+/// kind so `auto` queries are charged to the engine that actually ran.
+fn record_inclusion_cost(inner: &mut StoreInner, kind: EngineKind, cost: &InclusionCost) {
     inner.stats.inclusion_macrostates += cost.macrostates;
     scope_bump(|s| {
         s.inclusion_macrostates
@@ -1235,6 +1241,17 @@ fn record_inclusion_cost(inner: &mut StoreInner, cost: &InclusionCost) {
         .metrics
         .observe(id::INCLUSION_ANTICHAIN_SIZE, cost.antichain_size);
     inner.metrics.add(id::INCLUSION_PRUNES, cost.prunes);
+    if kind == EngineKind::Derivative {
+        inner
+            .metrics
+            .add(id::INCLUSION_DERIVATIVE_PAIRS, cost.macrostates);
+        inner
+            .metrics
+            .observe(id::INCLUSION_DERIVATIVE_MEMO, cost.antichain_size);
+        inner
+            .metrics
+            .add(id::INCLUSION_DERIVATIVE_PRUNES, cost.prunes);
+    }
 }
 
 /// Records one computed intersection's cost: product states explored vs.

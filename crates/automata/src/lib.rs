@@ -59,6 +59,8 @@
 
 pub mod analysis;
 pub mod byteclass;
+pub mod costmodel;
+pub mod derivative;
 pub mod dfa;
 pub mod dot;
 pub mod generate;
@@ -73,14 +75,16 @@ pub mod quotient;
 
 pub use analysis::{is_finite, language_size, members, LanguageSize};
 pub use byteclass::ByteClass;
+pub use costmodel::QueryFeatures;
+pub use derivative::DerivativeEngine;
 pub use dfa::{
     complement, determinize, determinize_counted, equivalent, inclusion_counterexample, is_subset,
     try_determinize_counted, DeterminizeCost, Dfa,
 };
 pub use homomorphism::ByteMap;
 pub use inclusion::{
-    engine as inclusion_engine, AntichainEngine, EagerEngine, EngineKind, InclusionAbort,
-    InclusionCost, InclusionEngine, InclusionLimits,
+    engine as inclusion_engine, AntichainEngine, AutoEngine, EagerEngine, EngineKind,
+    InclusionAbort, InclusionCost, InclusionEngine, InclusionLimits,
 };
 pub use lang::{
     current_stats_scope, install_stats_scope, FingerprintCost, InclusionQuery, Lang, LangStore,

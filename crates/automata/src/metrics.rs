@@ -120,6 +120,12 @@ pub mod id {
     pub const SERVE_RESOURCE_EXHAUSTED: usize = 29;
     /// Requests answered `parse-error` by `dprle serve`.
     pub const SERVE_PARSE_ERROR: usize = 30;
+    /// Derivative pairs explored by the derivative inclusion engine.
+    pub const INCLUSION_DERIVATIVE_PAIRS: usize = 31;
+    /// Histogram of similarity-memo pairs retained per derivative query.
+    pub const INCLUSION_DERIVATIVE_MEMO: usize = 32;
+    /// Derivative pairs dropped by similarity memoization.
+    pub const INCLUSION_DERIVATIVE_PRUNES: usize = 33;
 }
 
 /// The closed metric table. Index = metric id; snapshot order = table
@@ -278,6 +284,21 @@ pub const METRIC_DEFS: &[MetricDef] = &[
     MetricDef {
         name: "serve.requests.parse_error",
         help: "Serve requests rejected as parse errors (malformed JSON, schema violation, or solver error)",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "automata.inclusion.derivative.pairs",
+        help: "Derivative pairs explored by the derivative inclusion engine",
+        kind: MetricKind::Counter,
+    },
+    MetricDef {
+        name: "automata.inclusion.derivative.memo_pairs",
+        help: "Similarity-memo pairs retained per derivative inclusion query",
+        kind: MetricKind::Histogram,
+    },
+    MetricDef {
+        name: "automata.inclusion.derivative.similarity_prunes",
+        help: "Derivative pairs dropped by similarity memoization",
         kind: MetricKind::Counter,
     },
 ];

@@ -1,10 +1,12 @@
-//! Differential-inclusion harness: proves the eager and antichain
-//! inclusion engines are observationally equivalent across the whole
-//! corpus.
+//! Differential-inclusion harness: proves the eager, antichain, and
+//! derivative inclusion engines — and the cost-predicted `auto` selector
+//! that routes among them — are observationally equivalent across the
+//! whole corpus.
 //!
 //! Every corpus entry — the `testdata/` constraint files, the SMT-LIB
 //! script, the PHP audit sources, and generated multi-group / random
-//! systems — is solved once per engine, and the runs must agree on four
+//! systems — is solved once per engine kind; the antichain (default)
+//! run is the reference, and every other run must agree with it on four
 //! facets:
 //!
 //! 1. **Solutions**: per-variable canonical fingerprints of every
@@ -28,7 +30,12 @@
 //! serve the other. Zeroed-timestamp journals are written to
 //! `target/differential-inclusion/` for offline diffing.
 //!
-//! Usage: `cargo run -p dprle-bench --bin differential_inclusion --release`
+//! Usage: `cargo run -p dprle-bench --bin differential_inclusion --release
+//! [-- --jobs N]`
+//!
+//! `--jobs N` runs every solve with `N` worklist workers — the engine
+//! matrix must hold at every thread count, since the parallel solver's
+//! outputs are byte-identical to sequential.
 //!
 //! Exits 1 if any entry diverges on any facet.
 
@@ -59,11 +66,12 @@ struct RunResult {
     metrics: Vec<String>,
 }
 
-fn traced_options(engine: EngineKind) -> SolveOptions {
+fn traced_options(engine: EngineKind, jobs: usize) -> SolveOptions {
     SolveOptions {
         inclusion_engine: engine,
         trace: true,
         metrics: Metrics::enabled(),
+        jobs,
         ..SolveOptions::default()
     }
 }
@@ -124,8 +132,8 @@ fn zeroed_journal(sink: &CollectSink) -> Vec<String> {
 
 /// Solves one freshly built system with a fresh store and tracer; on
 /// unsat, additionally shrinks the core under the same engine.
-fn run_system(system: &System, engine: EngineKind) -> RunResult {
-    let options = traced_options(engine);
+fn run_system(system: &System, engine: EngineKind, jobs: usize) -> RunResult {
+    let options = traced_options(engine, jobs);
     let sink = Arc::new(CollectSink::new());
     let tracer = Tracer::new(sink.clone());
     let store = LangStore::interning(options.interning);
@@ -147,7 +155,7 @@ fn run_system(system: &System, engine: EngineKind) -> RunResult {
 /// scratch and return the run's comparable facets.
 struct Entry {
     name: String,
-    build: Box<dyn Fn(EngineKind) -> RunResult>,
+    build: Box<dyn Fn(EngineKind, usize) -> RunResult>,
 }
 
 fn testdata(file: &str) -> String {
@@ -158,9 +166,9 @@ fn testdata(file: &str) -> String {
 fn dprle_entry(file: &'static str) -> Entry {
     Entry {
         name: format!("testdata/{file}"),
-        build: Box::new(move |engine| {
+        build: Box::new(move |engine, jobs| {
             let parsed = parse_file(&testdata(file)).expect("testdata parses");
-            run_system(&parsed.system, engine)
+            run_system(&parsed.system, engine, jobs)
         }),
     }
 }
@@ -168,8 +176,8 @@ fn dprle_entry(file: &'static str) -> Entry {
 fn smt2_entry(file: &'static str) -> Entry {
     Entry {
         name: format!("testdata/{file}"),
-        build: Box::new(move |engine| {
-            let options = traced_options(engine);
+        build: Box::new(move |engine, jobs| {
+            let options = traced_options(engine, jobs);
             let sink = Arc::new(CollectSink::new());
             let tracer = Tracer::new(sink.clone());
             let run = run_script_with_stats(&testdata(file), &options, &tracer)
@@ -201,7 +209,7 @@ fn php_entries(file: &'static str, policy: fn() -> Policy, kind: Option<SinkKind
     (0..sinks)
         .map(|i| Entry {
             name: format!("testdata/{file}#sink{i}"),
-            build: Box::new(move |engine| {
+            build: Box::new(move |engine, jobs| {
                 let symex = SymexOptions {
                     track_echo: kind == Some(SinkKind::Echo),
                     ..SymexOptions::default()
@@ -214,7 +222,7 @@ fn php_entries(file: &'static str, policy: fn() -> Policy, kind: Option<SinkKind
                     .nth(i)
                     .expect("sink index stable across re-exploration");
                 let generated = build_system(reach, &policy()).expect("builds");
-                run_system(&generated.system, engine)
+                run_system(&generated.system, engine, jobs)
             }),
         })
         .collect()
@@ -223,7 +231,7 @@ fn php_entries(file: &'static str, policy: fn() -> Policy, kind: Option<SinkKind
 fn generated_entry(name: &str, make: impl Fn() -> System + 'static) -> Entry {
     Entry {
         name: name.to_owned(),
-        build: Box::new(move |engine| run_system(&make(), engine)),
+        build: Box::new(move |engine, jobs| run_system(&make(), engine, jobs)),
     }
 }
 
@@ -289,7 +297,61 @@ fn first_journal_diff(a: &[String], b: &[String]) -> Option<(usize, String, Stri
     None
 }
 
+/// Compares one run against the antichain reference on every facet;
+/// returns true (and reports) on any divergence.
+fn diverges(entry: &str, kind: EngineKind, run: &RunResult, reference: &RunResult) -> bool {
+    let name = kind.name();
+    let mut diverged = false;
+    if run.solutions != reference.solutions {
+        eprintln!(
+            "DIVERGENCE {entry}: solutions differ\n  {name}: {:?}\n  antichain: {:?}",
+            run.solutions, reference.solutions
+        );
+        diverged = true;
+    }
+    if run.core != reference.core {
+        eprintln!(
+            "DIVERGENCE {entry}: unsat cores differ\n  {name}: {:?}\n  antichain: {:?}",
+            run.core, reference.core
+        );
+        diverged = true;
+    }
+    if comparable_stats(&run.stats) != comparable_stats(&reference.stats) {
+        eprintln!(
+            "DIVERGENCE {entry}: stats differ (inclusion-macrostates excluded)\n  {name}: {:?}\n  antichain: {:?}",
+            run.stats, reference.stats
+        );
+        diverged = true;
+    }
+    if let Some((line, a, b)) = first_journal_diff(&run.journal, &reference.journal) {
+        eprintln!(
+            "DIVERGENCE {entry}: journal differs at line {line}\n  {name}: {a}\n  antichain: {b}"
+        );
+        diverged = true;
+    }
+    if let Some((line, a, b)) = first_journal_diff(&run.metrics, &reference.metrics) {
+        eprintln!(
+            "DIVERGENCE {entry}: metrics snapshot differs at line {line}\n  {name}: {a}\n  antichain: {b}"
+        );
+        diverged = true;
+    }
+    diverged
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|n| *n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            }),
+        None => 1,
+    };
+
     let dir = "target/differential-inclusion";
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: could not create {dir}: {e}");
@@ -298,62 +360,36 @@ fn main() {
     let mut failures = 0usize;
     let entries = corpus();
     println!(
-        "differential-inclusion: {} corpus entries x engines {:?}",
+        "differential-inclusion: {} corpus entries x engines {:?} at --jobs {jobs}",
         entries.len(),
         EngineKind::ALL.map(EngineKind::name)
     );
     for entry in &entries {
-        let eager = (entry.build)(EngineKind::Eager);
-        let antichain = (entry.build)(EngineKind::Antichain);
-        write_lines(dir, &entry.name, "eager", &eager.journal);
-        write_lines(dir, &entry.name, "antichain", &antichain.journal);
-        let mut verdict = "identical";
+        let reference = (entry.build)(EngineKind::Antichain, jobs);
+        write_lines(dir, &entry.name, "antichain", &reference.journal);
         let mut entry_diverged = false;
-        if eager.solutions != antichain.solutions {
-            eprintln!(
-                "DIVERGENCE {}: solutions differ\n  eager: {:?}\n  antichain: {:?}",
-                entry.name, eager.solutions, antichain.solutions
-            );
-            entry_diverged = true;
+        for kind in EngineKind::ALL {
+            if kind == EngineKind::Antichain {
+                continue;
+            }
+            let run = (entry.build)(kind, jobs);
+            write_lines(dir, &entry.name, kind.name(), &run.journal);
+            entry_diverged |= diverges(&entry.name, kind, &run, &reference);
         }
-        if eager.core != antichain.core {
-            eprintln!(
-                "DIVERGENCE {}: unsat cores differ\n  eager: {:?}\n  antichain: {:?}",
-                entry.name, eager.core, antichain.core
-            );
-            entry_diverged = true;
-        }
-        if comparable_stats(&eager.stats) != comparable_stats(&antichain.stats) {
-            eprintln!(
-                "DIVERGENCE {}: stats differ (inclusion-macrostates excluded)\n  eager: {:?}\n  antichain: {:?}",
-                entry.name, eager.stats, antichain.stats
-            );
-            entry_diverged = true;
-        }
-        if let Some((line, a, b)) = first_journal_diff(&eager.journal, &antichain.journal) {
-            eprintln!(
-                "DIVERGENCE {}: journal differs at line {line}\n  eager: {a}\n  antichain: {b}",
-                entry.name
-            );
-            entry_diverged = true;
-        }
-        if let Some((line, a, b)) = first_journal_diff(&eager.metrics, &antichain.metrics) {
-            eprintln!(
-                "DIVERGENCE {}: metrics snapshot differs at line {line}\n  eager: {a}\n  antichain: {b}",
-                entry.name
-            );
-            entry_diverged = true;
-        }
+        let verdict = if entry_diverged {
+            "DIVERGED"
+        } else {
+            "identical"
+        };
         if entry_diverged {
             failures += 1;
-            verdict = "DIVERGED";
         }
         println!(
             "  {:<36} {:>4} journal events, {:>3} solution line(s), core {}: {verdict}",
             entry.name,
-            antichain.journal.len(),
-            antichain.solutions.len(),
-            match &antichain.core {
+            reference.journal.len(),
+            reference.solutions.len(),
+            match &reference.core {
                 Some(c) => format!("{c:?}"),
                 None => "-".to_owned(),
             }
@@ -367,5 +403,5 @@ fn main() {
         );
         std::process::exit(1);
     }
-    println!("\nall entries agree across both inclusion engines (journals in {dir}/)");
+    println!("\nall entries agree across all four inclusion engine kinds (journals in {dir}/)");
 }

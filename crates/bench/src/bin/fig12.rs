@@ -9,7 +9,8 @@
 //! for the no-minimization mode that magnifies the outlier further).
 //!
 //! Usage: `cargo run -p dprle-bench --bin fig12 --release [--skip-heavy]
-//! [--json] [--jobs N] [--inclusion eager|antichain] [--ledger-out FILE]`
+//! [--json] [--jobs N] [--inclusion eager|antichain|derivative|auto]
+//! [--ledger-out FILE]`
 //!
 //! `--jobs N` adds a third, untraced solving pass per row with `N`
 //! worklist workers (the branch-parallel solver, whose output is
@@ -47,7 +48,7 @@ fn main() {
             .get(i + 1)
             .and_then(|n| EngineKind::parse(n))
             .unwrap_or_else(|| {
-                eprintln!("--inclusion needs eager or antichain");
+                eprintln!("--inclusion needs eager, antichain, derivative, or auto");
                 std::process::exit(2);
             }),
         None => EngineKind::default(),
@@ -157,20 +158,22 @@ fn main() {
     }
 
     // Inclusion-engine comparison: the same workload once per engine.
-    println!("\nInclusion engines (eager vs antichain, untraced passes):");
+    println!("\nInclusion engines (eager vs antichain vs derivative, untraced passes):");
     println!(
-        "{:<8} {:<10} {:>12} {:>12} {:>12} {:>12}",
-        "App", "Vuln", "eager (s)", "macro", "antich (s)", "macro"
+        "{:<8} {:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "App", "Vuln", "eager (s)", "macro", "antich (s)", "macro", "deriv (s)", "pairs"
     );
     for r in &rows {
         println!(
-            "{:<8} {:<10} {:>12.3} {:>12} {:>12.3} {:>12}",
+            "{:<8} {:<10} {:>12.3} {:>12} {:>12.3} {:>12} {:>12.3} {:>12}",
             r.app,
             r.name,
             r.eager_seconds,
             r.eager_macrostates,
             r.antichain_seconds,
-            r.antichain_macrostates
+            r.antichain_macrostates,
+            r.derivative_seconds,
+            r.derivative_macrostates
         );
     }
 

@@ -85,6 +85,12 @@ pub struct Fig12Row {
     pub antichain_seconds: f64,
     /// Inclusion macrostates explored by the antichain pass.
     pub antichain_macrostates: u64,
+    /// Wall time of the engine-comparison pass under the derivative-pair
+    /// inclusion engine.
+    pub derivative_seconds: f64,
+    /// Inclusion work explored by the derivative pass (derivative pairs
+    /// popped, the engine's macrostate analogue).
+    pub derivative_macrostates: u64,
     /// Solver counters aggregated over the row's runs (see
     /// `SolveStats::absorb`).
     pub stats: SolveStats,
@@ -203,6 +209,7 @@ pub fn run_fig12_row_jobs(spec: &VulnSpec, options: &SolveOptions, jobs: usize) 
     };
     let (eager_seconds, eager_macrostates) = engine_pass(EngineKind::Eager);
     let (antichain_seconds, antichain_macrostates) = engine_pass(EngineKind::Antichain);
+    let (derivative_seconds, derivative_macrostates) = engine_pass(EngineKind::Derivative);
     // Ledgered pass: the same workload once more, cold-rebuilt like the
     // other passes, with the query cost ledger live. Kept separate from
     // the `T_S` pass so the timing columns stay ledger-free.
@@ -250,6 +257,8 @@ pub fn run_fig12_row_jobs(spec: &VulnSpec, options: &SolveOptions, jobs: usize) 
         eager_macrostates,
         antichain_seconds,
         antichain_macrostates,
+        derivative_seconds,
+        derivative_macrostates,
         stats,
         phases,
         queries,
@@ -330,6 +339,11 @@ pub fn fig12_rows_json(rows: &[Fig12Row]) -> String {
             ("eager_macrostates", r.eager_macrostates.to_string()),
             ("antichain_seconds", format!("{:.6}", r.antichain_seconds)),
             ("antichain_macrostates", r.antichain_macrostates.to_string()),
+            ("derivative_seconds", format!("{:.6}", r.derivative_seconds)),
+            (
+                "derivative_macrostates",
+                r.derivative_macrostates.to_string(),
+            ),
             ("queries", r.queries.to_string()),
             ("query_memo_hits", r.query_memo_hits.to_string()),
         ];
@@ -578,6 +592,8 @@ mod tests {
             eager_macrostates: 10,
             antichain_seconds: 0.01,
             antichain_macrostates: 5,
+            derivative_seconds: 0.015,
+            derivative_macrostates: 5,
             stats: SolveStats::default(),
             phases: Vec::new(),
             queries: 0,
@@ -614,6 +630,8 @@ mod tests {
             eager_macrostates: 10,
             antichain_seconds: 0.01,
             antichain_macrostates: 5,
+            derivative_seconds: 0.015,
+            derivative_macrostates: 5,
             stats: SolveStats {
                 groups: 2,
                 fingerprint_hits: 7,
@@ -666,6 +684,8 @@ mod tests {
             eager_macrostates: 10,
             antichain_seconds: seconds,
             antichain_macrostates: 5,
+            derivative_seconds: 0.015,
+            derivative_macrostates: 5,
             stats: SolveStats::default(),
             phases: Vec::new(),
             queries: 0,

@@ -100,7 +100,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--metrics-out FILE] [--metrics-format json|prom] [--ledger-out FILE] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--inclusion eager|antichain] [--no-interning] [--jobs N] [--store-max-bytes N] FILE
+const USAGE: &str = "usage: dprle [--first] [--witness] [--dot-graph] [--dot-var NAME] [--no-verify] [--trace[=summary]] [--trace-out FILE] [--trace-dot FILE] [--stats] [--metrics-out FILE] [--metrics-format json|prom] [--ledger-out FILE] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--inclusion eager|antichain|derivative|auto] [--no-interning] [--jobs N] [--store-max-bytes N] FILE
        dprle serve [--sessions N] [--listen ADDR] [--store-max-bytes N] [--jobs N] [--inclusion E] [--max-product-states N] [--max-live-states N] [--deadline-ms N] [--no-interning] [--metrics-out FILE] [--metrics-format json|prom] [--ledger-out FILE] [--admin ADDR] [--trace-out FILE] [--slow-log FILE] [--slow-ms N]
        dprle watch [--interval-ms N] [--count N] HOST:PORT
        dprle trace-report [--check-schema SCHEMA] TRACE.jsonl
@@ -170,8 +170,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         store_max_bytes: None,
     };
     fn engine_arg(name: &str) -> Result<EngineKind, String> {
-        EngineKind::parse(name)
-            .ok_or_else(|| format!("--inclusion must be eager or antichain, got `{name}`"))
+        EngineKind::parse(name).ok_or_else(|| {
+            format!("--inclusion must be eager, antichain, derivative, or auto, got `{name}`")
+        })
     }
     fn budget_arg(argv: &[String], i: usize, flag: &str) -> Result<u64, String> {
         let n = argv.get(i).ok_or_else(|| format!("{flag} needs a count"))?;
@@ -622,7 +623,11 @@ fn serve_main(argv: &[String]) -> ExitCode {
                 i += 1;
                 match argv.get(i).and_then(|n| EngineKind::parse(n)) {
                     Some(engine) => config.inclusion = engine,
-                    None => break Err("--inclusion must be eager or antichain".to_owned()),
+                    None => {
+                        break Err(
+                            "--inclusion must be eager, antichain, derivative, or auto".to_owned()
+                        )
+                    }
                 }
             }
             "--max-product-states" => match count_arg(argv, i + 1, "--max-product-states") {

@@ -20,7 +20,7 @@
 //! | `input` | string, required | the program text |
 //! | `language` | `"dprle"` \| `"smtlib"` | input syntax (default `dprle`) |
 //! | `jobs` | integer ≥ 1 | worklist worker threads for this request |
-//! | `inclusion` | `"eager"` \| `"antichain"` | inclusion engine override |
+//! | `inclusion` | `"eager"` \| `"antichain"` \| `"derivative"` \| `"auto"` | inclusion engine override |
 //! | `max_product_states` | integer ≥ 1 | budget override |
 //! | `max_live_states` | integer ≥ 1 | budget override |
 //! | `deadline_ms` | integer ≥ 1 | budget override |
@@ -585,7 +585,8 @@ fn parse_request(line: &str) -> Result<Request, (Option<String>, String)> {
                 Some(engine) => inclusion = Some(engine),
                 None => {
                     return Err(fail(
-                        "field `inclusion` must be \"eager\" or \"antichain\"".to_owned(),
+                        "field `inclusion` must be \"eager\", \"antichain\", \"derivative\", or \"auto\""
+                            .to_owned(),
                     ))
                 }
             },

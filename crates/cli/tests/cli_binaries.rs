@@ -615,13 +615,13 @@ fn profile_errors_on_empty_or_missing_ledgers() {
 }
 
 #[test]
-fn budgeted_blowup_exits_3_under_both_inclusion_engines() {
-    // Mirrors the CI budgeted-blowup step, once per inclusion engine: a
-    // binding product budget must exit 3 (graceful ResourceExhausted) —
-    // never a panic — and still write a metrics snapshot that registers
-    // the engine's own work counter.
+fn budgeted_blowup_exits_3_under_every_inclusion_engine() {
+    // Mirrors the CI budgeted-blowup step, once per inclusion engine
+    // kind: a binding product budget must exit 3 (graceful
+    // ResourceExhausted) — never a panic — and still write a metrics
+    // snapshot that registers the engine's own work counter.
     let file = temp_file("budgeted_engines.dprle", MOTIVATING);
-    for engine in ["antichain", "eager"] {
+    for engine in ["antichain", "eager", "derivative", "auto"] {
         let metrics = std::env::temp_dir().join(format!("dprle_cli_test_exhausted_{engine}.jsonl"));
         let out = dprle(&[
             "--max-product-states",

@@ -45,9 +45,9 @@
 
 use crate::schema::{self, get_opt_str, get_str, get_u64, json_string, Json};
 use crate::trace::{parse_jsonl, TraceEventKind};
-use dprle_automata::{ByteClass, EngineKind, InclusionCost, InclusionQuery, MemoIdentity, Nfa};
+use dprle_automata::{EngineKind, InclusionCost, InclusionQuery, MemoIdentity, Nfa};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -662,19 +662,16 @@ pub(crate) fn nfa_hash64(nfa: &Nfa) -> u64 {
     h.0
 }
 
-fn distinct_classes(lhs: &Nfa, rhs: &Nfa) -> u64 {
-    let mut classes: BTreeSet<ByteClass> = BTreeSet::new();
-    classes.extend(lhs.edges().map(|(_, c, _)| c));
-    classes.extend(rhs.edges().map(|(_, c, _)| c));
-    classes.len() as u64
-}
-
 fn features(record: &mut LedgerRecord, lhs: &Nfa, rhs: &Nfa) {
-    record.lhs_states = lhs.num_states() as u64;
-    record.lhs_transitions = lhs.num_transitions() as u64;
-    record.rhs_states = rhs.num_states() as u64;
-    record.rhs_transitions = rhs.num_transitions() as u64;
-    record.classes = distinct_classes(lhs, rhs);
+    // Delegate to the cost model's extractor: the serialized features and
+    // the `auto` engine's selection features must never drift apart (the
+    // differential harness replays the model against ledger rows).
+    let f = dprle_automata::costmodel::features(lhs, rhs);
+    record.lhs_states = f.lhs_states;
+    record.lhs_transitions = f.lhs_transitions;
+    record.rhs_states = f.rhs_states;
+    record.rhs_transitions = f.rhs_transitions;
+    record.classes = f.classes;
 }
 
 /// Builds a draft from a store-reported inclusion query.

@@ -112,8 +112,11 @@ pub struct SolveOptions {
     /// agree on every judgment, so solutions and unsat answers are
     /// engine-invariant; costs differ — the default antichain engine
     /// explores macrostates lazily and can decide inclusions whose eager
-    /// determinize/complement/product construction blows up. Selected on
-    /// the CLI with `--inclusion=eager|antichain`.
+    /// determinize/complement/product construction blows up, the
+    /// derivative engine prunes both sides of the query, and `auto`
+    /// resolves each query to the cheapest predicted concrete engine.
+    /// Selected on the CLI with
+    /// `--inclusion=eager|antichain|derivative|auto`.
     pub inclusion_engine: EngineKind,
     /// Query cost ledger for the run (see [`ledger`](crate::ledger)):
     /// every store inclusion query, every engine-bypassing `⊆` judgment
@@ -1043,6 +1046,10 @@ fn ledgered_subset(
     lhs: &Nfa,
     rhs: &Nfa,
 ) -> bool {
+    // Resolve `auto` to its per-query winner so the ledger's engine
+    // column names the worker that actually ran (and so the engine
+    // dispatch below is concrete).
+    let kind = inclusion_engine(kind).resolve(lhs, rhs);
     let engine = inclusion_engine(kind);
     if !ledger.is_enabled() {
         return engine.is_subset(lhs, rhs);

@@ -19,6 +19,9 @@ use dprle::corpus::scaling::{
 use proptest::prelude::*;
 use std::sync::Arc;
 
+#[path = "common/inclusion_oracle.rs"]
+mod oracle;
+
 fn cfg() -> RandomNfaConfig {
     RandomNfaConfig {
         states: 6,
@@ -33,7 +36,8 @@ fn m(seed: u64) -> Nfa {
     random_nfa(seed, &cfg())
 }
 
-/// Both engines, in `EngineKind::ALL` order.
+/// The two original engines; the full three-engine matrix (plus `auto`)
+/// lives in `inclusion_differential_3way.rs`.
 fn engines() -> [&'static dyn dprle::automata::InclusionEngine; 2] {
     [
         inclusion_engine(EngineKind::Eager),
@@ -59,22 +63,7 @@ fn assert_queries_agree(a: &Nfa, b: &Nfa) {
         antichain.intersection_empty(a, b),
         "intersection-emptiness verdicts diverge"
     );
-    let ce_eager = eager.counterexample(a, b);
-    let ce_antichain = antichain.counterexample(a, b);
-    assert_eq!(
-        ce_eager.is_some(),
-        ce_antichain.is_some(),
-        "counterexample presence diverges"
-    );
-    // Witnesses need not be byte-equal across engines, but both must be
-    // genuine members of L(a) \ L(b) and both must be shortest.
-    if let (Some(we), Some(wa)) = (&ce_eager, &ce_antichain) {
-        for w in [we, wa] {
-            assert!(a.contains(w), "witness {w:?} not in L(a)");
-            assert!(!b.contains(w), "witness {w:?} in L(b)");
-        }
-        assert_eq!(we.len(), wa.len(), "one engine missed a shorter witness");
-    }
+    oracle::assert_counterexamples_consistent(a, b, &[eager, antichain]);
 }
 
 /// Solves `system` under `kind` and renders the comparable facets: one
